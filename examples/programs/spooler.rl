@@ -1,0 +1,33 @@
+program spooler
+
+// A print spooler: submitters enqueue jobs under the lock, but the job
+// counter shown on the console is read without it.
+
+global jobs_done = 0
+global queue_len = 0
+array queue[8] = 0
+mutex q
+
+fn submitter(k) {
+  lock q;
+  var slot = queue_len;
+  if (slot < 8) {
+    queue[slot] = k;
+    queue_len = slot + 1;
+  }
+  unlock q;
+  jobs_done = jobs_done + 1;     // racy statistics update
+}
+
+fn console() {
+  output jobs_done;              // racy read: printed total depends on timing
+}
+
+fn main() {
+  var a = spawn submitter(3);
+  var b = spawn submitter(4);
+  var c = spawn console();
+  join a;
+  join b;
+  join c;
+}

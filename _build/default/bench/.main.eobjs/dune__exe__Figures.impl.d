@@ -1,0 +1,1 @@
+bench/figures.ml: Classify Config Harness List Micro Pipeline Portend_core Portend_detect Portend_lang Portend_util Portend_vm Portend_workloads Printf Registry Suite Synthetic Taxonomy Weakmem

@@ -1,0 +1,1 @@
+bench/harness.ml: Config List Pipeline Portend_core Portend_detect Portend_lang Portend_vm Portend_workloads Printf Registry String Suite Taxonomy

@@ -1,0 +1,1 @@
+bench/main.ml: Array Figures Harness List Micro_bench Sys Tables

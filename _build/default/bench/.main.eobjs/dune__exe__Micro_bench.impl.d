@@ -1,0 +1,1 @@
+bench/micro_bench.ml: Analyze Bechamel Benchmark Hashtbl Instance List Measure Portend_core Portend_detect Portend_lang Portend_solver Portend_vm Printf Staged Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/tables.ml: Harness List Pipeline Portend_baselines Portend_core Portend_detect Portend_lang Portend_util Portend_vm Portend_workloads Printf Registry Stdlib Suite Taxonomy

@@ -1,0 +1,76 @@
+(* Shared machinery for the benchmark harness: run the whole evaluation
+   suite once per configuration, score verdicts against the registry ground
+   truth, and render aligned text tables. *)
+
+open Portend_core
+open Portend_workloads
+module D = Portend_detect
+module V = Portend_vm
+
+type app_result = {
+  w : Registry.workload;
+  analysis : Pipeline.t;
+}
+
+let analyze_workload ?(config = Config.default) (w : Registry.workload) : app_result =
+  let prog = Portend_lang.Compile.compile w.Registry.w_prog in
+  let analysis = Pipeline.analyze ~config ~seed:w.Registry.w_seed ~inputs:w.Registry.w_inputs prog in
+  { w; analysis }
+
+let run_suite ?config () : app_result list = List.map (analyze_workload ?config) Suite.all
+
+(* verdict category per race, keyed by base location *)
+let verdicts (r : app_result) =
+  List.map
+    (fun ra ->
+      ( D.Report.base_loc ra.Pipeline.race.D.Report.r_loc,
+        ra.Pipeline.verdict ))
+    r.analysis.Pipeline.races
+
+(* Count how many of the workload's expected races got category [pred].  An
+   expectation with [x_count] > 1 is matched that many times. *)
+let count_matching (r : app_result) ~(want : Registry.expectation -> Taxonomy.category option)
+    ~(pred : Taxonomy.verdict -> Registry.expectation -> bool) =
+  let vs = verdicts r in
+  List.fold_left
+    (fun acc x ->
+      match want x with
+      | None -> acc
+      | Some _ ->
+        let got = List.filter (fun (loc, _) -> loc = x.Registry.x_loc) vs in
+        let good = List.length (List.filter (fun (_, v) -> pred v x) got) in
+        acc + min good x.Registry.x_count)
+    0 r.w.Registry.w_expect
+
+(* accuracy of the measured verdicts against manual ground truth *)
+let correct_against_truth (r : app_result) =
+  count_matching r
+    ~want:(fun x -> Some x.Registry.x_truth)
+    ~pred:(fun v x -> v.Taxonomy.category = x.Registry.x_truth)
+
+(* agreement with the verdict Portend is expected to produce *)
+let correct_against_portend (r : app_result) =
+  count_matching r
+    ~want:(fun x -> Some x.Registry.x_portend)
+    ~pred:(fun v x -> v.Taxonomy.category = x.Registry.x_portend)
+
+(* --- text table rendering --- *)
+
+let print_table ~title ~header rows =
+  let widths =
+    List.fold_left
+      (fun ws row -> List.map2 (fun w cell -> max w (String.length cell)) ws row)
+      (List.map String.length header)
+      rows
+  in
+  let line row =
+    String.concat "  "
+      (List.map2 (fun w cell -> Printf.sprintf "%-*s" w cell) widths row)
+  in
+  Printf.printf "\n== %s ==\n" title;
+  print_endline (line header);
+  print_endline (String.make (String.length (line header)) '-');
+  List.iter (fun row -> print_endline (line row)) rows;
+  flush stdout
+
+let pct num den = if den = 0 then "-" else Printf.sprintf "%d%%" (100 * num / den)

@@ -1,0 +1,40 @@
+(* Benchmark harness entry point: regenerates every table and figure of the
+   paper's evaluation (§5).  With no argument, everything runs in paper
+   order; individual targets: table1 table2 table3 table4 table5 fig7 fig9
+   fig10 falsepos micro. *)
+
+let usage () =
+  print_endline
+    "usage: main.exe [table1|table2|table3|table4|table5|fig7|fig9|fig10|falsepos|weakmem|micro|all]"
+
+let () =
+  let target = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let needs_suite =
+    List.mem target [ "all"; "table2"; "table3"; "table4"; "table5" ]
+  in
+  let suite = if needs_suite then Harness.run_suite () else [] in
+  match target with
+  | "table1" -> Tables.table1 ()
+  | "table2" -> Tables.table2 suite
+  | "table3" -> Tables.table3 suite
+  | "table4" -> Tables.table4 suite
+  | "table5" -> Tables.table5 suite
+  | "fig7" -> Figures.fig7 ()
+  | "fig9" -> Figures.fig9 ()
+  | "fig10" -> Figures.fig10 ()
+  | "falsepos" -> Figures.falsepos ()
+  | "weakmem" -> Figures.weakmem ()
+  | "micro" -> Micro_bench.run ()
+  | "all" ->
+    Tables.table1 ();
+    Tables.table2 suite;
+    Tables.table3 suite;
+    Tables.table4 suite;
+    Tables.table5 suite;
+    Figures.fig7 ();
+    Figures.fig9 ();
+    Figures.fig10 ();
+    Figures.falsepos ();
+    Figures.weakmem ();
+    Micro_bench.run ()
+  | _ -> usage ()

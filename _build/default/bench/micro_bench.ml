@@ -1,0 +1,87 @@
+(* Bechamel micro-benchmarks of the core primitives: interpreter throughput,
+   vector-clock operations, the constraint solver, and whole-pipeline
+   classification of one race.  One [Test.make] per measured primitive. *)
+
+open Bechamel
+open Toolkit
+module V = Portend_vm
+module E = Portend_solver.Expr
+
+let counter_prog =
+  let open Portend_lang.Builder in
+  program "bench_counter" ~globals:[ ("c", 0) ] ~mutexes:[ "m" ]
+    [ func "w" []
+        [ var "i" (i 0);
+          while_ (l "i" < i 50) (critical "m" [ incr_global "c" ] @ [ set "i" (l "i" + i 1) ])
+        ];
+      func "main" []
+        [ spawn ~into:"a" "w" []; spawn ~into:"b" "w" []; join (l "a"); join (l "b");
+          output [ g "c" ]
+        ]
+    ]
+  |> Portend_lang.Compile.compile
+
+let bench_interpreter =
+  Test.make ~name:"vm-run-2x50-locked-increments" (Staged.stage (fun () ->
+      let st = V.State.init counter_prog in
+      ignore (V.Run.run ~sched:V.Sched.round_robin st)))
+
+let bench_vclock =
+  Test.make ~name:"vclock-tick-join-leq" (Staged.stage (fun () ->
+      let open Portend_detect.Vclock in
+      let a = tick 1 (tick 0 empty) and b = tick 2 (tick 1 empty) in
+      ignore (leq a (join a b))))
+
+let bench_solver =
+  let v x = E.Var x and c n = E.Const n in
+  let constraints =
+    [ E.Binop (Gt, v "x", c 3); E.Binop (Lt, v "y", v "x"); E.Binop (Eq, E.Binop (Add, v "x", v "y"), c 10) ]
+  in
+  Test.make ~name:"solver-3-constraints" (Staged.stage (fun () ->
+      ignore (Portend_solver.Solver.solve constraints)))
+
+let bench_detector =
+  Test.make ~name:"hb-detect-counter-run" (Staged.stage (fun () ->
+      let st = V.State.init counter_prog in
+      let r = V.Run.run ~sched:(V.Sched.random ~seed:7) st in
+      ignore (Portend_detect.Hb.detect r.V.Run.events)))
+
+let bench_classify =
+  let outdiff =
+    let open Portend_lang.Builder in
+    program "bench_outdiff" ~globals:[ ("x", 0) ]
+      [ func "w1" [] [ setg "x" (i 1) ];
+        func "w2" [] [ setg "x" (i 2) ];
+        func "main" []
+          [ spawn ~into:"a" "w1" []; spawn ~into:"b" "w2" []; join (l "a"); join (l "b");
+            output [ g "x" ]
+          ]
+      ]
+    |> Portend_lang.Compile.compile
+  in
+  Test.make ~name:"classify-one-race" (Staged.stage (fun () ->
+      ignore (Portend_core.Pipeline.analyze ~seed:1 outdiff)))
+
+let run () =
+  let tests =
+    Test.make_grouped ~name:"portend"
+      [ bench_interpreter; bench_vclock; bench_solver; bench_detector; bench_classify ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 1.0) ~kde:(Some 300) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun i -> Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]) i raw)
+      instances
+  in
+  let results = Analyze.merge (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]) instances results in
+  print_endline "\n== Micro-benchmarks (bechamel, monotonic clock ns/run) ==";
+  Hashtbl.iter
+    (fun name tbl ->
+      Hashtbl.iter
+        (fun test result ->
+          match Bechamel.Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "%-12s %-40s %12.1f ns/run\n" name test est
+          | _ -> Printf.printf "%-12s %-40s (no estimate)\n" name test)
+        tbl)
+    results

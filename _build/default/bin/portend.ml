@@ -1,0 +1,203 @@
+(* The portend command-line tool.
+
+   portend run FILE        execute a Racelang program and print its output
+   portend detect FILE     record an execution and report distinct races
+   portend classify FILE   detect and classify every race (the full pipeline)
+   portend dump FILE       pretty-print the parsed program and its bytecode
+
+   FILE contains Racelang concrete syntax (see the README for the grammar).
+   Program inputs are supplied with repeated --input NAME=VALUE flags; the
+   scheduler seed with --seed. *)
+
+open Cmdliner
+module V = Portend_vm
+module Core = Portend_core
+module D = Portend_detect
+
+let load file =
+  try Ok (Portend_lang.Parser.compile_file file) with
+  | Portend_lang.Parser.Error e | Portend_lang.Lexer.Error e -> Error ("parse error: " ^ e)
+  | Portend_lang.Compile.Error e -> Error ("compile error: " ^ e)
+  | Sys_error e -> Error e
+
+let parse_inputs kvs =
+  List.fold_left
+    (fun acc kv ->
+      match String.split_on_char '=' kv with
+      | [ k; v ] -> (k, int_of_string v) :: acc
+      | _ -> failwith ("bad --input (want NAME=VALUE): " ^ kv))
+    [] kvs
+  |> List.rev
+
+(* common flags *)
+let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Scheduler seed for the recording.")
+
+let inputs_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "input"; "i" ] ~docv:"NAME=VALUE" ~doc:"Concrete value for a program input.")
+
+let or_die = function
+  | Ok v -> v
+  | Error e ->
+    prerr_endline e;
+    exit 1
+
+(* --- run --- *)
+
+let run_cmd =
+  let run file seed inputs =
+    let prog = or_die (load file) in
+    let model = Portend_util.Maps.Smap.of_list (parse_inputs inputs) in
+    let st = V.State.init ~input_mode:(V.State.Concrete model) prog in
+    let r = V.Run.run ~sched:(V.Sched.random ~seed) st in
+    Fmt.pr "%a@." V.State.pp_outputs r.V.Run.final;
+    Printf.printf "execution %s after %d instructions\n"
+      (V.Run.stop_to_string r.V.Run.stop)
+      r.V.Run.final.V.State.steps;
+    match r.V.Run.stop with V.Run.Halted -> 0 | _ -> 2
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a Racelang program once and print its output.")
+    Term.(const run $ file_arg $ seed_arg $ inputs_arg)
+
+(* --- detect --- *)
+
+let detect_cmd =
+  let detect file seed inputs =
+    let prog = or_die (load file) in
+    let record, _ = Core.Pipeline.record ~seed ~inputs:(parse_inputs inputs) prog in
+    let suppress = Portend_lang.Static.spin_read_sites prog in
+    let races = D.Hb.detect_clustered ~suppress record.V.Run.events in
+    Printf.printf "recording %s; %d distinct race(s)\n"
+      (V.Run.stop_to_string record.V.Run.stop)
+      (List.length races);
+    List.iter
+      (fun (race, n) -> Fmt.pr "%a@.  (%d dynamic instance(s))@." D.Report.pp_race race n)
+      races;
+    if races = [] then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "detect"
+       ~doc:"Record an execution and report the distinct data races it contains.")
+    Term.(const detect $ file_arg $ seed_arg $ inputs_arg)
+
+(* --- classify --- *)
+
+let classify_cmd =
+  let mp_arg =
+    Arg.(value & opt int Core.Config.default.Core.Config.mp
+         & info [ "mp" ] ~docv:"N" ~doc:"Primary paths to explore (Mp).")
+  in
+  let ma_arg =
+    Arg.(value & opt int Core.Config.default.Core.Config.ma
+         & info [ "ma" ] ~docv:"N" ~doc:"Alternate schedules per primary (Ma).")
+  in
+  let sym_arg =
+    Arg.(value & opt int Core.Config.default.Core.Config.max_symbolic_inputs
+         & info [ "symbolic-inputs" ] ~docv:"N" ~doc:"How many program inputs to treat symbolically.")
+  in
+  let classify file seed inputs mp ma sym =
+    let prog = or_die (load file) in
+    let config = { Core.Config.default with Core.Config.mp; ma; max_symbolic_inputs = sym } in
+    let a = Core.Pipeline.analyze ~config ~seed ~inputs:(parse_inputs inputs) prog in
+    Printf.printf "recording %s; %d distinct race(s)\n\n"
+      (V.Run.stop_to_string a.Core.Pipeline.record.V.Run.stop)
+      (List.length a.Core.Pipeline.races);
+    List.iter
+      (fun ra ->
+        Fmt.pr "%a@.  verdict: %a — %s@." D.Report.pp_race ra.Core.Pipeline.race
+          Core.Taxonomy.pp_verdict ra.Core.Pipeline.verdict
+          ra.Core.Pipeline.verdict.Core.Taxonomy.detail;
+        (match ra.Core.Pipeline.evidence with
+        | Some e -> print_string (Core.Evidence.render e)
+        | None -> ());
+        print_newline ())
+      a.Core.Pipeline.races;
+    List.iter
+      (fun (race, e) -> Fmt.pr "unclassified: %a (%s)@." D.Report.pp_race race e)
+      a.Core.Pipeline.errors;
+    let harmful =
+      List.exists
+        (fun ra ->
+          ra.Core.Pipeline.verdict.Core.Taxonomy.category = Core.Taxonomy.Spec_violated)
+        a.Core.Pipeline.races
+    in
+    if harmful then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "classify"
+       ~doc:
+         "Detect every data race and classify it as specViol, outDiff, k-witness harmless or \
+          single-ordering.")
+    Term.(const classify $ file_arg $ seed_arg $ inputs_arg $ mp_arg $ ma_arg $ sym_arg)
+
+(* --- weakmem --- *)
+
+let weakmem_cmd =
+  let depth_arg =
+    Arg.(value & opt int 2
+         & info [ "depth" ] ~docv:"N" ~doc:"How many overwritten values a racy load may observe.")
+  in
+  let weakmem file depth =
+    let prog = or_die (load file) in
+    let sc = Core.Weakmem.explore ~depth:0 prog in
+    let weak = Core.Weakmem.explore ~depth prog in
+    Printf.printf "sequential consistency: %d executions, %d violation(s)\n"
+      sc.Core.Weakmem.executions
+      (List.length sc.Core.Weakmem.crashes);
+    Printf.printf "adversarial memory:     %d executions, %d violation(s)%s\n"
+      weak.Core.Weakmem.executions
+      (List.length weak.Core.Weakmem.crashes)
+      (if weak.Core.Weakmem.truncated then " (truncated)" else "");
+    List.iter
+      (fun (c, step) -> Fmt.pr "  at step %d: %a@." step V.Crash.pp c)
+      weak.Core.Weakmem.crashes;
+    if List.length weak.Core.Weakmem.crashes > List.length sc.Core.Weakmem.crashes then 1
+    else 0
+  in
+  Cmd.v
+    (Cmd.info "weakmem"
+       ~doc:
+         "Check whether the program has violations reachable only under a weaker memory \
+          consistency model (adversarial memory).")
+    Term.(const weakmem $ file_arg $ depth_arg)
+
+(* --- suite --- *)
+
+let suite_cmd =
+  let suite () =
+    List.iter
+      (fun (w : Portend_workloads.Registry.workload) ->
+        let prog = Portend_lang.Compile.compile w.Portend_workloads.Registry.w_prog in
+        let a =
+          Core.Pipeline.analyze ~seed:w.Portend_workloads.Registry.w_seed
+            ~inputs:w.Portend_workloads.Registry.w_inputs prog
+        in
+        Fmt.pr "%a@." Core.Pipeline.pp_summary a)
+      Portend_workloads.Suite.all;
+    0
+  in
+  Cmd.v
+    (Cmd.info "suite" ~doc:"Classify every race in the paper's evaluation suite.")
+    Term.(const suite $ const ())
+
+(* --- dump --- *)
+
+let dump_cmd =
+  let dump file =
+    let prog = or_die (load file) in
+    Fmt.pr "%a@." Portend_lang.Bytecode.pp prog;
+    0
+  in
+  Cmd.v
+    (Cmd.info "dump" ~doc:"Pretty-print the compiled bytecode of a program.")
+    Term.(const dump $ file_arg)
+
+let () =
+  let doc = "data race detection and consequence-based classification (Portend, ASPLOS'12)" in
+  let info = Cmd.info "portend" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ run_cmd; detect_cmd; classify_cmd; weakmem_cmd; suite_cmd; dump_cmd ]))

@@ -1,0 +1,1 @@
+examples/adhoc_tour.ml: Builder Compile Fmt List Pipeline Portend_core Portend_detect Portend_lang Portend_vm Printf Taxonomy

@@ -1,0 +1,1 @@
+examples/from_source.ml: Fmt List Pipeline Portend_core Portend_detect Portend_lang Portend_vm Printf Taxonomy

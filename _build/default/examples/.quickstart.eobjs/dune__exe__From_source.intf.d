@@ -1,0 +1,1 @@
+examples/from_source.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Builder Compile Evidence Fmt List Pipeline Portend_core Portend_detect Portend_lang Portend_vm Pp Printf Taxonomy

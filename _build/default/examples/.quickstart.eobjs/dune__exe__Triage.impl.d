@@ -1,0 +1,1 @@
+examples/triage.ml: Array Evidence Fmt List Pipeline Portend_core Portend_detect Portend_lang Portend_vm Portend_workloads Printf Registry Suite Sys Taxonomy

@@ -1,0 +1,1 @@
+examples/weak_memory.ml: Builder Compile Fmt List Portend_core Portend_lang Portend_vm Printf Weakmem

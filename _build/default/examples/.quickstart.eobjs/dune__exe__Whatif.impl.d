@@ -1,0 +1,1 @@
+examples/whatif.ml: Evidence Fmt List Memcached_model Pipeline Portend_core Portend_detect Portend_lang Portend_vm Portend_workloads Printf Taxonomy

@@ -1,0 +1,76 @@
+(* A tour of ordering-related verdicts: the same producer/consumer skeleton
+   classified three ways depending on how the threads coordinate.
+
+   1. ad-hoc busy-wait flag        -> the data race is "single ordering"
+   2. no coordination at all       -> "output differs"
+   3. flag that nobody ever sets   -> "spec violated" (hang: the alternate
+                                       ordering spins forever)
+
+       dune exec examples/adhoc_tour.exe *)
+
+open Portend_lang
+open Portend_core
+module D = Portend_detect
+
+let skeleton ~producer_body ~consumer_body =
+  let open Builder in
+  program "tour"
+    ~globals:[ ("data", 0); ("ready", 0) ]
+    [ func "producer" [] producer_body;
+      func "consumer" [] consumer_body;
+      func "main" []
+        [ spawn ~into:"a" "producer" [];
+          spawn ~into:"b" "consumer" [];
+          join (l "a");
+          join (l "b")
+        ]
+    ]
+
+let adhoc =
+  let open Builder in
+  skeleton
+    ~producer_body:[ setg "data" (i 42); setg "ready" (i 1) ]
+    ~consumer_body:[ while_ (g "ready" == i 0) [ yield ]; output [ g "data" ] ]
+
+let uncoordinated =
+  let open Builder in
+  skeleton
+    ~producer_body:[ setg "data" (i 42) ]
+    ~consumer_body:[ output [ g "data" ] ]
+
+let broken_flag =
+  let open Builder in
+  (* the producer publishes data but forgets the flag entirely; consuming
+     first means spinning on a condition no live thread will ever change *)
+  skeleton
+    ~producer_body:[ setg "ready" (i 1); setg "data" (i 42) ]
+    ~consumer_body:
+      [ var "seen" (g "data");
+        while_ (l "seen" == i 0) [ yield ];
+        output [ l "seen" ]
+      ]
+
+let show title ast =
+  Printf.printf "\n=== %s ===\n" title;
+  let prog = Compile.compile ast in
+  let rec go seed =
+    if seed > 64 then print_endline "  (no completing recording)"
+    else
+      let a = Pipeline.analyze ~seed prog in
+      match a.Pipeline.record.Portend_vm.Run.stop with
+      | Portend_vm.Run.Halted when a.Pipeline.races <> [] ->
+        List.iter
+          (fun ra ->
+            Fmt.pr "  race on %a -> %a (%s)@."
+              Portend_vm.Events.pp_loc ra.Pipeline.race.D.Report.r_loc
+              Taxonomy.pp_verdict ra.Pipeline.verdict
+              ra.Pipeline.verdict.Taxonomy.detail)
+          a.Pipeline.races
+      | _ -> go (seed + 1)
+  in
+  go 1
+
+let () =
+  show "data guarded by an ad-hoc flag (Fig 8d)" adhoc;
+  show "no coordination: the printed value depends on the schedule" uncoordinated;
+  show "spin on a variable nobody will set: the alternate ordering hangs" broken_flag

@@ -1,0 +1,62 @@
+(* Classify races in a program written in Racelang concrete syntax — the
+   same path the `portend` CLI uses for .rl files.
+
+       dune exec examples/from_source.exe *)
+
+open Portend_core
+module D = Portend_detect
+
+let source =
+  {|
+program spooler
+
+// A print spooler: submitters enqueue jobs under the lock, but the job
+// counter shown on the console is read without it.
+
+global jobs_done = 0
+global queue_len = 0
+array queue[8] = 0
+mutex q
+
+fn submitter(k) {
+  lock q;
+  var slot = queue_len;
+  if (slot < 8) {
+    queue[slot] = k;
+    queue_len = slot + 1;
+  }
+  unlock q;
+  jobs_done = jobs_done + 1;     // racy statistics update
+}
+
+fn console() {
+  output jobs_done;              // racy read: printed total depends on timing
+}
+
+fn main() {
+  var a = spawn submitter(3);
+  var b = spawn submitter(4);
+  var c = spawn console();
+  join a;
+  join b;
+  join c;
+}
+|}
+
+let () =
+  let prog = Portend_lang.Parser.compile_string source in
+  let rec go seed =
+    if seed > 64 then failwith "no completing recording"
+    else
+      let a = Pipeline.analyze ~seed prog in
+      match a.Pipeline.record.Portend_vm.Run.stop with
+      | Portend_vm.Run.Halted when a.Pipeline.races <> [] -> a
+      | _ -> go (seed + 1)
+  in
+  let a = go 1 in
+  Printf.printf "%d distinct race(s) in the spooler\n" (List.length a.Pipeline.races);
+  List.iter
+    (fun ra ->
+      Fmt.pr "%a@.  -> %a (%s)@." D.Report.pp_race ra.Pipeline.race Taxonomy.pp_verdict
+        ra.Pipeline.verdict ra.Pipeline.verdict.Taxonomy.detail)
+    a.Pipeline.races

@@ -1,0 +1,69 @@
+(* Automated bug triage (§1, §5.1): run Portend over a batch of programs —
+   here, the paper's workload suite — and produce a priority-ordered triage
+   report: definitely-harmful races first, output-visible races next with
+   the exact difference, then the harmless tail a developer can ignore.
+
+       dune exec examples/triage.exe            # full suite
+       dune exec examples/triage.exe pbzip2     # one program *)
+
+open Portend_core
+open Portend_workloads
+module D = Portend_detect
+
+let priority v =
+  match v.Taxonomy.category with
+  | Taxonomy.Spec_violated -> 0
+  | Taxonomy.Output_differs -> 1
+  | Taxonomy.K_witness_harmless -> 2
+  | Taxonomy.Single_ordering -> 3
+
+let () =
+  let wanted = if Array.length Sys.argv > 1 then Some Sys.argv.(1) else None in
+  let workloads =
+    match wanted with
+    | Some name -> (
+      match Suite.find name with
+      | Some w -> [ w ]
+      | None ->
+        Printf.eprintf "unknown workload %s\n" name;
+        exit 1)
+    | None -> Suite.all
+  in
+  let all =
+    List.concat_map
+      (fun (w : Registry.workload) ->
+        let prog = Portend_lang.Compile.compile w.Registry.w_prog in
+        let a = Pipeline.analyze ~seed:w.Registry.w_seed ~inputs:w.Registry.w_inputs prog in
+        List.map (fun ra -> (w.Registry.w_name, ra)) a.Pipeline.races)
+      workloads
+  in
+  let sorted =
+    List.stable_sort
+      (fun (_, a) (_, b) ->
+        compare (priority a.Pipeline.verdict) (priority b.Pipeline.verdict))
+      all
+  in
+  Printf.printf "triaged %d distinct data races\n" (List.length sorted);
+  let shown = ref "" in
+  List.iter
+    (fun (app, ra) ->
+      let v = ra.Pipeline.verdict in
+      let band = Taxonomy.category_to_string v.Taxonomy.category in
+      if band <> !shown then begin
+        shown := band;
+        Printf.printf "\n--- %s ---\n" band
+      end;
+      Fmt.pr "[%s] %a -> %a@." app Portend_vm.Events.pp_loc ra.Pipeline.race.D.Report.r_loc
+        Taxonomy.pp_verdict v;
+      if v.Taxonomy.category = Taxonomy.Spec_violated then
+        match ra.Pipeline.evidence with
+        | Some e -> print_string (Evidence.render e)
+        | None -> ())
+    sorted;
+  let harmful =
+    List.length
+      (List.filter (fun (_, ra) -> Taxonomy.is_harmful ra.Pipeline.verdict.Taxonomy.category) all)
+  in
+  Printf.printf "\nsummary: %d races demand immediate attention, %d are candidate no-fixes\n"
+    harmful
+    (List.length all - harmful)

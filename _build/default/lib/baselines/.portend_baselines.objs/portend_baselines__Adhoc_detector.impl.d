@@ -1,0 +1,1 @@
+lib/baselines/adhoc_detector.ml: Portend_core Portend_detect Portend_lang Portend_vm

@@ -1,0 +1,1 @@
+lib/baselines/heuristic.ml: Array Portend_detect Portend_lang Portend_solver Portend_vm

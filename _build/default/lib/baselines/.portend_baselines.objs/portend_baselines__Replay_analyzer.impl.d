@@ -1,0 +1,1 @@
+lib/baselines/replay_analyzer.ml: List Portend_core Portend_detect Portend_lang Portend_vm

@@ -1,0 +1,36 @@
+(** Ad-hoc-synchronization-only classifiers — the Helgrind+ [27] and
+    Ad-Hoc-Detector [55] family the paper compares against in Table 5.
+
+    These tools recognize busy-wait synchronization and prune the races it
+    orders; they classify nothing else.  Following §5.4 we grant them ideal
+    recognition (no false positives): a race is “single ordering” exactly
+    when the consuming thread cannot reach its access without the other
+    thread running — which we test dynamically, like Portend's own
+    enforcement, but that is the {e only} analysis they perform. *)
+
+module V = Portend_vm
+module R = Portend_detect.Report
+module Core = Portend_core
+
+type verdict =
+  | Adhoc_synchronized  (** maps to “single ordering” *)
+  | Not_classified
+
+let classify (prog : Portend_lang.Bytecode.t) (trace : V.Trace.t) (race : R.race) :
+    (verdict, string) result =
+  let static = Portend_lang.Static.analyze prog in
+  match Core.Single.analyze Core.Config.default ~static prog trace race with
+  | Error e -> Error e
+  | Ok single -> (
+    match single.Core.Single.classification with
+    | Core.Single.CSingleOrd _ -> Ok Adhoc_synchronized
+    | Core.Single.CSpecViol _ | Core.Single.COutDiff _ | Core.Single.COutSame ->
+      Ok Not_classified)
+
+let as_category = function
+  | Adhoc_synchronized -> Some Core.Taxonomy.Single_ordering
+  | Not_classified -> None
+
+let verdict_to_string = function
+  | Adhoc_synchronized -> "ad-hoc synchronization (single ordering)"
+  | Not_classified -> "not classified"

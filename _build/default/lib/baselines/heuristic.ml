@@ -1,0 +1,60 @@
+(** A DataCollider-style heuristic pruner [29]: recognizes syntactic
+    patterns of likely-harmless races without executing anything.
+
+    The paper does not include DataCollider in Table 5 (its heuristics
+    rarely fired on these benchmarks); we implement the classifier anyway so
+    the test suite can demonstrate both its strengths (cheap, catches
+    redundant writes) and the misclassifications heuristics invite (a
+    counter update is not always benign). *)
+
+module B = Portend_lang.Bytecode
+module R = Portend_detect.Report
+
+type verdict =
+  | Benign_redundant_write  (** both sites store the same compile-time constant *)
+  | Benign_counter_update  (** the write site is an increment/decrement *)
+  | Unknown
+
+(* The store instruction at a site, if any. *)
+let store_at (prog : B.t) (site : Portend_vm.Events.site) =
+  match B.find_func prog site.Portend_vm.Events.func with
+  | None -> None
+  | Some f ->
+    let pc = site.Portend_vm.Events.pc in
+    if pc < Array.length f.B.code then
+      match f.B.code.(pc) with
+      | B.IStoreG (v, op) -> Some (v, op)
+      | _ -> None
+    else None
+
+(* Does the function body look like [v := v +/- constant] feeding this
+   store?  A one-instruction lookbehind is exactly the kind of shallow
+   pattern heuristic classifiers use. *)
+let is_counter_update (prog : B.t) (site : Portend_vm.Events.site) =
+  match B.find_func prog site.Portend_vm.Events.func with
+  | None -> false
+  | Some f -> (
+    let pc = site.Portend_vm.Events.pc in
+    pc >= 2
+    &&
+    match (f.B.code.(pc), f.B.code.(pc - 1), f.B.code.(pc - 2)) with
+    | B.IStoreG (v, B.Reg r), B.IBin (r', op, _, _), B.ILoadG (_, v') ->
+      r = r' && v = v' && (op = Portend_solver.Expr.Add || op = Portend_solver.Expr.Sub)
+    | _ -> false)
+
+let classify (prog : B.t) (race : R.race) : verdict =
+  let s1 = store_at prog race.R.first.R.a_site in
+  let s2 = store_at prog race.R.second.R.a_site in
+  match (s1, s2) with
+  | Some (v1, B.Imm c1), Some (v2, B.Imm c2) when v1 = v2 && c1 = c2 -> Benign_redundant_write
+  | _ ->
+    if
+      is_counter_update prog race.R.first.R.a_site
+      || is_counter_update prog race.R.second.R.a_site
+    then Benign_counter_update
+    else Unknown
+
+let verdict_to_string = function
+  | Benign_redundant_write -> "benign (redundant write)"
+  | Benign_counter_update -> "benign (counter update)"
+  | Unknown -> "unknown"

@@ -1,0 +1,120 @@
+(** Record/Replay-Analyzer [45], the state-of-the-art replay-based race
+    classifier the paper compares against (§5.4, Table 5).
+
+    It re-runs the recorded execution, enforces the alternate ordering of
+    the racing accesses, and compares the {e concrete post-race state} of
+    the primary and alternate interleavings.  Two deliberate weaknesses
+    distinguish it from Portend:
+
+    - it does not tolerate replay failures: if the alternate ordering cannot
+      be enforced (ad-hoc synchronization, divergence), the race is
+      conservatively classified {e likely harmful} — the source of its 74%
+      false-positive rate on harmful races;
+    - it compares memory state instead of (symbolic) output, so benign
+      state differences count as harmful, and input-dependent differences
+      beyond the recorded input are missed. *)
+
+module V = Portend_vm
+module R = Portend_detect.Report
+module Core = Portend_core
+
+type verdict =
+  | Likely_harmful of string
+  | Likely_harmless
+
+(* Strict enforcement: only the second racing thread may run (no third-party
+   progress, no site divergence), exactly as a replayer that demands the
+   recorded instruction stream. *)
+let enforce_strict ~budget ~race ~(pre_race : V.State.t) ~occurrence =
+  let ti = race.R.first.R.a_tid and tj = race.R.second.R.a_tid in
+  let site2 = race.R.second.R.a_site in
+  let loc_base = R.base_loc race.R.r_loc in
+  let abs_budget = pre_race.V.State.steps + budget in
+  let rec go st seen =
+    if st.V.State.steps >= abs_budget then Error "replay timeout"
+    else if V.State.thread_finished st tj then Error "racing thread exited before its access"
+    else
+      let runnable = V.State.runnable st in
+      let next =
+        if List.mem tj runnable then Some tj
+        else List.find_opt (fun t -> t <> ti) runnable
+      in
+      match next with
+      | None -> Error "racing thread blocked"
+      | Some tid -> (
+      match V.Run.slice st tid with
+      | [ sl ] -> (
+        let seen =
+          if
+            List.exists
+              (function
+                | V.Events.Access { tid; site; loc; _ } ->
+                  tid = tj && site = site2 && R.base_loc loc = loc_base
+                | _ -> false)
+              sl.V.Run.s_events
+          then seen + 1
+          else seen
+        in
+        match sl.V.Run.s_end with
+        | V.Run.End_crashed _ -> Error "alternate crashed during enforcement"
+        | V.Run.End_decision | V.Run.End_paused ->
+          if seen >= occurrence then Ok sl.V.Run.s_state else go sl.V.Run.s_state seen)
+      | _ -> Error "fork during replay")
+  in
+  match go pre_race 0 with
+  | Error e -> Error e
+  | Ok st -> (
+    (* let ti perform its delayed access *)
+    let rec finish st =
+      if st.V.State.steps >= abs_budget then Error "replay timeout"
+      else if not (List.mem ti (V.State.runnable st)) then Error "first thread blocked"
+      else
+        match V.Run.slice st ti with
+        | [ sl ] -> (
+          let hit =
+            List.exists
+              (function
+                | V.Events.Access { tid; loc; _ } -> tid = ti && R.base_loc loc = loc_base
+                | _ -> false)
+              sl.V.Run.s_events
+          in
+          match sl.V.Run.s_end with
+          | V.Run.End_crashed _ -> Error "alternate crashed during enforcement"
+          | V.Run.End_decision | V.Run.End_paused ->
+            if hit then Ok sl.V.Run.s_state else finish sl.V.Run.s_state)
+        | _ -> Error "fork during replay"
+    in
+    finish st)
+
+(** Classify [race] the Record/Replay-Analyzer way. *)
+let classify (prog : Portend_lang.Bytecode.t) (trace : V.Trace.t) (race : R.race) :
+    (verdict, string) result =
+  match Core.Locate.checkpoints prog trace race with
+  | Error e -> Error e
+  | Ok ckpts -> (
+    let budget = 5 * max 1 ckpts.Core.Locate.primary_steps in
+    let occurrence = Core.Locate.second_access_occurrence ckpts race in
+    match enforce_strict ~budget ~race ~pre_race:ckpts.Core.Locate.pre_race ~occurrence with
+    | Error why -> Ok (Likely_harmful ("replay failure: " ^ why))
+    | Ok post_alternate ->
+      if Core.Compare.states_equal ckpts.Core.Locate.post_race post_alternate then
+        Ok Likely_harmless
+      else
+        Ok
+          (Likely_harmful
+             (match
+                Core.Compare.first_difference ckpts.Core.Locate.post_race post_alternate
+              with
+             | Some d -> "post-race states differ: " ^ d
+             | None -> "post-race states differ")))
+
+(** The analyzer's verdicts projected onto the four-category taxonomy for
+    accuracy scoring: harmful maps to specViol, harmless to k-witness; it
+    has no outDiff or singleOrd classes (Table 5 “not-classified”). *)
+let as_category = function
+  | Likely_harmful _ -> Core.Taxonomy.Spec_violated
+  | Likely_harmless -> Core.Taxonomy.K_witness_harmless
+
+let verdict_to_string = function
+  | Likely_harmful why -> "likely harmful (" ^ why ^ ")"
+  | Likely_harmless -> "likely harmless"

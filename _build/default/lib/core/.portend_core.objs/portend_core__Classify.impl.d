@@ -1,0 +1,1 @@
+lib/core/classify.ml: Config Enforce Evidence Fmt List Locate Multipath Portend_detect Portend_lang Portend_util Portend_vm Printf Single Symout Taxonomy

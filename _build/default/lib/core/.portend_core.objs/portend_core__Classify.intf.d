@@ -1,0 +1,1 @@
+lib/core/classify.mli: Config Evidence Portend_detect Portend_lang Portend_vm Taxonomy

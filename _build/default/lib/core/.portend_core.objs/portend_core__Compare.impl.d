@@ -1,0 +1,1 @@
+lib/core/compare.ml: Fmt Imap Iset Portend_util Portend_vm Printf Smap Symout

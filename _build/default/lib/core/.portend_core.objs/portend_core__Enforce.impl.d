@@ -1,0 +1,1 @@
+lib/core/enforce.ml: List Loopcheck Portend_detect Portend_lang Portend_vm

@@ -1,0 +1,1 @@
+lib/core/evidence.ml: Buffer Fmt List Portend_detect Portend_vm Printf String Symout Taxonomy

@@ -1,0 +1,1 @@
+lib/core/evidence.mli: Portend_detect Portend_vm Symout Taxonomy

@@ -1,0 +1,1 @@
+lib/core/locate.ml: List Portend_detect Portend_lang Portend_util Portend_vm Printf

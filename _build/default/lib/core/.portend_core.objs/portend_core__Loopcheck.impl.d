@@ -1,0 +1,1 @@
+lib/core/loopcheck.ml: Hashtbl List Option Portend_lang Portend_vm

@@ -1,0 +1,1 @@
+lib/core/multipath.ml: Array Config List Locate Portend_detect Portend_lang Portend_solver Portend_util Portend_vm

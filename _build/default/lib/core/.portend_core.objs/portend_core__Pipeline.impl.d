@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Classify Config Evidence Fmt Hashtbl List Portend_detect Portend_lang Portend_util Portend_vm Taxonomy

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Config Evidence Format Portend_detect Portend_lang Portend_vm Taxonomy

@@ -1,0 +1,1 @@
+lib/core/single.ml: Compare Config Enforce Fmt List Locate Loopcheck Portend_detect Portend_lang Portend_vm Printf String Symout

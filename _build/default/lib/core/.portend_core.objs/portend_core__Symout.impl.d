@@ -1,0 +1,1 @@
+lib/core/symout.ml: Fmt List Portend_solver Portend_vm Printf Stdlib String

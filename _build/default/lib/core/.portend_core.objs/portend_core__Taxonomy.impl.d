@@ -1,0 +1,1 @@
+lib/core/taxonomy.ml: Fmt Portend_vm Printf

@@ -1,0 +1,1 @@
+lib/core/weakmem.ml: List Portend_lang Portend_vm

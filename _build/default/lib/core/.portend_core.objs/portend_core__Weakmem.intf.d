@@ -1,0 +1,1 @@
+lib/core/weakmem.mli: Portend_lang Portend_vm

@@ -1,0 +1,207 @@
+(** The full classifier: Algorithm 1 plus multi-path and multi-schedule
+    analysis with symbolic output comparison (§3.2–§3.5). *)
+
+module V = Portend_vm
+module R = Portend_detect.Report
+
+type outcome = {
+  verdict : Taxonomy.verdict;
+  evidence : Evidence.t option;
+}
+
+let drop n xs = List.filteri (fun i _ -> i >= n) xs
+
+(* A deterministic per-(primary, alternate) seed for schedule randomization. *)
+let alt_seed cfg i j = (cfg.Config.seed * 1_000_003) + (i * 101) + j
+
+let crash_of_stop = function
+  | V.Run.Crashed c -> Some c
+  | V.Run.Deadlocked tids -> Some (V.Crash.Deadlock tids)
+  | V.Run.Halted | V.Run.Out_of_budget | V.Run.Diverged _ | V.Run.Forked -> None
+
+(* Run the multi-path multi-schedule stage for a race whose single-stage
+   verdict was outSame.  Returns the refined outcome. *)
+let multipath_stage cfg ~static prog trace (single : Single.t) race : outcome =
+  let ckpts = single.Single.ckpts in
+  let primaries = Multipath.explore cfg prog trace ckpts race in
+  let k_base = { Taxonomy.category = Taxonomy.K_witness_harmless;
+                 k = 1;
+                 consequence = None;
+                 states_differ = single.Single.states_differ;
+                 detail = "primary and alternate outputs matched" } in
+  if primaries = [] then
+    { verdict = { k_base with detail = "no additional primary paths found; k = 1 (single stage)" };
+      evidence = None
+    }
+  else begin
+    let witnesses = ref 1 (* the single-pre/single-post pair already matched *) in
+    let result = ref None in
+    let rec consider_primary i (p : Multipath.primary) =
+      if !result <> None then ()
+      else
+        match crash_of_stop p.Multipath.p_stop with
+        | Some c ->
+          (* A primary path (same schedule prefix, different inputs) violates
+             the specification. *)
+          result :=
+            Some
+              { verdict =
+                  Taxonomy.verdict ~consequence:(V.Crash.consequence c)
+                    ~states_differ:single.Single.states_differ
+                    ~detail:("another primary path: " ^ V.Crash.to_string c)
+                    Taxonomy.Spec_violated;
+                evidence =
+                  Some
+                    (Evidence.make ~race ~category:Taxonomy.Spec_violated ~crash:c
+                       ~inputs:(Portend_util.Maps.Smap.bindings p.Multipath.p_model)
+                       ~decisions:ckpts.Locate.decisions ~d1:ckpts.Locate.d1 ~d2:ckpts.Locate.d2
+                       ())
+              }
+        | None -> (
+          match
+            Locate.replay_to_decision prog ~model:p.Multipath.p_model
+              ~decisions:ckpts.Locate.decisions ~d:ckpts.Locate.d1
+          with
+          | Error _ -> () (* model failed to reach the race; lose these witnesses *)
+          | Ok pre_race -> consider_alternates i p pre_race)
+    and consider_alternates i (p : Multipath.primary) pre_race =
+      let budget = cfg.Config.alternate_budget_factor * max 1 ckpts.Locate.primary_steps in
+      let occurrence = p.Multipath.p_occ2 in
+      let n_alts = if cfg.Config.enable_multischedule then cfg.Config.ma else 1 in
+      for j = 0 to n_alts - 1 do
+        if !result = None then begin
+          let cont =
+            if cfg.Config.enable_multischedule then V.Sched.random ~seed:(alt_seed cfg i j)
+            else
+              V.Sched.of_decisions_tolerant
+                (drop (ckpts.Locate.d1 + 1) ckpts.Locate.decisions)
+                ~fallback:V.Sched.round_robin
+          in
+          let alt =
+            Enforce.alternate ~static ~budget ~cont ~occurrence ?site2:p.Multipath.p_site2 ~race
+              ~pre_race ()
+          in
+          match crash_of_stop alt.Enforce.stop with
+          | Some c ->
+            result :=
+              Some
+                { verdict =
+                    Taxonomy.verdict ~consequence:(V.Crash.consequence c)
+                      ~states_differ:single.Single.states_differ
+                      ~detail:("alternate execution: " ^ V.Crash.to_string c)
+                      Taxonomy.Spec_violated;
+                  evidence =
+                    Some
+                      (Evidence.make ~race ~category:Taxonomy.Spec_violated ~crash:c
+                         ~inputs:(Portend_util.Maps.Smap.bindings p.Multipath.p_model)
+                         ~decisions:ckpts.Locate.decisions ~d1:ckpts.Locate.d1
+                         ~d2:ckpts.Locate.d2
+                         ~notes:
+                           [ Printf.sprintf "alternate schedule seed %d" (alt_seed cfg i j) ]
+                         ())
+                }
+          | None -> (
+            match alt.Enforce.stop with
+            | V.Run.Halted -> (
+              let alt_outputs = V.State.outputs alt.Enforce.final in
+              let cmp =
+                if cfg.Config.enable_symbolic_output then
+                  Symout.matches ~ranges:p.Multipath.p_ranges ~path_cond:p.Multipath.p_path
+                    ~primary:p.Multipath.p_outputs ~alternate:alt_outputs
+                else if Symout.concrete_equal p.Multipath.p_outputs alt_outputs then Ok ()
+                else
+                  Error
+                    { Symout.m_index = -1;
+                      m_site = None;
+                      m_primary = "concrete outputs";
+                      m_alternate = "differ"
+                    }
+              in
+              match cmp with
+              | Ok () -> incr witnesses
+              | Error m ->
+                result :=
+                  Some
+                    { verdict =
+                        Taxonomy.verdict ~states_differ:single.Single.states_differ
+                          ~detail:(Fmt.str "%a" Symout.pp_mismatch m)
+                          Taxonomy.Output_differs;
+                      evidence =
+                        Some
+                          (Evidence.make ~race ~category:Taxonomy.Output_differs ~mismatch:m
+                             ~inputs:(Portend_util.Maps.Smap.bindings p.Multipath.p_model)
+                             ~decisions:ckpts.Locate.decisions ~d1:ckpts.Locate.d1
+                             ~d2:ckpts.Locate.d2 ())
+                    })
+            | V.Run.Out_of_budget | V.Run.Diverged _ | V.Run.Forked
+            | V.Run.Crashed _ | V.Run.Deadlocked _ ->
+              (* enforcement failed for this pair; not a witness *)
+              ())
+        end
+      done
+    in
+    List.iteri consider_primary primaries;
+    match !result with
+    | Some r -> r
+    | None ->
+      { verdict = { k_base with k = !witnesses; detail = Printf.sprintf "%d path-schedule witnesses agree" !witnesses };
+        evidence = None
+      }
+  end
+
+(** Classify one (clustered) race report against a recorded trace. *)
+let classify ?(config = Config.default) (prog : Portend_lang.Bytecode.t) (trace : V.Trace.t)
+    (race : R.race) : (outcome, string) result =
+  let static = Portend_lang.Static.analyze prog in
+  match Single.analyze config ~static prog trace race with
+  | Error e -> Error e
+  | Ok single -> (
+    let states_differ = single.Single.states_differ in
+    let ckpts = single.Single.ckpts in
+    let ev ~category ?crash ?mismatch ?(notes = []) () =
+      Evidence.make ~race ~category ?crash ?mismatch
+        ~inputs:
+          (List.filter_map
+             (fun (k, v) -> match v with V.Value.Con n -> Some (k, n) | V.Value.Sym _ -> None)
+             (List.rev ckpts.Locate.primary_final.V.State.input_log))
+        ~decisions:ckpts.Locate.decisions ~d1:ckpts.Locate.d1 ~d2:ckpts.Locate.d2 ~notes ()
+    in
+    match single.Single.classification with
+    | Single.CSpecViol (consequence, why) ->
+      let crash =
+        match single.Single.alternate with
+        | Some a -> crash_of_stop a.Enforce.stop
+        | None -> None
+      in
+      Ok
+        { verdict =
+            Taxonomy.verdict ?consequence ~states_differ ~detail:why Taxonomy.Spec_violated;
+          evidence = Some (ev ~category:Taxonomy.Spec_violated ?crash ~notes:[ why ] ())
+        }
+    | Single.CSingleOrd why ->
+      Ok
+        { verdict = Taxonomy.verdict ~states_differ ~detail:why Taxonomy.Single_ordering;
+          evidence = None
+        }
+    | Single.COutDiff mismatch ->
+      Ok
+        { verdict =
+            Taxonomy.verdict ~states_differ
+              ~detail:
+                (match mismatch with
+                | Some m -> Fmt.str "%a" Symout.pp_mismatch m
+                | None -> "primary and alternate outputs differ")
+              Taxonomy.Output_differs;
+          evidence = Some (ev ~category:Taxonomy.Output_differs ?mismatch ())
+        }
+    | Single.COutSame ->
+      if config.Config.enable_multipath then
+        Ok (multipath_stage config ~static prog trace single race)
+      else
+        Ok
+          { verdict =
+              Taxonomy.verdict ~k:1 ~states_differ
+                ~detail:"single path and schedule agreed (multi-path disabled)"
+                Taxonomy.K_witness_harmless;
+            evidence = None
+          })

@@ -1,0 +1,23 @@
+(** The full classifier: Algorithm 1 plus multi-path and multi-schedule
+    analysis with symbolic output comparison (§3.2–§3.5). *)
+
+type outcome = {
+  verdict : Taxonomy.verdict;
+  evidence : Evidence.t option;
+      (** present for “spec violated” and “output differs” verdicts: the
+          replayable ingredients that demonstrate the consequence *)
+}
+
+(** Classify one (clustered) race report against a recorded trace.
+
+    Runs the single-pre/single-post analysis first; if that is inconclusive
+    (outputs matched), continues with multi-path exploration on symbolic
+    inputs and multi-schedule alternates, comparing outputs symbolically.
+    [Error] means the replay could not reproduce the race (e.g. a stale
+    trace). *)
+val classify :
+  ?config:Config.t ->
+  Portend_lang.Bytecode.t ->
+  Portend_vm.Trace.t ->
+  Portend_detect.Report.race ->
+  (outcome, string) result

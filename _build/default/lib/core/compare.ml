@@ -1,0 +1,61 @@
+(** Post-race concrete state comparison — the criterion Record/Replay-
+    Analyzer [45] classifies by, reimplemented both as a baseline and to fill
+    Table 3's “states same / states differ” columns.
+
+    Compares shared memory (globals and arrays) and the output log of two
+    states.  Thread-local registers of unrelated threads are deliberately
+    excluded, mirroring the paper's observation that address-level noise
+    makes raw comparison fragile — even so, §5.2 shows the criterion
+    mispredicts harmfulness on real programs. *)
+
+module V = Portend_vm
+open Portend_util.Maps
+
+let values_equal = V.Value.equal
+
+let arrays_equal (a : V.State.arr) (b : V.State.arr) =
+  a.V.State.len = b.V.State.len && a.V.State.freed = b.V.State.freed
+  && values_equal a.V.State.default b.V.State.default
+  &&
+  let cell m i = Imap.find_or ~default:m.V.State.default i m.V.State.cells in
+  let idxs =
+    Iset.union
+      (Iset.of_list (Imap.keys a.V.State.cells))
+      (Iset.of_list (Imap.keys b.V.State.cells))
+  in
+  Iset.for_all (fun i -> values_equal (cell a i) (cell b i)) idxs
+
+let outputs_equal a b = Symout.concrete_equal (V.State.outputs a) (V.State.outputs b)
+
+(** Shared-state equality of two machine states. *)
+let states_equal (a : V.State.t) (b : V.State.t) =
+  Smap.equal values_equal a.V.State.globals b.V.State.globals
+  && Smap.equal arrays_equal a.V.State.arrays b.V.State.arrays
+  && outputs_equal a b
+
+(** Human-readable first difference, for evidence reports. *)
+let first_difference (a : V.State.t) (b : V.State.t) : string option =
+  let globals =
+    Smap.fold
+      (fun k v acc ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          let w = Smap.find_or ~default:(V.Value.of_int 0) k b.V.State.globals in
+          if values_equal v w then None
+          else Some (Fmt.str "global %s: %a vs %a" k V.Value.pp v V.Value.pp w))
+      a.V.State.globals None
+  in
+  match globals with
+  | Some _ as d -> d
+  | None ->
+    Smap.fold
+      (fun k v acc ->
+        match acc with
+        | Some _ -> acc
+        | None -> (
+          match Smap.find_opt k b.V.State.arrays with
+          | Some w when arrays_equal v w -> None
+          | Some _ -> Some (Printf.sprintf "array %s differs" k)
+          | None -> Some (Printf.sprintf "array %s missing" k)))
+      a.V.State.arrays None

@@ -1,0 +1,60 @@
+(** Classifier configuration: the paper's exploration “dials” (§3.3) and the
+    feature toggles used for the Fig 7 ablation. *)
+
+type t = {
+  mp : int;  (** upper bound on primary paths explored (Mp) *)
+  ma : int;  (** alternate schedules per primary (Ma) *)
+  max_symbolic_inputs : int;  (** how many inputs are made symbolic *)
+  alternate_budget_factor : int;
+      (** alternate-enforcement timeout, as a multiple of the primary's
+          length (the paper uses 5×, §4) *)
+  run_budget : int;  (** absolute instruction budget per execution *)
+  state_cap : int;  (** cap on simultaneously-live symbolic states *)
+  enable_adhoc_detection : bool;
+      (** classify enforcement failures as singleOrd (vs. treating them as
+          potentially harmful, like Record/Replay-Analyzer does) *)
+  enable_multipath : bool;  (** explore multiple primary paths symbolically *)
+  enable_multischedule : bool;  (** randomize post-race alternate schedules *)
+  enable_symbolic_output : bool;
+      (** compare outputs symbolically (vs. concrete equality) *)
+  seed : int;  (** randomization seed for multi-schedule exploration *)
+}
+
+(** The paper's defaults: Mp = 5, Ma = 2, 2 symbolic inputs (§5). *)
+let default =
+  { mp = 5;
+    ma = 2;
+    max_symbolic_inputs = 2;
+    alternate_budget_factor = 5;
+    run_budget = 400_000;
+    state_cap = 128;
+    enable_adhoc_detection = true;
+    enable_multipath = true;
+    enable_multischedule = true;
+    enable_symbolic_output = true;
+    seed = 2012
+  }
+
+(** Fig 7's incremental configurations. *)
+let single_path =
+  { default with
+    enable_adhoc_detection = false;
+    enable_multipath = false;
+    enable_multischedule = false;
+    enable_symbolic_output = false
+  }
+
+let with_adhoc = { single_path with enable_adhoc_detection = true }
+let with_multipath = { with_adhoc with enable_multipath = true; enable_symbolic_output = true }
+let with_multischedule = { with_multipath with enable_multischedule = true }
+
+(** k as reported for “k-witness harmless” races: Mp × Ma (§3.4). *)
+let k t = t.mp * t.ma
+
+(** Scale Mp/Ma to reach a target k, splitting as evenly as the paper's
+    Mp × Ma factorization allows; used by the Fig 10 sweep. *)
+let with_k target t =
+  if target <= 1 then { t with mp = 1; ma = 1 }
+  else
+    let ma = if target mod 2 = 0 then 2 else 1 in
+    { t with ma; mp = max 1 (target / ma) }

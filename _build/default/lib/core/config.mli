@@ -1,0 +1,37 @@
+(** Classifier configuration: the paper's exploration “dials” (§3.3) and the
+    feature toggles used for the Fig 7 ablation. *)
+
+type t = {
+  mp : int;  (** upper bound on primary paths explored (Mp) *)
+  ma : int;  (** alternate schedules per primary (Ma) *)
+  max_symbolic_inputs : int;  (** how many inputs are made symbolic *)
+  alternate_budget_factor : int;
+      (** alternate-enforcement timeout, as a multiple of the primary's
+          length (the paper uses 5x, §4) *)
+  run_budget : int;  (** absolute instruction budget per execution *)
+  state_cap : int;  (** cap on simultaneously-live symbolic states *)
+  enable_adhoc_detection : bool;
+      (** classify enforcement failures as singleOrd (vs. treating them as
+          potentially harmful, like Record/Replay-Analyzer) *)
+  enable_multipath : bool;  (** explore multiple primary paths symbolically *)
+  enable_multischedule : bool;  (** randomize post-race alternate schedules *)
+  enable_symbolic_output : bool;
+      (** compare outputs symbolically (vs. concrete equality) *)
+  seed : int;  (** randomization seed for multi-schedule exploration *)
+}
+
+(** The paper's defaults: Mp = 5, Ma = 2, 2 symbolic inputs (§5). *)
+val default : t
+
+(** Fig 7's incremental configurations. *)
+val single_path : t
+
+val with_adhoc : t
+val with_multipath : t
+val with_multischedule : t
+
+(** k as reported for “k-witness harmless” races: Mp × Ma (§3.4). *)
+val k : t -> int
+
+(** Scale Mp/Ma to reach a target k (Fig 10 sweep). *)
+val with_k : int -> t -> t

@@ -1,0 +1,190 @@
+(** Alternate-ordering enforcement (Algorithm 1, lines 5–15).
+
+    From the pre-race checkpoint we preempt the thread that performed the
+    first racing access ([ti]) and drive the other racing thread ([tj])
+    toward its access.  Success yields the {e alternate} execution, which is
+    then run to completion under a continuation scheduler.  The three failure
+    modes map to the paper's cases: [tj] can only make progress if [ti] runs
+    (ad-hoc ordering), everyone blocks (deadlock), or the run spins past its
+    budget (ad-hoc synchronization vs. genuine infinite loop, discriminated
+    by {!Loopcheck}). *)
+
+module V = Portend_vm
+module R = Portend_detect.Report
+
+type failure =
+  | Blocked_by_peer  (** [tj] cannot reach its access unless [ti] runs *)
+  | Target_finished  (** [tj] finished without performing the access *)
+  | Spin_adhoc of int  (** timed out spinning on a flag another thread writes *)
+  | Spin_infinite of int  (** timed out in a loop nobody can exit *)
+
+type outcome = {
+  enforced : bool;  (** was the access order actually reversed? *)
+  failure : failure option;
+  stop : V.Run.stop;  (** how the alternate execution ended *)
+  final : V.State.t;
+  events : V.Events.t list;  (** chronological, from the pre-race point *)
+  post_access_state : V.State.t option;
+      (** the state immediately after both reversed accesses — what
+          Record/Replay-Analyzer compares against the primary's post-race
+          state *)
+}
+
+let base = R.base_loc
+
+let slice_accesses_loc ~tid ?site ~loc_base events =
+  List.exists
+    (function
+      | V.Events.Access { tid = t; site = s; loc; _ } ->
+        t = tid && base loc = loc_base
+        && (match site with None -> true | Some site -> s = site)
+      | _ -> false)
+    events
+
+(* Drive [target] toward its [occurrence]-th access on [loc_base], keeping
+   [suspended] parked.  Occurrence-based targeting is how the paper replays
+   precisely when an instruction executes many times (loops) before racing
+   (§3.1: the schedule trace carries absolute instruction counts).  Returns
+   (state, rev_events, verdict). *)
+type drive_end =
+  | Reached
+  | Drive_blocked
+  | Drive_finished
+  | Drive_crashed of V.Crash.t
+  | Drive_deadlock of int list
+  | Drive_timeout
+
+let drive ~budget ~suspended ~target ?site ~loc_base ~occurrence st rev_events =
+  let rec go st rev_events seen turn =
+    if st.V.State.steps >= budget then (st, rev_events, Drive_timeout)
+    else if V.State.thread_finished st target then (st, rev_events, Drive_finished)
+    else
+      let runnable = V.State.runnable st in
+      match runnable with
+      | [] ->
+        if V.State.all_finished st then (st, rev_events, Drive_finished)
+        else (st, rev_events, Drive_deadlock (V.State.live_tids st))
+      | _ -> (
+        (* Prefer the target, but interleave the other (non-suspended)
+           threads: only Ti is held back (§3.2), and a third thread may have
+           to make progress before Tj can reach its access at all. *)
+        let others = List.filter (fun t -> t <> suspended && t <> target) runnable in
+        let nth_other k = List.nth others (k mod List.length others) in
+        let pick =
+          if List.mem target runnable then
+            (* mostly the target; a sparse rotation of the others so that a
+               third thread can unblock it (e.g. publish a flag) without
+               perturbing quick enforcements *)
+            if others = [] || turn mod 4 <> 3 then Some target
+            else Some (nth_other (turn / 4))
+          else if others = [] then None
+          else Some (nth_other turn)
+        in
+        match pick with
+        | None -> (st, rev_events, Drive_blocked)
+        | Some tid -> (
+          match V.Run.slice st tid with
+          | [ sl ] -> (
+            let rev_events = List.rev_append sl.V.Run.s_events rev_events in
+            let seen =
+              if tid = target && slice_accesses_loc ~tid:target ?site ~loc_base sl.V.Run.s_events
+              then seen + 1
+              else seen
+            in
+            match sl.V.Run.s_end with
+            | V.Run.End_crashed c -> (sl.V.Run.s_state, rev_events, Drive_crashed c)
+            | V.Run.End_decision | V.Run.End_paused ->
+              if seen >= occurrence then (sl.V.Run.s_state, rev_events, Reached)
+              else go sl.V.Run.s_state rev_events seen (turn + 1))
+          | _ ->
+            (* Alternate executions are fully concrete; a fork here would be
+               an internal inconsistency.  Fail soft. *)
+            (st, rev_events, Drive_blocked)))
+  in
+  go st rev_events 0 0
+
+let alternate ~(static : Portend_lang.Static.t) ~budget ~(cont : V.Sched.t) ?(occurrence = 1)
+    ?site2 ~(race : R.race) ~(pre_race : V.State.t) () : outcome =
+  let ti = race.R.first.R.a_tid and tj = race.R.second.R.a_tid in
+  let loc_base = base race.R.r_loc in
+  (* The second access is identified precisely: same thread, same program
+     counter (unless a divergent-path site override is given), counted to the
+     right dynamic occurrence.  A thread that can only reach *other* accesses
+     to the location (e.g. spin-loop reads) does not satisfy enforcement. *)
+  let site2 = match site2 with Some s -> s | None -> race.R.second.R.a_site in
+  let abs_budget = pre_race.V.State.steps + budget in
+  let fail ?spin st rev_events stop =
+    let events = List.rev rev_events in
+    let failure =
+      match spin with
+      | Some tid ->
+        if Loopcheck.is_infinite_loop ~static ~state:st ~events ~spinning:tid then
+          Some (Spin_infinite tid)
+        else Some (Spin_adhoc tid)
+      | None -> None
+    in
+    { enforced = false; failure; stop; final = st; events; post_access_state = None }
+  in
+  (* Phase A: tj first, through to the racy access's dynamic occurrence. *)
+  match drive ~budget:abs_budget ~suspended:ti ~target:tj ~site:site2 ~loc_base ~occurrence pre_race [] with
+  | st, rev_events, Drive_blocked ->
+    { (fail st rev_events (V.Run.Diverged "alternate ordering cannot be enforced")) with
+      failure = Some Blocked_by_peer
+    }
+  | st, rev_events, Drive_finished ->
+    { (fail st rev_events (V.Run.Diverged "racing thread finished without access")) with
+      failure = Some Target_finished
+    }
+  | st, rev_events, Drive_crashed c ->
+    { enforced = true;
+      failure = None;
+      stop = V.Run.Crashed c;
+      final = st;
+      events = List.rev rev_events;
+      post_access_state = None
+    }
+  | st, rev_events, Drive_deadlock tids ->
+    { enforced = false;
+      failure = None;
+      stop = V.Run.Deadlocked tids;
+      final = st;
+      events = List.rev rev_events;
+      post_access_state = None
+    }
+  | st, rev_events, Drive_timeout ->
+    let spinning = Loopcheck.spinning_thread ~state:st ~events:(List.rev rev_events) ~default:tj () in
+    fail ~spin:spinning st rev_events V.Run.Out_of_budget
+  | st, rev_events, Reached -> (
+    (* Phase B: now let ti perform its (delayed) access. *)
+    match drive ~budget:abs_budget ~suspended:(-1) ~target:ti ~loc_base ~occurrence:1 st rev_events with
+    | st, rev_events, Drive_crashed c ->
+      { enforced = true;
+        failure = None;
+        stop = V.Run.Crashed c;
+        final = st;
+        events = List.rev rev_events;
+        post_access_state = None
+      }
+    | st, rev_events, Drive_deadlock tids ->
+      { enforced = true;
+        failure = None;
+        stop = V.Run.Deadlocked tids;
+        final = st;
+        events = List.rev rev_events;
+        post_access_state = None
+      }
+    | st, rev_events, Drive_timeout ->
+      let spinning = Loopcheck.spinning_thread ~state:st ~events:(List.rev rev_events) ~default:ti () in
+      { (fail ~spin:spinning st rev_events V.Run.Out_of_budget) with enforced = true }
+    | st, rev_events, (Reached | Drive_blocked | Drive_finished) ->
+      (* Phase C: both accesses done (or ti diverged — tolerated); finish the
+         execution under the continuation scheduler. *)
+      let post_access_state = Some st in
+      let r = V.Run.run ~sched:cont ~budget:abs_budget st in
+      { enforced = true;
+        failure = None;
+        stop = r.V.Run.stop;
+        final = r.V.Run.final;
+        events = List.rev_append rev_events r.V.Run.events;
+        post_access_state
+      })

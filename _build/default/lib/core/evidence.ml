@@ -1,0 +1,59 @@
+(** Portend's debugging-aid output (§3.6, Fig 6): a textual report plus the
+    replayable ingredients (inputs and schedule) that reproduce a harmful
+    race's consequences or an output difference. *)
+
+module V = Portend_vm
+module R = Portend_detect.Report
+
+type t = {
+  e_race : R.race;
+  e_category : Taxonomy.category;
+  e_crash : V.Crash.t option;  (** the observed violation, for specViol *)
+  e_inputs : (string * int) list;  (** program inputs that reproduce it *)
+  e_decisions : int list;  (** schedule prefix up to the race reversal *)
+  e_d1 : int;
+  e_d2 : int;
+  e_mismatch : Symout.mismatch option;  (** for outDiff *)
+  e_notes : string list;
+}
+
+let make ~race ~category ?crash ?(inputs = []) ?(decisions = []) ?(d1 = -1) ?(d2 = -1) ?mismatch
+    ?(notes = []) () =
+  { e_race = race;
+    e_category = category;
+    e_crash = crash;
+    e_inputs = inputs;
+    e_decisions = decisions;
+    e_d1 = d1;
+    e_d2 = d2;
+    e_mismatch = mismatch;
+    e_notes = notes
+  }
+
+(** Render a Fig 6-style report. *)
+let render (e : t) : string =
+  let buf = Buffer.create 256 in
+  let race = e.e_race in
+  let pr fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  pr "Data race during access to: %s" (Fmt.str "%a" V.Events.pp_loc race.R.r_loc);
+  pr "  current thread id: %d: %s" race.R.second.R.a_tid
+    (Fmt.str "%a" V.Events.pp_kind race.R.second.R.a_kind);
+  pr "  racing thread id: %d: %s" race.R.first.R.a_tid
+    (Fmt.str "%a" V.Events.pp_kind race.R.first.R.a_kind);
+  pr "  current thread at: %s" (Fmt.str "%a" V.Events.pp_site race.R.second.R.a_site);
+  pr "  previous at: %s" (Fmt.str "%a" V.Events.pp_site race.R.first.R.a_site);
+  pr "  classification: %s" (Taxonomy.category_to_string e.e_category);
+  (match e.e_crash with
+  | Some c -> pr "  consequence: %s" (V.Crash.to_string c)
+  | None -> ());
+  (match e.e_mismatch with
+  | Some m -> pr "  output difference: %s" (Fmt.str "%a" Symout.pp_mismatch m)
+  | None -> ());
+  if e.e_inputs <> [] then
+    pr "  reproducing inputs: %s"
+      (String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) e.e_inputs));
+  if e.e_d1 >= 0 then
+    pr "  schedule: replay %d decisions, preempt T%d before its access, run T%d to its access"
+      e.e_d1 race.R.first.R.a_tid race.R.second.R.a_tid;
+  List.iter (fun n -> pr "  note: %s" n) e.e_notes;
+  Buffer.contents buf

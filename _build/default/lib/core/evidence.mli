@@ -1,0 +1,31 @@
+(** Portend's debugging-aid output (§3.6, Fig 6): a textual report plus the
+    replayable ingredients (inputs and schedule) that reproduce a harmful
+    race's consequences or an output difference. *)
+
+type t = {
+  e_race : Portend_detect.Report.race;
+  e_category : Taxonomy.category;
+  e_crash : Portend_vm.Crash.t option;  (** the observed violation *)
+  e_inputs : (string * int) list;  (** program inputs that reproduce it *)
+  e_decisions : int list;  (** schedule prefix up to the race reversal *)
+  e_d1 : int;
+  e_d2 : int;
+  e_mismatch : Symout.mismatch option;  (** for outDiff *)
+  e_notes : string list;
+}
+
+val make :
+  race:Portend_detect.Report.race ->
+  category:Taxonomy.category ->
+  ?crash:Portend_vm.Crash.t ->
+  ?inputs:(string * int) list ->
+  ?decisions:int list ->
+  ?d1:int ->
+  ?d2:int ->
+  ?mismatch:Symout.mismatch ->
+  ?notes:string list ->
+  unit ->
+  t
+
+(** Render a Fig 6-style report. *)
+val render : t -> string

@@ -1,0 +1,137 @@
+(** Replay a recorded trace and checkpoint the execution around a reported
+    race: the {e pre-race} checkpoint just before the first racing access and
+    the {e post-race} checkpoint just after the second (Algorithm 1, lines
+    1–4).
+
+    Checkpointing is free because the VM state is persistent — we simply keep
+    the state value at the right decision points.  Every shared access begins
+    its own scheduler slice, so “just before the first racing access” is
+    exactly “before the slice whose first event is that access”. *)
+
+module V = Portend_vm
+module R = Portend_detect.Report
+
+type t = {
+  pre_race : V.State.t;  (** state before decision [d1] *)
+  post_race : V.State.t;  (** state after the slice containing the second access *)
+  d1 : int;  (** decision index of the first racing access *)
+  d2 : int;
+  decisions : int list;  (** the full recorded decision list *)
+  primary_final : V.State.t;  (** the replay run to completion *)
+  primary_stop : V.Run.stop;
+  primary_events : V.Events.t list;
+  primary_steps : int;  (** instructions executed by the full replay *)
+}
+
+let slice_has_step step events =
+  List.exists
+    (function V.Events.Access { step = s; _ } -> s = step | _ -> false)
+    events
+
+(** [checkpoints prog trace race] replays [trace] and returns the checkpoints
+    for [race], or an error if the replay cannot reproduce it. *)
+let checkpoints (prog : Portend_lang.Bytecode.t) (trace : V.Trace.t) (race : R.race) :
+    (t, string) result =
+  let input_mode = V.State.Concrete (V.Trace.input_model trace) in
+  let st0 = V.State.init ~input_mode prog in
+  let decisions = V.Trace.decisions trace in
+  let step1 = race.R.first.R.a_step and step2 = race.R.second.R.a_step in
+  let exception Fail of string in
+  try
+    let rec go st idx remaining rev_events pre d1 post d2 =
+      match remaining with
+      | [] -> finish st idx rev_events pre d1 post d2
+      | tid :: rest -> (
+        let runnable = V.State.runnable st in
+        if not (List.mem tid runnable) then
+          raise (Fail (Printf.sprintf "replay diverged at decision %d: T%d not runnable" idx tid));
+        match V.Run.slice st tid with
+        | [ sl ] -> (
+          let rev_events = List.rev_append sl.V.Run.s_events rev_events in
+          let pre, d1 =
+            if d1 = None && slice_has_step step1 sl.V.Run.s_events then (Some st, Some idx)
+            else (pre, d1)
+          in
+          let post, d2 =
+            if d2 = None && d1 <> None && slice_has_step step2 sl.V.Run.s_events then
+              (Some sl.V.Run.s_state, Some idx)
+            else (post, d2)
+          in
+          match sl.V.Run.s_end with
+          | V.Run.End_crashed c -> finish_with sl.V.Run.s_state (V.Run.Crashed c) rev_events pre d1 post d2
+          | V.Run.End_decision | V.Run.End_paused ->
+            go sl.V.Run.s_state (idx + 1) rest rev_events pre d1 post d2)
+        | _ -> raise (Fail "symbolic fork during concrete replay"))
+    and finish st idx rev_events pre d1 post d2 =
+      (* Trace exhausted: finish the run round-robin (traces normally end at
+         program completion so this is usually a no-op). *)
+      ignore idx;
+      let r = V.Run.run ~sched:V.Sched.round_robin st in
+      finish_with r.V.Run.final r.V.Run.stop
+        (List.rev_append r.V.Run.events rev_events)
+        pre d1 post d2
+    and finish_with final stop rev_events pre d1 post d2 =
+      match (pre, d1, post, d2) with
+      | Some pre_race, Some d1, Some post_race, Some d2 ->
+        Ok
+          { pre_race;
+            post_race;
+            d1;
+            d2;
+            decisions;
+            primary_final = final;
+            primary_stop = stop;
+            primary_events = List.rev rev_events;
+            primary_steps = final.V.State.steps
+          }
+      | _ ->
+        Error
+          (Printf.sprintf "replay did not reproduce the race (first found: %b, second found: %b)"
+             (d1 <> None) (d2 <> None))
+    in
+    go st0 0 decisions [] None None None None
+  with Fail msg -> Error msg
+
+(** How many accesses to the racy location the second racing thread performs
+    between the pre-race checkpoint and its racy access, inclusive.  The
+    alternate enforcement drives the thread through exactly this many
+    accesses, so loops that touch the location several times before the race
+    replay precisely (§3.1's absolute instruction counts). *)
+let second_access_occurrence (t : t) (race : R.race) : int =
+  let loc_base = R.base_loc race.R.r_loc in
+  let tj = race.R.second.R.a_tid and site2 = race.R.second.R.a_site in
+  let lo = t.pre_race.V.State.steps and hi = race.R.second.R.a_step in
+  let n =
+    List.fold_left
+      (fun acc ev ->
+        match ev with
+        | V.Events.Access { tid; site; loc; step; _ }
+          when tid = tj && site = site2 && R.base_loc loc = loc_base && step >= lo && step <= hi
+          ->
+          acc + 1
+        | _ -> acc)
+      0 t.primary_events
+  in
+  max 1 n
+
+(** Replay [trace]'s decisions up to (not including) decision [d] with the
+    given input model; used to rebuild pre-race states for alternates whose
+    inputs come from an SMT model (§3.3.1). *)
+let replay_to_decision (prog : Portend_lang.Bytecode.t) ~(model : int Portend_util.Maps.Smap.t)
+    ~(decisions : int list) ~(d : int) : (V.State.t, string) result =
+  let st0 = V.State.init ~input_mode:(V.State.Concrete model) prog in
+  let rec go st idx = function
+    | _ when idx = d -> Ok st
+    | [] -> Error "trace exhausted before target decision"
+    | tid :: rest -> (
+      if not (List.mem tid (V.State.runnable st)) then
+        Error (Printf.sprintf "replay diverged at decision %d" idx)
+      else
+        match V.Run.slice st tid with
+        | [ sl ] -> (
+          match sl.V.Run.s_end with
+          | V.Run.End_crashed c -> Error ("crashed during replay: " ^ V.Crash.to_string c)
+          | V.Run.End_decision | V.Run.End_paused -> go sl.V.Run.s_state (idx + 1) rest)
+        | _ -> Error "symbolic fork during concrete replay")
+  in
+  go st0 0 decisions

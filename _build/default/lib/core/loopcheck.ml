@@ -1,0 +1,91 @@
+(** Infinite-loop vs ad-hoc-synchronization discrimination (§3.5, [60]).
+
+    When alternate-schedule enforcement times out, some thread is spinning.
+    Following the paper's definition, the spin is a genuine infinite loop iff
+    its exit condition is loop-invariant: no live thread — including the
+    thread Portend is keeping suspended — can write any location the loop
+    condition reads.  If some live thread's remaining code may write one of
+    those locations, the spin is ad-hoc synchronization and the race is a
+    candidate “single ordering”. *)
+
+module V = Portend_vm
+module Static = Portend_lang.Static
+
+(* Locations read by [tid] among the most recent events (the spin window). *)
+let recent_reads ~tid ~window events =
+  let rec take n acc = function
+    | [] -> acc
+    | _ when n = 0 -> acc
+    | ev :: rest ->
+      let acc =
+        match ev with
+        | V.Events.Access { tid = t; loc; kind = V.Events.Read; _ } when t = tid ->
+          let coarse =
+            match loc with
+            | V.Events.Lglobal v -> Static.Cglobal v
+            | V.Events.Larray (a, _) | V.Events.Lmeta a -> Static.Carray a
+          in
+          Static.Cset.add coarse acc
+        | _ -> acc
+      in
+      take (n - 1) acc rest
+  in
+  take window Static.Cset.empty (List.rev events)
+
+(* Functions a live thread may still execute: everything on its frame stack
+   (each frame continues after its callee returns). *)
+let pending_funcs (st : V.State.t) tid =
+  let th = V.State.thread st tid in
+  List.map (fun f -> f.V.State.func) th.V.State.frames
+
+(** [is_infinite_loop ~static ~state ~events ~spinning] — [true] when the
+    spin of thread [spinning] can never exit. *)
+let is_infinite_loop ~(static : Static.t) ~(state : V.State.t) ~events ~spinning =
+  let reads = recent_reads ~tid:spinning ~window:256 events in
+  if Static.Cset.is_empty reads then
+    (* spinning on pure thread-local state: nobody can ever stop it *)
+    true
+  else
+    let others = List.filter (fun t -> t <> spinning) (V.State.live_tids state) in
+    let someone_can_write =
+      List.exists
+        (fun tid ->
+          List.exists
+            (fun fname ->
+              Static.Cset.exists (fun loc -> Static.may_write static fname loc) reads)
+            (pending_funcs state tid))
+        others
+    in
+    not someone_can_write
+
+(** Which thread is spinning at a timeout: the unique runnable thread if
+    there is one (a purely thread-local spin emits no events at all),
+    otherwise the thread with the most recent event activity. *)
+let rec spinning_thread ?state ~events ~default () =
+  match state with
+  | Some st when List.length (V.State.runnable st) = 1 -> List.hd (V.State.runnable st)
+  | Some _ | None -> spinning_thread_by_events ~events ~default
+
+and spinning_thread_by_events ~events ~default =
+  let counts = Hashtbl.create 8 in
+  let rec walk n = function
+    | [] -> ()
+    | _ when n = 0 -> ()
+    | ev :: rest ->
+      (match ev with
+      | V.Events.Access { tid; _ }
+      | V.Events.Lock_acquired { tid; _ }
+      | V.Events.Lock_released { tid; _ }
+      | V.Events.Outputted { tid; _ }
+      | V.Events.Cond_waiting { tid; _ }
+      | V.Events.Cond_signalled { tid; _ } ->
+        Hashtbl.replace counts tid (1 + Option.value ~default:0 (Hashtbl.find_opt counts tid))
+      | V.Events.Thread_spawned _ | V.Events.Thread_joined _ | V.Events.Barrier_crossed _ -> ());
+      walk (n - 1) rest
+  in
+  walk 128 (List.rev events);
+  Hashtbl.fold
+    (fun tid n best ->
+      match best with Some (_, bn) when bn >= n -> best | _ -> Some (tid, n))
+    counts None
+  |> Option.fold ~none:default ~some:fst

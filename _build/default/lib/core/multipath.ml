@@ -1,0 +1,185 @@
+(** Multi-path primary exploration — the exploration half of Algorithm 2.
+
+    The program runs on symbolic inputs (up to the configured number), and a
+    depth-first exploration follows the recorded schedule trace, pruning any
+    state that cannot obey the schedule before the second racing access:
+    each state must keep the recorded thread runnable at every decision up to
+    d2, must perform the first racing access at decision d1 (same site), and
+    must perform {e some} access to the racy location at decision d2 —
+    tolerating a different program counter, which is what lets Portend catch
+    Fig 4-style races whose second access moves across paths.  After d2 the
+    execution may diverge freely (§3.3).
+
+    Each completed path is a {e primary}: its symbolic outputs, path
+    condition and a solved input model are returned for the alternate-
+    construction and comparison stage. *)
+
+module V = Portend_vm
+module R = Portend_detect.Report
+module E = Portend_solver.Expr
+module Solver = Portend_solver.Solver
+module Smap = Portend_util.Maps.Smap
+
+type primary = {
+  p_final : V.State.t;
+  p_stop : V.Run.stop;
+  p_outputs : V.State.output list;  (** with symbolic formulae where input-dependent *)
+  p_path : E.t list;  (** full path condition *)
+  p_ranges : (string * int * int) list;
+  p_model : int Smap.t;  (** solved inputs that drive the program down this path *)
+  p_site2 : V.Events.site option;  (** where the second access landed on this
+                                       path (may differ from the recorded
+                                       site, Fig 4) *)
+  p_occ2 : int;  (** its dynamic occurrence among same-site accesses since d1 *)
+}
+
+let slice_has_access ~tid ?site ~loc_base events =
+  List.exists
+    (function
+      | V.Events.Access { tid = t; site = s; loc; _ } ->
+        t = tid && R.base_loc loc = loc_base
+        && (match site with None -> true | Some site -> s = site)
+      | _ -> false)
+    events
+
+(* A work item: a state plus the index of the next scheduling decision.
+   [tj_sites] accumulates the sites of tj's accesses to the racy location
+   between d1 and d2 (newest first), so the second access can be targeted
+   precisely on this path even when its program counter moved. *)
+type item = {
+  st : V.State.t;
+  idx : int;
+  past_race : bool;
+  tj_sites : V.Events.site list;
+  site2 : V.Events.site option;
+  occ2 : int;
+}
+
+let explore (cfg : Config.t) (prog : Portend_lang.Bytecode.t) (trace : V.Trace.t)
+    (ckpts : Locate.t) (race : R.race) : primary list =
+  let decisions = Array.of_list ckpts.Locate.decisions in
+  let n_decisions = Array.length decisions in
+  let d1 = ckpts.Locate.d1 and d2 = ckpts.Locate.d2 in
+  let ti = race.R.first.R.a_tid and tj = race.R.second.R.a_tid in
+  let loc_base = R.base_loc race.R.r_loc in
+  let input_mode =
+    V.State.Mixed { model = V.Trace.input_model trace; limit = cfg.Config.max_symbolic_inputs }
+  in
+  let init =
+    { st = V.State.init ~input_mode prog;
+      idx = 0;
+      past_race = false;
+      tj_sites = [];
+      site2 = None;
+      occ2 = 1
+    }
+  in
+  let completed = ref [] in
+  let n_completed () = List.length !completed in
+  let states_seen = ref 0 in
+  let finish_path item st stop = completed := (st, stop, item.site2, item.occ2) :: !completed in
+  (* Depth-first worklist; explicit stack keeps memory bounded. *)
+  let stack = ref [ init ] in
+  while !stack <> [] && n_completed () < cfg.Config.mp && !states_seen < 50_000 do
+    match !stack with
+    | [] -> ()
+    | item :: rest -> (
+      stack := rest;
+      incr states_seen;
+      let { st; idx; past_race; _ } = item in
+      if st.V.State.steps >= cfg.Config.run_budget then () (* drop exhausted path *)
+      else
+        match V.State.runnable st with
+        | [] ->
+          if past_race then
+            finish_path item st
+              (if V.State.all_finished st then V.Run.Halted
+               else V.Run.Deadlocked (V.State.live_tids st))
+        | runnable -> (
+          let tid =
+            if idx < n_decisions then
+              let dec = decisions.(idx) in
+              if List.mem dec runnable then Some dec
+              else if past_race then Some (List.hd runnable)
+              else None (* cannot obey the schedule before the race: prune *)
+            else Some (List.hd runnable)
+          in
+          match tid with
+          | None -> ()
+          | Some tid ->
+            let slices = V.Run.slice st tid in
+            (* Push in reverse so the first fork branch is explored first. *)
+            List.rev slices
+            |> List.iter (fun sl ->
+                   let evs = sl.V.Run.s_events in
+                   let tj_access_site =
+                     List.find_map
+                       (function
+                         | V.Events.Access { tid = t; site; loc; _ }
+                           when t = tj && R.base_loc loc = loc_base ->
+                           Some site
+                         | _ -> None)
+                       evs
+                   in
+                   let aligned, now_past =
+                     if past_race then (true, true)
+                     else if idx = d1 then
+                       (* Tolerate a moved program counter for the first
+                          access as well as the second: a pre-race input
+                          fork can shift the access site (Fig 4). *)
+                       (slice_has_access ~tid:ti ~loc_base evs, false)
+                     else if idx = d2 then (tj_access_site <> None, tj_access_site <> None)
+                     else (true, false)
+                   in
+                   if aligned then begin
+                     let item' =
+                       if past_race then item
+                       else if idx = d2 then
+                         match tj_access_site with
+                         | Some site ->
+                           let occ =
+                             1
+                             + List.length (List.filter (fun s -> s = site) item.tj_sites)
+                           in
+                           { item with site2 = Some site; occ2 = occ }
+                         | None -> item
+                       else
+                         match tj_access_site with
+                         | Some site when idx >= d1 ->
+                           { item with tj_sites = site :: item.tj_sites }
+                         | _ -> item
+                     in
+                     match sl.V.Run.s_end with
+                     | V.Run.End_crashed c ->
+                       if now_past then finish_path item' sl.V.Run.s_state (V.Run.Crashed c)
+                     | V.Run.End_decision | V.Run.End_paused ->
+                       let st' = sl.V.Run.s_state in
+                       if V.State.runnable st' = [] && V.State.all_finished st' then begin
+                         if now_past then finish_path item' st' V.Run.Halted
+                       end
+                       else
+                         stack :=
+                           { item' with st = st'; idx = idx + 1; past_race = now_past }
+                           :: !stack
+                   end)))
+  done;
+  (* Solve each completed path for a concrete input model. *)
+  List.rev !completed
+  |> List.filter_map (fun ((st : V.State.t), stop, site2, occ2) ->
+         let ranges = st.V.State.input_ranges in
+         let path = st.V.State.path_cond in
+         match Solver.solve ~ranges path with
+         | Solver.Sat model ->
+           let trace_model = V.Trace.input_model trace in
+           let merged = Smap.union (fun _ solved _ -> Some solved) model trace_model in
+           Some
+             { p_final = st;
+               p_stop = stop;
+               p_outputs = V.State.outputs st;
+               p_path = path;
+               p_ranges = ranges;
+               p_model = merged;
+               p_site2 = site2;
+               p_occ2 = occ2
+             }
+         | Solver.Unsat | Solver.Unknown -> None)

@@ -1,0 +1,107 @@
+(** The end-to-end Portend pipeline (Fig 2): execute the program under the
+    record/replay engine, detect races with the dynamic happens-before
+    detector, cluster the reports, and classify one representative per
+    cluster. *)
+
+module V = Portend_vm
+module D = Portend_detect
+
+type race_analysis = {
+  race : D.Report.race;
+  instances : int;  (** how many times the race manifested during detection *)
+  verdict : Taxonomy.verdict;
+  evidence : Evidence.t option;
+  time_s : float;  (** classification wall time for this race *)
+}
+
+type t = {
+  program : Portend_lang.Bytecode.t;
+  record : V.Run.result;
+  record_time_s : float;  (** plain interpretation time (Table 4's baseline) *)
+  races : race_analysis list;
+  errors : (D.Report.race * string) list;  (** races the replay could not reproduce *)
+}
+
+let now () = Portend_util.Clock.now_s ()
+
+(** Record an execution of [prog] and return it with its interpretation
+    time.  [inputs] supplies concrete values for the program's [input]
+    statements (the recorded test-case inputs); [seed] drives the recording
+    scheduler. *)
+let record ?(seed = 1) ?(inputs = []) (prog : Portend_lang.Bytecode.t) : V.Run.result * float =
+  let model = Portend_util.Maps.Smap.of_list inputs in
+  let st = V.State.init ~input_mode:(V.State.Concrete model) prog in
+  let t0 = now () in
+  let r = V.Run.run ~sched:(V.Sched.random ~seed) st in
+  (r, now () -. t0)
+
+(** Detect and classify every distinct race of [prog].
+
+    Returns per-race verdicts in detection order.  A race whose replay
+    diverges is reported under [errors] rather than silently dropped. *)
+let analyze ?(config = Config.default) ?(seed = 1) ?(inputs = []) (prog : Portend_lang.Bytecode.t)
+    : t =
+  let record_run, record_time_s = record ~seed ~inputs prog in
+  let suppress = Portend_lang.Static.spin_read_sites prog in
+  let clustered = D.Hb.detect_clustered ~suppress record_run.V.Run.events in
+  let races, errors =
+    List.fold_left
+      (fun (races, errors) (race, instances) ->
+        let t0 = now () in
+        match Classify.classify ~config prog record_run.V.Run.trace race with
+        | Ok { Classify.verdict; evidence } ->
+          ( { race; instances; verdict; evidence; time_s = now () -. t0 } :: races,
+            errors )
+        | Error e -> (races, (race, e) :: errors))
+      ([], []) clustered
+  in
+  { program = prog;
+    record = record_run;
+    record_time_s;
+    races = List.rev races;
+    errors = List.rev errors
+  }
+
+(** Detect and classify across several recordings (different scheduler
+    seeds), the way a test suite exercises a program repeatedly (§3.1
+    suggests running existing test suites under Portend).  Races are
+    deduplicated across recordings by cluster key; each is classified
+    against the first recording that manifested it. *)
+let analyze_many ?config ?(seeds = [ 1; 2; 3 ]) ?inputs (prog : Portend_lang.Bytecode.t) :
+    t list * race_analysis list =
+  let analyses = List.map (fun seed -> analyze ?config ~seed ?inputs prog) seeds in
+  let seen = Hashtbl.create 32 in
+  let merged =
+    List.concat_map
+      (fun a ->
+        List.filter
+          (fun ra ->
+            let key = D.Report.cluster_key ra.race in
+            if Hashtbl.mem seen key then false
+            else begin
+              Hashtbl.add seen key ();
+              true
+            end)
+          a.races)
+      analyses
+  in
+  (analyses, merged)
+
+(** Count of distinct races per category. *)
+let tally (t : t) =
+  List.fold_left
+    (fun acc ra ->
+      let c = ra.verdict.Taxonomy.category in
+      let n = try List.assoc c acc with Not_found -> 0 in
+      (c, n + 1) :: List.remove_assoc c acc)
+    (List.map (fun c -> (c, 0)) Taxonomy.all_categories)
+    t.races
+
+let pp_summary fmt (t : t) =
+  Fmt.pf fmt "@[<v>program %s: %d distinct races (%d instances)@,%a@]" t.program.Portend_lang.Bytecode.pname
+    (List.length t.races)
+    (List.fold_left (fun acc ra -> acc + ra.instances) 0 t.races)
+    Fmt.(
+      list ~sep:cut (fun fmt ra ->
+          Fmt.pf fmt "  %a -> %a" D.Report.pp_race ra.race Taxonomy.pp_verdict ra.verdict))
+    t.races

@@ -1,0 +1,54 @@
+(** The end-to-end Portend pipeline (Fig 2): execute the program under the
+    record/replay engine, detect races with the dynamic happens-before
+    detector, cluster the reports, and classify one representative per
+    cluster. *)
+
+type race_analysis = {
+  race : Portend_detect.Report.race;
+  instances : int;  (** dynamic occurrences during detection *)
+  verdict : Taxonomy.verdict;
+  evidence : Evidence.t option;
+  time_s : float;  (** classification wall time for this race *)
+}
+
+type t = {
+  program : Portend_lang.Bytecode.t;
+  record : Portend_vm.Run.result;
+  record_time_s : float;  (** plain interpretation time (Table 4 baseline) *)
+  races : race_analysis list;
+  errors : (Portend_detect.Report.race * string) list;
+      (** races whose replay diverged (reported, not silently dropped) *)
+}
+
+(** Record an execution and return it with its interpretation time.
+    [inputs] supplies concrete values for the program's [input] statements;
+    [seed] drives the recording scheduler. *)
+val record :
+  ?seed:int ->
+  ?inputs:(string * int) list ->
+  Portend_lang.Bytecode.t ->
+  Portend_vm.Run.result * float
+
+(** Detect and classify every distinct race of the program. *)
+val analyze :
+  ?config:Config.t ->
+  ?seed:int ->
+  ?inputs:(string * int) list ->
+  Portend_lang.Bytecode.t ->
+  t
+
+(** Detect and classify across several recordings (scheduler seeds), the way
+    a test suite exercises a program repeatedly; races are deduplicated by
+    cluster key across recordings.  Returns the per-seed analyses and the
+    merged distinct-race list. *)
+val analyze_many :
+  ?config:Config.t ->
+  ?seeds:int list ->
+  ?inputs:(string * int) list ->
+  Portend_lang.Bytecode.t ->
+  t list * race_analysis list
+
+(** Count of distinct races per category. *)
+val tally : t -> (Taxonomy.category * int) list
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,162 @@
+(** Single-pre/single-post analysis — Algorithm 1 of the paper.
+
+    Replays the primary trace, checkpoints around the race, attempts to
+    enforce the alternate ordering, watches both executions for basic and
+    semantic specification violations, and compares their outputs. *)
+
+module V = Portend_vm
+module R = Portend_detect.Report
+
+type classification =
+  | CSpecViol of V.Crash.consequence option * string
+      (** consequence, rationale; [None] consequence = “replay failure
+          treated as harmful” (only without ad-hoc detection) *)
+  | COutDiff of Symout.mismatch option
+  | COutSame
+  | CSingleOrd of string
+
+type t = {
+  classification : classification;
+  ckpts : Locate.t;
+  alternate : Enforce.outcome option;
+  states_differ : bool;  (** post-race concrete state comparison (Table 3) *)
+  primary_outputs : V.State.output list;
+}
+
+let drop n xs = List.filteri (fun i _ -> i >= n) xs
+
+let consequence_of_stop = function
+  | V.Run.Crashed c -> Some (V.Crash.consequence c)
+  | V.Run.Deadlocked _ -> Some V.Crash.Cdeadlock
+  | V.Run.Halted | V.Run.Out_of_budget | V.Run.Diverged _ | V.Run.Forked -> None
+
+let analyze (cfg : Config.t) ~(static : Portend_lang.Static.t) (prog : Portend_lang.Bytecode.t)
+    (trace : V.Trace.t) (race : R.race) : (t, string) result =
+  match Locate.checkpoints prog trace race with
+  | Error e -> Error e
+  | Ok ckpts -> (
+    let primary_outputs = V.State.outputs ckpts.Locate.primary_final in
+    let finish ?alternate ?(states_differ = true) classification =
+      Ok { classification; ckpts; alternate; states_differ; primary_outputs }
+    in
+    (* A primary that itself violates the spec ends the analysis (Algorithm
+       1 line 17 checks both executions). *)
+    match consequence_of_stop ckpts.Locate.primary_stop with
+    | Some c ->
+      finish
+        (CSpecViol
+           (Some c, "primary execution: " ^ V.Run.stop_to_string ckpts.Locate.primary_stop))
+    | None -> (
+      let budget = cfg.Config.alternate_budget_factor * max 1 ckpts.Locate.primary_steps in
+      (* Continue past the reversal by replaying the recorded tail (the d1
+         decision itself was consumed by the enforcement phases). *)
+      let cont =
+        V.Sched.of_decisions_tolerant
+          (drop (ckpts.Locate.d1 + 1) ckpts.Locate.decisions)
+          ~fallback:V.Sched.round_robin
+      in
+      let occurrence = Locate.second_access_occurrence ckpts race in
+      let alt =
+        Enforce.alternate ~static ~budget ~cont ~occurrence ~race
+          ~pre_race:ckpts.Locate.pre_race ()
+      in
+      let states_differ =
+        match alt.Enforce.post_access_state with
+        | Some s -> not (Compare.states_equal ckpts.Locate.post_race s)
+        | None -> true
+      in
+      let single_ord why =
+        if cfg.Config.enable_adhoc_detection then
+          finish ~alternate:alt ~states_differ (CSingleOrd why)
+        else
+          (* Without ad-hoc synchronization detection a replay failure is
+             conservatively treated as harmful, as in Record/Replay-
+             Analyzer [45]. *)
+          finish ~alternate:alt ~states_differ
+            (CSpecViol (None, "alternate could not be enforced: " ^ why))
+      in
+      match alt.Enforce.stop with
+      | V.Run.Crashed c ->
+        finish ~alternate:alt ~states_differ
+          (CSpecViol (Some (V.Crash.consequence c), "alternate execution: " ^ V.Crash.to_string c))
+      | V.Run.Deadlocked tids ->
+        finish ~alternate:alt ~states_differ
+          (CSpecViol
+             ( Some V.Crash.Cdeadlock,
+               Printf.sprintf "alternate execution deadlocks (threads %s)"
+                 (String.concat "," (List.map string_of_int tids)) ))
+      | V.Run.Out_of_budget -> (
+        match alt.Enforce.failure with
+        | Some (Enforce.Spin_infinite tid) ->
+          finish ~alternate:alt ~states_differ
+            (CSpecViol
+               ( Some V.Crash.Chang,
+                 Printf.sprintf "alternate execution hangs: thread %d spins in a loop no one can exit"
+                   tid ))
+        | Some (Enforce.Spin_adhoc tid) ->
+          single_ord
+            (Printf.sprintf "thread %d busy-waits on a flag another thread still writes" tid)
+        | Some Enforce.Blocked_by_peer | Some Enforce.Target_finished | None ->
+          (* Timed out after enforcement (phase C): discriminate with the
+             loop analysis over the whole alternate event stream. *)
+          let spinning =
+            Loopcheck.spinning_thread ~state:alt.Enforce.final ~events:alt.Enforce.events
+              ~default:race.R.second.R.a_tid ()
+          in
+          if
+            Loopcheck.is_infinite_loop ~static ~state:alt.Enforce.final
+              ~events:alt.Enforce.events ~spinning
+          then
+            finish ~alternate:alt ~states_differ
+              (CSpecViol (Some V.Crash.Chang, "alternate execution hangs in an infinite loop"))
+          else single_ord "alternate execution kept spinning on ad-hoc synchronization")
+      | V.Run.Diverged _ -> (
+        match alt.Enforce.failure with
+        | Some Enforce.Blocked_by_peer ->
+          single_ord "the second racing thread can only progress after the first one"
+        | Some Enforce.Target_finished ->
+          single_ord "the second racing access disappears under the alternate ordering"
+        | Some (Enforce.Spin_adhoc tid) ->
+          single_ord (Printf.sprintf "thread %d busy-waits on ad-hoc synchronization" tid)
+        | Some (Enforce.Spin_infinite tid) ->
+          finish ~alternate:alt ~states_differ
+            (CSpecViol (Some V.Crash.Chang, Printf.sprintf "thread %d spins forever" tid))
+        | None -> single_ord "alternate schedule could not be followed")
+      | V.Run.Forked ->
+        Error "symbolic fork during a concrete alternate execution"
+      | V.Run.Halted ->
+        let alt_outputs = V.State.outputs alt.Enforce.final in
+        if Symout.concrete_equal primary_outputs alt_outputs then
+          finish ~alternate:alt ~states_differ COutSame
+        else
+          let mismatch =
+            (* locate the first differing position for the report *)
+            let rec first i = function
+              | p :: ps, a :: as_ ->
+                if Symout.concrete_equal [ p ] [ a ] then first (i + 1) (ps, as_)
+                else
+                  Some
+                    { Symout.m_index = i;
+                      m_site = Some p.V.State.out_site;
+                      m_primary = Fmt.str "%a" V.State.pp_output p;
+                      m_alternate = Fmt.str "%a" V.State.pp_output a
+                    }
+              | [], a :: _ ->
+                Some
+                  { Symout.m_index = i;
+                    m_site = Some a.V.State.out_site;
+                    m_primary = "(no output)";
+                    m_alternate = Fmt.str "%a" V.State.pp_output a
+                  }
+              | p :: _, [] ->
+                Some
+                  { Symout.m_index = i;
+                    m_site = Some p.V.State.out_site;
+                    m_primary = Fmt.str "%a" V.State.pp_output p;
+                    m_alternate = "(no output)"
+                  }
+              | [], [] -> None
+            in
+            first 0 (primary_outputs, alt_outputs)
+          in
+          finish ~alternate:alt ~states_differ (COutDiff mismatch)))

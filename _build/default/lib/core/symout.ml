@@ -1,0 +1,103 @@
+(** Symbolic program-output comparison (§3.3.1).
+
+    A primary execution run on symbolic inputs records outputs as symbolic
+    formulae; an alternate execution is fully concrete.  The alternate
+    {e matches} the primary iff the output sequences have the same shape and
+    there exist inputs satisfying the primary's path condition under which
+    every symbolic output equals the corresponding concrete value — one SMT
+    query over the conjunction (outputs share input variables, so positions
+    must be checked together). *)
+
+module V = Portend_vm
+module E = Portend_solver.Expr
+module Solver = Portend_solver.Solver
+
+type mismatch = {
+  m_index : int;  (** position in the output sequence, or -1 for a length/shape difference *)
+  m_site : V.Events.site option;
+  m_primary : string;
+  m_alternate : string;
+}
+
+let pp_mismatch fmt m =
+  Fmt.pf fmt "output %d%a: primary %s vs alternate %s" m.m_index
+    Fmt.(option (fun fmt s -> Fmt.pf fmt " at %a" V.Events.pp_site s))
+    m.m_site m.m_primary m.m_alternate
+
+(* Build equality constraints for one output pair, or a mismatch. *)
+let constrain_pair idx (p : V.State.output) (a : V.State.output) :
+    (E.t list, mismatch) Stdlib.result =
+  let mism ps as_ =
+    Error { m_index = idx; m_site = Some p.V.State.out_site; m_primary = ps; m_alternate = as_ }
+  in
+  match (p.V.State.payload, a.V.State.payload) with
+  | V.State.Text s1, V.State.Text s2 ->
+    if String.equal s1 s2 then Ok [] else mism (Printf.sprintf "%S" s1) (Printf.sprintf "%S" s2)
+  | V.State.Vals ps, V.State.Vals as_ ->
+    if List.length ps <> List.length as_ then
+      mism
+        (Fmt.str "%a" Fmt.(list ~sep:comma V.Value.pp) ps)
+        (Fmt.str "%a" Fmt.(list ~sep:comma V.Value.pp) as_)
+    else
+      let rec build acc = function
+        | [] -> Ok acc
+        | (pv, av) :: rest -> (
+          match (pv, av) with
+          | V.Value.Con x, V.Value.Con y ->
+            if x = y then build acc rest
+            else mism (string_of_int x) (string_of_int y)
+          | pv, av ->
+            build (E.Binop (Eq, V.Value.to_expr pv, V.Value.to_expr av) :: acc) rest)
+      in
+      build [] (List.combine ps as_)
+  | V.State.Text s, V.State.Vals vs ->
+    mism (Printf.sprintf "%S" s) (Fmt.str "%a" Fmt.(list ~sep:comma V.Value.pp) vs)
+  | V.State.Vals vs, V.State.Text s ->
+    mism (Fmt.str "%a" Fmt.(list ~sep:comma V.Value.pp) vs) (Printf.sprintf "%S" s)
+
+(** [matches ~ranges ~path_cond ~primary ~alternate] — [Ok ()] when the
+    concrete alternate outputs satisfy the primary's symbolic output
+    constraints; [Error m] describes the first mismatch found. *)
+let matches ~ranges ~path_cond ~(primary : V.State.output list)
+    ~(alternate : V.State.output list) : (unit, mismatch) Stdlib.result =
+  if List.length primary <> List.length alternate then
+    Error
+      { m_index = -1;
+        m_site = None;
+        m_primary = Printf.sprintf "%d output operations" (List.length primary);
+        m_alternate = Printf.sprintf "%d output operations" (List.length alternate)
+      }
+  else
+    let rec collect idx acc = function
+      | [] -> Ok acc
+      | (p, a) :: rest -> (
+        match constrain_pair idx p a with
+        | Ok cs -> collect (idx + 1) (cs @ acc) rest
+        | Error m -> Error m)
+    in
+    match collect 0 [] (List.combine primary alternate) with
+    | Error m -> Error m
+    | Ok [] -> Ok ()
+    | Ok constraints ->
+      if Solver.sat ~ranges (constraints @ path_cond) then Ok ()
+      else
+        Error
+          { m_index = -1;
+            m_site = None;
+            m_primary = "symbolic output constraints";
+            m_alternate = "concrete outputs outside the allowed set"
+          }
+
+(** Plain concrete equality of output sequences — what “single-pre/single-
+    post” comparison uses, and the non-symbolic mode of the Fig 7 ablation. *)
+let concrete_equal (a : V.State.output list) (b : V.State.output list) =
+  let payload o = o.V.State.payload in
+  List.length a = List.length b
+  && List.for_all2
+       (fun x y ->
+         match (payload x, payload y) with
+         | V.State.Text s1, V.State.Text s2 -> String.equal s1 s2
+         | V.State.Vals v1, V.State.Vals v2 ->
+           List.length v1 = List.length v2 && List.for_all2 V.Value.equal v1 v2
+         | V.State.Text _, V.State.Vals _ | V.State.Vals _, V.State.Text _ -> false)
+       a b

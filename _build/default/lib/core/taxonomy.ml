@@ -1,0 +1,56 @@
+(** Portend's four-category data race taxonomy (§2.3, Fig 1).
+
+    - [Spec_violated]: at least one ordering of the racing accesses violates
+      the program's specification — a “basic” violation (crash, deadlock,
+      memory error, infinite loop) or a developer-provided semantic
+      predicate.  Definitely harmful.
+    - [Output_differs]: the orderings can produce different program output;
+      possibly harmful, needs a developer's judgement.
+    - [K_witness_harmless]: [k] explored path × schedule combinations all
+      behaved equivalently (symbolically compared); harmless with confidence
+      increasing in [k].
+    - [Single_ordering]: only one ordering of the accesses is possible —
+      ad-hoc synchronization; harmless. *)
+
+type category =
+  | Spec_violated
+  | Output_differs
+  | K_witness_harmless
+  | Single_ordering
+
+let category_to_string = function
+  | Spec_violated -> "specViol"
+  | Output_differs -> "outDiff"
+  | K_witness_harmless -> "k-witness"
+  | Single_ordering -> "singleOrd"
+
+let pp_category fmt c = Fmt.string fmt (category_to_string c)
+
+let all_categories = [ Spec_violated; Output_differs; K_witness_harmless; Single_ordering ]
+
+let is_harmful = function
+  | Spec_violated -> true
+  | Output_differs -> false (* “possibly harmful”: surfaced to the developer *)
+  | K_witness_harmless | Single_ordering -> false
+
+(** A classified race. *)
+type verdict = {
+  category : category;
+  k : int;  (** witnesses observed; meaningful for [K_witness_harmless] *)
+  consequence : Portend_vm.Crash.consequence option;  (** for [Spec_violated] *)
+  states_differ : bool;
+      (** did the primary and alternate post-race states differ?  (computed
+          for Table 3's “states same/differ” columns via the
+          Record/Replay-Analyzer comparator) *)
+  detail : string;  (** human-readable rationale *)
+}
+
+let verdict ?(k = 0) ?consequence ?(states_differ = false) ?(detail = "") category =
+  { category; k; consequence; states_differ; detail }
+
+let pp_verdict fmt v =
+  Fmt.pf fmt "%a%s%s" pp_category v.category
+    (if v.category = K_witness_harmless then Printf.sprintf " (k=%d)" v.k else "")
+    (match v.consequence with
+    | Some c -> " [" ^ Portend_vm.Crash.consequence_to_string c ^ "]"
+    | None -> "")

@@ -1,0 +1,44 @@
+(** Portend's four-category data race taxonomy (§2.3, Fig 1). *)
+
+type category =
+  | Spec_violated
+      (** at least one ordering violates the program's specification — a
+          basic violation (crash, deadlock, memory error, infinite loop) or
+          a developer-provided predicate; definitely harmful *)
+  | Output_differs
+      (** the orderings can produce different program output; possibly
+          harmful, the developer decides with the evidence provided *)
+  | K_witness_harmless
+      (** k explored path × schedule combinations behaved equivalently
+          (symbolically compared); harmless with confidence rising in k *)
+  | Single_ordering
+      (** only one ordering of the accesses is possible — ad-hoc
+          synchronization; harmless *)
+
+val category_to_string : category -> string
+val pp_category : Format.formatter -> category -> unit
+val all_categories : category list
+
+(** Does the category demand a fix? *)
+val is_harmful : category -> bool
+
+type verdict = {
+  category : category;
+  k : int;  (** witnesses observed; meaningful for [K_witness_harmless] *)
+  consequence : Portend_vm.Crash.consequence option;  (** for [Spec_violated] *)
+  states_differ : bool;
+      (** did the primary and alternate post-race states differ?  (Table 3's
+          “states same/differ” columns, computed with the Record/Replay-
+          Analyzer comparator) *)
+  detail : string;  (** human-readable rationale *)
+}
+
+val verdict :
+  ?k:int ->
+  ?consequence:Portend_vm.Crash.consequence ->
+  ?states_differ:bool ->
+  ?detail:string ->
+  category ->
+  verdict
+
+val pp_verdict : Format.formatter -> verdict -> unit

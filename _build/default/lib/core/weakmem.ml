@@ -1,0 +1,79 @@
+(** Weak-memory-consistency checking — the §6 extension the paper sketches
+    via adversarial memory [17].
+
+    Under sequential consistency a racy load returns the latest store; under
+    weaker models it may observe a stale value.  The VM's
+    {!Portend_vm.State.Adversarial} memory model makes every shared-global
+    load fork over the recently overwritten values, and this module
+    exhaustively explores those behaviours (bounded) looking for
+    specification violations that sequential consistency cannot produce —
+    the classic example being double-checked locking, harmless on a
+    TSO-like machine but broken when the initialized flag becomes visible
+    before the data it guards. *)
+
+module V = Portend_vm
+
+type outcome = {
+  crashes : (V.Crash.t * int) list;  (** violation and the step it occurred at *)
+  executions : int;  (** complete executions explored *)
+  truncated : bool;  (** did exploration hit its budget? *)
+}
+
+(** Explore the program's adversarial-memory behaviours.
+
+    [depth] bounds how many overwritten values a load may still observe;
+    [max_states] bounds exploration.  Returns every distinct crash found.
+    A program with no (weak-memory-reachable) violation yields
+    [crashes = []]. *)
+let explore ?(depth = 2) ?(max_states = 20_000) (prog : Portend_lang.Bytecode.t) : outcome =
+  let init = V.State.init ~memory_model:(V.State.Adversarial { depth }) prog in
+  let crashes = ref [] in
+  let executions = ref 0 in
+  let seen_states = ref 0 in
+  let truncated = ref false in
+  let note_crash c step =
+    if not (List.exists (fun (c', _) -> c' = c) !crashes) then crashes := (c, step) :: !crashes
+  in
+  let stack = ref [ init ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | st :: rest -> (
+      stack := rest;
+      incr seen_states;
+      if !seen_states > max_states then begin
+        truncated := true;
+        stack := []
+      end
+      else
+        match V.State.runnable st with
+        | [] ->
+          if V.State.all_finished st then incr executions
+          else note_crash (V.Crash.Deadlock (V.State.live_tids st)) st.V.State.steps
+        | runnable ->
+          (* explore every scheduling choice at every decision point *)
+          List.iter
+            (fun tid ->
+              List.iter
+                (fun sl ->
+                  match sl.V.Run.s_end with
+                  | V.Run.End_crashed c -> note_crash c sl.V.Run.s_state.V.State.steps
+                  | V.Run.End_decision | V.Run.End_paused ->
+                    stack := sl.V.Run.s_state :: !stack)
+                (V.Run.slice st tid))
+            runnable)
+  done;
+  { crashes = List.rev !crashes; executions = !executions; truncated = !truncated }
+
+(** Does the program have violations reachable {e only} under weak memory?
+    Runs the same exploration under sequential consistency and subtracts. *)
+let weak_only_crashes ?depth ?max_states (prog : Portend_lang.Bytecode.t) :
+    V.Crash.t list =
+  let weak = explore ?depth ?max_states prog in
+  let sc =
+    explore ?max_states ~depth:0 prog
+    (* depth 0 keeps no history: sequential consistency *)
+  in
+  List.filter_map
+    (fun (c, _) -> if List.exists (fun (c', _) -> c' = c) sc.crashes then None else Some c)
+    weak.crashes

@@ -1,0 +1,24 @@
+(** Weak-memory-consistency checking — the §6 extension the paper sketches
+    via adversarial memory [17].
+
+    Under the VM's adversarial memory model a shared-global load forks over
+    the recently overwritten values; exhaustive (bounded) exploration of
+    those behaviours surfaces violations that sequential consistency cannot
+    produce — e.g. double-checked locking observing the flag before the
+    data. *)
+
+type outcome = {
+  crashes : (Portend_vm.Crash.t * int) list;
+      (** distinct violations with the step they occurred at *)
+  executions : int;  (** complete executions explored *)
+  truncated : bool;  (** did exploration hit its budget? *)
+}
+
+(** Explore the program's behaviours under adversarial memory of the given
+    history [depth] (depth 0 = sequential consistency). *)
+val explore : ?depth:int -> ?max_states:int -> Portend_lang.Bytecode.t -> outcome
+
+(** Violations reachable under weak memory but {e not} under sequential
+    consistency. *)
+val weak_only_crashes :
+  ?depth:int -> ?max_states:int -> Portend_lang.Bytecode.t -> Portend_vm.Crash.t list

@@ -1,0 +1,1 @@
+lib/detect/hb.ml: Imap List Map Portend_util Portend_vm Report Smap Vclock

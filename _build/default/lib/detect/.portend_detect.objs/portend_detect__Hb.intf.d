@@ -1,0 +1,1 @@
+lib/detect/hb.mli: Portend_vm Report

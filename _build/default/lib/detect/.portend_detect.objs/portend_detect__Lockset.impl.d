@@ -1,0 +1,1 @@
+lib/detect/lockset.ml: Imap List Map Portend_util Portend_vm Report Sset

@@ -1,0 +1,1 @@
+lib/detect/lockset.mli: Portend_vm Report

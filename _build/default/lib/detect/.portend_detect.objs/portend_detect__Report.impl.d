@@ -1,0 +1,1 @@
+lib/detect/report.ml: Fmt Hashtbl List Portend_vm Printf

@@ -1,0 +1,1 @@
+lib/detect/vclock.ml: Fmt Imap Portend_util

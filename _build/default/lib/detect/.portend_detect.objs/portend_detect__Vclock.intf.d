@@ -1,0 +1,1 @@
+lib/detect/vclock.mli: Format Portend_util

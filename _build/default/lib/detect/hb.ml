@@ -1,0 +1,150 @@
+(** Dynamic happens-before data race detector (§3.1).
+
+    Processes an execution's event stream in order, maintaining vector
+    clocks per thread, per mutex, per condition variable and per barrier, and
+    a bounded per-location access history (last read and last write per
+    thread), and reports every pair of conflicting accesses unordered by
+    happens-before.
+
+    The happens-before edges recognized, matching the paper's detector over
+    POSIX primitives:
+    - thread create: spawn point → child start
+    - thread join: child end → join return
+    - mutex: release → subsequent acquire
+    - condition variable: signal/broadcast → wakeup of the woken thread
+    - barrier: every arrival → every departure *)
+
+open Portend_util.Maps
+module Events = Portend_vm.Events
+
+type stored_access = {
+  sa : Report.access;
+  sa_clock : int;  (** the accessing thread's own clock at access time *)
+}
+
+type loc_history = {
+  reads : stored_access Imap.t;  (** last read per tid *)
+  writes : stored_access Imap.t;  (** last write per tid *)
+}
+
+let empty_history = { reads = Imap.empty; writes = Imap.empty }
+
+module Locmap = Map.Make (struct
+  type t = Events.loc
+
+  let compare = compare
+end)
+
+type t = {
+  clocks : Vclock.t Imap.t;  (** per thread *)
+  mutex_clocks : Vclock.t Smap.t;
+  signal_clocks : Vclock.t Imap.t;  (** pending edge to each woken tid *)
+  history : loc_history Locmap.t;
+  races : Report.race list;  (** newest first *)
+}
+
+let init = {
+  clocks = Imap.empty;
+  mutex_clocks = Smap.empty;
+  signal_clocks = Imap.empty;
+  history = Locmap.empty;
+  races = [];
+}
+
+let clock_of tid t = Imap.find_or ~default:Vclock.empty tid t.clocks
+let set_clock tid vc t = { t with clocks = Imap.add tid vc t.clocks }
+
+(* Race check: the new access [a] by thread [tid] with clock [vc] conflicts
+   with stored access [s] iff different threads, at least one write, and the
+   stored access is not ordered before [a]. *)
+let conflicts ~kind ~tid ~vc s =
+  s.sa.Report.a_tid <> tid
+  && (kind = Events.Write || s.sa.Report.a_kind = Events.Write)
+  && not (Vclock.epoch_before ~tid:s.sa.Report.a_tid ~clock:s.sa_clock vc)
+
+let check_access t ~loc ~(access : Report.access) =
+  let tid = access.Report.a_tid in
+  let vc = clock_of tid t in
+  let h = match Locmap.find_opt loc t.history with Some h -> h | None -> empty_history in
+  let race_with s =
+    let first, second =
+      if s.sa.Report.a_step <= access.Report.a_step then (s.sa, access) else (access, s.sa)
+    in
+    Report.{ r_loc = loc; first; second }
+  in
+  let found =
+    Imap.fold
+      (fun _ s acc -> if conflicts ~kind:access.Report.a_kind ~tid ~vc s then race_with s :: acc else acc)
+      h.writes []
+  in
+  let found =
+    if access.Report.a_kind = Events.Write then
+      Imap.fold
+        (fun _ s acc ->
+          if conflicts ~kind:access.Report.a_kind ~tid ~vc s then race_with s :: acc else acc)
+        h.reads found
+    else found
+  in
+  let stored = { sa = access; sa_clock = Vclock.get tid vc } in
+  let h =
+    match access.Report.a_kind with
+    | Events.Read -> { h with reads = Imap.add tid stored h.reads }
+    | Events.Write -> { h with writes = Imap.add tid stored h.writes }
+  in
+  { t with history = Locmap.add loc h t.history; races = found @ t.races }
+
+let handle_event t (ev : Events.t) =
+  match ev with
+  | Events.Access { tid; site; loc; kind; step } ->
+    let t = set_clock tid (Vclock.tick tid (clock_of tid t)) t in
+    check_access t ~loc ~access:{ Report.a_tid = tid; a_site = site; a_kind = kind; a_step = step }
+  | Events.Lock_acquired { tid; mutex; _ } ->
+    let vc = Vclock.join (clock_of tid t) (Smap.find_or ~default:Vclock.empty mutex t.mutex_clocks) in
+    set_clock tid (Vclock.tick tid vc) t
+  | Events.Lock_released { tid; mutex; _ } ->
+    let vc = Vclock.tick tid (clock_of tid t) in
+    let t = set_clock tid vc t in
+    { t with mutex_clocks = Smap.add mutex vc t.mutex_clocks }
+  | Events.Thread_spawned { parent; child; _ } ->
+    let pvc = Vclock.tick parent (clock_of parent t) in
+    let t = set_clock parent pvc t in
+    set_clock child (Vclock.tick child (Vclock.join pvc (clock_of child t))) t
+  | Events.Thread_joined { tid; child; _ } ->
+    let vc = Vclock.join (clock_of tid t) (clock_of child t) in
+    set_clock tid (Vclock.tick tid vc) t
+  | Events.Cond_waiting { tid; _ } -> set_clock tid (Vclock.tick tid (clock_of tid t)) t
+  | Events.Cond_signalled { tid; woken; _ } ->
+    let vc = Vclock.tick tid (clock_of tid t) in
+    let t = set_clock tid vc t in
+    (* The woken threads observe the signaller's clock when they resume; we
+       apply the edge eagerly, which is sound because the wakeup is already
+       ordered after the signal by the VM. *)
+    List.fold_left
+      (fun t w -> set_clock w (Vclock.tick w (Vclock.join vc (clock_of w t))) t)
+      t woken
+  | Events.Barrier_crossed { tids; _ } ->
+    let all = List.fold_left (fun acc w -> Vclock.join acc (clock_of w t)) Vclock.empty tids in
+    List.fold_left (fun t w -> set_clock w (Vclock.tick w (Vclock.join all (clock_of w t))) t) t tids
+  | Events.Outputted _ -> t
+
+(** Run the detector over a whole event stream; races in detection order.
+
+    [suppress] lists (function, pc) sites of busy-wait synchronization reads
+    (from {!Portend_lang.Static.spin_read_sites}); accesses at these sites
+    are polls of ad-hoc synchronization flags, not data accesses, and do not
+    participate in race reports — the standard refinement of [27, 55] the
+    paper builds on. *)
+let detect ?(suppress = []) events =
+  let suppressed site = List.mem (site.Events.func, site.Events.pc) suppress in
+  let events =
+    if suppress = [] then events
+    else
+      List.filter
+        (function Events.Access { site; _ } -> not (suppressed site) | _ -> true)
+        events
+  in
+  let t = List.fold_left handle_event init events in
+  List.rev t.races
+
+(** Distinct races (cluster representatives) with instance counts. *)
+let detect_clustered ?suppress events = Report.cluster (detect ?suppress events)

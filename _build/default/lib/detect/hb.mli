@@ -1,0 +1,24 @@
+(** Dynamic happens-before data race detector (§3.1).
+
+    Processes an execution's event stream in order, maintaining vector
+    clocks per thread, mutex, condition variable and barrier, and a bounded
+    per-location access history, and reports every pair of conflicting
+    accesses unordered by happens-before.
+
+    Recognized happens-before edges (the paper's detector over POSIX
+    primitives): thread create and join, mutex release→acquire,
+    signal/broadcast→wakeup, and barrier arrival→departure. *)
+
+(** Run the detector over a whole event stream; races in detection order.
+
+    [suppress] lists (function, pc) sites of busy-wait synchronization reads
+    (from {!Portend_lang.Static.spin_read_sites}); accesses at these sites
+    poll ad-hoc synchronization flags and do not participate in race
+    reports — the refinement of [27, 55] the paper builds on. *)
+val detect : ?suppress:(string * int) list -> Portend_vm.Events.t list -> Report.race list
+
+(** Distinct races (cluster representatives) with instance counts. *)
+val detect_clustered :
+  ?suppress:(string * int) list ->
+  Portend_vm.Events.t list ->
+  (Report.race * int) list

@@ -1,0 +1,75 @@
+(** Eraser-style lockset race detector [49].
+
+    Kept alongside the happens-before detector for two reasons: (a) it is the
+    classic source of {e false positive} race reports, which §5.2 of the
+    paper uses to show Portend classifies false positives as “single
+    ordering”; our reproduction of that experiment runs this detector with
+    [~ignore_mutexes:true], simulating a detector with no awareness of mutex
+    synchronization; and (b) it lets tests compare detector families.
+
+    Simplified Eraser: no initialization/shared-state machine; a location is
+    racy as soon as two threads access it (one writing) with disjoint
+    locksets. *)
+
+open Portend_util.Maps
+module Events = Portend_vm.Events
+
+module Locmap = Map.Make (struct
+  type t = Events.loc
+
+  let compare = compare
+end)
+
+type owned = {
+  o_access : Report.access;
+  o_locks : Sset.t;
+}
+
+type t = {
+  held : Sset.t Imap.t;  (** locks held per thread *)
+  last : owned list Locmap.t;  (** recent accesses per location (bounded) *)
+  races : Report.race list;
+  ignore_mutexes : bool;
+}
+
+let init ?(ignore_mutexes = false) () =
+  { held = Imap.empty; last = Locmap.empty; races = []; ignore_mutexes }
+
+let max_history = 8
+
+let handle_event t (ev : Events.t) =
+  match ev with
+  | Events.Lock_acquired { tid; mutex; _ } when not t.ignore_mutexes ->
+    { t with held = Imap.add tid (Sset.add mutex (Imap.find_or ~default:Sset.empty tid t.held)) t.held }
+  | Events.Lock_released { tid; mutex; _ } when not t.ignore_mutexes ->
+    { t with held = Imap.add tid (Sset.remove mutex (Imap.find_or ~default:Sset.empty tid t.held)) t.held }
+  | Events.Lock_acquired _ | Events.Lock_released _ -> t
+  | Events.Access { tid; site; loc; kind; step } ->
+    let locks = Imap.find_or ~default:Sset.empty tid t.held in
+    let access = { Report.a_tid = tid; a_site = site; a_kind = kind; a_step = step } in
+    let prior = match Locmap.find_opt loc t.last with Some l -> l | None -> [] in
+    let racy p =
+      p.o_access.Report.a_tid <> tid
+      && (kind = Events.Write || p.o_access.Report.a_kind = Events.Write)
+      && Sset.is_empty (Sset.inter p.o_locks locks)
+    in
+    let new_races =
+      List.filter racy prior
+      |> List.map (fun p ->
+             let first, second =
+               if p.o_access.Report.a_step <= step then (p.o_access, access) else (access, p.o_access)
+             in
+             Report.{ r_loc = loc; first; second })
+    in
+    let entry = { o_access = access; o_locks = locks } in
+    let prior = entry :: (if List.length prior >= max_history then List.filteri (fun i _ -> i < max_history - 1) prior else prior) in
+    { t with last = Locmap.add loc prior t.last; races = new_races @ t.races }
+  | Events.Thread_spawned _ | Events.Thread_joined _ | Events.Cond_waiting _
+  | Events.Cond_signalled _ | Events.Barrier_crossed _ | Events.Outputted _ -> t
+
+(** Run the lockset detector over an event stream. *)
+let detect ?ignore_mutexes events =
+  let t = List.fold_left handle_event (init ?ignore_mutexes ()) events in
+  List.rev t.races
+
+let detect_clustered ?ignore_mutexes events = Report.cluster (detect ?ignore_mutexes events)

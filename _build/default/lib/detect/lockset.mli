@@ -1,0 +1,12 @@
+(** Eraser-style lockset race detector [49].
+
+    Classic source of {e false positive} reports: §5.2 of the paper shows
+    Portend classifying a mutex-blind detector's false positives as “single
+    ordering”; [~ignore_mutexes:true] simulates that detector. *)
+
+(** Run the lockset detector over an event stream. *)
+val detect : ?ignore_mutexes:bool -> Portend_vm.Events.t list -> Report.race list
+
+(** Distinct races with instance counts. *)
+val detect_clustered :
+  ?ignore_mutexes:bool -> Portend_vm.Events.t list -> (Report.race * int) list

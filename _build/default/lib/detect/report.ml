@@ -1,0 +1,64 @@
+(** Data race reports, and the clustering Portend applies before analysis
+    (§4: races are clustered by racing location and access sites, and one
+    representative per cluster is classified). *)
+
+module Events = Portend_vm.Events
+
+type access = {
+  a_tid : int;
+  a_site : Events.site;
+  a_kind : Events.access_kind;
+  a_step : int;  (** absolute instruction count of the access *)
+}
+
+type race = {
+  r_loc : Events.loc;
+  first : access;  (** earlier access in the detected execution *)
+  second : access;
+}
+
+let access_of_event = function
+  | Events.Access { tid; site; loc = _; kind; step } ->
+    { a_tid = tid; a_site = site; a_kind = kind; a_step = step }
+  | _ -> invalid_arg "Report.access_of_event: not an access"
+
+let pp_access fmt a =
+  Fmt.pf fmt "T%d %a at %a (step %d)" a.a_tid Events.pp_kind a.a_kind Events.pp_site a.a_site
+    a.a_step
+
+let pp_race fmt r =
+  Fmt.pf fmt "@[<v2>race on %a:@,%a@,%a@]" Events.pp_loc r.r_loc pp_access r.first pp_access
+    r.second
+
+(* The base location: array races on different cells of the same array with
+   the same access sites are the same source-level race. *)
+let base_loc = function
+  | Events.Lglobal v -> "g:" ^ v
+  | Events.Larray (a, _) -> "a:" ^ a
+  | Events.Lmeta a -> "m:" ^ a
+
+(** Cluster key: racing location plus the unordered pair of accessing
+    functions.  Function granularity (rather than exact program counters)
+    mirrors the paper's stack-trace clustering: the load and the store of a
+    read-modify-write, or a check and a use of the same variable in one
+    function, belong to the same source-level race. *)
+let cluster_key r =
+  let s1 = r.first.a_site.Events.func and s2 = r.second.a_site.Events.func in
+  let lo, hi = if s1 <= s2 then (s1, s2) else (s2, s1) in
+  Printf.sprintf "%s|%s|%s" (base_loc r.r_loc) lo hi
+
+(** Deduplicate a race list into (representative, instance count) clusters,
+    in order of first appearance. *)
+let cluster races =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun r ->
+      let key = cluster_key r in
+      match Hashtbl.find_opt tbl key with
+      | Some (rep, n) -> Hashtbl.replace tbl key (rep, n + 1)
+      | None ->
+        Hashtbl.add tbl key (r, 1);
+        order := key :: !order)
+    races;
+  List.rev_map (fun key -> Hashtbl.find tbl key) !order

@@ -1,0 +1,34 @@
+(** Data race reports, and the clustering Portend applies before analysis
+    (§4: races are clustered by racing location and access stacks, and one
+    representative per cluster is classified). *)
+
+type access = {
+  a_tid : int;
+  a_site : Portend_vm.Events.site;
+  a_kind : Portend_vm.Events.access_kind;
+  a_step : int;  (** absolute instruction count of the access *)
+}
+
+type race = {
+  r_loc : Portend_vm.Events.loc;
+  first : access;  (** earlier access in the detected execution *)
+  second : access;
+}
+
+(** Project an access event; raises [Invalid_argument] on other events. *)
+val access_of_event : Portend_vm.Events.t -> access
+
+val pp_access : Format.formatter -> access -> unit
+val pp_race : Format.formatter -> race -> unit
+
+(** The base location key: ["g:x"] for globals, ["a:buf"] for any cell of an
+    array, ["m:buf"] for allocation metadata. *)
+val base_loc : Portend_vm.Events.loc -> string
+
+(** Cluster key: racing location plus the unordered pair of accessing
+    functions (function-granular stack-trace clustering). *)
+val cluster_key : race -> string
+
+(** Deduplicate a race list into (representative, instance count) clusters,
+    in order of first appearance. *)
+val cluster : race list -> (race * int) list

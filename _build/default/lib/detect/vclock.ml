@@ -1,0 +1,24 @@
+(** Vector clocks for the happens-before relation [31]. *)
+
+open Portend_util.Maps
+
+type t = int Imap.t
+(** Sparse: absent entries are 0. *)
+
+let empty : t = Imap.empty
+let get tid (vc : t) = Imap.find_or ~default:0 tid vc
+let tick tid (vc : t) = Imap.add tid (get tid vc + 1) vc
+
+let join (a : t) (b : t) : t =
+  Imap.union (fun _ x y -> Some (max x y)) a b
+
+(** [leq a b]: does [a] happen-before-or-equal [b] componentwise? *)
+let leq (a : t) (b : t) = Imap.for_all (fun tid x -> x <= get tid b) a
+
+(** The epoch test of FastTrack-style detectors: the event stamped
+    [(tid, clock)] happened before everything whose vector clock has
+    [clock <= vc tid]. *)
+let epoch_before ~tid ~clock (vc : t) = clock <= get tid vc
+
+let pp fmt (vc : t) =
+  Fmt.pf fmt "⟨%a⟩" Fmt.(list ~sep:comma (pair ~sep:(any ":") int int)) (Imap.bindings vc)

@@ -1,0 +1,25 @@
+(** Vector clocks for the happens-before relation [31]. *)
+
+type t = int Portend_util.Maps.Imap.t
+(** Sparse: absent entries are 0. *)
+
+val empty : t
+
+(** The component for a thread (0 when absent). *)
+val get : int -> t -> int
+
+(** Advance a thread's own component. *)
+val tick : int -> t -> t
+
+(** Componentwise maximum. *)
+val join : t -> t -> t
+
+(** [leq a b]: does [a] happen-before-or-equal [b] componentwise? *)
+val leq : t -> t -> bool
+
+(** The epoch test of FastTrack-style detectors: the event stamped
+    [(tid, clock)] happened before everything whose vector clock has
+    [clock <= vc tid]. *)
+val epoch_before : tid:int -> clock:int -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/lang/bytecode.ml: Ast Fmt List Portend_solver Portend_util

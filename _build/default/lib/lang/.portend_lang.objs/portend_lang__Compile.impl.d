@@ -1,0 +1,1 @@
+lib/lang/compile.ml: Array Ast Bytecode Fmt List Option Portend_solver Portend_util

@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Ast Compile Fmt Lexer List Portend_solver

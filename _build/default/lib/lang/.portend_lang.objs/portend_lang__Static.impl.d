@@ -1,0 +1,1 @@
+lib/lang/static.ml: Array Bytecode List Portend_util Set Smap Sset

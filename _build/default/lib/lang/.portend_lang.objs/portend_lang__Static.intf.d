@@ -1,0 +1,1 @@
+lib/lang/static.mli: Bytecode Set

@@ -1,0 +1,83 @@
+(** Abstract syntax of Racelang, the concurrent imperative language Portend
+    analyzes.
+
+    Racelang plays the role LLVM bitcode plays in the paper: a small language
+    with POSIX-threads-like primitives (spawn/join, mutexes, condition
+    variables, barriers), shared globals and arrays, thread-local variables,
+    symbolic inputs, and output system calls.  Programs are written either
+    with the {!Builder} eDSL or in concrete syntax via {!Parser}. *)
+
+(* Operators are shared with the solver's expression language so that
+   symbolic values propagate without translation. *)
+type unop = Portend_solver.Expr.unop
+type binop = Portend_solver.Expr.binop
+
+type range = { lo : int; hi : int }
+(** Declared range of a symbolic input (inclusive). *)
+
+type expr =
+  | Int of int
+  | Local of string  (** thread-local variable or function parameter *)
+  | Global of string  (** shared global variable — a potential race site *)
+  | ArrGet of string * expr  (** shared array read — a potential race site *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Cond of expr * expr * expr  (** [c ? a : b] *)
+
+type stmt =
+  | Decl of string * expr  (** [var x = e]: declare a thread-local *)
+  | Assign of string * expr  (** assign a previously declared local *)
+  | SetGlobal of string * expr
+  | SetArr of string * expr * expr  (** [a[i] = e] *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Lock of string
+  | Unlock of string
+  | Wait of string * string  (** [wait cond mutex] *)
+  | Signal of string
+  | Broadcast of string
+  | BarrierWait of string
+  | Spawn of string option * string * expr list
+      (** [var t = spawn f(args)]: the optional local receives the tid *)
+  | Join of expr  (** join on a tid value *)
+  | Output of expr list  (** write(2)-style output of integer values *)
+  | Print of string  (** output of a constant string (log/debug messages) *)
+  | Input of string * string * range
+      (** [x = input("name", lo, hi)]: a fresh program input; concrete runs
+          draw it from the environment, symbolic runs make it a fresh
+          symbolic variable constrained to the range *)
+  | Assert of expr * string  (** semantic property (§3.5 “high level”) *)
+  | Yield  (** an explicit preemption point (models [usleep]) *)
+  | Free of string  (** free a shared array; double free is a crash *)
+  | Call of string option * string * expr list
+  | Return of expr option
+
+type func = {
+  fname : string;
+  params : string list;
+  body : stmt list;
+}
+
+type program = {
+  pname : string;
+  globals : (string * int) list;  (** name, initial value *)
+  arrays : (string * int * int) list;  (** name, length, initial cell value *)
+  mutexes : string list;
+  conds : string list;
+  barriers : (string * int) list;  (** name, party count *)
+  funcs : func list;  (** must contain ["main"] *)
+}
+
+let find_func program name = List.find_opt (fun f -> f.fname = name) program.funcs
+
+(** Number of statements, a rough program-size metric used in Table 1. *)
+let rec stmt_size = function
+  | If (_, a, b) -> 1 + block_size a + block_size b
+  | While (_, a) -> 1 + block_size a
+  | Decl _ | Assign _ | SetGlobal _ | SetArr _ | Lock _ | Unlock _ | Wait _ | Signal _
+  | Broadcast _ | BarrierWait _ | Spawn _ | Join _ | Output _ | Print _ | Input _ | Assert _
+  | Yield | Free _ | Call _ | Return _ -> 1
+
+and block_size stmts = List.fold_left (fun acc s -> acc + stmt_size s) 0 stmts
+
+let program_size p = List.fold_left (fun acc f -> acc + 1 + block_size f.body) 0 p.funcs

@@ -1,0 +1,69 @@
+(** Combinator eDSL for constructing Racelang programs in OCaml.
+
+    The workload models (lib/workloads) are written with these combinators;
+    they read close to the C snippets in the paper (cf. Fig 4 and Fig 8). *)
+
+open Ast
+
+(* Expressions *)
+
+let i n = Int n
+let l x = Local x
+let g x = Global x
+let arr a idx = ArrGet (a, idx)
+
+let neg e = Unop (Portend_solver.Expr.Neg, e)
+let not_ e = Unop (Portend_solver.Expr.Lnot, e)
+let ( + ) a b = Binop (Portend_solver.Expr.Add, a, b)
+let ( - ) a b = Binop (Portend_solver.Expr.Sub, a, b)
+let ( * ) a b = Binop (Portend_solver.Expr.Mul, a, b)
+let ( / ) a b = Binop (Portend_solver.Expr.Div, a, b)
+let ( % ) a b = Binop (Portend_solver.Expr.Rem, a, b)
+let ( == ) a b = Binop (Portend_solver.Expr.Eq, a, b)
+let ( != ) a b = Binop (Portend_solver.Expr.Ne, a, b)
+let ( < ) a b = Binop (Portend_solver.Expr.Lt, a, b)
+let ( <= ) a b = Binop (Portend_solver.Expr.Le, a, b)
+let ( > ) a b = Binop (Portend_solver.Expr.Gt, a, b)
+let ( >= ) a b = Binop (Portend_solver.Expr.Ge, a, b)
+let ( && ) a b = Binop (Portend_solver.Expr.Land, a, b)
+let ( || ) a b = Binop (Portend_solver.Expr.Lor, a, b)
+let cond c a b = Cond (c, a, b)
+
+(* Statements *)
+
+let var x e = Decl (x, e)
+let set x e = Assign (x, e)
+let setg x e = SetGlobal (x, e)
+let seta a idx e = SetArr (a, idx, e)
+let if_ c then_ else_ = If (c, then_, else_)
+let while_ c body = While (c, body)
+let lock m = Lock m
+let unlock m = Unlock m
+let wait c m = Wait (c, m)
+let signal c = Signal c
+let broadcast c = Broadcast c
+let barrier b = BarrierWait b
+let spawn ?into f args = Spawn (into, f, args)
+let join e = Join e
+let output es = Output es
+let print s = Print s
+let input x ~name ~lo ~hi = Input (x, name, { lo; hi })
+let assert_ e msg = Assert (e, msg)
+let yield = Yield
+let free a = Free a
+let call ?into f args = Call (into, f, args)
+let return ?value () = Return value
+
+(** [incr_global x] is the classic racy read-modify-write [x = x + 1]. *)
+let incr_global x = setg x (g x + i 1)
+
+(** A critical section: [lock m; body; unlock m]. *)
+let critical m body = (lock m :: body) @ [ unlock m ]
+
+(* Program assembly *)
+
+let func fname params body = { fname; params; body }
+
+let program ?(globals = []) ?(arrays = []) ?(mutexes = []) ?(conds = []) ?(barriers = []) pname
+    funcs =
+  { pname; globals; arrays; mutexes; conds; barriers; funcs }

@@ -1,0 +1,86 @@
+(** Combinator eDSL for constructing Racelang programs in OCaml.
+
+    The workload models are written with these combinators; they read close
+    to the C snippets in the paper (cf. Fig 4 and Fig 8).  Note that the
+    arithmetic and comparison operators are shadowed for {!Ast.expr}
+    construction — open this module locally. *)
+
+(** {1 Expressions} *)
+
+val i : int -> Ast.expr
+(** integer literal *)
+
+val l : string -> Ast.expr
+(** thread-local variable / parameter *)
+
+val g : string -> Ast.expr
+(** shared global variable *)
+
+val arr : string -> Ast.expr -> Ast.expr
+(** shared array read *)
+
+val neg : Ast.expr -> Ast.expr
+val not_ : Ast.expr -> Ast.expr
+val ( + ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( - ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( * ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( / ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( % ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( == ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( != ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( < ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( <= ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( > ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( >= ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( && ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( || ) : Ast.expr -> Ast.expr -> Ast.expr
+val cond : Ast.expr -> Ast.expr -> Ast.expr -> Ast.expr
+
+(** {1 Statements} *)
+
+val var : string -> Ast.expr -> Ast.stmt
+(** declare a thread-local *)
+
+val set : string -> Ast.expr -> Ast.stmt
+(** assign a declared local *)
+
+val setg : string -> Ast.expr -> Ast.stmt
+val seta : string -> Ast.expr -> Ast.expr -> Ast.stmt
+val if_ : Ast.expr -> Ast.stmt list -> Ast.stmt list -> Ast.stmt
+val while_ : Ast.expr -> Ast.stmt list -> Ast.stmt
+val lock : string -> Ast.stmt
+val unlock : string -> Ast.stmt
+val wait : string -> string -> Ast.stmt
+val signal : string -> Ast.stmt
+val broadcast : string -> Ast.stmt
+val barrier : string -> Ast.stmt
+val spawn : ?into:string -> string -> Ast.expr list -> Ast.stmt
+val join : Ast.expr -> Ast.stmt
+val output : Ast.expr list -> Ast.stmt
+val print : string -> Ast.stmt
+val input : string -> name:string -> lo:int -> hi:int -> Ast.stmt
+val assert_ : Ast.expr -> string -> Ast.stmt
+val yield : Ast.stmt
+val free : string -> Ast.stmt
+val call : ?into:string -> string -> Ast.expr list -> Ast.stmt
+val return : ?value:Ast.expr -> unit -> Ast.stmt
+
+val incr_global : string -> Ast.stmt
+(** the classic racy read-modify-write [x = x + 1] *)
+
+val critical : string -> Ast.stmt list -> Ast.stmt list
+(** [lock m; body; unlock m] *)
+
+(** {1 Program assembly} *)
+
+val func : string -> string list -> Ast.stmt list -> Ast.func
+
+val program :
+  ?globals:(string * int) list ->
+  ?arrays:(string * int * int) list ->
+  ?mutexes:string list ->
+  ?conds:string list ->
+  ?barriers:(string * int) list ->
+  string ->
+  Ast.func list ->
+  Ast.program

@@ -1,0 +1,123 @@
+(** Register bytecode Racelang compiles to — Portend's analogue of LLVM
+    bitcode.
+
+    The key property (relied on by the race detector, the record/replay
+    engine, and the schedulers) is that {e every shared-memory access is a
+    single instruction}: expression evaluation over thread-local registers is
+    compiled to three-address code, so a load from or store to a global or
+    array cell is always its own instruction with its own program counter.
+    Preemption can therefore happen exactly before/after any racy access, as
+    in §3.1. *)
+
+type operand =
+  | Reg of int
+  | Imm of int
+
+type range = Ast.range
+
+type inst =
+  | IBin of int * Ast.binop * operand * operand  (** r := a op b *)
+  | IUn of int * Ast.unop * operand
+  | IMov of int * operand
+  | ILoadG of int * string  (** r := global — shared access *)
+  | IStoreG of string * operand  (** global := v — shared access *)
+  | ILoadA of int * string * operand  (** r := a[i] — shared access *)
+  | IStoreA of string * operand * operand  (** a[i] := v — shared access *)
+  | IJmp of int
+  | IBr of operand * int * int  (** if truthy goto l1 else l2 *)
+  | ICall of int option * string * operand list
+  | IRet of operand option
+  | ISpawn of int option * string * operand list
+  | IJoin of operand
+  | ILock of string
+  | IUnlock of string
+  | IWait of string * string
+  | ISignal of string
+  | IBroadcast of string
+  | IBarrier of string
+  | IOutput of operand list
+  | IOutputStr of string
+  | IInput of int * string * range
+  | IAssert of operand * string
+  | IYield
+  | IFree of string
+
+type func = {
+  fname : string;
+  nparams : int;  (** parameters occupy registers 0..nparams-1 *)
+  nregs : int;
+  code : inst array;
+  reg_names : string array;  (** register index -> source-level name, for reports *)
+}
+
+type t = {
+  pname : string;
+  funcs : func Portend_util.Maps.Smap.t;
+  globals : (string * int) list;
+  arrays : (string * int * int) list;
+  barriers : (string * int) list;
+  source : Ast.program;
+}
+
+let find_func t name = Portend_util.Maps.Smap.find_opt name t.funcs
+
+(** Does executing this instruction touch shared memory?  Used to place
+    preemption points and to feed the race detector. *)
+let shared_access = function
+  | ILoadG _ | IStoreG _ | ILoadA _ | IStoreA _ | IFree _ -> true
+  | IBin _ | IUn _ | IMov _ | IJmp _ | IBr _ | ICall _ | IRet _ | ISpawn _ | IJoin _ | ILock _
+  | IUnlock _ | IWait _ | ISignal _ | IBroadcast _ | IBarrier _ | IOutput _ | IOutputStr _
+  | IInput _ | IAssert _ | IYield -> false
+
+(** Is this instruction a synchronization operation (a preemption point in the
+    sense of §3.1)? *)
+let sync_op = function
+  | ILock _ | IUnlock _ | IWait _ | ISignal _ | IBroadcast _ | IBarrier _ | ISpawn _ | IJoin _
+  | IYield -> true
+  | IBin _ | IUn _ | IMov _ | ILoadG _ | IStoreG _ | ILoadA _ | IStoreA _ | IJmp _ | IBr _
+  | ICall _ | IRet _ | IOutput _ | IOutputStr _ | IInput _ | IAssert _ | IFree _ -> false
+
+let pp_operand fmt = function Reg r -> Fmt.pf fmt "r%d" r | Imm n -> Fmt.pf fmt "#%d" n
+
+let pp_inst fmt inst =
+  let op = pp_operand in
+  match inst with
+  | IBin (d, o, a, b) ->
+    Fmt.pf fmt "r%d := %a %s %a" d op a (Portend_solver.Expr.binop_to_string o) op b
+  | IUn (d, o, a) -> Fmt.pf fmt "r%d := %s%a" d (Portend_solver.Expr.unop_to_string o) op a
+  | IMov (d, a) -> Fmt.pf fmt "r%d := %a" d op a
+  | ILoadG (d, v) -> Fmt.pf fmt "r%d := load %s" d v
+  | IStoreG (v, a) -> Fmt.pf fmt "store %s, %a" v op a
+  | ILoadA (d, v, idx) -> Fmt.pf fmt "r%d := load %s[%a]" d v op idx
+  | IStoreA (v, idx, a) -> Fmt.pf fmt "store %s[%a], %a" v op idx op a
+  | IJmp l -> Fmt.pf fmt "jmp %d" l
+  | IBr (c, l1, l2) -> Fmt.pf fmt "br %a, %d, %d" op c l1 l2
+  | ICall (Some d, f, args) -> Fmt.pf fmt "r%d := call %s(%a)" d f Fmt.(list ~sep:comma op) args
+  | ICall (None, f, args) -> Fmt.pf fmt "call %s(%a)" f Fmt.(list ~sep:comma op) args
+  | IRet (Some a) -> Fmt.pf fmt "ret %a" op a
+  | IRet None -> Fmt.pf fmt "ret"
+  | ISpawn (Some d, f, args) -> Fmt.pf fmt "r%d := spawn %s(%a)" d f Fmt.(list ~sep:comma op) args
+  | ISpawn (None, f, args) -> Fmt.pf fmt "spawn %s(%a)" f Fmt.(list ~sep:comma op) args
+  | IJoin a -> Fmt.pf fmt "join %a" op a
+  | ILock m -> Fmt.pf fmt "lock %s" m
+  | IUnlock m -> Fmt.pf fmt "unlock %s" m
+  | IWait (c, m) -> Fmt.pf fmt "wait %s, %s" c m
+  | ISignal c -> Fmt.pf fmt "signal %s" c
+  | IBroadcast c -> Fmt.pf fmt "broadcast %s" c
+  | IBarrier b -> Fmt.pf fmt "barrier %s" b
+  | IOutput args -> Fmt.pf fmt "output %a" Fmt.(list ~sep:comma op) args
+  | IOutputStr s -> Fmt.pf fmt "output %S" s
+  | IInput (d, n, r) -> Fmt.pf fmt "r%d := input %S [%d,%d]" d n r.Ast.lo r.Ast.hi
+  | IAssert (a, msg) -> Fmt.pf fmt "assert %a, %S" op a msg
+  | IYield -> Fmt.string fmt "yield"
+  | IFree v -> Fmt.pf fmt "free %s" v
+
+let pp_func fmt f =
+  Fmt.pf fmt "@[<v2>fn %s/%d (%d regs):@,%a@]" f.fname f.nparams f.nregs
+    Fmt.(array ~sep:cut (fun fmt i -> pp_inst fmt i))
+    f.code
+
+let pp fmt t =
+  Fmt.pf fmt "@[<v>program %s@,%a@]" t.pname
+    Fmt.(list ~sep:cut pp_func)
+    (Portend_util.Maps.Smap.bindings t.funcs |> List.map snd)

@@ -1,0 +1,348 @@
+(** Compiler from the Racelang AST to {!Bytecode}.
+
+    Straight-line three-address code generation: locals and parameters get
+    fixed registers, subexpressions get fresh temporaries, and control flow
+    is emitted with backpatched jumps.  Shared loads/stores each become their
+    own instruction (see {!Bytecode}).
+
+    Note: [&&] and [||] are strict (both operands evaluated), matching the
+    solver's logical operators; workloads that need C-style short-circuit
+    evaluation (e.g. double-checked locking) use nested [if]s. *)
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+open Bytecode
+
+(* Growable code buffer with backpatching. *)
+module Cg = struct
+  type t = {
+    mutable insts : inst array;
+    mutable len : int;
+    mutable nregs : int;
+    mutable names : (int * string) list;
+  }
+
+  let dummy = IYield
+
+  let create nparams =
+    { insts = Array.make 64 dummy; len = 0; nregs = nparams; names = [] }
+
+  let here cg = cg.len
+
+  let emit cg i =
+    if cg.len = Array.length cg.insts then begin
+      let bigger = Array.make (2 * cg.len) dummy in
+      Array.blit cg.insts 0 bigger 0 cg.len;
+      cg.insts <- bigger
+    end;
+    cg.insts.(cg.len) <- i;
+    cg.len <- cg.len + 1;
+    cg.len - 1
+
+  let patch cg pos i = cg.insts.(pos) <- i
+
+  let fresh_reg ?name cg =
+    let r = cg.nregs in
+    cg.nregs <- r + 1;
+    (match name with Some n -> cg.names <- (r, n) :: cg.names | None -> ());
+    r
+
+  let finish cg fname nparams =
+    let code = Array.sub cg.insts 0 cg.len in
+    let reg_names = Array.make cg.nregs "" in
+    List.iter (fun (r, n) -> reg_names.(r) <- n) cg.names;
+    { fname; nparams; nregs = cg.nregs; code; reg_names }
+end
+
+type ctx = {
+  prog : Ast.program;
+  global_set : Portend_util.Maps.Sset.t;
+  array_set : Portend_util.Maps.Sset.t;
+  mutex_set : Portend_util.Maps.Sset.t;
+  cond_set : Portend_util.Maps.Sset.t;
+  barrier_set : Portend_util.Maps.Sset.t;
+}
+
+let check_member what set name =
+  if not (Portend_util.Maps.Sset.mem name set) then error "undeclared %s: %s" what name
+
+let check_func ctx name nargs =
+  match Ast.find_func ctx.prog name with
+  | None -> error "undefined function: %s" name
+  | Some f ->
+    if List.length f.Ast.params <> nargs then
+      error "function %s expects %d arguments, got %d" name (List.length f.Ast.params) nargs
+
+(* Local environment: name -> register.  Functional map threaded through
+   statement compilation so that [Decl] scopes behave lexically-enough (a
+   declaration is visible until the end of the function, as in C block-less
+   style; redeclaration is an error). *)
+type env = int Portend_util.Maps.Smap.t
+
+let lookup_local env x = Portend_util.Maps.Smap.find_opt x env
+
+let rec gen_expr ctx cg (env : env) (e : Ast.expr) : operand =
+  match e with
+  | Ast.Int n -> Imm n
+  | Ast.Local x -> (
+    match lookup_local env x with
+    | Some r -> Reg r
+    | None ->
+      (* The parser spells every bare identifier [Local]; fall back to a
+         global load when no local of that name is in scope. *)
+      if Portend_util.Maps.Sset.mem x ctx.global_set then gen_expr ctx cg env (Ast.Global x)
+      else error "use of undeclared variable %s" x)
+  | Ast.Global v ->
+    check_member "global" ctx.global_set v;
+    let r = Cg.fresh_reg cg in
+    ignore (Cg.emit cg (ILoadG (r, v)));
+    Reg r
+  | Ast.ArrGet (a, idx) ->
+    check_member "array" ctx.array_set a;
+    let oi = gen_expr ctx cg env idx in
+    let r = Cg.fresh_reg cg in
+    ignore (Cg.emit cg (ILoadA (r, a, oi)));
+    Reg r
+  | Ast.Unop (op, a) -> (
+    match gen_expr ctx cg env a with
+    | Imm n -> Imm (Portend_solver.Expr.apply_unop op n)
+    | Reg _ as oa ->
+      let r = Cg.fresh_reg cg in
+      ignore (Cg.emit cg (IUn (r, op, oa)));
+      Reg r)
+  | Ast.Binop (op, a, b) -> (
+    let oa = gen_expr ctx cg env a in
+    let ob = gen_expr ctx cg env b in
+    match (oa, ob) with
+    | Imm x, Imm y when not (is_div op && y = 0) -> Imm (Portend_solver.Expr.apply_binop op x y)
+    | _, _ ->
+      let r = Cg.fresh_reg cg in
+      ignore (Cg.emit cg (IBin (r, op, oa, ob)));
+      Reg r)
+  | Ast.Cond (c, a, b) ->
+    let oc = gen_expr ctx cg env c in
+    let r = Cg.fresh_reg cg in
+    let br = Cg.emit cg (IJmp 0) in
+    let l_then = Cg.here cg in
+    let oa = gen_expr ctx cg env a in
+    ignore (Cg.emit cg (IMov (r, oa)));
+    let jend = Cg.emit cg (IJmp 0) in
+    let l_else = Cg.here cg in
+    let ob = gen_expr ctx cg env b in
+    ignore (Cg.emit cg (IMov (r, ob)));
+    let l_end = Cg.here cg in
+    Cg.patch cg br (IBr (oc, l_then, l_else));
+    Cg.patch cg jend (IJmp l_end);
+    Reg r
+
+and is_div = function Portend_solver.Expr.Div | Portend_solver.Expr.Rem -> true | _ -> false
+
+let rec gen_stmt ctx cg (env : env) (s : Ast.stmt) : env =
+  match s with
+  | Ast.Decl (x, e) ->
+    if lookup_local env x <> None then error "redeclaration of local %s" x;
+    let o = gen_expr ctx cg env e in
+    let r = Cg.fresh_reg ~name:x cg in
+    ignore (Cg.emit cg (IMov (r, o)));
+    Portend_util.Maps.Smap.add x r env
+  | Ast.Assign (x, e) -> (
+    match lookup_local env x with
+    | Some r ->
+      let o = gen_expr ctx cg env e in
+      ignore (Cg.emit cg (IMov (r, o)));
+      env
+    | None ->
+      if Portend_util.Maps.Sset.mem x ctx.global_set then
+        gen_stmt ctx cg env (Ast.SetGlobal (x, e))
+      else error "assignment to undeclared variable %s" x)
+  | Ast.SetGlobal (v, e) ->
+    check_member "global" ctx.global_set v;
+    let o = gen_expr ctx cg env e in
+    ignore (Cg.emit cg (IStoreG (v, o)));
+    env
+  | Ast.SetArr (a, idx, e) ->
+    check_member "array" ctx.array_set a;
+    let oi = gen_expr ctx cg env idx in
+    let ov = gen_expr ctx cg env e in
+    ignore (Cg.emit cg (IStoreA (a, oi, ov)));
+    env
+  | Ast.If (c, then_, else_) ->
+    let oc = gen_expr ctx cg env c in
+    let br = Cg.emit cg (IJmp 0) in
+    let l_then = Cg.here cg in
+    ignore (gen_block ctx cg env then_);
+    let jend = Cg.emit cg (IJmp 0) in
+    let l_else = Cg.here cg in
+    ignore (gen_block ctx cg env else_);
+    let l_end = Cg.here cg in
+    Cg.patch cg br (IBr (oc, l_then, l_else));
+    Cg.patch cg jend (IJmp l_end);
+    env
+  | Ast.While (c, body) ->
+    let l_top = Cg.here cg in
+    let oc = gen_expr ctx cg env c in
+    let br = Cg.emit cg (IJmp 0) in
+    let l_body = Cg.here cg in
+    ignore (gen_block ctx cg env body);
+    ignore (Cg.emit cg (IJmp l_top));
+    let l_end = Cg.here cg in
+    Cg.patch cg br (IBr (oc, l_body, l_end));
+    env
+  | Ast.Lock m ->
+    check_member "mutex" ctx.mutex_set m;
+    ignore (Cg.emit cg (ILock m));
+    env
+  | Ast.Unlock m ->
+    check_member "mutex" ctx.mutex_set m;
+    ignore (Cg.emit cg (IUnlock m));
+    env
+  | Ast.Wait (c, m) ->
+    check_member "cond" ctx.cond_set c;
+    check_member "mutex" ctx.mutex_set m;
+    ignore (Cg.emit cg (IWait (c, m)));
+    env
+  | Ast.Signal c ->
+    check_member "cond" ctx.cond_set c;
+    ignore (Cg.emit cg (ISignal c));
+    env
+  | Ast.Broadcast c ->
+    check_member "cond" ctx.cond_set c;
+    ignore (Cg.emit cg (IBroadcast c));
+    env
+  | Ast.BarrierWait b ->
+    check_member "barrier" ctx.barrier_set b;
+    ignore (Cg.emit cg (IBarrier b));
+    env
+  | Ast.Spawn (dst, f, args) ->
+    check_func ctx f (List.length args);
+    let oargs = List.map (gen_expr ctx cg env) args in
+    let env, dreg =
+      match dst with
+      | None -> (env, None)
+      | Some x -> (
+        match lookup_local env x with
+        | Some r -> (env, Some r)
+        | None ->
+          let r = Cg.fresh_reg ~name:x cg in
+          (Portend_util.Maps.Smap.add x r env, Some r))
+    in
+    ignore (Cg.emit cg (ISpawn (dreg, f, oargs)));
+    env
+  | Ast.Join e ->
+    let o = gen_expr ctx cg env e in
+    ignore (Cg.emit cg (IJoin o));
+    env
+  | Ast.Output es ->
+    let os = List.map (gen_expr ctx cg env) es in
+    ignore (Cg.emit cg (IOutput os));
+    env
+  | Ast.Print s ->
+    ignore (Cg.emit cg (IOutputStr s));
+    env
+  | Ast.Input (x, name, range) ->
+    let env, r =
+      match lookup_local env x with
+      | Some r -> (env, r)
+      | None ->
+        let r = Cg.fresh_reg ~name:x cg in
+        (Portend_util.Maps.Smap.add x r env, r)
+    in
+    ignore (Cg.emit cg (IInput (r, name, range)));
+    env
+  | Ast.Assert (e, msg) ->
+    let o = gen_expr ctx cg env e in
+    ignore (Cg.emit cg (IAssert (o, msg)));
+    env
+  | Ast.Yield ->
+    ignore (Cg.emit cg IYield);
+    env
+  | Ast.Free a ->
+    check_member "array" ctx.array_set a;
+    ignore (Cg.emit cg (IFree a));
+    env
+  | Ast.Call (dst, f, args) ->
+    check_func ctx f (List.length args);
+    let oargs = List.map (gen_expr ctx cg env) args in
+    let env, dreg =
+      match dst with
+      | None -> (env, None)
+      | Some x -> (
+        match lookup_local env x with
+        | Some r -> (env, Some r)
+        | None ->
+          let r = Cg.fresh_reg ~name:x cg in
+          (Portend_util.Maps.Smap.add x r env, Some r))
+    in
+    ignore (Cg.emit cg (ICall (dreg, f, oargs)));
+    env
+  | Ast.Return e ->
+    let o = Option.map (gen_expr ctx cg env) e in
+    ignore (Cg.emit cg (IRet o));
+    env
+
+and gen_block ctx cg env stmts = List.fold_left (gen_stmt ctx cg) env stmts
+
+let compile_func ctx (f : Ast.func) : func =
+  let nparams = List.length f.Ast.params in
+  let cg = Cg.create nparams in
+  let env, _ =
+    List.fold_left
+      (fun (env, r) p ->
+        if Portend_util.Maps.Smap.mem p env then error "duplicate parameter %s in %s" p f.Ast.fname;
+        cg.Cg.names <- (r, p) :: cg.Cg.names;
+        (Portend_util.Maps.Smap.add p r env, r + 1))
+      (Portend_util.Maps.Smap.empty, 0)
+      f.Ast.params
+  in
+  ignore (gen_block ctx cg env f.Ast.body);
+  ignore (Cg.emit cg (IRet None));
+  Cg.finish cg f.Ast.fname nparams
+
+let sset_of_list l = List.fold_right Portend_util.Maps.Sset.add l Portend_util.Maps.Sset.empty
+
+let dup_check what names =
+  let sorted = List.sort compare names in
+  let rec go = function
+    | a :: b :: _ when a = b -> error "duplicate %s declaration: %s" what a
+    | _ :: rest -> go rest
+    | [] -> ()
+  in
+  go sorted
+
+let compile (p : Ast.program) : t =
+  let gnames = List.map (fun (n, _) -> n) p.Ast.globals in
+  let anames = List.map (fun (n, _, _) -> n) p.Ast.arrays in
+  let bnames = List.map fst p.Ast.barriers in
+  dup_check "global" gnames;
+  dup_check "array" anames;
+  dup_check "mutex" p.Ast.mutexes;
+  dup_check "cond" p.Ast.conds;
+  dup_check "barrier" bnames;
+  dup_check "function" (List.map (fun f -> f.Ast.fname) p.Ast.funcs);
+  List.iter (fun (n, len, _) -> if len <= 0 then error "array %s has non-positive length" n) p.Ast.arrays;
+  let ctx =
+    { prog = p;
+      global_set = sset_of_list gnames;
+      array_set = sset_of_list anames;
+      mutex_set = sset_of_list p.Ast.mutexes;
+      cond_set = sset_of_list p.Ast.conds;
+      barrier_set = sset_of_list bnames
+    }
+  in
+  (match Ast.find_func p "main" with
+  | None -> error "program %s has no main function" p.Ast.pname
+  | Some f -> if f.Ast.params <> [] then error "main must take no parameters");
+  let funcs =
+    List.fold_left
+      (fun m f -> Portend_util.Maps.Smap.add f.Ast.fname (compile_func ctx f) m)
+      Portend_util.Maps.Smap.empty p.Ast.funcs
+  in
+  { pname = p.Ast.pname;
+    funcs;
+    globals = p.Ast.globals;
+    arrays = p.Ast.arrays;
+    barriers = p.Ast.barriers;
+    source = p
+  }

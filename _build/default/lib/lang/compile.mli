@@ -1,0 +1,15 @@
+(** Compiler from the Racelang AST to {!Bytecode}.
+
+    Three-address code generation: locals and parameters get fixed
+    registers, subexpressions get fresh temporaries, control flow uses
+    backpatched jumps, and every shared load/store is its own instruction
+    (see {!Bytecode}).
+
+    Note: [&&] and [||] are strict (both operands evaluated); workloads
+    that need C-style short-circuit evaluation use nested [if]s. *)
+
+exception Error of string
+(** Validation failure: missing [main], undeclared names, arity mismatches,
+    redeclarations, non-positive array lengths, … *)
+
+val compile : Ast.program -> Bytecode.t

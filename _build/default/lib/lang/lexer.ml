@@ -1,0 +1,108 @@
+(** Hand-written lexer for Racelang's concrete syntax (see {!Parser} for the
+    grammar). *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | STRING of string
+  | KW of string  (** keyword *)
+  | PUNCT of string  (** operator or delimiter *)
+  | EOF
+
+type lexed = {
+  tok : token;
+  line : int;
+}
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+let keywords =
+  [ "program"; "global"; "array"; "mutex"; "cond"; "barrier"; "fn"; "var"; "if"; "else";
+    "while"; "lock"; "unlock"; "wait"; "signal"; "broadcast"; "barrier_wait"; "spawn"; "join";
+    "output"; "print"; "input"; "assert"; "yield"; "free"; "return"
+  ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+(* Two-character operators first, then single characters. *)
+let two_char_ops = [ "=="; "!="; "<="; ">="; "&&"; "||" ]
+let one_char_ops = [ "("; ")"; "{"; "}"; "["; "]"; ","; ";"; ":"; "="; "<"; ">"; "+"; "-"; "*";
+                     "/"; "%"; "!"; "?" ]
+
+(** Tokenize a whole source string.  Comments run from [//] to end of line. *)
+let tokenize (src : string) : lexed list =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let emit tok = toks := { tok; line = !line } :: !toks in
+  let rec go i =
+    if i >= n then emit EOF
+    else
+      let c = src.[i] in
+      if c = '\n' then begin
+        incr line;
+        go (i + 1)
+      end
+      else if c = ' ' || c = '\t' || c = '\r' then go (i + 1)
+      else if c = '/' && i + 1 < n && src.[i + 1] = '/' then begin
+        let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
+        go (skip i)
+      end
+      else if is_digit c then begin
+        let rec span j = if j < n && is_digit src.[j] then span (j + 1) else j in
+        let j = span i in
+        emit (INT (int_of_string (String.sub src i (j - i))));
+        go j
+      end
+      else if is_ident_start c then begin
+        let rec span j = if j < n && is_ident_char src.[j] then span (j + 1) else j in
+        let j = span i in
+        let word = String.sub src i (j - i) in
+        emit (if List.mem word keywords then KW word else IDENT word);
+        go j
+      end
+      else if c = '"' then begin
+        let buf = Buffer.create 16 in
+        let rec scan j =
+          if j >= n then error "line %d: unterminated string" !line
+          else if src.[j] = '"' then j + 1
+          else if src.[j] = '\\' && j + 1 < n then begin
+            (match src.[j + 1] with
+            | 'n' -> Buffer.add_char buf '\n'
+            | 't' -> Buffer.add_char buf '\t'
+            | ch -> Buffer.add_char buf ch);
+            scan (j + 2)
+          end
+          else begin
+            Buffer.add_char buf src.[j];
+            scan (j + 1)
+          end
+        in
+        let j = scan (i + 1) in
+        emit (STRING (Buffer.contents buf));
+        go j
+      end
+      else if i + 1 < n && List.mem (String.sub src i 2) two_char_ops then begin
+        emit (PUNCT (String.sub src i 2));
+        go (i + 2)
+      end
+      else if List.mem (String.make 1 c) one_char_ops then begin
+        emit (PUNCT (String.make 1 c));
+        go (i + 1)
+      end
+      else error "line %d: unexpected character %C" !line c
+  in
+  go 0;
+  List.rev !toks
+
+let token_to_string = function
+  | INT n -> string_of_int n
+  | IDENT s -> s
+  | STRING s -> Printf.sprintf "%S" s
+  | KW s -> s
+  | PUNCT s -> s
+  | EOF -> "<eof>"

@@ -1,0 +1,412 @@
+(** Recursive-descent parser for Racelang's concrete syntax.
+
+    {v
+    program  ::= "program" IDENT decl* fn+
+    decl     ::= "global" IDENT "=" INT
+               | "array" IDENT "[" INT "]" "=" INT
+               | "mutex" IDENT | "cond" IDENT
+               | "barrier" IDENT "=" INT
+    fn       ::= "fn" IDENT "(" params? ")" block
+    block    ::= "{" stmt* "}"
+    stmt     ::= "var" IDENT "=" rhs ";"
+               | IDENT "=" rhs ";"
+               | IDENT "[" expr "]" "=" expr ";"
+               | "if" "(" expr ")" block ("else" block)?
+               | "while" "(" expr ")" block
+               | "lock" IDENT ";" | "unlock" IDENT ";"
+               | "wait" IDENT "," IDENT ";"
+               | "signal" IDENT ";" | "broadcast" IDENT ";"
+               | "barrier_wait" IDENT ";"
+               | "join" expr ";"
+               | "output" expr ("," expr)* ";"
+               | "print" STRING ";"
+               | "assert" expr ":" STRING ";"
+               | "yield" ";" | "free" IDENT ";"
+               | "return" expr? ";"
+               | IDENT "(" args? ")" ";"
+    rhs      ::= "spawn" IDENT "(" args? ")"
+               | "input" "(" STRING "," INT "," INT ")"
+               | IDENT "(" args? ")"          (call)
+               | expr
+    expr     ::= ternary over || && cmp add mul unary atoms
+    v}
+
+    Locals vs globals are resolved later by the compiler: a bare assignment
+    target is a local if declared, otherwise a global. *)
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+type stream = {
+  mutable toks : Lexer.lexed list;
+}
+
+let peek st = match st.toks with [] -> Lexer.EOF | t :: _ -> t.Lexer.tok
+let peek2 st = match st.toks with _ :: t :: _ -> t.Lexer.tok | _ -> Lexer.EOF
+let line st = match st.toks with [] -> 0 | t :: _ -> t.Lexer.line
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    error "line %d: expected %s but found %s" (line st) (Lexer.token_to_string tok)
+      (Lexer.token_to_string (peek st))
+
+let expect_ident st =
+  match peek st with
+  | Lexer.IDENT s ->
+    advance st;
+    s
+  | t -> error "line %d: expected identifier, found %s" (line st) (Lexer.token_to_string t)
+
+let expect_int st =
+  match peek st with
+  | Lexer.INT n ->
+    advance st;
+    n
+  | Lexer.PUNCT "-" -> (
+    advance st;
+    match peek st with
+    | Lexer.INT n ->
+      advance st;
+      -n
+    | t -> error "line %d: expected integer, found %s" (line st) (Lexer.token_to_string t))
+  | t -> error "line %d: expected integer, found %s" (line st) (Lexer.token_to_string t)
+
+let expect_string st =
+  match peek st with
+  | Lexer.STRING s ->
+    advance st;
+    s
+  | t -> error "line %d: expected string, found %s" (line st) (Lexer.token_to_string t)
+
+(* --- expressions --- *)
+
+let binop_of = function
+  | "+" -> Portend_solver.Expr.Add
+  | "-" -> Portend_solver.Expr.Sub
+  | "*" -> Portend_solver.Expr.Mul
+  | "/" -> Portend_solver.Expr.Div
+  | "%" -> Portend_solver.Expr.Rem
+  | "==" -> Portend_solver.Expr.Eq
+  | "!=" -> Portend_solver.Expr.Ne
+  | "<" -> Portend_solver.Expr.Lt
+  | "<=" -> Portend_solver.Expr.Le
+  | ">" -> Portend_solver.Expr.Gt
+  | ">=" -> Portend_solver.Expr.Ge
+  | "&&" -> Portend_solver.Expr.Land
+  | "||" -> Portend_solver.Expr.Lor
+  | op -> error "unknown operator %s" op
+
+let rec parse_expr st : Ast.expr =
+  let cond = parse_or st in
+  if peek st = Lexer.PUNCT "?" then begin
+    advance st;
+    let a = parse_expr st in
+    expect st (Lexer.PUNCT ":");
+    let b = parse_expr st in
+    Ast.Cond (cond, a, b)
+  end
+  else cond
+
+and parse_level ops next st =
+  let lhs = next st in
+  let rec loop lhs =
+    match peek st with
+    | Lexer.PUNCT op when List.mem op ops ->
+      advance st;
+      let rhs = next st in
+      loop (Ast.Binop (binop_of op, lhs, rhs))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_or st = parse_level [ "||" ] parse_and st
+and parse_and st = parse_level [ "&&" ] parse_cmp st
+and parse_cmp st = parse_level [ "=="; "!="; "<"; "<="; ">"; ">=" ] parse_add st
+and parse_add st = parse_level [ "+"; "-" ] parse_mul st
+and parse_mul st = parse_level [ "*"; "/"; "%" ] parse_unary st
+
+and parse_unary st =
+  match peek st with
+  | Lexer.PUNCT "!" ->
+    advance st;
+    Ast.Unop (Portend_solver.Expr.Lnot, parse_unary st)
+  | Lexer.PUNCT "-" ->
+    advance st;
+    Ast.Unop (Portend_solver.Expr.Neg, parse_unary st)
+  | _ -> parse_atom st
+
+and parse_atom st =
+  match peek st with
+  | Lexer.INT n ->
+    advance st;
+    Ast.Int n
+  | Lexer.PUNCT "(" ->
+    advance st;
+    let e = parse_expr st in
+    expect st (Lexer.PUNCT ")");
+    e
+  | Lexer.IDENT name -> (
+    advance st;
+    match peek st with
+    | Lexer.PUNCT "[" ->
+      advance st;
+      let idx = parse_expr st in
+      expect st (Lexer.PUNCT "]");
+      Ast.ArrGet (name, idx)
+    | _ ->
+      (* Local vs global is resolved during compilation; the AST uses
+         [Local] as the neutral spelling and the resolver falls back to
+         globals. *)
+      Ast.Local name)
+  | t -> error "line %d: unexpected token %s in expression" (line st) (Lexer.token_to_string t)
+
+let parse_args st =
+  expect st (Lexer.PUNCT "(");
+  if peek st = Lexer.PUNCT ")" then begin
+    advance st;
+    []
+  end
+  else
+    let rec loop acc =
+      let e = parse_expr st in
+      match peek st with
+      | Lexer.PUNCT "," ->
+        advance st;
+        loop (e :: acc)
+      | _ ->
+        expect st (Lexer.PUNCT ")");
+        List.rev (e :: acc)
+    in
+    loop []
+
+(* --- statements --- *)
+
+(* the right-hand side of [x = ...] or [var x = ...] *)
+let parse_rhs st (target : string) ~(declare : bool) : Ast.stmt =
+  let mk_assign e = if declare then Ast.Decl (target, e) else Ast.Assign (target, e) in
+  match peek st with
+  | Lexer.KW "spawn" ->
+    advance st;
+    let f = expect_ident st in
+    let args = parse_args st in
+    if declare then Ast.Spawn (Some target, f, args)
+    else error "line %d: spawn result must bind a fresh local (use var)" (line st)
+  | Lexer.KW "input" ->
+    advance st;
+    expect st (Lexer.PUNCT "(");
+    let name = expect_string st in
+    expect st (Lexer.PUNCT ",");
+    let lo = expect_int st in
+    expect st (Lexer.PUNCT ",");
+    let hi = expect_int st in
+    expect st (Lexer.PUNCT ")");
+    Ast.Input (target, name, { Ast.lo; hi })
+  | Lexer.IDENT f when peek2 st = Lexer.PUNCT "(" ->
+    advance st;
+    let args = parse_args st in
+    Ast.Call (Some target, f, args)
+  | _ -> mk_assign (parse_expr st)
+
+let rec parse_stmt st : Ast.stmt =
+  let semi v =
+    expect st (Lexer.PUNCT ";");
+    v
+  in
+  match peek st with
+  | Lexer.KW "var" ->
+    advance st;
+    let x = expect_ident st in
+    expect st (Lexer.PUNCT "=");
+    semi (parse_rhs st x ~declare:true)
+  | Lexer.KW "if" ->
+    advance st;
+    expect st (Lexer.PUNCT "(");
+    let c = parse_expr st in
+    expect st (Lexer.PUNCT ")");
+    let then_ = parse_block st in
+    let else_ = if peek st = Lexer.KW "else" then (advance st; parse_block st) else [] in
+    Ast.If (c, then_, else_)
+  | Lexer.KW "while" ->
+    advance st;
+    expect st (Lexer.PUNCT "(");
+    let c = parse_expr st in
+    expect st (Lexer.PUNCT ")");
+    Ast.While (c, parse_block st)
+  | Lexer.KW "lock" ->
+    advance st;
+    semi (Ast.Lock (expect_ident st))
+  | Lexer.KW "unlock" ->
+    advance st;
+    semi (Ast.Unlock (expect_ident st))
+  | Lexer.KW "wait" ->
+    advance st;
+    let c = expect_ident st in
+    expect st (Lexer.PUNCT ",");
+    semi (Ast.Wait (c, expect_ident st))
+  | Lexer.KW "signal" ->
+    advance st;
+    semi (Ast.Signal (expect_ident st))
+  | Lexer.KW "broadcast" ->
+    advance st;
+    semi (Ast.Broadcast (expect_ident st))
+  | Lexer.KW "barrier_wait" ->
+    advance st;
+    semi (Ast.BarrierWait (expect_ident st))
+  | Lexer.KW "join" ->
+    advance st;
+    semi (Ast.Join (parse_expr st))
+  | Lexer.KW "output" ->
+    advance st;
+    let rec loop acc =
+      let e = parse_expr st in
+      if peek st = Lexer.PUNCT "," then begin
+        advance st;
+        loop (e :: acc)
+      end
+      else List.rev (e :: acc)
+    in
+    semi (Ast.Output (loop []))
+  | Lexer.KW "print" ->
+    advance st;
+    semi (Ast.Print (expect_string st))
+  | Lexer.KW "assert" ->
+    advance st;
+    let e = parse_expr st in
+    expect st (Lexer.PUNCT ":");
+    semi (Ast.Assert (e, expect_string st))
+  | Lexer.KW "yield" ->
+    advance st;
+    semi Ast.Yield
+  | Lexer.KW "free" ->
+    advance st;
+    semi (Ast.Free (expect_ident st))
+  | Lexer.KW "return" ->
+    advance st;
+    if peek st = Lexer.PUNCT ";" then semi (Ast.Return None)
+    else semi (Ast.Return (Some (parse_expr st)))
+  | Lexer.KW "spawn" ->
+    advance st;
+    let f = expect_ident st in
+    let args = parse_args st in
+    semi (Ast.Spawn (None, f, args))
+  | Lexer.IDENT name -> (
+    advance st;
+    match peek st with
+    | Lexer.PUNCT "(" ->
+      let args = parse_args st in
+      semi (Ast.Call (None, name, args))
+    | Lexer.PUNCT "[" ->
+      advance st;
+      let idx = parse_expr st in
+      expect st (Lexer.PUNCT "]");
+      expect st (Lexer.PUNCT "=");
+      let v = parse_expr st in
+      semi (Ast.SetArr (name, idx, v))
+    | Lexer.PUNCT "=" ->
+      advance st;
+      semi (parse_rhs st name ~declare:false)
+    | t -> error "line %d: unexpected %s after identifier" (line st) (Lexer.token_to_string t))
+  | t -> error "line %d: unexpected token %s at statement start" (line st) (Lexer.token_to_string t)
+
+and parse_block st : Ast.stmt list =
+  expect st (Lexer.PUNCT "{");
+  let rec loop acc =
+    if peek st = Lexer.PUNCT "}" then begin
+      advance st;
+      List.rev acc
+    end
+    else loop (parse_stmt st :: acc)
+  in
+  loop []
+
+(* --- top level --- *)
+
+let parse_program (src : string) : Ast.program =
+  let st = { toks = Lexer.tokenize src } in
+  expect st (Lexer.KW "program");
+  let pname = expect_ident st in
+  let globals = ref [] and arrays = ref [] and mutexes = ref [] in
+  let conds = ref [] and barriers = ref [] and funcs = ref [] in
+  let rec loop () =
+    match peek st with
+    | Lexer.EOF -> ()
+    | Lexer.KW "global" ->
+      advance st;
+      let name = expect_ident st in
+      expect st (Lexer.PUNCT "=");
+      globals := (name, expect_int st) :: !globals;
+      loop ()
+    | Lexer.KW "array" ->
+      advance st;
+      let name = expect_ident st in
+      expect st (Lexer.PUNCT "[");
+      let len = expect_int st in
+      expect st (Lexer.PUNCT "]");
+      expect st (Lexer.PUNCT "=");
+      arrays := (name, len, expect_int st) :: !arrays;
+      loop ()
+    | Lexer.KW "mutex" ->
+      advance st;
+      mutexes := expect_ident st :: !mutexes;
+      loop ()
+    | Lexer.KW "cond" ->
+      advance st;
+      conds := expect_ident st :: !conds;
+      loop ()
+    | Lexer.KW "barrier" ->
+      advance st;
+      let name = expect_ident st in
+      expect st (Lexer.PUNCT "=");
+      barriers := (name, expect_int st) :: !barriers;
+      loop ()
+    | Lexer.KW "fn" ->
+      advance st;
+      let fname = expect_ident st in
+      expect st (Lexer.PUNCT "(");
+      let params =
+        if peek st = Lexer.PUNCT ")" then begin
+          advance st;
+          []
+        end
+        else
+          let rec ps acc =
+            let p = expect_ident st in
+            if peek st = Lexer.PUNCT "," then begin
+              advance st;
+              ps (p :: acc)
+            end
+            else begin
+              expect st (Lexer.PUNCT ")");
+              List.rev (p :: acc)
+            end
+          in
+          ps []
+      in
+      let body = parse_block st in
+      funcs := { Ast.fname; params; body } :: !funcs;
+      loop ()
+    | t -> error "line %d: unexpected %s at top level" (line st) (Lexer.token_to_string t)
+  in
+  loop ();
+  { Ast.pname;
+    globals = List.rev !globals;
+    arrays = List.rev !arrays;
+    mutexes = List.rev !mutexes;
+    conds = List.rev !conds;
+    barriers = List.rev !barriers;
+    funcs = List.rev !funcs
+  }
+
+(** Parse and immediately compile. *)
+let compile_string src = Compile.compile (parse_program src)
+
+let compile_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  compile_string src

@@ -1,0 +1,23 @@
+(** Recursive-descent parser for Racelang's concrete syntax.
+
+    {v
+    program  ::= "program" IDENT decl* fn+
+    decl     ::= "global" IDENT "=" INT
+               | "array" IDENT "[" INT "]" "=" INT
+               | "mutex" IDENT | "cond" IDENT | "barrier" IDENT "=" INT
+    fn       ::= "fn" IDENT "(" params? ")" "{" stmt* "}"
+    v}
+
+    See the implementation header for the statement and expression grammar.
+    Bare identifiers parse as locals; the compiler resolves undeclared ones
+    to globals. *)
+
+exception Error of string
+
+val parse_program : string -> Ast.program
+
+(** Parse and immediately compile. *)
+val compile_string : string -> Bytecode.t
+
+(** Read, parse and compile a [.rl] file. *)
+val compile_file : string -> Bytecode.t

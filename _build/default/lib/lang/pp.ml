@@ -1,0 +1,70 @@
+(** Pretty-printer for Racelang programs, emitting the concrete syntax
+    {!Parser} accepts — so [parse (print p)] round-trips (modulo the
+    [Local]/[Global] spelling, which the compiler resolves identically). *)
+
+open Ast
+
+let unop_str = Portend_solver.Expr.unop_to_string
+let binop_str = Portend_solver.Expr.binop_to_string
+
+let rec pp_expr fmt = function
+  | Int n -> if n < 0 then Fmt.pf fmt "(0 - %d)" (-n) else Fmt.int fmt n
+  | Local x | Global x -> Fmt.string fmt x
+  | ArrGet (a, e) -> Fmt.pf fmt "%s[%a]" a pp_expr e
+  | Unop (op, e) -> Fmt.pf fmt "%s%a" (unop_str op) pp_atom e
+  | Binop (op, a, b) -> Fmt.pf fmt "(%a %s %a)" pp_expr a (binop_str op) pp_expr b
+  | Cond (c, a, b) -> Fmt.pf fmt "(%a ? %a : %a)" pp_expr c pp_expr a pp_expr b
+
+and pp_atom fmt e =
+  match e with
+  | Int _ | Local _ | Global _ | ArrGet _ -> pp_expr fmt e
+  | Unop _ | Binop _ | Cond _ -> Fmt.pf fmt "(%a)" pp_expr e
+
+let pp_args fmt es = Fmt.(list ~sep:comma pp_expr) fmt es
+
+let rec pp_stmt fmt = function
+  | Decl (x, e) -> Fmt.pf fmt "var %s = %a;" x pp_expr e
+  | Assign (x, e) -> Fmt.pf fmt "%s = %a;" x pp_expr e
+  | SetGlobal (x, e) -> Fmt.pf fmt "%s = %a;" x pp_expr e
+  | SetArr (a, i, e) -> Fmt.pf fmt "%s[%a] = %a;" a pp_expr i pp_expr e
+  | If (c, t, []) -> Fmt.pf fmt "@[<v2>if (%a) {%a@]@,}" pp_expr c pp_body t
+  | If (c, t, e) ->
+    Fmt.pf fmt "@[<v2>if (%a) {%a@]@,@[<v2>} else {%a@]@,}" pp_expr c pp_body t pp_body e
+  | While (c, b) -> Fmt.pf fmt "@[<v2>while (%a) {%a@]@,}" pp_expr c pp_body b
+  | Lock m -> Fmt.pf fmt "lock %s;" m
+  | Unlock m -> Fmt.pf fmt "unlock %s;" m
+  | Wait (c, m) -> Fmt.pf fmt "wait %s, %s;" c m
+  | Signal c -> Fmt.pf fmt "signal %s;" c
+  | Broadcast c -> Fmt.pf fmt "broadcast %s;" c
+  | BarrierWait b -> Fmt.pf fmt "barrier_wait %s;" b
+  | Spawn (Some x, f, args) -> Fmt.pf fmt "var %s = spawn %s(%a);" x f pp_args args
+  | Spawn (None, f, args) -> Fmt.pf fmt "spawn %s(%a);" f pp_args args
+  | Join e -> Fmt.pf fmt "join %a;" pp_expr e
+  | Output es -> Fmt.pf fmt "output %a;" pp_args es
+  | Print s -> Fmt.pf fmt "print %S;" s
+  | Input (x, name, r) -> Fmt.pf fmt "var %s = input(%S, %d, %d);" x name r.lo r.hi
+  | Assert (e, msg) -> Fmt.pf fmt "assert %a : %S;" pp_expr e msg
+  | Yield -> Fmt.string fmt "yield;"
+  | Free a -> Fmt.pf fmt "free %s;" a
+  | Call (Some x, f, args) -> Fmt.pf fmt "var %s = %s(%a);" x f pp_args args
+  | Call (None, f, args) -> Fmt.pf fmt "%s(%a);" f pp_args args
+  | Return (Some e) -> Fmt.pf fmt "return %a;" pp_expr e
+  | Return None -> Fmt.string fmt "return;"
+
+and pp_body fmt stmts = List.iter (fun s -> Fmt.pf fmt "@,%a" pp_stmt s) stmts
+
+let pp_func fmt f =
+  Fmt.pf fmt "@[<v2>fn %s(%a) {%a@]@,}" f.fname Fmt.(list ~sep:comma string) f.params pp_body
+    f.body
+
+let pp_program fmt p =
+  Fmt.pf fmt "@[<v>program %s@,@," p.pname;
+  List.iter (fun (n, v) -> Fmt.pf fmt "global %s = %d@," n v) p.globals;
+  List.iter (fun (n, len, v) -> Fmt.pf fmt "array %s[%d] = %d@," n len v) p.arrays;
+  List.iter (fun n -> Fmt.pf fmt "mutex %s@," n) p.mutexes;
+  List.iter (fun n -> Fmt.pf fmt "cond %s@," n) p.conds;
+  List.iter (fun (n, k) -> Fmt.pf fmt "barrier %s = %d@," n k) p.barriers;
+  List.iter (fun f -> Fmt.pf fmt "@,%a@," pp_func f) p.funcs;
+  Fmt.pf fmt "@]"
+
+let program_to_string p = Fmt.str "%a@." pp_program p

@@ -1,0 +1,8 @@
+(** Pretty-printer for Racelang programs, emitting the concrete syntax
+    {!Parser} accepts — [parse (print p)] round-trips behaviourally. *)
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_stmt : Format.formatter -> Ast.stmt -> unit
+val pp_func : Format.formatter -> Ast.func -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+val program_to_string : Ast.program -> string

@@ -1,0 +1,148 @@
+(** Static write-set analysis over the bytecode.
+
+    Used by the classifier to discriminate ad-hoc synchronization from
+    genuine infinite loops (Algorithm 1, lines 8–12): when an execution spins
+    past its budget, the loop's exit condition can still change iff some
+    {e other} live thread's remaining code may write one of the locations the
+    loop condition reads.  “May write” is computed here: the per-function
+    write set, closed transitively over calls and spawns. *)
+
+open Portend_util.Maps
+
+type coarse_loc =
+  | Cglobal of string
+  | Carray of string  (** any cell of the array *)
+
+module Cset = Set.Make (struct
+  type t = coarse_loc
+
+  let compare = compare
+end)
+
+let inst_writes = function
+  | Bytecode.IStoreG (v, _) -> Some (Cglobal v)
+  | Bytecode.IStoreA (v, _, _) -> Some (Carray v)
+  | Bytecode.IFree v -> Some (Carray v)
+  | Bytecode.IBin _ | Bytecode.IUn _ | Bytecode.IMov _ | Bytecode.ILoadG _ | Bytecode.ILoadA _
+  | Bytecode.IJmp _ | Bytecode.IBr _ | Bytecode.ICall _ | Bytecode.IRet _ | Bytecode.ISpawn _
+  | Bytecode.IJoin _ | Bytecode.ILock _ | Bytecode.IUnlock _ | Bytecode.IWait _
+  | Bytecode.ISignal _ | Bytecode.IBroadcast _ | Bytecode.IBarrier _ | Bytecode.IOutput _
+  | Bytecode.IOutputStr _ | Bytecode.IInput _ | Bytecode.IAssert _ | Bytecode.IYield -> None
+
+let inst_reads = function
+  | Bytecode.ILoadG (_, v) -> Some (Cglobal v)
+  | Bytecode.ILoadA (_, v, _) -> Some (Carray v)
+  | Bytecode.IBin _ | Bytecode.IUn _ | Bytecode.IMov _ | Bytecode.IStoreG _ | Bytecode.IStoreA _
+  | Bytecode.IFree _ | Bytecode.IJmp _ | Bytecode.IBr _ | Bytecode.ICall _ | Bytecode.IRet _
+  | Bytecode.ISpawn _ | Bytecode.IJoin _ | Bytecode.ILock _ | Bytecode.IUnlock _
+  | Bytecode.IWait _ | Bytecode.ISignal _ | Bytecode.IBroadcast _ | Bytecode.IBarrier _
+  | Bytecode.IOutput _ | Bytecode.IOutputStr _ | Bytecode.IInput _ | Bytecode.IAssert _
+  | Bytecode.IYield -> None
+
+(* Only direct calls: a [spawn]'s writes happen in the child thread, which
+   the loop analysis already tracks as its own live thread — charging them
+   to the spawner would wrongly mark dead spins as ad-hoc synchronization. *)
+let callees_of_func (f : Bytecode.func) =
+  Array.fold_left
+    (fun acc inst ->
+      match inst with
+      | Bytecode.ICall (_, g, _) -> Sset.add g acc
+      | _ -> acc)
+    Sset.empty f.Bytecode.code
+
+let direct_writes (f : Bytecode.func) =
+  Array.fold_left
+    (fun acc inst -> match inst_writes inst with Some l -> Cset.add l acc | None -> acc)
+    Cset.empty f.Bytecode.code
+
+type t = {
+  write_sets : Cset.t Smap.t;  (** transitive, per function *)
+}
+
+(** Compute transitive write sets for every function by fixpoint iteration
+    over the (tiny) call graph. *)
+let analyze (prog : Bytecode.t) : t =
+  let funcs = Smap.bindings prog.Bytecode.funcs in
+  let direct = List.map (fun (n, f) -> (n, direct_writes f)) funcs |> Smap.of_list in
+  let callees = List.map (fun (n, f) -> (n, callees_of_func f)) funcs |> Smap.of_list in
+  let rec fix sets =
+    let step =
+      Smap.mapi
+        (fun name ws ->
+          let cs = Smap.find_or ~default:Sset.empty name callees in
+          Sset.fold
+            (fun callee acc -> Cset.union acc (Smap.find_or ~default:Cset.empty callee sets))
+            cs ws)
+        sets
+    in
+    if Smap.equal Cset.equal sets step then sets else fix step
+  in
+  { write_sets = fix direct }
+
+(** Transitive write set of [fname]; empty for unknown functions. *)
+let writes t fname = Smap.find_or ~default:Cset.empty fname t.write_sets
+
+(** Can [fname] (transitively) write [loc]? *)
+let may_write t fname loc = Cset.mem loc (writes t fname)
+
+(* --- spin-read identification ------------------------------------------- *)
+
+(* A busy-wait loop: a backward jump whose body performs shared loads but no
+   shared stores, no calls, no outputs and no blocking operations other than
+   lock/unlock polling.  The loads inside such a loop are synchronization
+   reads in the sense of Helgrind+ [27] and ad-hoc-synchronization
+   identification [55, 60]: they poll a flag some other thread will set.
+   The race detector treats them as synchronization rather than data
+   accesses (see {!Portend_detect.Hb}), which is what keeps busy-wait flags
+   from flooding the report list while the data they guard still races. *)
+
+(* A tight polling loop: at most [max_spin_body] instructions, exactly one
+   shared load (the polled flag), and nothing with a side effect beyond
+   registers.  The size bound keeps computation loops (which also read
+   shared data without writing it) out — those reads are real data
+   accesses. *)
+let max_spin_body = 8
+
+let spin_body_ok code lo hi =
+  let ok inst =
+    match inst with
+    | Bytecode.IBin _ | Bytecode.IUn _ | Bytecode.IMov _ | Bytecode.ILoadG _
+    | Bytecode.ILoadA _ | Bytecode.IBr _ | Bytecode.IJmp _ | Bytecode.IYield
+    | Bytecode.ILock _ | Bytecode.IUnlock _ -> true
+    | Bytecode.IStoreG _ | Bytecode.IStoreA _ | Bytecode.IFree _ | Bytecode.ICall _
+    | Bytecode.IRet _ | Bytecode.ISpawn _ | Bytecode.IJoin _ | Bytecode.IWait _
+    | Bytecode.ISignal _ | Bytecode.IBroadcast _ | Bytecode.IBarrier _ | Bytecode.IOutput _
+    | Bytecode.IOutputStr _ | Bytecode.IInput _ | Bytecode.IAssert _ -> false
+  in
+  let loads = ref 0 in
+  let rec go pc =
+    pc > hi
+    || (ok code.(pc)
+       && begin
+            (match code.(pc) with
+            | Bytecode.ILoadG _ | Bytecode.ILoadA _ -> incr loads
+            | _ -> ());
+            go (pc + 1)
+          end)
+  in
+  hi - lo < max_spin_body && go lo && !loads = 1
+
+(** Program counters of busy-wait (spin) loads, per function. *)
+let spin_read_sites (prog : Bytecode.t) : (string * int) list =
+  Smap.fold
+    (fun fname (f : Bytecode.func) acc ->
+      let code = f.Bytecode.code in
+      let sites = ref acc in
+      Array.iteri
+        (fun pc inst ->
+          match inst with
+          | Bytecode.IJmp target when target < pc && spin_body_ok code target pc ->
+            for p = target to pc do
+              match code.(p) with
+              | Bytecode.ILoadG _ | Bytecode.ILoadA _ -> sites := (fname, p) :: !sites
+              | _ -> ()
+            done
+          | _ -> ())
+        code;
+      !sites)
+    prog.Bytecode.funcs []

@@ -1,0 +1,35 @@
+(** Static analysis over the bytecode: transitive write sets (used to
+    discriminate infinite loops from ad-hoc synchronization, §3.5) and
+    busy-wait spin-read identification (used by the detector to keep
+    polling loops out of the race reports, after [27, 55, 60]). *)
+
+type coarse_loc =
+  | Cglobal of string
+  | Carray of string  (** any cell of the array *)
+
+module Cset : Set.S with type elt = coarse_loc
+
+type t
+
+(** Per-function write sets, closed transitively over direct calls (spawned
+    functions belong to the child thread, not the spawner). *)
+val analyze : Bytecode.t -> t
+
+(** The coarse location an instruction writes (if any). *)
+val inst_writes : Bytecode.inst -> coarse_loc option
+
+(** The coarse location an instruction reads (if any). *)
+val inst_reads : Bytecode.inst -> coarse_loc option
+
+(** Transitive write set of a function; empty for unknown names. *)
+val writes : t -> string -> Cset.t
+
+(** Can the function (transitively) write the location? *)
+val may_write : t -> string -> coarse_loc -> bool
+
+(** Program counters of busy-wait (spin) loads, per function: backward jumps
+    whose loop body is at most {!max_spin_body} side-effect-free
+    instructions containing exactly one shared load. *)
+val spin_read_sites : Bytecode.t -> (string * int) list
+
+val max_spin_body : int

@@ -1,0 +1,1 @@
+lib/solver/expr.ml: Fmt Portend_util Stdlib

@@ -1,0 +1,1 @@
+lib/solver/solver.ml: Expr Fmt Interval List Option Portend_util Simplify Smap

@@ -1,0 +1,124 @@
+(** Symbolic integer expressions.
+
+    Everything in Racelang is an integer; booleans are encoded as 0/1 and the
+    comparison/logical operators produce 0/1.  A symbolic expression is the
+    value of a computation over symbolic program inputs ([Var]); the VM mixes
+    these freely with concrete values, and the Portend analyses ship them to
+    {!Solver} as path conditions and symbolic outputs. *)
+
+type unop =
+  | Neg  (** arithmetic negation *)
+  | Lnot  (** logical not: 0 becomes 1, everything else 0 *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div  (** truncated division; division by zero is a VM crash *)
+  | Rem
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Land  (** logical and over truthiness, yields 0/1 *)
+  | Lor
+
+type t =
+  | Const of int
+  | Var of string  (** a symbolic program input *)
+  | Unop of unop * t
+  | Binop of binop * t * t
+  | Ite of t * t * t  (** if-then-else on the truthiness of the condition *)
+
+let bool_of_int n = n <> 0
+let int_of_bool b = if b then 1 else 0
+
+let apply_unop op n = match op with Neg -> -n | Lnot -> int_of_bool (n = 0)
+
+let apply_binop op a b =
+  match op with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Div -> if b = 0 then raise Division_by_zero else a / b
+  | Rem -> if b = 0 then raise Division_by_zero else a mod b
+  | Eq -> int_of_bool (a = b)
+  | Ne -> int_of_bool (a <> b)
+  | Lt -> int_of_bool (a < b)
+  | Le -> int_of_bool (a <= b)
+  | Gt -> int_of_bool (a > b)
+  | Ge -> int_of_bool (a >= b)
+  | Land -> int_of_bool (bool_of_int a && bool_of_int b)
+  | Lor -> int_of_bool (bool_of_int a || bool_of_int b)
+
+(** [eval lookup e] evaluates [e] with [lookup] supplying values for symbolic
+    variables.  Raises [Division_by_zero] or [Not_found] accordingly. *)
+let rec eval lookup = function
+  | Const n -> n
+  | Var v -> lookup v
+  | Unop (op, e) -> apply_unop op (eval lookup e)
+  | Binop (op, a, b) -> apply_binop op (eval lookup a) (eval lookup b)
+  | Ite (c, t, f) -> if bool_of_int (eval lookup c) then eval lookup t else eval lookup f
+
+let rec free_vars acc = function
+  | Const _ -> acc
+  | Var v -> Portend_util.Maps.Sset.add v acc
+  | Unop (_, e) -> free_vars acc e
+  | Binop (_, a, b) -> free_vars (free_vars acc a) b
+  | Ite (c, t, f) -> free_vars (free_vars (free_vars acc c) t) f
+
+let vars e = free_vars Portend_util.Maps.Sset.empty e
+
+let rec subst env = function
+  | Const n -> Const n
+  | Var v -> ( match Portend_util.Maps.Smap.find_opt v env with Some e -> e | None -> Var v)
+  | Unop (op, e) -> Unop (op, subst env e)
+  | Binop (op, a, b) -> Binop (op, subst env a, subst env b)
+  | Ite (c, t, f) -> Ite (subst env c, subst env t, subst env f)
+
+let is_const = function Const _ -> true | Var _ | Unop _ | Binop _ | Ite _ -> false
+
+let rec size = function
+  | Const _ | Var _ -> 1
+  | Unop (_, e) -> 1 + size e
+  | Binop (_, a, b) -> 1 + size a + size b
+  | Ite (c, t, f) -> 1 + size c + size t + size f
+
+let unop_to_string = function Neg -> "-" | Lnot -> "!"
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Rem -> "%"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Land -> "&&"
+  | Lor -> "||"
+
+let rec pp fmt = function
+  | Const n -> Fmt.int fmt n
+  | Var v -> Fmt.string fmt v
+  | Unop (op, e) -> Fmt.pf fmt "%s%a" (unop_to_string op) pp_atom e
+  | Binop (op, a, b) -> Fmt.pf fmt "(%a %s %a)" pp a (binop_to_string op) pp b
+  | Ite (c, t, f) -> Fmt.pf fmt "(ite %a %a %a)" pp c pp t pp f
+
+and pp_atom fmt e =
+  match e with
+  | Const _ | Var _ -> pp fmt e
+  | Unop _ | Binop _ | Ite _ -> Fmt.pf fmt "(%a)" pp e
+
+let to_string e = Fmt.str "%a" pp e
+
+(* Structural equality is the derived one; expose a named version for
+   readability at call sites. *)
+let equal (a : t) (b : t) = a = b
+
+let compare (a : t) (b : t) = Stdlib.compare a b

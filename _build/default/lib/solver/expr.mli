@@ -1,0 +1,71 @@
+(** Symbolic integer expressions.
+
+    Everything in Racelang is an integer; booleans are encoded as 0/1.  A
+    symbolic expression is the value of a computation over symbolic program
+    inputs ({!Var}); the VM mixes these freely with concrete values, and the
+    Portend analyses ship them to {!Solver} as path conditions and symbolic
+    outputs. *)
+
+type unop =
+  | Neg  (** arithmetic negation *)
+  | Lnot  (** logical not: 0 becomes 1, everything else 0 *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div  (** truncated division; division by zero is a VM crash *)
+  | Rem
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Land  (** logical and over truthiness, yields 0/1 *)
+  | Lor
+
+type t =
+  | Const of int
+  | Var of string  (** a symbolic program input *)
+  | Unop of unop * t
+  | Binop of binop * t * t
+  | Ite of t * t * t  (** if-then-else on the truthiness of the condition *)
+
+val bool_of_int : int -> bool
+val int_of_bool : bool -> int
+
+val apply_unop : unop -> int -> int
+
+(** Concrete semantics of a binary operator.  Raises [Division_by_zero]. *)
+val apply_binop : binop -> int -> int -> int
+
+(** [eval lookup e] evaluates [e], with [lookup] supplying symbolic variable
+    values.  Raises [Division_by_zero] or [Not_found] accordingly. *)
+val eval : (string -> int) -> t -> int
+
+(** Accumulate the free variables of an expression into a set. *)
+val free_vars :
+  Portend_util.Maps.Sset.t -> t -> Portend_util.Maps.Sset.t
+
+(** The free variables of an expression. *)
+val vars : t -> Portend_util.Maps.Sset.t
+
+(** Capture-free substitution of variables by expressions. *)
+val subst : t Portend_util.Maps.Smap.t -> t -> t
+
+val is_const : t -> bool
+
+(** Node count. *)
+val size : t -> int
+
+val unop_to_string : unop -> string
+val binop_to_string : binop -> string
+val pp : Format.formatter -> t -> unit
+val pp_atom : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Structural equality. *)
+val equal : t -> t -> bool
+
+val compare : t -> t -> int

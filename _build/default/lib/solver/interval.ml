@@ -1,0 +1,133 @@
+(** Integer interval domain with forward evaluation and backward (HC4-style)
+    narrowing.  This is the abstract domain behind {!Solver}. *)
+
+(* Bounds are plain ints clamped to +/- [big] so that interval arithmetic can
+   never overflow OCaml's native ints.  Program values in Racelang workloads
+   are tiny compared to [big]. *)
+let big = 1 lsl 50
+
+let clamp n = if n > big then big else if n < -big then -big else n
+
+type t = { lo : int; hi : int }
+(** Inclusive, non-empty by construction: emptiness is [None] at the API. *)
+
+let make lo hi = if lo > hi then None else Some { lo = clamp lo; hi = clamp hi }
+let singleton n = { lo = clamp n; hi = clamp n }
+let top = { lo = -big; hi = big }
+let is_singleton iv = iv.lo = iv.hi
+let mem n iv = iv.lo <= n && n <= iv.hi
+let width iv = iv.hi - iv.lo
+let pp fmt iv = Fmt.pf fmt "[%d,%d]" iv.lo iv.hi
+
+let meet a b = make (max a.lo b.lo) (min a.hi b.hi)
+let join a b = { lo = min a.lo b.lo; hi = max a.hi b.hi }
+
+(* Interval holding exactly the booleans. *)
+let bool_iv = { lo = 0; hi = 1 }
+
+let neg iv = { lo = clamp (-iv.hi); hi = clamp (-iv.lo) }
+let add a b = { lo = clamp (a.lo + b.lo); hi = clamp (a.hi + b.hi) }
+let sub a b = add a (neg b)
+
+let mul a b =
+  let p1 = a.lo * b.lo and p2 = a.lo * b.hi and p3 = a.hi * b.lo and p4 = a.hi * b.hi in
+  { lo = clamp (min (min p1 p2) (min p3 p4)); hi = clamp (max (max p1 p2) (max p3 p4)) }
+
+(* Conservative: exact when the divisor interval excludes zero, [top]-ish
+   otherwise (the VM flags an actual division by zero as a crash before the
+   solver ever sees it). *)
+let div a b =
+  if b.lo <= 0 && b.hi >= 0 then top
+  else
+    let q1 = a.lo / b.lo and q2 = a.lo / b.hi and q3 = a.hi / b.lo and q4 = a.hi / b.hi in
+    { lo = clamp (min (min q1 q2) (min q3 q4)); hi = clamp (max (max q1 q2) (max q3 q4)) }
+
+let rem a b =
+  if b.lo <= 0 && b.hi >= 0 then top
+  else
+    let m = max (abs b.lo) (abs b.hi) - 1 in
+    let lo = if a.lo < 0 then -m else 0 and hi = if a.hi > 0 then m else 0 in
+    { lo; hi }
+
+(* Forward abstract comparisons: refine to a singleton when the argument
+   intervals decide the comparison, else the full boolean interval. *)
+let cmp_eq a b =
+  if is_singleton a && is_singleton b && a.lo = b.lo then singleton 1
+  else if a.hi < b.lo || b.hi < a.lo then singleton 0
+  else bool_iv
+
+let cmp_lt a b = if a.hi < b.lo then singleton 1 else if a.lo >= b.hi then singleton 0 else bool_iv
+let cmp_le a b = if a.hi <= b.lo then singleton 1 else if a.lo > b.hi then singleton 0 else bool_iv
+
+let lnot iv =
+  if is_singleton iv && iv.lo = 0 then singleton 1 else if not (mem 0 iv) then singleton 0 else bool_iv
+
+let land_ a b =
+  if (is_singleton a && a.lo = 0) || (is_singleton b && b.lo = 0) then singleton 0
+  else if (not (mem 0 a)) && not (mem 0 b) then singleton 1
+  else bool_iv
+
+let lor_ a b =
+  if (not (mem 0 a)) || not (mem 0 b) then singleton 1
+  else if is_singleton a && a.lo = 0 && is_singleton b && b.lo = 0 then singleton 0
+  else bool_iv
+
+(* Backward narrowers: given that [a op b] must land in [r], narrow [a] and
+   [b].  [None] signals an empty (infeasible) result. *)
+
+let bwd_add a b r =
+  match (meet a (sub r b), meet b (sub r a)) with
+  | Some a', Some b' -> Some (a', b')
+  | None, _ | _, None -> None
+
+let bwd_sub a b r =
+  (* a - b = r  =>  a in r + b, b in a - r *)
+  match (meet a (add r b), meet b (sub a r)) with
+  | Some a', Some b' -> Some (a', b')
+  | None, _ | _, None -> None
+
+let bwd_neg a r = meet a (neg r)
+
+(* Only narrow multiplication through a nonzero constant factor; anything
+   fancier is left to search-by-splitting in the solver. *)
+let bwd_mul a b r =
+  let narrow_by_const x c =
+    if c = 0 then Some x
+    else
+      let lo = if c > 0 then r.lo else r.hi and hi = if c > 0 then r.hi else r.lo in
+      let q_lo = if lo >= 0 then (lo + abs c - 1) / c else lo / c in
+      let q_hi = if hi >= 0 then hi / c else (hi - abs c + 1) / c in
+      let q_lo, q_hi = if c > 0 then (q_lo, q_hi) else (q_hi, q_lo) in
+      meet x { lo = clamp q_lo; hi = clamp q_hi }
+  in
+  let a' = if is_singleton b then narrow_by_const a b.lo else Some a in
+  let b' = if is_singleton a then narrow_by_const b a.lo else Some b in
+  match (a', b') with Some a', Some b' -> Some (a', b') | None, _ | _, None -> None
+
+(* Narrow both sides of a comparison that is known to hold. *)
+let bwd_lt a b =
+  match (make a.lo (min a.hi (b.hi - 1)), make (max b.lo (a.lo + 1)) b.hi) with
+  | Some a', Some b' -> Some (a', b')
+  | None, _ | _, None -> None
+
+let bwd_le a b =
+  match (make a.lo (min a.hi b.hi), make (max b.lo a.lo) b.hi) with
+  | Some a', Some b' -> Some (a', b')
+  | None, _ | _, None -> None
+
+let bwd_eq a b = match meet a b with Some m -> Some (m, m) | None -> None
+
+(* a != b narrows only when one side is a singleton at the other's border. *)
+let bwd_ne a b =
+  let shave x pt =
+    if is_singleton x && x.lo = pt then None
+    else if x.lo = pt then make (pt + 1) x.hi
+    else if x.hi = pt then make x.lo (pt - 1)
+    else Some x
+  in
+  let a' = if is_singleton b then shave a b.lo else Some a in
+  match a' with
+  | None -> None
+  | Some a' -> (
+    let b' = if is_singleton a' then shave b a'.lo else Some b in
+    match b' with None -> None | Some b' -> Some (a', b'))

@@ -1,0 +1,84 @@
+(** Algebraic simplification of symbolic expressions.
+
+    The VM simplifies every expression it builds, which keeps path conditions
+    and symbolic outputs small: most intermediate expressions over concrete
+    operands fold back to constants, so symbolic trees only grow where a
+    symbolic input genuinely flows. *)
+
+open Expr
+
+let rec simplify e =
+  match e with
+  | Const _ | Var _ -> e
+  | Unop (op, a) -> simplify_unop op (simplify a)
+  | Binop (op, a, b) -> simplify_binop op (simplify a) (simplify b)
+  | Ite (c, t, f) -> (
+    let c = simplify c and t = simplify t and f = simplify f in
+    match c with
+    | Const n -> if n <> 0 then t else f
+    | Var _ | Unop _ | Binop _ | Ite _ -> if equal t f then t else Ite (c, t, f))
+
+and simplify_unop op a =
+  match (op, a) with
+  | Neg, Const n -> Const (-n)
+  | Neg, Unop (Neg, e) -> e
+  | Lnot, Const n -> Const (int_of_bool (n = 0))
+  | Lnot, Unop (Lnot, Unop (Lnot, e)) -> Unop (Lnot, e)
+  (* !(a == b) -> a != b and friends: keeps comparisons at the root where the
+     interval solver can narrow them. *)
+  | Lnot, Binop (Eq, x, y) -> Binop (Ne, x, y)
+  | Lnot, Binop (Ne, x, y) -> Binop (Eq, x, y)
+  | Lnot, Binop (Lt, x, y) -> Binop (Ge, x, y)
+  | Lnot, Binop (Le, x, y) -> Binop (Gt, x, y)
+  | Lnot, Binop (Gt, x, y) -> Binop (Le, x, y)
+  | Lnot, Binop (Ge, x, y) -> Binop (Lt, x, y)
+  | (Neg | Lnot), _ -> Unop (op, a)
+
+and simplify_binop op a b =
+  match (op, a, b) with
+  | _, Const x, Const y -> (
+    match apply_binop op x y with
+    | n -> Const n
+    | exception Division_by_zero -> Binop (op, a, b))
+  | Add, e, Const 0 | Add, Const 0, e -> e
+  | Sub, e, Const 0 -> e
+  | Sub, e1, e2 when equal e1 e2 -> Const 0
+  | Mul, _, Const 0 | Mul, Const 0, _ -> Const 0
+  | Mul, e, Const 1 | Mul, Const 1, e -> e
+  | Div, e, Const 1 -> e
+  | Land, e, Const c | Land, Const c, e ->
+    if c = 0 then Const 0 else Binop (Ne, e, Const 0) |> norm_truth e
+  | Lor, e, Const c | Lor, Const c, e ->
+    if c <> 0 then Const 1 else Binop (Ne, e, Const 0) |> norm_truth e
+  | (Eq | Le | Ge), e1, e2 when equal e1 e2 -> Const 1
+  | (Ne | Lt | Gt), e1, e2 when equal e1 e2 -> Const 0
+  (* (x + c1) `cmp` c2  ->  x `cmp` (c2 - c1): normalizes branch conditions. *)
+  | (Eq | Ne | Lt | Le | Gt | Ge), Binop (Add, x, Const c1), Const c2 ->
+    Binop (op, x, Const (c2 - c1))
+  | (Eq | Ne | Lt | Le | Gt | Ge), Binop (Sub, x, Const c1), Const c2 ->
+    Binop (op, x, Const (c2 + c1))
+  | _, _, _ -> Binop (op, a, b)
+
+(* If [e] is already a 0/1-valued expression, [e != 0] is just [e]. *)
+and norm_truth orig = function
+  | Binop (Ne, e, Const 0) when is_boolean e -> e
+  | other -> ignore orig; other
+
+and is_boolean = function
+  | Const (0 | 1) -> true
+  | Binop ((Eq | Ne | Lt | Le | Gt | Ge | Land | Lor), _, _) -> true
+  | Unop (Lnot, _) -> true
+  | Ite (_, t, f) -> is_boolean t && is_boolean f
+  | Const _ | Var _ | Unop (Neg, _) | Binop ((Add | Sub | Mul | Div | Rem), _, _) -> false
+
+(** Build-and-simplify constructors used by the VM. *)
+let unop op a = simplify_unop op a
+
+let binop op a b = simplify_binop op a b
+let ite c t f = simplify (Ite (c, t, f))
+
+(** Truthiness of an expression as a normalized boolean expression. *)
+let truthy e = if is_boolean e then e else binop Ne e (Const 0)
+
+(** Negated truthiness. *)
+let falsy e = simplify (Unop (Lnot, truthy e))

@@ -1,0 +1,24 @@
+(** Algebraic simplification of symbolic expressions.
+
+    The VM simplifies every expression it builds: pure concrete computation
+    folds back to constants, so symbolic trees only grow where a symbolic
+    input genuinely flows. *)
+
+(** Bottom-up simplification (constant folding, identities, comparison
+    normalization). *)
+val simplify : Expr.t -> Expr.t
+
+(** Build-and-simplify constructors used by the VM. *)
+val unop : Expr.unop -> Expr.t -> Expr.t
+
+val binop : Expr.binop -> Expr.t -> Expr.t -> Expr.t
+val ite : Expr.t -> Expr.t -> Expr.t -> Expr.t
+
+(** Is the expression certainly 0/1-valued? *)
+val is_boolean : Expr.t -> bool
+
+(** Truthiness of an expression as a normalized boolean expression. *)
+val truthy : Expr.t -> Expr.t
+
+(** Negated truthiness. *)
+val falsy : Expr.t -> Expr.t

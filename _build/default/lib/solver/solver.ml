@@ -1,0 +1,246 @@
+(** A small SMT-style solver for quantifier-free integer constraints, built
+    from interval constraint propagation (HC4 revise) plus branch-and-prune
+    splitting.  It decides satisfiability of path conditions and produces
+    models (concrete program inputs), which is exactly the service KLEE's
+    solver provides to Portend in the paper:
+
+    - multi-path analysis solves a path condition to obtain concrete inputs
+      that drive the program to the race (§3.3), and
+    - symbolic output comparison asks whether a concrete alternate output is
+      allowed by the primary's symbolic output constraints (§3.3.1). *)
+
+open Portend_util.Maps
+
+type model = int Smap.t
+
+type result =
+  | Sat of model
+  | Unsat
+  | Unknown  (** search budget exhausted before a decision *)
+
+(* Environment: an interval per symbolic variable. *)
+type env = Interval.t Smap.t
+
+(* Symbolic inputs carry their declared range; variables that somehow escape
+   a declaration get this conservative default. *)
+let default_range = Interval.{ lo = -65536; hi = 65535 }
+
+let env_find v (env : env) = Smap.find_or ~default:default_range v env
+
+let rec fwd env e : Interval.t =
+  match e with
+  | Expr.Const n -> Interval.singleton n
+  | Expr.Var v -> env_find v env
+  | Expr.Unop (Neg, a) -> Interval.neg (fwd env a)
+  | Expr.Unop (Lnot, a) -> Interval.lnot (fwd env a)
+  | Expr.Binop (op, a, b) -> (
+    let fa = fwd env a and fb = fwd env b in
+    match op with
+    | Add -> Interval.add fa fb
+    | Sub -> Interval.sub fa fb
+    | Mul -> Interval.mul fa fb
+    | Div -> Interval.div fa fb
+    | Rem -> Interval.rem fa fb
+    | Eq -> Interval.cmp_eq fa fb
+    | Ne -> Interval.lnot (Interval.cmp_eq fa fb)
+    | Lt -> Interval.cmp_lt fa fb
+    | Le -> Interval.cmp_le fa fb
+    | Gt -> Interval.cmp_lt fb fa
+    | Ge -> Interval.cmp_le fb fa
+    | Land -> Interval.land_ fa fb
+    | Lor -> Interval.lor_ fa fb)
+  | Expr.Ite (c, t, f) -> (
+    let fc = fwd env c in
+    if not (Interval.mem 0 fc) then fwd env t
+    else if Interval.is_singleton fc && fc.Interval.lo = 0 then fwd env f
+    else Interval.join (fwd env t) (fwd env f))
+
+(* Backward narrowing: refine [env] under the requirement that [e] evaluates
+   into [r].  [None] means the requirement is infeasible in this box. *)
+let rec bwd env e (r : Interval.t) : env option =
+  match Interval.meet (fwd env e) r with
+  | None -> None
+  | Some r -> (
+    match e with
+    | Expr.Const _ -> Some env
+    | Expr.Var v -> (
+      match Interval.meet (env_find v env) r with
+      | None -> None
+      | Some iv -> Some (Smap.add v iv env))
+    | Expr.Unop (Neg, a) -> bwd env a (Interval.neg r)
+    | Expr.Unop (Lnot, a) ->
+      if Interval.is_singleton r then
+        if r.Interval.lo = 1 then bwd env a (Interval.singleton 0) else bwd_truthy env a
+      else Some env
+    | Expr.Binop (op, a, b) -> bwd_binop env op a b r
+    | Expr.Ite (c, t, f) -> (
+      let fc = fwd env c in
+      if not (Interval.mem 0 fc) then bwd env t r
+      else if Interval.is_singleton fc && fc.Interval.lo = 0 then bwd env f r
+      else
+        (* Condition undecided: prune only if neither branch can hit [r]. *)
+        let t_ok = Interval.meet (fwd env t) r <> None in
+        let f_ok = Interval.meet (fwd env f) r <> None in
+        match (t_ok, f_ok) with
+        | false, false -> None
+        | true, false -> Option.bind (bwd_truthy env c) (fun env -> bwd env t r)
+        | false, true -> Option.bind (bwd_falsy env c) (fun env -> bwd env f r)
+        | true, true -> Some env))
+
+and bwd_binop env op a b r =
+  let fa = fwd env a and fb = fwd env b in
+  let narrow2 pair =
+    match pair with
+    | None -> None
+    | Some (a', b') -> Option.bind (bwd env a a') (fun env -> bwd env b b')
+  in
+  let when_true pair_if_true pair_if_false =
+    if Interval.is_singleton r then
+      if r.Interval.lo = 1 then narrow2 (pair_if_true ())
+      else if r.Interval.lo = 0 then narrow2 (pair_if_false ())
+      else None
+    else Some env
+  in
+  match op with
+  | Expr.Add -> narrow2 (Interval.bwd_add fa fb r)
+  | Expr.Sub -> narrow2 (Interval.bwd_sub fa fb r)
+  | Expr.Mul -> narrow2 (Interval.bwd_mul fa fb r)
+  | Expr.Div | Expr.Rem -> Some env
+  | Expr.Eq -> when_true (fun () -> Interval.bwd_eq fa fb) (fun () -> Interval.bwd_ne fa fb)
+  | Expr.Ne -> when_true (fun () -> Interval.bwd_ne fa fb) (fun () -> Interval.bwd_eq fa fb)
+  | Expr.Lt -> when_true (fun () -> Interval.bwd_lt fa fb) (fun () -> Interval.bwd_le fb fa |> swap)
+  | Expr.Le -> when_true (fun () -> Interval.bwd_le fa fb) (fun () -> Interval.bwd_lt fb fa |> swap)
+  | Expr.Gt -> when_true (fun () -> Interval.bwd_lt fb fa |> swap) (fun () -> Interval.bwd_le fa fb)
+  | Expr.Ge -> when_true (fun () -> Interval.bwd_le fb fa |> swap) (fun () -> Interval.bwd_lt fa fb)
+  | Expr.Land ->
+    if Interval.is_singleton r && r.Interval.lo = 1 then
+      Option.bind (bwd_truthy env a) (fun env -> bwd_truthy env b)
+    else if Interval.is_singleton r && r.Interval.lo = 0 then
+      (* a && b = 0: narrow only when one side is definitely true. *)
+      let ta = not (Interval.mem 0 fa) and tb = not (Interval.mem 0 fb) in
+      if ta && tb then None
+      else if ta then bwd_falsy env b
+      else if tb then bwd_falsy env a
+      else Some env
+    else Some env
+  | Expr.Lor ->
+    if Interval.is_singleton r && r.Interval.lo = 0 then
+      Option.bind (bwd_falsy env a) (fun env -> bwd_falsy env b)
+    else if Interval.is_singleton r && r.Interval.lo = 1 then
+      let za = Interval.is_singleton fa && fa.Interval.lo = 0 in
+      let zb = Interval.is_singleton fb && fb.Interval.lo = 0 in
+      if za && zb then None else if za then bwd_truthy env b else if zb then bwd_truthy env a
+      else Some env
+    else Some env
+
+and swap = function Some (a, b) -> Some (b, a) | None -> None
+and bwd_truthy env e = bwd env (Simplify.truthy e) (Interval.singleton 1)
+and bwd_falsy env e = bwd env (Simplify.truthy e) (Interval.singleton 0)
+
+(* Run narrowing over all constraints to a fixpoint (bounded). *)
+let propagate env constraints =
+  let rec go env rounds =
+    if rounds = 0 then Some env
+    else
+      let step =
+        List.fold_left
+          (fun acc c -> Option.bind acc (fun env -> bwd_truthy env c))
+          (Some env) constraints
+      in
+      match step with
+      | None -> None
+      | Some env' -> if Smap.equal (fun a b -> a = b) env env' then Some env' else go env' (rounds - 1)
+  in
+  go env 24
+
+let check_model model constraints =
+  let lookup v = match Smap.find_opt v model with Some n -> n | None -> 0 in
+  let holds c = match Expr.eval lookup c with n -> n <> 0 | exception Division_by_zero -> false in
+  List.for_all holds constraints
+
+let candidate_points (iv : Interval.t) =
+  let pts = [ iv.Interval.lo; iv.Interval.hi ] in
+  let pts = if Interval.mem 0 iv then 0 :: pts else pts in
+  let mid = (iv.Interval.lo + iv.Interval.hi) / 2 in
+  List.sort_uniq compare (mid :: pts)
+
+(* Try a few corner models of the current box before splitting. *)
+let try_candidates env vars constraints =
+  let rec build acc = function
+    | [] -> [ acc ]
+    | v :: rest ->
+      let iv = env_find v env in
+      (* Limit the cartesian blowup: one point per variable beyond the first
+         two variables. *)
+      let pts =
+        if List.length acc <= 2 then candidate_points iv else [ iv.Interval.lo ]
+      in
+      List.concat_map (fun p -> build ((v, p) :: acc) rest) pts
+  in
+  let models = build [] vars |> List.map Smap.of_list in
+  List.find_opt (fun m -> check_model m constraints) models
+
+let solve ?(ranges = []) ?(budget = 4096) (constraints : Expr.t list) : result =
+  let constraints = List.map Simplify.simplify constraints |> List.map Simplify.truthy in
+  if List.exists (fun c -> c = Expr.Const 0) constraints then Unsat
+  else
+    let constraints = List.filter (fun c -> c <> Expr.Const 1) constraints in
+    let vars =
+      List.fold_left Expr.free_vars Portend_util.Maps.Sset.empty constraints
+      |> Portend_util.Maps.Sset.elements
+    in
+    let env0 =
+      List.fold_left
+        (fun env (v, lo, hi) -> Smap.add v Interval.{ lo; hi } env)
+        Smap.empty ranges
+    in
+    let steps = ref budget in
+    let rec search env =
+      if !steps <= 0 then Unknown
+      else begin
+        decr steps;
+        match propagate env constraints with
+        | None -> Unsat
+        | Some env -> (
+          match try_candidates env vars constraints with
+          | Some m ->
+            (* Complete the model with defaults for vars the constraints do
+               not mention (callers may look them up). *)
+            Sat m
+          | None ->
+            (* Split the widest variable. *)
+            let widest =
+              List.fold_left
+                (fun best v ->
+                  let iv = env_find v env in
+                  match best with
+                  | Some (_, w) when w >= Interval.width iv -> best
+                  | _ when Interval.width iv = 0 -> best
+                  | _ -> Some (v, Interval.width iv))
+                None vars
+            in
+            match widest with
+            | None -> Unsat (* every var is a singleton and candidates failed *)
+            | Some (v, _) -> (
+              let iv = env_find v env in
+              let mid = (iv.Interval.lo + iv.Interval.hi) / 2 in
+              let left = Smap.add v Interval.{ lo = iv.Interval.lo; hi = mid } env in
+              let right = Smap.add v Interval.{ lo = mid + 1; hi = iv.Interval.hi } env in
+              match search left with
+              | Sat m -> Sat m
+              | Unsat -> search right
+              | Unknown -> ( match search right with Sat m -> Sat m | Unsat | Unknown -> Unknown)))
+      end
+    in
+    if vars = [] then if constraints = [] then Sat Smap.empty else Unsat
+    else search env0
+
+(** [sat constraints] = does a model exist? (Unknown counts as unsat-ish
+    [false] for classification purposes; callers that care distinguish via
+    {!solve}.) *)
+let sat ?ranges ?budget constraints =
+  match solve ?ranges ?budget constraints with Sat _ -> true | Unsat | Unknown -> false
+
+let pp_model fmt (m : model) =
+  let items = Smap.bindings m in
+  Fmt.pf fmt "{%a}" Fmt.(list ~sep:(any "; ") (pair ~sep:(any "=") string int)) items

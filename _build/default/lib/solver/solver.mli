@@ -1,0 +1,34 @@
+(** A small SMT-style solver for quantifier-free integer constraints, built
+    from interval constraint propagation (HC4 revise) plus branch-and-prune
+    splitting.
+
+    It decides satisfiability of path conditions and produces models
+    (concrete program inputs) — the service KLEE's solver provides to
+    Portend in the paper: multi-path analysis solves a path condition to
+    obtain inputs that drive the program to the race (§3.3), and symbolic
+    output comparison asks whether a concrete alternate output is allowed by
+    the primary's symbolic output constraints (§3.3.1). *)
+
+type model = int Portend_util.Maps.Smap.t
+(** A satisfying assignment for the symbolic variables. *)
+
+type result =
+  | Sat of model
+  | Unsat
+  | Unknown  (** search budget exhausted before a decision *)
+
+(** [solve ~ranges constraints] decides the conjunction of [constraints]
+    (each required truthy, i.e. nonzero).  [ranges] gives inclusive bounds
+    per variable (symbolic inputs carry their declared range); unlisted
+    variables default to a wide conservative range.  [budget] bounds the
+    number of search-tree nodes. *)
+val solve :
+  ?ranges:(string * int * int) list -> ?budget:int -> Expr.t list -> result
+
+(** [sat constraints]: does a model exist?  [Unknown] counts as [false]. *)
+val sat : ?ranges:(string * int * int) list -> ?budget:int -> Expr.t list -> bool
+
+(** Does the model satisfy every constraint (by concrete evaluation)? *)
+val check_model : model -> Expr.t list -> bool
+
+val pp_model : Format.formatter -> model -> unit

@@ -1,0 +1,1 @@
+lib/util/maps.ml: Int List Map Set String

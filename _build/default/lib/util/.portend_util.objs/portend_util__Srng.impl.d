@@ -1,0 +1,1 @@
+lib/util/srng.ml: Int64 List

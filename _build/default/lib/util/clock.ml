@@ -1,0 +1,12 @@
+(** Wall-clock timing for the pipeline and the benchmark harness.
+
+    [Unix.gettimeofday] gives microsecond resolution; [Sys.time]'s 10 ms
+    granularity cannot resolve a single race classification. *)
+
+let now_s () = Unix.gettimeofday ()
+
+(** Time a thunk, returning its result and the elapsed seconds. *)
+let timed f =
+  let t0 = now_s () in
+  let v = f () in
+  (v, now_s () -. t0)

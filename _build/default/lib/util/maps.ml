@@ -1,0 +1,24 @@
+(** Persistent maps used pervasively by the VM state.
+
+    The whole machine state is immutable, so checkpointing an execution
+    (Algorithm 1's [checkpoint]) is just binding the state value; these maps
+    are the workhorses behind that design. *)
+
+module Smap = struct
+  include Map.Make (String)
+
+  let find_or ~default key m = match find_opt key m with Some v -> v | None -> default
+  let keys m = fold (fun k _ acc -> k :: acc) m [] |> List.rev
+  let of_list l = List.fold_left (fun m (k, v) -> add k v m) empty l
+end
+
+module Imap = struct
+  include Map.Make (Int)
+
+  let find_or ~default key m = match find_opt key m with Some v -> v | None -> default
+  let keys m = fold (fun k _ acc -> k :: acc) m [] |> List.rev
+  let of_list l = List.fold_left (fun m (k, v) -> add k v m) empty l
+end
+
+module Sset = Set.Make (String)
+module Iset = Set.Make (Int)

@@ -1,0 +1,49 @@
+(** Deterministic splittable pseudo-random number generator (splitmix64).
+
+    All randomized components of Portend (multi-schedule exploration,
+    randomized schedulers) draw from this generator so that every experiment
+    is reproducible bit-for-bit across runs.  The generator is a pure value:
+    drawing returns the drawn number and the next generator state. *)
+
+type t = { state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let of_seed seed = { state = Int64.of_int seed }
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next64 t =
+  let state = Int64.add t.state golden_gamma in
+  (mix state, { state })
+
+(* A non-negative int drawn from the top 62 bits. *)
+let next_int t =
+  let v, t = next64 t in
+  (Int64.to_int (Int64.shift_right_logical v 2), t)
+
+let int ~bound t =
+  if bound <= 0 then invalid_arg "Srng.int: bound must be positive";
+  let v, t = next_int t in
+  (v mod bound, t)
+
+let bool t =
+  let v, t = next64 t in
+  (Int64.logand v 1L = 1L, t)
+
+(* Derive an independent stream; used to give each alternate execution its
+   own schedule randomness without sequencing constraints. *)
+let split t =
+  let v, t = next64 t in
+  ({ state = mix v }, t)
+
+(* Pick an element of a non-empty list. *)
+let choose xs t =
+  match xs with
+  | [] -> invalid_arg "Srng.choose: empty list"
+  | xs ->
+    let i, t = int ~bound:(List.length xs) t in
+    (List.nth xs i, t)

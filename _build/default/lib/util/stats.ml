@@ -1,0 +1,19 @@
+(** Small descriptive-statistics helpers for the benchmark harness. *)
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let min_max = function
+  | [] -> (0.0, 0.0)
+  | x :: xs -> List.fold_left (fun (lo, hi) v -> (min lo v, max hi v)) (x, x) xs
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | xs ->
+    let m = mean xs in
+    let var = mean (List.map (fun x -> (x -. m) ** 2.0) xs) in
+    sqrt var
+
+let percent ~num ~den = if den = 0 then 0.0 else 100.0 *. float_of_int num /. float_of_int den

@@ -1,0 +1,1 @@
+lib/vm/events.ml: Fmt

@@ -1,0 +1,1 @@
+lib/vm/interp.ml: Array Crash Events Fmt List Option Portend_lang Portend_solver Portend_util Printf State Value

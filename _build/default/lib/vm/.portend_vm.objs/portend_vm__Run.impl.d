@@ -1,0 +1,1 @@
+lib/vm/run.ml: Crash Events Interp List Portend_lang Printf Sched State String Trace Value

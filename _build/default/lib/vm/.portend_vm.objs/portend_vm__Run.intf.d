@@ -1,0 +1,1 @@
+lib/vm/run.mli: Crash Events Sched State Trace

@@ -1,0 +1,1 @@
+lib/vm/state.ml: Array Events Fmt Imap List Option Portend_lang Portend_solver Portend_util Printf Smap Value

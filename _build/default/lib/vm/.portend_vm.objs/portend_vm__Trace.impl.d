@@ -1,0 +1,1 @@
+lib/vm/trace.ml: Fmt List Portend_util Printf String

@@ -1,0 +1,46 @@
+(** “Basic” specification violations (§3.5): program faults the VM detects on
+    its own, without developer-provided predicates. *)
+
+type t =
+  | Out_of_bounds of { arr : string; index : int; len : int }
+  | Division_by_zero
+  | Double_free of string
+  | Use_after_free of string
+  | Invalid_unlock of string  (** unlocking a mutex the thread does not own *)
+  | Assertion_failure of string
+  | Deadlock of int list  (** all live threads blocked; tids listed *)
+  | Infinite_loop of { tid : int; func : string }
+      (** a loop whose exit condition no live thread can change (§3.5, [60]) *)
+
+let pp fmt = function
+  | Out_of_bounds { arr; index; len } ->
+    Fmt.pf fmt "out-of-bounds access: %s[%d] (length %d)" arr index len
+  | Division_by_zero -> Fmt.string fmt "division by zero"
+  | Double_free a -> Fmt.pf fmt "double free of %s" a
+  | Use_after_free a -> Fmt.pf fmt "use after free of %s" a
+  | Invalid_unlock m -> Fmt.pf fmt "unlock of un-owned mutex %s" m
+  | Assertion_failure msg -> Fmt.pf fmt "assertion failure: %s" msg
+  | Deadlock tids -> Fmt.pf fmt "deadlock between threads %a" Fmt.(list ~sep:comma int) tids
+  | Infinite_loop { tid; func } -> Fmt.pf fmt "infinite loop in thread %d (%s)" tid func
+
+let to_string c = Fmt.str "%a" pp c
+
+(** Collapse to the Table 2 consequence buckets. *)
+type consequence =
+  | Ccrash
+  | Cdeadlock
+  | Chang
+  | Csemantic
+
+let consequence = function
+  | Out_of_bounds _ | Division_by_zero | Double_free _ | Use_after_free _ | Invalid_unlock _ ->
+    Ccrash
+  | Deadlock _ -> Cdeadlock
+  | Infinite_loop _ -> Chang
+  | Assertion_failure _ -> Csemantic
+
+let consequence_to_string = function
+  | Ccrash -> "crash"
+  | Cdeadlock -> "deadlock"
+  | Chang -> "hang"
+  | Csemantic -> "semantic"

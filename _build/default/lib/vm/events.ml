@@ -1,0 +1,54 @@
+(** Execution events emitted by the interpreter.
+
+    The happens-before race detector, the deadlock detector and the
+    classifier's schedule-steering all consume this stream; it is Portend's
+    equivalent of the instrumentation KLEE/Cloud9 hooks provide. *)
+
+type access_kind =
+  | Read
+  | Write
+
+type loc =
+  | Lglobal of string
+  | Larray of string * int  (** per-cell: arrays race cell-wise *)
+  | Lmeta of string  (** array allocation metadata, touched by [free] *)
+
+type site = {
+  func : string;
+  pc : int;
+}
+(** A static program location (the “program counter” of trace notation). *)
+
+type t =
+  | Access of { tid : int; site : site; loc : loc; kind : access_kind; step : int }
+  | Lock_acquired of { tid : int; mutex : string; step : int }
+  | Lock_released of { tid : int; mutex : string; step : int }
+  | Thread_spawned of { parent : int; child : int; step : int }
+  | Thread_joined of { tid : int; child : int; step : int }
+  | Cond_waiting of { tid : int; cond : string; step : int }
+  | Cond_signalled of { tid : int; cond : string; woken : int list; step : int }
+  | Barrier_crossed of { barrier : string; tids : int list; step : int }
+  | Outputted of { tid : int; site : site; step : int }
+
+let pp_loc fmt = function
+  | Lglobal v -> Fmt.string fmt v
+  | Larray (a, i) -> Fmt.pf fmt "%s[%d]" a i
+  | Lmeta a -> Fmt.pf fmt "meta(%s)" a
+
+let pp_site fmt { func; pc } = Fmt.pf fmt "%s:%d" func pc
+
+let pp_kind fmt = function Read -> Fmt.string fmt "READ" | Write -> Fmt.string fmt "WRITE"
+
+let pp fmt = function
+  | Access { tid; site; loc; kind; step } ->
+    Fmt.pf fmt "[%d] T%d %a %a @%a" step tid pp_kind kind pp_loc loc pp_site site
+  | Lock_acquired { tid; mutex; step } -> Fmt.pf fmt "[%d] T%d acquire %s" step tid mutex
+  | Lock_released { tid; mutex; step } -> Fmt.pf fmt "[%d] T%d release %s" step tid mutex
+  | Thread_spawned { parent; child; step } -> Fmt.pf fmt "[%d] T%d spawn T%d" step parent child
+  | Thread_joined { tid; child; step } -> Fmt.pf fmt "[%d] T%d join T%d" step tid child
+  | Cond_waiting { tid; cond; step } -> Fmt.pf fmt "[%d] T%d wait %s" step tid cond
+  | Cond_signalled { tid; cond; woken; step } ->
+    Fmt.pf fmt "[%d] T%d signal %s -> %a" step tid cond Fmt.(list ~sep:comma int) woken
+  | Barrier_crossed { barrier; tids; step } ->
+    Fmt.pf fmt "[%d] barrier %s crossed by %a" step barrier Fmt.(list ~sep:comma int) tids
+  | Outputted { tid; site; step } -> Fmt.pf fmt "[%d] T%d output @%a" step tid pp_site site

@@ -1,0 +1,444 @@
+(** The instruction interpreter.
+
+    [step st tid] executes the next instruction of thread [tid] and returns
+    the successor states.  There is usually exactly one successor; there are
+    two when the instruction branches on a condition that depends on symbolic
+    input and both outcomes are feasible (the symbolic-execution fork of
+    §3.3), or when a fault such as an out-of-bounds index or a division by
+    zero is only {e possibly} triggered under the current path condition.
+
+    A successor may carry a {!Crash.t}: a "basic" specification violation
+    detected at this instruction. *)
+
+open State
+module B = Portend_lang.Bytecode
+module E = Portend_solver.Expr
+module Solver = Portend_solver.Solver
+module Imap = Portend_util.Maps.Imap
+module Smap = Portend_util.Maps.Smap
+
+exception Internal of string
+
+let internal fmt = Fmt.kstr (fun s -> raise (Internal s)) fmt
+
+type succ = {
+  succ_state : State.t;
+  succ_events : Events.t list;
+  succ_crash : Crash.t option;
+}
+
+let ok ?(events = []) st = { succ_state = st; succ_events = events; succ_crash = None }
+let faulted ?(events = []) st c = { succ_state = st; succ_events = events; succ_crash = Some c }
+
+let getop regs = function
+  | B.Imm n -> Value.of_int n
+  | B.Reg r -> Imap.find_or ~default:(Value.of_int 0) r regs
+
+(* Is [extra @ path_cond] satisfiable? *)
+let feasible st extra =
+  Solver.sat ~ranges:st.input_ranges (List.rev_append extra st.path_cond)
+
+let add_path st cs = { st with path_cond = List.rev_append cs st.path_cond }
+
+(* Advance the active frame of [th] past the current instruction, optionally
+   writing a register, and count the instruction. *)
+let advance ?reg st th frame rest =
+  let regs = match reg with Some (r, v) -> Imap.add r v frame.regs | None -> frame.regs in
+  let frame = { frame with pc = frame.pc + 1; regs } in
+  (* Successfully executing an instruction always leaves the thread runnable:
+     this clears Blocked_lock/Blocked_join once the blocking condition lifted
+     and the thread got scheduled again. *)
+  let st = update_thread st { th with frames = frame :: rest; status = Runnable } in
+  { st with steps = st.steps + 1 }
+
+(* Block without consuming an instruction (the thread will retry when it is
+   schedulable again). *)
+let block st th status = update_thread st { th with status }
+
+let concretize_model st extra =
+  match Solver.solve ~ranges:st.input_ranges (List.rev_append extra st.path_cond) with
+  | Solver.Sat m -> Some m
+  | Solver.Unsat | Solver.Unknown -> None
+
+let eval_with_model m e =
+  let lookup v = match Smap.find_opt v m with Some n -> n | None -> 0 in
+  E.eval lookup e
+
+(* Pop the active frame; deliver [v] to the caller or finish the thread. *)
+let do_return st th frame rest v =
+  match rest with
+  | [] ->
+    let st = update_thread st { th with frames = []; status = Finished } in
+    { st with steps = st.steps + 1 }
+  | caller :: above ->
+    let caller =
+      match (frame.ret_to, v) with
+      | Some r, Some v -> { caller with regs = Imap.add r v caller.regs }
+      | Some r, None -> { caller with regs = Imap.add r (Value.of_int 0) caller.regs }
+      | None, _ -> caller
+    in
+    let st = update_thread st { th with frames = caller :: above } in
+    { st with steps = st.steps + 1 }
+
+let find_func st name =
+  match B.find_func st.prog name with
+  | Some f -> f
+  | None -> internal "unknown function %s" name
+
+let barrier_parties st b =
+  match List.assoc_opt b st.prog.B.barriers with
+  | Some n -> n
+  | None -> internal "unknown barrier %s" b
+
+let input_key name occurrence =
+  if occurrence = 0 then name else Printf.sprintf "%s#%d" name occurrence
+
+(* --- array access helpers ------------------------------------------------ *)
+
+let array_of st a =
+  match Smap.find_opt a st.arrays with
+  | Some arr -> arr
+  | None -> internal "unknown array %s" a
+
+(* Resolve an index value to zero, one or two successors via [mk_ok idx st]
+   for the in-bounds case.  Handles freed arrays, concrete out-of-bounds, and
+   symbolic indices (fork between an in-bounds, concretized index and an
+   out-of-bounds crash when both are feasible). *)
+let with_array_cell st step_site a idx_v ~mk_ok =
+  let arr = array_of st a in
+  if arr.freed then [ faulted st (Crash.Use_after_free a) ]
+  else
+    match idx_v with
+    | Value.Con i ->
+      if i < 0 || i >= arr.len then
+        [ faulted st (Crash.Out_of_bounds { arr = a; index = i; len = arr.len }) ]
+      else [ mk_ok i st ]
+    | Value.Sym e ->
+      let inb = [ E.Binop (Ge, e, Const 0); E.Binop (Lt, e, Const arr.len) ] in
+      let oob = [ E.Binop (Lor, E.Binop (Lt, e, Const 0), E.Binop (Ge, e, Const arr.len)) ] in
+      let ok_succ =
+        match concretize_model st inb with
+        | None -> []
+        | Some m ->
+          let i = eval_with_model m e in
+          let st = add_path st (E.Binop (Eq, e, Const i) :: inb) in
+          [ mk_ok i st ]
+      in
+      let crash_succ =
+        match concretize_model st oob with
+        | None -> []
+        | Some m ->
+          let i = eval_with_model m e in
+          let st = add_path st oob in
+          [ faulted st (Crash.Out_of_bounds { arr = a; index = i; len = arr.len }) ]
+      in
+      (match ok_succ @ crash_succ with
+      | [] -> internal "array index infeasible both ways at %s:%d" step_site.Events.func
+                step_site.Events.pc
+      | succs -> succs)
+
+(* --- the interpreter ----------------------------------------------------- *)
+
+let step (st : State.t) (tid : int) : succ list =
+  let th = State.thread st tid in
+  match th.status with
+  | Blocked_reacquire m when State.mutex_owner st m = None ->
+    (* Complete the second half of cond_wait: reacquire the mutex.  Counted
+       as one step so slicing sees progress; the pc was already advanced past
+       the wait. *)
+    let st = { st with mutexes = Smap.add m (Some tid) st.mutexes } in
+    let st = update_thread st { th with status = Runnable } in
+    let st = { st with steps = st.steps + 1 } in
+    [ ok ~events:[ Events.Lock_acquired { tid; mutex = m; step = st.steps - 1 } ] st ]
+  | _ -> (
+  match th.frames with
+  | [] -> internal "step: thread %d already finished" tid
+  | frame :: rest -> (
+    let fn = find_func st frame.func in
+    let inst =
+      if frame.pc < Array.length fn.B.code then fn.B.code.(frame.pc) else B.IRet None
+    in
+    let site = Events.{ func = frame.func; pc = frame.pc } in
+    let step_no = st.steps in
+    let value op = getop frame.regs op in
+    match inst with
+    | B.IMov (d, a) -> [ ok (advance ~reg:(d, value a) st th frame rest) ]
+    | B.IUn (d, op, a) -> [ ok (advance ~reg:(d, Value.unop op (value a)) st th frame rest) ]
+    | B.IBin (d, op, a, b) -> (
+      let va = value a and vb = value b in
+      let compute st vb' =
+        ok (advance ~reg:(d, Value.binop op va vb') st th frame rest)
+      in
+      match op with
+      | E.Div | E.Rem -> (
+        match vb with
+        | Value.Con 0 -> [ faulted st Crash.Division_by_zero ]
+        | Value.Con _ -> [ compute st vb ]
+        | Value.Sym e ->
+          let zero = E.Binop (Eq, e, Const 0) and nonzero = E.Binop (Ne, e, Const 0) in
+          let ok_succ =
+            if feasible st [ nonzero ] then [ compute (add_path st [ nonzero ]) vb ] else []
+          in
+          let crash_succ =
+            if feasible st [ zero ] then [ faulted (add_path st [ zero ]) Crash.Division_by_zero ]
+            else []
+          in
+          (match ok_succ @ crash_succ with
+          | [] -> internal "division feasibility vanished at %s:%d" site.func site.pc
+          | succs -> succs))
+      | E.Add | E.Sub | E.Mul | E.Eq | E.Ne | E.Lt | E.Le | E.Gt | E.Ge | E.Land | E.Lor ->
+        [ compute st vb ])
+    | B.ILoadG (d, v) ->
+      let fresh = Smap.find_or ~default:(Value.of_int 0) v st.globals in
+      let ev = Events.Access { tid; site; loc = Events.Lglobal v; kind = Events.Read; step = step_no } in
+      let candidates =
+        match st.memory_model with
+        | State.Sequential -> [ fresh ]
+        | State.Adversarial _ ->
+          (* a racy load may also observe recently overwritten values *)
+          fresh :: List.filter (fun s -> not (Value.equal s fresh))
+                     (Smap.find_or ~default:[] v st.ghistory)
+      in
+      List.map (fun value -> ok ~events:[ ev ] (advance ~reg:(d, value) st th frame rest))
+        candidates
+    | B.IStoreG (v, a) ->
+      let st =
+        match st.memory_model with
+        | State.Sequential -> st
+        | State.Adversarial { depth } ->
+          let old = Smap.find_or ~default:(Value.of_int 0) v st.globals in
+          let hist = old :: Smap.find_or ~default:[] v st.ghistory in
+          let hist = List.filteri (fun i _ -> i < depth) hist in
+          { st with ghistory = Smap.add v hist st.ghistory }
+      in
+      let st = { st with globals = Smap.add v (value a) st.globals } in
+      let ev = Events.Access { tid; site; loc = Events.Lglobal v; kind = Events.Write; step = step_no } in
+      [ ok ~events:[ ev ] (advance st th frame rest) ]
+    | B.ILoadA (d, a, idx) ->
+      with_array_cell st site a (value idx) ~mk_ok:(fun i st ->
+          let arr = array_of st a in
+          let cell = Imap.find_or ~default:arr.default i arr.cells in
+          let ev =
+            Events.Access { tid; site; loc = Events.Larray (a, i); kind = Events.Read; step = step_no }
+          in
+          ok ~events:[ ev ] (advance ~reg:(d, cell) st th frame rest))
+    | B.IStoreA (a, idx, v) ->
+      let vv = value v in
+      with_array_cell st site a (value idx) ~mk_ok:(fun i st ->
+          let arr = array_of st a in
+          let arr = { arr with cells = Imap.add i vv arr.cells } in
+          let st = { st with arrays = Smap.add a arr st.arrays } in
+          let ev =
+            Events.Access { tid; site; loc = Events.Larray (a, i); kind = Events.Write; step = step_no }
+          in
+          ok ~events:[ ev ] (advance st th frame rest))
+    | B.IFree a ->
+      let arr = array_of st a in
+      if arr.freed then [ faulted st (Crash.Double_free a) ]
+      else
+        let st = { st with arrays = Smap.add a { arr with freed = true } st.arrays } in
+        let ev =
+          Events.Access { tid; site; loc = Events.Lmeta a; kind = Events.Write; step = step_no }
+        in
+        [ ok ~events:[ ev ] (advance st th frame rest) ]
+    | B.IJmp l ->
+      let st = update_thread st { th with frames = { frame with pc = l } :: rest } in
+      [ ok { st with steps = st.steps + 1 } ]
+    | B.IBr (c, l1, l2) -> (
+      let goto st l =
+        let st = update_thread st { th with frames = { frame with pc = l } :: rest } in
+        { st with steps = st.steps + 1 }
+      in
+      match Value.truth (value c) with
+      | Value.True -> [ ok (goto st l1) ]
+      | Value.False -> [ ok (goto st l2) ]
+      | Value.Unknown cond ->
+        let ncond = Portend_solver.Simplify.falsy cond in
+        let t_ok = feasible st [ cond ] and f_ok = feasible st [ ncond ] in
+        let t_succ = if t_ok then [ ok (goto (add_path st [ cond ]) l1) ] else [] in
+        let f_succ = if f_ok then [ ok (goto (add_path st [ ncond ]) l2) ] else [] in
+        (match t_succ @ f_succ with
+        | [] -> internal "branch infeasible both ways at %s:%d" site.func site.pc
+        | succs -> succs))
+    | B.ICall (dst, f, args) ->
+      let callee = find_func st f in
+      let regs =
+        List.fold_left
+          (fun (i, regs) a -> (i + 1, Imap.add i (value a) regs))
+          (0, Imap.empty) args
+        |> snd
+      in
+      let caller = { frame with pc = frame.pc + 1 } in
+      let new_frame = { func = callee.B.fname; pc = 0; regs; ret_to = dst } in
+      let st = update_thread st { th with frames = new_frame :: caller :: rest } in
+      [ ok { st with steps = st.steps + 1 } ]
+    | B.IRet v -> [ ok (do_return st th frame rest (Option.map value v)) ]
+    | B.ISpawn (dst, f, args) ->
+      let callee = find_func st f in
+      let regs =
+        List.fold_left
+          (fun (i, regs) a -> (i + 1, Imap.add i (value a) regs))
+          (0, Imap.empty) args
+        |> snd
+      in
+      let child_tid = st.next_tid in
+      let child =
+        { tid = child_tid;
+          frames = [ { func = callee.B.fname; pc = 0; regs; ret_to = None } ];
+          status = Runnable
+        }
+      in
+      let st = { st with next_tid = child_tid + 1 } in
+      let st = update_thread st child in
+      let reg = Option.map (fun r -> (r, Value.of_int child_tid)) dst in
+      let st = advance ?reg st th frame rest in
+      [ ok ~events:[ Events.Thread_spawned { parent = tid; child = child_tid; step = step_no } ] st ]
+    | B.IJoin a -> (
+      match value a with
+      | Value.Sym _ -> internal "join on symbolic tid at %s:%d" site.func site.pc
+      | Value.Con child ->
+        if State.thread_finished st child then
+          let st = advance st th frame rest in
+          [ ok ~events:[ Events.Thread_joined { tid; child; step = step_no } ] st ]
+        else [ ok (block st th (Blocked_join child)) ])
+    | B.ILock m -> (
+      match State.mutex_owner st m with
+      | None ->
+        let st = { st with mutexes = Smap.add m (Some tid) st.mutexes } in
+        let st = advance st th frame rest in
+        [ ok ~events:[ Events.Lock_acquired { tid; mutex = m; step = step_no } ] st ]
+      | Some _ -> [ ok (block st th (Blocked_lock m)) ])
+    | B.IUnlock m -> (
+      match State.mutex_owner st m with
+      | Some owner when owner = tid ->
+        let st = { st with mutexes = Smap.add m None st.mutexes } in
+        let st = advance st th frame rest in
+        [ ok ~events:[ Events.Lock_released { tid; mutex = m; step = step_no } ] st ]
+      | Some _ | None -> [ faulted st (Crash.Invalid_unlock m) ])
+    | B.IWait (c, m) -> (
+      match State.mutex_owner st m with
+      | Some owner when owner = tid ->
+        let st = { st with mutexes = Smap.add m None st.mutexes } in
+        let queue = Smap.find_or ~default:[] c st.cond_waiters in
+        let st = { st with cond_waiters = Smap.add c (queue @ [ tid ]) st.cond_waiters } in
+        (* Advance past the wait now; when woken the thread reacquires the
+           mutex and resumes at the next instruction. *)
+        let frame = { frame with pc = frame.pc + 1 } in
+        let st =
+          update_thread st { th with frames = frame :: rest; status = Blocked_cond (c, m) }
+        in
+        let st = { st with steps = st.steps + 1 } in
+        [ ok
+            ~events:
+              [ Events.Lock_released { tid; mutex = m; step = step_no };
+                Events.Cond_waiting { tid; cond = c; step = step_no }
+              ]
+            st
+        ]
+      | Some _ | None -> [ faulted st (Crash.Invalid_unlock m) ])
+    | B.ISignal c | B.IBroadcast c ->
+      let queue = Smap.find_or ~default:[] c st.cond_waiters in
+      let woken, remaining =
+        match inst with
+        | B.IBroadcast _ -> (queue, [])
+        | _ -> ( match queue with [] -> ([], []) | w :: ws -> ([ w ], ws))
+      in
+      let st = { st with cond_waiters = Smap.add c remaining st.cond_waiters } in
+      let st =
+        List.fold_left
+          (fun st w ->
+            let wth = State.thread st w in
+            match wth.status with
+            | Blocked_cond (_, m) -> update_thread st { wth with status = Blocked_reacquire m }
+            | Runnable | Blocked_lock _ | Blocked_reacquire _ | Blocked_join _
+            | Blocked_barrier _ | Finished ->
+              internal "woken thread %d was not waiting" w)
+          st woken
+      in
+      let st = advance st th frame rest in
+      [ ok ~events:[ Events.Cond_signalled { tid; cond = c; woken; step = step_no } ] st ]
+    | B.IBarrier b ->
+      let parties = barrier_parties st b in
+      let waiting = Smap.find_or ~default:[] b st.barrier_waiters in
+      if List.length waiting + 1 >= parties then begin
+        (* Last arriver: release everyone. *)
+        let st = { st with barrier_waiters = Smap.add b [] st.barrier_waiters } in
+        let st =
+          List.fold_left
+            (fun st w -> update_thread st { (State.thread st w) with status = Runnable })
+            st waiting
+        in
+        let st = advance st th frame rest in
+        [ ok
+            ~events:[ Events.Barrier_crossed { barrier = b; tids = waiting @ [ tid ]; step = step_no } ]
+            st
+        ]
+      end
+      else begin
+        let st = { st with barrier_waiters = Smap.add b (waiting @ [ tid ]) st.barrier_waiters } in
+        (* Advance past the barrier; resume there when released. *)
+        let frame = { frame with pc = frame.pc + 1 } in
+        let st =
+          update_thread st { th with frames = frame :: rest; status = Blocked_barrier b }
+        in
+        [ ok { st with steps = st.steps + 1 } ]
+      end
+    | B.IOutput args ->
+      let vals = List.map value args in
+      let out = { out_tid = tid; out_site = site; payload = Vals vals } in
+      let st = { st with outputs = out :: st.outputs } in
+      let st = advance st th frame rest in
+      [ ok ~events:[ Events.Outputted { tid; site; step = step_no } ] st ]
+    | B.IOutputStr s ->
+      let out = { out_tid = tid; out_site = site; payload = Text s } in
+      let st = { st with outputs = out :: st.outputs } in
+      let st = advance st th frame rest in
+      [ ok ~events:[ Events.Outputted { tid; site; step = step_no } ] st ]
+    | B.IInput (r, name, range) ->
+      let occurrence = Smap.find_or ~default:0 name st.input_counts in
+      let key = input_key name occurrence in
+      let st = { st with input_counts = Smap.add name (occurrence + 1) st.input_counts } in
+      let symbolic st =
+        let v = Value.Sym (E.Var key) in
+        ( v,
+          { st with
+            input_ranges =
+              (key, range.Portend_lang.Ast.lo, range.Portend_lang.Ast.hi) :: st.input_ranges
+          } )
+      in
+      let concrete st model =
+        let n =
+          match Smap.find_opt key model with
+          | Some n -> max range.Portend_lang.Ast.lo (min range.Portend_lang.Ast.hi n)
+          | None -> range.Portend_lang.Ast.lo
+        in
+        (Value.of_int n, st)
+      in
+      let v, st =
+        match st.input_mode with
+        | Symbolic -> symbolic st
+        | Concrete model -> concrete st model
+        | Mixed { model; limit } ->
+          if List.length st.input_ranges < limit then symbolic st else concrete st model
+      in
+      let st = { st with input_log = (key, v) :: st.input_log } in
+      [ ok (advance ~reg:(r, v) st th frame rest) ]
+    | B.IAssert (a, msg) -> (
+      match Value.truth (value a) with
+      | Value.True -> [ ok (advance st th frame rest) ]
+      | Value.False -> [ faulted st (Crash.Assertion_failure msg) ]
+      | Value.Unknown cond ->
+        let ncond = Portend_solver.Simplify.falsy cond in
+        let pass =
+          if feasible st [ cond ] then [ ok (advance (add_path st [ cond ]) th frame rest) ]
+          else []
+        in
+        let fail =
+          if feasible st [ ncond ] then
+            [ faulted (add_path st [ ncond ]) (Crash.Assertion_failure msg) ]
+          else []
+        in
+        (match pass @ fail with
+        | [] -> internal "assert infeasible both ways at %s:%d" site.func site.pc
+        | succs -> succs))
+    | B.IYield -> [ ok (advance st th frame rest) ]))

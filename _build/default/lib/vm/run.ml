@@ -1,0 +1,128 @@
+(** Execution driver: slices (scheduler quanta) and whole-program runs.
+
+    [slice] advances one thread from a decision point to the next; the
+    classifier's exploration drives slices directly (it must inspect events
+    and steer around racy accesses).  [run] is the convenience loop used for
+    recording executions, straight replays, and baseline analyses. *)
+
+module B = Portend_lang.Bytecode
+
+type slice_end =
+  | End_decision  (** the thread's next instruction is a preemption point *)
+  | End_paused  (** the thread blocked or finished *)
+  | End_crashed of Crash.t
+
+type sliced = {
+  s_state : State.t;
+  s_events : Events.t list;  (** chronological, this slice only *)
+  s_end : slice_end;
+}
+
+let is_preemption st tid =
+  match State.next_inst st tid with
+  | None -> false
+  | Some i -> B.shared_access i || B.sync_op i
+
+(** Run [tid] until the next decision point.  Returns one sliced state per
+    symbolic fork branch encountered along the way. *)
+let slice ?(fuel = 50_000) (st : State.t) (tid : int) : sliced list =
+  let rec after_exec st rev_events fuel =
+    let th = State.thread st tid in
+    if th.State.status = State.Finished || not (State.can_run st th) then
+      [ { s_state = st; s_events = List.rev rev_events; s_end = End_paused } ]
+    else if is_preemption st tid || fuel <= 0 then
+      [ { s_state = st; s_events = List.rev rev_events; s_end = End_decision } ]
+    else exec st rev_events fuel
+  and exec st rev_events fuel =
+    let succs = Interp.step st tid in
+    List.concat_map
+      (fun s ->
+        let rev_events = List.rev_append s.Interp.succ_events rev_events in
+        match s.Interp.succ_crash with
+        | Some c ->
+          [ { s_state = s.Interp.succ_state;
+              s_events = List.rev rev_events;
+              s_end = End_crashed c
+            }
+          ]
+        | None ->
+          if s.Interp.succ_state.State.steps = st.State.steps then
+            (* no progress: the thread blocked on this attempt *)
+            [ { s_state = s.Interp.succ_state;
+                s_events = List.rev rev_events;
+                s_end = End_paused
+              }
+            ]
+          else after_exec s.Interp.succ_state rev_events (fuel - 1))
+      succs
+  in
+  exec st [] fuel
+
+type stop =
+  | Halted  (** every thread finished *)
+  | Crashed of Crash.t
+  | Deadlocked of int list
+  | Out_of_budget
+  | Diverged of string  (** replay could not follow the recorded schedule *)
+  | Forked  (** hit a symbolic fork under a driver that expects concrete runs *)
+
+type result = {
+  final : State.t;
+  stop : stop;
+  events : Events.t list;  (** chronological, whole run *)
+  trace : Trace.t;  (** the decisions actually taken *)
+}
+
+let concrete_inputs (st : State.t) =
+  List.rev st.State.input_log
+  |> List.filter_map (fun (k, v) -> match v with Value.Con n -> Some (k, n) | Value.Sym _ -> None)
+
+let run ~sched ?(budget = 1_000_000) (st0 : State.t) : result =
+  let finish st stop rev_events rev_decisions rev_steps =
+    { final = st;
+      stop;
+      events = List.rev rev_events;
+      trace =
+        Trace.of_run ~decisions:(List.rev rev_decisions) ~decision_steps:(List.rev rev_steps)
+          ~inputs:(concrete_inputs st)
+    }
+  in
+  let rec loop st (sched : Sched.t) rev_events rev_decisions rev_steps =
+    if st.State.steps >= budget then finish st Out_of_budget rev_events rev_decisions rev_steps
+    else
+      match State.runnable st with
+      | [] ->
+        if State.all_finished st then finish st Halted rev_events rev_decisions rev_steps
+        else finish st (Deadlocked (State.live_tids st)) rev_events rev_decisions rev_steps
+      | runnable -> (
+        match sched.Sched.pick st runnable with
+        | None -> finish st (Diverged "schedule exhausted") rev_events rev_decisions rev_steps
+        | Some (tid, sched') ->
+          if not (List.mem tid runnable) then
+            finish st
+              (Diverged (Printf.sprintf "scheduled thread %d is not runnable" tid))
+              rev_events rev_decisions rev_steps
+          else
+            let rev_decisions = tid :: rev_decisions in
+            let rev_steps = st.State.steps :: rev_steps in
+            (match slice st tid with
+            | [ sl ] -> (
+              let rev_events = List.rev_append sl.s_events rev_events in
+              match sl.s_end with
+              | End_crashed c ->
+                finish sl.s_state (Crashed c) rev_events rev_decisions rev_steps
+              | End_decision | End_paused ->
+                loop sl.s_state sched' rev_events rev_decisions rev_steps)
+            | _ :: _ :: _ -> finish st Forked rev_events rev_decisions rev_steps
+            | [] -> finish st (Diverged "no successor") rev_events rev_decisions rev_steps))
+  in
+  loop st0 sched [] [] []
+
+let stop_to_string = function
+  | Halted -> "halted"
+  | Crashed c -> "crashed: " ^ Crash.to_string c
+  | Deadlocked tids ->
+    Printf.sprintf "deadlocked (%s)" (String.concat "," (List.map string_of_int tids))
+  | Out_of_budget -> "out of budget"
+  | Diverged why -> "diverged: " ^ why
+  | Forked -> "forked"

@@ -1,0 +1,46 @@
+(** Execution driver: slices (scheduler quanta) and whole-program runs.
+
+    [slice] advances one thread from a decision point to the next; the
+    classifier's exploration drives slices directly (it must inspect events
+    and steer around racy accesses).  [run] is the convenience loop used for
+    recording executions, straight replays, and baseline analyses. *)
+
+type slice_end =
+  | End_decision  (** the thread's next instruction is a preemption point *)
+  | End_paused  (** the thread blocked or finished *)
+  | End_crashed of Crash.t
+
+type sliced = {
+  s_state : State.t;
+  s_events : Events.t list;  (** chronological, this slice only *)
+  s_end : slice_end;
+}
+
+(** Is the thread's next instruction a preemption point (sync operation or
+    shared access)? *)
+val is_preemption : State.t -> int -> bool
+
+(** Run [tid] until the next decision point.  Returns one sliced state per
+    symbolic fork branch encountered along the way (usually exactly one). *)
+val slice : ?fuel:int -> State.t -> int -> sliced list
+
+type stop =
+  | Halted  (** every thread finished *)
+  | Crashed of Crash.t
+  | Deadlocked of int list
+  | Out_of_budget
+  | Diverged of string  (** replay could not follow the recorded schedule *)
+  | Forked  (** hit a symbolic fork under a driver that expects concrete runs *)
+
+type result = {
+  final : State.t;
+  stop : stop;
+  events : Events.t list;  (** chronological, whole run *)
+  trace : Trace.t;  (** the decisions actually taken *)
+}
+
+(** Drive the program with [sched] until it halts, crashes, deadlocks, or
+    exhausts [budget] instructions. *)
+val run : sched:Sched.t -> ?budget:int -> State.t -> result
+
+val stop_to_string : stop -> string

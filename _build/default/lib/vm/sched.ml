@@ -1,0 +1,97 @@
+(** Cooperative single-processor thread schedulers (§3.1, §6).
+
+    A scheduler is consulted at every {e decision point}: just before a
+    thread would execute a preemption-point instruction (a synchronization
+    operation or a shared-memory access), and whenever the current thread
+    blocks or finishes.  Schedulers are pure values that return their own
+    continuation, so runs are replayable and forkable. *)
+
+type t = {
+  name : string;
+  pick : State.t -> int list -> (int * t) option;
+      (** [pick state runnable]: choose the next thread among [runnable]
+          (non-empty, ascending).  [None] means the scheduler has no decision
+          left (only meaningful for trace replay). *)
+}
+
+(** Round-robin over tids, starting after the last scheduled thread. *)
+let round_robin =
+  let rec make last =
+    { name = "round-robin";
+      pick =
+        (fun _st runnable ->
+          let next =
+            match List.find_opt (fun tid -> tid > last) runnable with
+            | Some tid -> tid
+            | None -> List.hd runnable
+          in
+          Some (next, make next))
+    }
+  in
+  make (-1)
+
+(** Uniformly random choice, deterministic in the seed. *)
+let random ~seed =
+  let rec make rng =
+    { name = "random";
+      pick =
+        (fun _st runnable ->
+          let tid, rng = Portend_util.Srng.choose runnable rng in
+          Some (tid, make rng))
+    }
+  in
+  make (Portend_util.Srng.of_seed seed)
+
+(** Replay a recorded decision list verbatim; [None] once exhausted, and the
+    caller detects divergence if the recorded tid is not runnable. *)
+let of_decisions decisions =
+  let rec make = function
+    | [] -> { name = "replay"; pick = (fun _ _ -> None) }
+    | tid :: rest -> { name = "replay"; pick = (fun _st _runnable -> Some (tid, make rest)) }
+  in
+  make decisions
+
+(** Replay a prefix, then continue with [next]. *)
+let prefix_then decisions next =
+  let rec make = function
+    | [] -> next
+    | tid :: rest -> { name = "prefix"; pick = (fun _st _runnable -> Some (tid, make rest)) }
+  in
+  make decisions
+
+(** Follow a recorded decision list, skipping entries whose thread is no
+    longer runnable (tolerated divergence, §3.3), then continue with
+    [fallback] once exhausted. *)
+let of_decisions_tolerant decisions ~fallback =
+  let rec make = function
+    | [] -> fallback
+    | tid :: rest ->
+      { name = "replay-tolerant";
+        pick =
+          (fun st runnable ->
+            if List.mem tid runnable then Some (tid, make rest)
+            else
+              (* skip forward past unrunnable entries *)
+              let rec skip = function
+                | [] -> fallback.pick st runnable
+                | t :: r when List.mem t runnable -> Some (t, make r)
+                | _ :: r -> skip r
+              in
+              skip rest)
+      }
+  in
+  make decisions
+
+(** Always run [tid] while it is runnable; otherwise fall back.  Used to
+    drive one racing thread up to its racy access when enforcing the
+    alternate ordering. *)
+let rec directed tid ~fallback =
+  { name = "directed";
+    pick =
+      (fun _st runnable ->
+        if List.mem tid runnable then Some (tid, directed tid ~fallback)
+        else
+          match fallback.pick _st runnable with
+          | Some (t, _) -> Some (t, directed tid ~fallback)
+          | None -> None)
+  }

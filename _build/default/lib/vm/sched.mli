@@ -1,0 +1,35 @@
+(** Cooperative single-processor thread schedulers (§3.1, §6).
+
+    A scheduler is consulted at every {e decision point}: just before a
+    thread would execute a preemption-point instruction (a synchronization
+    operation or a shared-memory access), and whenever the current thread
+    blocks or finishes.  Schedulers are pure values that return their own
+    continuation, so runs are replayable and forkable. *)
+
+type t = {
+  name : string;
+  pick : State.t -> int list -> (int * t) option;
+      (** [pick state runnable]: choose the next thread among [runnable]
+          (non-empty, ascending).  [None] means the scheduler has no
+          decision left (only meaningful for trace replay). *)
+}
+
+(** Round-robin over tids, starting after the last scheduled thread. *)
+val round_robin : t
+
+(** Uniformly random choice, deterministic in the seed. *)
+val random : seed:int -> t
+
+(** Replay a recorded decision list verbatim; [None] once exhausted. *)
+val of_decisions : int list -> t
+
+(** Replay a prefix, then continue with [next]. *)
+val prefix_then : int list -> t -> t
+
+(** Follow a recorded decision list, skipping entries whose thread is no
+    longer runnable (tolerated divergence, §3.3), then fall back. *)
+val of_decisions_tolerant : int list -> fallback:t -> t
+
+(** Always run [tid] while it is runnable; otherwise consult [fallback].
+    Used to drive one racing thread toward its racy access. *)
+val directed : int -> fallback:t -> t

@@ -1,0 +1,187 @@
+(** The complete machine state of a Racelang execution.
+
+    The state is a persistent value: the record/replay engine and Algorithm 1
+    checkpoint an execution by simply keeping the state (cf. the paper's
+    [checkpoint()] on pre-race and post-race states), and symbolic forks
+    duplicate it for free. *)
+
+open Portend_util.Maps
+module B = Portend_lang.Bytecode
+
+type frame = {
+  func : string;
+  pc : int;
+  regs : Value.t Imap.t;
+  ret_to : int option;  (** caller register awaiting our return value *)
+}
+
+type tstatus =
+  | Runnable
+  | Blocked_lock of string  (** waiting to acquire a mutex *)
+  | Blocked_join of int  (** waiting for a thread to finish *)
+  | Blocked_cond of string * string  (** parked on (cond, mutex-to-reacquire) *)
+  | Blocked_reacquire of string  (** woken from a cond; must reacquire the mutex *)
+  | Blocked_barrier of string
+  | Finished
+
+type thread = {
+  tid : int;
+  frames : frame list;  (** head = active frame; empty iff finished *)
+  status : tstatus;
+}
+
+type arr = {
+  len : int;
+  cells : Value.t Imap.t;  (** sparse over the default *)
+  default : Value.t;
+  freed : bool;
+}
+
+type payload =
+  | Vals of Value.t list
+  | Text of string
+
+type output = {
+  out_tid : int;
+  out_site : Events.site;
+  payload : payload;
+}
+
+type memory_model =
+  | Sequential  (** sequentially consistent: loads see the latest store *)
+  | Adversarial of { depth : int }
+      (** adversarial memory in the sense of Flanagan & Freund [17]: a load
+          of a shared global may also return one of the last [depth] values
+          overwritten by racing stores — the stale-but-valid values a weaker
+          consistency model could expose.  The interpreter forks on such
+          loads, so exploration covers the weak behaviours. *)
+
+type input_mode =
+  | Symbolic  (** each [input] yields a fresh symbolic variable *)
+  | Concrete of int Smap.t
+      (** values per input key; missing keys default to the low end of the
+          declared range *)
+  | Mixed of { model : int Smap.t; limit : int }
+      (** the first [limit] inputs drawn become symbolic, the rest concrete
+          from [model] — the paper's “number of symbolic inputs” dial
+          (§3.3) *)
+
+type t = {
+  prog : B.t;
+  threads : thread Imap.t;
+  globals : Value.t Smap.t;
+  arrays : arr Smap.t;
+  mutexes : int option Smap.t;  (** owner tid *)
+  cond_waiters : int list Smap.t;  (** FIFO queues *)
+  barrier_waiters : int list Smap.t;
+  outputs : output list;  (** newest first *)
+  path_cond : Portend_solver.Expr.t list;
+      (** constraints accumulated at symbolic branches *)
+  input_ranges : (string * int * int) list;  (** per generated input key *)
+  input_log : (string * Value.t) list;  (** what each [input] returned *)
+  input_mode : input_mode;
+  input_counts : int Smap.t;  (** occurrences per source-level input name *)
+  steps : int;  (** absolute instruction count (trace notation, §3.1) *)
+  next_tid : int;
+  memory_model : memory_model;
+  ghistory : Value.t list Smap.t;  (** overwritten values per global, newest
+                                       first, bounded by the model depth *)
+}
+
+let main_tid = 0
+
+let init ?(input_mode = Concrete Smap.empty) ?(memory_model = Sequential) (prog : B.t) : t =
+  let main =
+    match B.find_func prog "main" with
+    | Some f -> f
+    | None -> invalid_arg "State.init: program has no main"
+  in
+  let frame = { func = main.B.fname; pc = 0; regs = Imap.empty; ret_to = None } in
+  let thread = { tid = main_tid; frames = [ frame ]; status = Runnable } in
+  { prog;
+    threads = Imap.of_list [ (main_tid, thread) ];
+    globals = Smap.of_list (List.map (fun (n, v) -> (n, Value.of_int v)) prog.B.globals);
+    arrays =
+      Smap.of_list
+        (List.map
+           (fun (n, len, init) ->
+             (n, { len; cells = Imap.empty; default = Value.of_int init; freed = false }))
+           prog.B.arrays);
+    mutexes = Smap.empty;
+    cond_waiters = Smap.empty;
+    barrier_waiters = Smap.empty;
+    outputs = [];
+    path_cond = [];
+    input_ranges = [];
+    input_log = [];
+    input_mode;
+    input_counts = Smap.empty;
+    steps = 0;
+    next_tid = main_tid + 1;
+    memory_model;
+    ghistory = Smap.empty
+  }
+
+let thread t tid =
+  match Imap.find_opt tid t.threads with
+  | Some th -> th
+  | None -> invalid_arg (Printf.sprintf "State.thread: no thread %d" tid)
+
+let update_thread t th = { t with threads = Imap.add th.tid th t.threads }
+
+let active_frame th =
+  match th.frames with
+  | f :: _ -> f
+  | [] -> invalid_arg "State.active_frame: thread has no frames"
+
+(** The instruction the thread would execute next, or [None] if finished. *)
+let next_inst t tid =
+  let th = thread t tid in
+  match th.frames with
+  | [] -> None
+  | f :: _ -> (
+    match B.find_func t.prog f.func with
+    | None -> None
+    | Some fn -> if f.pc < Array.length fn.B.code then Some fn.B.code.(f.pc) else None)
+
+let mutex_owner t m = Option.join (Smap.find_opt m t.mutexes)
+
+let thread_finished t tid =
+  match Imap.find_opt tid t.threads with
+  | Some { status = Finished; _ } -> true
+  | Some _ | None -> false
+
+(** Can this thread make progress if scheduled right now?  Threads blocked on
+    a mutex become schedulable the moment the mutex is free (the scheduler
+    decides who wins the race to acquire, as with real pthreads). *)
+let can_run t th =
+  match th.status with
+  | Runnable -> true
+  | Blocked_lock m | Blocked_reacquire m -> mutex_owner t m = None
+  | Blocked_join tid -> thread_finished t tid
+  | Blocked_cond _ | Blocked_barrier _ | Finished -> false
+
+let runnable t =
+  Imap.fold (fun tid th acc -> if can_run t th then tid :: acc else acc) t.threads []
+  |> List.rev
+
+let all_finished t = Imap.for_all (fun _ th -> th.status = Finished) t.threads
+
+let live_tids t =
+  Imap.fold (fun tid th acc -> if th.status <> Finished then tid :: acc else acc) t.threads []
+  |> List.rev
+
+(** Outputs in program order. *)
+let outputs t = List.rev t.outputs
+
+(** Declared ranges in solver format, for every symbolic input drawn so far. *)
+let solver_ranges t = t.input_ranges
+
+let pp_output fmt o =
+  match o.payload with
+  | Vals vs ->
+    Fmt.pf fmt "T%d@%a: %a" o.out_tid Events.pp_site o.out_site Fmt.(list ~sep:comma Value.pp) vs
+  | Text s -> Fmt.pf fmt "T%d@%a: %S" o.out_tid Events.pp_site o.out_site s
+
+(** Render the output sequence for humans (evidence reports). *)
+let pp_outputs fmt t = Fmt.(list ~sep:cut pp_output) fmt (outputs t)

@@ -1,0 +1,75 @@
+(** Schedule traces: the record side of Portend's record/replay engine.
+
+    A trace is the sequence of scheduling decisions taken at preemption
+    points, together with the absolute instruction count at each decision
+    (§3.1 notes the latter is needed to replay precisely when an instruction
+    executes many times before racing).  Traces also log the concrete values
+    every [input] returned, so a recorded execution can be replayed
+    faithfully or re-explored with those inputs made symbolic. *)
+
+type entry = {
+  d_tid : int;  (** thread scheduled at this decision *)
+  d_step : int;  (** absolute instruction count when the decision was taken *)
+}
+
+type t = {
+  entries : entry list;  (** chronological *)
+  inputs : (string * int) list;  (** input key -> concrete value drawn *)
+}
+
+let decisions t = List.map (fun e -> e.d_tid) t.entries
+let length t = List.length t.entries
+
+let of_run ~decisions ~decision_steps ~inputs =
+  { entries = List.map2 (fun d_tid d_step -> { d_tid; d_step }) decisions decision_steps; inputs }
+
+(** First [n] decisions. *)
+let take n t = { t with entries = List.filteri (fun i _ -> i < n) t.entries }
+
+let input_model t =
+  List.fold_left
+    (fun m (k, v) -> Portend_util.Maps.Smap.add k v m)
+    Portend_util.Maps.Smap.empty t.inputs
+
+let pp fmt t =
+  Fmt.pf fmt "@[<v>%a@,inputs: %a@]"
+    Fmt.(list ~sep:sp (fun fmt e -> Fmt.pf fmt "(T%d@%d)" e.d_tid e.d_step))
+    t.entries
+    Fmt.(list ~sep:comma (pair ~sep:(any "=") string int))
+    t.inputs
+
+(* A compact single-line serialization, used by the CLI to save and reload
+   traces across invocations. *)
+let to_string t =
+  let es = List.map (fun e -> Printf.sprintf "%d@%d" e.d_tid e.d_step) t.entries in
+  let is = List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) t.inputs in
+  String.concat " " es ^ " | " ^ String.concat " " is
+
+let of_string s =
+  let parts = String.split_on_char '|' s in
+  let entries_s, inputs_s =
+    match parts with
+    | [ e ] -> (e, "")
+    | [ e; i ] -> (e, i)
+    | _ -> invalid_arg "Trace.of_string: too many '|'"
+  in
+  let words str =
+    String.split_on_char ' ' str |> List.filter (fun w -> String.length w > 0)
+  in
+  let entries =
+    List.map
+      (fun w ->
+        match String.split_on_char '@' w with
+        | [ tid; step ] -> { d_tid = int_of_string tid; d_step = int_of_string step }
+        | _ -> invalid_arg ("Trace.of_string: bad entry " ^ w))
+      (words entries_s)
+  in
+  let inputs =
+    List.map
+      (fun w ->
+        match String.split_on_char '=' w with
+        | [ k; v ] -> (k, int_of_string v)
+        | _ -> invalid_arg ("Trace.of_string: bad input " ^ w))
+      (words inputs_s)
+  in
+  { entries; inputs }

@@ -1,0 +1,39 @@
+(** Schedule traces: the record side of Portend's record/replay engine.
+
+    A trace is the sequence of scheduling decisions taken at preemption
+    points with the absolute instruction count at each decision (§3.1), plus
+    the concrete values every [input] returned — enough to replay an
+    execution faithfully or re-explore it with the inputs made symbolic. *)
+
+type entry = {
+  d_tid : int;  (** thread scheduled at this decision *)
+  d_step : int;  (** absolute instruction count when the decision was taken *)
+}
+
+type t = {
+  entries : entry list;  (** chronological *)
+  inputs : (string * int) list;  (** input key -> concrete value drawn *)
+}
+
+(** The decision tids, chronological. *)
+val decisions : t -> int list
+
+val length : t -> int
+
+(** Assemble a trace from a run's decision and step lists (same length). *)
+val of_run :
+  decisions:int list -> decision_steps:int list -> inputs:(string * int) list -> t
+
+(** First [n] decisions. *)
+val take : int -> t -> t
+
+(** The recorded inputs as a solver/VM model. *)
+val input_model : t -> int Portend_util.Maps.Smap.t
+
+val pp : Format.formatter -> t -> unit
+
+(** Compact single-line serialization (CLI save/reload). *)
+val to_string : t -> string
+
+(** Inverse of {!to_string}.  Raises [Invalid_argument] on malformed text. *)
+val of_string : string -> t

@@ -1,0 +1,58 @@
+(** Runtime values: concrete integers or symbolic expressions.
+
+    The VM interprets concretely and symbolically with the same code path
+    (like KLEE): operators build symbolic expression trees whenever an
+    operand is symbolic, and the {!Portend_solver.Simplify} pass folds pure
+    concrete computation back to constants. *)
+
+module Expr = Portend_solver.Expr
+module Simplify = Portend_solver.Simplify
+
+type t =
+  | Con of int
+  | Sym of Expr.t
+
+let of_int n = Con n
+
+let of_expr e =
+  match Simplify.simplify e with
+  | Expr.Const n -> Con n
+  | e -> Sym e
+
+let to_expr = function Con n -> Expr.Const n | Sym e -> e
+let is_concrete = function Con _ -> true | Sym _ -> false
+
+exception Division_by_zero_value
+(** Raised on a concrete division by zero; the interpreter turns it into a
+    crash.  Symbolic divisions by a possibly-zero divisor are forked by the
+    interpreter before the operator is applied. *)
+
+let binop op a b =
+  match (a, b) with
+  | Con x, Con y -> (
+    match Expr.apply_binop op x y with
+    | n -> Con n
+    | exception Division_by_zero -> raise Division_by_zero_value)
+  | _, _ -> of_expr (Simplify.binop op (to_expr a) (to_expr b))
+
+let unop op a =
+  match a with
+  | Con x -> Con (Expr.apply_unop op x)
+  | Sym e -> of_expr (Simplify.unop op e)
+
+type truth =
+  | True
+  | False
+  | Unknown of Expr.t  (** depends on symbolic inputs; the expression is the
+                           normalized boolean condition *)
+
+let truth = function
+  | Con n -> if n <> 0 then True else False
+  | Sym e -> (
+    match Simplify.truthy e with
+    | Expr.Const n -> if n <> 0 then True else False
+    | e -> Unknown e)
+
+let pp fmt = function Con n -> Fmt.int fmt n | Sym e -> Fmt.pf fmt "⟨%a⟩" Expr.pp e
+let to_string v = Fmt.str "%a" pp v
+let equal a b = match (a, b) with Con x, Con y -> x = y | _, _ -> Expr.equal (to_expr a) (to_expr b)

@@ -1,0 +1,42 @@
+(** Runtime values: concrete integers or symbolic expressions.
+
+    The VM interprets concretely and symbolically through the same code path
+    (like KLEE): operators build expression trees whenever an operand is
+    symbolic, and simplification folds pure concrete computation back to
+    constants. *)
+
+type t =
+  | Con of int
+  | Sym of Portend_solver.Expr.t
+
+val of_int : int -> t
+
+(** Simplify and inject; a constant expression becomes [Con]. *)
+val of_expr : Portend_solver.Expr.t -> t
+
+val to_expr : t -> Portend_solver.Expr.t
+val is_concrete : t -> bool
+
+exception Division_by_zero_value
+(** Raised on a concrete division by zero; the interpreter turns it into a
+    crash.  Symbolic divisions by a possibly-zero divisor are forked by the
+    interpreter before the operator is applied. *)
+
+val binop : Portend_solver.Expr.binop -> t -> t -> t
+val unop : Portend_solver.Expr.unop -> t -> t
+
+type truth =
+  | True
+  | False
+  | Unknown of Portend_solver.Expr.t
+      (** depends on symbolic inputs; carries the normalized boolean
+          condition *)
+
+(** Three-valued truthiness, for branching. *)
+val truth : t -> truth
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Concrete equality, or structural equality of the symbolic forms. *)
+val equal : t -> t -> bool

@@ -1,0 +1,1 @@
+lib/workloads/bbuf_model.ml: List Portend_lang Registry Stdlib

@@ -1,0 +1,1 @@
+lib/workloads/ctrace_model.ml: List Patterns Portend_lang Printf Registry Stdlib

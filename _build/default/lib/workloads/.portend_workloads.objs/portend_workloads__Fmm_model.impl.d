@@ -1,0 +1,1 @@
+lib/workloads/fmm_model.ml: List Patterns Portend_lang Printf Registry Stdlib

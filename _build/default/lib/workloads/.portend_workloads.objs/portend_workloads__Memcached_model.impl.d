@@ -1,0 +1,1 @@
+lib/workloads/memcached_model.ml: List Patterns Portend_lang Printf Registry Stdlib

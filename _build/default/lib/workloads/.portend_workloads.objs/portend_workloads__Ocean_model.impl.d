@@ -1,0 +1,1 @@
+lib/workloads/ocean_model.ml: List Patterns Portend_lang Registry

@@ -1,0 +1,1 @@
+lib/workloads/patterns.ml: List Portend_lang

@@ -1,0 +1,1 @@
+lib/workloads/pbzip2_model.ml: List Patterns Portend_lang Printf Registry Stdlib

@@ -1,0 +1,1 @@
+lib/workloads/race_free.ml: Portend_lang

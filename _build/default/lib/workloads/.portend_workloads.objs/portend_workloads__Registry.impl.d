@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: List Portend_core Portend_lang

@@ -1,0 +1,1 @@
+lib/workloads/sqlite_model.ml: Portend_lang Registry

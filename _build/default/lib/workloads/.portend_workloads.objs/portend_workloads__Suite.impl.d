@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Bbuf_model Ctrace_model Fmm_model List Memcached_model Micro Ocean_model Pbzip2_model Registry Sqlite_model

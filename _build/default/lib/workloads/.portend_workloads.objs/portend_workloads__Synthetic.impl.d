@@ -1,0 +1,1 @@
+lib/workloads/synthetic.ml: Portend_lang Printf

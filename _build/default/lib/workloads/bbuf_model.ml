@@ -1,0 +1,81 @@
+(** Model of bbuf 1.0, the shared bounded buffer with configurable producers
+    and consumers (Table 3 row: 6 distinct races, all “output differs”).
+
+    Four producers and four consumers move items through a mutex-protected
+    buffer (that part is race-free); the six races are bookkeeping fields
+    producers update without the lock while a reporter consumer prints them.
+    Two are visible to a single-pre/single-post reversal ([head_snap],
+    [tail_snap]); two only print under a nonzero [verbosity] input and the
+    recorded test ran at verbosity 0 (multi-path); two are cleared-then-set
+    and printed before and after (multi-schedule). *)
+
+open Portend_lang.Builder
+
+let direct_fields = [ "head_snap"; "tail_snap" ]
+let gated_fields = [ "fill_level"; "free_slots" ]
+let sched_fields = [ "put_count"; "get_count" ]
+let stat_fields = direct_fields @ gated_fields @ sched_fields
+
+let buffer_op delta k =
+  critical "m_buf"
+    [ var "f" (g "fill");
+      if_
+        (if Stdlib.(delta > 0) then l "f" < i 8 else l "f" > i 0)
+        [ (if Stdlib.(delta > 0) then seta "buffer" (l "f") (i k) else yield);
+          setg "fill" (l "f" + i delta)
+        ]
+        []
+    ]
+
+let program : Portend_lang.Ast.program =
+  let producer name body = func name [] body in
+  let reporter =
+    func "reporter" []
+      (List.map (fun f -> output [ g f ]) sched_fields
+      @ buffer_op (-1) 0
+      @ List.map (fun f -> output [ g f ]) direct_fields
+      @ [ input "verbosity" ~name:"verbosity" ~lo:0 ~hi:3 ]
+      @ List.map (fun f -> var ("t_" ^ f) (g f)) gated_fields
+      @ [ if_ (l "verbosity" >= i 1) (List.map (fun f -> output [ l ("t_" ^ f) ]) gated_fields) []
+        ]
+      @ [ yield; yield ]
+      @ List.map (fun f -> output [ g f ]) sched_fields)
+  in
+  let consumer = func "consumer" [] (buffer_op (-1) 0) in
+  let main =
+    func "main" []
+      [ spawn ~into:"c1" "reporter" [];
+        spawn ~into:"p1" "producer1" [];
+        spawn ~into:"p2" "producer2" [];
+        spawn ~into:"p3" "producer3" [];
+        spawn ~into:"p4" "producer4" [];
+        spawn ~into:"c2" "consumer" [];
+        spawn ~into:"c3" "consumer" [];
+        spawn ~into:"c4" "consumer" [];
+        join (l "p1"); join (l "p2"); join (l "p3"); join (l "p4");
+        join (l "c1"); join (l "c2"); join (l "c3"); join (l "c4")
+      ]
+  in
+  program "bbuf"
+    ~globals:(("fill", 0) :: List.map (fun f -> (f, 0)) stat_fields)
+    ~arrays:[ ("buffer", 8, 0) ]
+    ~mutexes:[ "m_buf" ]
+    [ producer "producer1" (buffer_op 1 1 @ [ setg "head_snap" (i 3); setg "fill_level" (i 2) ]);
+      producer "producer2" (buffer_op 1 2 @ [ setg "tail_snap" (i 5); setg "free_slots" (i 6) ]);
+      producer "producer3"
+        ([ yield; yield; setg "put_count" (i 0); yield; yield; yield; yield; yield; yield; setg "put_count" (i 9) ]
+        @ buffer_op 1 3);
+      producer "producer4"
+        ([ yield; yield; setg "get_count" (i 0); yield; yield; yield; yield; yield; yield; setg "get_count" (i 4) ]
+        @ buffer_op 1 4);
+      reporter;
+      consumer;
+      main
+    ]
+
+let workload =
+  Registry.make ~language:"C" ~threads:8 ~seed:1 "bbuf" program
+    ~inputs:[ ("verbosity", 0) ]
+    (List.map
+       (fun f -> Registry.expect ("g:" ^ f) Registry.Taxonomy.Output_differs)
+       stat_fields)

@@ -1,0 +1,93 @@
+(** Model of ctrace 1.2, the multi-threaded debug/trace library (Table 3
+    row: 15 distinct races — 1 “spec violated” crash, 10 “output differs”,
+    4 “k-witness harmless” with differing post-race states).
+
+    - The crash is Fig 8a: trace cleanup guarded by a racy [_initialized]
+      flag; under the alternate ordering both threads free the trace buffer.
+    - The 10 output-differs races come in the three flavours the Fig 7
+      ablation separates:
+      {ul
+      {- [last_ev_0] is printed directly — a single-pre/single-post
+         reversal already flips the output;}
+      {- [last_ev_1..4] are read on every run but only {e printed} at trace
+         levels ≥ 1, and the recorded test ran at level 0 — only multi-path
+         analysis (symbolic [trace_lvl]) reaches the printing path;}
+      {- [last_ev_5..9] are cleared and then set by the worker while the
+         flusher prints them before {e and} after — the representative
+         access pair reverses neutrally (the clear rewrites the initial
+         value), and only a randomized post-race schedule (multi-schedule
+         analysis) exposes the differing late print.}}
+    - The 4 k-witness races are Fig 8b-style stores of trace levels: both
+      threads write (different) values nobody prints — post-race states
+      differ, output does not. *)
+
+open Portend_lang.Builder
+
+let direct_field = "last_ev_0"
+let gated_fields = List.init 4 (fun k -> Printf.sprintf "last_ev_%d" Stdlib.(k + 1))
+let sched_fields = List.init 5 (fun k -> Printf.sprintf "last_ev_%d" Stdlib.(k + 5))
+let level_fields = List.init 4 (fun k -> Printf.sprintf "trc_lvl_%d" k)
+
+let program : Portend_lang.Ast.program =
+  let cleanup =
+    func "trc_cleanup" [] (Patterns.racy_cleanup ~init_flag:"initialized" ~buffer:"tbuf")
+  in
+  let worker =
+    func "trace_worker" []
+      ([ yield; yield; yield ]
+      (* defensive clears of the rotating event slots *)
+      @ Patterns.store_all sched_fields (fun _ -> i 0)
+      @ [ yield; yield; yield; yield; yield; yield; yield; yield ]
+      @ Patterns.store_all sched_fields (fun k -> i Stdlib.((k * 3) + 20))
+      @ Patterns.store_all gated_fields (fun k -> i Stdlib.((k * 3) + 2))
+      @ [ setg direct_field (i 7) ]
+      @ Patterns.store_all level_fields (fun _ -> i 1)
+      @ [ call "trc_cleanup" [] ])
+  in
+  let flusher =
+    func "trace_flusher" []
+      ((* early dump of the rotating slots *)
+       List.map (fun f -> output [ g f ]) sched_fields
+      @ [ input "trace_lvl" ~name:"trace_lvl" ~lo:0 ~hi:3 ]
+      @ List.map (fun f -> var ("t_" ^ f) (g f)) gated_fields
+      @ [ if_ (l "trace_lvl" >= i 1) (List.map (fun f -> output [ l ("t_" ^ f) ]) gated_fields) [] ]
+      @ [ yield; output [ g direct_field ] ]
+      @ [ yield; yield ]
+      (* late dump: whether these see the worker's values is pure schedule *)
+      @ List.map (fun f -> output [ g f ]) sched_fields
+      (* level updates happen after all reporting so their reversal cannot
+         entangle with the printed slots *)
+      @ Patterns.store_all level_fields (fun _ -> i 2))
+  in
+  let main =
+    func "main" []
+      [ spawn ~into:"t_f" "trace_flusher" [];
+        spawn ~into:"t_w" "trace_worker" [];
+        spawn ~into:"t_c" "trc_cleanup" [];
+        join (l "t_w");
+        join (l "t_f");
+        join (l "t_c")
+      ]
+  in
+  program "ctrace"
+    ~globals:
+      ([ ("initialized", 1); (direct_field, 0) ]
+      @ List.map (fun f -> (f, 0)) gated_fields
+      @ List.map (fun f -> (f, 0)) sched_fields
+      @ List.map (fun f -> (f, 0)) level_fields)
+    ~arrays:[ ("tbuf", 8, 0) ]
+    [ cleanup; worker; flusher; main ]
+
+let workload =
+  Registry.make ~language:"C" ~threads:3 ~seed:3 "ctrace" program
+    ~inputs:[ ("trace_lvl", 0) ]
+    ([ Registry.expect "g:initialized" Registry.Taxonomy.Spec_violated;
+       Registry.expect ("g:" ^ direct_field) Registry.Taxonomy.Output_differs
+     ]
+    @ List.map
+        (fun f -> Registry.expect ("g:" ^ f) Registry.Taxonomy.Output_differs)
+        (gated_fields @ sched_fields)
+    @ List.map
+        (fun f ->
+          Registry.expect ("g:" ^ f) ~states_differ:true Registry.Taxonomy.K_witness_harmless)
+        level_fields)

@@ -1,0 +1,72 @@
+(** Model of SPLASH2 fmm 2.0, the n-body fast-multipole simulator (Table 3
+    row: 13 distinct races — 1 “k-witness harmless” with differing states,
+    12 “single ordering”; Table 2 adds one semantic violation when run under
+    the “timestamps are positive” predicate).
+
+    Worker 1 computes twelve body attributes and publishes them behind an
+    ad-hoc phase flag that worker 2 busy-waits on before accumulating them
+    over many timesteps — the single-ordering family, and the source of
+    fmm's large instance count.  The timer thread and worker 1 both store
+    into the shared [timestamp]: a write-write race that transiently leaves
+    a negative value but is eventually overwritten — harmless (k-witness,
+    states differ), unless the positivity predicate is enabled
+    ({!semantic_program}), in which case the transient is a specification
+    violation. *)
+
+open Portend_lang.Builder
+
+let body_fields = List.init 12 (fun k -> Printf.sprintf "body_%d" k)
+
+let make ~with_semantic_check : Portend_lang.Ast.program =
+  let worker1 =
+    func "compute_forces" []
+      ((* stale-clock reset while the tick has not happened yet: transiently
+          negative until the timer overwrites it *)
+       setg "timestamp" (i (-5))
+      :: Patterns.store_all body_fields (fun k -> i Stdlib.(k + 2))
+      @ Patterns.publish ~flag:"phase_done")
+  in
+  let worker2 =
+    func "accumulate" []
+      (Patterns.await ~flag:"phase_done" ()
+      @ [ var "step" (i 0); var "acc" (i 0) ]
+      @ [ while_ (l "step" < i 40)
+            (List.map (fun f -> set "acc" (l "acc" + g f)) body_fields
+            @ [ set "step" (l "step" + i 1) ])
+        ]
+      @ [ output [ l "acc" > i 0 ] ])
+  in
+  let timer =
+    func "timer_tick" []
+      ((* the timer starts ticking after the simulation warms up *)
+       [ yield; yield; yield; yield; yield; yield; setg "timestamp" (i 100) ]
+      @ (if with_semantic_check then
+           [ var "now" (g "timestamp"); assert_ (l "now" > i 0) "timestamps are positive" ]
+         else [])
+      @ [ setg "timestamp" (i 110) ])
+  in
+  let main =
+    func "main" []
+      [ spawn ~into:"t_w1" "compute_forces" [];
+        spawn ~into:"t_w2" "accumulate" [];
+        spawn ~into:"t_tm" "timer_tick" [];
+        join (l "t_w1");
+        join (l "t_w2");
+        join (l "t_tm")
+      ]
+  in
+  program "fmm"
+    ~globals:
+      (("phase_done", 0) :: ("timestamp", 1) :: List.map (fun f -> (f, 0)) body_fields)
+    [ worker1; worker2; timer; main ]
+
+let program = make ~with_semantic_check:false
+let semantic_program = make ~with_semantic_check:true
+
+let workload =
+  Registry.make ~language:"C" ~threads:3 ~seed:1 "fmm" program
+    ~semantic_variant:semantic_program
+    (Registry.expect "g:timestamp" Registry.Taxonomy.K_witness_harmless ~states_differ:true
+    :: List.map
+         (fun f -> Registry.expect ("g:" ^ f) Registry.Taxonomy.Single_ordering)
+         body_fields)

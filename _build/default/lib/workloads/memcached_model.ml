@@ -1,0 +1,114 @@
+(** Model of memcached 1.4.5 (Table 3 row: 18 distinct races — 2 “output
+    differs”, 16 “single ordering”).
+
+    An initialization thread fills 16 settings fields and publishes a
+    [settings_ready] flag; six worker threads busy-wait on the flag before
+    reading the settings (the “single ordering” family).  A stats thread
+    prints [oldest_live] and [total_conns] while workers update them — the
+    Fig 8c pattern, whose printed value depends on the access order
+    (“output differs”).
+
+    The what-if variant ({!whatif_program}) reproduces §5.1's experiment:
+    a connection-queue mutex is turned into a no-op, inducing a race on the
+    queue cursor that can overflow the queue — Portend classifies it “spec
+    violated”. *)
+
+open Portend_lang.Builder
+
+let n_settings = 16
+
+let settings_fields = List.init n_settings (fun k -> Printf.sprintf "cfg_%d" k)
+
+let program : Portend_lang.Ast.program =
+  let init_thread =
+    func "settings_init" []
+      (Patterns.store_all settings_fields (fun k -> i Stdlib.(k + 10))
+      @ Patterns.publish ~flag:"settings_ready")
+  in
+  let worker =
+    (* All six workers run this function, so their reads cluster into one
+       distinct race per settings field. *)
+    func "worker" [ "wid" ]
+      ([ (* connection accounting is reset as the worker comes up, then
+            bumped once it is serving *)
+         if_ (l "wid" == i 1)
+           [ yield; setg "total_conns" (i 0); yield; yield; setg "total_conns" (i 7) ]
+           []
+       ]
+      @ Patterns.await ~flag:"settings_ready" ()
+      @ Patterns.sum_into "cfg_sum" settings_fields
+      @ [ (* flush_all handling: update the racy eviction horizon *)
+          if_ (l "wid" == i 0) [ setg "oldest_live" (i 41) ] []
+        ])
+  in
+  let stats_thread =
+    func "stats_reporter" []
+      [ print "STATS";
+        output [ g "total_conns" ];
+        output [ g "oldest_live" ];
+        yield; yield; yield; yield;
+        output [ g "total_conns" ]
+      ]
+  in
+  let main =
+    func "main" []
+      ([ spawn ~into:"t_init" "settings_init" []; spawn ~into:"t_stats" "stats_reporter" [] ]
+      @ List.concat
+          (List.init 6 (fun k ->
+               [ spawn ~into:(Printf.sprintf "t_w%d" k) "worker" [ i k ] ]))
+      @ [ join (l "t_init"); join (l "t_stats") ]
+      @ List.init 6 (fun k -> join (l (Printf.sprintf "t_w%d" k))))
+  in
+  program "memcached"
+    ~globals:
+      ([ ("settings_ready", 0); ("oldest_live", 0); ("total_conns", 0) ]
+      @ List.map (fun f -> (f, 0)) settings_fields)
+    [ init_thread; worker; stats_thread; main ]
+
+(** §5.1 what-if analysis: the connection-queue push is normally protected by
+    [m_conn]; with [synced = false] the lock is gone and the check-then-act
+    on [conn_count] races — two pushers can both pass the bounds check and
+    overflow [conn_queue]. *)
+let whatif_program ~synced : Portend_lang.Ast.program =
+  let guard body = if synced then critical "m_conn" body else body in
+  let pusher =
+    func "conn_pusher" [ "v" ]
+      (guard
+         [ var "c" (g "conn_count");
+           if_ (l "c" < i 4)
+             [ seta "conn_queue" (g "conn_count") (l "v");
+               setg "conn_count" (g "conn_count" + i 1)
+             ]
+             []
+         ])
+  in
+  let main =
+    func "main" []
+      [ spawn ~into:"a" "conn_pusher" [ i 1 ];
+        spawn ~into:"b" "conn_pusher" [ i 2 ];
+        join (l "a");
+        join (l "b");
+        output [ g "conn_count" ]
+      ]
+  in
+  Portend_lang.Builder.program "memcached-whatif"
+    ~globals:[ ("conn_count", 3) ]
+    ~arrays:[ ("conn_queue", 4, 0) ]
+    ~mutexes:[ "m_conn" ]
+    [ pusher; main ]
+
+let workload =
+  let base =
+    Registry.make ~language:"C" ~threads:8 ~seed:3 "memcached" program
+      ~whatif_variant:(whatif_program ~synced:false)
+      [ Registry.expect "g:oldest_live" Registry.Taxonomy.Output_differs;
+        Registry.expect "g:total_conns" Registry.Taxonomy.Output_differs
+      ]
+  in
+  { base with
+    Registry.w_expect =
+      base.Registry.w_expect
+      @ List.map
+          (fun f -> Registry.expect ("g:" ^ f) Registry.Taxonomy.Single_ordering)
+          settings_fields
+  }

@@ -1,0 +1,133 @@
+(** The four homegrown micro-benchmarks of §5: each captures one classic
+    harmless-race pattern [29, 45] and contains exactly one distinct race,
+    classified “k-witness harmless” with identical post-race states
+    (Table 3's last four rows).
+
+    - AVV (“all values valid”): racing threads store values that are all
+      valid — here, each computes the same default from shared
+      configuration, so any winner leaves a correct value.
+    - DCL (“double-checked locking”): the classic lazily-initialized
+      singleton; the unprotected fast-path check races with the initializing
+      store.
+    - DBM (“disjoint bit manipulation”): threads update disjoint bit ranges
+      of one word (modelled as carry-free additions to disjoint decimal
+      ranges — commutative, so the post-race word is order-independent).
+    - RW (“redundant writes”): racing threads store the very same value. *)
+
+open Portend_lang.Builder
+
+let avv : Portend_lang.Ast.program =
+  program "AVV" ~globals:[ ("timeout_ms", 0); ("cfg_default", 4) ]
+    [ func "refresh_timeout" [] [ var "base" (g "cfg_default"); setg "timeout_ms" (l "base" + i 1) ];
+      func "main" []
+        [ spawn ~into:"t1" "refresh_timeout" [];
+          spawn ~into:"t2" "refresh_timeout" [];
+          spawn ~into:"t3" "refresh_timeout" [];
+          join (l "t1");
+          join (l "t2");
+          join (l "t3");
+          output [ g "timeout_ms" > i 0 ]
+        ]
+    ]
+
+let dcl : Portend_lang.Ast.program =
+  program "DCL" ~globals:[ ("init_done", 0); ("singleton", 0) ] ~mutexes:[ "m_init" ]
+    [ func "get_instance" []
+        [ var "fast" (g "init_done");
+          if_ (l "fast" == i 0)
+            [ lock "m_init";
+              var "slow" (g "init_done");
+              if_ (l "slow" == i 0) [ setg "singleton" (i 7); setg "init_done" (i 1) ] [];
+              unlock "m_init"
+            ]
+            []
+        ];
+      func "main" []
+        [ spawn ~into:"t1" "get_instance" [];
+          spawn ~into:"t2" "get_instance" [];
+          spawn ~into:"t3" "get_instance" [];
+          spawn ~into:"t4" "get_instance" [];
+          spawn ~into:"t5" "get_instance" [];
+          join (l "t1"); join (l "t2"); join (l "t3"); join (l "t4"); join (l "t5");
+          output [ g "singleton" ]
+        ]
+    ]
+
+let dbm : Portend_lang.Ast.program =
+  program "DBM" ~globals:[ ("status_word", 0) ]
+    [ func "set_bits" [ "mask" ] [ setg "status_word" (g "status_word" + l "mask") ];
+      func "main" []
+        [ spawn ~into:"t1" "set_bits" [ i 1 ];
+          spawn ~into:"t2" "set_bits" [ i 256 ];
+          spawn ~into:"t3" "set_bits" [ i 65536 ];
+          join (l "t1");
+          join (l "t2");
+          join (l "t3");
+          output [ g "status_word" > i 0 ]
+        ]
+    ]
+
+let rw : Portend_lang.Ast.program =
+  program "RW" ~globals:[ ("log_level", 0) ]
+    [ func "enable_logging" [] [ setg "log_level" (i 7) ];
+      func "main" []
+        [ spawn ~into:"t1" "enable_logging" [];
+          spawn ~into:"t2" "enable_logging" [];
+          spawn ~into:"t3" "enable_logging" [];
+          join (l "t1");
+          join (l "t2");
+          join (l "t3");
+          output [ g "log_level" ]
+        ]
+    ]
+
+(** The §5.2 false-positive experiment: the same four programs with the
+    races eliminated by mutex synchronization.  A sound happens-before
+    detector finds nothing; a detector blind to mutexes reports the
+    accesses, and Portend classifies every such false positive as “single
+    ordering” (the alternate cannot be enforced through the lock). *)
+let locked_variants : (string * Portend_lang.Ast.program) list =
+  let locked_writer name glob value =
+    program name ~globals:[ (glob, 0) ] ~mutexes:[ "m" ]
+      [ func "writer" [ "v" ] (critical "m" [ setg glob (l "v") ]);
+        func "main" []
+          [ spawn ~into:"t1" "writer" [ i value ];
+            spawn ~into:"t2" "writer" [ i value ];
+            join (l "t1");
+            join (l "t2");
+            output [ g glob > i 0 ]
+          ]
+      ]
+  in
+  [ ("AVV", locked_writer "AVV-locked" "timeout_ms" 5);
+    ( "DCL",
+      program "DCL-locked" ~globals:[ ("init_done", 0); ("singleton", 0) ] ~mutexes:[ "m" ]
+        [ func "get_instance" []
+            (critical "m"
+               [ var "v" (g "init_done");
+                 if_ (l "v" == i 0) [ setg "singleton" (i 7); setg "init_done" (i 1) ] []
+               ]);
+          func "main" []
+            [ spawn ~into:"t1" "get_instance" [];
+              spawn ~into:"t2" "get_instance" [];
+              join (l "t1");
+              join (l "t2");
+              output [ g "singleton" ]
+            ]
+        ] );
+    ("DBM", locked_writer "DBM-locked" "status_word" 257);
+    ("RW", locked_writer "RW-locked" "log_level" 7)
+  ]
+
+let kw = Registry.Taxonomy.K_witness_harmless
+
+let workloads =
+  [ Registry.make ~language:"C++" ~threads:3 ~seed:1 "AVV" avv
+      [ Registry.expect "g:timeout_ms" kw ~states_differ:false ];
+    Registry.make ~language:"C++" ~threads:5 ~seed:1 "DCL" dcl
+      [ Registry.expect "g:init_done" kw ~states_differ:false ];
+    Registry.make ~language:"C++" ~threads:3 ~seed:1 "DBM" dbm
+      [ Registry.expect "g:status_word" kw ~states_differ:false ];
+    Registry.make ~language:"C++" ~threads:3 ~seed:1 "RW" rw
+      [ Registry.expect "g:log_level" kw ~states_differ:false ]
+  ]

@@ -1,0 +1,69 @@
+(** Model of SPLASH2 ocean 2.0, the eddy-current simulator (Table 3 row:
+    5 distinct races — 1 “k-witness harmless” with differing states,
+    4 “single ordering”).
+
+    Two workers relax a grid in phases.  Worker 1 computes four boundary
+    values and publishes them behind an ad-hoc flag worker 2 spins on (the
+    4 single-ordering races).  Both workers also store their local residual
+    into a shared [residual] cell — a write-write race that is invisible in
+    the output on the recorded path.
+
+    This model deliberately reproduces the one race the paper reports
+    Portend misclassifies (§5.4): [residual] {e is} printed, but only under
+    a diagnostics depth given by the third program input — and Portend's
+    default of 2 symbolic inputs leaves that input concrete, so no explored
+    path reaches the print.  Ground truth is therefore “output differs”
+    while Portend answers “k-witness harmless”. *)
+
+open Portend_lang.Builder
+
+let boundary_fields = [ "bnd_north"; "bnd_south"; "bnd_east"; "bnd_west" ]
+
+let program : Portend_lang.Ast.program =
+  let worker1 =
+    func "relax_red" []
+      [ setg "residual" (i 17);
+        setg "bnd_north" (i 4);
+        setg "bnd_south" (i 5);
+        setg "bnd_east" (i 6);
+        setg "bnd_west" (i 7);
+        setg "phase_done" (i 1)
+      ]
+  in
+  let worker2 =
+    func "relax_black" []
+      ([ input "grid_x" ~name:"grid_x" ~lo:2 ~hi:8;
+         input "grid_y" ~name:"grid_y" ~lo:2 ~hi:8;
+         input "diag_depth" ~name:"diag_depth" ~lo:0 ~hi:9;
+         var "cells" (l "grid_x" * l "grid_y");
+         setg "residual" (i 23)
+       ]
+      @ Patterns.await ~flag:"phase_done" ()
+      @ Patterns.sum_into "bnd_sum" boundary_fields
+      @ [ output [ l "bnd_sum" + l "cells" ];
+          if_ (l "diag_depth" == i 7) [ output [ g "residual" ] ] []
+        ])
+  in
+  let main =
+    func "main" []
+      [ spawn ~into:"t_red" "relax_red" [];
+        spawn ~into:"t_black" "relax_black" [];
+        join (l "t_red");
+        join (l "t_black")
+      ]
+  in
+  program "ocean"
+    ~globals:
+      (("residual", 0) :: ("phase_done", 0) :: List.map (fun f -> (f, 0)) boundary_fields)
+    [ worker1; worker2; main ]
+
+let workload =
+  Registry.make ~language:"C" ~threads:2 ~seed:1 "ocean" program
+    ~inputs:[ ("grid_x", 4); ("grid_y", 4); ("diag_depth", 0) ]
+    ([ (* the paper's known misclassification: truly outDiff, judged k-witness *)
+       Registry.expect "g:residual" Registry.Taxonomy.Output_differs
+         ~portend:Registry.Taxonomy.K_witness_harmless ~states_differ:true
+     ]
+    @ List.map
+        (fun f -> Registry.expect ("g:" ^ f) Registry.Taxonomy.Single_ordering)
+        boundary_fields)

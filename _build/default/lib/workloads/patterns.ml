@@ -1,0 +1,45 @@
+(** Reusable racy-code patterns shared by the workload models.
+
+    Each pattern reproduces a race family from the paper's evaluation:
+    ad-hoc-synchronized publication (the dominant source of “single
+    ordering” races, Fig 8d), racy-index invalidation (the pbzip2 crash
+    races), double-free cleanup (ctrace, Fig 8a), and order-dependent
+    printed statistics (memcached, Fig 8c). *)
+
+open Portend_lang.Builder
+
+(** Set [flag] with a plain store — Fig 8d's [allDone = 1].  The detector's
+    spin-read identification keeps the flag itself out of the race reports;
+    the {e data} written before publication is what races, in only one
+    feasible order. *)
+let publish ~flag = [ setg flag (i 1) ]
+
+(** Busy-wait until [flag] is set — Fig 8d's [while (allDone == 0) usleep].
+    Ad-hoc synchronization in the sense of [60]: invisible to the
+    happens-before relation, yet the data consumed after the loop cannot be
+    read early. *)
+let await ~flag () = [ while_ (g flag == i 0) [ yield ] ]
+
+(** Unsynchronized stores to [names.(k)] of [value k] — each global becomes
+    one distinct data race against whoever reads it. *)
+let store_all names value = List.mapi (fun k name -> setg name (value k)) names
+
+(** Sum all [names] into local [acc] (declared here); each load is a distinct
+    read site. *)
+let sum_into acc names =
+  var acc (i 0) :: List.map (fun name -> set acc (l acc + g name)) names
+
+(** The crash pattern of the pbzip2 races: one thread bumps an index past the
+    buffer bound, another indexes the buffer with it (re-reading the racy
+    variable, as the C code does).  Harmless in the recorded order, an
+    out-of-bounds write under the alternate. *)
+let racy_index_use ~arr ~idx ~value = [ seta arr (g idx) (i value) ]
+
+let racy_index_bump ~idx ~by = [ setg idx (g idx + i by) ]
+
+(** Fig 8a: cleanup guarded by a racy [initialized] flag; the alternate
+    ordering frees twice. *)
+let racy_cleanup ~init_flag ~buffer =
+  [ var "doit" (g init_flag);
+    if_ (l "doit" == i 1) [ free buffer; setg init_flag (i 0) ] []
+  ]

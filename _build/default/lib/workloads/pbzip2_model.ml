@@ -1,0 +1,110 @@
+(** Model of pbzip2 2.1.1, the parallel bzip2 compressor (Table 3 row:
+    31 distinct races — 3 “spec violated” crashes, 3 “output differs”,
+    25 “single ordering”).
+
+    Thread architecture mirrors the real program: a producer that splits the
+    input into blocks, two compressor threads, and a file-writer thread that
+    busy-waits on an [allDone]-style flag before draining the output buffer
+    (Fig 8d).
+
+    - The 25 single-ordering races are the block-metadata fields the
+      producer fills before publishing [blocks_ready]: the writer can only
+      read them after the flag, but no happens-before edge says so.
+    - The 3 crash races are bounded buffers indexed by racy counters that
+      another thread bumps past the bound ([OutputBuffer] in the paper's
+      Fig 6/8d report).
+    - The 3 output-differs races are compression statistics printed by the
+      writer while the compressors still update them. *)
+
+open Portend_lang.Builder
+
+let n_blocks = 25
+
+let block_fields = List.init n_blocks (fun k -> Printf.sprintf "blk_size_%d" k)
+
+let program : Portend_lang.Ast.program =
+  let producer =
+    func "producer" []
+      (Patterns.store_all block_fields (fun k -> i Stdlib.((k * 7) + 1))
+      @ Patterns.publish ~flag:"blocks_ready"
+      (* Late queue-tail skip: harmless after the writer sampled it, fatal
+         before. *)
+      @ Patterns.racy_index_bump ~idx:"q_tail" ~by:20)
+  in
+  let compressor1 =
+    func "compressor1" []
+      ([ (* uses the racy queue tail to place its compressed block *) ]
+      @ Patterns.racy_index_use ~arr:"in_queue" ~idx:"q_tail" ~value:5
+      @ [ setg "last_ratio" (i 3); setg "last_block_size" (i 900) ]
+      @ Patterns.racy_index_bump ~idx:"next_out" ~by:19)
+  in
+  let compressor2 =
+    func "compressor2" []
+      (Patterns.racy_index_use ~arr:"out_buffer" ~idx:"next_out" ~value:8
+      @ [ yield; setg "active_workers" (i 0); yield; yield; yield; yield; setg "active_workers" (i 2) ]
+      @ Patterns.racy_index_bump ~idx:"file_pos" ~by:21)
+  in
+  let writer =
+    func "writer" []
+      ([ (* the -b block-size option: forks the symbolic exploration like any
+            other program input *)
+         input "block_size" ~name:"block_size" ~lo:1 ~hi:9;
+         (if true then if_ (l "block_size" > i 5) [ var "big" (i 1) ] [ var "small" (i 1) ]
+          else yield);
+         output [ g "active_workers" ] ]
+      @ Patterns.racy_index_use ~arr:"file_map" ~idx:"file_pos" ~value:1
+      @ [ output [ g "last_ratio" ];
+          output [ g "last_block_size" ];
+          yield; yield; yield; yield;
+          output [ g "active_workers" ]
+        ]
+      @ Patterns.await ~flag:"blocks_ready" ()
+      @ Patterns.sum_into "total" block_fields
+      @ [ output [ l "total" ] ])
+  in
+  let main =
+    func "main"
+      []
+      [ spawn ~into:"t_prod" "producer" [];
+        spawn ~into:"t_c1" "compressor1" [];
+        spawn ~into:"t_c2" "compressor2" [];
+        spawn ~into:"t_wr" "writer" [];
+        join (l "t_prod");
+        join (l "t_c1");
+        join (l "t_c2");
+        join (l "t_wr")
+      ]
+  in
+  program "pbzip2"
+    ~globals:
+      ([ ("q_tail", 0);
+         ("next_out", 0);
+         ("file_pos", 0);
+         ("last_ratio", 0);
+         ("last_block_size", 0);
+         ("active_workers", 0);
+         ("blocks_ready", 0)
+       ]
+      @ List.map (fun f -> (f, 0)) block_fields)
+    ~arrays:[ ("in_queue", 16, 0); ("out_buffer", 16, 0); ("file_map", 16, 0) ]
+    [ producer; compressor1; compressor2; writer; main ]
+
+let workload =
+  Registry.make ~language:"C++" ~threads:4 ~seed:3 "pbzip2" program
+    ~inputs:[ ("block_size", 9) ]
+    [ Registry.expect "g:q_tail" Registry.Taxonomy.Spec_violated;
+      Registry.expect "g:next_out" Registry.Taxonomy.Spec_violated;
+      Registry.expect "g:file_pos" Registry.Taxonomy.Spec_violated;
+      Registry.expect "g:last_ratio" Registry.Taxonomy.Output_differs;
+      Registry.expect "g:last_block_size" Registry.Taxonomy.Output_differs;
+      Registry.expect "g:active_workers" Registry.Taxonomy.Output_differs
+    ]
+    (* the 25 block fields *)
+  |> fun w ->
+  { w with
+    Registry.w_expect =
+      w.Registry.w_expect
+      @ List.map
+          (fun f -> Registry.expect ("g:" ^ f) Registry.Taxonomy.Single_ordering)
+          block_fields
+  }

@@ -1,0 +1,127 @@
+(** The programs the paper ran Portend on and found {e no} races in (§5:
+    HawkNL, pfscan, swarm, fft) — modelled here as properly synchronized
+    equivalents, so the suite also demonstrates a clean bill of health:
+    the detector reports nothing, and the pipeline degrades gracefully.
+
+    - hawknl: a network library; connection bookkeeping fully mutexed.
+    - pfscan: a parallel file scanner; work queue behind a mutex + condvar.
+    - swarm: particle swarm steps separated by barriers.
+    - fft: butterfly stages with disjoint indices plus a barrier between
+      stages. *)
+
+open Portend_lang.Builder
+
+let hawknl : Portend_lang.Ast.program =
+  program "hawknl"
+    ~globals:[ ("open_sockets", 0); ("bytes_moved", 0) ]
+    ~mutexes:[ "nl_lock" ]
+    [ func "connection" [ "sz" ]
+        (critical "nl_lock"
+           [ setg "open_sockets" (g "open_sockets" + i 1);
+             setg "bytes_moved" (g "bytes_moved" + l "sz")
+           ]
+        @ critical "nl_lock" [ setg "open_sockets" (g "open_sockets" - i 1) ]);
+      func "main" []
+        [ spawn ~into:"c1" "connection" [ i 100 ];
+          spawn ~into:"c2" "connection" [ i 250 ];
+          join (l "c1");
+          join (l "c2");
+          output [ g "open_sockets"; g "bytes_moved" ]
+        ]
+    ]
+
+let pfscan : Portend_lang.Ast.program =
+  program "pfscan"
+    ~globals:[ ("queue_len", 0); ("matches", 0); ("done_producing", 0) ]
+    ~arrays:[ ("queue", 8, 0) ]
+    ~mutexes:[ "q" ]
+    ~conds:[ "more" ]
+    [ func "producer" []
+        [ var "k" (i 0);
+          while_ (l "k" < i 4)
+            (critical "q"
+               [ seta "queue" (g "queue_len") (l "k" + i 1);
+                 setg "queue_len" (g "queue_len" + i 1);
+                 signal "more"
+               ]
+            @ [ set "k" (l "k" + i 1) ]);
+          lock "q";
+          setg "done_producing" (i 1);
+          broadcast "more";
+          unlock "q"
+        ];
+      func "scanner" []
+        [ var "go" (i 1);
+          while_ (l "go" == i 1)
+            [ lock "q";
+              while_ (g "queue_len" == i 0 && g "done_producing" == i 0) [ wait "more" "q" ];
+              if_ (g "queue_len" > i 0)
+                [ setg "queue_len" (g "queue_len" - i 1);
+                  var "item" (arr "queue" (g "queue_len"));
+                  if_ (l "item" % i 2 == i 0) [ setg "matches" (g "matches" + i 1) ] []
+                ]
+                [ set "go" (i 0) ];
+              unlock "q"
+            ]
+        ];
+      func "main" []
+        [ spawn ~into:"p" "producer" [];
+          spawn ~into:"s1" "scanner" [];
+          spawn ~into:"s2" "scanner" [];
+          join (l "p");
+          join (l "s1");
+          join (l "s2");
+          output [ g "matches" ]
+        ]
+    ]
+
+let swarm : Portend_lang.Ast.program =
+  program "swarm"
+    ~arrays:[ ("pos", 2, 0); ("vel", 2, 1) ]
+    ~barriers:[ ("step", 2) ]
+    [ func "particle" [ "idx" ]
+        [ var "t" (i 0);
+          while_ (l "t" < i 3)
+            [ (* each particle owns its own cells: disjoint, no race *)
+              seta "vel" (l "idx") (arr "vel" (l "idx") + i 1);
+              seta "pos" (l "idx") (arr "pos" (l "idx") + arr "vel" (l "idx"));
+              barrier "step";
+              set "t" (l "t" + i 1)
+            ]
+        ];
+      func "main" []
+        [ spawn ~into:"a" "particle" [ i 0 ];
+          spawn ~into:"b" "particle" [ i 1 ];
+          join (l "a");
+          join (l "b");
+          output [ arr "pos" (i 0); arr "pos" (i 1) ]
+        ]
+    ]
+
+let fft : Portend_lang.Ast.program =
+  program "fft"
+    ~arrays:[ ("re", 4, 1) ]
+    ~barriers:[ ("stage", 2) ]
+    [ func "butterfly" [ "base" ]
+        [ (* stage 1: each worker combines its own disjoint pair *)
+          var "a" (arr "re" (l "base"));
+          var "b" (arr "re" (l "base" + i 1));
+          seta "re" (l "base") (l "a" + l "b");
+          seta "re" (l "base" + i 1) (l "a" - l "b");
+          barrier "stage";
+          (* stage 2: swap strides, still disjoint per worker *)
+          var "c" (arr "re" (l "base"));
+          seta "re" (l "base") (l "c" * i 2);
+          barrier "stage"
+        ];
+      func "main" []
+        [ spawn ~into:"w0" "butterfly" [ i 0 ];
+          spawn ~into:"w1" "butterfly" [ i 2 ];
+          join (l "w0");
+          join (l "w1");
+          output [ arr "re" (i 0); arr "re" (i 2) ]
+        ]
+    ]
+
+(** name × program, for tests and the CLI. *)
+let all = [ ("hawknl", hawknl); ("pfscan", pfscan); ("swarm", swarm); ("fft", fft) ]

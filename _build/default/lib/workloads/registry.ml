@@ -1,0 +1,60 @@
+(** The workload registry: every program of the paper's evaluation (Table 1)
+    with its recorded test inputs, its recording seed, and the ground truth
+    for every distinct data race it contains (Table 3).
+
+    Ground truth is keyed by the racy location (the {!Portend_detect.Report}
+    base-location string, e.g. ["g:oldest_live"]); [x_count] says how many
+    distinct races live at that key (several unrolled store/load pairs on
+    one array share a key).  [x_portend] is the verdict Portend is expected
+    to produce — equal to the manual ground truth everywhere except the one
+    Ocean race the paper reports as misclassified (§5.4). *)
+
+module Taxonomy = Portend_core.Taxonomy
+
+type expectation = {
+  x_loc : string;  (** base-location key of the racy location *)
+  x_truth : Taxonomy.category;  (** manual classification (“ground truth”) *)
+  x_portend : Taxonomy.category;  (** verdict Portend should produce *)
+  x_count : int;  (** distinct races expected at this location *)
+  x_states_differ : bool;  (** post-race state comparison outcome (Table 3) *)
+}
+
+let expect ?portend ?(count = 1) ?(states_differ = true) loc truth =
+  { x_loc = loc;
+    x_truth = truth;
+    x_portend = (match portend with Some p -> p | None -> truth);
+    x_count = count;
+    x_states_differ = states_differ
+  }
+
+type workload = {
+  w_name : string;
+  w_language : string;  (** for Table 1 *)
+  w_threads : int;  (** forked threads, Table 1 *)
+  w_prog : Portend_lang.Ast.program;
+  w_inputs : (string * int) list;  (** the recorded test-case inputs *)
+  w_seed : int;  (** recording scheduler seed that manifests the races *)
+  w_expect : expectation list;
+  w_semantic_variant : Portend_lang.Ast.program option;
+      (** fmm with the “timestamps are positive” predicate (Table 2) *)
+  w_whatif_variant : Portend_lang.Ast.program option;
+      (** memcached with one synchronization no-op'd (Table 2 “what-if”) *)
+}
+
+let make ?(inputs = []) ?(seed = 1) ?semantic_variant ?whatif_variant ~language ~threads name prog
+    expect =
+  { w_name = name;
+    w_language = language;
+    w_threads = threads;
+    w_prog = prog;
+    w_inputs = inputs;
+    w_seed = seed;
+    w_expect = expect;
+    w_semantic_variant = semantic_variant;
+    w_whatif_variant = whatif_variant
+  }
+
+let total_expected w = List.fold_left (fun acc x -> acc + x.x_count) 0 w.w_expect
+
+(* The individual models live in their own modules; see the per-application
+   files in this directory.  [all] is assembled in {!Suite}. *)

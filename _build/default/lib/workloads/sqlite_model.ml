@@ -1,0 +1,51 @@
+(** Model of SQLite 3.3.0 (Table 3 row: a single distinct race, a “spec
+    violated” deadlock — Table 2's SQLite entry).
+
+    A writer thread takes the database mutex, raises a racy [db_busy] hint,
+    and then takes the journal mutex.  A checkpoint thread consults the hint
+    {e without} synchronization: if the database looks idle it takes the
+    locks in the opposite order.  On the recorded schedule the stale read is
+    harmless; under the alternate ordering of the hint accesses the two
+    threads enter a lock cycle and deadlock. *)
+
+open Portend_lang.Builder
+
+let program : Portend_lang.Ast.program =
+  let writer =
+    func "db_writer" []
+      [ lock "m_db";
+        setg "db_busy" (i 1);
+        yield;
+        lock "m_journal";
+        setg "pages_flushed" (i 3);
+        unlock "m_journal";
+        unlock "m_db"
+      ]
+  in
+  let checkpointer =
+    func "checkpointer" []
+      [ var "hint" (g "db_busy");
+        if_ (l "hint" == i 0)
+          [ lock "m_journal"; yield; lock "m_db"; setg "ckpt_done" (i 1); unlock "m_db";
+            unlock "m_journal"
+          ]
+          [];
+        output [ l "hint" ]
+      ]
+  in
+  let main =
+    func "main" []
+      [ spawn ~into:"t_w" "db_writer" [];
+        spawn ~into:"t_c" "checkpointer" [];
+        join (l "t_w");
+        join (l "t_c")
+      ]
+  in
+  program "sqlite"
+    ~globals:[ ("db_busy", 0); ("pages_flushed", 0); ("ckpt_done", 0) ]
+    ~mutexes:[ "m_db"; "m_journal" ]
+    [ writer; checkpointer; main ]
+
+let workload =
+  Registry.make ~language:"C" ~threads:2 ~seed:1 "sqlite" program
+    [ Registry.expect "g:db_busy" Registry.Taxonomy.Spec_violated ]

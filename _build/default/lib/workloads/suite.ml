@@ -1,0 +1,22 @@
+(** The assembled evaluation suite: the 7 real-world application models and
+    the 4 micro-benchmarks of Table 1, in the paper's order. *)
+
+let applications : Registry.workload list =
+  [ Sqlite_model.workload;
+    Ocean_model.workload;
+    Fmm_model.workload;
+    Memcached_model.workload;
+    Pbzip2_model.workload;
+    Ctrace_model.workload;
+    Bbuf_model.workload
+  ]
+
+let micro_benchmarks : Registry.workload list = Micro.workloads
+
+let all : Registry.workload list = applications @ micro_benchmarks
+
+let find name = List.find_opt (fun w -> w.Registry.w_name = name) all
+
+(** Total distinct races the suite is expected to contain (the paper's 93). *)
+let total_expected_races =
+  List.fold_left (fun acc w -> acc + Registry.total_expected w) 0 all

@@ -1,0 +1,48 @@
+(** Parameterized synthetic programs for the Fig 9 scaling experiment:
+    classification time as a function of the number of preemption points and
+    the number of branches that depend on symbolic input.
+
+    [make ~preemptions ~branches] builds a two-thread program with one
+    harmless data race; thread 1 performs [preemptions] synchronization
+    operations before the racy store, and thread 2 evaluates [branches]
+    input-dependent branches before the racy load, so the schedule trace and
+    the symbolic execution tree grow with the two parameters
+    independently. *)
+
+open Portend_lang.Builder
+
+let make ~preemptions ~branches : Portend_lang.Ast.program =
+  let t1 =
+    func "locker" []
+      [ var "k" (i 0);
+        while_ (l "k" < i preemptions) [ lock "m"; unlock "m"; set "k" (l "k" + i 1) ];
+        setg "shared_word" (i 1)
+      ]
+  in
+  let t2 =
+    func "brancher" []
+      [ input "i1" ~name:"i1" ~lo:0 ~hi:63;
+        input "i2" ~name:"i2" ~lo:0 ~hi:63;
+        var "acc" (i 0);
+        var "j" (i 0);
+        while_ (l "j" < i branches)
+          [ if_ (l "i1" > l "j" * i 4) [ set "acc" (l "acc" + i 1) ] [ set "acc" (l "acc" + i 2) ];
+            set "j" (l "j" + i 1)
+          ];
+        var "snapshot" (g "shared_word");
+        output [ (l "acc" + l "snapshot") > i 0 ]
+      ]
+  in
+  let main =
+    func "main" []
+      [ spawn ~into:"ta" "locker" [];
+        spawn ~into:"tb" "brancher" [];
+        join (l "ta");
+        join (l "tb")
+      ]
+  in
+  program
+    (Printf.sprintf "synthetic_p%d_b%d" preemptions branches)
+    ~globals:[ ("shared_word", 0) ]
+    ~mutexes:[ "m" ]
+    [ t1; t2; main ]

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Astring Builder Classify Compile Portend_baselines Portend_core Portend_detect Portend_lang Portend_vm Run Sched State Static Taxonomy

@@ -1,0 +1,1 @@
+test/test_detect.ml: Alcotest Builder Compile Events List Portend_detect Portend_lang Portend_vm QCheck QCheck_alcotest Run Sched State Static Stdlib

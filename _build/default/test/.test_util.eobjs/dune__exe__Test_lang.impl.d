@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Array Builder Bytecode Compile Lexer List Option Parser Portend_lang Portend_vm Portend_workloads Pp Printexc Run Sched State Static Stdlib Value

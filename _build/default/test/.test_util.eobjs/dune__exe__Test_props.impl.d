@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Ast Compile Fun List Portend_lang Portend_solver Portend_vm Pp Printf QCheck QCheck_alcotest Run Sched State String Trace Value

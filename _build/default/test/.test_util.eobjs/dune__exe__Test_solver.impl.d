@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Expr Interval List Portend_solver Portend_util Printf QCheck QCheck_alcotest Simplify Solver String

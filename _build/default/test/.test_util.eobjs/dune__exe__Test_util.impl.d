@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Imap List Maps Portend_util QCheck QCheck_alcotest Smap Srng Stats

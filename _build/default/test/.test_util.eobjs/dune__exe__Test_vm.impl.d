@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Builder Compile Crash List Portend_lang Portend_solver Portend_util Portend_vm Run Sched State Stdlib Trace Value

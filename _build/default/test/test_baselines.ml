@@ -1,0 +1,142 @@
+(* Tests for the baseline classifiers (Record/Replay-Analyzer, ad-hoc-only
+   detectors, heuristic pruning) and their characteristic failure modes. *)
+
+open Portend_lang
+open Portend_vm
+open Portend_core
+module B = Portend_baselines
+module D = Portend_detect
+
+let record_and_races ?(seed = 1) p =
+  let prog = Compile.compile p in
+  let r = Run.run ~sched:(Sched.random ~seed) (State.init prog) in
+  let suppress = Static.spin_read_sites prog in
+  (prog, r, D.Hb.detect_clustered ~suppress r.Run.events)
+
+(* replay-based analysis flags ad-hoc-synchronized races as harmful *)
+let adhoc_prog =
+  let open Builder in
+  program "adhoc" ~globals:[ ("data", 0); ("ready", 0) ]
+    [ func "producer" [] [ setg "data" (i 42); setg "ready" (i 1) ];
+      func "consumer" [] [ while_ (g "ready" == i 0) [ yield ]; output [ g "data" ] ];
+      func "main" []
+        [ spawn ~into:"a" "producer" []; spawn ~into:"b" "consumer" []; join (l "a");
+          join (l "b")
+        ]
+    ]
+
+let test_replay_analyzer_replay_failure () =
+  let prog, r, races = record_and_races adhoc_prog in
+  match races with
+  | [ (race, _) ] -> (
+    match B.Replay_analyzer.classify prog r.Run.trace race with
+    | Ok (B.Replay_analyzer.Likely_harmful why) ->
+      Alcotest.(check bool) "failure is a replay failure" true
+        (Astring.String.is_prefix ~affix:"replay failure" why)
+    | Ok B.Replay_analyzer.Likely_harmless -> Alcotest.fail "should not be harmless"
+    | Error e -> Alcotest.failf "unexpected error: %s" e)
+  | _ -> Alcotest.fail "expected exactly one race"
+
+(* state-identical benign race is judged harmless by the replay analyzer *)
+let redundant_prog =
+  let open Builder in
+  program "rw" ~globals:[ ("x", 0) ]
+    [ func "w" [] [ setg "x" (i 7) ];
+      func "main" []
+        [ spawn ~into:"a" "w" []; spawn ~into:"b" "w" []; join (l "a"); join (l "b");
+          output [ g "x" ]
+        ]
+    ]
+
+let test_replay_analyzer_harmless () =
+  let prog, r, races = record_and_races redundant_prog in
+  match races with
+  | [ (race, _) ] -> (
+    match B.Replay_analyzer.classify prog r.Run.trace race with
+    | Ok B.Replay_analyzer.Likely_harmless -> ()
+    | Ok (B.Replay_analyzer.Likely_harmful why) -> Alcotest.failf "harmful?! %s" why
+    | Error e -> Alcotest.failf "error: %s" e)
+  | _ -> Alcotest.fail "expected exactly one race"
+
+(* benign state difference fools the replay analyzer (Portend compares
+   outputs instead and classifies k-witness) *)
+let benign_diff_prog =
+  let open Builder in
+  program "avvish" ~globals:[ ("x", 5) ]
+    [ func "w1" [] [ setg "x" (i 1) ];
+      func "w2" [] [ setg "x" (i 2) ];
+      func "main" []
+        [ spawn ~into:"a" "w1" []; spawn ~into:"b" "w2" []; join (l "a"); join (l "b");
+          output [ g "x" > i 0 ]
+        ]
+    ]
+
+let test_replay_analyzer_false_harmful () =
+  let prog, r, races = record_and_races benign_diff_prog in
+  match races with
+  | [ (race, _) ] -> (
+    (match B.Replay_analyzer.classify prog r.Run.trace race with
+    | Ok (B.Replay_analyzer.Likely_harmful why) ->
+      Alcotest.(check bool) "states differ" true
+        (Astring.String.is_infix ~affix:"states differ" why)
+    | Ok B.Replay_analyzer.Likely_harmless -> Alcotest.fail "analyzer should mispredict here"
+    | Error e -> Alcotest.failf "error: %s" e);
+    match Classify.classify prog r.Run.trace race with
+    | Ok { Classify.verdict; _ } ->
+      Alcotest.(check string) "Portend gets it right" "k-witness"
+        (Taxonomy.category_to_string verdict.Taxonomy.category)
+    | Error e -> Alcotest.failf "portend error: %s" e)
+  | _ -> Alcotest.fail "expected exactly one race"
+
+let test_adhoc_detector () =
+  let prog, r, races = record_and_races adhoc_prog in
+  (match races with
+  | [ (race, _) ] -> (
+    match B.Adhoc_detector.classify prog r.Run.trace race with
+    | Ok B.Adhoc_detector.Adhoc_synchronized -> ()
+    | Ok B.Adhoc_detector.Not_classified -> Alcotest.fail "should recognize the spin flag"
+    | Error e -> Alcotest.failf "error: %s" e)
+  | _ -> Alcotest.fail "one race expected");
+  let prog2, r2, races2 = record_and_races benign_diff_prog in
+  match races2 with
+  | [ (race, _) ] -> (
+    match B.Adhoc_detector.classify prog2 r2.Run.trace race with
+    | Ok B.Adhoc_detector.Not_classified -> ()
+    | Ok B.Adhoc_detector.Adhoc_synchronized -> Alcotest.fail "nothing ad-hoc here"
+    | Error e -> Alcotest.failf "error: %s" e)
+  | _ -> Alcotest.fail "one race expected"
+
+let test_heuristic () =
+  let prog, _, races = record_and_races redundant_prog in
+  (match races with
+  | [ (race, _) ] ->
+    Alcotest.(check string) "redundant write recognized" "benign (redundant write)"
+      (B.Heuristic.verdict_to_string (B.Heuristic.classify prog race))
+  | _ -> Alcotest.fail "one race expected");
+  let open Builder in
+  let counter =
+    program "ctr" ~globals:[ ("c", 0) ]
+      [ func "w" [] [ incr_global "c" ];
+        func "main" []
+          [ spawn ~into:"a" "w" []; spawn ~into:"b" "w" []; join (l "a"); join (l "b") ]
+      ]
+  in
+  let prog2, _, races2 = record_and_races counter in
+  match races2 with
+  | (race, _) :: _ ->
+    Alcotest.(check string) "counter update recognized" "benign (counter update)"
+      (B.Heuristic.verdict_to_string (B.Heuristic.classify prog2 race))
+  | [] -> Alcotest.fail "race expected"
+
+let () =
+  Alcotest.run "baselines"
+    [ ( "replay-analyzer",
+        [ Alcotest.test_case "replay failure -> harmful" `Quick
+            test_replay_analyzer_replay_failure;
+          Alcotest.test_case "state-identical -> harmless" `Quick test_replay_analyzer_harmless;
+          Alcotest.test_case "benign state diff -> false harmful" `Quick
+            test_replay_analyzer_false_harmful
+        ] );
+      ("adhoc-only", [ Alcotest.test_case "classification" `Quick test_adhoc_detector ]);
+      ("heuristic", [ Alcotest.test_case "patterns" `Quick test_heuristic ])
+    ]

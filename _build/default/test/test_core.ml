@@ -1,0 +1,409 @@
+(* Integration tests of the Portend classifier: one hand-built program per
+   taxonomy category, plus pipeline, clustering, and false-positive tests. *)
+
+open Portend_lang
+open Portend_vm
+open Portend_core
+module D = Portend_detect
+
+let compile = Compile.compile
+
+let analyze ?config ?(seed = 1) ?(inputs = []) p =
+  Pipeline.analyze ?config ~seed ~inputs (compile p)
+
+let categories (a : Pipeline.t) =
+  List.map
+    (fun ra ->
+      ( Fmt.str "%a" Events.pp_loc ra.Pipeline.race.D.Report.r_loc,
+        Taxonomy.category_to_string ra.Pipeline.verdict.Taxonomy.category ))
+    a.Pipeline.races
+
+let category_of_loc a loc =
+  match List.assoc_opt loc (categories a) with
+  | Some c -> c
+  | None ->
+    Alcotest.failf "no race detected on %s (got: %s)" loc
+      (String.concat ", " (List.map fst (categories a)))
+
+(* --- output differs: racy writes flow directly into the output --- *)
+
+let outdiff_prog =
+  let open Builder in
+  program "outdiff" ~globals:[ ("x", 0) ]
+    [ func "w1" [] [ setg "x" (i 1) ];
+      func "w2" [] [ setg "x" (i 2) ];
+      func "main" []
+        [ spawn ~into:"t1" "w1" [];
+          spawn ~into:"t2" "w2" [];
+          join (l "t1");
+          join (l "t2");
+          output [ g "x" ]
+        ]
+    ]
+
+let test_outdiff () =
+  let a = analyze outdiff_prog in
+  Alcotest.(check string) "outDiff" "outDiff" (category_of_loc a "x")
+
+(* --- k-witness: racy writes whose difference is invisible in the output --- *)
+
+let avv_prog =
+  let open Builder in
+  program "avv" ~globals:[ ("x", 5) ]
+    [ func "w1" [] [ setg "x" (i 1) ];
+      func "w2" [] [ setg "x" (i 2) ];
+      func "main" []
+        [ spawn ~into:"t1" "w1" [];
+          spawn ~into:"t2" "w2" [];
+          join (l "t1");
+          join (l "t2");
+          output [ g "x" > i 0 ]
+        ]
+    ]
+
+let test_kwitness () =
+  let a = analyze avv_prog in
+  Alcotest.(check string) "k-witness" "k-witness" (category_of_loc a "x");
+  let ra = List.hd a.Pipeline.races in
+  Alcotest.(check bool) "k > 1" true (ra.Pipeline.verdict.Taxonomy.k > 1)
+
+(* --- single ordering: data guarded by an ad-hoc spin flag --- *)
+
+let adhoc_prog =
+  let open Builder in
+  program "adhoc" ~globals:[ ("data", 0); ("ready", 0) ]
+    [ func "producer" [] [ setg "data" (i 42); setg "ready" (i 1) ];
+      func "consumer" []
+        [ while_ (g "ready" == i 0) [ yield ];
+          output [ g "data" ]
+        ];
+      func "main" []
+        [ spawn ~into:"t1" "producer" [];
+          spawn ~into:"t2" "consumer" [];
+          join (l "t1");
+          join (l "t2")
+        ]
+    ]
+
+let test_single_ordering () =
+  let a = analyze adhoc_prog in
+  Alcotest.(check string) "singleOrd" "singleOrd" (category_of_loc a "data")
+
+(* --- spec violated (crash): racy index into a fixed-size buffer --- *)
+
+let crash_prog =
+  let open Builder in
+  program "crash" ~globals:[ ("idx", 0) ] ~arrays:[ ("buf", 4, 0) ]
+    [ func "invalidate" [] [ setg "idx" (i 99) ];
+      func "writer" [] [ seta "buf" (g "idx") (i 7) ];
+      func "main" []
+        [ spawn ~into:"t1" "writer" [];
+          spawn ~into:"t2" "invalidate" [];
+          join (l "t1");
+          join (l "t2");
+          output [ i 0 ]
+        ]
+    ]
+
+(* Find a recording seed under which the program completes (writer reads idx
+   before the invalidation), so the harm only manifests in the alternate. *)
+let test_specviol_crash () =
+  let rec find_seed s =
+    if s > 50 then Alcotest.fail "no completing recording found"
+    else
+      let a = analyze ~seed:s crash_prog in
+      match a.Pipeline.record.Run.stop with Run.Halted -> a | _ -> find_seed (s + 1)
+  in
+  let a = find_seed 1 in
+  Alcotest.(check string) "specViol" "specViol" (category_of_loc a "idx");
+  let ra = List.find (fun ra -> ra.Pipeline.verdict.Taxonomy.category = Taxonomy.Spec_violated)
+      a.Pipeline.races in
+  Alcotest.(check bool) "crash consequence" true
+    (ra.Pipeline.verdict.Taxonomy.consequence = Some Crash.Ccrash);
+  Alcotest.(check bool) "evidence present" true (ra.Pipeline.evidence <> None)
+
+(* --- spec violated (deadlock): racy flag gates a reversed lock order --- *)
+
+let deadlock_prog =
+  let open Builder in
+  program "dlrace" ~globals:[ ("busy", 0) ] ~mutexes:[ "a"; "b" ]
+    [ func "t1" []
+        [ lock "a"; setg "busy" (i 1); yield; lock "b"; unlock "b"; unlock "a" ];
+      func "t2" []
+        [ var "r" (g "busy");
+          if_ (l "r" == i 0)
+            [ lock "b"; yield; lock "a"; unlock "a"; unlock "b" ]
+            [];
+          output [ l "r" ]
+        ];
+      func "main" []
+        [ spawn ~into:"x" "t1" []; spawn ~into:"y" "t2" []; join (l "x"); join (l "y") ]
+    ]
+
+let test_specviol_deadlock () =
+  (* Recording seed where t1 finishes before t2 reads busy: completes. *)
+  let rec find_seed s =
+    if s > 200 then Alcotest.fail "no completing recording found"
+    else
+      let a = analyze ~seed:s deadlock_prog in
+      match a.Pipeline.record.Run.stop with
+      | Run.Halted ->
+        if List.mem_assoc "busy" (categories a) then a else find_seed (s + 1)
+      | _ -> find_seed (s + 1)
+  in
+  let a = find_seed 1 in
+  Alcotest.(check string) "specViol" "specViol" (category_of_loc a "busy");
+  let ra = List.find (fun ra -> ra.Pipeline.verdict.Taxonomy.category = Taxonomy.Spec_violated)
+      a.Pipeline.races in
+  Alcotest.(check bool) "deadlock consequence" true
+    (ra.Pipeline.verdict.Taxonomy.consequence = Some Crash.Cdeadlock)
+
+(* --- spec violated (semantic): developer-provided assertion --- *)
+
+let semantic_prog =
+  let open Builder in
+  program "sem" ~globals:[ ("ts", 1) ]
+    [ func "updater" [] [ setg "ts" (i 0 - i 5); setg "ts" (i 10) ];
+      func "reader" [] [ var "t" (g "ts"); assert_ (l "t" > i 0) "timestamps are positive" ];
+      func "main" []
+        [ spawn ~into:"a" "updater" [];
+          spawn ~into:"b" "reader" [];
+          join (l "a");
+          join (l "b")
+        ]
+    ]
+
+let test_specviol_semantic () =
+  let rec find_seed s =
+    if s > 200 then Alcotest.fail "no completing recording found"
+    else
+      let a = analyze ~seed:s semantic_prog in
+      match a.Pipeline.record.Run.stop with
+      | Run.Halted when List.mem_assoc "ts" (categories a) -> a
+      | _ -> find_seed (s + 1)
+  in
+  let a = find_seed 1 in
+  let v = category_of_loc a "ts" in
+  Alcotest.(check string) "specViol" "specViol" v
+
+(* --- multi-path: harmless on the recorded path, crash on another input --- *)
+
+let multipath_prog =
+  let open Builder in
+  (* Fig 4 in miniature: an input selects update1 (reads the racy [id] and
+     prints a tautology — safe on every schedule) or update2 (uses [id] to
+     index a fixed buffer).  The recorded input takes the safe path; only
+     multi-path analysis, which re-runs the same schedule on other inputs,
+     exposes the crash when the invalidating write lands before the index
+     read. *)
+  program "fig4" ~globals:[ ("id", 0) ] ~arrays:[ ("stats", 4, 0) ]
+    [ func "invalidate" [] [ setg "id" (i 99) ];
+      func "update_stats" []
+        [ input "use_hash" ~name:"use_hash" ~lo:0 ~hi:1;
+          if_ (l "use_hash" == i 1)
+            [ var "tmp" (g "id"); output [ l "tmp" > i 0 - i 1 ] ]
+            [ seta "stats" (g "id") (i 1) ]
+        ];
+      func "main" []
+        [ spawn ~into:"t1" "invalidate" [];
+          spawn ~into:"t2" "update_stats" [];
+          join (l "t1");
+          join (l "t2")
+        ]
+    ]
+
+let test_multipath_finds_crash () =
+  (* Recorded with use_hash=1: the safe path.  The race on [id] is harmless
+     along it, but the stats path overflows when id >= 2.  Discovery of the
+     crashing interleaving is probabilistic in the recording and schedule
+     seeds (as in the paper); at least one of a handful of seeds must find
+     it, and none when multi-path analysis is disabled. *)
+  let verdicts config =
+    List.filter_map
+      (fun s ->
+        let a = analyze ~config ~seed:s ~inputs:[ ("use_hash", 1) ] multipath_prog in
+        match a.Pipeline.record.Run.stop with
+        | Run.Halted -> List.assoc_opt "id" (categories a)
+        | _ -> None)
+      [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+  in
+  let full = verdicts Config.default in
+  Alcotest.(check bool) "race seen in some recordings" true (full <> []);
+  Alcotest.(check bool) "multipath finds the crash" true (List.mem "specViol" full);
+  (* Without multi-path analysis the crash path is invisible. *)
+  let single = verdicts Config.with_adhoc in
+  Alcotest.(check bool) "single-path misses it" false (List.mem "specViol" single)
+
+(* --- false positives: a mutex-blind detector's reports classify singleOrd --- *)
+
+let locked_prog =
+  let open Builder in
+  program "locked" ~globals:[ ("x", 0) ] ~mutexes:[ "m" ]
+    [ func "w" [ "v" ] (critical "m" [ setg "x" (l "v") ]);
+      func "main" []
+        [ spawn ~into:"t1" "w" [ i 1 ];
+          spawn ~into:"t2" "w" [ i 2 ];
+          join (l "t1");
+          join (l "t2");
+          output [ g "x" > i 0 ]
+        ]
+    ]
+
+let test_false_positive_handling () =
+  let prog = compile locked_prog in
+  let r, _ = Pipeline.record ~seed:1 prog in
+  (* The sound detector finds nothing. *)
+  Alcotest.(check int) "hb finds no race" 0 (List.length (D.Hb.detect_clustered r.Run.events));
+  (* The mutex-blind lockset detector reports the protected accesses. *)
+  let fps = D.Lockset.detect_clustered ~ignore_mutexes:true r.Run.events in
+  Alcotest.(check bool) "lockset reports false positives" true (List.length fps > 0);
+  (* Portend classifies each false positive as singleOrd: the alternate
+     ordering cannot be enforced through the mutex. *)
+  List.iter
+    (fun (race, _) ->
+      match Classify.classify prog r.Run.trace race with
+      | Ok { Classify.verdict; _ } ->
+        Alcotest.(check string) "false positive -> singleOrd" "singleOrd"
+          (Taxonomy.category_to_string verdict.Taxonomy.category)
+      | Error e -> Alcotest.failf "classification failed: %s" e)
+    fps
+
+(* --- clustering --- *)
+
+(* The same race executes many times: one distinct race, many instances. *)
+let cluster_prog =
+  let open Builder in
+  program "cluster" ~globals:[ ("c", 0) ]
+    [ func "w" [] [ var "i" (i 0); while_ (l "i" < i 5) [ incr_global "c"; set "i" (l "i" + i 1) ] ];
+      func "main" []
+        [ spawn ~into:"a" "w" []; spawn ~into:"b" "w" []; join (l "a"); join (l "b");
+          output [ g "c" > i 0 ] ]
+    ]
+
+let test_clustering () =
+  let a = analyze cluster_prog in
+  (* [c = c + 1] racing with itself is one source-level race: the load-store
+     and store-store conflicts cluster together at function granularity. *)
+  Alcotest.(check int) "one distinct race" 1 (List.length a.Pipeline.races);
+  List.iter
+    (fun ra -> Alcotest.(check bool) "many instances" true (ra.Pipeline.instances > 1))
+    a.Pipeline.races
+
+(* --- evidence rendering --- *)
+
+let test_evidence_render () =
+  let a = analyze ~seed:1 outdiff_prog in
+  let ra = List.hd a.Pipeline.races in
+  match ra.Pipeline.evidence with
+  | Some e ->
+    let s = Evidence.render e in
+    Alcotest.(check bool) "mentions location" true
+      (Astring.String.is_infix ~affix:"Data race during access to: x" s)
+  | None -> Alcotest.fail "outDiff race should carry evidence"
+
+
+(* --- unit tests for the classifier's building blocks --- *)
+
+let mk_out ?(tid = 1) ?(pc = 0) payload =
+  { State.out_tid = tid; out_site = { Events.func = "f"; pc }; payload }
+
+let test_symout_units () =
+  let open Portend_solver in
+  let vx = Value.Sym (Expr.Var "x") in
+  let c n = Value.Con n in
+  (* concrete equality *)
+  Alcotest.(check bool) "equal concrete" true
+    (Symout.concrete_equal [ mk_out (State.Vals [ c 1 ]) ] [ mk_out (State.Vals [ c 1 ]) ]);
+  Alcotest.(check bool) "unequal concrete" false
+    (Symout.concrete_equal [ mk_out (State.Vals [ c 1 ]) ] [ mk_out (State.Vals [ c 2 ]) ]);
+  Alcotest.(check bool) "text vs vals" false
+    (Symout.concrete_equal [ mk_out (State.Text "a") ] [ mk_out (State.Vals [ c 1 ]) ]);
+  (* symbolic match: x in [0,9], output x, alternate printed 5: allowed *)
+  let ranges = [ ("x", 0, 9) ] in
+  (match
+     Symout.matches ~ranges ~path_cond:[] ~primary:[ mk_out (State.Vals [ vx ]) ]
+       ~alternate:[ mk_out (State.Vals [ c 5 ]) ]
+   with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "should match: %s" (Fmt.str "%a" Symout.pp_mismatch m));
+  (* symbolic mismatch: path forces x > 7 but alternate printed 5 *)
+  (match
+     Symout.matches ~ranges
+       ~path_cond:[ Portend_solver.Expr.Binop (Gt, Var "x", Const 7) ]
+       ~primary:[ mk_out (State.Vals [ vx ]) ]
+       ~alternate:[ mk_out (State.Vals [ c 5 ]) ]
+   with
+  | Ok () -> Alcotest.fail "should mismatch under x > 7"
+  | Error _ -> ());
+  (* length mismatch *)
+  match Symout.matches ~ranges ~path_cond:[] ~primary:[] ~alternate:[ mk_out (State.Text "x") ] with
+  | Ok () -> Alcotest.fail "length mismatch must fail"
+  | Error m -> Alcotest.(check int) "reported as shape" (-1) m.Symout.m_index
+
+let test_compare_units () =
+  let prog =
+    compile
+      (let open Builder in
+       program "cmp" ~globals:[ ("a", 1) ] ~arrays:[ ("arr", 2, 0) ] [ func "main" [] [] ])
+  in
+  let s1 = State.init prog in
+  Alcotest.(check bool) "reflexive" true (Compare.states_equal s1 s1);
+  let s2 =
+    { s1 with
+      State.globals = Portend_util.Maps.Smap.add "a" (Value.Con 9) s1.State.globals
+    }
+  in
+  Alcotest.(check bool) "global diff detected" false (Compare.states_equal s1 s2);
+  (match Compare.first_difference s1 s2 with
+  | Some d -> Alcotest.(check bool) "names the global" true (Astring.String.is_infix ~affix:"a" d)
+  | None -> Alcotest.fail "expected a difference");
+  let s3 =
+    { s1 with
+      State.outputs = [ mk_out (State.Text "hello") ]
+    }
+  in
+  Alcotest.(check bool) "output diff detected" false (Compare.states_equal s1 s3)
+
+let test_config_with_k () =
+  List.iter
+    (fun k ->
+      let c = Config.with_k k Config.default in
+      let got = c.Config.mp * c.Config.ma in
+      Alcotest.(check bool)
+        (Printf.sprintf "k=%d within one of target" k)
+        true
+        (abs (got - max 1 k) <= 1))
+    [ 1; 2; 3; 4; 5; 6; 8; 10; 11 ];
+  Alcotest.(check int) "paper default k" 10 (Config.k Config.default)
+
+let test_taxonomy_harmful () =
+  Alcotest.(check bool) "specViol harmful" true (Taxonomy.is_harmful Taxonomy.Spec_violated);
+  List.iter
+    (fun c -> Alcotest.(check bool) "others not auto-harmful" false (Taxonomy.is_harmful c))
+    [ Taxonomy.Output_differs; Taxonomy.K_witness_harmless; Taxonomy.Single_ordering ];
+  Alcotest.(check int) "four categories" 4 (List.length Taxonomy.all_categories)
+
+let () =
+  Alcotest.run "core"
+    [ ( "taxonomy",
+        [ Alcotest.test_case "output differs" `Quick test_outdiff;
+          Alcotest.test_case "k-witness harmless" `Quick test_kwitness;
+          Alcotest.test_case "single ordering" `Quick test_single_ordering;
+          Alcotest.test_case "spec violated: crash" `Quick test_specviol_crash;
+          Alcotest.test_case "spec violated: deadlock" `Quick test_specviol_deadlock;
+          Alcotest.test_case "spec violated: semantic" `Quick test_specviol_semantic
+        ] );
+      ( "multipath",
+        [ Alcotest.test_case "crash found across paths" `Quick test_multipath_finds_crash ] );
+      ( "robustness",
+        [ Alcotest.test_case "false positives -> singleOrd" `Quick test_false_positive_handling;
+          Alcotest.test_case "clustering" `Quick test_clustering;
+          Alcotest.test_case "evidence" `Quick test_evidence_render
+        ] );
+      ( "units",
+        [ Alcotest.test_case "symbolic output comparison" `Quick test_symout_units;
+          Alcotest.test_case "state comparison" `Quick test_compare_units;
+          Alcotest.test_case "config k factorization" `Quick test_config_with_k;
+          Alcotest.test_case "taxonomy" `Quick test_taxonomy_harmful
+        ] )
+    ]

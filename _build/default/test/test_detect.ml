@@ -1,0 +1,209 @@
+(* Tests for the race detectors: vector clocks, happens-before edges through
+   each synchronization primitive, the lockset detector, and clustering. *)
+
+open Portend_lang
+open Portend_vm
+module D = Portend_detect
+
+let record ?(seed = 1) p =
+  let prog = Compile.compile p in
+  let r = Run.run ~sched:(Sched.random ~seed) (State.init prog) in
+  (prog, r)
+
+let distinct_races ?suppress events = List.length (D.Hb.detect_clustered ?suppress events)
+
+(* --- vector clocks --- *)
+
+let test_vclock_basic () =
+  let open D.Vclock in
+  let a = tick 0 empty in
+  let b = tick 1 empty in
+  Alcotest.(check bool) "a <= a" true (leq a a);
+  Alcotest.(check bool) "a not<= b" false (leq a b);
+  let j = join a b in
+  Alcotest.(check bool) "a <= join" true (leq a j);
+  Alcotest.(check bool) "b <= join" true (leq b j);
+  Alcotest.(check int) "get" 1 (get 0 j);
+  Alcotest.(check int) "get absent" 0 (get 9 j)
+
+let test_vclock_props =
+  let gen =
+    QCheck.Gen.(list_size (int_bound 12) (pair (int_bound 4) (int_bound 4)))
+  in
+  let arb = QCheck.make gen in
+  (* build clocks by folding ticks/joins; leq must be a partial order wrt join *)
+  QCheck.Test.make ~name:"vclock join is lub" ~count:300 arb (fun ops ->
+      let open D.Vclock in
+      let a, b =
+        List.fold_left
+          (fun (a, b) (tid, sel) -> if sel mod 2 = 0 then (tick tid a, b) else (a, tick tid b))
+          (empty, empty) ops
+      in
+      let j = join a b in
+      leq a j && leq b j && leq (join a a) a)
+
+(* --- happens-before edges --- *)
+
+let open' = ()
+
+let test_hb_mutex_orders () =
+  (* properly locked increments: no race *)
+  let open Builder in
+  let _, r =
+    record
+      (program "p" ~globals:[ ("x", 0) ] ~mutexes:[ "m" ]
+         [ func "w" [] (critical "m" [ incr_global "x" ]);
+           func "main" []
+             [ spawn ~into:"a" "w" []; spawn ~into:"b" "w" []; join (l "a"); join (l "b") ]
+         ])
+  in
+  Alcotest.(check int) "no race" 0 (distinct_races r.Run.events)
+
+let test_hb_join_orders () =
+  let open Builder in
+  let _, r =
+    record
+      (program "p" ~globals:[ ("x", 0) ]
+         [ func "w" [] [ setg "x" (i 1) ];
+           func "main" [] [ spawn ~into:"a" "w" []; join (l "a"); output [ g "x" ] ]
+         ])
+  in
+  Alcotest.(check int) "join orders main's read" 0 (distinct_races r.Run.events)
+
+let test_hb_spawn_orders () =
+  let open Builder in
+  let _, r =
+    record
+      (program "p" ~globals:[ ("x", 0) ]
+         [ func "w" [] [ output [ g "x" ] ];
+           func "main" [] [ setg "x" (i 1); spawn ~into:"a" "w" []; join (l "a") ]
+         ])
+  in
+  Alcotest.(check int) "spawn orders child's read" 0 (distinct_races r.Run.events)
+
+let test_hb_condvar_orders () =
+  let open Builder in
+  let p =
+    program "p" ~globals:[ ("x", 0); ("ready", 0) ] ~mutexes:[ "m" ] ~conds:[ "c" ]
+      [ func "prod" [] [ setg "x" (i 42); lock "m"; setg "ready" (i 1); signal "c"; unlock "m" ];
+        func "cons" []
+          [ lock "m";
+            while_ (g "ready" == i 0) [ wait "c" "m" ];
+            unlock "m";
+            output [ g "x" ]
+          ];
+        func "main" []
+          [ spawn ~into:"a" "cons" []; spawn ~into:"b" "prod" []; join (l "a"); join (l "b") ]
+      ]
+  in
+  (* under several schedules the signal edge orders the read of x *)
+  List.iter
+    (fun seed ->
+      let _, r = record ~seed p in
+      Alcotest.(check int) "condvar orders" 0 (distinct_races r.Run.events))
+    [ 1; 2; 5; 9 ]
+
+let test_hb_barrier_orders () =
+  let open Builder in
+  let p =
+    program "p" ~globals:[ ("x", 0) ] ~barriers:[ ("b", 2) ]
+      [ func "w" [] [ setg "x" (i 7); barrier "b" ];
+        func "r" [] [ barrier "b"; output [ g "x" ] ];
+        func "main" []
+          [ spawn ~into:"a" "w" []; spawn ~into:"c" "r" []; join (l "a"); join (l "c") ]
+      ]
+  in
+  List.iter
+    (fun seed ->
+      let _, r = record ~seed p in
+      Alcotest.(check int) "barrier orders" 0 (distinct_races r.Run.events))
+    [ 1; 3; 7 ]
+
+let test_hb_detects_unordered () =
+  let open Builder in
+  let _, r =
+    record
+      (program "p" ~globals:[ ("x", 0) ]
+         [ func "w" [] [ setg "x" (i 1) ];
+           func "r" [] [ output [ g "x" ] ];
+           func "main" []
+             [ spawn ~into:"a" "w" []; spawn ~into:"b" "r" []; join (l "a"); join (l "b") ]
+         ])
+  in
+  Alcotest.(check int) "one distinct race" 1 (distinct_races r.Run.events)
+
+let test_spin_suppression () =
+  let open Builder in
+  let prog, r =
+    record
+      (program "p" ~globals:[ ("flag", 0); ("data", 0) ]
+         [ func "prod" [] [ setg "data" (i 9); setg "flag" (i 1) ];
+           func "cons" [] [ while_ (g "flag" == i 0) [ yield ]; output [ g "data" ] ];
+           func "main" []
+             [ spawn ~into:"a" "cons" []; spawn ~into:"b" "prod" []; join (l "a"); join (l "b") ]
+         ])
+  in
+  let suppress = Static.spin_read_sites prog in
+  (* without suppression both flag and data race; with it, only data *)
+  Alcotest.(check int) "raw: two races" 2 (distinct_races r.Run.events);
+  let races = D.Hb.detect_clustered ~suppress r.Run.events in
+  Alcotest.(check int) "suppressed: one race" 1 (List.length races);
+  match races with
+  | [ ({ D.Report.r_loc = Events.Lglobal "data"; _ }, _) ] -> ()
+  | _ -> Alcotest.fail "expected the data race to remain"
+
+(* --- lockset --- *)
+
+let test_lockset () =
+  let open Builder in
+  let prog =
+    program "p" ~globals:[ ("x", 0) ] ~mutexes:[ "m" ]
+      [ func "w" [] (critical "m" [ incr_global "x" ]);
+        func "main" []
+          [ spawn ~into:"a" "w" []; spawn ~into:"b" "w" []; join (l "a"); join (l "b") ]
+      ]
+  in
+  let _, r = record prog in
+  Alcotest.(check int) "lockset: protected, no report" 0
+    (List.length (D.Lockset.detect r.Run.events));
+  Alcotest.(check bool) "mutex-blind: reports appear" true
+    Stdlib.(List.length (D.Lockset.detect ~ignore_mutexes:true r.Run.events) > 0)
+
+(* --- report ordering and clustering --- *)
+
+let test_race_pair_order () =
+  let open Builder in
+  let _, r =
+    record
+      (program "p" ~globals:[ ("x", 0) ]
+         [ func "w" [] [ setg "x" (i 1) ];
+           func "r" [] [ output [ g "x" ] ];
+           func "main" []
+             [ spawn ~into:"a" "w" []; spawn ~into:"b" "r" []; join (l "a"); join (l "b") ]
+         ])
+  in
+  List.iter
+    (fun race ->
+      Alcotest.(check bool) "first access is earlier" true
+        Stdlib.(race.D.Report.first.D.Report.a_step <= race.D.Report.second.D.Report.a_step))
+    (D.Hb.detect r.Run.events)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ test_vclock_props ]
+
+let () =
+  ignore open';
+  Alcotest.run "detect"
+    [ ( "vclock",
+        Alcotest.test_case "basics" `Quick test_vclock_basic :: qsuite );
+      ( "happens-before",
+        [ Alcotest.test_case "mutex orders" `Quick test_hb_mutex_orders;
+          Alcotest.test_case "join orders" `Quick test_hb_join_orders;
+          Alcotest.test_case "spawn orders" `Quick test_hb_spawn_orders;
+          Alcotest.test_case "condvar orders" `Quick test_hb_condvar_orders;
+          Alcotest.test_case "barrier orders" `Quick test_hb_barrier_orders;
+          Alcotest.test_case "unordered detected" `Quick test_hb_detects_unordered;
+          Alcotest.test_case "spin reads suppressed" `Quick test_spin_suppression
+        ] );
+      ("lockset", [ Alcotest.test_case "eraser" `Quick test_lockset ]);
+      ("reports", [ Alcotest.test_case "pair order" `Quick test_race_pair_order ])
+    ]

@@ -1,0 +1,220 @@
+(* Tests for the Racelang frontend: compiler, static analysis, lexer,
+   parser, and pretty-printer round-trips. *)
+
+open Portend_lang
+open Portend_vm
+
+let run_to_outputs prog =
+  let r = Run.run ~sched:Sched.round_robin (State.init prog) in
+  (r.Run.stop, State.outputs r.Run.final)
+
+let first_int outputs =
+  match outputs with
+  | { State.payload = State.Vals [ Value.Con n ]; _ } :: _ -> n
+  | _ -> Alcotest.fail "expected an integer output"
+
+(* --- compiler --- *)
+
+let test_compile_errors () =
+  let open Builder in
+  let expect_error name p =
+    match Compile.compile p with
+    | _ -> Alcotest.failf "%s: expected compile error" name
+    | exception Compile.Error _ -> ()
+  in
+  expect_error "no main" (program "p" [ func "f" [] [] ]);
+  expect_error "main with params" (program "p" [ func "main" [ "x" ] [] ]);
+  expect_error "undeclared global" (program "p" [ func "main" [] [ setg "x" (i 1) ] ]);
+  expect_error "undeclared local" (program "p" [ func "main" [] [ set "x" (i 1) ] ]);
+  expect_error "unknown function" (program "p" [ func "main" [] [ call "nope" [] ] ]);
+  expect_error "arity mismatch"
+    (program "p" [ func "f" [ "a" ] []; func "main" [] [ call "f" [] ] ]);
+  expect_error "redeclared local"
+    (program "p" [ func "main" [] [ var "x" (i 1); var "x" (i 2) ] ]);
+  expect_error "duplicate global"
+    (program "p" ~globals:[ ("g", 0); ("g", 1) ] [ func "main" [] [] ]);
+  expect_error "bad array length"
+    (program "p" ~arrays:[ ("a", 0, 0) ] [ func "main" [] [] ]);
+  expect_error "undeclared mutex" (program "p" [ func "main" [] [ lock "m" ] ])
+
+let test_shared_access_isolation () =
+  (* every shared access must be its own instruction *)
+  let open Builder in
+  let p =
+    Compile.compile
+      (program "p" ~globals:[ ("a", 1); ("b", 2) ]
+         [ func "main" [] [ var "x" ((g "a" + g "b") * g "a"); output [ l "x" ] ] ])
+  in
+  let f = Option.get (Bytecode.find_func p "main") in
+  let shared =
+    Array.to_list f.Bytecode.code |> List.filter Bytecode.shared_access |> List.length
+  in
+  Alcotest.(check int) "three loads" 3 shared;
+  let _, outputs = run_to_outputs p in
+  Alcotest.(check int) "value" 3 (first_int outputs)
+
+(* --- static analysis --- *)
+
+let test_write_sets () =
+  let open Builder in
+  let p =
+    Compile.compile
+      (program "p" ~globals:[ ("x", 0); ("y", 0) ] ~arrays:[ ("a", 4, 0) ]
+         [ func "leaf" [] [ setg "y" (i 1) ];
+           func "mid" [] [ seta "a" (i 0) (i 1); call "leaf" [] ];
+           func "main" [] [ setg "x" (i 1); call "mid" [] ]
+         ])
+  in
+  let st = Static.analyze p in
+  Alcotest.(check bool) "main writes x" true (Static.may_write st "main" (Static.Cglobal "x"));
+  Alcotest.(check bool) "main writes y transitively" true
+    (Static.may_write st "main" (Static.Cglobal "y"));
+  Alcotest.(check bool) "main writes array a" true
+    (Static.may_write st "main" (Static.Carray "a"));
+  Alcotest.(check bool) "leaf does not write x" false
+    (Static.may_write st "leaf" (Static.Cglobal "x"))
+
+let test_spin_detection () =
+  let open Builder in
+  let p =
+    Compile.compile
+      (program "p" ~globals:[ ("flag", 0); ("data", 0) ]
+         [ func "spinner" []
+             [ while_ (g "flag" == i 0) [ yield ];
+               (* a computation loop also reads shared state but writes a
+                  local accumulator over many instructions: not a spin *)
+               var "acc" (i 0);
+               var "j" (i 0);
+               while_ (l "j" < i 4)
+                 [ set "acc" (l "acc" + g "data" + g "data" + g "data");
+                   set "j" (l "j" + i 1)
+                 ];
+               output [ l "acc" ]
+             ];
+           func "main" [] [ setg "flag" (i 1); call "spinner" [] ]
+         ])
+  in
+  let sites = Static.spin_read_sites p in
+  Alcotest.(check bool) "found a spin read" true Stdlib.(List.length sites >= 1);
+  List.iter (fun (f, _) -> Alcotest.(check string) "in spinner" "spinner" f) sites;
+  (* the flag load is a spin site, the data loads are not *)
+  let f = Option.get (Bytecode.find_func p "spinner") in
+  List.iter
+    (fun (_, pc) ->
+      match f.Bytecode.code.(pc) with
+      | Bytecode.ILoadG (_, v) -> Alcotest.(check string) "flag only" "flag" v
+      | _ -> Alcotest.fail "spin site is not a load")
+    sites
+
+(* --- lexer --- *)
+
+let test_lexer () =
+  let toks = Lexer.tokenize "fn f() { x = 1 + 2; } // comment\nvar s = \"hi\\n\";" in
+  let kinds = List.map (fun t -> Lexer.token_to_string t.Lexer.tok) toks in
+  Alcotest.(check (list string)) "tokens"
+    [ "fn"; "f"; "("; ")"; "{"; "x"; "="; "1"; "+"; "2"; ";"; "}"; "var"; "s"; "=";
+      "\"hi\\n\""; ";"; "<eof>"
+    ]
+    kinds;
+  Alcotest.check_raises "bad char" (Lexer.Error "line 1: unexpected character '#'") (fun () ->
+      ignore (Lexer.tokenize "#"))
+
+(* --- parser --- *)
+
+let sample_source =
+  {|
+program sample
+
+global count = 0
+global done_flag = 0
+array buf[8] = 0
+mutex m
+cond cv
+barrier bar = 2
+
+fn worker(n) {
+  var j = 0;
+  while (j < n) {
+    lock m;
+    count = count + 1;
+    unlock m;
+    j = j + 1;
+  }
+  buf[0] = count;
+  done_flag = 1;
+}
+
+fn main() {
+  var t = spawn worker(3);
+  join t;
+  if (count >= 3 && done_flag == 1) {
+    output count, buf[0];
+  } else {
+    print "too small";
+  }
+  assert count <= 3 : "bounded";
+  yield;
+}
+|}
+
+let test_parser_end_to_end () =
+  let prog = Parser.compile_string sample_source in
+  let stop, outputs = run_to_outputs prog in
+  Alcotest.(check string) "halted" "halted" (Run.stop_to_string stop);
+  match outputs with
+  | [ { State.payload = State.Vals [ Value.Con a; Value.Con b ]; _ } ] ->
+    Alcotest.(check (pair int int)) "count and buf" (3, 3) (a, b)
+  | _ -> Alcotest.fail "unexpected outputs"
+
+let test_parser_errors () =
+  let expect_err src =
+    match Parser.parse_program src with
+    | _ -> Alcotest.failf "expected parse error for %S" src
+    | exception Parser.Error _ -> ()
+    | exception Lexer.Error _ -> ()
+  in
+  expect_err "fn main() {}";
+  expect_err "program p fn main( {}";
+  expect_err "program p fn main() { x = ; }";
+  expect_err "program p fn main() { if x { } }";
+  expect_err "program p fn main() { assert 1 \"no colon\"; }"
+
+let test_pp_roundtrip () =
+  (* builder program -> pretty-print -> parse -> identical behaviour *)
+  let p = Parser.parse_program sample_source in
+  let printed = Pp.program_to_string p in
+  let p2 = Parser.parse_program printed in
+  let r1 = run_to_outputs (Compile.compile p) in
+  let r2 = run_to_outputs (Compile.compile p2) in
+  Alcotest.(check bool) "same behaviour after round-trip" true (r1 = r2)
+
+let test_pp_roundtrip_workloads () =
+  (* all workload models survive print -> parse -> compile *)
+  List.iter
+    (fun (w : Portend_workloads.Registry.workload) ->
+      let printed = Pp.program_to_string w.Portend_workloads.Registry.w_prog in
+      match Parser.compile_string printed with
+      | _ -> ()
+      | exception e ->
+        Alcotest.failf "%s failed round-trip: %s" w.Portend_workloads.Registry.w_name
+          (Printexc.to_string e))
+    Portend_workloads.Suite.all
+
+let () =
+  Alcotest.run "lang"
+    [ ( "compile",
+        [ Alcotest.test_case "error detection" `Quick test_compile_errors;
+          Alcotest.test_case "shared access isolation" `Quick test_shared_access_isolation
+        ] );
+      ( "static",
+        [ Alcotest.test_case "write sets" `Quick test_write_sets;
+          Alcotest.test_case "spin detection" `Quick test_spin_detection
+        ] );
+      ("lexer", [ Alcotest.test_case "tokens" `Quick test_lexer ]);
+      ( "parser",
+        [ Alcotest.test_case "end to end" `Quick test_parser_end_to_end;
+          Alcotest.test_case "errors" `Quick test_parser_errors;
+          Alcotest.test_case "pp round-trip" `Quick test_pp_roundtrip;
+          Alcotest.test_case "workloads round-trip" `Quick test_pp_roundtrip_workloads
+        ] )
+    ]

@@ -1,0 +1,293 @@
+(* Property-based tests across layer boundaries:
+
+   - differential testing of the VM against a reference AST evaluator on
+     randomly generated single-threaded programs;
+   - record/replay determinism on randomly generated racy two-thread
+     programs;
+   - solver UNSAT soundness against brute-force enumeration on small
+     domains. *)
+
+open Portend_lang
+open Portend_vm
+module E = Portend_solver.Expr
+
+(* ------------------------------------------------------------------ *)
+(* reference evaluator for deterministic single-threaded programs      *)
+(* ------------------------------------------------------------------ *)
+
+module Ref_eval = struct
+  type env = {
+    mutable locals : (string * int) list;
+    mutable globals : (string * int) list;
+    outputs : int list ref;
+  }
+
+  exception Stuck
+
+  let rec expr env = function
+    | Ast.Int n -> n
+    | Ast.Local x -> (
+      match List.assoc_opt x env.locals with
+      | Some v -> v
+      | None -> List.assoc x env.globals)
+    | Ast.Global x -> List.assoc x env.globals
+    | Ast.ArrGet _ -> raise Stuck
+    | Ast.Unop (op, e) -> E.apply_unop op (expr env e)
+    | Ast.Binop (op, a, b) -> E.apply_binop op (expr env a) (expr env b)
+    | Ast.Cond (c, a, b) -> if expr env c <> 0 then expr env a else expr env b
+
+  let rec stmt env fuel s =
+    if !fuel <= 0 then raise Stuck;
+    decr fuel;
+    match s with
+    | Ast.Decl (x, e) | Ast.Assign (x, e) ->
+      if List.mem_assoc x env.globals && not (List.mem_assoc x env.locals) then
+        env.globals <- (x, expr env e) :: List.remove_assoc x env.globals
+      else env.locals <- (x, expr env e) :: List.remove_assoc x env.locals
+    | Ast.SetGlobal (x, e) -> env.globals <- (x, expr env e) :: List.remove_assoc x env.globals
+    | Ast.If (c, t, f) -> List.iter (stmt env fuel) (if expr env c <> 0 then t else f)
+    | Ast.While (c, body) ->
+      if expr env c <> 0 then begin
+        List.iter (stmt env fuel) body;
+        stmt env fuel s
+      end
+    | Ast.Output es -> List.iter (fun e -> env.outputs := expr env e :: !(env.outputs)) es
+    | Ast.Yield -> ()
+    | _ -> raise Stuck
+
+  (* Run main of a program with only globals and supported statements. *)
+  let run (p : Ast.program) : int list option =
+    let env =
+      { locals = []; globals = List.map (fun (n, v) -> (n, v)) p.Ast.globals; outputs = ref [] }
+    in
+    match Ast.find_func p "main" with
+    | None -> None
+    | Some f -> (
+      try
+        List.iter (stmt env (ref 50_000)) f.Ast.body;
+        Some (List.rev !(env.outputs))
+      with Stuck | Division_by_zero | Not_found -> None)
+end
+
+(* random deterministic programs *)
+let gen_seq_program : Ast.program QCheck.Gen.t =
+  let open QCheck.Gen in
+  let glob = oneofl [ "g0"; "g1"; "g2" ] in
+  let loc = oneofl [ "v0"; "v1" ] in
+  ignore loc;
+  let rec gen_expr depth =
+    if depth = 0 then
+      oneof [ map (fun n -> Ast.Int (n - 8)) (int_bound 16); map (fun x -> Ast.Global x) glob ]
+    else
+      frequency
+        [ (2, gen_expr 0);
+          ( 3,
+            let* op = oneofl E.[ Add; Sub; Mul; Lt; Le; Eq; Ne ] in
+            let* a = gen_expr (depth - 1) in
+            let* b = gen_expr (depth - 1) in
+            return (Ast.Binop (op, a, b)) );
+          ( 1,
+            let* c = gen_expr (depth - 1) in
+            let* a = gen_expr (depth - 1) in
+            let* b = gen_expr (depth - 1) in
+            return (Ast.Cond (c, a, b)) )
+        ]
+  in
+  let rec gen_stmt depth =
+    frequency
+      [ ( 3,
+          let* x = glob in
+          let* e = gen_expr 2 in
+          return (Ast.SetGlobal (x, e)) );
+        (2, map (fun e -> Ast.Output [ e ]) (gen_expr 2));
+        ( 2,
+          if depth = 0 then map (fun e -> Ast.Output [ e ]) (gen_expr 1)
+          else
+            let* c = gen_expr 1 in
+            let* t = list_size (int_range 1 3) (gen_stmt (depth - 1)) in
+            let* f = list_size (int_bound 2) (gen_stmt (depth - 1)) in
+            return (Ast.If (c, t, f)) );
+        ( 1,
+          (* a bounded counting loop over a (uniquely named) local *)
+          let* x = map (fun k -> Printf.sprintf "v%d" k) (int_bound 100_000) in
+          let* n = int_range 1 4 in
+          let* body = list_size (int_range 1 2) (gen_stmt 0) in
+          return
+            (Ast.If
+               ( Ast.Int 1,
+                 [ Ast.Decl (x, Ast.Int 0);
+                   Ast.While
+                     ( Ast.Binop (E.Lt, Ast.Local x, Ast.Int n),
+                       body @ [ Ast.Assign (x, Ast.Binop (E.Add, Ast.Local x, Ast.Int 1)) ] )
+                 ],
+                 [] )) )
+      ]
+  in
+  let* body = list_size (int_range 1 8) (gen_stmt 2) in
+  return
+    { Ast.pname = "rand";
+      globals = [ ("g0", 1); ("g1", -2); ("g2", 7) ];
+      arrays = [];
+      mutexes = [];
+      conds = [];
+      barriers = [];
+      funcs = [ { Ast.fname = "main"; params = []; body } ]
+    }
+
+let vm_outputs prog =
+  (
+    let r = Run.run ~sched:Sched.round_robin (State.init prog) in
+    match r.Run.stop with
+    | Run.Halted ->
+      Some
+        (List.concat_map
+           (fun o ->
+             match o.State.payload with
+             | State.Vals vs ->
+               List.map (function Value.Con n -> n | Value.Sym _ -> min_int) vs
+             | State.Text _ -> [])
+           (State.outputs r.Run.final))
+    | _ -> None)
+
+let test_vm_matches_reference =
+  let arb = QCheck.make ~print:Pp.program_to_string gen_seq_program in
+  QCheck.Test.make ~name:"VM agrees with reference evaluator" ~count:400 arb (fun p ->
+      match Compile.compile p with
+      | exception Compile.Error _ -> QCheck.assume_fail () (* e.g. shadowed loop vars *)
+      | prog -> (
+        match (Ref_eval.run p, vm_outputs prog) with
+        | Some ref_out, Some vm_out -> ref_out = vm_out
+        | None, _ -> QCheck.assume_fail () (* reference could not handle it *)
+        | Some _, None -> false))
+
+(* ------------------------------------------------------------------ *)
+(* record/replay determinism on racy two-thread programs               *)
+(* ------------------------------------------------------------------ *)
+
+let gen_racy_program : Ast.program QCheck.Gen.t =
+  let open QCheck.Gen in
+  let glob = oneofl [ "s0"; "s1"; "s2" ] in
+  let gen_stmt =
+    frequency
+      [ ( 3,
+          let* x = glob in
+          let* n = int_bound 9 in
+          return (Ast.SetGlobal (x, Ast.Int n)) );
+        ( 2,
+          let* x = glob in
+          let* y = glob in
+          return (Ast.SetGlobal (x, Ast.Binop (E.Add, Ast.Global y, Ast.Int 1))) );
+        (2, map (fun x -> Ast.Output [ Ast.Global x ]) glob);
+        (1, return Ast.Yield)
+      ]
+  in
+  let* b1 = list_size (int_range 1 6) gen_stmt in
+  let* b2 = list_size (int_range 1 6) gen_stmt in
+  return
+    { Ast.pname = "racy";
+      globals = [ ("s0", 0); ("s1", 0); ("s2", 0) ];
+      arrays = [];
+      mutexes = [];
+      conds = [];
+      barriers = [];
+      funcs =
+        [ { Ast.fname = "w1"; params = []; body = b1 };
+          { Ast.fname = "w2"; params = []; body = b2 };
+          { Ast.fname = "main";
+            params = [];
+            body =
+              [ Ast.Spawn (Some "t1", "w1", []);
+                Ast.Spawn (Some "t2", "w2", []);
+                Ast.Join (Ast.Local "t1");
+                Ast.Join (Ast.Local "t2")
+              ]
+          }
+        ]
+    }
+
+let test_record_replay_property =
+  let arb =
+    QCheck.make
+      ~print:(fun (p, seed) -> Printf.sprintf "seed %d\n%s" seed (Pp.program_to_string p))
+      QCheck.Gen.(pair gen_racy_program (int_bound 1000))
+  in
+  QCheck.Test.make ~name:"replaying a recorded trace reproduces the run" ~count:300 arb
+    (fun (p, seed) ->
+      let prog = Compile.compile p in
+      let r1 = Run.run ~sched:(Sched.random ~seed) (State.init prog) in
+      match r1.Run.stop with
+      | Run.Halted ->
+        let r2 =
+          Run.run ~sched:(Sched.of_decisions (Trace.decisions r1.Run.trace)) (State.init prog)
+        in
+        r2.Run.stop = Run.Halted
+        && r1.Run.final.State.steps = r2.Run.final.State.steps
+        && State.outputs r1.Run.final = State.outputs r2.Run.final
+        && r1.Run.events = r2.Run.events
+      | _ -> QCheck.assume_fail ())
+
+let test_same_seed_same_run =
+  let arb = QCheck.make QCheck.Gen.(pair gen_racy_program (int_bound 1000)) in
+  QCheck.Test.make ~name:"recording is deterministic in the seed" ~count:200 arb
+    (fun (p, seed) ->
+      let prog = Compile.compile p in
+      let r1 = Run.run ~sched:(Sched.random ~seed) (State.init prog) in
+      let r2 = Run.run ~sched:(Sched.random ~seed) (State.init prog) in
+      Run.stop_to_string r1.Run.stop = Run.stop_to_string r2.Run.stop
+      && State.outputs r1.Run.final = State.outputs r2.Run.final)
+
+(* ------------------------------------------------------------------ *)
+(* solver soundness vs brute force                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_solver_vs_bruteforce =
+  let open QCheck.Gen in
+  let gen_constraints =
+    let atom =
+      let* x = oneofl [ "x"; "y" ] in
+      let* op = oneofl E.[ Eq; Ne; Lt; Le; Gt; Ge ] in
+      let* rhs =
+        oneof
+          [ map (fun n -> E.Const n) (int_bound 7);
+            return (E.Var "x");
+            return (E.Var "y");
+            map (fun n -> E.Binop (E.Add, E.Var "y", E.Const n)) (int_bound 3)
+          ]
+      in
+      return (E.Binop (op, E.Var x, rhs))
+    in
+    list_size (int_range 1 5) atom
+  in
+  let arb =
+    QCheck.make ~print:(fun cs -> String.concat " & " (List.map E.to_string cs)) gen_constraints
+  in
+  QCheck.Test.make ~name:"solver agrees with brute force on [0,7]^2" ~count:300 arb (fun cs ->
+      let ranges = [ ("x", 0, 7); ("y", 0, 7) ] in
+      let brute =
+        List.exists
+          (fun x ->
+            List.exists
+              (fun y ->
+                List.for_all
+                  (fun c -> E.eval (function "x" -> x | _ -> y) c <> 0)
+                  cs)
+              (List.init 8 Fun.id))
+          (List.init 8 Fun.id)
+      in
+      match Portend_solver.Solver.solve ~ranges cs with
+      | Portend_solver.Solver.Sat m ->
+        brute
+        && Portend_solver.Solver.check_model m cs
+      | Portend_solver.Solver.Unsat -> not brute
+      | Portend_solver.Solver.Unknown -> true)
+
+let () =
+  Alcotest.run "properties"
+    [ ( "cross-layer",
+        List.map QCheck_alcotest.to_alcotest
+          [ test_vm_matches_reference;
+            test_record_replay_property;
+            test_same_seed_same_run;
+            test_solver_vs_bruteforce
+          ] )
+    ]

@@ -1,0 +1,189 @@
+(* Unit and property tests for the symbolic expression language and the
+   interval/ICP solver. *)
+
+open Portend_solver
+
+let smap = Portend_util.Maps.Smap.of_list
+
+let check_sat msg constraints = Alcotest.(check bool) msg true (Solver.sat constraints)
+let check_unsat msg constraints = Alcotest.(check bool) msg false (Solver.sat constraints)
+
+let v x = Expr.Var x
+let c n = Expr.Const n
+let ( +: ) a b = Expr.Binop (Add, a, b)
+let ( -: ) a b = Expr.Binop (Sub, a, b)
+let ( *: ) a b = Expr.Binop (Mul, a, b)
+let ( =: ) a b = Expr.Binop (Eq, a, b)
+let ( <>: ) a b = Expr.Binop (Ne, a, b)
+let ( <: ) a b = Expr.Binop (Lt, a, b)
+let ( <=: ) a b = Expr.Binop (Le, a, b)
+let _ = ( <=: )
+let ( >: ) a b = Expr.Binop (Gt, a, b)
+let ( &&: ) a b = Expr.Binop (Land, a, b)
+let _ = ( &&: )
+let ( ||: ) a b = Expr.Binop (Lor, a, b)
+
+(* --- Expr --- *)
+
+let test_eval () =
+  let lookup = function "x" -> 7 | "y" -> -2 | _ -> 0 in
+  Alcotest.(check int) "arith" 3 (Expr.eval lookup ((v "x" +: v "y") -: c 2));
+  Alcotest.(check int) "cmp true" 1 (Expr.eval lookup (v "x" >: c 0));
+  Alcotest.(check int) "cmp false" 0 (Expr.eval lookup (v "y" >: c 0));
+  Alcotest.(check int) "ite" 42 (Expr.eval lookup (Expr.Ite (v "x" >: c 0, c 42, c 0)));
+  Alcotest.check_raises "div0" Division_by_zero (fun () ->
+      ignore (Expr.eval lookup (Expr.Binop (Div, c 1, v "z"))))
+
+let test_vars () =
+  let e = (v "a" +: v "b") *: Expr.Ite (v "c", v "a", c 0) in
+  let vs = Expr.vars e |> Portend_util.Maps.Sset.elements in
+  Alcotest.(check (list string)) "vars" [ "a"; "b"; "c" ] vs
+
+let test_subst () =
+  let e = v "x" +: v "y" in
+  let e' = Expr.subst (smap [ ("x", c 10) ]) e in
+  Alcotest.(check int) "subst" 11 (Expr.eval (fun _ -> 1) e')
+
+(* --- Simplify --- *)
+
+let ( >=: ) a b = Expr.Binop (Ge, a, Expr.Const b)
+
+let test_simplify_folds () =
+  let eq = Alcotest.(check bool) in
+  eq "fold" true (Simplify.simplify (c 2 +: c 3) = c 5);
+  eq "x+0" true (Simplify.simplify (v "x" +: c 0) = v "x");
+  eq "x*0" true (Simplify.simplify (v "x" *: c 0) = c 0);
+  eq "x-x" true (Simplify.simplify (v "x" -: v "x") = c 0);
+  eq "x=x" true (Simplify.simplify (v "x" =: v "x") = c 1);
+  eq "not lt" true (Simplify.simplify (Expr.Unop (Lnot, v "x" <: c 3)) = (v "x" >=: 3))
+
+let test_simplify_preserves_semantics =
+  let gen =
+    (* random expressions over x,y with small constants *)
+    let open QCheck.Gen in
+    let leaf = oneof [ map (fun n -> c (n - 8)) (int_bound 16); return (v "x"); return (v "y") ] in
+    let op =
+      oneofl
+        Expr.[ Add; Sub; Mul; Eq; Ne; Lt; Le; Gt; Ge; Land; Lor ]
+    in
+    fix
+      (fun self depth ->
+        if depth = 0 then leaf
+        else
+          frequency
+            [ (2, leaf);
+              (3, map3 (fun o a b -> Expr.Binop (o, a, b)) op (self (depth - 1)) (self (depth - 1)));
+              (1, map (fun a -> Expr.Unop (Lnot, a)) (self (depth - 1)));
+              ( 1,
+                map3
+                  (fun a b c -> Expr.Ite (a, b, c))
+                  (self (depth - 1)) (self (depth - 1)) (self (depth - 1)) )
+            ])
+      4
+  in
+  let arb = QCheck.make ~print:Expr.to_string gen in
+  QCheck.Test.make ~name:"simplify preserves semantics" ~count:500 arb (fun e ->
+      let lookup = function "x" -> 5 | "y" -> -3 | _ -> 0 in
+      let a = try Some (Expr.eval lookup e) with Division_by_zero -> None in
+      let b = try Some (Expr.eval lookup (Simplify.simplify e)) with Division_by_zero -> None in
+      match (a, b) with
+      | Some a, Some b -> a = b
+      | None, _ -> true (* simplifier may remove a division by zero; fine *)
+      | Some _, None -> false)
+
+(* --- Interval --- *)
+
+let test_interval_ops () =
+  let open Interval in
+  Alcotest.(check bool) "add" true (add (singleton 2) (singleton 3) = singleton 5);
+  Alcotest.(check bool) "meet empty" true (meet (singleton 1) (singleton 2) = None);
+  (match make 0 10 with
+  | Some iv ->
+    Alcotest.(check bool) "mem" true (mem 5 iv);
+    Alcotest.(check bool) "not mem" false (mem 11 iv)
+  | None -> Alcotest.fail "make");
+  Alcotest.(check bool) "cmp_lt decided" true (cmp_lt (singleton 1) (singleton 2) = singleton 1)
+
+(* --- Solver --- *)
+
+let test_solver_basic () =
+  check_sat "x > 3" [ v "x" >: c 3 ];
+  check_unsat "x>3 && x<2" [ v "x" >: c 3; v "x" <: c 2 ];
+  check_sat "conj" [ v "x" >: c 0; v "y" >: v "x"; v "y" <: c 10 ];
+  check_unsat "eq chain" [ v "x" =: c 5; v "x" =: c 6 ];
+  check_sat "disj" [ (v "x" =: c 1) ||: (v "x" =: c 2); v "x" >: c 1 ];
+  check_unsat "disj dead" [ (v "x" =: c 1) ||: (v "x" =: c 2); v "x" >: c 2 ]
+
+let test_solver_model () =
+  match Solver.solve [ v "x" +: v "y" =: c 10; v "x" -: v "y" =: c 4 ] with
+  | Solver.Sat m ->
+    let get k = Portend_util.Maps.Smap.find k m in
+    Alcotest.(check int) "x" 7 (get "x");
+    Alcotest.(check int) "y" 3 (get "y")
+  | Solver.Unsat | Solver.Unknown -> Alcotest.fail "expected sat with model"
+
+let test_solver_ranges () =
+  let r = Solver.solve ~ranges:[ ("x", 0, 31) ] [ v "x" >: c 30 ] in
+  (match r with
+  | Solver.Sat m -> Alcotest.(check int) "boundary" 31 (Portend_util.Maps.Smap.find "x" m)
+  | Solver.Unsat | Solver.Unknown -> Alcotest.fail "expected sat");
+  Alcotest.(check bool) "range unsat" false
+    (Solver.sat ~ranges:[ ("x", 0, 31) ] [ v "x" >: c 31 ])
+
+let test_solver_nonlinear () =
+  check_sat "x*x==49 via split" [ v "x" *: v "x" =: c 49; v "x" >: c 0; v "x" <: c 100 ];
+  check_sat "mul const" [ v "x" *: c 3 =: c 21 ]
+
+let test_solver_ite () =
+  check_sat "ite" [ Expr.Ite (v "x" >: c 0, v "y" =: c 1, v "y" =: c 2); v "y" =: c 2 ];
+  check_unsat "ite dead" [ Expr.Ite (v "x" >: c 0, c 1, c 1) <>: c 1 ]
+
+let test_solver_sound =
+  (* Any Sat answer must check out by concrete evaluation. *)
+  let gen =
+    let open QCheck.Gen in
+    let atom =
+      let* var = oneofl [ "x"; "y"; "z" ] in
+      let* k = map (fun n -> n - 16) (int_bound 32) in
+      let* op = oneofl Expr.[ Eq; Ne; Lt; Le; Gt; Ge ] in
+      return (Expr.Binop (op, v var, c k))
+    in
+    list_size (int_range 1 6) atom
+  in
+  let arb = QCheck.make ~print:(fun cs -> String.concat " & " (List.map Expr.to_string cs)) gen in
+  QCheck.Test.make ~name:"solver sat answers are sound" ~count:300 arb (fun cs ->
+      match Solver.solve cs with
+      | Solver.Sat m -> Solver.check_model m cs
+      | Solver.Unsat | Solver.Unknown -> true)
+
+let test_solver_complete_on_intervals =
+  (* For pure interval constraints on one variable, decide correctly. *)
+  let arb = QCheck.make ~print:(fun (a, b) -> Printf.sprintf "(%d,%d)" a b)
+      QCheck.Gen.(pair (int_range (-20) 20) (int_range (-20) 20)) in
+  QCheck.Test.make ~name:"solver decides single-var boxes" ~count:300 arb (fun (a, b) ->
+      let cs = [ v "x" >: c a; v "x" <: c b ] in
+      Solver.sat cs = (b - a > 1))
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+    [ test_simplify_preserves_semantics; test_solver_sound; test_solver_complete_on_intervals ]
+
+let () =
+  Alcotest.run "solver"
+    [ ( "expr",
+        [ Alcotest.test_case "eval" `Quick test_eval;
+          Alcotest.test_case "vars" `Quick test_vars;
+          Alcotest.test_case "subst" `Quick test_subst
+        ] );
+      ( "simplify",
+        [ Alcotest.test_case "folds" `Quick test_simplify_folds ] );
+      ( "interval",
+        [ Alcotest.test_case "ops" `Quick test_interval_ops ] );
+      ( "solver",
+        [ Alcotest.test_case "basic" `Quick test_solver_basic;
+          Alcotest.test_case "model" `Quick test_solver_model;
+          Alcotest.test_case "ranges" `Quick test_solver_ranges;
+          Alcotest.test_case "nonlinear" `Quick test_solver_nonlinear;
+          Alcotest.test_case "ite" `Quick test_solver_ite
+        ] );
+      ("properties", qsuite)
+    ]

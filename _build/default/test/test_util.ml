@@ -1,0 +1,64 @@
+(* Tests for the utility layer: deterministic RNG, maps, statistics. *)
+
+open Portend_util
+
+let test_srng_deterministic () =
+  let draw seed =
+    let rng = Srng.of_seed seed in
+    let a, rng = Srng.int ~bound:1000 rng in
+    let b, rng = Srng.int ~bound:1000 rng in
+    let c, _ = Srng.bool rng in
+    (a, b, c)
+  in
+  Alcotest.(check bool) "same seed same stream" true (draw 42 = draw 42);
+  Alcotest.(check bool) "different seeds differ" true (draw 42 <> draw 43)
+
+let test_srng_bounds =
+  QCheck.Test.make ~name:"srng stays in bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 100))
+    (fun (seed, bound) ->
+      let v, _ = Srng.int ~bound (Srng.of_seed seed) in
+      v >= 0 && v < bound)
+
+let test_srng_split () =
+  let rng = Srng.of_seed 7 in
+  let left, rng' = Srng.split rng in
+  let a, _ = Srng.int ~bound:1_000_000 left in
+  let b, _ = Srng.int ~bound:1_000_000 rng' in
+  Alcotest.(check bool) "split streams are independent" true (a <> b)
+
+let test_srng_choose () =
+  let xs = [ "a"; "b"; "c" ] in
+  let v, _ = Srng.choose xs (Srng.of_seed 1) in
+  Alcotest.(check bool) "choose picks a member" true (List.mem v xs);
+  Alcotest.check_raises "empty choose" (Invalid_argument "Srng.choose: empty list") (fun () ->
+      ignore (Srng.choose [] (Srng.of_seed 1)))
+
+let test_maps () =
+  let open Maps in
+  let m = Smap.of_list [ ("a", 1); ("b", 2) ] in
+  Alcotest.(check int) "find_or hit" 2 (Smap.find_or ~default:0 "b" m);
+  Alcotest.(check int) "find_or miss" 0 (Smap.find_or ~default:0 "z" m);
+  Alcotest.(check (list string)) "keys sorted" [ "a"; "b" ] (Smap.keys m);
+  let im = Imap.of_list [ (3, "x"); (1, "y") ] in
+  Alcotest.(check (list int)) "int keys sorted" [ 1; 3 ] (Imap.keys im)
+
+let test_stats () =
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "mean empty" 0.0 (Stats.mean []);
+  let lo, hi = Stats.min_max [ 3.0; 1.0; 2.0 ] in
+  Alcotest.(check (pair (float 1e-9) (float 1e-9))) "min max" (1.0, 3.0) (lo, hi);
+  Alcotest.(check bool) "stddev positive" true (Stats.stddev [ 1.0; 5.0 ] > 0.0);
+  Alcotest.(check (float 1e-9)) "percent" 50.0 (Stats.percent ~num:1 ~den:2)
+
+let () =
+  Alcotest.run "util"
+    [ ( "srng",
+        [ Alcotest.test_case "deterministic" `Quick test_srng_deterministic;
+          Alcotest.test_case "split" `Quick test_srng_split;
+          Alcotest.test_case "choose" `Quick test_srng_choose;
+          QCheck_alcotest.to_alcotest test_srng_bounds
+        ] );
+      ("maps", [ Alcotest.test_case "helpers" `Quick test_maps ]);
+      ("stats", [ Alcotest.test_case "descriptive" `Quick test_stats ])
+    ]

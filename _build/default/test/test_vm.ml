@@ -1,0 +1,443 @@
+(* End-to-end tests of the VM: interpreter semantics, scheduling, blocking
+   primitives, record/replay, crashes, and symbolic forking. *)
+
+open Portend_lang
+open Portend_vm
+
+let compile = Compile.compile
+
+(* A two-thread counter program: main spawns two workers that each increment
+   the (racy) global [count] n times without a lock, then outputs it. *)
+let counter_racy n =
+  let open Builder in
+  program "counter" ~globals:[ ("count", 0) ]
+    [ func "worker" [ "n" ]
+        [ var "i" (i 0);
+          while_ (l "i" < l "n") [ incr_global "count"; set "i" (l "i" + i 1) ]
+        ];
+      func "main" []
+        [ spawn ~into:"t1" "worker" [ i n ];
+          spawn ~into:"t2" "worker" [ i n ];
+          join (l "t1");
+          join (l "t2");
+          output [ g "count" ]
+        ]
+    ]
+
+let counter_locked n =
+  let open Builder in
+  program "counter_locked" ~globals:[ ("count", 0) ] ~mutexes:[ "m" ]
+    [ func "worker" [ "n" ]
+        [ var "i" (i 0);
+          while_ (l "i" < l "n")
+            (critical "m" [ incr_global "count" ] @ [ set "i" (l "i" + i 1) ])
+        ];
+      func "main" []
+        [ spawn ~into:"t1" "worker" [ i n ];
+          spawn ~into:"t2" "worker" [ i n ];
+          join (l "t1");
+          join (l "t2");
+          output [ g "count" ]
+        ]
+    ]
+
+let first_output_int (st : State.t) =
+  match State.outputs st with
+  | { State.payload = State.Vals [ Value.Con n ]; _ } :: _ -> n
+  | _ -> Alcotest.fail "expected one integer output"
+
+let run_prog ?(sched = Sched.round_robin) ?input_mode ?budget p =
+  Run.run ~sched ?budget (State.init ?input_mode (compile p))
+
+let check_stop msg expected (r : Run.result) =
+  Alcotest.(check string) msg expected (Run.stop_to_string r.Run.stop)
+
+(* --- basic semantics --- *)
+
+let test_sequential_counter () =
+  (* With a lock, the final count is always 2n regardless of scheduler. *)
+  let r = run_prog (counter_locked 10) in
+  check_stop "halted" "halted" r;
+  Alcotest.(check int) "count" 20 (first_output_int r.Run.final);
+  let r2 = run_prog ~sched:(Sched.random ~seed:42) (counter_locked 10) in
+  Alcotest.(check int) "count random sched" 20 (first_output_int r2.Run.final)
+
+let test_racy_counter_lost_update () =
+  (* Some interleaving loses updates: search seeds until we see < 2n. *)
+  let rec search seed =
+    if seed > 500 then Alcotest.fail "no lost update found in 500 seeds"
+    else
+      let r = run_prog ~sched:(Sched.random ~seed) (counter_racy 10) in
+      let n = first_output_int r.Run.final in
+      if n < 20 then n else search (seed + 1)
+  in
+  let lost = search 0 in
+  Alcotest.(check bool) "lost updates" true (lost < 20)
+
+let test_arith_and_control () =
+  let open Builder in
+  let p =
+    program "arith" ~globals:[ ("acc", 0) ]
+      [ func "main" []
+          [ var "x" (i 7);
+            var "y" (l "x" * i 3 - i 1);
+            if_ (l "y" > i 10) [ setg "acc" (l "y" % i 7) ] [ setg "acc" (i 0 - i 1) ];
+            var "z" (cond (g "acc" == i 6) (i 100) (i 200));
+            output [ l "z"; g "acc" ]
+          ]
+      ]
+  in
+  let r = run_prog p in
+  check_stop "halted" "halted" r;
+  match State.outputs r.Run.final with
+  | [ { State.payload = State.Vals [ Value.Con a; Value.Con b ]; _ } ] ->
+    Alcotest.(check (pair int int)) "vals" (100, 6) (a, b)
+  | _ -> Alcotest.fail "unexpected outputs"
+
+let test_function_calls () =
+  let open Builder in
+  let p =
+    program "calls" ~globals:[ ("r", 0) ]
+      [ func "square" [ "x" ] [ return ~value:(l "x" * l "x") () ];
+        func "main" []
+          [ call ~into:"a" "square" [ i 5 ];
+            call ~into:"b" "square" [ l "a" ];
+            setg "r" (l "b");
+            output [ g "r" ]
+          ]
+      ]
+  in
+  let r = run_prog p in
+  Alcotest.(check int) "625" 625 (first_output_int r.Run.final)
+
+(* --- blocking primitives --- *)
+
+let test_condvar_handoff () =
+  let open Builder in
+  (* Producer sets data under the lock and signals; consumer waits. *)
+  let p =
+    program "cv" ~globals:[ ("data", 0); ("ready", 0) ] ~mutexes:[ "m" ] ~conds:[ "c" ]
+      [ func "producer" []
+          (critical "m" [ setg "data" (i 42); setg "ready" (i 1); signal "c" ]);
+        func "consumer" []
+          [ lock "m";
+            while_ (g "ready" == i 0) [ wait "c" "m" ];
+            output [ g "data" ];
+            unlock "m"
+          ];
+        func "main" []
+          [ spawn ~into:"t1" "consumer" [];
+            spawn ~into:"t2" "producer" [];
+            join (l "t1");
+            join (l "t2")
+          ]
+      ]
+  in
+  (* Try both orders: consumer first (must wait) and producer first. *)
+  List.iter
+    (fun seed ->
+      let r = run_prog ~sched:(Sched.random ~seed) p in
+      check_stop "halted" "halted" r;
+      Alcotest.(check int) "42" 42 (first_output_int r.Run.final))
+    [ 0; 1; 2; 3; 11; 17 ]
+
+let test_barrier () =
+  let open Builder in
+  let p =
+    program "bar" ~globals:[ ("sum", 0) ] ~mutexes:[ "m" ] ~barriers:[ ("b", 3) ]
+      [ func "w" [ "k" ]
+          (critical "m" [ setg "sum" (g "sum" + l "k") ]
+          @ [ barrier "b"; output [ g "sum" ] ]);
+        func "main" []
+          [ spawn ~into:"t1" "w" [ i 1 ];
+            spawn ~into:"t2" "w" [ i 2 ];
+            spawn ~into:"t3" "w" [ i 4 ];
+            join (l "t1"); join (l "t2"); join (l "t3")
+          ]
+      ]
+  in
+  List.iter
+    (fun seed ->
+      let r = run_prog ~sched:(Sched.random ~seed) p in
+      check_stop "halted" "halted" r;
+      (* All three outputs happen after the barrier, so all see sum = 7. *)
+      List.iter
+        (fun o ->
+          match o.State.payload with
+          | State.Vals [ Value.Con n ] -> Alcotest.(check int) "post-barrier sum" 7 n
+          | _ -> Alcotest.fail "bad output")
+        (State.outputs r.Run.final))
+    [ 0; 5; 9 ]
+
+let test_deadlock_detected () =
+  let open Builder in
+  let p =
+    program "dl" ~mutexes:[ "a"; "b" ]
+      [ func "t1" [] [ lock "a"; yield; lock "b"; unlock "b"; unlock "a" ];
+        func "t2" [] [ lock "b"; yield; lock "a"; unlock "a"; unlock "b" ];
+        func "main" []
+          [ spawn ~into:"x" "t1" []; spawn ~into:"y" "t2" []; join (l "x"); join (l "y") ]
+      ]
+  in
+  (* Find a seed that interleaves into the deadlock. *)
+  let deadlocked =
+    List.exists
+      (fun seed ->
+        match (run_prog ~sched:(Sched.random ~seed) p).Run.stop with
+        | Run.Deadlocked _ -> true
+        | _ -> false)
+      (List.init 100 (fun s -> s))
+  in
+  Alcotest.(check bool) "deadlock reachable" true deadlocked
+
+(* --- crashes --- *)
+
+let test_crashes () =
+  let open Builder in
+  let oob =
+    program "oob" ~arrays:[ ("a", 4, 0) ]
+      [ func "main" [] [ seta "a" (i 9) (i 1) ] ]
+  in
+  (match (run_prog oob).Run.stop with
+  | Run.Crashed (Crash.Out_of_bounds { index = 9; len = 4; _ }) -> ()
+  | s -> Alcotest.failf "expected OOB crash, got %s" (Run.stop_to_string s));
+  let div0 =
+    program "div0" ~globals:[ ("z", 0) ]
+      [ func "main" [] [ var "x" (i 4 / g "z"); output [ l "x" ] ] ]
+  in
+  (match (run_prog div0).Run.stop with
+  | Run.Crashed Crash.Division_by_zero -> ()
+  | s -> Alcotest.failf "expected div0, got %s" (Run.stop_to_string s));
+  let dfree =
+    program "dfree" ~arrays:[ ("a", 4, 0) ]
+      [ func "main" [] [ free "a"; free "a" ] ]
+  in
+  (match (run_prog dfree).Run.stop with
+  | Run.Crashed (Crash.Double_free "a") -> ()
+  | s -> Alcotest.failf "expected double free, got %s" (Run.stop_to_string s));
+  let uaf =
+    program "uaf" ~arrays:[ ("a", 4, 0) ]
+      [ func "main" [] [ free "a"; output [ arr "a" (i 0) ] ] ]
+  in
+  (match (run_prog uaf).Run.stop with
+  | Run.Crashed (Crash.Use_after_free "a") -> ()
+  | s -> Alcotest.failf "expected UAF, got %s" (Run.stop_to_string s));
+  let asrt =
+    program "asrt" ~globals:[ ("x", 3) ]
+      [ func "main" [] [ assert_ (g "x" > i 5) "x must exceed 5" ] ]
+  in
+  match (run_prog asrt).Run.stop with
+  | Run.Crashed (Crash.Assertion_failure _) -> ()
+  | s -> Alcotest.failf "expected assert, got %s" (Run.stop_to_string s)
+
+(* --- record / replay --- *)
+
+let test_record_replay_deterministic () =
+  let p = counter_racy 5 in
+  let r1 = run_prog ~sched:(Sched.random ~seed:7) p in
+  let out1 = first_output_int r1.Run.final in
+  (* Replaying the recorded decisions must reproduce the exact output. *)
+  let replay = Sched.of_decisions (Trace.decisions r1.Run.trace) in
+  let r2 = run_prog ~sched:replay p in
+  check_stop "replay halted" "halted" r2;
+  Alcotest.(check int) "same output" out1 (first_output_int r2.Run.final);
+  Alcotest.(check int) "same steps" r1.Run.final.State.steps r2.Run.final.State.steps
+
+let test_trace_roundtrip () =
+  let p = counter_racy 3 in
+  let r = run_prog ~sched:(Sched.random ~seed:3) p in
+  let s = Trace.to_string r.Run.trace in
+  let t = Trace.of_string s in
+  Alcotest.(check (list int)) "decisions survive" (Trace.decisions r.Run.trace) (Trace.decisions t)
+
+(* --- symbolic execution --- *)
+
+let sym_prog =
+  let open Builder in
+  program "sym" ~globals:[ ("out", 0) ]
+    [ func "main" []
+        [ input "x" ~name:"x" ~lo:0 ~hi:100;
+          if_ (l "x" > i 50) [ setg "out" (i 1) ] [ setg "out" (i 2) ];
+          output [ g "out" ]
+        ]
+    ]
+
+let test_symbolic_fork () =
+  (* Under symbolic inputs a run stops at the fork (Run is a concrete
+     driver); slicing manually must yield two branches. *)
+  let st = State.init ~input_mode:State.Symbolic (compile sym_prog) in
+  let r = Run.run ~sched:Sched.round_robin st in
+  (match r.Run.stop with
+  | Run.Forked -> ()
+  | s -> Alcotest.failf "expected fork stop, got %s" (Run.stop_to_string s));
+  (* Drive slices by hand and count completed paths. *)
+  let rec explore st =
+    match State.runnable st with
+    | [] -> [ st ]
+    | tid :: _ ->
+      List.concat_map
+        (fun sl ->
+          match sl.Run.s_end with
+          | Run.End_crashed _ -> [ sl.Run.s_state ]
+          | Run.End_decision | Run.End_paused -> explore sl.Run.s_state)
+        (Run.slice st tid)
+  in
+  let finals = explore st in
+  Alcotest.(check int) "two paths" 2 (List.length finals);
+  let outs =
+    List.map
+      (fun st ->
+        match State.outputs st with
+        | [ { State.payload = State.Vals [ Value.Con n ]; _ } ] -> n
+        | _ -> -1)
+      finals
+    |> List.sort compare
+  in
+  Alcotest.(check (list int)) "outputs 1 and 2" [ 1; 2 ] outs;
+  (* Each final state's path condition must be satisfiable. *)
+  List.iter
+    (fun (st : State.t) ->
+      Alcotest.(check bool) "path sat" true
+        (Portend_solver.Solver.sat ~ranges:st.State.input_ranges st.State.path_cond))
+    finals
+
+let test_concrete_inputs_from_model () =
+  let model = Portend_util.Maps.Smap.of_list [ ("x", 77) ] in
+  let st = State.init ~input_mode:(State.Concrete model) (compile sym_prog) in
+  let r = Run.run ~sched:Sched.round_robin st in
+  check_stop "halted" "halted" r;
+  Alcotest.(check int) "took >50 branch" 1 (first_output_int r.Run.final)
+
+
+(* --- extended features: memory models, mixed inputs, schedulers, traces --- *)
+
+let test_adversarial_memory_stale_reads () =
+  (* writer stores 1 then 2; under adversarial memory a later read may
+     observe the overwritten 1 (or the initial 0), under SC only 2 *)
+  let open Builder in
+  let p =
+    compile
+      (program "am" ~globals:[ ("x", 0) ]
+         [ func "w" [] [ setg "x" (i 1); setg "x" (i 2) ];
+           func "main" [] [ spawn ~into:"t" "w" []; join (l "t"); output [ g "x" ] ]
+         ])
+  in
+  let explore memory_model =
+    let rec go st acc =
+      match State.runnable st with
+      | [] -> State.outputs st :: acc
+      | tid :: _ ->
+        List.fold_left
+          (fun acc sl ->
+            match sl.Run.s_end with
+            | Run.End_crashed _ -> acc
+            | Run.End_decision | Run.End_paused -> go sl.Run.s_state acc)
+          acc (Run.slice st tid)
+    in
+    go (State.init ~memory_model p) []
+    |> List.concat_map (fun outs ->
+           List.concat_map
+             (fun o ->
+               match o.State.payload with
+               | State.Vals [ Value.Con n ] -> [ n ]
+               | _ -> [])
+             outs)
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check (list int)) "SC reads only the final value" [ 2 ]
+    (explore State.Sequential);
+  Alcotest.(check (list int)) "adversarial memory exposes stale values" [ 0; 1; 2 ]
+    (explore (State.Adversarial { depth = 2 }))
+
+let test_mixed_input_mode () =
+  let open Builder in
+  let p =
+    compile
+      (program "mix" ~globals:[ ("r", 0) ]
+         [ func "main" []
+             [ input "a" ~name:"a" ~lo:0 ~hi:9;
+               input "b" ~name:"b" ~lo:0 ~hi:9;
+               input "c" ~name:"c" ~lo:0 ~hi:9;
+               setg "r" (l "a" + l "b" + l "c");
+               output [ g "r" ]
+             ]
+         ])
+  in
+  let model = Portend_util.Maps.Smap.of_list [ ("a", 5); ("b", 6); ("c", 7) ] in
+  let st = State.init ~input_mode:(State.Mixed { model; limit = 2 }) p in
+  (* drive manually, counting symbolic inputs *)
+  let rec go st =
+    match State.runnable st with
+    | [] -> st
+    | tid :: _ -> (
+      match Run.slice st tid with
+      | sl :: _ -> (
+        match sl.Run.s_end with
+        | Run.End_crashed _ -> sl.Run.s_state
+        | Run.End_decision | Run.End_paused -> go sl.Run.s_state)
+      | [] -> st)
+  in
+  let final = go st in
+  Alcotest.(check int) "two symbolic inputs" 2 (List.length final.State.input_ranges);
+  (* the third input came from the model *)
+  Alcotest.(check bool) "c is concrete 7" true
+    Stdlib.(List.exists (fun (k, v) -> k = "c" && v = Value.Con 7) final.State.input_log)
+
+let test_directed_scheduler () =
+  let p = counter_racy 3 in
+  let sched = Sched.directed 1 ~fallback:Sched.round_robin in
+  let r = run_prog ~sched p in
+  check_stop "halted" "halted" r
+
+let test_trace_take_and_prefix () =
+  let p = counter_racy 3 in
+  let r = run_prog ~sched:(Sched.random ~seed:5) p in
+  let t = Trace.take 4 r.Run.trace in
+  Alcotest.(check int) "take 4" 4 (Trace.length t);
+  (* prefix_then replays the prefix then continues round-robin to completion *)
+  let sched = Sched.prefix_then (Trace.decisions t) Sched.round_robin in
+  let r2 = run_prog ~sched p in
+  check_stop "prefix then rr halts" "halted" r2
+
+let test_run_budget () =
+  let open Builder in
+  let p =
+    compile
+      (program "spin" ~globals:[ ("x", 0) ]
+         [ func "main" [] [ while_ (g "x" == i 0) [ yield ] ] ])
+  in
+  let r = Run.run ~sched:Sched.round_robin ~budget:500 (State.init p) in
+  match r.Run.stop with
+  | Run.Out_of_budget -> ()
+  | s -> Alcotest.failf "expected budget stop, got %s" (Run.stop_to_string s)
+
+let () =
+  Alcotest.run "vm"
+    [ ( "semantics",
+        [ Alcotest.test_case "locked counter" `Quick test_sequential_counter;
+          Alcotest.test_case "racy counter loses updates" `Quick test_racy_counter_lost_update;
+          Alcotest.test_case "arith and control" `Quick test_arith_and_control;
+          Alcotest.test_case "function calls" `Quick test_function_calls
+        ] );
+      ( "blocking",
+        [ Alcotest.test_case "condvar handoff" `Quick test_condvar_handoff;
+          Alcotest.test_case "barrier" `Quick test_barrier;
+          Alcotest.test_case "deadlock detected" `Quick test_deadlock_detected
+        ] );
+      ("crashes", [ Alcotest.test_case "all crash kinds" `Quick test_crashes ]);
+      ( "record-replay",
+        [ Alcotest.test_case "deterministic replay" `Quick test_record_replay_deterministic;
+          Alcotest.test_case "trace roundtrip" `Quick test_trace_roundtrip
+        ] );
+      ( "symbolic",
+        [ Alcotest.test_case "fork on symbolic branch" `Quick test_symbolic_fork;
+          Alcotest.test_case "concrete model inputs" `Quick test_concrete_inputs_from_model
+        ] );
+      ( "extended",
+        [ Alcotest.test_case "adversarial memory" `Quick test_adversarial_memory_stale_reads;
+          Alcotest.test_case "mixed input mode" `Quick test_mixed_input_mode;
+          Alcotest.test_case "directed scheduler" `Quick test_directed_scheduler;
+          Alcotest.test_case "trace take/prefix" `Quick test_trace_take_and_prefix;
+          Alcotest.test_case "run budget" `Quick test_run_budget
+        ] )
+    ]

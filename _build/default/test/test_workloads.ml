@@ -1,0 +1,260 @@
+(* Whole-suite tests: the 11 workload models must reproduce the paper's
+   Table 3 distribution and the 92/93 (99%) classification accuracy, with
+   the single ocean misclassification the paper reports. *)
+
+open Portend_core
+open Portend_workloads
+module D = Portend_detect
+
+let suite_results =
+  lazy
+    (List.map
+       (fun (w : Registry.workload) ->
+         let prog = Portend_lang.Compile.compile w.Registry.w_prog in
+         let a =
+           Pipeline.analyze ~seed:w.Registry.w_seed ~inputs:w.Registry.w_inputs prog
+         in
+         (w, a))
+       Suite.all)
+
+let categories_of (a : Pipeline.t) =
+  List.map
+    (fun ra ->
+      ( D.Report.base_loc ra.Pipeline.race.D.Report.r_loc,
+        ra.Pipeline.verdict ))
+    a.Pipeline.races
+
+let test_expected_race_counts () =
+  Alcotest.(check int) "93 distinct races expected" 93 Suite.total_expected_races;
+  List.iter
+    (fun ((w : Registry.workload), (a : Pipeline.t)) ->
+      Alcotest.(check string)
+        (w.Registry.w_name ^ " recording halts")
+        "halted"
+        (Portend_vm.Run.stop_to_string a.Pipeline.record.Portend_vm.Run.stop);
+      Alcotest.(check int)
+        (w.Registry.w_name ^ " distinct races")
+        (Registry.total_expected w)
+        (List.length a.Pipeline.races);
+      Alcotest.(check int) (w.Registry.w_name ^ " replay errors") 0
+        (List.length a.Pipeline.errors))
+    (Lazy.force suite_results)
+
+let test_verdicts_match_expected () =
+  (* every race classifies as the registry says Portend should *)
+  List.iter
+    (fun ((w : Registry.workload), a) ->
+      let vs = categories_of a in
+      List.iter
+        (fun (x : Registry.expectation) ->
+          let got = List.filter (fun (loc, _) -> loc = x.Registry.x_loc) vs in
+          let good =
+            List.length
+              (List.filter
+                 (fun (_, v) -> v.Taxonomy.category = x.Registry.x_portend)
+                 got)
+          in
+          if good < x.Registry.x_count then
+            Alcotest.failf "%s %s: expected %d x %s, got [%s]" w.Registry.w_name
+              x.Registry.x_loc x.Registry.x_count
+              (Taxonomy.category_to_string x.Registry.x_portend)
+              (String.concat ";"
+                 (List.map
+                    (fun (_, v) -> Taxonomy.category_to_string v.Taxonomy.category)
+                    got)))
+        w.Registry.w_expect)
+    (Lazy.force suite_results)
+
+let test_accuracy_99_percent () =
+  (* against manual ground truth: exactly one miss (the ocean race) *)
+  let correct, total =
+    List.fold_left
+      (fun (c, t) ((w : Registry.workload), a) ->
+        let vs = categories_of a in
+        List.fold_left
+          (fun (c, t) (x : Registry.expectation) ->
+            let got = List.filter (fun (loc, _) -> loc = x.Registry.x_loc) vs in
+            let good =
+              List.length
+                (List.filter (fun (_, v) -> v.Taxonomy.category = x.Registry.x_truth) got)
+            in
+            (c + min good x.Registry.x_count, t + x.Registry.x_count))
+          (c, t) w.Registry.w_expect)
+      (0, 0) (Lazy.force suite_results)
+  in
+  Alcotest.(check int) "total" 93 total;
+  Alcotest.(check int) "92 of 93 correct" 92 correct
+
+let test_table3_distribution () =
+  let count cat =
+    List.fold_left
+      (fun acc (_, (a : Pipeline.t)) ->
+        acc
+        + List.length
+            (List.filter
+               (fun ra -> ra.Pipeline.verdict.Taxonomy.category = cat)
+               a.Pipeline.races))
+      0 (Lazy.force suite_results)
+  in
+  Alcotest.(check int) "specViol" 5 (count Taxonomy.Spec_violated);
+  Alcotest.(check int) "outDiff" 21 (count Taxonomy.Output_differs);
+  Alcotest.(check int) "k-witness" 10 (count Taxonomy.K_witness_harmless);
+  Alcotest.(check int) "singleOrd" 57 (count Taxonomy.Single_ordering)
+
+let test_states_differ_columns () =
+  (* Table 3's k-witness split: 4 states-same (micros), 6 states-differ *)
+  let same, differ =
+    List.fold_left
+      (fun (s, d) (_, (a : Pipeline.t)) ->
+        List.fold_left
+          (fun (s, d) ra ->
+            if ra.Pipeline.verdict.Taxonomy.category = Taxonomy.K_witness_harmless then
+              if ra.Pipeline.verdict.Taxonomy.states_differ then (s, d + 1) else (s + 1, d)
+            else (s, d))
+          (s, d) a.Pipeline.races)
+      (0, 0) (Lazy.force suite_results)
+  in
+  Alcotest.(check (pair int int)) "k-witness states (same, differ)" (4, 6) (same, differ)
+
+let test_harmful_races_have_evidence () =
+  List.iter
+    (fun (_, (a : Pipeline.t)) ->
+      List.iter
+        (fun ra ->
+          if ra.Pipeline.verdict.Taxonomy.category = Taxonomy.Spec_violated then begin
+            Alcotest.(check bool) "specViol has evidence" true (ra.Pipeline.evidence <> None);
+            match ra.Pipeline.evidence with
+            | Some e ->
+              let s = Evidence.render e in
+              Alcotest.(check bool) "report mentions the race" true
+                (Astring.String.is_infix ~affix:"Data race during access to" s)
+            | None -> ()
+          end)
+        a.Pipeline.races)
+    (Lazy.force suite_results)
+
+let test_fmm_semantic_variant () =
+  let w = Option.get (Suite.find "fmm") in
+  let p = Option.get w.Registry.w_semantic_variant in
+  let prog = Portend_lang.Compile.compile p in
+  let a = Pipeline.analyze ~seed:w.Registry.w_seed ~inputs:w.Registry.w_inputs prog in
+  let ts =
+    List.find
+      (fun ra -> D.Report.base_loc ra.Pipeline.race.D.Report.r_loc = "g:timestamp")
+      a.Pipeline.races
+  in
+  Alcotest.(check string) "semantic violation" "specViol"
+    (Taxonomy.category_to_string ts.Pipeline.verdict.Taxonomy.category);
+  Alcotest.(check bool) "consequence semantic" true
+    (ts.Pipeline.verdict.Taxonomy.consequence = Some Portend_vm.Crash.Csemantic)
+
+let test_memcached_whatif () =
+  let w = Option.get (Suite.find "memcached") in
+  let p = Option.get w.Registry.w_whatif_variant in
+  let prog = Portend_lang.Compile.compile p in
+  let a = Pipeline.analyze ~seed:1 prog in
+  Alcotest.(check bool) "what-if race becomes a crash" true
+    (List.exists
+       (fun ra -> ra.Pipeline.verdict.Taxonomy.consequence = Some Portend_vm.Crash.Ccrash)
+       a.Pipeline.races);
+  (* with the lock in place there is no race at all *)
+  let synced = Portend_lang.Compile.compile (Memcached_model.whatif_program ~synced:true) in
+  let a2 = Pipeline.analyze ~seed:1 synced in
+  Alcotest.(check int) "synced variant has no race" 0 (List.length a2.Pipeline.races)
+
+
+(* --- race-free programs (§5: HawkNL, pfscan, swarm, fft) --- *)
+
+let test_race_free_programs () =
+  List.iter
+    (fun (name, ast) ->
+      let prog = Portend_lang.Compile.compile ast in
+      List.iter
+        (fun seed ->
+          let a = Pipeline.analyze ~seed prog in
+          Alcotest.(check string)
+            (Printf.sprintf "%s seed %d halts" name seed)
+            "halted"
+            (Portend_vm.Run.stop_to_string a.Pipeline.record.Portend_vm.Run.stop);
+          Alcotest.(check int)
+            (Printf.sprintf "%s seed %d race-free" name seed)
+            0
+            (List.length a.Pipeline.races))
+        [ 1; 2; 3; 4; 5 ])
+    Race_free.all
+
+(* --- weak memory (§6 / adversarial memory) --- *)
+
+let test_weak_memory_dcl () =
+  (* DCL with a fast-path use: safe under SC, broken under adversarial
+     memory (the example program, asserted here) *)
+  let open Portend_lang.Builder in
+  let dcl_use =
+    program "dcl_use" ~globals:[ ("init_done", 0); ("singleton", 0) ] ~mutexes:[ "m" ]
+      [ func "get_instance" []
+          [ var "fast" (g "init_done");
+            if_ (l "fast" == i 0)
+              [ lock "m";
+                var "slow" (g "init_done");
+                if_ (l "slow" == i 0) [ setg "singleton" (i 7); setg "init_done" (i 1) ] [];
+                unlock "m"
+              ]
+              [ var "obj" (g "singleton"); assert_ (l "obj" != i 0) "non-null" ]
+          ];
+        func "main" []
+          [ spawn ~into:"t1" "get_instance" [];
+            spawn ~into:"t2" "get_instance" [];
+            join (l "t1");
+            join (l "t2")
+          ]
+      ]
+  in
+  let prog = Portend_lang.Compile.compile dcl_use in
+  let sc = Weakmem.explore ~depth:0 prog in
+  Alcotest.(check int) "SC: no violations" 0 (List.length sc.Weakmem.crashes);
+  Alcotest.(check bool) "SC explored many executions" true Stdlib.(sc.Weakmem.executions > 100);
+  let weak_only = Weakmem.weak_only_crashes prog in
+  Alcotest.(check bool) "weak memory breaks DCL" true Stdlib.(weak_only <> [])
+
+let test_weak_memory_rw_safe () =
+  (* redundant same-value writes stay safe even under adversarial memory *)
+  let w = Option.get (Suite.find "RW") in
+  let prog = Portend_lang.Compile.compile w.Registry.w_prog in
+  Alcotest.(check (list string)) "RW safe under weak memory" []
+    (List.map Portend_vm.Crash.to_string (Weakmem.weak_only_crashes prog))
+
+(* --- multi-recording detection --- *)
+
+let test_analyze_many_dedups () =
+  let w = Option.get (Suite.find "bbuf") in
+  let prog = Portend_lang.Compile.compile w.Registry.w_prog in
+  let analyses, merged =
+    Pipeline.analyze_many ~seeds:[ 1; 2; 3 ] ~inputs:w.Registry.w_inputs prog
+  in
+  Alcotest.(check int) "three recordings" 3 (List.length analyses);
+  (* every recording finds the same 6 distinct races; the merge keeps 6 *)
+  Alcotest.(check int) "merged distinct races" 6 (List.length merged)
+
+let () =
+  Alcotest.run "workloads"
+    [ ( "suite",
+        [ Alcotest.test_case "race counts" `Slow test_expected_race_counts;
+          Alcotest.test_case "verdicts as expected" `Slow test_verdicts_match_expected;
+          Alcotest.test_case "99% accuracy (92/93)" `Slow test_accuracy_99_percent;
+          Alcotest.test_case "Table 3 distribution" `Slow test_table3_distribution;
+          Alcotest.test_case "states same/differ columns" `Slow test_states_differ_columns;
+          Alcotest.test_case "harmful races carry evidence" `Slow test_harmful_races_have_evidence
+        ] );
+      ( "variants",
+        [ Alcotest.test_case "fmm semantic predicate" `Slow test_fmm_semantic_variant;
+          Alcotest.test_case "memcached what-if" `Slow test_memcached_whatif
+        ] );
+      ( "race-free",
+        [ Alcotest.test_case "hawknl/pfscan/swarm/fft" `Slow test_race_free_programs ] );
+      ( "weak-memory",
+        [ Alcotest.test_case "DCL breaks" `Slow test_weak_memory_dcl;
+          Alcotest.test_case "RW stays safe" `Slow test_weak_memory_rw_safe
+        ] );
+      ( "multi-recording",
+        [ Alcotest.test_case "dedup across seeds" `Slow test_analyze_many_dedups ] )
+    ]

@@ -17,7 +17,11 @@ let analyze_workload ?(config = Config.default) (w : Registry.workload) : app_re
   let analysis = Pipeline.analyze ~config ~seed:w.Registry.w_seed ~inputs:w.Registry.w_inputs prog in
   { w; analysis }
 
-let run_suite ?config () : app_result list = List.map (analyze_workload ?config) Suite.all
+(* Workloads are analyzed on the configured number of worker domains; each
+   analysis in turn fans its races out through the same (globally bounded)
+   pool, so nesting cannot oversubscribe the machine. *)
+let run_suite ?(config = Config.default) () : app_result list =
+  Portend_util.Pool.map ~jobs:config.Config.jobs (analyze_workload ~config) Suite.all
 
 (* verdict category per race, keyed by base location *)
 let verdicts (r : app_result) =

@@ -5,7 +5,8 @@
 
 let usage () =
   print_endline
-    "usage: main.exe [table1|table2|table3|table4|table5|fig7|fig9|fig10|falsepos|weakmem|micro|all]"
+    "usage: main.exe \
+     [table1|table2|table3|table4|table5|fig7|fig9|fig10|falsepos|weakmem|micro|parallel|smoke|all]"
 
 let () =
   let target = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -25,6 +26,8 @@ let () =
   | "falsepos" -> Figures.falsepos ()
   | "weakmem" -> Figures.weakmem ()
   | "micro" -> Micro_bench.run ()
+  | "parallel" -> Parallel_bench.run ()
+  | "smoke" -> Parallel_bench.smoke ()
   | "all" ->
     Tables.table1 ();
     Tables.table2 suite;
@@ -36,5 +39,6 @@ let () =
     Figures.fig10 ();
     Figures.falsepos ();
     Figures.weakmem ();
-    Micro_bench.run ()
+    Micro_bench.run ();
+    Parallel_bench.run ()
   | _ -> usage ()

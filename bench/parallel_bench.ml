@@ -1,0 +1,180 @@
+(* Scaling benchmark for the parallel classification layer and the solver
+   query cache: suite wall time at several job counts, a cache-mode
+   comparison (off / per-domain / shared), a determinism cross-check, and a
+   machine-readable BENCH_parallel.json so later changes can track the
+   trajectory. *)
+
+open Portend_core
+open Portend_workloads
+module D = Portend_detect
+module Solver = Portend_solver.Solver
+
+(* Verdict signature of a suite run: workload, racy location, category, k.
+   Two runs are equivalent iff their signatures are equal. *)
+let signature (results : Harness.app_result list) =
+  List.concat_map
+    (fun (r : Harness.app_result) ->
+      List.map
+        (fun ra ->
+          ( r.Harness.w.Registry.w_name,
+            D.Report.base_loc ra.Pipeline.race.D.Report.r_loc,
+            Taxonomy.category_to_string ra.Pipeline.verdict.Taxonomy.category,
+            ra.Pipeline.verdict.Taxonomy.k ))
+        r.Harness.analysis.Pipeline.races)
+    results
+
+type measurement = {
+  m_label : string;
+  m_jobs : int;
+  m_wall_s : float;  (* best of [reps] *)
+  m_stats : Solver.stats;  (* from the last repetition *)
+  m_signature : (string * string * string * int) list;
+}
+
+let reps = 3
+
+let measure ~label ~jobs () =
+  let config = { Config.default with Config.jobs } in
+  let best = ref infinity in
+  let last = ref None in
+  for _ = 1 to reps do
+    Solver.reset_stats ();
+    let results, dt = Portend_util.Clock.timed (fun () -> Harness.run_suite ~config ()) in
+    if dt < !best then best := dt;
+    last := Some results
+  done;
+  let results = Option.get !last in
+  { m_label = label;
+    m_jobs = jobs;
+    m_wall_s = !best;
+    m_stats = Solver.stats ();
+    m_signature = signature results
+  }
+
+let json_of_measurement ~baseline m =
+  let s = m.m_stats in
+  Printf.sprintf
+    {|    {"label": %S, "jobs": %d, "wall_s": %.6f, "speedup_vs_baseline": %.3f,
+     "solver": {"queries": %d, "cache_hits": %d, "cache_misses": %d, "prefix_unsat": %d, "hit_rate": %.4f}}|}
+    m.m_label m.m_jobs m.m_wall_s
+    (if m.m_wall_s > 0.0 then baseline /. m.m_wall_s else 0.0)
+    s.Solver.queries s.Solver.cache_hits s.Solver.cache_misses s.Solver.prefix_unsat
+    (Solver.hit_rate s)
+
+let row ~baseline m =
+  let s = m.m_stats in
+  [ m.m_label;
+    string_of_int m.m_jobs;
+    Printf.sprintf "%.3f" m.m_wall_s;
+    Printf.sprintf "%.2fx" (if m.m_wall_s > 0.0 then baseline /. m.m_wall_s else 0.0);
+    string_of_int s.Solver.queries;
+    Printf.sprintf "%.0f%%" (100.0 *. Solver.hit_rate s);
+    string_of_int s.Solver.prefix_unsat
+  ]
+
+let header = [ "config"; "jobs"; "wall (s)"; "speedup"; "queries"; "cache hit"; "prefix unsat" ]
+
+let run () =
+  let recommended = Portend_util.Pool.recommended_jobs () in
+  let job_counts = List.sort_uniq compare [ 1; 2; 4; recommended ] in
+  (* Warm up the heap once so the first measured configuration doesn't pay
+     for growing it. *)
+  ignore (Harness.run_suite ~config:{ Config.default with Config.jobs = 1 } ());
+  (* --- scaling in the job count (default cache mode) --- *)
+  let scaling =
+    List.map (fun jobs -> measure ~label:(Printf.sprintf "jobs=%d" jobs) ~jobs ()) job_counts
+  in
+  let base = List.hd scaling in
+  let deterministic =
+    List.for_all (fun m -> m.m_signature = base.m_signature) scaling
+  in
+  (* --- cache modes at the recommended job count --- *)
+  let with_mode mode label =
+    Solver.set_cache_mode mode;
+    let m = measure ~label ~jobs:recommended () in
+    Solver.set_cache_mode Solver.Cache_domain;
+    m
+  in
+  let modes =
+    [ with_mode Solver.Cache_off "cache=off";
+      with_mode Solver.Cache_domain "cache=domain";
+      with_mode Solver.Cache_shared "cache=shared"
+    ]
+  in
+  Harness.print_table ~title:"Parallel classification scaling (evaluation suite)" ~header
+    (List.map (row ~baseline:base.m_wall_s) scaling);
+  let cache_base = (List.hd modes).m_wall_s in
+  Harness.print_table ~title:"Solver cache modes (at recommended jobs)" ~header
+    (List.map (row ~baseline:cache_base) modes);
+  Printf.printf "\nverdicts identical across job counts: %b\n" deterministic;
+  if not deterministic then prerr_endline "WARNING: verdicts differ across job counts!";
+  (* --- BENCH_parallel.json --- *)
+  let find_jobs n = List.find_opt (fun m -> m.m_jobs = n) scaling in
+  let speedup_j4 =
+    match find_jobs 4 with
+    | Some m4 when m4.m_wall_s > 0.0 -> base.m_wall_s /. m4.m_wall_s
+    | _ -> 1.0
+  in
+  let cache_speedup =
+    match modes with
+    | off :: rest ->
+      let best_cached = List.fold_left (fun acc m -> min acc m.m_wall_s) infinity rest in
+      if best_cached > 0.0 then off.m_wall_s /. best_cached else 1.0
+    | [] -> 1.0
+  in
+  let json =
+    Printf.sprintf
+      {|{
+  "bench": "portend-parallel-scaling",
+  "suite_workloads": %d,
+  "recommended_jobs": %d,
+  "reps_per_config": %d,
+  "deterministic_across_jobs": %b,
+  "speedup_jobs4_vs_jobs1": %.3f,
+  "speedup_cache_on_vs_off": %.3f,
+  "scaling": [
+%s
+  ],
+  "cache_modes": [
+%s
+  ]
+}
+|}
+      (List.length Suite.all) recommended reps deterministic speedup_j4 cache_speedup
+      (String.concat ",\n" (List.map (json_of_measurement ~baseline:base.m_wall_s) scaling))
+      (String.concat ",\n" (List.map (json_of_measurement ~baseline:cache_base) modes))
+  in
+  let path = Filename.concat (Sys.getcwd ()) "BENCH_parallel.json" in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+(* One tiny workload at jobs=2 vs jobs=1, exercised on every `dune runtest`
+   via the bench-smoke alias: keeps the parallel path and the determinism
+   guarantee under continuous test without the full benchmark's cost. *)
+let smoke () =
+  let w =
+    match Suite.find "RW" with
+    | Some w -> w
+    | None -> List.hd Suite.micro_benchmarks
+  in
+  let at jobs =
+    let r = Harness.analyze_workload ~config:{ Config.default with Config.jobs } w in
+    signature [ r ]
+  in
+  Solver.reset_stats ();
+  let seq = at 1 and par = at 2 in
+  let stats = Solver.stats () in
+  if seq <> par then begin
+    prerr_endline "bench smoke FAILED: verdicts differ between jobs=1 and jobs=2";
+    exit 1
+  end;
+  if seq = [] then begin
+    prerr_endline "bench smoke FAILED: no races classified";
+    exit 1
+  end;
+  Printf.printf
+    "bench smoke ok: %d race(s), verdicts identical at jobs=1/2, %d solver queries (%.0f%% cached)\n"
+    (List.length seq) stats.Solver.queries
+    (100.0 *. Solver.hit_rate stats)

@@ -40,6 +40,15 @@ let inputs_arg =
     value & opt_all string []
     & info [ "input"; "i" ] ~docv:"NAME=VALUE" ~doc:"Concrete value for a program input.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int Core.Config.default.Core.Config.jobs
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for race classification (default: the recommended domain count). \
+           Verdicts are identical for every value.")
+
 let or_die = function
   | Ok v -> v
   | Error e ->
@@ -100,9 +109,11 @@ let classify_cmd =
     Arg.(value & opt int Core.Config.default.Core.Config.max_symbolic_inputs
          & info [ "symbolic-inputs" ] ~docv:"N" ~doc:"How many program inputs to treat symbolically.")
   in
-  let classify file seed inputs mp ma sym =
+  let classify file seed inputs mp ma sym jobs =
     let prog = or_die (load file) in
-    let config = { Core.Config.default with Core.Config.mp; ma; max_symbolic_inputs = sym } in
+    let config =
+      { Core.Config.default with Core.Config.mp; ma; max_symbolic_inputs = sym; jobs }
+    in
     let a = Core.Pipeline.analyze ~config ~seed ~inputs:(parse_inputs inputs) prog in
     Printf.printf "recording %s; %d distinct race(s)\n\n"
       (V.Run.stop_to_string a.Core.Pipeline.record.V.Run.stop)
@@ -133,7 +144,7 @@ let classify_cmd =
        ~doc:
          "Detect every data race and classify it as specViol, outDiff, k-witness harmless or \
           single-ordering.")
-    Term.(const classify $ file_arg $ seed_arg $ inputs_arg $ mp_arg $ ma_arg $ sym_arg)
+    Term.(const classify $ file_arg $ seed_arg $ inputs_arg $ mp_arg $ ma_arg $ sym_arg $ jobs_arg)
 
 (* --- weakmem --- *)
 
@@ -169,12 +180,13 @@ let weakmem_cmd =
 (* --- suite --- *)
 
 let suite_cmd =
-  let suite () =
+  let suite jobs =
+    let config = { Core.Config.default with Core.Config.jobs } in
     List.iter
       (fun (w : Portend_workloads.Registry.workload) ->
         let prog = Portend_lang.Compile.compile w.Portend_workloads.Registry.w_prog in
         let a =
-          Core.Pipeline.analyze ~seed:w.Portend_workloads.Registry.w_seed
+          Core.Pipeline.analyze ~config ~seed:w.Portend_workloads.Registry.w_seed
             ~inputs:w.Portend_workloads.Registry.w_inputs prog
         in
         Fmt.pr "%a@." Core.Pipeline.pp_summary a)
@@ -183,7 +195,7 @@ let suite_cmd =
   in
   Cmd.v
     (Cmd.info "suite" ~doc:"Classify every race in the paper's evaluation suite.")
-    Term.(const suite $ const ())
+    Term.(const suite $ jobs_arg)
 
 (* --- dump --- *)
 

@@ -23,14 +23,26 @@ let crash_of_stop = function
    verdict was outSame.  Returns the refined outcome. *)
 let multipath_stage cfg ~static prog trace (single : Single.t) race : outcome =
   let ckpts = single.Single.ckpts in
-  let primaries = Multipath.explore cfg prog trace ckpts race in
+  let exploration = Multipath.explore cfg prog trace ckpts race in
+  let primaries = exploration.Multipath.primaries in
+  (* A truncated exploration is weaker evidence: say so in the verdict
+     rather than silently stopping at the state cap. *)
+  let truncation_note detail =
+    if exploration.Multipath.truncated then
+      Printf.sprintf "%s (exploration truncated at %d states)" detail
+        exploration.Multipath.states_seen
+    else detail
+  in
   let k_base = { Taxonomy.category = Taxonomy.K_witness_harmless;
                  k = 1;
                  consequence = None;
                  states_differ = single.Single.states_differ;
                  detail = "primary and alternate outputs matched" } in
   if primaries = [] then
-    { verdict = { k_base with detail = "no additional primary paths found; k = 1 (single stage)" };
+    { verdict =
+        { k_base with
+          detail = truncation_note "no additional primary paths found; k = 1 (single stage)"
+        };
       evidence = None
     }
   else begin
@@ -144,7 +156,12 @@ let multipath_stage cfg ~static prog trace (single : Single.t) race : outcome =
     match !result with
     | Some r -> r
     | None ->
-      { verdict = { k_base with k = !witnesses; detail = Printf.sprintf "%d path-schedule witnesses agree" !witnesses };
+      { verdict =
+          { k_base with
+            k = !witnesses;
+            detail =
+              truncation_note (Printf.sprintf "%d path-schedule witnesses agree" !witnesses)
+          };
         evidence = None
       }
   end

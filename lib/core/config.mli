@@ -18,6 +18,12 @@ type t = {
   enable_symbolic_output : bool;
       (** compare outputs symbolically (vs. concrete equality) *)
   seed : int;  (** randomization seed for multi-schedule exploration *)
+  max_explored_states : int;
+      (** cap on states expanded per multi-path exploration; exploration
+          reports truncation when it hits this *)
+  jobs : int;
+      (** worker domains for race classification (1 = sequential); verdicts
+          are identical for every value *)
 }
 
 (** The paper's defaults: Mp = 5, Ma = 2, 2 symbolic inputs (§5). *)

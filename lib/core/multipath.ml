@@ -33,6 +33,13 @@ type primary = {
   p_occ2 : int;  (** its dynamic occurrence among same-site accesses since d1 *)
 }
 
+type exploration = {
+  primaries : primary list;
+  truncated : bool;
+      (** exploration stopped at [Config.max_explored_states] with work left *)
+  states_seen : int;
+}
+
 let slice_has_access ~tid ?site ~loc_base events =
   List.exists
     (function
@@ -56,7 +63,7 @@ type item = {
 }
 
 let explore (cfg : Config.t) (prog : Portend_lang.Bytecode.t) (trace : V.Trace.t)
-    (ckpts : Locate.t) (race : R.race) : primary list =
+    (ckpts : Locate.t) (race : R.race) : exploration =
   let decisions = Array.of_list ckpts.Locate.decisions in
   let n_decisions = Array.length decisions in
   let d1 = ckpts.Locate.d1 and d2 = ckpts.Locate.d2 in
@@ -75,12 +82,19 @@ let explore (cfg : Config.t) (prog : Portend_lang.Bytecode.t) (trace : V.Trace.t
     }
   in
   let completed = ref [] in
-  let n_completed () = List.length !completed in
+  (* Counted separately: [List.length !completed] on every worklist
+     iteration would make the loop guard quadratic. *)
+  let n_completed = ref 0 in
   let states_seen = ref 0 in
-  let finish_path item st stop = completed := (st, stop, item.site2, item.occ2) :: !completed in
+  let finish_path item st stop =
+    completed := (st, stop, item.site2, item.occ2) :: !completed;
+    incr n_completed
+  in
   (* Depth-first worklist; explicit stack keeps memory bounded. *)
   let stack = ref [ init ] in
-  while !stack <> [] && n_completed () < cfg.Config.mp && !states_seen < 50_000 do
+  while
+    !stack <> [] && !n_completed < cfg.Config.mp && !states_seen < cfg.Config.max_explored_states
+  do
     match !stack with
     | [] -> ()
     | item :: rest -> (
@@ -163,9 +177,12 @@ let explore (cfg : Config.t) (prog : Portend_lang.Bytecode.t) (trace : V.Trace.t
                            :: !stack
                    end)))
   done;
+  let truncated = !stack <> [] && !n_completed < cfg.Config.mp
+                  && !states_seen >= cfg.Config.max_explored_states in
   (* Solve each completed path for a concrete input model. *)
-  List.rev !completed
-  |> List.filter_map (fun ((st : V.State.t), stop, site2, occ2) ->
+  let primaries =
+    List.rev !completed
+    |> List.filter_map (fun ((st : V.State.t), stop, site2, occ2) ->
          let ranges = st.V.State.input_ranges in
          let path = st.V.State.path_cond in
          match Solver.solve ~ranges path with
@@ -183,3 +200,5 @@ let explore (cfg : Config.t) (prog : Portend_lang.Bytecode.t) (trace : V.Trace.t
                p_occ2 = occ2
              }
          | Solver.Unsat | Solver.Unknown -> None)
+  in
+  { primaries; truncated; states_seen = !states_seen }

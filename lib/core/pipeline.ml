@@ -38,22 +38,32 @@ let record ?(seed = 1) ?(inputs = []) (prog : Portend_lang.Bytecode.t) : V.Run.r
 (** Detect and classify every distinct race of [prog].
 
     Returns per-race verdicts in detection order.  A race whose replay
-    diverges is reported under [errors] rather than silently dropped. *)
+    diverges is reported under [errors] rather than silently dropped.
+
+    Clustered races are classified on [config.jobs] worker domains: each
+    classification reads only the immutable program, trace, and fresh VM
+    states of its own, so verdicts are identical for every job count. *)
 let analyze ?(config = Config.default) ?(seed = 1) ?(inputs = []) (prog : Portend_lang.Bytecode.t)
     : t =
   let record_run, record_time_s = record ~seed ~inputs prog in
   let suppress = Portend_lang.Static.spin_read_sites prog in
   let clustered = D.Hb.detect_clustered ~suppress record_run.V.Run.events in
+  let classified =
+    Portend_util.Pool.map ~jobs:config.Config.jobs
+      (fun (race, instances) ->
+        let t0 = now () in
+        let r = Classify.classify ~config prog record_run.V.Run.trace race in
+        (race, instances, r, now () -. t0))
+      clustered
+  in
   let races, errors =
     List.fold_left
-      (fun (races, errors) (race, instances) ->
-        let t0 = now () in
-        match Classify.classify ~config prog record_run.V.Run.trace race with
+      (fun (races, errors) (race, instances, r, time_s) ->
+        match r with
         | Ok { Classify.verdict; evidence } ->
-          ( { race; instances; verdict; evidence; time_s = now () -. t0 } :: races,
-            errors )
+          ({ race; instances; verdict; evidence; time_s } :: races, errors)
         | Error e -> (races, (race, e) :: errors))
-      ([], []) clustered
+      ([], []) classified
   in
   { program = prog;
     record = record_run;
@@ -69,7 +79,10 @@ let analyze ?(config = Config.default) ?(seed = 1) ?(inputs = []) (prog : Porten
     against the first recording that manifested it. *)
 let analyze_many ?config ?(seeds = [ 1; 2; 3 ]) ?inputs (prog : Portend_lang.Bytecode.t) :
     t list * race_analysis list =
-  let analyses = List.map (fun seed -> analyze ?config ~seed ?inputs prog) seeds in
+  let jobs = (match config with Some c -> c | None -> Config.default).Config.jobs in
+  let analyses =
+    Portend_util.Pool.map ~jobs (fun seed -> analyze ?config ~seed ?inputs prog) seeds
+  in
   let seen = Hashtbl.create 32 in
   let merged =
     List.concat_map
@@ -87,15 +100,19 @@ let analyze_many ?config ?(seeds = [ 1; 2; 3 ]) ?inputs (prog : Portend_lang.Byt
   in
   (analyses, merged)
 
-(** Count of distinct races per category. *)
+(** Count of distinct races per category, in {!Taxonomy.all_categories}
+    order.  One fold over a fixed count array — the old assoc-list
+    accumulation rescanned the category list per race. *)
 let tally (t : t) =
-  List.fold_left
-    (fun acc ra ->
-      let c = ra.verdict.Taxonomy.category in
-      let n = try List.assoc c acc with Not_found -> 0 in
-      (c, n + 1) :: List.remove_assoc c acc)
-    (List.map (fun c -> (c, 0)) Taxonomy.all_categories)
-    t.races
+  let categories = Array.of_list Taxonomy.all_categories in
+  let counts = Array.make (Array.length categories) 0 in
+  let index = Taxonomy.category_index in
+  List.iter
+    (fun ra ->
+      let i = index ra.verdict.Taxonomy.category in
+      counts.(i) <- counts.(i) + 1)
+    t.races;
+  Array.to_list (Array.mapi (fun i c -> (c, counts.(i))) categories)
 
 let pp_summary fmt (t : t) =
   Fmt.pf fmt "@[<v>program %s: %d distinct races (%d instances)@,%a@]" t.program.Portend_lang.Bytecode.pname

@@ -28,6 +28,14 @@ let pp_category fmt c = Fmt.string fmt (category_to_string c)
 
 let all_categories = [ Spec_violated; Output_differs; K_witness_harmless; Single_ordering ]
 
+(* Position of a category in [all_categories]; lets tallies index a fixed
+   count array instead of scanning assoc lists. *)
+let category_index = function
+  | Spec_violated -> 0
+  | Output_differs -> 1
+  | K_witness_harmless -> 2
+  | Single_ordering -> 3
+
 let is_harmful = function
   | Spec_violated -> true
   | Output_differs -> false (* “possibly harmful”: surfaced to the developer *)

@@ -19,6 +19,9 @@ val category_to_string : category -> string
 val pp_category : Format.formatter -> category -> unit
 val all_categories : category list
 
+(** Position of a category in {!all_categories} (a fixed array index). *)
+val category_index : category -> int
+
 (** Does the category demand a fix? *)
 val is_harmful : category -> bool
 

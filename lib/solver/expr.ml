@@ -122,3 +122,16 @@ let to_string e = Fmt.str "%a" pp e
 let equal (a : t) (b : t) = a = b
 
 let compare (a : t) (b : t) = Stdlib.compare a b
+
+(* Structural hash over the whole tree.  [Hashtbl.hash] stops after ~10
+   meaningful nodes, which collides badly on path conditions that share a
+   long prefix; the solver's query cache needs the full structure mixed in. *)
+let hash_combine h x = (h * 0x01000193) lxor x
+
+let rec hash = function
+  | Const n -> hash_combine 0x811c9dc5 n
+  | Var v -> hash_combine 0x2f0e1d3b (Hashtbl.hash v)
+  | Unop (op, e) -> hash_combine (hash_combine 0x47b6c2a1 (Hashtbl.hash op)) (hash e)
+  | Binop (op, a, b) ->
+    hash_combine (hash_combine (hash_combine 0x6b43a9b5 (Hashtbl.hash op)) (hash a)) (hash b)
+  | Ite (c, t, f) -> hash_combine (hash_combine (hash_combine 0x1b873593 (hash c)) (hash t)) (hash f)

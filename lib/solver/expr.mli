@@ -69,3 +69,10 @@ val to_string : t -> string
 val equal : t -> t -> bool
 
 val compare : t -> t -> int
+
+(** Structural hash over the whole tree (unlike [Hashtbl.hash], which stops
+    after ~10 meaningful nodes); used by the solver's query cache. *)
+val hash : t -> int
+
+(** Mix a hash value into an accumulator (FNV-style). *)
+val hash_combine : int -> int -> int

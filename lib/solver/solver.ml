@@ -180,19 +180,17 @@ let try_candidates env vars constraints =
   let models = build [] vars |> List.map Smap.of_list in
   List.find_opt (fun m -> check_model m constraints) models
 
-let solve ?(ranges = []) ?(budget = 4096) (constraints : Expr.t list) : result =
-  let constraints = List.map Simplify.simplify constraints |> List.map Simplify.truthy in
+(* Solve a canonicalized conjunction (already simplified, truthy-normalized,
+   sorted and deduplicated) from the initial box [env0].  This is the pure
+   core the query cache memoizes: its answer depends only on
+   ([constraints], [env0], [budget]). *)
+let solve_core ~env0 ~budget (constraints : Expr.t list) : result =
   if List.exists (fun c -> c = Expr.Const 0) constraints then Unsat
   else
     let constraints = List.filter (fun c -> c <> Expr.Const 1) constraints in
     let vars =
       List.fold_left Expr.free_vars Portend_util.Maps.Sset.empty constraints
       |> Portend_util.Maps.Sset.elements
-    in
-    let env0 =
-      List.fold_left
-        (fun env (v, lo, hi) -> Smap.add v Interval.{ lo; hi } env)
-        Smap.empty ranges
     in
     let steps = ref budget in
     let rec search env =
@@ -234,6 +232,220 @@ let solve ?(ranges = []) ?(budget = 4096) (constraints : Expr.t list) : result =
     in
     if vars = [] then if constraints = [] then Sat Smap.empty else Unsat
     else search env0
+
+(* ------------------------------------------------------------------ *)
+(* Query cache (structural hashing + canonical ordering + memoization) *)
+(* ------------------------------------------------------------------ *)
+
+(* Classification fires the same queries over and over: forked sibling
+   states re-check path conditions sharing long common prefixes, and every
+   alternate execution of a primary re-asks the same output-comparison
+   conjunction.  Two layers exploit this:
+
+   - a full-result memo keyed on the {e canonical} query (constraints
+     simplified, truthy-normalized, sorted, deduplicated; plus the initial
+     box and budget), and
+   - a prefix memo of narrowed interval environments keyed on the raw
+     condition list, whose tails are structurally shared between sibling
+     paths — a sibling only propagates its own suffix, and an empty box
+     answers Unsat without touching the search at all.
+
+   Both caches memoize pure functions, so hits can never change an answer;
+   results are bit-for-bit identical whatever the cache mode or domain
+   count.  Caches are either domain-local (zero contention) or shared
+   behind a mutex; global [Atomic] counters feed {!stats} either way. *)
+
+type stats = {
+  queries : int;  (** calls to [solve] (and via it, [sat]) *)
+  cache_hits : int;  (** full-result memo hits *)
+  cache_misses : int;  (** full-result memo misses (computed and stored) *)
+  prefix_unsat : int;  (** queries answered Unsat by prefix propagation *)
+}
+
+let q_queries = Atomic.make 0
+let q_hits = Atomic.make 0
+let q_misses = Atomic.make 0
+let q_prefix = Atomic.make 0
+
+let stats () =
+  { queries = Atomic.get q_queries;
+    cache_hits = Atomic.get q_hits;
+    cache_misses = Atomic.get q_misses;
+    prefix_unsat = Atomic.get q_prefix
+  }
+
+let hit_rate (s : stats) =
+  let looked = s.cache_hits + s.cache_misses in
+  if looked = 0 then 0.0 else float_of_int s.cache_hits /. float_of_int looked
+
+type cache_mode =
+  | Cache_off  (** every query solved from scratch *)
+  | Cache_domain  (** one cache per domain: no contention, no sharing *)
+  | Cache_shared  (** one mutex-guarded cache shared by all domains *)
+
+let mode = Atomic.make Cache_domain
+let set_cache_mode m = Atomic.set mode m
+let cache_mode () = Atomic.get mode
+
+(* Evict wholesale rather than track LRU: queries cluster per race, so a
+   full reset at the cap loses little and keeps lookups trivial. *)
+let max_cache_entries = 32_768
+
+type key = {
+  k_cs : Expr.t list;  (* canonical constraint list *)
+  k_box : (string * int * int) list;  (* canonical initial box *)
+  k_budget : int;
+  k_hash : int;
+}
+
+module Key = struct
+  type t = key
+
+  let equal a b =
+    a.k_hash = b.k_hash && a.k_budget = b.k_budget && a.k_box = b.k_box
+    && List.equal Expr.equal a.k_cs b.k_cs
+
+  let hash k = k.k_hash
+end
+
+module Ktbl = Hashtbl.Make (Key)
+
+let key ~box ~budget cs =
+  let h =
+    List.fold_left
+      (fun h c -> Expr.hash_combine h (Expr.hash c))
+      (Expr.hash_combine (Hashtbl.hash box) budget)
+      cs
+  in
+  { k_cs = cs; k_box = box; k_budget = budget; k_hash = h land max_int }
+
+let result_cache_key : result Ktbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Ktbl.create 256)
+
+let shared_cache : result Ktbl.t = Ktbl.create 1024
+let shared_mutex = Mutex.create ()
+
+let with_shared f =
+  Mutex.lock shared_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock shared_mutex) f
+
+let cache_find k = function
+  | Cache_off -> None
+  | Cache_domain -> Ktbl.find_opt (Domain.DLS.get result_cache_key) k
+  | Cache_shared -> with_shared (fun () -> Ktbl.find_opt shared_cache k)
+
+let cache_store k v = function
+  | Cache_off -> ()
+  | Cache_domain ->
+    let tbl = Domain.DLS.get result_cache_key in
+    if Ktbl.length tbl >= max_cache_entries then Ktbl.reset tbl;
+    Ktbl.replace tbl k v
+  | Cache_shared ->
+    with_shared (fun () ->
+        if Ktbl.length shared_cache >= max_cache_entries then Ktbl.reset shared_cache;
+        Ktbl.replace shared_cache k v)
+
+(* --- prefix reuse ------------------------------------------------- *)
+
+(* The narrowed box for a raw condition list: propagate each constraint once,
+   oldest first (lists carry the newest constraint at the head).  A pure
+   function of (list, initial box); [None] means the box emptied, i.e. the
+   conjunction is infeasible.  The memoized variant shares work across
+   sibling paths through their structurally-shared tails. *)
+
+type pkey = { p_cs : Expr.t list; p_box : (string * int * int) list; p_hash : int }
+
+module Pkey = struct
+  type t = pkey
+
+  let equal a b = a.p_hash = b.p_hash && a.p_box = b.p_box && List.equal Expr.equal a.p_cs b.p_cs
+  let hash k = k.p_hash
+end
+
+module Ptbl = Hashtbl.Make (Pkey)
+
+let pkey ~box cs =
+  let h =
+    List.fold_left (fun h c -> Expr.hash_combine h (Expr.hash c)) (Hashtbl.hash box) cs
+  in
+  { p_cs = cs; p_box = box; p_hash = h land max_int }
+
+let prefix_cache_key : env option Ptbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Ptbl.create 256)
+
+let env_of_box box =
+  List.fold_left (fun env (v, lo, hi) -> Smap.add v Interval.{ lo; hi } env) Smap.empty box
+
+let narrow_one env c = bwd_truthy env (Simplify.simplify c)
+
+let rec prefix_env_fresh ~box = function
+  | [] -> Some (env_of_box box)
+  | c :: rest -> Option.bind (prefix_env_fresh ~box rest) (fun env -> narrow_one env c)
+
+let rec prefix_env_memo tbl ~box = function
+  | [] -> Some (env_of_box box)
+  | c :: rest as cs -> (
+    let k = pkey ~box cs in
+    match Ptbl.find_opt tbl k with
+    | Some v -> v
+    | None ->
+      let v = Option.bind (prefix_env_memo tbl ~box rest) (fun env -> narrow_one env c) in
+      if Ptbl.length tbl >= max_cache_entries then Ptbl.reset tbl;
+      Ptbl.replace tbl k v;
+      v)
+
+let prefix_env ~box mode cs =
+  match mode with
+  | Cache_off -> prefix_env_fresh ~box cs
+  | Cache_domain | Cache_shared -> prefix_env_memo (Domain.DLS.get prefix_cache_key) ~box cs
+
+(* --- the cached entry point --------------------------------------- *)
+
+(* Canonical form of a conjunction: simplify and truthy-normalize each
+   conjunct, then sort and deduplicate.  Sorting makes permuted queries
+   share a cache entry; [solve_core]'s propagation reaches the same fixpoint
+   either way, and its search order depends only on the canonical form, so
+   the answer is a pure function of the canonical key. *)
+let canonicalize constraints =
+  List.map (fun c -> Simplify.truthy (Simplify.simplify c)) constraints
+  |> List.sort_uniq Expr.compare
+
+let solve ?(ranges = []) ?(budget = 4096) (constraints : Expr.t list) : result =
+  Atomic.incr q_queries;
+  let env0 = env_of_box ranges in
+  (* Canonical box: duplicate range declarations collapse the same way the
+     [env0] fold does (last wins), so equal boxes get equal keys. *)
+  let box =
+    Smap.bindings env0 |> List.map (fun (v, iv) -> (v, iv.Interval.lo, iv.Interval.hi))
+  in
+  let mode = cache_mode () in
+  match prefix_env ~box mode constraints with
+  | None ->
+    Atomic.incr q_prefix;
+    Unsat
+  | Some _ -> (
+    let cs = canonicalize constraints in
+    let k = key ~box ~budget cs in
+    match cache_find k mode with
+    | Some r ->
+      Atomic.incr q_hits;
+      r
+    | None ->
+      let r = solve_core ~env0 ~budget cs in
+      if mode <> Cache_off then Atomic.incr q_misses;
+      cache_store k r mode;
+      r)
+
+(* Drop every cache and zero the counters (the bench harness calls this
+   between configurations so hit rates are per-run). *)
+let reset_stats () =
+  Atomic.set q_queries 0;
+  Atomic.set q_hits 0;
+  Atomic.set q_misses 0;
+  Atomic.set q_prefix 0;
+  Ktbl.reset (Domain.DLS.get result_cache_key);
+  Ptbl.reset (Domain.DLS.get prefix_cache_key);
+  with_shared (fun () -> Ktbl.reset shared_cache)
 
 (** [sat constraints] = does a model exist? (Unknown counts as unsat-ish
     [false] for classification purposes; callers that care distinguish via

@@ -21,9 +21,44 @@ type result =
     (each required truthy, i.e. nonzero).  [ranges] gives inclusive bounds
     per variable (symbolic inputs carry their declared range); unlisted
     variables default to a wide conservative range.  [budget] bounds the
-    number of search-tree nodes. *)
+    number of search-tree nodes.
+
+    Queries are canonicalized (simplified, sorted, deduplicated) and
+    memoized per {!cache_mode}; repeated and permuted conjunctions are
+    answered from cache, and condition lists sharing a structural tail with
+    an earlier query only propagate their own suffix.  Caching memoizes a
+    pure function, so answers are bit-for-bit identical whatever the cache
+    mode or domain count. *)
 val solve :
   ?ranges:(string * int * int) list -> ?budget:int -> Expr.t list -> result
+
+(** {2 Query cache} *)
+
+type cache_mode =
+  | Cache_off  (** every query solved from scratch *)
+  | Cache_domain  (** one cache per domain: no contention, no sharing (default) *)
+  | Cache_shared  (** one mutex-guarded cache shared by all domains *)
+
+val set_cache_mode : cache_mode -> unit
+val cache_mode : unit -> cache_mode
+
+(** Cumulative query/cache counters, aggregated across domains. *)
+type stats = {
+  queries : int;  (** calls to [solve] (and via it, [sat]) *)
+  cache_hits : int;  (** full-result memo hits *)
+  cache_misses : int;  (** full-result memo misses (computed and stored) *)
+  prefix_unsat : int;  (** queries answered Unsat by prefix propagation *)
+}
+
+val stats : unit -> stats
+
+(** Fraction of cache lookups that hit, in [0, 1]. *)
+val hit_rate : stats -> float
+
+(** Zero the counters and drop the caches of the calling domain (helper
+    domains are short-lived, their domain-local caches die with them) and
+    the shared cache. *)
+val reset_stats : unit -> unit
 
 (** [sat constraints]: does a model exist?  [Unknown] counts as [false]. *)
 val sat : ?ranges:(string * int * int) list -> ?budget:int -> Expr.t list -> bool

@@ -1,0 +1,104 @@
+(** A small bounded work pool over OCaml 5 [Domain]s.
+
+    [map ~jobs f items] applies [f] to every item, fanning the work out to at
+    most [jobs - 1] helper domains (the calling domain always participates)
+    and returning the results in input order.  [jobs <= 1] degrades to a
+    plain [List.map], so the sequential path stays exercised and allocation-
+    free.
+
+    Pools may nest (the pipeline parallelizes across races while the bench
+    harness parallelizes across workloads): a global account of live helper
+    domains caps the total at [Domain.recommended_domain_count ()], so inner
+    pools degrade toward sequential execution instead of oversubscribing the
+    machine.
+
+    Exceptions raised by [f] are caught in the worker, the first one (in
+    item order) is re-raised on the caller after all domains are joined, and
+    the remaining items are abandoned as soon as the failure is observed. *)
+
+(** Upper bound on useful parallelism for this process. *)
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+(* Helper domains currently alive across every pool in the process. *)
+let live_helpers = Atomic.make 0
+
+(* Reserve up to [want] helper slots; returns how many were granted.  A
+   plain read-then-add race can transiently overshoot by a domain or two,
+   which only costs a little scheduling pressure, never correctness. *)
+let reserve want =
+  let cap = recommended_jobs () - 1 in
+  let granted = max 0 (min want (cap - Atomic.get live_helpers)) in
+  if granted > 0 then ignore (Atomic.fetch_and_add live_helpers granted);
+  granted
+
+let release n = if n > 0 then ignore (Atomic.fetch_and_add live_helpers (-n))
+
+let sequential_map ?on_item f items =
+  match on_item with
+  | None -> List.map f items
+  | Some hook ->
+    List.mapi
+      (fun i x ->
+        let t0 = Clock.now_s () in
+        let y = f x in
+        hook i (Clock.now_s () -. t0);
+        y)
+      items
+
+(** [map ?on_item ~jobs f items] — parallel, order-preserving map.
+
+    [on_item i dt] is invoked after item [i] completes, with its wall time in
+    seconds; when [jobs > 1] the hook runs on whichever domain processed the
+    item, so it must be domain-safe (writing slot [i] of a preallocated
+    array is fine). *)
+let map ?on_item ~jobs f items =
+  if jobs <= 1 then sequential_map ?on_item f items
+  else begin
+    let arr = Array.of_list items in
+    let n = Array.length arr in
+    if n <= 1 then sequential_map ?on_item f items
+    else begin
+      let results = Array.make n None in
+      let error = Atomic.make None in
+      let next = Atomic.make 0 in
+      let work_one i =
+        let t0 = Clock.now_s () in
+        match f arr.(i) with
+        | y ->
+          results.(i) <- Some y;
+          (match on_item with Some hook -> hook i (Clock.now_s () -. t0) | None -> ())
+        | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          (* Keep the first failure in item order so re-raising is
+             deterministic even when several items fail concurrently. *)
+          let rec record () =
+            match Atomic.get error with
+            | Some (j, _, _) when j < i -> ()
+            | cur ->
+              if not (Atomic.compare_and_set error cur (Some (i, e, bt))) then record ()
+          in
+          record ()
+      in
+      let rec worker () =
+        if Atomic.get error = None then begin
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            work_one i;
+            worker ()
+          end
+        end
+      in
+      let helpers = reserve (min (jobs - 1) (n - 1)) in
+      let domains = List.init helpers (fun _ -> Domain.spawn worker) in
+      worker ();
+      List.iter Domain.join domains;
+      release helpers;
+      match Atomic.get error with
+      | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+      | None ->
+        Array.to_list results
+        |> List.map (function
+             | Some y -> y
+             | None -> invalid_arg "Pool.map: missing result (worker aborted)")
+    end
+  end

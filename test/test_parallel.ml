@@ -1,0 +1,67 @@
+(* The parallel-classification determinism guarantee: running the pipeline
+   on 1, 2, or 4 worker domains produces bit-for-bit identical verdicts for
+   every workload in the evaluation suite.  Classification only reads the
+   immutable program, trace, and its own fresh VM states, and the solver
+   cache memoizes a pure function, so the job count must be unobservable in
+   the results. *)
+
+open Portend_core
+open Portend_workloads
+module D = Portend_detect
+
+(* Everything observable about an analysis except wall-clock times. *)
+let fingerprint jobs (w : Registry.workload) =
+  let config = { Config.default with Config.jobs } in
+  let prog = Portend_lang.Compile.compile w.Registry.w_prog in
+  let a = Pipeline.analyze ~config ~seed:w.Registry.w_seed ~inputs:w.Registry.w_inputs prog in
+  let race_key (r : D.Report.race) = Fmt.str "%a" D.Report.pp_race r in
+  ( w.Registry.w_name,
+    List.map
+      (fun ra ->
+        ( race_key ra.Pipeline.race,
+          ra.Pipeline.instances,
+          ra.Pipeline.verdict,
+          ra.Pipeline.evidence ))
+      a.Pipeline.races,
+    List.map (fun (r, e) -> (race_key r, e)) a.Pipeline.errors,
+    Pipeline.tally a )
+
+let test_jobs_deterministic () =
+  List.iter
+    (fun (w : Registry.workload) ->
+      let seq = fingerprint 1 w in
+      List.iter
+        (fun jobs ->
+          let par = fingerprint jobs w in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: jobs=%d verdicts = jobs=1 verdicts" w.Registry.w_name jobs)
+            true (par = seq))
+        [ 2; 4 ])
+    Suite.all
+
+let test_analyze_many_deterministic () =
+  let w = List.hd Suite.applications in
+  let prog = Portend_lang.Compile.compile w.Registry.w_prog in
+  let merged jobs =
+    let _, merged =
+      Pipeline.analyze_many
+        ~config:{ Config.default with Config.jobs }
+        ~seeds:[ 1; 2; 3 ] ~inputs:w.Registry.w_inputs prog
+    in
+    List.map
+      (fun ra -> (D.Report.cluster_key ra.Pipeline.race, ra.Pipeline.verdict))
+      merged
+  in
+  Alcotest.(check bool)
+    "analyze_many: jobs=4 merged races = jobs=1" true
+    (merged 4 = merged 1)
+
+let () =
+  Alcotest.run "parallel"
+    [ ( "determinism",
+        [ Alcotest.test_case "suite verdicts independent of job count" `Quick
+            test_jobs_deterministic;
+          Alcotest.test_case "analyze_many independent of job count" `Quick
+            test_analyze_many_deterministic
+        ] )
+    ]

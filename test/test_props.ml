@@ -281,6 +281,54 @@ let test_solver_vs_bruteforce =
       | Portend_solver.Solver.Unsat -> not brute
       | Portend_solver.Solver.Unknown -> true)
 
+(* ------------------------------------------------------------------ *)
+(* solver cache coherence: cached answers equal fresh answers          *)
+(* ------------------------------------------------------------------ *)
+
+module Solver = Portend_solver.Solver
+
+let gen_conjunction : E.t list QCheck.Gen.t =
+  let open QCheck.Gen in
+  let atom =
+    let* x = oneofl [ "x"; "y"; "z" ] in
+    let* op = oneofl E.[ Eq; Ne; Lt; Le; Gt; Ge ] in
+    let* rhs =
+      oneof
+        [ map (fun n -> E.Const n) (int_bound 9);
+          return (E.Var "x");
+          return (E.Var "y");
+          map (fun n -> E.Binop (E.Add, E.Var "z", E.Const n)) (int_bound 4);
+          map (fun n -> E.Binop (E.Mul, E.Var "y", E.Const (n + 1))) (int_bound 2)
+        ]
+    in
+    return (E.Binop (op, E.Var x, rhs))
+  in
+  list_size (int_range 1 6) atom
+
+(* Caching memoizes a pure function, so a cached answer — whether it came
+   from the full-result memo, the prefix memo, or a permuted conjunction
+   hitting the same canonical key — must equal the fresh answer, model
+   included. *)
+let test_solver_cache_coherent =
+  let arb =
+    QCheck.make
+      ~print:(fun cs -> String.concat " & " (List.map E.to_string cs))
+      gen_conjunction
+  in
+  QCheck.Test.make ~name:"cached solver answers equal fresh answers" ~count:300 arb (fun cs ->
+      let ranges = [ ("x", 0, 9); ("y", 0, 9); ("z", -4, 5) ] in
+      let saved = Solver.cache_mode () in
+      Fun.protect
+        ~finally:(fun () -> Solver.set_cache_mode saved)
+        (fun () ->
+          Solver.set_cache_mode Solver.Cache_off;
+          let fresh = Solver.solve ~ranges cs in
+          Solver.set_cache_mode Solver.Cache_domain;
+          let miss = Solver.solve ~ranges cs in
+          let hit = Solver.solve ~ranges cs in
+          let permuted = Solver.solve ~ranges (List.rev cs) in
+          fresh = miss && fresh = hit && fresh = permuted))
+
 let () =
   Alcotest.run "properties"
     [ ( "cross-layer",
@@ -288,6 +336,7 @@ let () =
           [ test_vm_matches_reference;
             test_record_replay_property;
             test_same_seed_same_run;
-            test_solver_vs_bruteforce
+            test_solver_vs_bruteforce;
+            test_solver_cache_coherent
           ] )
     ]

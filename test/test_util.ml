@@ -43,6 +43,43 @@ let test_maps () =
   let im = Imap.of_list [ (3, "x"); (1, "y") ] in
   Alcotest.(check (list int)) "int keys sorted" [ 1; 3 ] (Imap.keys im)
 
+(* --- Pool: the Domain work pool --- *)
+
+let test_pool_ordering () =
+  let items = List.init 100 Fun.id in
+  let expected = List.map (fun x -> x * x) items in
+  Alcotest.(check (list int)) "jobs=1 (sequential path)" expected
+    (Pool.map ~jobs:1 (fun x -> x * x) items);
+  Alcotest.(check (list int)) "jobs=4 preserves input order" expected
+    (Pool.map ~jobs:4 (fun x -> x * x) items);
+  Alcotest.(check (list int))
+    "more jobs than items" expected
+    (Pool.map ~jobs:64 (fun x -> x * x) items);
+  Alcotest.(check (list int)) "empty input" [] (Pool.map ~jobs:4 (fun x -> x * x) []);
+  Alcotest.(check (list int)) "singleton input" [ 49 ] (Pool.map ~jobs:4 (fun x -> x * x) [ 7 ])
+
+let test_pool_exception () =
+  let boom _ = failwith "boom" in
+  Alcotest.check_raises "jobs=1 re-raises" (Failure "boom") (fun () ->
+      ignore (Pool.map ~jobs:1 boom [ 1; 2; 3 ]));
+  Alcotest.check_raises "jobs=4 re-raises on the caller" (Failure "boom") (fun () ->
+      ignore
+        (Pool.map ~jobs:4 (fun x -> if x = 5 then failwith "boom" else x) (List.init 20 Fun.id)))
+
+let test_pool_on_item () =
+  let n = 10 in
+  let times = Array.make n nan in
+  let out =
+    Pool.map
+      ~on_item:(fun i dt -> times.(i) <- dt)
+      ~jobs:4
+      (fun x -> x + 1)
+      (List.init n Fun.id)
+  in
+  Alcotest.(check (list int)) "results" (List.init n (fun i -> i + 1)) out;
+  Alcotest.(check bool) "every item timed" true
+    (Array.for_all (fun t -> Float.is_finite t && t >= 0.0) times)
+
 let test_stats () =
   Alcotest.(check (float 1e-9)) "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
   Alcotest.(check (float 1e-9)) "mean empty" 0.0 (Stats.mean []);
@@ -60,5 +97,10 @@ let () =
           QCheck_alcotest.to_alcotest test_srng_bounds
         ] );
       ("maps", [ Alcotest.test_case "helpers" `Quick test_maps ]);
+      ( "pool",
+        [ Alcotest.test_case "ordering" `Quick test_pool_ordering;
+          Alcotest.test_case "exceptions" `Quick test_pool_exception;
+          Alcotest.test_case "per-item timing" `Quick test_pool_on_item
+        ] );
       ("stats", [ Alcotest.test_case "descriptive" `Quick test_stats ])
     ]

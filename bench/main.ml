@@ -6,7 +6,7 @@
 let usage () =
   print_endline
     "usage: main.exe \
-     [table1|table2|table3|table4|table5|fig7|fig9|fig10|falsepos|weakmem|micro|parallel|smoke|all]"
+     [table1|table2|table3|table4|table5|fig7|fig9|fig10|falsepos|weakmem|micro|parallel|prefilter|smoke|all]"
 
 let () =
   let target = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -27,6 +27,7 @@ let () =
   | "weakmem" -> Figures.weakmem ()
   | "micro" -> Micro_bench.run ()
   | "parallel" -> Parallel_bench.run ()
+  | "prefilter" -> Prefilter_bench.run ()
   | "smoke" -> Parallel_bench.smoke ()
   | "all" ->
     Tables.table1 ();
@@ -40,5 +41,6 @@ let () =
     Figures.falsepos ();
     Figures.weakmem ();
     Micro_bench.run ();
-    Parallel_bench.run ()
+    Parallel_bench.run ();
+    Prefilter_bench.run ()
   | _ -> usage ()

@@ -1,0 +1,119 @@
+(* Static-prefilter benchmark: per workload, how many shared-access sites
+   (the dynamic detector's preemption/instrumentation points) the static
+   candidate generator rules out, what the whole-suite detection +
+   classification wall time looks like with and without the prefilter, and
+   a soundness cross-check that the race reports are identical either way.
+   Emits machine-readable BENCH_prefilter.json. *)
+
+open Portend_core
+open Portend_workloads
+module SR = Portend_analysis.Static_report
+
+type site_row = {
+  s_name : string;
+  s_shared : int;  (* static shared-access sites *)
+  s_candidates : int;  (* sites in at least one candidate pair *)
+  s_pairs : int;  (* candidate pairs *)
+  s_static_ms : float;  (* static analysis wall time *)
+}
+
+let site_rows () =
+  List.map
+    (fun (w : Registry.workload) ->
+      let prog = Portend_lang.Compile.compile w.Registry.w_prog in
+      let report, dt = Portend_util.Clock.timed (fun () -> SR.analyze prog) in
+      { s_name = w.Registry.w_name;
+        s_shared = SR.shared_site_count report;
+        s_candidates = SR.candidate_site_count report;
+        s_pairs = List.length report.SR.pairs;
+        s_static_ms = 1000.0 *. dt
+      })
+    Suite.all
+
+let reps = 3
+
+let measure config =
+  let best = ref infinity in
+  let last = ref None in
+  for _ = 1 to reps do
+    let results, dt = Portend_util.Clock.timed (fun () -> Harness.run_suite ~config ()) in
+    if dt < !best then best := dt;
+    last := Some results
+  done;
+  (Option.get !last, !best)
+
+let reduction_pct ~total ~kept =
+  if total = 0 then 0.0 else 100.0 *. float_of_int (total - kept) /. float_of_int total
+
+let run () =
+  let rows = site_rows () in
+  (* warm the heap once, as the other suite benchmarks do *)
+  ignore (Harness.run_suite ());
+  let off_results, off_s = measure Config.default in
+  let on_results, on_s = measure { Config.default with Config.static_prefilter = true } in
+  let identical = Parallel_bench.signature off_results = Parallel_bench.signature on_results in
+  let total_shared = List.fold_left (fun a r -> a + r.s_shared) 0 rows in
+  let total_cand = List.fold_left (fun a r -> a + r.s_candidates) 0 rows in
+  Harness.print_table
+    ~title:"Static prefilter: instrumented shared-access sites per workload"
+    ~header:[ "Program"; "shared sites"; "candidate sites"; "pairs"; "reduction"; "static (ms)" ]
+    (List.map
+       (fun r ->
+         [ r.s_name;
+           string_of_int r.s_shared;
+           string_of_int r.s_candidates;
+           string_of_int r.s_pairs;
+           Printf.sprintf "%.0f%%" (reduction_pct ~total:r.s_shared ~kept:r.s_candidates);
+           Printf.sprintf "%.3f" r.s_static_ms
+         ])
+       rows
+    @ [ [ "TOTAL";
+          string_of_int total_shared;
+          string_of_int total_cand;
+          "";
+          Printf.sprintf "%.0f%%" (reduction_pct ~total:total_shared ~kept:total_cand);
+          ""
+        ] ]);
+  Printf.printf "\nsuite detection+classification wall time: %.3fs without, %.3fs with prefilter\n"
+    off_s on_s;
+  Printf.printf "race reports identical with and without prefilter: %b\n" identical;
+  if not identical then
+    prerr_endline "WARNING: prefilter changed the race reports — soundness violation!";
+  let json =
+    Printf.sprintf
+      {|{
+  "bench": "portend-static-prefilter",
+  "suite_workloads": %d,
+  "reps_per_config": %d,
+  "preemption_points_total": %d,
+  "preemption_points_restricted": %d,
+  "preemption_point_reduction_pct": %.1f,
+  "wall_s_without_prefilter": %.6f,
+  "wall_s_with_prefilter": %.6f,
+  "speedup_with_prefilter": %.3f,
+  "identical_race_reports": %b,
+  "workloads": [
+%s
+  ]
+}
+|}
+      (List.length Suite.all) reps total_shared total_cand
+      (reduction_pct ~total:total_shared ~kept:total_cand)
+      off_s on_s
+      (if on_s > 0.0 then off_s /. on_s else 0.0)
+      identical
+      (String.concat ",\n"
+         (List.map
+            (fun r ->
+              Printf.sprintf
+                {|    {"name": %S, "shared_sites": %d, "candidate_sites": %d, "candidate_pairs": %d, "reduction_pct": %.1f, "static_analysis_ms": %.3f}|}
+                r.s_name r.s_shared r.s_candidates r.s_pairs
+                (reduction_pct ~total:r.s_shared ~kept:r.s_candidates)
+                r.s_static_ms)
+            rows))
+  in
+  let path = Filename.concat (Sys.getcwd ()) "BENCH_prefilter.json" in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote %s\n" path

@@ -227,6 +227,9 @@ let table5 (suite : Harness.app_result list) =
     | Ok v -> Some (Portend_baselines.Adhoc_detector.as_category v)
     | Error _ -> Some None
   in
+  let so prog _trace race =
+    Some (Portend_baselines.Static_only.as_category (Portend_baselines.Static_only.classify prog race))
+  in
   let row name correct =
     name
     :: List.map (fun c -> Harness.pct (correct c) (truth_count c)) categories
@@ -238,6 +241,7 @@ let table5 (suite : Harness.app_result list) =
     [ ("Races (ground truth)" :: List.map (fun c -> string_of_int (truth_count c)) categories);
       row "Record/Replay-Analyzer" (baseline_correct ~classify:rr);
       row "Ad-Hoc-Detector / Helgrind+" (baseline_correct ~classify:ah);
+      row "Static-only detector" (baseline_correct ~classify:so);
       row "Portend" portend_correct
     ];
   Printf.printf

@@ -3,6 +3,8 @@
    portend run FILE        execute a Racelang program and print its output
    portend detect FILE     record an execution and report distinct races
    portend classify FILE   detect and classify every race (the full pipeline)
+   portend lint FILE       static diagnostics only: potential races, lock
+                           misuse, loop-invariant spin loops (no execution)
    portend dump FILE       pretty-print the parsed program and its bytecode
 
    FILE contains Racelang concrete syntax (see the README for the grammar).
@@ -49,6 +51,15 @@ let jobs_arg =
           "Worker domains for race classification (default: the recommended domain count). \
            Verdicts are identical for every value.")
 
+let prefilter_arg =
+  Arg.(
+    value & flag
+    & info [ "static-prefilter" ]
+        ~doc:
+          "Restrict dynamic race detection to the sites the static analysis reports as \
+           candidate races. Race reports are identical either way (the candidates \
+           over-approximate the reportable races); only the instrumented-site count shrinks.")
+
 let or_die = function
   | Ok v -> v
   | Error e ->
@@ -76,11 +87,14 @@ let run_cmd =
 (* --- detect --- *)
 
 let detect_cmd =
-  let detect file seed inputs =
+  let detect file seed inputs prefilter =
     let prog = or_die (load file) in
     let record, _ = Core.Pipeline.record ~seed ~inputs:(parse_inputs inputs) prog in
     let suppress = Portend_lang.Static.spin_read_sites prog in
-    let races = D.Hb.detect_clustered ~suppress record.V.Run.events in
+    let restrict =
+      if prefilter then Some (Portend_analysis.Static_report.analyze prog) else None
+    in
+    let races = D.Hb.detect_clustered ~suppress ?restrict record.V.Run.events in
     Printf.printf "recording %s; %d distinct race(s)\n"
       (V.Run.stop_to_string record.V.Run.stop)
       (List.length races);
@@ -92,7 +106,7 @@ let detect_cmd =
   Cmd.v
     (Cmd.info "detect"
        ~doc:"Record an execution and report the distinct data races it contains.")
-    Term.(const detect $ file_arg $ seed_arg $ inputs_arg)
+    Term.(const detect $ file_arg $ seed_arg $ inputs_arg $ prefilter_arg)
 
 (* --- classify --- *)
 
@@ -109,10 +123,16 @@ let classify_cmd =
     Arg.(value & opt int Core.Config.default.Core.Config.max_symbolic_inputs
          & info [ "symbolic-inputs" ] ~docv:"N" ~doc:"How many program inputs to treat symbolically.")
   in
-  let classify file seed inputs mp ma sym jobs =
+  let classify file seed inputs mp ma sym jobs prefilter =
     let prog = or_die (load file) in
     let config =
-      { Core.Config.default with Core.Config.mp; ma; max_symbolic_inputs = sym; jobs }
+      { Core.Config.default with
+        Core.Config.mp;
+        ma;
+        max_symbolic_inputs = sym;
+        jobs;
+        static_prefilter = prefilter
+      }
     in
     let a = Core.Pipeline.analyze ~config ~seed ~inputs:(parse_inputs inputs) prog in
     Printf.printf "recording %s; %d distinct race(s)\n\n"
@@ -144,7 +164,33 @@ let classify_cmd =
        ~doc:
          "Detect every data race and classify it as specViol, outDiff, k-witness harmless or \
           single-ordering.")
-    Term.(const classify $ file_arg $ seed_arg $ inputs_arg $ mp_arg $ ma_arg $ sym_arg $ jobs_arg)
+    Term.(
+      const classify $ file_arg $ seed_arg $ inputs_arg $ mp_arg $ ma_arg $ sym_arg $ jobs_arg
+      $ prefilter_arg)
+
+(* --- lint --- *)
+
+let lint_cmd =
+  let lint file =
+    let prog = or_die (load file) in
+    let diags = Portend_analysis.Lint.run prog in
+    List.iter (fun d -> print_endline (Portend_analysis.Lint.to_string d)) diags;
+    let errors =
+      List.filter (fun d -> d.Portend_analysis.Lint.severity = Portend_analysis.Lint.Error) diags
+    in
+    Printf.printf "%d diagnostic(s): %d error(s), %d warning(s)\n" (List.length diags)
+      (List.length errors)
+      (List.length diags - List.length errors);
+    if diags = [] then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically analyze a program without executing it: potential data races (may-happen-\
+          in-parallel accesses with disjoint locksets), locks possibly held at return, possible \
+          double acquires (self-deadlock), and spin loops whose condition no concurrent thread \
+          can change.")
+    Term.(const lint $ file_arg)
 
 (* --- weakmem --- *)
 
@@ -212,4 +258,7 @@ let dump_cmd =
 let () =
   let doc = "data race detection and consequence-based classification (Portend, ASPLOS'12)" in
   let info = Cmd.info "portend" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ run_cmd; detect_cmd; classify_cmd; weakmem_cmd; suite_cmd; dump_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ run_cmd; detect_cmd; classify_cmd; lint_cmd; weakmem_cmd; suite_cmd; dump_cmd ]))

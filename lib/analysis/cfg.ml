@@ -1,0 +1,87 @@
+(** Per-function control-flow graph over {!Portend_lang.Bytecode.func}.
+
+    Instruction-granular: every program counter is a node (the bytecode's
+    basic blocks are short enough that block formation would buy nothing),
+    edges follow the interpreter's successor relation.  [ICall] is a
+    fall-through edge — interprocedural effects are handled by the analyses
+    through function summaries, not by splicing callee graphs in.
+
+    Loop identification (backward edges) is shared with
+    {!Portend_lang.Static}: both the spin-read recognizer there and the
+    loop-aware analyses here walk {!Portend_lang.Static.backward_edges}. *)
+
+module B = Portend_lang.Bytecode
+
+type t = {
+  func : B.func;
+  succ : int list array;  (** successors per pc *)
+  pred : int list array;  (** predecessors per pc *)
+  back_edges : (int * int) list;  (** (src, target), target <= src *)
+}
+
+(** Successor program counters of the instruction at [pc].  [IRet] has none;
+    a branch has both targets; everything else falls through (when in
+    range — the interpreter treats running off the end as [IRet None]). *)
+let inst_successors ~len pc (inst : B.inst) : int list =
+  let fall = if pc + 1 < len then [ pc + 1 ] else [] in
+  match inst with
+  | B.IJmp l -> [ l ]
+  | B.IBr (_, l1, l2) -> if l1 = l2 then [ l1 ] else [ l1; l2 ]
+  | B.IRet _ -> []
+  | B.IBin _ | B.IUn _ | B.IMov _ | B.ILoadG _ | B.IStoreG _ | B.ILoadA _ | B.IStoreA _
+  | B.ICall _ | B.ISpawn _ | B.IJoin _ | B.ILock _ | B.IUnlock _ | B.IWait _ | B.ISignal _
+  | B.IBroadcast _ | B.IBarrier _ | B.IOutput _ | B.IOutputStr _ | B.IInput _ | B.IAssert _
+  | B.IYield | B.IFree _ -> fall
+
+let build (f : B.func) : t =
+  let len = Array.length f.B.code in
+  let succ = Array.make (max len 1) [] in
+  let pred = Array.make (max len 1) [] in
+  Array.iteri
+    (fun pc inst ->
+      let ss = inst_successors ~len pc inst in
+      succ.(pc) <- ss;
+      List.iter (fun s -> pred.(s) <- pc :: pred.(s)) ss)
+    f.B.code;
+  Array.iteri (fun i ps -> pred.(i) <- List.rev ps) pred;
+  { func = f; succ; pred; back_edges = Portend_lang.Static.backward_edges f }
+
+let n_insts t = Array.length t.func.B.code
+
+(** Program counters reachable from [pc] by one or more edges (i.e. what can
+    execute strictly after the instruction at [pc] runs). *)
+let reachable_after (t : t) pc : bool array =
+  let n = n_insts t in
+  let seen = Array.make (max n 1) false in
+  let rec go p =
+    if not seen.(p) then begin
+      seen.(p) <- true;
+      List.iter go t.succ.(p)
+    end
+  in
+  if pc < n then List.iter go t.succ.(pc);
+  seen
+
+(** Is [pc] inside some natural loop (between a back edge's target and its
+    source, or able to re-reach itself)? *)
+let in_loop (t : t) pc =
+  List.exists (fun (src, target) -> target <= pc && pc <= src) t.back_edges
+  || (pc < n_insts t && (reachable_after t pc).(pc))
+
+(** Reachable exit pcs: [IRet] instructions (the compiler always emits a
+    trailing [IRet None], so every function that returns passes one). *)
+let exits (t : t) : int list =
+  let entry_reach = Array.make (max (n_insts t) 1) false in
+  let rec go p =
+    if p < n_insts t && not entry_reach.(p) then begin
+      entry_reach.(p) <- true;
+      List.iter go t.succ.(p)
+    end
+  in
+  if n_insts t > 0 then go 0;
+  let out = ref [] in
+  Array.iteri
+    (fun pc inst ->
+      match inst with B.IRet _ when entry_reach.(pc) -> out := pc :: !out | _ -> ())
+    t.func.B.code;
+  List.rev !out

@@ -1,0 +1,54 @@
+(** A small generic forward-dataflow fixpoint engine over {!Cfg}.
+
+    Worklist iteration to a fixpoint; the abstract state is whatever the
+    client provides (the lockset analysis uses lock-set pairs, the MHP
+    analysis join-tracking lattices).  Unreachable program points are
+    represented as [None] in the result — no state ever flowed there — so
+    clients need no artificial bottom element and every [join] sees two
+    genuinely reachable states. *)
+
+module B = Portend_lang.Bytecode
+
+type 'a spec = {
+  entry : 'a;  (** state on entry to pc 0 *)
+  join : 'a -> 'a -> 'a;  (** merge at control-flow confluences *)
+  equal : 'a -> 'a -> bool;  (** convergence test *)
+  transfer : int -> B.inst -> 'a -> 'a;  (** effect of one instruction *)
+}
+
+(** Like {!forward} but seeding the iteration at arbitrary points — used by
+    analyses whose facts only exist downstream of some instruction (e.g.
+    “has this spawn been joined”, seeded at the spawn's successors). *)
+let forward_from (cfg : Cfg.t) (spec : 'a spec) ~(starts : (int * 'a) list) : 'a option array =
+  let n = Cfg.n_insts cfg in
+  let state : 'a option array = Array.make (max n 1) None in
+  let dirty = Queue.create () in
+  let meet pc v =
+    match state.(pc) with
+    | None ->
+      state.(pc) <- Some v;
+      Queue.push pc dirty
+    | Some old ->
+      let merged = spec.join old v in
+      if not (spec.equal merged old) then begin
+        state.(pc) <- Some merged;
+        Queue.push pc dirty
+      end
+  in
+  List.iter (fun (pc, v) -> if pc < n then meet pc v) starts;
+  while not (Queue.is_empty dirty) do
+    let pc = Queue.pop dirty in
+    match state.(pc) with
+    | None -> ()
+    | Some v ->
+      let out = spec.transfer pc cfg.Cfg.func.B.code.(pc) v in
+      List.iter (fun s -> meet s out) cfg.Cfg.succ.(pc)
+  done;
+  state
+
+(** In-state before each instruction, starting from function entry;
+    [None] = unreachable.  Terminates whenever [join] is monotone-bounded
+    (finite lattice height), which all clients in this library satisfy
+    (powersets of a program's locks, small finite enums). *)
+let forward (cfg : Cfg.t) (spec : 'a spec) : 'a option array =
+  forward_from cfg spec ~starts:(if Cfg.n_insts cfg > 0 then [ (0, spec.entry) ] else [])

@@ -1,0 +1,153 @@
+(** Static lint pass over a Racelang program — the diagnostics behind
+    [portend lint]:
+
+    - potential data races: {!Static_report} candidate pairs, clustered the
+      same way the dynamic detector clusters its reports (one diagnostic
+      per location × unordered function pair, keeping the highest-ranked
+      pair of each cluster);
+    - a lock possibly still held when a function returns;
+    - a possible second acquire of a mutex already held by the same thread
+      (Racelang mutexes are non-reentrant: self-deadlock);
+    - a spin loop polling a location that no concurrent thread can write —
+      the condition is loop-invariant, so once entered the loop never
+      terminates. *)
+
+open Portend_util.Maps
+module B = Portend_lang.Bytecode
+module Static = Portend_lang.Static
+
+type severity = Error | Warning
+
+type diag = {
+  severity : severity;
+  d_func : string;
+  d_pc : int;
+  code : string;  (** "potential-race" | "lock-held-at-return" | "double-lock" | "spin-invariant" *)
+  message : string;
+}
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+let to_string (d : diag) =
+  Printf.sprintf "%s: %s:%d: [%s] %s" (severity_to_string d.severity) d.d_func d.d_pc d.code
+    d.message
+
+let compare_diag (a : diag) (b : diag) =
+  compare (a.d_func, a.d_pc, a.code, a.message) (b.d_func, b.d_pc, b.code, b.message)
+
+(* One diagnostic per (location, unordered function pair) cluster; [pairs]
+   arrives ranked, so the first pair seen for a cluster is its best. *)
+let race_diags (report : Static_report.t) : diag list =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun (p : Static_report.pair) ->
+      let f1 = p.Static_report.p1.Static_report.s_func
+      and f2 = p.Static_report.p2.Static_report.s_func in
+      let fa, fb = if f1 <= f2 then (f1, f2) else (f2, f1) in
+      let key = (Static_report.aloc_to_string p.Static_report.p1.Static_report.s_loc, fa, fb) in
+      if Hashtbl.mem seen key then None
+      else begin
+        Hashtbl.add seen key ();
+        Some
+          { severity = Warning;
+            d_func = p.Static_report.p1.Static_report.s_func;
+            d_pc = p.Static_report.p1.Static_report.s_pc;
+            code = "potential-race";
+            message = p.Static_report.reason
+          }
+      end)
+    report.Static_report.pairs
+
+let lock_leak_diags (cfgs : Cfg.t Smap.t) (locks : Locksets.t) : diag list =
+  Smap.fold
+    (fun fname cfg acc ->
+      let reported = Hashtbl.create 4 in
+      List.fold_left
+        (fun acc exit_pc ->
+          Sset.fold
+            (fun m acc ->
+              if Hashtbl.mem reported m then acc
+              else begin
+                Hashtbl.add reported m ();
+                { severity = Warning;
+                  d_func = fname;
+                  d_pc = exit_pc;
+                  code = "lock-held-at-return";
+                  message =
+                    Printf.sprintf "mutex %s may still be held when %s returns" m fname
+                }
+                :: acc
+              end)
+            (Locksets.may_held locks fname exit_pc)
+            acc)
+        acc (Cfg.exits cfg))
+    cfgs []
+
+let double_lock_diags (prog : B.t) (locks : Locksets.t) : diag list =
+  Smap.fold
+    (fun fname (f : B.func) acc ->
+      let acc = ref acc in
+      Array.iteri
+        (fun pc inst ->
+          match inst with
+          | B.ILock m when Sset.mem m (Locksets.may_held locks fname pc) ->
+            acc :=
+              { severity = Error;
+                d_func = fname;
+                d_pc = pc;
+                code = "double-lock";
+                message =
+                  Printf.sprintf
+                    "mutex %s may already be held here; a second acquire self-deadlocks" m
+              }
+              :: !acc
+          | _ -> ())
+        f.B.code;
+      !acc)
+    prog.B.funcs []
+
+let spin_invariant_diags (prog : B.t) (report : Static_report.t) (mhp : Mhp.t) : diag list =
+  let writers =
+    List.filter
+      (fun (s : Static_report.site) -> s.Static_report.s_kind = Static_report.Write)
+      report.Static_report.sites
+  in
+  List.filter_map
+    (fun (fname, pc) ->
+      let f = Smap.find fname prog.B.funcs in
+      match Static_report.aloc_of_inst f.B.code.(pc) with
+      | Some (loc, Static_report.Read) ->
+        let concurrent_writer =
+          List.exists
+            (fun (w : Static_report.site) ->
+              w.Static_report.s_loc = loc
+              && Mhp.may_parallel mhp (fname, pc) (w.Static_report.s_func, w.Static_report.s_pc))
+            writers
+        in
+        if concurrent_writer then None
+        else
+          Some
+            { severity = Error;
+              d_func = fname;
+              d_pc = pc;
+              code = "spin-invariant";
+              message =
+                Printf.sprintf
+                  "spin loop polls %s but no concurrent thread can write it: loop-invariant \
+                   condition, likely infinite loop"
+                  (Static_report.aloc_to_string loc)
+            }
+      | _ -> None)
+    (Static.spin_read_sites prog)
+
+(** All diagnostics for a program, deterministically ordered. *)
+let run (prog : B.t) : diag list =
+  let cfgs = Smap.map Cfg.build prog.B.funcs in
+  let locks = Locksets.analyze_with_cfgs prog cfgs in
+  let mhp = Mhp.analyze_with_cfgs prog cfgs in
+  let report = Static_report.analyze_with prog locks mhp in
+  race_diags report
+  @ lock_leak_diags cfgs locks
+  @ double_lock_diags prog locks
+  @ spin_invariant_diags prog report mhp
+  |> List.sort_uniq compare_diag

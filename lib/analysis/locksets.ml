@@ -1,0 +1,163 @@
+(** Eraser-style {e static} lockset analysis: the set of mutexes that is
+    {e must}-held before every instruction of every function.
+
+    Must-held is the direction the candidate-race generator needs: if two
+    conflicting accesses share a must-held lock, every dynamic execution
+    orders them through that lock's release→acquire happens-before edge, so
+    pruning the pair can never hide a dynamically detectable race.  Merging
+    therefore intersects, unknown entry contexts assume nothing held
+    (context-insensitive: a callee analyzed as if called bare — losing
+    caller-held locks only {e adds} candidate pairs, never removes one),
+    and call effects are applied through per-function summaries.
+
+    A summary is the pair (must_add, may_remove): locks a call definitely
+    holds on return, and locks it might release.  Summaries are iterated
+    over the call graph to a fixpoint; if recursion keeps them unstable past
+    a generous bound, the affected functions fall back to the sound
+    pessimum (adds nothing, may release everything).
+
+    A companion {e may}-held analysis (union merge) feeds the lint pass:
+    “lock possibly still held at return” and “possible double acquire”. *)
+
+open Portend_util.Maps
+module B = Portend_lang.Bytecode
+
+type summary = {
+  must_add : Sset.t;  (** held on return, on every path *)
+  may_remove : Sset.t;  (** possibly released, on some path *)
+}
+
+(* Relative state while analyzing one function body: locks acquired since
+   entry and still held on every path, and locks possibly released since
+   entry.  Entry-held locks are symbolic: [acq] / [rel] track the delta. *)
+type rel = {
+  acq : Sset.t;
+  rel : Sset.t;
+}
+
+let rel_entry = { acq = Sset.empty; rel = Sset.empty }
+let rel_join a b = { acq = Sset.inter a.acq b.acq; rel = Sset.union a.rel b.rel }
+let rel_equal a b = Sset.equal a.acq b.acq && Sset.equal a.rel b.rel
+
+let rel_transfer (summaries : summary Smap.t) _pc (inst : B.inst) (s : rel) : rel =
+  match inst with
+  | B.ILock m -> { acq = Sset.add m s.acq; rel = Sset.remove m s.rel }
+  | B.IUnlock m -> { acq = Sset.remove m s.acq; rel = Sset.add m s.rel }
+  | B.ICall (_, g, _) -> (
+    match Smap.find_opt g summaries with
+    | None -> s
+    | Some sm ->
+      { acq = Sset.union (Sset.diff s.acq sm.may_remove) sm.must_add;
+        rel = Sset.diff (Sset.union s.rel sm.may_remove) sm.must_add
+      })
+  (* IWait releases and re-acquires its mutex: held again afterwards, but
+     the release happened, so a caller's critical section was broken. *)
+  | B.IWait (_, m) -> { s with rel = Sset.add m s.rel }
+  | B.IBin _ | B.IUn _ | B.IMov _ | B.ILoadG _ | B.IStoreG _ | B.ILoadA _ | B.IStoreA _
+  | B.IJmp _ | B.IBr _ | B.IRet _ | B.ISpawn _ | B.IJoin _ | B.ISignal _ | B.IBroadcast _
+  | B.IBarrier _ | B.IOutput _ | B.IOutputStr _ | B.IInput _ | B.IAssert _ | B.IYield
+  | B.IFree _ -> s
+
+let summary_of_states (cfg : Cfg.t) (states : rel option array) : summary =
+  let exit_rels =
+    List.filter_map
+      (fun pc ->
+        match states.(pc) with
+        | Some s -> Some (rel_transfer Smap.empty pc cfg.Cfg.func.B.code.(pc) s)
+        | None -> None)
+      (Cfg.exits cfg)
+  in
+  match exit_rels with
+  | [] -> { must_add = Sset.empty; may_remove = Sset.empty }  (* never returns *)
+  | first :: rest ->
+    let merged = List.fold_left rel_join first rest in
+    { must_add = merged.acq; may_remove = merged.rel }
+
+let summary_equal a b =
+  Sset.equal a.must_add b.must_add && Sset.equal a.may_remove b.may_remove
+
+type t = {
+  summaries : summary Smap.t;
+  must_at : Sset.t option array Smap.t;  (** must-held before each pc *)
+  may_at : Sset.t option array Smap.t;  (** may-held before each pc *)
+}
+
+(* Iterate function summaries over the call graph.  Programs here have a
+   handful of functions; [2 * n + 2] rounds settle every non-recursive
+   graph and simple recursion, and the fallback keeps pathological cases
+   sound. *)
+let compute_summaries (cfgs : Cfg.t Smap.t) (all_mutexes : Sset.t) : summary Smap.t =
+  let empty = { must_add = Sset.empty; may_remove = Sset.empty } in
+  let pessimum = { must_add = Sset.empty; may_remove = all_mutexes } in
+  let n = Smap.cardinal cfgs in
+  let rec iterate round (summaries : summary Smap.t) =
+    let next =
+      Smap.mapi
+        (fun _name cfg ->
+          let states =
+            Dataflow.forward cfg
+              { Dataflow.entry = rel_entry;
+                join = rel_join;
+                equal = rel_equal;
+                transfer = rel_transfer summaries
+              }
+          in
+          summary_of_states cfg states)
+        cfgs
+    in
+    if Smap.equal summary_equal summaries next then next
+    else if round >= (2 * n) + 2 then Smap.map (fun _ -> pessimum) cfgs
+    else iterate (round + 1) next
+  in
+  iterate 0 (Smap.map (fun _ -> empty) cfgs)
+
+(* Absolute held-set transfer for the per-pc results: entry holds nothing
+   (context-insensitive). *)
+let held_transfer (summaries : summary Smap.t) _pc (inst : B.inst) (held : Sset.t) : Sset.t =
+  match inst with
+  | B.ILock m -> Sset.add m held
+  | B.IUnlock m -> Sset.remove m held
+  | B.ICall (_, g, _) -> (
+    match Smap.find_opt g summaries with
+    | None -> held
+    | Some sm -> Sset.union (Sset.diff held sm.may_remove) sm.must_add)
+  | B.IWait _ -> held  (* re-acquired before the wait returns *)
+  | B.IBin _ | B.IUn _ | B.IMov _ | B.ILoadG _ | B.IStoreG _ | B.ILoadA _ | B.IStoreA _
+  | B.IJmp _ | B.IBr _ | B.IRet _ | B.ISpawn _ | B.IJoin _ | B.ISignal _ | B.IBroadcast _
+  | B.IBarrier _ | B.IOutput _ | B.IOutputStr _ | B.IInput _ | B.IAssert _ | B.IYield
+  | B.IFree _ -> held
+
+let analyze_with_cfgs (prog : B.t) (cfgs : Cfg.t Smap.t) : t =
+  let all_mutexes =
+    List.fold_left (fun acc m -> Sset.add m acc) Sset.empty prog.B.source.Portend_lang.Ast.mutexes
+  in
+  let summaries = compute_summaries cfgs all_mutexes in
+  let run join =
+    Smap.map
+      (fun cfg ->
+        Dataflow.forward cfg
+          { Dataflow.entry = Sset.empty;
+            join;
+            equal = Sset.equal;
+            transfer = held_transfer summaries
+          })
+      cfgs
+  in
+  { summaries; must_at = run Sset.inter; may_at = run Sset.union }
+
+let analyze (prog : B.t) : t =
+  analyze_with_cfgs prog (Smap.map Cfg.build prog.B.funcs)
+
+(** Mutexes definitely held on entry to [(fname, pc)]; empty when the site
+    is unknown or unreachable (the sound default: no lock protection
+    assumed). *)
+let must_held (t : t) fname pc : Sset.t =
+  match Smap.find_opt fname t.must_at with
+  | Some arr when pc < Array.length arr -> ( match arr.(pc) with Some s -> s | None -> Sset.empty)
+  | _ -> Sset.empty
+
+(** Mutexes possibly held on entry to [(fname, pc)] (for the lint pass). *)
+let may_held (t : t) fname pc : Sset.t =
+  match Smap.find_opt fname t.may_at with
+  | Some arr when pc < Array.length arr -> ( match arr.(pc) with Some s -> s | None -> Sset.empty)
+  | _ -> Sset.empty

@@ -1,0 +1,274 @@
+(** May-happen-in-parallel analysis from the program's spawn/join structure.
+
+    Abstract threads are the main thread plus one per [ISpawn] site; each
+    abstract thread may stand for many runtime threads (a spawn inside a
+    loop, or in a function entered more than once).  Two instruction sites
+    may happen in parallel unless this module can prove an ordering, so the
+    default answer is [true] — every refinement below corresponds to a
+    happens-before edge the dynamic detector also has (spawn, join, program
+    order), which is what makes MHP pruning sound for the candidate
+    generator:
+
+    - a site in the spawning function that cannot CFG-reach the spawn
+      executes before the child exists;
+    - a site the must-join analysis proves downstream of [IJoin] on the
+      spawn's thread id executes after the child has terminated;
+    - a sibling child whose join must precede the other sibling's spawn is
+      fully ordered before it;
+    - two sites run by the same single-instance abstract thread are ordered
+      by program order.
+
+    Ordering through condition variables and barriers is deliberately
+    ignored: those edges exist dynamically, so ignoring them only keeps
+    more pairs (less precision, same soundness). *)
+
+open Portend_util.Maps
+module B = Portend_lang.Bytecode
+
+type thread =
+  | Main
+  | Spawned of { host : string; spawn_pc : int; entry : string }
+
+type count = One | Many
+
+(* Has the runtime thread created at a spawn site definitely been joined by
+   the time control reaches a pc of the spawning function?  [Lost] means
+   the register holding the thread id was overwritten, so a later [IJoin]
+   on it joins someone else. *)
+type joinst = Not_joined | Joined | Lost
+
+type t = {
+  cfgs : Cfg.t Smap.t;
+  threads : thread list;
+  closures : (thread * Sset.t) list;  (** functions each thread may execute *)
+  instances : (thread * count) list;
+  execs : count Smap.t;  (** entries per function over a whole run *)
+  joined_at : ((string * int) * bool array) list;
+      (** spawn site -> per-pc "must be joined here" in the host function *)
+}
+
+let inst_dest (inst : B.inst) : int option =
+  match inst with
+  | B.IBin (d, _, _, _) | B.IUn (d, _, _) | B.IMov (d, _) | B.ILoadG (d, _)
+  | B.ILoadA (d, _, _) | B.IInput (d, _, _) -> Some d
+  | B.ICall (d, _, _) | B.ISpawn (d, _, _) -> d
+  | B.IStoreG _ | B.IStoreA _ | B.IJmp _ | B.IBr _ | B.IRet _ | B.IJoin _ | B.ILock _
+  | B.IUnlock _ | B.IWait _ | B.ISignal _ | B.IBroadcast _ | B.IBarrier _ | B.IOutput _
+  | B.IOutputStr _ | B.IAssert _ | B.IYield | B.IFree _ -> None
+
+(* Call-closure of an entry function: everything the thread rooted there
+   may execute via ICall (spawned functions belong to the child thread). *)
+let call_closure (prog : B.t) (entry : string) : Sset.t =
+  let rec go acc name =
+    if Sset.mem name acc then acc
+    else
+      match B.find_func prog name with
+      | None -> acc
+      | Some f ->
+        Sset.fold
+          (fun callee acc -> go acc callee)
+          (Portend_lang.Static.callees_of_func f)
+          (Sset.add name acc)
+  in
+  go Sset.empty entry
+
+(* How many times each function may be entered over a whole run, counting
+   both call and spawn sites; [main] is entered once by the runtime.
+   Monotone fixpoint over One < Many. *)
+let compute_execs (prog : B.t) (cfgs : Cfg.t Smap.t) : count Smap.t =
+  let sites =
+    Smap.fold
+      (fun host (f : B.func) acc ->
+        let cfg = Smap.find host cfgs in
+        let add acc target pc =
+          let entry = Smap.find_or target acc ~default:[] in
+          Smap.add target ((host, Cfg.in_loop cfg pc) :: entry) acc
+        in
+        let acc = ref acc in
+        Array.iteri
+          (fun pc inst ->
+            match inst with
+            | B.ICall (_, g, _) | B.ISpawn (_, g, _) -> acc := add !acc g pc
+            | _ -> ())
+          f.B.code;
+        !acc)
+      prog.B.funcs Smap.empty
+  in
+  let eval execs fname =
+    let contribs =
+      List.map
+        (fun (host, in_loop) ->
+          if in_loop then Many else Smap.find_or host execs ~default:One)
+        (Smap.find_or fname sites ~default:[])
+    in
+    let contribs = if fname = "main" then One :: contribs else contribs in
+    match contribs with
+    | [] | [ One ] -> One
+    | [ Many ] -> Many
+    | _ -> Many  (* two or more entry sites: conservatively many *)
+  in
+  let rec iterate execs =
+    let next = Smap.mapi (fun fname _ -> eval execs fname) prog.B.funcs in
+    if Smap.equal ( = ) execs next then next else iterate next
+  in
+  iterate (Smap.map (fun _ -> One) prog.B.funcs)
+
+let must_join_array (cfg : Cfg.t) ~spawn_pc ~dest : bool array =
+  let n = Cfg.n_insts cfg in
+  match dest with
+  | None -> Array.make (max n 1) false  (* thread id discarded: never joinable *)
+  | Some r ->
+    let join a b =
+      match (a, b) with
+      | Joined, Joined -> Joined
+      | Lost, _ | _, Lost -> Lost
+      | _ -> Not_joined
+    in
+    let transfer _pc inst s =
+      match (inst, s) with
+      | _, Lost -> Lost
+      | B.IJoin (B.Reg r'), _ when r' = r -> Joined
+      | _ -> if inst_dest inst = Some r then Lost else s
+    in
+    let starts =
+      List.filter_map
+        (fun p -> if p < n then Some (p, Not_joined) else None)
+        cfg.Cfg.succ.(spawn_pc)
+    in
+    let states =
+      Dataflow.forward_from cfg
+        { Dataflow.entry = Not_joined; join; equal = ( = ); transfer }
+        ~starts
+    in
+    Array.map (function Some Joined -> true | _ -> false) states
+
+let analyze_with_cfgs (prog : B.t) (cfgs : Cfg.t Smap.t) : t =
+  let execs = compute_execs prog cfgs in
+  let spawn_sites =
+    Smap.fold
+      (fun host (f : B.func) acc ->
+        let acc = ref acc in
+        Array.iteri
+          (fun pc inst ->
+            match inst with
+            | B.ISpawn (dest, entry, _) -> acc := (host, pc, dest, entry) :: !acc
+            | _ -> ())
+          f.B.code;
+        !acc)
+      prog.B.funcs []
+    |> List.rev
+  in
+  let threads =
+    Main
+    :: List.map
+         (fun (host, spawn_pc, _dest, entry) -> Spawned { host; spawn_pc; entry })
+         spawn_sites
+  in
+  let closures =
+    List.map
+      (fun th ->
+        let entry = match th with Main -> "main" | Spawned { entry; _ } -> entry in
+        (th, call_closure prog entry))
+      threads
+  in
+  let instances =
+    List.map
+      (fun th ->
+        let c =
+          match th with
+          | Main -> One
+          | Spawned { host; spawn_pc; _ } ->
+            if Cfg.in_loop (Smap.find host cfgs) spawn_pc then Many
+            else Smap.find_or host execs ~default:Many
+        in
+        (th, c))
+      threads
+  in
+  let joined_at =
+    List.map
+      (fun (host, spawn_pc, dest, _entry) ->
+        ((host, spawn_pc), must_join_array (Smap.find host cfgs) ~spawn_pc ~dest))
+      spawn_sites
+  in
+  { cfgs; threads; closures; instances; execs; joined_at }
+
+let analyze (prog : B.t) : t =
+  analyze_with_cfgs prog (Smap.map Cfg.build prog.B.funcs)
+
+let executors (t : t) (fname : string) : thread list =
+  List.filter_map
+    (fun (th, closure) -> if Sset.mem fname closure then Some th else None)
+    t.closures
+
+let instances_of (t : t) th : count = try List.assoc th t.instances with Not_found -> Many
+
+let must_joined (t : t) ~host ~spawn_pc ~at_pc : bool =
+  match List.assoc_opt (host, spawn_pc) t.joined_at with
+  | Some arr when at_pc < Array.length arr -> arr.(at_pc)
+  | _ -> false
+
+(* Can site [pc1] of the unique single-instance executor [th1] of function
+   [h] overlap the child thread spawned at [(h, p)]?  No when every
+   execution of [pc1] precedes the spawn (the spawn cannot CFG-reach it)
+   or follows the child's termination (must-joined).  Both arguments are
+   intra-invocation, so [h] itself must run exactly once — otherwise a
+   second invocation's [pc1] is unordered with the first invocation's
+   child. *)
+let parent_site_overlaps_child (t : t) th1 h pc1 ~spawn_pc : bool =
+  let unique_single =
+    instances_of t th1 = One
+    && Smap.find_or h t.execs ~default:Many = One
+    && (match executors t h with [ only ] -> only = th1 | _ -> false)
+  in
+  if not unique_single then true
+  else
+    let cfg = Smap.find h t.cfgs in
+    let after_spawn = Cfg.reachable_after cfg spawn_pc in
+    let before_spawn = pc1 >= Array.length after_spawn || not after_spawn.(pc1) in
+    (not before_spawn) && not (must_joined t ~host:h ~spawn_pc ~at_pc:pc1)
+
+(* Sibling children of the same single-instance parent: no overlap when the
+   first must already be joined at the point the second is spawned. *)
+let siblings_overlap (t : t) h ~p1 ~p2 : bool =
+  match executors t h with
+  | [ parent ]
+    when instances_of t parent = One && Smap.find_or h t.execs ~default:Many = One ->
+    (not (must_joined t ~host:h ~spawn_pc:p1 ~at_pc:p2))
+    && not (must_joined t ~host:h ~spawn_pc:p2 ~at_pc:p1)
+  | _ -> true
+
+let threads_overlap (t : t) th1 (f1, pc1) th2 (f2, pc2) : bool =
+  if th1 = th2 then instances_of t th1 = Many
+  else
+    let parent_child th_p (fp, pcp) th_c =
+      match th_c with
+      | Spawned { host; spawn_pc; _ } when fp = host ->
+        parent_site_overlaps_child t th_p host pcp ~spawn_pc
+      | _ -> true
+    in
+    let sibling th_a th_b =
+      match (th_a, th_b) with
+      | Spawned a, Spawned b when a.host = b.host && a.spawn_pc <> b.spawn_pc ->
+        siblings_overlap t a.host ~p1:a.spawn_pc ~p2:b.spawn_pc
+      | _ -> true
+    in
+    parent_child th1 (f1, pc1) th2
+    && parent_child th2 (f2, pc2) th1
+    && sibling th1 th2
+
+(** Can the instructions at sites [(f1, pc1)] and [(f2, pc2)] execute
+    concurrently in some run?  [true] unless every pair of abstract threads
+    that may execute the two sites is provably ordered. *)
+let may_parallel (t : t) ((f1, pc1) : string * int) ((f2, pc2) : string * int) : bool =
+  List.exists
+    (fun th1 ->
+      List.exists
+        (fun th2 -> threads_overlap t th1 (f1, pc1) th2 (f2, pc2))
+        (executors t f2))
+    (executors t f1)
+
+let n_threads (t : t) = List.length t.threads
+
+let thread_to_string = function
+  | Main -> "main"
+  | Spawned { host; spawn_pc; entry } -> Printf.sprintf "%s@%s:%d" entry host spawn_pc

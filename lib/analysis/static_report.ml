@@ -1,0 +1,171 @@
+(** Candidate race pairs from the static analyses: the cross product of
+
+    - may-happen-in-parallel ({!Mhp}),
+    - overlapping coarse locations (any two cells of one array overlap),
+    - disjoint must-held locksets ({!Locksets}), and
+    - at least one write,
+
+    ranked with a crude badness score and a human-readable reason each.
+    The generator is deliberately a strict over-approximation of the
+    dynamic happens-before detector: every race the detector can ever
+    report is between two sites forming a candidate pair here (the
+    prefilter-soundness tests assert exactly this over the workload
+    suite), which is what lets {!Portend_detect.Hb.detect} restrict its
+    instrumentation to candidate sites without losing races. *)
+
+open Portend_util.Maps
+module B = Portend_lang.Bytecode
+
+(** Abstract location, mirroring the granularity at which the dynamic
+    detector matches conflicts: exact global, whole array (any two cells
+    may be the same cell), and an array's metadata ([IFree] sites — the
+    interpreter gives frees their own [Lmeta] location, so they only ever
+    conflict with other frees). *)
+type aloc =
+  | Aglobal of string
+  | Aarray of string
+  | Ameta of string
+
+type kind = Read | Write
+
+type site = {
+  s_func : string;
+  s_pc : int;
+  s_loc : aloc;
+  s_kind : kind;
+  s_lockset : Sset.t;  (** mutexes must-held at the access *)
+}
+
+type pair = {
+  p1 : site;
+  p2 : site;
+  score : int;
+  reason : string;
+}
+
+type t = {
+  sites : site list;  (** every static shared-access site *)
+  pairs : pair list;  (** candidates, highest score first *)
+}
+
+let aloc_of_inst (inst : B.inst) : (aloc * kind) option =
+  match inst with
+  | B.ILoadG (_, g) -> Some (Aglobal g, Read)
+  | B.IStoreG (g, _) -> Some (Aglobal g, Write)
+  | B.ILoadA (_, a, _) -> Some (Aarray a, Read)
+  | B.IStoreA (a, _, _) -> Some (Aarray a, Write)
+  | B.IFree a -> Some (Ameta a, Write)
+  | B.IBin _ | B.IUn _ | B.IMov _ | B.IJmp _ | B.IBr _ | B.ICall _ | B.IRet _ | B.ISpawn _
+  | B.IJoin _ | B.ILock _ | B.IUnlock _ | B.IWait _ | B.ISignal _ | B.IBroadcast _
+  | B.IBarrier _ | B.IOutput _ | B.IOutputStr _ | B.IInput _ | B.IAssert _ | B.IYield -> None
+
+let aloc_to_string = function
+  | Aglobal g -> "g:" ^ g
+  | Aarray a -> "a:" ^ a
+  | Ameta a -> "m:" ^ a
+
+let kind_to_string = function Read -> "read" | Write -> "write"
+
+let collect_sites (prog : B.t) (locks : Locksets.t) : site list =
+  Smap.fold
+    (fun fname (f : B.func) acc ->
+      let here = ref [] in
+      Array.iteri
+        (fun pc inst ->
+          match aloc_of_inst inst with
+          | None -> ()
+          | Some (loc, kind) ->
+            here :=
+              { s_func = fname;
+                s_pc = pc;
+                s_loc = loc;
+                s_kind = kind;
+                s_lockset = Locksets.must_held locks fname pc
+              }
+              :: !here)
+        f.B.code;
+      List.rev !here @ acc)
+    prog.B.funcs []
+
+let lockset_to_string ls =
+  if Sset.is_empty ls then "{}" else "{" ^ String.concat "," (Sset.elements ls) ^ "}"
+
+let score_pair (a : site) (b : site) : int =
+  let s = 50 in
+  let s = if a.s_kind = Write && b.s_kind = Write then s + 20 else s in
+  let s = if Sset.is_empty a.s_lockset && Sset.is_empty b.s_lockset then s + 15 else s in
+  let s = if a.s_func <> b.s_func then s + 5 else s in
+  let s = match a.s_loc with Aarray _ -> s - 10 | Ameta _ -> s - 5 | Aglobal _ -> s in
+  s
+
+let reason_for (a : site) (b : site) : string =
+  let prot =
+    if Sset.is_empty a.s_lockset && Sset.is_empty b.s_lockset then "both unprotected"
+    else
+      Printf.sprintf "disjoint locksets %s vs %s"
+        (lockset_to_string a.s_lockset)
+        (lockset_to_string b.s_lockset)
+  in
+  Printf.sprintf "%s %s at %s:%d may run in parallel with %s at %s:%d; %s"
+    (kind_to_string a.s_kind) (aloc_to_string a.s_loc) a.s_func a.s_pc (kind_to_string b.s_kind)
+    b.s_func b.s_pc prot
+
+let site_order (s : site) = (s.s_func, s.s_pc)
+
+(** Deterministic ranking: score descending, then site coordinates. *)
+let compare_pairs (x : pair) (y : pair) : int =
+  match compare y.score x.score with
+  | 0 -> compare (site_order x.p1, site_order x.p2) (site_order y.p1, site_order y.p2)
+  | c -> c
+
+let analyze_with (prog : B.t) (locks : Locksets.t) (mhp : Mhp.t) : t =
+  let sites = collect_sites prog locks in
+  let arr = Array.of_list sites in
+  let n = Array.length arr in
+  let pairs = ref [] in
+  for i = 0 to n - 1 do
+    for j = i to n - 1 do
+      let a = arr.(i) and b = arr.(j) in
+      if
+        a.s_loc = b.s_loc
+        && (a.s_kind = Write || b.s_kind = Write)
+        && Sset.is_empty (Sset.inter a.s_lockset b.s_lockset)
+        && Mhp.may_parallel mhp (a.s_func, a.s_pc) (b.s_func, b.s_pc)
+      then
+        let a, b = if site_order a <= site_order b then (a, b) else (b, a) in
+        pairs := { p1 = a; p2 = b; score = score_pair a b; reason = reason_for a b } :: !pairs
+    done
+  done;
+  { sites; pairs = List.sort compare_pairs !pairs }
+
+let analyze (prog : B.t) : t =
+  let cfgs = Smap.map Cfg.build prog.B.funcs in
+  let locks = Locksets.analyze_with_cfgs prog cfgs in
+  let mhp = Mhp.analyze_with_cfgs prog cfgs in
+  analyze_with prog locks mhp
+
+(** Sites participating in at least one candidate pair — the set the
+    dynamic detector needs to instrument to see every reportable race. *)
+let restrict_sites (t : t) : (string * int) list =
+  List.concat_map (fun p -> [ site_order p.p1; site_order p.p2 ]) t.pairs
+  |> List.sort_uniq compare
+
+(** Is the (unordered) pair of dynamic sites covered by some candidate? *)
+let covers (t : t) (s1 : string * int) (s2 : string * int) : bool =
+  List.exists
+    (fun p ->
+      let a = site_order p.p1 and b = site_order p.p2 in
+      (a = s1 && b = s2) || (a = s2 && b = s1))
+    t.pairs
+
+let shared_site_count (t : t) = List.length t.sites
+let candidate_site_count (t : t) = List.length (restrict_sites t)
+
+let pp_pair fmt (p : pair) =
+  Fmt.pf fmt "[%3d] %s" p.score p.reason
+
+let pp fmt (t : t) =
+  Fmt.pf fmt "@[<v>%d shared sites, %d candidate pairs@,%a@]" (shared_site_count t)
+    (List.length t.pairs)
+    Fmt.(list ~sep:cut pp_pair)
+    t.pairs

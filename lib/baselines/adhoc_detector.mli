@@ -1,0 +1,22 @@
+(** Ad-hoc-synchronization-only classifiers — the Helgrind+ [27] and
+    Ad-Hoc-Detector [55] family the paper compares against in Table 5.
+    They recognize busy-wait synchronization and prune the races it orders;
+    they classify nothing else. *)
+
+type verdict =
+  | Adhoc_synchronized  (** maps to “single ordering” *)
+  | Not_classified
+
+(** Classify a race the way these tools do: test dynamically (with ideal
+    recognition, §5.4) whether the race is ordered by ad-hoc
+    synchronization; everything else is left unclassified. *)
+val classify :
+  Portend_lang.Bytecode.t ->
+  Portend_vm.Trace.t ->
+  Portend_detect.Report.race ->
+  (verdict, string) result
+
+(** Projection onto the four-category taxonomy for accuracy scoring. *)
+val as_category : verdict -> Portend_core.Taxonomy.category option
+
+val verdict_to_string : verdict -> string

@@ -1,0 +1,11 @@
+(** A DataCollider-style heuristic pruner [29]: recognizes syntactic
+    patterns of likely-harmless races (redundant constant stores, counter
+    updates) without executing anything. *)
+
+type verdict =
+  | Benign_redundant_write  (** both sites store the same compile-time constant *)
+  | Benign_counter_update  (** the write site is an increment/decrement *)
+  | Unknown
+
+val classify : Portend_lang.Bytecode.t -> Portend_detect.Report.race -> verdict
+val verdict_to_string : verdict -> string

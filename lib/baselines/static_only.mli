@@ -1,0 +1,26 @@
+(** A purely static race detector used as a classifier: every static
+    candidate pair is called a potential bug, spin-loop synchronization
+    reads are called ad-hoc synchronization, and nothing else is
+    classified.  Its Table 5 row measures how much accuracy dynamic
+    evidence buys over a detector-as-classifier. *)
+
+type verdict =
+  | Potential_race_bug  (** a static candidate pair: flagged harmful *)
+  | Adhoc_flag  (** a spin-loop synchronization read: flagged single ordering *)
+  | Not_candidate  (** not even a static candidate: nothing to say *)
+
+(** Classify with a precomputed static report and spin-read site list (one
+    of each serves every race of a program). *)
+val classify_with :
+  Portend_analysis.Static_report.t ->
+  (string * int) list ->
+  Portend_detect.Report.race ->
+  verdict
+
+val classify : Portend_lang.Bytecode.t -> Portend_detect.Report.race -> verdict
+
+(** Projection onto the four-category taxonomy for Table 5 scoring;
+    [None] = not classified. *)
+val as_category : verdict -> Portend_core.Taxonomy.category option
+
+val verdict_to_string : verdict -> string

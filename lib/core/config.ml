@@ -24,6 +24,11 @@ type t = {
   jobs : int;
       (** worker domains for race classification (1 = sequential); verdicts
           are identical for every value *)
+  static_prefilter : bool;
+      (** restrict dynamic detection to the static candidate sites of
+          {!Portend_analysis.Static_report}; race reports are identical
+          either way (the candidates over-approximate reportable races),
+          only the instrumented-site count shrinks *)
 }
 
 (** The paper's defaults: Mp = 5, Ma = 2, 2 symbolic inputs (§5). *)
@@ -40,7 +45,8 @@ let default =
     enable_symbolic_output = true;
     seed = 2012;
     max_explored_states = 50_000;
-    jobs = Domain.recommended_domain_count ()
+    jobs = Domain.recommended_domain_count ();
+    static_prefilter = false
   }
 
 (** Fig 7's incremental configurations. *)

@@ -24,6 +24,10 @@ type t = {
   jobs : int;
       (** worker domains for race classification (1 = sequential); verdicts
           are identical for every value *)
+  static_prefilter : bool;
+      (** restrict dynamic detection to the static candidate sites of
+          {!Portend_analysis.Static_report}; race reports are identical
+          either way, only the instrumented-site count shrinks *)
 }
 
 (** The paper's defaults: Mp = 5, Ma = 2, 2 symbolic inputs (§5). *)

@@ -47,7 +47,11 @@ let analyze ?(config = Config.default) ?(seed = 1) ?(inputs = []) (prog : Porten
     : t =
   let record_run, record_time_s = record ~seed ~inputs prog in
   let suppress = Portend_lang.Static.spin_read_sites prog in
-  let clustered = D.Hb.detect_clustered ~suppress record_run.V.Run.events in
+  let restrict =
+    if config.Config.static_prefilter then Some (Portend_analysis.Static_report.analyze prog)
+    else None
+  in
+  let clustered = D.Hb.detect_clustered ~suppress ?restrict record_run.V.Run.events in
   let classified =
     Portend_util.Pool.map ~jobs:config.Config.jobs
       (fun (race, instances) ->

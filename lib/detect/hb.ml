@@ -133,8 +133,18 @@ let handle_event t (ev : Events.t) =
     (from {!Portend_lang.Static.spin_read_sites}); accesses at these sites
     are polls of ad-hoc synchronization flags, not data accesses, and do not
     participate in race reports — the standard refinement of [27, 55] the
-    paper builds on. *)
-let detect ?(suppress = []) events =
+    paper builds on.
+
+    [restrict], when given, keeps only accesses at the static candidate
+    sites of a {!Portend_analysis.Static_report.t} — the static-prefilter
+    mode.  Because the static candidates over-approximate the dynamically
+    reportable races (every race's two sites form a candidate pair) and
+    dropping [Access] events never perturbs the vector clocks (an access
+    only ticks the accessing thread's own clock, which {!check_access}
+    re-reads per access; all synchronization edges flow through other
+    events), the detector reports exactly the same races either way —
+    asserted over the whole workload suite by the test suite. *)
+let detect ?(suppress = []) ?restrict events =
   let suppressed site = List.mem (site.Events.func, site.Events.pc) suppress in
   let events =
     if suppress = [] then events
@@ -143,8 +153,20 @@ let detect ?(suppress = []) events =
         (function Events.Access { site; _ } -> not (suppressed site) | _ -> true)
         events
   in
+  let events =
+    match restrict with
+    | None -> events
+    | Some report ->
+      let candidates = Portend_analysis.Static_report.restrict_sites report in
+      List.filter
+        (function
+          | Events.Access { site; _ } ->
+            List.mem (site.Events.func, site.Events.pc) candidates
+          | _ -> true)
+        events
+  in
   let t = List.fold_left handle_event init events in
   List.rev t.races
 
 (** Distinct races (cluster representatives) with instance counts. *)
-let detect_clustered ?suppress events = Report.cluster (detect ?suppress events)
+let detect_clustered ?suppress ?restrict events = Report.cluster (detect ?suppress ?restrict events)

@@ -14,11 +14,22 @@
     [suppress] lists (function, pc) sites of busy-wait synchronization reads
     (from {!Portend_lang.Static.spin_read_sites}); accesses at these sites
     poll ad-hoc synchronization flags and do not participate in race
-    reports — the refinement of [27, 55] the paper builds on. *)
-val detect : ?suppress:(string * int) list -> Portend_vm.Events.t list -> Report.race list
+    reports — the refinement of [27, 55] the paper builds on.
+
+    [restrict] keeps only accesses at the candidate sites of a static race
+    report (the static-prefilter mode).  Because static candidates
+    over-approximate dynamically reportable races and dropping access
+    events cannot perturb synchronization edges, the reported races are
+    identical with and without it — only the work done shrinks. *)
+val detect :
+  ?suppress:(string * int) list ->
+  ?restrict:Portend_analysis.Static_report.t ->
+  Portend_vm.Events.t list ->
+  Report.race list
 
 (** Distinct races (cluster representatives) with instance counts. *)
 val detect_clustered :
   ?suppress:(string * int) list ->
+  ?restrict:Portend_analysis.Static_report.t ->
   Portend_vm.Events.t list ->
   (Report.race * int) list

@@ -96,6 +96,27 @@ let may_write t fname loc = Cset.mem loc (writes t fname)
    accesses (see {!Portend_detect.Hb}), which is what keeps busy-wait flags
    from flooding the report list while the data they guard still races. *)
 
+(** Backward control-flow edges of a function, as [(src_pc, target_pc)]
+    pairs with [target_pc <= src_pc] — one per natural loop back edge.  Both
+    the unconditional [IJmp] the compiler emits for [while] loops and
+    conditional [IBr] back edges (bottom-tested loops in hand-written or
+    optimized bytecode) count.  Shared with {!Portend_analysis.Cfg}: the
+    loop identification here and the CFG's loop queries walk the same
+    edges. *)
+let backward_edges (f : Bytecode.func) : (int * int) list =
+  let edges = ref [] in
+  Array.iteri
+    (fun pc inst ->
+      let add target = if target <= pc then edges := (pc, target) :: !edges in
+      match inst with
+      | Bytecode.IJmp l -> add l
+      | Bytecode.IBr (_, l1, l2) ->
+        add l1;
+        if l2 <> l1 then add l2
+      | _ -> ())
+    f.Bytecode.code;
+  List.rev !edges
+
 (* A tight polling loop: at most [max_spin_body] instructions, exactly one
    shared load (the polled flag), and nothing with a side effect beyond
    registers.  The size bound keeps computation loops (which also read
@@ -127,22 +148,30 @@ let spin_body_ok code lo hi =
   in
   hi - lo < max_spin_body && go lo && !loads = 1
 
+(** Spin-loop spans of a function, as [(lo, hi)] instruction ranges: the
+    body of every backward edge (conditional or not) that satisfies the
+    polling-loop shape above. *)
+let spin_loops (f : Bytecode.func) : (int * int) list =
+  backward_edges f
+  |> List.filter_map (fun (src, target) ->
+         if spin_body_ok f.Bytecode.code target src then Some (target, src) else None)
+
 (** Program counters of busy-wait (spin) loads, per function. *)
 let spin_read_sites (prog : Bytecode.t) : (string * int) list =
   Smap.fold
     (fun fname (f : Bytecode.func) acc ->
       let code = f.Bytecode.code in
-      let sites = ref acc in
-      Array.iteri
-        (fun pc inst ->
-          match inst with
-          | Bytecode.IJmp target when target < pc && spin_body_ok code target pc ->
-            for p = target to pc do
+      let sites =
+        List.concat_map
+          (fun (lo, hi) ->
+            let loads = ref [] in
+            for p = lo to hi do
               match code.(p) with
-              | Bytecode.ILoadG _ | Bytecode.ILoadA _ -> sites := (fname, p) :: !sites
+              | Bytecode.ILoadG _ | Bytecode.ILoadA _ -> loads := (fname, p) :: !loads
               | _ -> ()
-            done
-          | _ -> ())
-        code;
-      !sites)
+            done;
+            !loads)
+          (spin_loops f)
+      in
+      List.sort_uniq compare sites @ acc)
     prog.Bytecode.funcs []

@@ -27,9 +27,24 @@ val writes : t -> string -> Cset.t
 (** Can the function (transitively) write the location? *)
 val may_write : t -> string -> coarse_loc -> bool
 
-(** Program counters of busy-wait (spin) loads, per function: backward jumps
-    whose loop body is at most {!max_spin_body} side-effect-free
-    instructions containing exactly one shared load. *)
+(** Direct [ICall] callees of a function (spawned entries excluded: a
+    spawn's writes happen in the child thread). *)
+val callees_of_func : Bytecode.func -> Portend_util.Maps.Sset.t
+
+(** Backward control-flow edges of a function, as [(src_pc, target_pc)]
+    pairs with [target_pc <= src_pc] — one per natural loop back edge,
+    covering both unconditional [IJmp] and conditional [IBr] back edges
+    (bottom-tested loops).  Shared with {!Portend_analysis.Cfg}. *)
+val backward_edges : Bytecode.func -> (int * int) list
+
+(** Spin-loop spans, as [(lo, hi)] instruction ranges: bodies of backward
+    edges that satisfy the tight polling-loop shape (at most
+    {!max_spin_body} side-effect-free instructions with exactly one shared
+    load). *)
+val spin_loops : Bytecode.func -> (int * int) list
+
+(** Program counters of busy-wait (spin) loads, per function: loads inside
+    {!spin_loops} bodies. *)
 val spin_read_sites : Bytecode.t -> (string * int) list
 
 val max_spin_body : int

@@ -1,0 +1,22 @@
+(* Golden-file driver for the lint-examples alias: lint every example
+   program passed on the command line plus the whole workload suite, in a
+   deterministic order and format, so any change to the lint pass shows up
+   as a diff against lint_examples.expected (refresh with `dune promote`). *)
+
+let lint_program label prog =
+  Printf.printf "== %s ==\n" label;
+  let diags = Portend_analysis.Lint.run prog in
+  List.iter (fun d -> print_endline (Portend_analysis.Lint.to_string d)) diags;
+  Printf.printf "%d diagnostic(s)\n\n" (List.length diags)
+
+let () =
+  let files = List.tl (Array.to_list Sys.argv) in
+  List.iter
+    (fun file -> lint_program (Filename.basename file) (Portend_lang.Parser.compile_file file))
+    (List.sort compare files);
+  List.iter
+    (fun (w : Portend_workloads.Registry.workload) ->
+      lint_program
+        ("workload " ^ w.Portend_workloads.Registry.w_name)
+        (Portend_lang.Compile.compile w.Portend_workloads.Registry.w_prog))
+    Portend_workloads.Suite.all

@@ -1,0 +1,472 @@
+(* Tests for the whole-program static analysis library (lib/analysis): CFG
+   construction, lockset dataflow, may-happen-in-parallel refinements, the
+   candidate-pair generator, the lint pass, and — the load-bearing
+   property — prefilter soundness: the static candidates are a superset of
+   the dynamic detector's races, both on the paper's workload suite and on
+   random Racelang programs. *)
+
+open Portend_lang
+open Portend_analysis
+open Portend_util.Maps
+module Hb = Portend_detect.Hb
+module Report = Portend_detect.Report
+module Run = Portend_vm.Run
+module Sched = Portend_vm.Sched
+module State = Portend_vm.State
+module Events = Portend_vm.Events
+module Registry = Portend_workloads.Registry
+
+let compile = Compile.compile
+
+let func_of prog fname = Smap.find fname prog.Bytecode.funcs
+
+(* pcs of the IStoreG instructions on global [v] in [fname] *)
+let store_pcs prog fname v =
+  let f = func_of prog fname in
+  let out = ref [] in
+  Array.iteri
+    (fun pc inst ->
+      match inst with Bytecode.IStoreG (v', _) when v' = v -> out := pc :: !out | _ -> ())
+    f.Bytecode.code;
+  List.rev !out
+
+let one_store prog fname v =
+  match store_pcs prog fname v with
+  | [ pc ] -> pc
+  | pcs -> Alcotest.failf "expected one store to %s in %s, got %d" v fname (List.length pcs)
+
+let two_stores prog fname v =
+  match store_pcs prog fname v with
+  | [ a; b ] -> (a, b)
+  | pcs -> Alcotest.failf "expected two stores to %s in %s, got %d" v fname (List.length pcs)
+
+let three_stores prog fname v =
+  match store_pcs prog fname v with
+  | [ a; b; c ] -> (a, b, c)
+  | pcs -> Alcotest.failf "expected three stores to %s in %s, got %d" v fname (List.length pcs)
+
+(* --- CFG --- *)
+
+let test_cfg () =
+  let open Builder in
+  let p =
+    compile
+      (program "p" ~globals:[ ("x", 0) ]
+         [ func "main" []
+             [ var "j" (i 0);
+               while_ (l "j" < i 3) [ setg "x" (l "j"); set "j" (l "j" + i 1) ];
+               output [ l "j" ]
+             ]
+         ])
+  in
+  let cfg = Cfg.build (func_of p "main") in
+  Alcotest.(check bool) "has a back edge" true (cfg.Cfg.back_edges <> []);
+  (* the loop-body store is inside a loop, the trailing output is not *)
+  let store = one_store p "main" "x" in
+  Alcotest.(check bool) "store is in the loop" true (Cfg.in_loop cfg store);
+  let exits = Cfg.exits cfg in
+  Alcotest.(check bool) "has a reachable exit" true (exits <> []);
+  List.iter
+    (fun pc ->
+      (match cfg.Cfg.func.Bytecode.code.(pc) with
+      | Bytecode.IRet _ -> ()
+      | _ -> Alcotest.fail "exit is not a return");
+      Alcotest.(check bool) "exit is outside the loop" false (Cfg.in_loop cfg pc))
+    exits;
+  (* every IBr has two successors, every successor lists us as predecessor *)
+  Array.iteri
+    (fun pc inst ->
+      (match inst with
+      | Bytecode.IBr (_, l1, l2) when l1 <> l2 ->
+        Alcotest.(check int) "branch successors" 2 (List.length cfg.Cfg.succ.(pc))
+      | _ -> ());
+      List.iter
+        (fun s ->
+          Alcotest.(check bool) "pred mirrors succ" true (List.mem pc cfg.Cfg.pred.(s)))
+        cfg.Cfg.succ.(pc))
+    cfg.Cfg.func.Bytecode.code
+
+(* --- lockset dataflow --- *)
+
+let test_locksets_basic () =
+  let open Builder in
+  let p =
+    compile
+      (program "p" ~globals:[ ("x", 0) ] ~mutexes:[ "m" ]
+         [ func "main" [] [ lock "m"; setg "x" (i 1); unlock "m"; setg "x" (i 2) ] ])
+  in
+  let locks = Locksets.analyze p in
+  let inside, outside = two_stores p "main" "x" in
+  Alcotest.(check bool) "held inside the critical section" true
+    (Sset.mem "m" (Locksets.must_held locks "main" inside));
+  Alcotest.(check bool) "not held after release" true
+    (Sset.is_empty (Locksets.must_held locks "main" outside))
+
+let test_locksets_summaries () =
+  (* lock and unlock hidden behind calls: the per-function summaries must
+     carry the effect into the caller *)
+  let open Builder in
+  let p =
+    compile
+      (program "p" ~globals:[ ("x", 0) ] ~mutexes:[ "m" ]
+         [ func "acquire" [] [ lock "m" ];
+           func "release" [] [ unlock "m" ];
+           func "main" []
+             [ call "acquire" []; setg "x" (i 1); call "release" []; setg "x" (i 2) ]
+         ])
+  in
+  let locks = Locksets.analyze p in
+  let inside, outside = two_stores p "main" "x" in
+  Alcotest.(check bool) "summary adds the lock" true
+    (Sset.mem "m" (Locksets.must_held locks "main" inside));
+  Alcotest.(check bool) "summary removes the lock" true
+    (Sset.is_empty (Locksets.must_held locks "main" outside))
+
+let test_locksets_conditional_release () =
+  (* released on one branch only: must-held loses it (intersection), may-held
+     keeps it (union) *)
+  let open Builder in
+  let p =
+    compile
+      (program "p" ~globals:[ ("x", 0); ("c", 0) ] ~mutexes:[ "m" ]
+         [ func "main" []
+             [ lock "m"; if_ (g "c" == i 1) [ unlock "m" ] []; setg "x" (i 1) ]
+         ])
+  in
+  let locks = Locksets.analyze p in
+  let store = one_store p "main" "x" in
+  Alcotest.(check bool) "must-held empty after the merge" true
+    (Sset.is_empty (Locksets.must_held locks "main" store));
+  Alcotest.(check bool) "may-held keeps it" true
+    (Sset.mem "m" (Locksets.may_held locks "main" store))
+
+(* --- may-happen-in-parallel --- *)
+
+let test_mhp_spawn_join () =
+  let open Builder in
+  let p =
+    compile
+      (program "p" ~globals:[ ("x", 0) ]
+         [ func "w" [] [ setg "x" (i 10) ];
+           func "main" []
+             [ setg "x" (i 1);
+               spawn ~into:"t" "w" [];
+               setg "x" (i 2);
+               join (l "t");
+               setg "x" (i 3)
+             ]
+         ])
+  in
+  let mhp = Mhp.analyze p in
+  let w_store = one_store p "w" "x" in
+  let before, during, after = three_stores p "main" "x" in
+  let par a b = Mhp.may_parallel mhp a b in
+  Alcotest.(check bool) "before the spawn: ordered" false (par ("main", before) ("w", w_store));
+  Alcotest.(check bool) "between spawn and join: parallel" true
+    (par ("main", during) ("w", w_store));
+  Alcotest.(check bool) "after the join: ordered" false (par ("main", after) ("w", w_store));
+  Alcotest.(check bool) "same single thread: ordered" false
+    (par ("main", before) ("main", during))
+
+let test_mhp_siblings () =
+  let open Builder in
+  let sequential =
+    compile
+      (program "p" ~globals:[ ("x", 0) ]
+         [ func "w" [] [ setg "x" (i 10) ];
+           func "main" []
+             [ spawn ~into:"t1" "w" [];
+               join (l "t1");
+               spawn ~into:"t2" "w" [];
+               join (l "t2")
+             ]
+         ])
+  in
+  let concurrent =
+    compile
+      (program "p" ~globals:[ ("x", 0) ]
+         [ func "w" [] [ setg "x" (i 10) ];
+           func "main" []
+             [ spawn ~into:"t1" "w" [];
+               spawn ~into:"t2" "w" [];
+               join (l "t1");
+               join (l "t2")
+             ]
+         ])
+  in
+  let check prog expected label =
+    let mhp = Mhp.analyze prog in
+    let w_store = one_store prog "w" "x" in
+    Alcotest.(check bool) label expected (Mhp.may_parallel mhp ("w", w_store) ("w", w_store))
+  in
+  check sequential false "join-before-respawn siblings are ordered";
+  check concurrent true "unjoined siblings are parallel"
+
+let test_mhp_spawn_in_loop () =
+  let open Builder in
+  let p =
+    compile
+      (program "p" ~globals:[ ("x", 0) ]
+         [ func "w" [] [ setg "x" (i 10) ];
+           func "main" []
+             [ var "j" (i 0);
+               while_ (l "j" < i 3) [ spawn "w" []; set "j" (l "j" + i 1) ]
+             ]
+         ])
+  in
+  let mhp = Mhp.analyze p in
+  let w_store = one_store p "w" "x" in
+  Alcotest.(check bool) "looped spawn races with itself" true
+    (Mhp.may_parallel mhp ("w", w_store) ("w", w_store))
+
+(* --- candidate generator --- *)
+
+let test_static_report_lock_pruning () =
+  let open Builder in
+  let p =
+    compile
+      (program "p" ~globals:[ ("prot", 0); ("unprot", 0) ] ~mutexes:[ "m" ]
+         [ func "worker" []
+             [ lock "m";
+               setg "prot" (g "prot" + i 1);
+               unlock "m";
+               setg "unprot" (g "unprot" + i 1)
+             ];
+           func "main" []
+             [ spawn ~into:"t1" "worker" [];
+               spawn ~into:"t2" "worker" [];
+               join (l "t1");
+               join (l "t2")
+             ]
+         ])
+  in
+  let report = Static_report.analyze p in
+  let touches loc (pr : Static_report.pair) = pr.Static_report.p1.Static_report.s_loc = loc in
+  Alcotest.(check bool) "unprotected global is a candidate" true
+    (List.exists (touches (Static_report.Aglobal "unprot")) report.Static_report.pairs);
+  Alcotest.(check bool) "lock-protected global is pruned" false
+    (List.exists (touches (Static_report.Aglobal "prot")) report.Static_report.pairs);
+  (* restrict_sites only lists pair endpoints, and covers is symmetric *)
+  let sites = Static_report.restrict_sites report in
+  List.iter
+    (fun (f, pc) ->
+      Alcotest.(check bool) "restrict site is a shared site" true
+        (List.exists
+           (fun (s : Static_report.site) ->
+             Stdlib.( && ) (s.Static_report.s_func = f) (s.Static_report.s_pc = pc))
+           report.Static_report.sites))
+    sites;
+  List.iter
+    (fun (pr : Static_report.pair) ->
+      let a = (pr.Static_report.p1.Static_report.s_func, pr.Static_report.p1.Static_report.s_pc)
+      and b = (pr.Static_report.p2.Static_report.s_func, pr.Static_report.p2.Static_report.s_pc) in
+      Alcotest.(check bool) "covers a,b" true (Static_report.covers report a b);
+      Alcotest.(check bool) "covers b,a" true (Static_report.covers report b a))
+    report.Static_report.pairs
+
+(* --- lint --- *)
+
+let diag_codes prog = List.map (fun d -> d.Lint.code) (Lint.run prog)
+
+let test_lint_double_lock () =
+  let open Builder in
+  let p =
+    compile
+      (program "p" ~mutexes:[ "m" ] [ func "main" [] [ lock "m"; lock "m" ] ])
+  in
+  let codes = diag_codes p in
+  Alcotest.(check bool) "double-lock reported" true (List.mem "double-lock" codes);
+  Alcotest.(check bool) "leak reported too" true (List.mem "lock-held-at-return" codes)
+
+let test_lint_lock_leak () =
+  let open Builder in
+  let p =
+    compile
+      (program "p" ~globals:[ ("c", 0) ] ~mutexes:[ "m" ]
+         [ func "main" [] [ lock "m"; if_ (g "c" == i 1) [ unlock "m" ] [] ] ])
+  in
+  Alcotest.(check bool) "leak on one path reported" true
+    (List.mem "lock-held-at-return" (diag_codes p))
+
+let test_lint_spin_invariant () =
+  let open Builder in
+  let p =
+    compile
+      (program "p" ~globals:[ ("flag", 0) ]
+         [ func "main" [] [ while_ (g "flag" == i 0) [ yield ] ] ])
+  in
+  Alcotest.(check bool) "loop-invariant spin reported" true
+    (List.mem "spin-invariant" (diag_codes p));
+  (* with a concurrent writer the same loop is legitimate ad-hoc sync *)
+  let ok =
+    compile
+      (program "p" ~globals:[ ("flag", 0) ]
+         [ func "setter" [] [ setg "flag" (i 1) ];
+           func "main" [] [ spawn ~into:"t" "setter" []; while_ (g "flag" == i 0) [ yield ]; join (l "t") ]
+         ])
+  in
+  Alcotest.(check bool) "spin with a concurrent writer is fine" false
+    (List.mem "spin-invariant" (diag_codes ok))
+
+let test_lint_clean_program () =
+  let open Builder in
+  let p =
+    compile
+      (program "p" ~globals:[ ("n", 0) ] ~mutexes:[ "m" ]
+         [ func "worker" [] (critical "m" [ setg "n" (g "n" + i 1) ]);
+           func "main" []
+             [ spawn ~into:"t1" "worker" [];
+               spawn ~into:"t2" "worker" [];
+               join (l "t1");
+               join (l "t2");
+               output [ g "n" ]
+             ]
+         ])
+  in
+  Alcotest.(check (list string)) "no diagnostics" [] (diag_codes p)
+
+(* --- prefilter soundness over the paper's workload suite --- *)
+
+let race_sites (race : Report.race) =
+  ( (race.Report.first.Report.a_site.Events.func, race.Report.first.Report.a_site.Events.pc),
+    (race.Report.second.Report.a_site.Events.func, race.Report.second.Report.a_site.Events.pc) )
+
+let test_prefilter_soundness_suite () =
+  List.iter
+    (fun (w : Registry.workload) ->
+      let prog = compile w.Registry.w_prog in
+      let record, _ =
+        Portend_core.Pipeline.record ~seed:w.Registry.w_seed ~inputs:w.Registry.w_inputs prog
+      in
+      let report = Static_report.analyze prog in
+      (* superset: every dynamic race (spin reads included) is a candidate *)
+      List.iter
+        (fun race ->
+          let s1, s2 = race_sites race in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: race %s/%s covered" w.Registry.w_name (fst s1) (fst s2))
+            true
+            (Static_report.covers report s1 s2))
+        (Hb.detect record.Run.events);
+      (* identical reports with and without the prefilter *)
+      let suppress = Static.spin_read_sites prog in
+      let without = Hb.detect_clustered ~suppress record.Run.events in
+      let with_pf = Hb.detect_clustered ~suppress ~restrict:report record.Run.events in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: identical reports under prefilter" w.Registry.w_name)
+        true (without = with_pf))
+    Portend_workloads.Suite.all
+
+(* --- qcheck: static candidates ⊇ dynamic races on random programs --- *)
+
+let gen_static_vs_dynamic_program : Ast.program QCheck.Gen.t =
+  let open QCheck.Gen in
+  let glob = oneofl [ "s0"; "s1"; "s2" ] in
+  (* each element is a statement block: plain racy statements, or a
+     critical section over one of two mutexes *)
+  let gen_block =
+    frequency
+      [ ( 3,
+          let* x = glob in
+          let* n = int_bound 9 in
+          return [ Ast.SetGlobal (x, Ast.Int n) ] );
+        ( 2,
+          let* x = glob in
+          let* y = glob in
+          return
+            [ Ast.SetGlobal (x, Ast.Binop (Portend_solver.Expr.Add, Ast.Global y, Ast.Int 1)) ]
+        );
+        (2, map (fun x -> [ Ast.Output [ Ast.Global x ] ]) glob);
+        (1, return [ Ast.Yield ]);
+        ( 2,
+          let* m = oneofl [ "m0"; "m1" ] in
+          let* x = glob in
+          return
+            [ Ast.Lock m;
+              Ast.SetGlobal (x, Ast.Binop (Portend_solver.Expr.Add, Ast.Global x, Ast.Int 1));
+              Ast.Unlock m
+            ] )
+      ]
+  in
+  let gen_body = map List.concat (list_size (int_range 1 5) gen_block) in
+  let* b1 = gen_body in
+  let* b2 = gen_body in
+  let* bm = gen_body in
+  let* shape = oneofl [ `Par; `Seq; `Three ] in
+  let main_body =
+    match shape with
+    | `Par ->
+      [ Ast.Spawn (Some "t1", "w1", []); Ast.Spawn (Some "t2", "w2", []) ]
+      @ bm
+      @ [ Ast.Join (Ast.Local "t1"); Ast.Join (Ast.Local "t2") ]
+    | `Seq ->
+      [ Ast.Spawn (Some "t1", "w1", []); Ast.Join (Ast.Local "t1") ]
+      @ bm
+      @ [ Ast.Spawn (Some "t2", "w2", []); Ast.Join (Ast.Local "t2") ]
+    | `Three ->
+      [ Ast.Spawn (Some "t1", "w1", []);
+        Ast.Spawn (Some "t2", "w2", []);
+        Ast.Spawn (Some "t3", "w1", [])
+      ]
+      @ bm
+      @ [ Ast.Join (Ast.Local "t1"); Ast.Join (Ast.Local "t2"); Ast.Join (Ast.Local "t3") ]
+  in
+  return
+    { Ast.pname = "rand";
+      globals = [ ("s0", 0); ("s1", 0); ("s2", 0) ];
+      arrays = [];
+      mutexes = [ "m0"; "m1" ];
+      conds = [];
+      barriers = [];
+      funcs =
+        [ { Ast.fname = "w1"; params = []; body = b1 };
+          { Ast.fname = "w2"; params = []; body = b2 };
+          { Ast.fname = "main"; params = []; body = main_body }
+        ]
+    }
+
+let test_superset_property =
+  let arb =
+    QCheck.make
+      ~print:(fun (p, seed) -> Printf.sprintf "seed %d\n%s" seed (Pp.program_to_string p))
+      QCheck.Gen.(pair gen_static_vs_dynamic_program (int_bound 1000))
+  in
+  QCheck.Test.make ~name:"static candidates cover every dynamic race" ~count:200 arb
+    (fun (p, seed) ->
+      let prog = Compile.compile p in
+      let report = Static_report.analyze prog in
+      let r = Run.run ~sched:(Sched.random ~seed) (State.init prog) in
+      let races = Hb.detect r.Run.events in
+      List.for_all
+        (fun race ->
+          let s1, s2 = race_sites race in
+          Static_report.covers report s1 s2)
+        races
+      && Hb.detect ~restrict:report r.Run.events = races)
+
+let () =
+  Alcotest.run "analysis"
+    [ ("cfg", [ Alcotest.test_case "structure" `Quick test_cfg ]);
+      ( "locksets",
+        [ Alcotest.test_case "basic" `Quick test_locksets_basic;
+          Alcotest.test_case "call summaries" `Quick test_locksets_summaries;
+          Alcotest.test_case "conditional release" `Quick test_locksets_conditional_release
+        ] );
+      ( "mhp",
+        [ Alcotest.test_case "spawn/join" `Quick test_mhp_spawn_join;
+          Alcotest.test_case "siblings" `Quick test_mhp_siblings;
+          Alcotest.test_case "spawn in loop" `Quick test_mhp_spawn_in_loop
+        ] );
+      ( "report",
+        [ Alcotest.test_case "lock pruning" `Quick test_static_report_lock_pruning ] );
+      ( "lint",
+        [ Alcotest.test_case "double lock" `Quick test_lint_double_lock;
+          Alcotest.test_case "lock leak" `Quick test_lint_lock_leak;
+          Alcotest.test_case "spin invariant" `Quick test_lint_spin_invariant;
+          Alcotest.test_case "clean program" `Quick test_lint_clean_program
+        ] );
+      ( "prefilter",
+        [ Alcotest.test_case "soundness over the suite" `Slow test_prefilter_soundness_suite ]
+      );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ test_superset_property ])
+    ]

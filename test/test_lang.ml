@@ -74,6 +74,60 @@ let test_write_sets () =
   Alcotest.(check bool) "leaf does not write x" false
     (Static.may_write st "leaf" (Static.Cglobal "x"))
 
+let test_write_sets_recursion () =
+  (* the call-graph fixpoint must converge on recursive and mutually
+     recursive call graphs without losing writes *)
+  let open Builder in
+  let p =
+    Compile.compile
+      (program "p" ~globals:[ ("x", 0); ("y", 0) ]
+         [ func "self" [ "n" ]
+             [ if_ (l "n" > i 0) [ setg "x" (l "n"); call "self" [ l "n" - i 1 ] ] [] ];
+           func "even" [ "n" ] [ if_ (l "n" > i 0) [ call "odd" [ l "n" - i 1 ] ] [] ];
+           func "odd" [ "n" ]
+             [ setg "y" (i 1); if_ (l "n" > i 0) [ call "even" [ l "n" - i 1 ] ] [] ];
+           func "main" [] [ call "self" [ i 3 ]; call "even" [ i 4 ] ]
+         ])
+  in
+  let st = Static.analyze p in
+  Alcotest.(check bool) "self writes x" true (Static.may_write st "self" (Static.Cglobal "x"));
+  Alcotest.(check bool) "even writes y through odd" true
+    (Static.may_write st "even" (Static.Cglobal "y"));
+  Alcotest.(check bool) "odd writes y through even's cycle" true
+    (Static.may_write st "odd" (Static.Cglobal "y"));
+  Alcotest.(check bool) "even never writes x" false
+    (Static.may_write st "even" (Static.Cglobal "x"));
+  Alcotest.(check bool) "main sees x" true (Static.may_write st "main" (Static.Cglobal "x"));
+  Alcotest.(check bool) "main sees y" true (Static.may_write st "main" (Static.Cglobal "y"))
+
+let test_spin_detection_ibr () =
+  (* A bottom-tested polling loop whose backward edge is the conditional
+     branch itself — the shape the compiler never emits (it uses IJmp) but
+     hand-written or optimized bytecode does.  The recognizer must treat
+     conditional backward edges like unconditional ones. *)
+  let f =
+    { Bytecode.fname = "spinner";
+      nparams = 0;
+      nregs = 1;
+      code = [| Bytecode.ILoadG (0, "flag"); Bytecode.IBr (Bytecode.Reg 0, 2, 0); Bytecode.IRet None |];
+      reg_names = [| "r0" |]
+    }
+  in
+  Alcotest.(check (list (pair int int))) "conditional backward edge" [ (1, 0) ]
+    (Static.backward_edges f);
+  Alcotest.(check (list (pair int int))) "spin loop span" [ (0, 1) ] (Static.spin_loops f);
+  let prog =
+    { Bytecode.pname = "p";
+      funcs = Portend_util.Maps.Smap.of_list [ ("spinner", f) ];
+      globals = [ ("flag", 0) ];
+      arrays = [];
+      barriers = [];
+      source = Builder.program "p" ~globals:[ ("flag", 0) ] [ Builder.func "main" [] [] ]
+    }
+  in
+  Alcotest.(check (list (pair string int))) "spin read at the load" [ ("spinner", 0) ]
+    (Static.spin_read_sites prog)
+
 let test_spin_detection () =
   let open Builder in
   let p =
@@ -208,7 +262,9 @@ let () =
         ] );
       ( "static",
         [ Alcotest.test_case "write sets" `Quick test_write_sets;
-          Alcotest.test_case "spin detection" `Quick test_spin_detection
+          Alcotest.test_case "write sets on recursion" `Quick test_write_sets_recursion;
+          Alcotest.test_case "spin detection" `Quick test_spin_detection;
+          Alcotest.test_case "spin detection via IBr back edge" `Quick test_spin_detection_ibr
         ] );
       ("lexer", [ Alcotest.test_case "tokens" `Quick test_lexer ]);
       ( "parser",

@@ -6,7 +6,7 @@
 let usage () =
   print_endline
     "usage: main.exe \
-     [table1|table2|table3|table4|table5|fig7|fig9|fig10|falsepos|weakmem|micro|parallel|prefilter|smoke|all]"
+     [table1|table2|table3|table4|table5|fig7|fig9|fig10|falsepos|weakmem|micro|parallel|prefilter|observability|smoke|all]"
 
 let () =
   let target = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -28,6 +28,7 @@ let () =
   | "micro" -> Micro_bench.run ()
   | "parallel" -> Parallel_bench.run ()
   | "prefilter" -> Prefilter_bench.run ()
+  | "observability" -> Observability_bench.run ()
   | "smoke" -> Parallel_bench.smoke ()
   | "all" ->
     Tables.table1 ();
@@ -42,5 +43,6 @@ let () =
     Figures.weakmem ();
     Micro_bench.run ();
     Parallel_bench.run ();
-    Prefilter_bench.run ()
+    Prefilter_bench.run ();
+    Observability_bench.run ()
   | _ -> usage ()

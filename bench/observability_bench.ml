@@ -1,0 +1,139 @@
+(* Observability benchmark: per-workload phase breakdown of the whole
+   evaluation suite under telemetry — where the pipeline spends its time
+   (record / detect / explore / enforce / classify) and how much work each
+   phase does (VM steps, vector-clock operations, explored states, solver
+   queries) — plus the cost of the telemetry layer itself: suite wall time
+   with telemetry enabled vs disabled, and a cross-check that verdicts are
+   identical either way.  Emits machine-readable BENCH_observability.json. *)
+
+open Portend_core
+open Portend_workloads
+module Telemetry = Portend_telemetry
+
+type row = {
+  r_name : string;
+  r_wall_s : float;
+  r_record_s : float;
+  r_detect_s : float;
+  r_classify_s : float;  (* whole classification phase (pool fan-out) *)
+  r_explore_s : float;
+  r_enforce_s : float;
+  r_vm_steps : int;
+  r_vclock_ops : int;
+  r_explore_states : int;
+  r_paths_completed : int;
+  r_solver_queries : int;
+  r_races : int;
+}
+
+(* Per-workload attribution wants one workload's numbers per snapshot, so
+   workloads run one at a time with a reset in between; jobs=1 keeps the
+   span durations free of pool scheduling noise. *)
+let profile_workload (w : Registry.workload) : row =
+  let config = { Config.default with Config.jobs = 1 } in
+  Telemetry.reset ();
+  Portend_solver.Solver.reset_stats ();
+  Portend_solver.Solver.clear_caches ();
+  let prog = Portend_lang.Compile.compile w.Registry.w_prog in
+  let a, wall =
+    Portend_util.Clock.timed (fun () ->
+        Pipeline.analyze ~config ~seed:w.Registry.w_seed ~inputs:w.Registry.w_inputs prog)
+  in
+  let s = Telemetry.snapshot () in
+  let c = Telemetry.counter s in
+  { r_name = w.Registry.w_name;
+    r_wall_s = wall;
+    r_record_s = Telemetry.timer_s s "pipeline.record";
+    r_detect_s = Telemetry.timer_s s "detect";
+    r_classify_s = Telemetry.timer_s s "pipeline.classify";
+    r_explore_s = Telemetry.timer_s s "explore";
+    r_enforce_s = Telemetry.timer_s s "enforce";
+    r_vm_steps = c "vm.steps";
+    r_vclock_ops = c "detect.vclock.ticks" + c "detect.vclock.joins";
+    r_explore_states = c "explore.states";
+    r_paths_completed = c "explore.paths_completed";
+    r_solver_queries = c "solver.queries";
+    r_races = List.length a.Pipeline.races
+  }
+
+let reps = 3
+
+(* Best-of-[reps] suite wall time under the given telemetry state. *)
+let measure_suite enabled =
+  Telemetry.set_enabled enabled;
+  let best = ref infinity in
+  let last = ref None in
+  for _ = 1 to reps do
+    Telemetry.reset ();
+    let results, dt = Portend_util.Clock.timed (fun () -> Harness.run_suite ()) in
+    if dt < !best then best := dt;
+    last := Some results
+  done;
+  Telemetry.set_enabled false;
+  (Option.get !last, !best)
+
+let ms x = Printf.sprintf "%.2f" (1000.0 *. x)
+
+let run () =
+  (* warm the heap once, as the other suite benchmarks do *)
+  ignore (Harness.run_suite ());
+  Telemetry.set_enabled true;
+  let rows =
+    Fun.protect
+      ~finally:(fun () -> Telemetry.set_enabled false)
+      (fun () -> List.map profile_workload Suite.all)
+  in
+  Harness.print_table ~title:"Per-workload phase breakdown (telemetry, jobs=1)"
+    ~header:
+      [ "Program"; "wall (ms)"; "record"; "detect"; "classify"; "explore"; "enforce";
+        "VM steps"; "vclock ops"; "states"; "paths"; "queries"; "races" ]
+    (List.map
+       (fun r ->
+         [ r.r_name; ms r.r_wall_s; ms r.r_record_s; ms r.r_detect_s; ms r.r_classify_s;
+           ms r.r_explore_s; ms r.r_enforce_s; string_of_int r.r_vm_steps;
+           string_of_int r.r_vclock_ops; string_of_int r.r_explore_states;
+           string_of_int r.r_paths_completed; string_of_int r.r_solver_queries;
+           string_of_int r.r_races
+         ])
+       rows);
+  let off_results, off_s = measure_suite false in
+  let on_results, on_s = measure_suite true in
+  let identical = Parallel_bench.signature off_results = Parallel_bench.signature on_results in
+  let overhead_pct = if off_s > 0.0 then 100.0 *. (on_s -. off_s) /. off_s else 0.0 in
+  Printf.printf
+    "\nsuite wall time: %.3fs telemetry off, %.3fs on (overhead %.1f%%)\n" off_s on_s
+    overhead_pct;
+  Printf.printf "verdicts identical with telemetry on and off: %b\n" identical;
+  if not identical then
+    prerr_endline "WARNING: telemetry changed the verdicts — neutrality violation!";
+  let json =
+    Printf.sprintf
+      {|{
+  "bench": "portend-observability",
+  "suite_workloads": %d,
+  "reps_per_config": %d,
+  "suite_wall_s_telemetry_off": %.6f,
+  "suite_wall_s_telemetry_on": %.6f,
+  "telemetry_enabled_overhead_pct": %.2f,
+  "identical_verdicts": %b,
+  "workloads": [
+%s
+  ]
+}
+|}
+      (List.length Suite.all) reps off_s on_s overhead_pct identical
+      (String.concat ",\n"
+         (List.map
+            (fun r ->
+              Printf.sprintf
+                {|    {"name": %S, "wall_s": %.6f, "phases_s": {"record": %.6f, "detect": %.6f, "classify": %.6f, "explore": %.6f, "enforce": %.6f}, "vm_steps": %d, "vclock_ops": %d, "explore_states": %d, "paths_completed": %d, "solver_queries": %d, "distinct_races": %d}|}
+                r.r_name r.r_wall_s r.r_record_s r.r_detect_s r.r_classify_s r.r_explore_s
+                r.r_enforce_s r.r_vm_steps r.r_vclock_ops r.r_explore_states
+                r.r_paths_completed r.r_solver_queries r.r_races)
+            rows))
+  in
+  let path = Filename.concat (Sys.getcwd ()) "BENCH_observability.json" in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote %s\n" path

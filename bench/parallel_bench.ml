@@ -38,7 +38,10 @@ let measure ~label ~jobs () =
   let best = ref infinity in
   let last = ref None in
   for _ = 1 to reps do
+    (* Explicitly cold per repetition: zero the counters and drop the warm
+       caches, so hit rates are per-run and runs are comparable. *)
     Solver.reset_stats ();
+    Solver.clear_caches ();
     let results, dt = Portend_util.Clock.timed (fun () -> Harness.run_suite ~config ()) in
     if dt < !best then best := dt;
     last := Some results
@@ -164,6 +167,7 @@ let smoke () =
     signature [ r ]
   in
   Solver.reset_stats ();
+  Solver.clear_caches ();
   let seq = at 1 and par = at 2 in
   let stats = Solver.stats () in
   if seq <> par then begin

@@ -3,6 +3,8 @@
    portend run FILE        execute a Racelang program and print its output
    portend detect FILE     record an execution and report distinct races
    portend classify FILE   detect and classify every race (the full pipeline)
+   portend profile FILE    classify with telemetry enabled and print the
+                           per-phase summary (spans, counters, gauges)
    portend lint FILE       static diagnostics only: potential races, lock
                            misuse, loop-invariant spin loops (no execution)
    portend dump FILE       pretty-print the parsed program and its bytecode
@@ -15,6 +17,7 @@ open Cmdliner
 module V = Portend_vm
 module Core = Portend_core
 module D = Portend_detect
+module Telemetry = Portend_telemetry
 
 let load file =
   try Ok (Portend_lang.Parser.compile_file file) with
@@ -65,6 +68,34 @@ let or_die = function
   | Error e ->
     prerr_endline e;
     exit 1
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record telemetry during the analysis and write a Chrome-trace JSON (loadable in \
+           Perfetto / chrome://tracing) to $(docv).")
+
+let write_chrome_trace out snap =
+  Out_channel.with_open_text out (fun oc -> output_string oc (Telemetry.to_chrome_json snap));
+  Printf.printf "wrote Chrome trace to %s\n" out
+
+(* Run [f] with telemetry enabled when [--trace FILE] was given, then export
+   the Chrome trace.  Telemetry stays off otherwise (zero overhead). *)
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some out ->
+    Telemetry.set_enabled true;
+    Telemetry.reset ();
+    Fun.protect
+      ~finally:(fun () -> Telemetry.set_enabled false)
+      (fun () ->
+        let r = f () in
+        write_chrome_trace out (Telemetry.snapshot ());
+        r)
 
 (* --- run --- *)
 
@@ -123,7 +154,7 @@ let classify_cmd =
     Arg.(value & opt int Core.Config.default.Core.Config.max_symbolic_inputs
          & info [ "symbolic-inputs" ] ~docv:"N" ~doc:"How many program inputs to treat symbolically.")
   in
-  let classify file seed inputs mp ma sym jobs prefilter =
+  let classify file seed inputs mp ma sym jobs prefilter trace =
     let prog = or_die (load file) in
     let config =
       { Core.Config.default with
@@ -134,7 +165,10 @@ let classify_cmd =
         static_prefilter = prefilter
       }
     in
-    let a = Core.Pipeline.analyze ~config ~seed ~inputs:(parse_inputs inputs) prog in
+    let a =
+      with_trace trace (fun () ->
+          Core.Pipeline.analyze ~config ~seed ~inputs:(parse_inputs inputs) prog)
+    in
     Printf.printf "recording %s; %d distinct race(s)\n\n"
       (V.Run.stop_to_string a.Core.Pipeline.record.V.Run.stop)
       (List.length a.Core.Pipeline.races);
@@ -166,7 +200,7 @@ let classify_cmd =
           single-ordering.")
     Term.(
       const classify $ file_arg $ seed_arg $ inputs_arg $ mp_arg $ ma_arg $ sym_arg $ jobs_arg
-      $ prefilter_arg)
+      $ prefilter_arg $ trace_arg)
 
 (* --- lint --- *)
 
@@ -226,22 +260,61 @@ let weakmem_cmd =
 (* --- suite --- *)
 
 let suite_cmd =
-  let suite jobs =
+  let suite jobs trace =
     let config = { Core.Config.default with Core.Config.jobs } in
-    List.iter
-      (fun (w : Portend_workloads.Registry.workload) ->
-        let prog = Portend_lang.Compile.compile w.Portend_workloads.Registry.w_prog in
-        let a =
-          Core.Pipeline.analyze ~config ~seed:w.Portend_workloads.Registry.w_seed
-            ~inputs:w.Portend_workloads.Registry.w_inputs prog
-        in
-        Fmt.pr "%a@." Core.Pipeline.pp_summary a)
-      Portend_workloads.Suite.all;
+    (* Explicit reset so the stats line below covers exactly this suite run,
+       cumulatively across all workloads (not just the last one). *)
+    Portend_solver.Solver.reset_stats ();
+    with_trace trace (fun () ->
+        List.iter
+          (fun (w : Portend_workloads.Registry.workload) ->
+            let prog = Portend_lang.Compile.compile w.Portend_workloads.Registry.w_prog in
+            let a =
+              Core.Pipeline.analyze ~config ~seed:w.Portend_workloads.Registry.w_seed
+                ~inputs:w.Portend_workloads.Registry.w_inputs prog
+            in
+            Fmt.pr "%a@." Core.Pipeline.pp_summary a)
+          Portend_workloads.Suite.all);
+    let s = Portend_solver.Solver.stats () in
+    Printf.printf
+      "solver: %d queries, %d cache hits, %d misses, %d prefix-unsat (hit rate %.0f%%)\n"
+      s.Portend_solver.Solver.queries s.Portend_solver.Solver.cache_hits
+      s.Portend_solver.Solver.cache_misses s.Portend_solver.Solver.prefix_unsat
+      (100. *. Portend_solver.Solver.hit_rate s);
     0
   in
   Cmd.v
     (Cmd.info "suite" ~doc:"Classify every race in the paper's evaluation suite.")
-    Term.(const suite $ jobs_arg)
+    Term.(const suite $ jobs_arg $ trace_arg)
+
+(* --- profile --- *)
+
+let profile_cmd =
+  let no_times_arg =
+    Arg.(
+      value & flag
+      & info [ "no-times" ]
+          ~doc:
+            "Elide every wall-clock column from the summary so the output is deterministic \
+             (counts only).")
+  in
+  let profile file seed inputs jobs trace no_times =
+    let prog = or_die (load file) in
+    let config = { Core.Config.default with Core.Config.jobs } in
+    let p = Core.Profile.run ~config ~seed ~inputs:(parse_inputs inputs) prog in
+    print_string (Core.Profile.render ~times:(not no_times) p);
+    (match trace with
+    | Some out -> write_chrome_trace out p.Core.Profile.snap
+    | None -> ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run the full classification pipeline with telemetry enabled and print the per-phase \
+          summary: span durations, counters (VM steps, vector-clock operations, explored \
+          states, solver queries, ...) and gauges.")
+    Term.(const profile $ file_arg $ seed_arg $ inputs_arg $ jobs_arg $ trace_arg $ no_times_arg)
 
 (* --- dump --- *)
 
@@ -261,4 +334,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ run_cmd; detect_cmd; classify_cmd; lint_cmd; weakmem_cmd; suite_cmd; dump_cmd ]))
+          [ run_cmd; detect_cmd; classify_cmd; profile_cmd; lint_cmd; weakmem_cmd; suite_cmd;
+            dump_cmd ]))

@@ -1,0 +1,41 @@
+program turnstile
+
+// Two turnstiles admit visitors: each gate's own count is updated under
+// the lock, but the park-wide total is bumped without it.
+
+global total = 0
+global gate_a = 0
+global gate_b = 0
+mutex m
+
+fn turner_a() {
+  var i = 0;
+  while (i < 3) {
+    lock m;
+    gate_a = gate_a + 1;
+    unlock m;
+    total = total + 1;           // racy statistics update
+    i = i + 1;
+  }
+}
+
+fn turner_b() {
+  var i = 0;
+  while (i < 2) {
+    lock m;
+    gate_b = gate_b + 1;
+    unlock m;
+    total = total + 1;           // racy statistics update
+    i = i + 1;
+  }
+}
+
+fn main() {
+  var a = spawn turner_a();
+  var b = spawn turner_b();
+  join a;
+  join b;
+  output gate_a;
+  output gate_b;
+  output total;                  // may read a lost update
+}

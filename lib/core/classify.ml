@@ -3,10 +3,26 @@
 
 module V = Portend_vm
 module R = Portend_detect.Report
+module Telemetry = Portend_telemetry
+
+(** Structured exploration accounting for one classification, mirrored
+    one-for-one into the telemetry counters ([explore.states],
+    [explore.paths_completed], …) when telemetry is enabled; the QCheck
+    telemetry property asserts the two stay equal. *)
+type stats = {
+  states_explored : int;  (** multipath states expanded; 0 when the
+                              multi-path stage did not run *)
+  paths_completed : int;  (** completed-and-solved primary paths *)
+  alternates_attempted : int;  (** alternate orderings tried by the
+                                   multi-path stage *)
+}
+
+let no_stats = { states_explored = 0; paths_completed = 0; alternates_attempted = 0 }
 
 type outcome = {
   verdict : Taxonomy.verdict;
   evidence : Evidence.t option;
+  stats : stats;
 }
 
 let drop n xs = List.filteri (fun i _ -> i >= n) xs
@@ -38,12 +54,20 @@ let multipath_stage cfg ~static prog trace (single : Single.t) race : outcome =
                  consequence = None;
                  states_differ = single.Single.states_differ;
                  detail = "primary and alternate outputs matched" } in
+  let alternates = ref 0 in
+  let mk_stats () =
+    { states_explored = exploration.Multipath.states_seen;
+      paths_completed = List.length primaries;
+      alternates_attempted = !alternates
+    }
+  in
   if primaries = [] then
     { verdict =
         { k_base with
           detail = truncation_note "no additional primary paths found; k = 1 (single stage)"
         };
-      evidence = None
+      evidence = None;
+      stats = mk_stats ()
     }
   else begin
     let witnesses = ref 1 (* the single-pre/single-post pair already matched *) in
@@ -67,7 +91,8 @@ let multipath_stage cfg ~static prog trace (single : Single.t) race : outcome =
                     (Evidence.make ~race ~category:Taxonomy.Spec_violated ~crash:c
                        ~inputs:(Portend_util.Maps.Smap.bindings p.Multipath.p_model)
                        ~decisions:ckpts.Locate.decisions ~d1:ckpts.Locate.d1 ~d2:ckpts.Locate.d2
-                       ())
+                       ());
+                stats = no_stats
               }
         | None -> (
           match
@@ -82,6 +107,7 @@ let multipath_stage cfg ~static prog trace (single : Single.t) race : outcome =
       let n_alts = if cfg.Config.enable_multischedule then cfg.Config.ma else 1 in
       for j = 0 to n_alts - 1 do
         if !result = None then begin
+          incr alternates;
           let cont =
             if cfg.Config.enable_multischedule then V.Sched.random ~seed:(alt_seed cfg i j)
             else
@@ -110,7 +136,8 @@ let multipath_stage cfg ~static prog trace (single : Single.t) race : outcome =
                          ~d2:ckpts.Locate.d2
                          ~notes:
                            [ Printf.sprintf "alternate schedule seed %d" (alt_seed cfg i j) ]
-                         ())
+                         ());
+                  stats = no_stats
                 }
           | None -> (
             match alt.Enforce.stop with
@@ -143,7 +170,8 @@ let multipath_stage cfg ~static prog trace (single : Single.t) race : outcome =
                           (Evidence.make ~race ~category:Taxonomy.Output_differs ~mismatch:m
                              ~inputs:(Portend_util.Maps.Smap.bindings p.Multipath.p_model)
                              ~decisions:ckpts.Locate.decisions ~d1:ckpts.Locate.d1
-                             ~d2:ckpts.Locate.d2 ())
+                             ~d2:ckpts.Locate.d2 ());
+                      stats = no_stats
                     })
             | V.Run.Out_of_budget | V.Run.Diverged _ | V.Run.Forked
             | V.Run.Crashed _ | V.Run.Deadlocked _ ->
@@ -154,7 +182,7 @@ let multipath_stage cfg ~static prog trace (single : Single.t) race : outcome =
     in
     List.iteri consider_primary primaries;
     match !result with
-    | Some r -> r
+    | Some r -> { r with stats = mk_stats () }
     | None ->
       { verdict =
           { k_base with
@@ -162,12 +190,12 @@ let multipath_stage cfg ~static prog trace (single : Single.t) race : outcome =
             detail =
               truncation_note (Printf.sprintf "%d path-schedule witnesses agree" !witnesses)
           };
-        evidence = None
+        evidence = None;
+        stats = mk_stats ()
       }
   end
 
-(** Classify one (clustered) race report against a recorded trace. *)
-let classify ?(config = Config.default) (prog : Portend_lang.Bytecode.t) (trace : V.Trace.t)
+let classify_impl ?(config = Config.default) (prog : Portend_lang.Bytecode.t) (trace : V.Trace.t)
     (race : R.race) : (outcome, string) result =
   let static = Portend_lang.Static.analyze prog in
   match Single.analyze config ~static prog trace race with
@@ -193,12 +221,14 @@ let classify ?(config = Config.default) (prog : Portend_lang.Bytecode.t) (trace 
       Ok
         { verdict =
             Taxonomy.verdict ?consequence ~states_differ ~detail:why Taxonomy.Spec_violated;
-          evidence = Some (ev ~category:Taxonomy.Spec_violated ?crash ~notes:[ why ] ())
+          evidence = Some (ev ~category:Taxonomy.Spec_violated ?crash ~notes:[ why ] ());
+          stats = no_stats
         }
     | Single.CSingleOrd why ->
       Ok
         { verdict = Taxonomy.verdict ~states_differ ~detail:why Taxonomy.Single_ordering;
-          evidence = None
+          evidence = None;
+          stats = no_stats
         }
     | Single.COutDiff mismatch ->
       Ok
@@ -209,7 +239,8 @@ let classify ?(config = Config.default) (prog : Portend_lang.Bytecode.t) (trace 
                 | Some m -> Fmt.str "%a" Symout.pp_mismatch m
                 | None -> "primary and alternate outputs differ")
               Taxonomy.Output_differs;
-          evidence = Some (ev ~category:Taxonomy.Output_differs ?mismatch ())
+          evidence = Some (ev ~category:Taxonomy.Output_differs ?mismatch ());
+          stats = no_stats
         }
     | Single.COutSame ->
       if config.Config.enable_multipath then
@@ -220,5 +251,22 @@ let classify ?(config = Config.default) (prog : Portend_lang.Bytecode.t) (trace 
               Taxonomy.verdict ~k:1 ~states_differ
                 ~detail:"single path and schedule agreed (multi-path disabled)"
                 Taxonomy.K_witness_harmless;
-            evidence = None
+            evidence = None;
+            stats = no_stats
           })
+
+(** Classify one (clustered) race report against a recorded trace. *)
+let classify ?config prog trace race : (outcome, string) result =
+  if not (Telemetry.enabled ()) then classify_impl ?config prog trace race
+  else
+    Telemetry.with_span "classify.race" (fun () ->
+        let t0 = Portend_util.Clock.now_s () in
+        let r = classify_impl ?config prog trace race in
+        let dt = Portend_util.Clock.now_s () -. t0 in
+        (match r with
+        | Ok o ->
+          let cat = Taxonomy.category_to_string o.verdict.Taxonomy.category in
+          Telemetry.incr ("classify.count." ^ cat);
+          Telemetry.observe_s ("classify.verdict." ^ cat) dt
+        | Error _ -> Telemetry.incr "classify.errors");
+        r)

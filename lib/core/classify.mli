@@ -1,11 +1,25 @@
 (** The full classifier: Algorithm 1 plus multi-path and multi-schedule
     analysis with symbolic output comparison (§3.2–§3.5). *)
 
+(** Structured exploration accounting for one classification.  When
+    telemetry is enabled, the [explore.*] counters are incremented with
+    exactly these numbers, so the two views always agree. *)
+type stats = {
+  states_explored : int;  (** multipath states expanded; 0 when the
+                              multi-path stage did not run *)
+  paths_completed : int;  (** completed-and-solved primary paths *)
+  alternates_attempted : int;  (** alternate orderings tried by the
+                                   multi-path stage *)
+}
+
+val no_stats : stats
+
 type outcome = {
   verdict : Taxonomy.verdict;
   evidence : Evidence.t option;
       (** present for “spec violated” and “output differs” verdicts: the
           replayable ingredients that demonstrate the consequence *)
+  stats : stats;  (** exploration work done for this race *)
 }
 
 (** Classify one (clustered) race report against a recorded trace.

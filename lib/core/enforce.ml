@@ -11,6 +11,7 @@
 
 module V = Portend_vm
 module R = Portend_detect.Report
+module Telemetry = Portend_telemetry
 
 type failure =
   | Blocked_by_peer  (** [tj] cannot reach its access unless [ti] runs *)
@@ -103,7 +104,7 @@ let drive ~budget ~suspended ~target ?site ~loc_base ~occurrence st rev_events =
   in
   go st rev_events 0 0
 
-let alternate ~(static : Portend_lang.Static.t) ~budget ~(cont : V.Sched.t) ?(occurrence = 1)
+let alternate_impl ~(static : Portend_lang.Static.t) ~budget ~(cont : V.Sched.t) ?(occurrence = 1)
     ?site2 ~(race : R.race) ~(pre_race : V.State.t) () : outcome =
   let ti = race.R.first.R.a_tid and tj = race.R.second.R.a_tid in
   let loc_base = base race.R.r_loc in
@@ -188,3 +189,18 @@ let alternate ~(static : Portend_lang.Static.t) ~budget ~(cont : V.Sched.t) ?(oc
         events = List.rev_append rev_events r.V.Run.events;
         post_access_state
       })
+
+let alternate ~static ~budget ~cont ?occurrence ?site2 ~race ~pre_race () : outcome =
+  Telemetry.with_span "enforce" (fun () ->
+      let r = alternate_impl ~static ~budget ~cont ?occurrence ?site2 ~race ~pre_race () in
+      if Telemetry.enabled () then begin
+        Telemetry.incr "enforce.alternates";
+        if r.enforced then Telemetry.incr "enforce.enforced";
+        (match r.failure with
+        | Some Blocked_by_peer -> Telemetry.incr "enforce.failure.blocked_by_peer"
+        | Some Target_finished -> Telemetry.incr "enforce.failure.target_finished"
+        | Some (Spin_adhoc _) -> Telemetry.incr "enforce.failure.spin_adhoc"
+        | Some (Spin_infinite _) -> Telemetry.incr "enforce.failure.spin_infinite"
+        | None -> ())
+      end;
+      r)

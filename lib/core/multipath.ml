@@ -19,6 +19,7 @@ module R = Portend_detect.Report
 module E = Portend_solver.Expr
 module Solver = Portend_solver.Solver
 module Smap = Portend_util.Maps.Smap
+module Telemetry = Portend_telemetry
 
 type primary = {
   p_final : V.State.t;
@@ -38,6 +39,11 @@ type exploration = {
   truncated : bool;
       (** exploration stopped at [Config.max_explored_states] with work left *)
   states_seen : int;
+  paths_pruned : int;
+      (** states dropped because they could not obey the recorded schedule
+          or missed a racing access at d1/d2 *)
+  paths_infeasible : int;
+      (** completed paths whose path condition the solver rejected *)
 }
 
 let slice_has_access ~tid ?site ~loc_base events =
@@ -62,7 +68,7 @@ type item = {
   occ2 : int;
 }
 
-let explore (cfg : Config.t) (prog : Portend_lang.Bytecode.t) (trace : V.Trace.t)
+let explore_impl (cfg : Config.t) (prog : Portend_lang.Bytecode.t) (trace : V.Trace.t)
     (ckpts : Locate.t) (race : R.race) : exploration =
   let decisions = Array.of_list ckpts.Locate.decisions in
   let n_decisions = Array.length decisions in
@@ -86,6 +92,7 @@ let explore (cfg : Config.t) (prog : Portend_lang.Bytecode.t) (trace : V.Trace.t
      iteration would make the loop guard quadratic. *)
   let n_completed = ref 0 in
   let states_seen = ref 0 in
+  let pruned = ref 0 in
   let finish_path item st stop =
     completed := (st, stop, item.site2, item.occ2) :: !completed;
     incr n_completed
@@ -115,7 +122,11 @@ let explore (cfg : Config.t) (prog : Portend_lang.Bytecode.t) (trace : V.Trace.t
               let dec = decisions.(idx) in
               if List.mem dec runnable then Some dec
               else if past_race then Some (List.hd runnable)
-              else None (* cannot obey the schedule before the race: prune *)
+              else begin
+                (* cannot obey the schedule before the race: prune *)
+                incr pruned;
+                None
+              end
             else Some (List.hd runnable)
           in
           match tid with
@@ -145,7 +156,8 @@ let explore (cfg : Config.t) (prog : Portend_lang.Bytecode.t) (trace : V.Trace.t
                      else if idx = d2 then (tj_access_site <> None, tj_access_site <> None)
                      else (true, false)
                    in
-                   if aligned then begin
+                   if not aligned then incr pruned
+                   else begin
                      let item' =
                        if past_race then item
                        else if idx = d2 then
@@ -201,4 +213,25 @@ let explore (cfg : Config.t) (prog : Portend_lang.Bytecode.t) (trace : V.Trace.t
              }
          | Solver.Unsat | Solver.Unknown -> None)
   in
-  { primaries; truncated; states_seen = !states_seen }
+  let paths_completed = List.length primaries in
+  let paths_infeasible = !n_completed - paths_completed in
+  if Telemetry.enabled () then begin
+    (* These counters are kept exactly equal to the structured numbers the
+       classifier surfaces per race ({!Classify.stats}); the QCheck
+       telemetry property asserts the equality. *)
+    Telemetry.incr ~by:!states_seen "explore.states";
+    Telemetry.incr ~by:paths_completed "explore.paths_completed";
+    Telemetry.incr ~by:!pruned "explore.paths_pruned";
+    Telemetry.incr ~by:paths_infeasible "explore.paths_infeasible";
+    if truncated then Telemetry.incr "explore.truncated"
+  end;
+  { primaries;
+    truncated;
+    states_seen = !states_seen;
+    paths_pruned = !pruned;
+    paths_infeasible
+  }
+
+let explore (cfg : Config.t) (prog : Portend_lang.Bytecode.t) (trace : V.Trace.t)
+    (ckpts : Locate.t) (race : R.race) : exploration =
+  Telemetry.with_span "explore" (fun () -> explore_impl cfg prog trace ckpts race)

@@ -5,12 +5,14 @@
 
 module V = Portend_vm
 module D = Portend_detect
+module Telemetry = Portend_telemetry
 
 type race_analysis = {
   race : D.Report.race;
   instances : int;  (** how many times the race manifested during detection *)
   verdict : Taxonomy.verdict;
   evidence : Evidence.t option;
+  stats : Classify.stats;  (** exploration work done for this race *)
   time_s : float;  (** classification wall time for this race *)
 }
 
@@ -32,7 +34,7 @@ let record ?(seed = 1) ?(inputs = []) (prog : Portend_lang.Bytecode.t) : V.Run.r
   let model = Portend_util.Maps.Smap.of_list inputs in
   let st = V.State.init ~input_mode:(V.State.Concrete model) prog in
   let t0 = now () in
-  let r = V.Run.run ~sched:(V.Sched.random ~seed) st in
+  let r = Telemetry.with_span "pipeline.record" (fun () -> V.Run.run ~sched:(V.Sched.random ~seed) st) in
   (r, now () -. t0)
 
 (** Detect and classify every distinct race of [prog].
@@ -53,19 +55,20 @@ let analyze ?(config = Config.default) ?(seed = 1) ?(inputs = []) (prog : Porten
   in
   let clustered = D.Hb.detect_clustered ~suppress ?restrict record_run.V.Run.events in
   let classified =
-    Portend_util.Pool.map ~jobs:config.Config.jobs
-      (fun (race, instances) ->
-        let t0 = now () in
-        let r = Classify.classify ~config prog record_run.V.Run.trace race in
-        (race, instances, r, now () -. t0))
-      clustered
+    Telemetry.with_span "pipeline.classify" (fun () ->
+        Portend_util.Pool.map ~jobs:config.Config.jobs
+          (fun (race, instances) ->
+            let t0 = now () in
+            let r = Classify.classify ~config prog record_run.V.Run.trace race in
+            (race, instances, r, now () -. t0))
+          clustered)
   in
   let races, errors =
     List.fold_left
       (fun (races, errors) (race, instances, r, time_s) ->
         match r with
-        | Ok { Classify.verdict; evidence } ->
-          ({ race; instances; verdict; evidence; time_s } :: races, errors)
+        | Ok { Classify.verdict; evidence; stats } ->
+          ({ race; instances; verdict; evidence; stats; time_s } :: races, errors)
         | Error e -> (races, (race, e) :: errors))
       ([], []) classified
   in

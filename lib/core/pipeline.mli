@@ -8,6 +8,7 @@ type race_analysis = {
   instances : int;  (** dynamic occurrences during detection *)
   verdict : Taxonomy.verdict;
   evidence : Evidence.t option;
+  stats : Classify.stats;  (** exploration work done for this race *)
   time_s : float;  (** classification wall time for this race *)
 }
 

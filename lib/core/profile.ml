@@ -1,0 +1,32 @@
+(** One-shot profiled analysis: run the full pipeline with telemetry
+    enabled and hand back the analysis together with the telemetry
+    snapshot.  Shared by [portend profile] and the golden-file profile
+    test so both render exactly the same tables. *)
+
+module Telemetry = Portend_telemetry
+
+type t = {
+  analysis : Pipeline.t;
+  snap : Telemetry.snapshot;
+}
+
+(** Analyze [prog] with telemetry enabled, restoring the previous
+    enabled state afterwards.  Telemetry data and solver counters are
+    reset first so the snapshot covers exactly this run. *)
+let run ?config ?seed ?inputs (prog : Portend_lang.Bytecode.t) : t =
+  let was = Telemetry.enabled () in
+  Telemetry.set_enabled true;
+  Telemetry.reset ();
+  Portend_solver.Solver.reset_stats ();
+  Fun.protect
+    ~finally:(fun () -> Telemetry.set_enabled was)
+    (fun () ->
+      let analysis = Pipeline.analyze ?config ?seed ?inputs prog in
+      { analysis; snap = Telemetry.snapshot () })
+
+(** The per-phase summary (spans, counters, gauges) preceded by the
+    pipeline's verdict summary.  [times:false] gives deterministic
+    output (golden-file mode). *)
+let render ?times (p : t) : string =
+  let summary = Fmt.str "%a" Pipeline.pp_summary p.analysis in
+  summary ^ "\n\n" ^ Telemetry.summary_table ?times p.snap

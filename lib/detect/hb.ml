@@ -16,6 +16,18 @@
 
 open Portend_util.Maps
 module Events = Portend_vm.Events
+module Telemetry = Portend_telemetry
+
+(* Vector-clock operation accounting: the detector's work is dominated by
+   ticks and joins, so these two counters are the detector's cost model.
+   Wrappers keep the call sites below readable. *)
+let vc_tick tid vc =
+  Telemetry.incr "detect.vclock.ticks";
+  Vclock.tick tid vc
+
+let vc_join a b =
+  Telemetry.incr "detect.vclock.joins";
+  Vclock.join a b
 
 type stored_access = {
   sa : Report.access;
@@ -96,35 +108,35 @@ let check_access t ~loc ~(access : Report.access) =
 let handle_event t (ev : Events.t) =
   match ev with
   | Events.Access { tid; site; loc; kind; step } ->
-    let t = set_clock tid (Vclock.tick tid (clock_of tid t)) t in
+    let t = set_clock tid (vc_tick tid (clock_of tid t)) t in
     check_access t ~loc ~access:{ Report.a_tid = tid; a_site = site; a_kind = kind; a_step = step }
   | Events.Lock_acquired { tid; mutex; _ } ->
-    let vc = Vclock.join (clock_of tid t) (Smap.find_or ~default:Vclock.empty mutex t.mutex_clocks) in
-    set_clock tid (Vclock.tick tid vc) t
+    let vc = vc_join (clock_of tid t) (Smap.find_or ~default:Vclock.empty mutex t.mutex_clocks) in
+    set_clock tid (vc_tick tid vc) t
   | Events.Lock_released { tid; mutex; _ } ->
-    let vc = Vclock.tick tid (clock_of tid t) in
+    let vc = vc_tick tid (clock_of tid t) in
     let t = set_clock tid vc t in
     { t with mutex_clocks = Smap.add mutex vc t.mutex_clocks }
   | Events.Thread_spawned { parent; child; _ } ->
-    let pvc = Vclock.tick parent (clock_of parent t) in
+    let pvc = vc_tick parent (clock_of parent t) in
     let t = set_clock parent pvc t in
-    set_clock child (Vclock.tick child (Vclock.join pvc (clock_of child t))) t
+    set_clock child (vc_tick child (vc_join pvc (clock_of child t))) t
   | Events.Thread_joined { tid; child; _ } ->
-    let vc = Vclock.join (clock_of tid t) (clock_of child t) in
-    set_clock tid (Vclock.tick tid vc) t
-  | Events.Cond_waiting { tid; _ } -> set_clock tid (Vclock.tick tid (clock_of tid t)) t
+    let vc = vc_join (clock_of tid t) (clock_of child t) in
+    set_clock tid (vc_tick tid vc) t
+  | Events.Cond_waiting { tid; _ } -> set_clock tid (vc_tick tid (clock_of tid t)) t
   | Events.Cond_signalled { tid; woken; _ } ->
-    let vc = Vclock.tick tid (clock_of tid t) in
+    let vc = vc_tick tid (clock_of tid t) in
     let t = set_clock tid vc t in
     (* The woken threads observe the signaller's clock when they resume; we
        apply the edge eagerly, which is sound because the wakeup is already
        ordered after the signal by the VM. *)
     List.fold_left
-      (fun t w -> set_clock w (Vclock.tick w (Vclock.join vc (clock_of w t))) t)
+      (fun t w -> set_clock w (vc_tick w (vc_join vc (clock_of w t))) t)
       t woken
   | Events.Barrier_crossed { tids; _ } ->
-    let all = List.fold_left (fun acc w -> Vclock.join acc (clock_of w t)) Vclock.empty tids in
-    List.fold_left (fun t w -> set_clock w (Vclock.tick w (Vclock.join all (clock_of w t))) t) t tids
+    let all = List.fold_left (fun acc w -> vc_join acc (clock_of w t)) Vclock.empty tids in
+    List.fold_left (fun t w -> set_clock w (vc_tick w (vc_join all (clock_of w t))) t) t tids
   | Events.Outputted _ -> t
 
 (** Run the detector over a whole event stream; races in detection order.
@@ -145,28 +157,43 @@ let handle_event t (ev : Events.t) =
     events), the detector reports exactly the same races either way —
     asserted over the whole workload suite by the test suite. *)
 let detect ?(suppress = []) ?restrict events =
-  let suppressed site = List.mem (site.Events.func, site.Events.pc) suppress in
-  let events =
-    if suppress = [] then events
-    else
-      List.filter
-        (function Events.Access { site; _ } -> not (suppressed site) | _ -> true)
-        events
-  in
-  let events =
-    match restrict with
-    | None -> events
-    | Some report ->
-      let candidates = Portend_analysis.Static_report.restrict_sites report in
-      List.filter
-        (function
-          | Events.Access { site; _ } ->
-            List.mem (site.Events.func, site.Events.pc) candidates
-          | _ -> true)
-        events
-  in
-  let t = List.fold_left handle_event init events in
-  List.rev t.races
+  Telemetry.with_span "detect" (fun () ->
+      let telemetry_on = Telemetry.enabled () in
+      let suppressed site = List.mem (site.Events.func, site.Events.pc) suppress in
+      let before = if telemetry_on then List.length events else 0 in
+      let events =
+        if suppress = [] then events
+        else
+          List.filter
+            (function Events.Access { site; _ } -> not (suppressed site) | _ -> true)
+            events
+      in
+      let after_suppress = if telemetry_on then List.length events else 0 in
+      let events =
+        match restrict with
+        | None -> events
+        | Some report ->
+          let candidates = Portend_analysis.Static_report.restrict_sites report in
+          List.filter
+            (function
+              | Events.Access { site; _ } ->
+                List.mem (site.Events.func, site.Events.pc) candidates
+              | _ -> true)
+            events
+      in
+      if telemetry_on then begin
+        Telemetry.incr ~by:(List.length events) "detect.events";
+        Telemetry.incr
+          ~by:
+            (List.length
+               (List.filter (function Events.Access _ -> true | _ -> false) events))
+          "detect.accesses";
+        Telemetry.incr ~by:(before - after_suppress) "detect.suppressed_spin_reads";
+        Telemetry.incr ~by:(after_suppress - List.length events) "detect.prefilter_skipped"
+      end;
+      let t = List.fold_left handle_event init events in
+      if telemetry_on then Telemetry.incr ~by:(List.length t.races) "detect.races";
+      List.rev t.races)
 
 (** Distinct races (cluster representatives) with instance counts. *)
 let detect_clustered ?suppress ?restrict events = Report.cluster (detect ?suppress ?restrict events)

@@ -410,8 +410,17 @@ let canonicalize constraints =
   List.map (fun c -> Simplify.truthy (Simplify.simplify c)) constraints
   |> List.sort_uniq Expr.compare
 
+(* Counter bumps mirror the atomics into the telemetry registry (when it is
+   enabled), so the solver's workload shows up in the same per-phase summary
+   and Chrome trace as the rest of the pipeline. *)
+module Telemetry = Portend_telemetry
+
+let count atomic name =
+  Atomic.incr atomic;
+  if Telemetry.enabled () then Telemetry.incr name
+
 let solve ?(ranges = []) ?(budget = 4096) (constraints : Expr.t list) : result =
-  Atomic.incr q_queries;
+  count q_queries "solver.queries";
   let env0 = env_of_box ranges in
   (* Canonical box: duplicate range declarations collapse the same way the
      [env0] fold does (last wins), so equal boxes get equal keys. *)
@@ -421,28 +430,41 @@ let solve ?(ranges = []) ?(budget = 4096) (constraints : Expr.t list) : result =
   let mode = cache_mode () in
   match prefix_env ~box mode constraints with
   | None ->
-    Atomic.incr q_prefix;
+    count q_prefix "solver.prefix_unsat";
     Unsat
   | Some _ -> (
     let cs = canonicalize constraints in
     let k = key ~box ~budget cs in
     match cache_find k mode with
     | Some r ->
-      Atomic.incr q_hits;
+      count q_hits "solver.cache_hits";
       r
     | None ->
       let r = solve_core ~env0 ~budget cs in
-      if mode <> Cache_off then Atomic.incr q_misses;
+      if mode <> Cache_off then count q_misses "solver.cache_misses";
       cache_store k r mode;
+      (if Telemetry.enabled () then
+         match r with
+         | Sat _ -> Telemetry.incr "solver.solved.sat"
+         | Unsat -> Telemetry.incr "solver.solved.unsat"
+         | Unknown -> Telemetry.incr "solver.solved.unknown");
       r)
 
-(* Drop every cache and zero the counters (the bench harness calls this
-   between configurations so hit rates are per-run). *)
+(* Zero the counters — and only the counters.  Counter lifetime used to be
+   tangled with cache lifetime (one function dropped both), so any code that
+   wanted per-run hit rates also silently dumped the warm cache, and
+   vice-versa; the two resets are now explicit and independent.  A suite run
+   that never calls [reset_stats] therefore reports cumulative numbers
+   across every workload, not the last workload's. *)
 let reset_stats () =
   Atomic.set q_queries 0;
   Atomic.set q_hits 0;
   Atomic.set q_misses 0;
-  Atomic.set q_prefix 0;
+  Atomic.set q_prefix 0
+
+(* Drop the calling domain's caches and the shared cache (helper domains
+   are short-lived; their domain-local caches die with them). *)
+let clear_caches () =
   Ktbl.reset (Domain.DLS.get result_cache_key);
   Ptbl.reset (Domain.DLS.get prefix_cache_key);
   with_shared (fun () -> Ktbl.reset shared_cache)

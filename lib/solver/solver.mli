@@ -55,10 +55,16 @@ val stats : unit -> stats
 (** Fraction of cache lookups that hit, in [0, 1]. *)
 val hit_rate : stats -> float
 
-(** Zero the counters and drop the caches of the calling domain (helper
-    domains are short-lived, their domain-local caches die with them) and
-    the shared cache. *)
+(** Zero the counters — and only the counters.  Cache contents are
+    unaffected, so a run that resets its stats still benefits from (and
+    reports) hits against the warm cache; without a reset, counters are
+    cumulative across every query the process has made. *)
 val reset_stats : unit -> unit
+
+(** Drop the calling domain's caches and the shared cache.  Counters are
+    unaffected; benchmarks that want a cold start call this {e and}
+    {!reset_stats} explicitly. *)
+val clear_caches : unit -> unit
 
 (** [sat constraints]: does a model exist?  [Unknown] counts as [false]. *)
 val sat : ?ranges:(string * int * int) list -> ?budget:int -> Expr.t list -> bool

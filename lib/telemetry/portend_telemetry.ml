@@ -1,0 +1,325 @@
+(* Spans, counters, gauges and timers with per-domain sinks.
+
+   Design constraints, in priority order:
+   - disabled cost ~ one atomic load per call site (the pipeline is
+     instrumented on hot-ish paths and must stay within noise when off);
+   - no contention between Pool.map worker domains when enabled: each
+     domain owns a sink (domain-local storage) and takes only its own
+     sink's lock per operation;
+   - recording never influences behavior: nothing in here is read back by
+     instrumented code, so classifications are identical enabled or
+     disabled. *)
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+type event = {
+  ev_begin : bool;
+  ev_name : string;
+  ev_ts_us : float;
+  ev_dom : int;
+  ev_args : (string * string) list;
+}
+
+type timer = {
+  t_count : int;
+  t_total_s : float;
+}
+
+type gauge_agg = {
+  g_samples : int;
+  g_last : int;
+  g_max : int;
+}
+
+(* Cap the event buffer so a long suite run with tracing on cannot grow
+   without bound; drops are themselves counted. *)
+let max_events_per_sink = 500_000
+
+type sink = {
+  s_dom : int;
+  s_lock : Mutex.t;  (* taken by the owning domain per op, by snapshot/reset *)
+  s_counters : (string, int) Hashtbl.t;
+  s_timers : (string, timer) Hashtbl.t;
+  s_gauges : (string, gauge_agg) Hashtbl.t;
+  mutable s_events : event list;  (* newest first *)
+  mutable s_n_events : int;
+  mutable s_last_ts : float;  (* enforces per-sink monotone timestamps *)
+}
+
+(* Every sink ever created, so data outlives short-lived helper domains. *)
+let sinks : sink list ref = ref []
+let sinks_lock = Mutex.create ()
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let new_sink () =
+  let s =
+    { s_dom = (Domain.self () :> int);
+      s_lock = Mutex.create ();
+      s_counters = Hashtbl.create 64;
+      s_timers = Hashtbl.create 32;
+      s_gauges = Hashtbl.create 16;
+      s_events = [];
+      s_n_events = 0;
+      s_last_ts = 0.0
+    }
+  in
+  locked sinks_lock (fun () -> sinks := s :: !sinks);
+  s
+
+let sink_key : sink Domain.DLS.key = Domain.DLS.new_key new_sink
+let my_sink () = Domain.DLS.get sink_key
+
+let now_us () = Unix.gettimeofday () *. 1e6
+
+(* Monotone per sink: gettimeofday can step backwards under clock
+   adjustment; clamping keeps every sink's event stream non-decreasing
+   (and the merged, sorted stream too). *)
+let stamp s =
+  let t = now_us () in
+  let t = if t > s.s_last_ts then t else s.s_last_ts in
+  s.s_last_ts <- t;
+  t
+
+let bump tbl name by =
+  match Hashtbl.find_opt tbl name with
+  | Some v -> Hashtbl.replace tbl name (v + by)
+  | None -> Hashtbl.replace tbl name by
+
+let incr ?(by = 1) name =
+  if enabled () then begin
+    let s = my_sink () in
+    locked s.s_lock (fun () -> bump s.s_counters name by)
+  end
+
+let observe_s name dt =
+  if enabled () then begin
+    let s = my_sink () in
+    locked s.s_lock (fun () ->
+        let t =
+          match Hashtbl.find_opt s.s_timers name with
+          | Some t -> { t_count = t.t_count + 1; t_total_s = t.t_total_s +. dt }
+          | None -> { t_count = 1; t_total_s = dt }
+        in
+        Hashtbl.replace s.s_timers name t)
+  end
+
+let gauge name v =
+  if enabled () then begin
+    let s = my_sink () in
+    locked s.s_lock (fun () ->
+        let g =
+          match Hashtbl.find_opt s.s_gauges name with
+          | Some g -> { g_samples = g.g_samples + 1; g_last = v; g_max = max g.g_max v }
+          | None -> { g_samples = 1; g_last = v; g_max = v }
+        in
+        Hashtbl.replace s.s_gauges name g)
+  end
+
+let emit s ~is_begin name args =
+  locked s.s_lock (fun () ->
+      if s.s_n_events >= max_events_per_sink then bump s.s_counters "telemetry.events_dropped" 1
+      else begin
+        let ev =
+          { ev_begin = is_begin; ev_name = name; ev_ts_us = stamp s; ev_dom = s.s_dom;
+            ev_args = args
+          }
+        in
+        s.s_events <- ev :: s.s_events;
+        s.s_n_events <- s.s_n_events + 1
+      end)
+
+let with_span ?(args = []) name f =
+  (* Decide once at entry: if telemetry is toggled mid-span we either skip
+     the span entirely or close the one we opened — never emit an
+     unmatched begin/end. *)
+  if not (enabled ()) then f ()
+  else begin
+    let s = my_sink () in
+    let t0 = Unix.gettimeofday () in
+    emit s ~is_begin:true name args;
+    Fun.protect
+      ~finally:(fun () ->
+        emit s ~is_begin:false name [];
+        let dt = Unix.gettimeofday () -. t0 in
+        locked s.s_lock (fun () ->
+            let t =
+              match Hashtbl.find_opt s.s_timers name with
+              | Some t -> { t_count = t.t_count + 1; t_total_s = t.t_total_s +. dt }
+              | None -> { t_count = 1; t_total_s = dt }
+            in
+            Hashtbl.replace s.s_timers name t))
+      f
+  end
+
+(* --- snapshots ----------------------------------------------------- *)
+
+type snapshot = {
+  counters : (string * int) list;
+  timers : (string * timer) list;
+  gauges : (string * gauge_agg) list;
+  events : event list;
+}
+
+let snapshot () =
+  let all = locked sinks_lock (fun () -> !sinks) in
+  let counters = Hashtbl.create 64 in
+  let timers = Hashtbl.create 32 in
+  let gauges = Hashtbl.create 16 in
+  let events = ref [] in
+  List.iter
+    (fun s ->
+      locked s.s_lock (fun () ->
+          Hashtbl.iter (fun k v -> bump counters k v) s.s_counters;
+          Hashtbl.iter
+            (fun k (t : timer) ->
+              let merged =
+                match Hashtbl.find_opt timers k with
+                | Some m ->
+                  { t_count = m.t_count + t.t_count; t_total_s = m.t_total_s +. t.t_total_s }
+                | None -> t
+              in
+              Hashtbl.replace timers k merged)
+            s.s_timers;
+          Hashtbl.iter
+            (fun k (g : gauge_agg) ->
+              let merged =
+                match Hashtbl.find_opt gauges k with
+                | Some m ->
+                  { g_samples = m.g_samples + g.g_samples;
+                    (* "last" across domains: keep the sample from the sink
+                       seen last; only max and sample count are meaningful
+                       cross-domain. *)
+                    g_last = g.g_last;
+                    g_max = max m.g_max g.g_max
+                  }
+                | None -> g
+              in
+              Hashtbl.replace gauges k merged)
+            s.s_gauges;
+          events := List.rev_append s.s_events !events))
+    all;
+  let sorted tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare in
+  { counters = sorted counters;
+    timers = sorted timers;
+    gauges = sorted gauges;
+    events = List.stable_sort (fun a b -> compare a.ev_ts_us b.ev_ts_us) !events
+  }
+
+let reset () =
+  let all = locked sinks_lock (fun () -> !sinks) in
+  List.iter
+    (fun s ->
+      locked s.s_lock (fun () ->
+          Hashtbl.reset s.s_counters;
+          Hashtbl.reset s.s_timers;
+          Hashtbl.reset s.s_gauges;
+          s.s_events <- [];
+          s.s_n_events <- 0))
+    all
+
+let counter snap name =
+  match List.assoc_opt name snap.counters with Some v -> v | None -> 0
+
+let timer_s snap name =
+  match List.assoc_opt name snap.timers with Some t -> t.t_total_s | None -> 0.0
+
+(* --- Chrome-trace exporter ----------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_chrome_json snap =
+  let t0 = match snap.events with [] -> 0.0 | ev :: _ -> ev.ev_ts_us in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"portend\",\"ph\":\"%s\",\"ts\":%.1f,\"pid\":1,\"tid\":%d"
+           (json_escape ev.ev_name)
+           (if ev.ev_begin then "B" else "E")
+           (ev.ev_ts_us -. t0) ev.ev_dom);
+      if ev.ev_args <> [] then begin
+        Buffer.add_string buf ",\"args\":{";
+        List.iteri
+          (fun j (k, v) ->
+            if j > 0 then Buffer.add_char buf ',';
+            Buffer.add_string buf
+              (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+          ev.ev_args;
+        Buffer.add_char buf '}'
+      end;
+      Buffer.add_char buf '}')
+    snap.events;
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents buf
+
+(* --- summary-table exporter ---------------------------------------- *)
+
+let render_table buf ~title ~header rows =
+  if rows <> [] then begin
+    let widths =
+      List.fold_left
+        (fun ws row -> List.map2 (fun w cell -> max w (String.length cell)) ws row)
+        (List.map String.length header)
+        rows
+    in
+    let line row =
+      String.concat "  " (List.map2 (fun w cell -> Printf.sprintf "%-*s" w cell) widths row)
+    in
+    Buffer.add_string buf (Printf.sprintf "== %s ==\n" title);
+    Buffer.add_string buf (line header);
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (String.make (String.length (line header)) '-');
+    Buffer.add_char buf '\n';
+    List.iter
+      (fun row ->
+        Buffer.add_string buf (line row);
+        Buffer.add_char buf '\n')
+      rows;
+    Buffer.add_char buf '\n'
+  end
+
+let summary_table ?(times = true) snap =
+  let buf = Buffer.create 1024 in
+  let timer_rows =
+    List.map
+      (fun (name, t) ->
+        if times then
+          [ name;
+            string_of_int t.t_count;
+            Printf.sprintf "%.4f" t.t_total_s;
+            Printf.sprintf "%.2f" (1000.0 *. t.t_total_s /. float_of_int (max 1 t.t_count))
+          ]
+        else [ name; string_of_int t.t_count ])
+      snap.timers
+  in
+  render_table buf ~title:"phases (spans and latency accumulators)"
+    ~header:(if times then [ "phase"; "count"; "total (s)"; "mean (ms)" ] else [ "phase"; "count" ])
+    timer_rows;
+  render_table buf ~title:"counters" ~header:[ "counter"; "value" ]
+    (List.map (fun (name, v) -> [ name; string_of_int v ]) snap.counters);
+  render_table buf ~title:"gauges" ~header:[ "gauge"; "samples"; "last"; "max" ]
+    (List.map
+       (fun (name, g) ->
+         [ name; string_of_int g.g_samples; string_of_int g.g_last; string_of_int g.g_max ])
+       snap.gauges);
+  Buffer.contents buf

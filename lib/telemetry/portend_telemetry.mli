@@ -1,0 +1,93 @@
+(** Structured observability for the Portend pipeline: spans, counters,
+    gauges and duration accumulators, with per-domain sinks and three
+    exporters (Chrome-trace JSON, a flat summary table, and snapshot
+    accessors for machine-readable reports).
+
+    The whole API is {e off by default} and verdict-neutral: when disabled,
+    every operation is a single atomic-flag read and instrumented code takes
+    no other branch; when enabled, instrumentation only ever records — it
+    never feeds back into scheduling, exploration, or solving, so an
+    enabled and a disabled run produce bit-for-bit identical
+    classifications (asserted by the test suite).
+
+    Each domain writes to its own sink (domain-local storage), so
+    [Pool.map] workers never contend on a shared structure; sinks register
+    themselves in a global list and survive their domain, and
+    {!snapshot} aggregates across all of them. *)
+
+(** {1 Enabling} *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+(** {1 Recording} *)
+
+(** [with_span ?args name f] runs [f] inside a named span: a begin/end
+    event pair in the Chrome trace plus an entry in the duration table.
+    Nesting is per-domain (a span opened on one domain is closed on the
+    same domain even if [f] fans work out to others). *)
+val with_span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+(** [incr ?by name] bumps the named counter (default [by = 1]). *)
+val incr : ?by:int -> string -> unit
+
+(** [observe_s name dt] accumulates a duration (seconds) under [name] —
+    e.g. per-verdict classification latency. *)
+val observe_s : string -> float -> unit
+
+(** [gauge name v] records a sample of an instantaneous value (e.g. pool
+    queue depth); the snapshot keeps sample count, last and max. *)
+val gauge : string -> int -> unit
+
+(** {1 Snapshots} *)
+
+type event = {
+  ev_begin : bool;  (** [true] = span begin, [false] = span end *)
+  ev_name : string;
+  ev_ts_us : float;  (** microseconds, non-decreasing per domain *)
+  ev_dom : int;  (** the recording domain's id *)
+  ev_args : (string * string) list;
+}
+
+type timer = {
+  t_count : int;
+  t_total_s : float;
+}
+
+type gauge_agg = {
+  g_samples : int;
+  g_last : int;
+  g_max : int;
+}
+
+type snapshot = {
+  counters : (string * int) list;  (** summed across domains, sorted *)
+  timers : (string * timer) list;  (** span durations and [observe_s] *)
+  gauges : (string * gauge_agg) list;
+  events : event list;  (** chronological (sorted by timestamp) *)
+}
+
+(** Aggregate every domain's sink. *)
+val snapshot : unit -> snapshot
+
+(** Drop all recorded data (counters, timers, gauges, events). *)
+val reset : unit -> unit
+
+(** [counter snap name] — the counter's value, [0] when absent. *)
+val counter : snapshot -> string -> int
+
+(** Total seconds accumulated under a timer name, [0.] when absent. *)
+val timer_s : snapshot -> string -> float
+
+(** {1 Exporters} *)
+
+(** Chrome-trace JSON ([chrome://tracing] / Perfetto "trace event"
+    format): an object with a [traceEvents] array of [B]/[E] events,
+    timestamps rebased to the earliest event. *)
+val to_chrome_json : snapshot -> string
+
+(** Flat per-phase summary: spans/durations, counters and gauges as
+    aligned text tables.  [times:false] elides every wall-clock column
+    (durations, means) so the output is deterministic — the golden-file
+    test renders this mode. *)
+val summary_table : ?times:bool -> snapshot -> string

@@ -16,6 +16,8 @@
     item order) is re-raised on the caller after all domains are joined, and
     the remaining items are abandoned as soon as the failure is observed. *)
 
+module Telemetry = Portend_telemetry
+
 (** Upper bound on useful parallelism for this process. *)
 let recommended_jobs () = Domain.recommended_domain_count ()
 
@@ -52,6 +54,10 @@ let sequential_map ?on_item f items =
     item, so it must be domain-safe (writing slot [i] of a preallocated
     array is fine). *)
 let map ?on_item ~jobs f items =
+  if Telemetry.enabled () then begin
+    Telemetry.incr "pool.maps";
+    Telemetry.incr ~by:(List.length items) "pool.items"
+  end;
   if jobs <= 1 then sequential_map ?on_item f items
   else begin
     let arr = Array.of_list items in
@@ -62,6 +68,9 @@ let map ?on_item ~jobs f items =
       let error = Atomic.make None in
       let next = Atomic.make 0 in
       let work_one i =
+        (* Depth of the not-yet-claimed tail when this item was claimed:
+           the pool's instantaneous queue depth. *)
+        Telemetry.gauge "pool.queue_depth" (max 0 (n - i - 1));
         let t0 = Clock.now_s () in
         match f arr.(i) with
         | y ->
@@ -89,6 +98,7 @@ let map ?on_item ~jobs f items =
         end
       in
       let helpers = reserve (min (jobs - 1) (n - 1)) in
+      if helpers > 0 then Telemetry.incr ~by:helpers "pool.helpers_spawned";
       let domains = List.init helpers (fun _ -> Domain.spawn worker) in
       worker ();
       List.iter Domain.join domains;

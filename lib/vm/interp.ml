@@ -28,7 +28,10 @@ type succ = {
 }
 
 let ok ?(events = []) st = { succ_state = st; succ_events = events; succ_crash = None }
-let faulted ?(events = []) st c = { succ_state = st; succ_events = events; succ_crash = Some c }
+
+let faulted ?(events = []) st c =
+  Portend_telemetry.incr "vm.faults";
+  { succ_state = st; succ_events = events; succ_crash = Some c }
 
 let getop regs = function
   | B.Imm n -> Value.of_int n

@@ -6,6 +6,7 @@
     recording executions, straight replays, and baseline analyses. *)
 
 module B = Portend_lang.Bytecode
+module Telemetry = Portend_telemetry
 
 type slice_end =
   | End_decision  (** the thread's next instruction is a preemption point *)
@@ -22,6 +23,28 @@ let is_preemption st tid =
   match State.next_inst st tid with
   | None -> false
   | Some i -> B.shared_access i || B.sync_op i
+
+(* Telemetry for one finished slice batch: instructions executed (the steps
+   delta of each returned branch — branches of a symbolic fork each count
+   their own continuation), plus how the slices ended.  One call per slice,
+   nothing per instruction, so the disabled cost is a single flag read. *)
+let record_slices st0 (slices : sliced list) =
+  if Telemetry.enabled () then begin
+    Telemetry.incr "vm.slices";
+    List.iter
+      (fun sl ->
+        let delta = sl.s_state.State.steps - st0.State.steps in
+        if delta > 0 then Telemetry.incr ~by:delta "vm.steps";
+        match sl.s_end with
+        | End_decision -> Telemetry.incr "vm.preemption_points"
+        | End_paused -> Telemetry.incr "vm.slice_paused"
+        | End_crashed _ -> Telemetry.incr "vm.slice_crashed")
+      slices;
+    match slices with
+    | _ :: _ :: _ -> Telemetry.incr ~by:(List.length slices - 1) "vm.forks"
+    | _ -> ()
+  end;
+  slices
 
 (** Run [tid] until the next decision point.  Returns one sliced state per
     symbolic fork branch encountered along the way. *)
@@ -56,7 +79,7 @@ let slice ?(fuel = 50_000) (st : State.t) (tid : int) : sliced list =
           else after_exec s.Interp.succ_state rev_events (fuel - 1))
       succs
   in
-  exec st [] fuel
+  record_slices st (exec st [] fuel)
 
 type stop =
   | Halted  (** every thread finished *)
@@ -77,8 +100,20 @@ let concrete_inputs (st : State.t) =
   List.rev st.State.input_log
   |> List.filter_map (fun (k, v) -> match v with Value.Con n -> Some (k, n) | Value.Sym _ -> None)
 
+let stop_counter = function
+  | Halted -> "vm.stop.halted"
+  | Crashed _ -> "vm.stop.crashed"
+  | Deadlocked _ -> "vm.stop.deadlocked"
+  | Out_of_budget -> "vm.stop.out_of_budget"
+  | Diverged _ -> "vm.stop.diverged"
+  | Forked -> "vm.stop.forked"
+
 let run ~sched ?(budget = 1_000_000) (st0 : State.t) : result =
   let finish st stop rev_events rev_decisions rev_steps =
+    if Telemetry.enabled () then begin
+      Telemetry.incr "vm.runs";
+      Telemetry.incr (stop_counter stop)
+    end;
     { final = st;
       stop;
       events = List.rev rev_events;
@@ -103,6 +138,14 @@ let run ~sched ?(budget = 1_000_000) (st0 : State.t) : result =
               (Diverged (Printf.sprintf "scheduled thread %d is not runnable" tid))
               rev_events rev_decisions rev_steps
           else
+            let () =
+              if Telemetry.enabled () then begin
+                (* Per-thread scheduling decisions: which thread the recorded
+                   (or replayed) schedule favored, tid by tid. *)
+                Telemetry.incr "vm.decisions";
+                Telemetry.incr ("vm.sched.tid." ^ string_of_int tid)
+              end
+            in
             let rev_decisions = tid :: rev_decisions in
             let rev_steps = st.State.steps :: rev_steps in
             (match slice st tid with

@@ -14,12 +14,19 @@ type t = {
           left (only meaningful for trace replay). *)
 }
 
+(* Per-scheduler decision accounting, e.g. how much of a classification ran
+   under replay vs. the random continuation.  Static strings only: the
+   counter name must not allocate on the disabled path. *)
+let counted counter pick st runnable =
+  Portend_telemetry.incr counter;
+  pick st runnable
+
 (** Round-robin over tids, starting after the last scheduled thread. *)
 let round_robin =
   let rec make last =
     { name = "round-robin";
       pick =
-        (fun _st runnable ->
+        counted "vm.sched.pick.round-robin" (fun _st runnable ->
           let next =
             match List.find_opt (fun tid -> tid > last) runnable with
             | Some tid -> tid
@@ -35,7 +42,7 @@ let random ~seed =
   let rec make rng =
     { name = "random";
       pick =
-        (fun _st runnable ->
+        counted "vm.sched.pick.random" (fun _st runnable ->
           let tid, rng = Portend_util.Srng.choose runnable rng in
           Some (tid, make rng))
     }
@@ -47,7 +54,10 @@ let random ~seed =
 let of_decisions decisions =
   let rec make = function
     | [] -> { name = "replay"; pick = (fun _ _ -> None) }
-    | tid :: rest -> { name = "replay"; pick = (fun _st _runnable -> Some (tid, make rest)) }
+    | tid :: rest ->
+      { name = "replay";
+        pick = counted "vm.sched.pick.replay" (fun _st _runnable -> Some (tid, make rest))
+      }
   in
   make decisions
 
@@ -55,7 +65,10 @@ let of_decisions decisions =
 let prefix_then decisions next =
   let rec make = function
     | [] -> next
-    | tid :: rest -> { name = "prefix"; pick = (fun _st _runnable -> Some (tid, make rest)) }
+    | tid :: rest ->
+      { name = "prefix";
+        pick = counted "vm.sched.pick.prefix" (fun _st _runnable -> Some (tid, make rest))
+      }
   in
   make decisions
 
@@ -68,7 +81,7 @@ let of_decisions_tolerant decisions ~fallback =
     | tid :: rest ->
       { name = "replay-tolerant";
         pick =
-          (fun st runnable ->
+          counted "vm.sched.pick.replay-tolerant" (fun st runnable ->
             if List.mem tid runnable then Some (tid, make rest)
             else
               (* skip forward past unrunnable entries *)
@@ -88,7 +101,7 @@ let of_decisions_tolerant decisions ~fallback =
 let rec directed tid ~fallback =
   { name = "directed";
     pick =
-      (fun _st runnable ->
+      counted "vm.sched.pick.directed" (fun _st runnable ->
         if List.mem tid runnable then Some (tid, directed tid ~fallback)
         else
           match fallback.pick _st runnable with

@@ -1,0 +1,20 @@
+(* Golden-file driver for the profile-examples alias: profile every example
+   program with deterministic settings (jobs=1, seed 1, cold solver cache,
+   counts-only rendering) so any change to the pipeline's instrumentation
+   shows up as a diff against profile_examples.expected (refresh with
+   `dune promote`). *)
+
+module Core = Portend_core
+
+let () =
+  let files = List.sort compare (List.tl (Array.to_list Sys.argv)) in
+  List.iter
+    (fun file ->
+      Printf.printf "== %s ==\n" (Filename.basename file);
+      let prog = Portend_lang.Parser.compile_file file in
+      let config = { Core.Config.default with Core.Config.jobs = 1 } in
+      Portend_solver.Solver.clear_caches ();
+      let p = Core.Profile.run ~config ~seed:1 prog in
+      print_string (Core.Profile.render ~times:false p);
+      print_newline ())
+    files

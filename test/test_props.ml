@@ -237,6 +237,110 @@ let test_same_seed_same_run =
       && State.outputs r1.Run.final = State.outputs r2.Run.final)
 
 (* ------------------------------------------------------------------ *)
+(* telemetry is verdict-neutral and its counters match Pipeline stats  *)
+(* ------------------------------------------------------------------ *)
+
+module T = Portend_telemetry
+open Portend_core
+
+(* Random lock/spawn/join programs: worker bodies mix unprotected racy
+   statements with balanced lock..unlock regions, and main spawns two or
+   three workers and joins them all — richer synchronization shapes than
+   [gen_racy_program] so classification takes every path. *)
+let gen_sync_program : Ast.program QCheck.Gen.t =
+  let open QCheck.Gen in
+  let glob = oneofl [ "s0"; "s1"; "s2" ] in
+  let gen_plain =
+    frequency
+      [ ( 3,
+          let* x = glob in
+          let* n = int_bound 9 in
+          return (Ast.SetGlobal (x, Ast.Int n)) );
+        ( 2,
+          let* x = glob in
+          let* y = glob in
+          return (Ast.SetGlobal (x, Ast.Binop (E.Add, Ast.Global y, Ast.Int 1))) );
+        (2, map (fun x -> Ast.Output [ Ast.Global x ]) glob);
+        (1, return Ast.Yield)
+      ]
+  in
+  let gen_segment =
+    let* stmts = list_size (int_range 1 3) gen_plain in
+    frequency
+      [ (2, return stmts);
+        (* balanced critical section; a second mutex exercises distinct
+           lock clocks in the detector *)
+        (1, map (fun m -> (Ast.Lock m :: stmts) @ [ Ast.Unlock m ]) (oneofl [ "m0"; "m1" ]))
+      ]
+  in
+  let gen_body = map List.concat (list_size (int_range 1 3) gen_segment) in
+  let* b1 = gen_body in
+  let* b2 = gen_body in
+  let* b3 = gen_body in
+  let* three = bool in
+  let workers = if three then [ b1; b2; b3 ] else [ b1; b2 ] in
+  let funcs =
+    List.mapi (fun i b -> { Ast.fname = Printf.sprintf "w%d" (i + 1); params = []; body = b })
+      workers
+  in
+  let spawns =
+    List.mapi
+      (fun i f -> Ast.Spawn (Some (Printf.sprintf "t%d" (i + 1)), f.Ast.fname, []))
+      funcs
+  in
+  let joins =
+    List.mapi (fun i _ -> Ast.Join (Ast.Local (Printf.sprintf "t%d" (i + 1)))) funcs
+  in
+  return
+    { Ast.pname = "sync";
+      globals = [ ("s0", 0); ("s1", 0); ("s2", 0) ];
+      arrays = [];
+      mutexes = [ "m0"; "m1" ];
+      conds = [];
+      barriers = [];
+      funcs = funcs @ [ { Ast.fname = "main"; params = []; body = spawns @ joins } ]
+    }
+
+(* Everything observable about an analysis except wall-clock times. *)
+let analysis_fingerprint (a : Pipeline.t) =
+  ( List.map
+      (fun ra ->
+        ( Fmt.str "%a" Portend_detect.Report.pp_race ra.Pipeline.race,
+          ra.Pipeline.instances,
+          ra.Pipeline.verdict,
+          ra.Pipeline.evidence,
+          ra.Pipeline.stats ))
+      a.Pipeline.races,
+    List.map (fun (r, e) -> (Fmt.str "%a" Portend_detect.Report.pp_race r, e)) a.Pipeline.errors
+  )
+
+let test_telemetry_neutral =
+  let arb =
+    QCheck.make
+      ~print:(fun (p, seed) -> Printf.sprintf "seed %d\n%s" seed (Pp.program_to_string p))
+      QCheck.Gen.(pair gen_sync_program (int_bound 1000))
+  in
+  QCheck.Test.make
+    ~name:"telemetry is verdict-neutral and explore counters match Pipeline stats" ~count:60 arb
+    (fun (p, seed) ->
+      let prog = Compile.compile p in
+      let config = { Config.default with Config.jobs = 1 } in
+      let off = Pipeline.analyze ~config ~seed prog in
+      T.set_enabled true;
+      T.reset ();
+      let on, snap =
+        Fun.protect
+          ~finally:(fun () -> T.set_enabled false)
+          (fun () ->
+            let a = Pipeline.analyze ~config ~seed prog in
+            (a, T.snapshot ()))
+      in
+      let sum f = List.fold_left (fun acc ra -> acc + f ra.Pipeline.stats) 0 on.Pipeline.races in
+      analysis_fingerprint off = analysis_fingerprint on
+      && T.counter snap "explore.states" = sum (fun s -> s.Classify.states_explored)
+      && T.counter snap "explore.paths_completed" = sum (fun s -> s.Classify.paths_completed))
+
+(* ------------------------------------------------------------------ *)
 (* solver soundness vs brute force                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -336,6 +440,7 @@ let () =
           [ test_vm_matches_reference;
             test_record_replay_property;
             test_same_seed_same_run;
+            test_telemetry_neutral;
             test_solver_vs_bruteforce;
             test_solver_cache_coherent
           ] )

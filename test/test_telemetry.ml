@@ -1,0 +1,486 @@
+(* The telemetry layer:
+
+   - span nesting and event ordering in snapshots;
+   - counter aggregation across raw domains (per-domain sinks merge);
+   - Chrome-trace JSON well-formedness: valid JSON (checked with a small
+     parser below), every B matched by an E per (pid, tid) with stack
+     discipline, monotone timestamps;
+   - schedule-replay determinism: replaying a recorded trace performs
+     exactly the recorded number of VM steps, for every suite workload;
+   - suite-wide verdict neutrality: enabling telemetry changes no verdict;
+   - solver stats are cumulative until the explicit reset, and the reset
+     leaves the warm cache intact (clear_caches drops it). *)
+
+module T = Portend_telemetry
+module V = Portend_vm
+module D = Portend_detect
+module S = Portend_solver.Solver
+module E = Portend_solver.Expr
+open Portend_core
+open Portend_workloads
+
+(* Enable telemetry on a clean slate for the duration of [f]. *)
+let with_telemetry f =
+  let was = T.enabled () in
+  T.set_enabled true;
+  T.reset ();
+  Fun.protect ~finally:(fun () -> T.set_enabled was) f
+
+let check = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* span nesting and ordering                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_nesting () =
+  let snap =
+    with_telemetry (fun () ->
+        T.with_span "outer" (fun () ->
+            T.incr "n.work";
+            T.with_span "inner" (fun () -> T.incr ~by:2 "n.work"));
+        T.snapshot ())
+  in
+  let evs = List.map (fun e -> (e.T.ev_begin, e.T.ev_name)) snap.T.events in
+  check "events are B outer, B inner, E inner, E outer" true
+    (evs = [ (true, "outer"); (true, "inner"); (false, "inner"); (false, "outer") ]);
+  let ts = List.map (fun e -> e.T.ev_ts_us) snap.T.events in
+  check "timestamps non-decreasing" true (ts = List.sort compare ts);
+  check "counter accumulated" true (T.counter snap "n.work" = 3);
+  check "both spans have a timer entry" true
+    (List.mem_assoc "outer" snap.T.timers && List.mem_assoc "inner" snap.T.timers);
+  let outer = List.assoc "outer" snap.T.timers in
+  let inner = List.assoc "inner" snap.T.timers in
+  check "one sample per span" true (outer.T.t_count = 1 && inner.T.t_count = 1);
+  check "outer duration covers inner" true (outer.T.t_total_s >= inner.T.t_total_s)
+
+(* A span must close (and time) even when the body raises. *)
+let test_span_closes_on_exception () =
+  let snap =
+    with_telemetry (fun () ->
+        (try T.with_span "boom" (fun () -> failwith "x") with Failure _ -> ());
+        T.snapshot ())
+  in
+  let begins = List.filter (fun e -> e.T.ev_begin) snap.T.events in
+  let ends = List.filter (fun e -> not e.T.ev_begin) snap.T.events in
+  check "B and E both emitted" true (List.length begins = 1 && List.length ends = 1);
+  check "timer recorded" true (List.mem_assoc "boom" snap.T.timers)
+
+(* ------------------------------------------------------------------ *)
+(* cross-domain aggregation                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_cross_domain_counters () =
+  let snap =
+    with_telemetry (fun () ->
+        T.incr ~by:7 "x.total";
+        let doms =
+          List.init 3 (fun _ ->
+              Domain.spawn (fun () ->
+                  for _ = 1 to 100 do
+                    T.incr ~by:5 "x.total"
+                  done;
+                  T.gauge "x.gauge" 42))
+        in
+        List.iter Domain.join doms;
+        T.snapshot ())
+  in
+  check "counters sum across domains" true (T.counter snap "x.total" = 7 + (3 * 100 * 5));
+  match List.assoc_opt "x.gauge" snap.T.gauges with
+  | None -> Alcotest.fail "gauge missing from snapshot"
+  | Some g ->
+    check "gauge samples from every domain" true (g.T.g_samples = 3);
+    check "gauge max" true (g.T.g_max = 42)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome-trace JSON well-formedness                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A small strict JSON parser — just enough to round-trip the exporter's
+   output (objects, arrays, strings with escapes, numbers, booleans). *)
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then s.[!pos] else raise (Bad "eof") in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      if !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      then begin
+        advance ();
+        skip_ws ()
+      end
+    in
+    let expect c =
+      skip_ws ();
+      if peek () <> c then raise (Bad (Printf.sprintf "expected %c at %d" c !pos));
+      advance ()
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | '"' -> advance ()
+        | '\\' ->
+          advance ();
+          (match peek () with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'u' ->
+            if !pos + 4 >= n then raise (Bad "bad \\u escape");
+            let code = int_of_string ("0x" ^ String.sub s (!pos + 1) 4) in
+            pos := !pos + 4;
+            (* the exporter only emits \u00XX for control bytes *)
+            Buffer.add_char buf (Char.chr (code land 0xff))
+          | c -> raise (Bad (Printf.sprintf "bad escape \\%c" c)));
+          advance ();
+          go ()
+        | c when Char.code c < 0x20 -> raise (Bad "raw control char in string")
+        | c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' ->
+              advance ();
+              members ((k, v) :: acc)
+            | '}' ->
+              advance ();
+              Obj (List.rev ((k, v) :: acc))
+            | c -> raise (Bad (Printf.sprintf "bad object separator %c" c))
+          in
+          members []
+        end
+      | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' ->
+              advance ();
+              elements (v :: acc)
+            | ']' ->
+              advance ();
+              Arr (List.rev (v :: acc))
+            | c -> raise (Bad (Printf.sprintf "bad array separator %c" c))
+          in
+          elements []
+        end
+      | '"' -> Str (parse_string ())
+      | 't' ->
+        pos := !pos + 4;
+        Bool true
+      | 'f' ->
+        pos := !pos + 5;
+        Bool false
+      | 'n' ->
+        pos := !pos + 4;
+        Null
+      | _ ->
+        let start = !pos in
+        while
+          !pos < n
+          && (match s.[!pos] with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false)
+        do
+          advance ()
+        done;
+        if !pos = start then raise (Bad (Printf.sprintf "unexpected char at %d" start));
+        Num (float_of_string (String.sub s start (!pos - start)))
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then raise (Bad "trailing garbage");
+    v
+end
+
+let field name = function
+  | Json.Obj kvs -> List.assoc_opt name kvs
+  | _ -> None
+
+let test_chrome_trace_well_formed () =
+  (* Real events from a full profiled analysis, plus a span with args that
+     need escaping. *)
+  let w = List.hd Suite.all in
+  let prog = Portend_lang.Compile.compile w.Registry.w_prog in
+  let json =
+    with_telemetry (fun () ->
+        T.with_span ~args:[ ("note", "quote \" backslash \\ tab\t") ] "args-span" (fun () ->
+            ignore
+              (Pipeline.analyze
+                 ~config:{ Config.default with Config.jobs = 2 }
+                 ~seed:w.Registry.w_seed ~inputs:w.Registry.w_inputs prog));
+        T.to_chrome_json (T.snapshot ()))
+  in
+  let parsed =
+    match Json.parse json with
+    | v -> v
+    | exception Json.Bad e -> Alcotest.failf "invalid JSON: %s" e
+  in
+  let events =
+    match field "traceEvents" parsed with
+    | Some (Json.Arr evs) -> evs
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  check "has events" true (events <> []);
+  (* every event has the required fields; timestamps are monotone *)
+  let last_ts = ref neg_infinity in
+  let stacks : (int, string list) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      let name =
+        match field "name" ev with
+        | Some (Json.Str s) -> s
+        | _ -> Alcotest.fail "event without name"
+      in
+      let ph =
+        match field "ph" ev with
+        | Some (Json.Str s) -> s
+        | _ -> Alcotest.fail "event without ph"
+      in
+      let ts =
+        match field "ts" ev with
+        | Some (Json.Num t) -> t
+        | _ -> Alcotest.fail "event without ts"
+      in
+      let tid =
+        match field "tid" ev with
+        | Some (Json.Num t) -> int_of_float t
+        | _ -> Alcotest.fail "event without tid"
+      in
+      check "pid present" true (field "pid" ev <> None);
+      check "ts rebased to >= 0" true (ts >= 0.0);
+      check "ts monotone in file order" true (ts >= !last_ts);
+      last_ts := ts;
+      let stack = match Hashtbl.find_opt stacks tid with Some s -> s | None -> [] in
+      match ph with
+      | "B" -> Hashtbl.replace stacks tid (name :: stack)
+      | "E" -> (
+        match stack with
+        | top :: rest ->
+          check "E matches innermost B on its tid" true (top = name);
+          Hashtbl.replace stacks tid rest
+        | [] -> Alcotest.failf "E %S with no open span on tid %d" name tid)
+      | _ -> Alcotest.failf "unexpected phase %S" ph)
+    events;
+  Hashtbl.iter
+    (fun tid stack ->
+      check (Printf.sprintf "all spans closed on tid %d" tid) true (stack = []))
+    stacks;
+  check "escaped args survive the round trip" true
+    (List.exists
+       (fun ev ->
+         field "name" ev = Some (Json.Str "args-span")
+         &&
+         match field "args" ev with
+         | Some (Json.Obj kvs) ->
+           List.assoc_opt "note" kvs = Some (Json.Str "quote \" backslash \\ tab\t")
+         | _ -> false)
+       events)
+
+(* ------------------------------------------------------------------ *)
+(* schedule-replay determinism: recorded VM steps == replayed VM steps *)
+(* ------------------------------------------------------------------ *)
+
+let test_replay_step_counts () =
+  List.iter
+    (fun (w : Registry.workload) ->
+      let prog = Portend_lang.Compile.compile w.Registry.w_prog in
+      let model = Portend_util.Maps.Smap.of_list w.Registry.w_inputs in
+      let recorded, rec_steps =
+        with_telemetry (fun () ->
+            let st = V.State.init ~input_mode:(V.State.Concrete model) prog in
+            let r = V.Run.run ~sched:(V.Sched.random ~seed:w.Registry.w_seed) st in
+            (r, T.counter (T.snapshot ()) "vm.steps"))
+      in
+      check
+        (w.Registry.w_name ^ ": recorded vm.steps counter = final step count")
+        true
+        (rec_steps = recorded.V.Run.final.V.State.steps);
+      let replayed_steps =
+        with_telemetry (fun () ->
+            let st = V.State.init ~input_mode:(V.State.Concrete model) prog in
+            let r =
+              V.Run.run
+                ~sched:(V.Sched.of_decisions (V.Trace.decisions recorded.V.Run.trace))
+                st
+            in
+            check (w.Registry.w_name ^ ": replay reaches the recorded stop") true
+              (V.Run.stop_to_string r.V.Run.stop
+              = V.Run.stop_to_string recorded.V.Run.stop);
+            T.counter (T.snapshot ()) "vm.steps")
+      in
+      check
+        (w.Registry.w_name ^ ": replayed vm.steps counter = recorded")
+        true (replayed_steps = rec_steps))
+    Suite.all
+
+(* ------------------------------------------------------------------ *)
+(* suite-wide verdict neutrality                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything observable about an analysis except wall-clock times. *)
+let fingerprint (w : Registry.workload) =
+  let config = { Config.default with Config.jobs = 2 } in
+  let prog = Portend_lang.Compile.compile w.Registry.w_prog in
+  let a = Pipeline.analyze ~config ~seed:w.Registry.w_seed ~inputs:w.Registry.w_inputs prog in
+  let race_key (r : D.Report.race) = Fmt.str "%a" D.Report.pp_race r in
+  ( w.Registry.w_name,
+    List.map
+      (fun ra ->
+        ( race_key ra.Pipeline.race,
+          ra.Pipeline.instances,
+          ra.Pipeline.verdict,
+          ra.Pipeline.evidence,
+          ra.Pipeline.stats ))
+      a.Pipeline.races,
+    List.map (fun (r, e) -> (race_key r, e)) a.Pipeline.errors )
+
+let test_suite_verdicts_neutral () =
+  List.iter
+    (fun (w : Registry.workload) ->
+      let off = fingerprint w in
+      let on = with_telemetry (fun () -> fingerprint w) in
+      check (w.Registry.w_name ^ ": verdicts identical with telemetry on") true (off = on))
+    Suite.all
+
+(* ------------------------------------------------------------------ *)
+(* solver stats: cumulative until the explicit reset                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_solver_stats_reset () =
+  let saved = S.cache_mode () in
+  Fun.protect
+    ~finally:(fun () -> S.set_cache_mode saved)
+    (fun () ->
+      S.set_cache_mode S.Cache_domain;
+      S.clear_caches ();
+      S.reset_stats ();
+      let ranges = [ ("x", 0, 9) ] in
+      let cs = [ E.Binop (E.Lt, E.Var "x", E.Const 5) ] in
+      ignore (S.solve ~ranges cs);
+      let s1 = S.stats () in
+      check "first query is a miss" true (s1.S.queries = 1 && s1.S.cache_misses = 1);
+      ignore (S.solve ~ranges cs);
+      let s2 = S.stats () in
+      check "stats are cumulative across queries (not last-query)" true
+        (s2.S.queries = 2 && s2.S.cache_hits = 1 && s2.S.cache_misses = 1);
+      S.reset_stats ();
+      let z = S.stats () in
+      check "reset_stats zeroes every counter" true
+        (z.S.queries = 0 && z.S.cache_hits = 0 && z.S.cache_misses = 0 && z.S.prefix_unsat = 0);
+      ignore (S.solve ~ranges cs);
+      let s3 = S.stats () in
+      check "reset_stats keeps the warm cache (hit, no miss)" true
+        (s3.S.queries = 1 && s3.S.cache_hits = 1 && s3.S.cache_misses = 0);
+      S.clear_caches ();
+      S.reset_stats ();
+      ignore (S.solve ~ranges cs);
+      let s4 = S.stats () in
+      check "clear_caches forces a fresh solve" true
+        (s4.S.queries = 1 && s4.S.cache_hits = 0 && s4.S.cache_misses = 1))
+
+(* A suite-style run accumulates queries across workloads: the counters
+   after two analyses must strictly exceed the counters after one. *)
+let test_solver_stats_cumulative_across_workloads () =
+  let w =
+    (* a workload that actually reaches the solver (multipath ran) *)
+    match
+      List.find_opt
+        (fun (w : Registry.workload) ->
+          S.reset_stats ();
+          let prog = Portend_lang.Compile.compile w.Registry.w_prog in
+          ignore
+            (Pipeline.analyze
+               ~config:{ Config.default with Config.jobs = 1 }
+               ~seed:w.Registry.w_seed ~inputs:w.Registry.w_inputs prog);
+          (S.stats ()).S.queries > 0)
+        Suite.all
+    with
+    | Some w -> w
+    | None -> Alcotest.fail "no suite workload queries the solver"
+  in
+  let prog = Portend_lang.Compile.compile w.Registry.w_prog in
+  let analyze () =
+    ignore
+      (Pipeline.analyze
+         ~config:{ Config.default with Config.jobs = 1 }
+         ~seed:w.Registry.w_seed ~inputs:w.Registry.w_inputs prog)
+  in
+  S.reset_stats ();
+  analyze ();
+  let q1 = (S.stats ()).S.queries in
+  analyze ();
+  let q2 = (S.stats ()).S.queries in
+  check "queries accumulate across analyses" true (q1 > 0 && q2 = 2 * q1)
+
+let () =
+  Alcotest.run "telemetry"
+    [ ( "spans",
+        [ Alcotest.test_case "nesting and ordering" `Quick test_span_nesting;
+          Alcotest.test_case "closed on exception" `Quick test_span_closes_on_exception
+        ] );
+      ( "domains",
+        [ Alcotest.test_case "counters aggregate across domains" `Quick
+            test_cross_domain_counters
+        ] );
+      ( "chrome-trace",
+        [ Alcotest.test_case "JSON well-formed, B/E matched, ts monotone" `Quick
+            test_chrome_trace_well_formed
+        ] );
+      ( "pipeline",
+        [ Alcotest.test_case "replayed VM-step counter equals recorded" `Quick
+            test_replay_step_counts;
+          Alcotest.test_case "suite verdicts identical on/off" `Quick
+            test_suite_verdicts_neutral
+        ] );
+      ( "solver-stats",
+        [ Alcotest.test_case "explicit reset; warm cache survives" `Quick
+            test_solver_stats_reset;
+          Alcotest.test_case "cumulative across workloads" `Quick
+            test_solver_stats_cumulative_across_workloads
+        ] )
+    ]

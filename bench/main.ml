@@ -6,7 +6,7 @@
 let usage () =
   print_endline
     "usage: main.exe \
-     [table1|table2|table3|table4|table5|fig7|fig9|fig10|falsepos|weakmem|micro|parallel|prefilter|observability|smoke|all]"
+     [table1|table2|table3|table4|table5|fig7|fig9|fig10|falsepos|weakmem|micro|parallel|prefilter|reduction|observability|smoke|reduction-smoke|all]"
 
 let () =
   let target = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -28,8 +28,10 @@ let () =
   | "micro" -> Micro_bench.run ()
   | "parallel" -> Parallel_bench.run ()
   | "prefilter" -> Prefilter_bench.run ()
+  | "reduction" -> Reduction_bench.run ()
   | "observability" -> Observability_bench.run ()
   | "smoke" -> Parallel_bench.smoke ()
+  | "reduction-smoke" -> Reduction_bench.smoke ()
   | "all" ->
     Tables.table1 ();
     Tables.table2 suite;
@@ -44,5 +46,6 @@ let () =
     Micro_bench.run ();
     Parallel_bench.run ();
     Prefilter_bench.run ();
+    Reduction_bench.run ();
     Observability_bench.run ()
   | _ -> usage ()

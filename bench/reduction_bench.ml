@@ -1,0 +1,197 @@
+(* State-space reduction benchmark: per workload, the full pipeline with
+   reduction off vs. on (jobs=1, cold solver caches per measurement),
+   recording states explored, solver queries and wall time, cross-checking
+   that verdicts are identical, and writing BENCH_reduction.json so later
+   changes can track the trajectory. *)
+
+open Portend_core
+open Portend_workloads
+module D = Portend_detect
+module Solver = Portend_solver.Solver
+
+(* Full verdict signature of one analysis: racy location, category, k,
+   detail text, states-differ bit and whether evidence was produced.  The
+   reductions must preserve every component, not just the category. *)
+let signature (r : Harness.app_result) =
+  List.map
+    (fun ra ->
+      ( D.Report.base_loc ra.Pipeline.race.D.Report.r_loc,
+        Taxonomy.category_to_string ra.Pipeline.verdict.Taxonomy.category,
+        ra.Pipeline.verdict.Taxonomy.k,
+        ra.Pipeline.verdict.Taxonomy.detail,
+        ra.Pipeline.verdict.Taxonomy.states_differ,
+        ra.Pipeline.evidence <> None ))
+    r.Harness.analysis.Pipeline.races
+
+let sum f (r : Harness.app_result) =
+  List.fold_left (fun acc ra -> acc + f ra.Pipeline.stats) 0 r.Harness.analysis.Pipeline.races
+
+let sum_red f r = sum (fun s -> f s.Classify.red) r
+
+type side = {
+  s_states : int;
+  s_queries : int;
+  s_wall : float;
+  s_sig : (string * string * int * string * bool * bool) list;
+  s_red : Classify.reduction;  (* summed over the workload's races *)
+}
+
+let total_red (r : Harness.app_result) : Classify.reduction =
+  { Classify.states_deduped = sum_red (fun d -> d.Classify.states_deduped) r;
+    schedules_pruned = sum_red (fun d -> d.Classify.schedules_pruned) r;
+    comparisons_deduped = sum_red (fun d -> d.Classify.comparisons_deduped) r;
+    suffix_solves = sum_red (fun d -> d.Classify.suffix_solves) r;
+    full_solves = sum_red (fun d -> d.Classify.full_solves) r;
+    replays_reused = sum_red (fun d -> d.Classify.replays_reused) r
+  }
+
+let measure ~reduction (w : Registry.workload) : side =
+  let config = { Config.default with Config.jobs = 1; enable_reduction = reduction } in
+  (* Cold per measurement: a warm cross-workload cache would hide exactly
+     the queries the reduction is supposed to remove. *)
+  Solver.reset_stats ();
+  Solver.clear_caches ();
+  let r, dt = Portend_util.Clock.timed (fun () -> Harness.analyze_workload ~config w) in
+  let s = Solver.stats () in
+  { s_states = sum (fun s -> s.Classify.states_explored) r;
+    s_queries = s.Solver.queries;
+    s_wall = dt;
+    s_sig = signature r;
+    s_red = total_red r
+  }
+
+type row = {
+  r_name : string;
+  r_off : side;
+  r_on : side;
+  r_identical : bool;
+  r_deterministic : bool;  (* reduced run repeated: same signature + counters *)
+}
+
+let delta_pct before after =
+  if before <= 0 then 0.0 else 100.0 *. float_of_int (before - after) /. float_of_int before
+
+let improved row =
+  delta_pct row.r_off.s_states row.r_on.s_states >= 20.0
+  || delta_pct row.r_off.s_queries row.r_on.s_queries >= 20.0
+
+let bench_workload (w : Registry.workload) : row =
+  let off = measure ~reduction:false w in
+  let on = measure ~reduction:true w in
+  let on2 = measure ~reduction:true w in
+  { r_name = w.Registry.w_name;
+    r_off = off;
+    r_on = on;
+    r_identical = off.s_sig = on.s_sig;
+    r_deterministic = on.s_sig = on2.s_sig && on.s_red = on2.s_red && on.s_states = on2.s_states
+  }
+
+let json_of_row r =
+  let red = r.r_on.s_red in
+  Printf.sprintf
+    {|    {"workload": %S, "verdict_identical": %b, "deterministic": %b,
+     "unreduced": {"states": %d, "solver_queries": %d, "wall_s": %.6f},
+     "reduced": {"states": %d, "solver_queries": %d, "wall_s": %.6f,
+       "suffix_solves": %d, "full_solves": %d, "schedules_pruned": %d,
+       "comparisons_deduped": %d, "replays_reused": %d, "states_deduped": %d},
+     "states_delta_pct": %.1f, "queries_delta_pct": %.1f, "improved_20pct": %b}|}
+    r.r_name r.r_identical r.r_deterministic r.r_off.s_states r.r_off.s_queries r.r_off.s_wall
+    r.r_on.s_states r.r_on.s_queries r.r_on.s_wall red.Classify.suffix_solves
+    red.Classify.full_solves red.Classify.schedules_pruned red.Classify.comparisons_deduped
+    red.Classify.replays_reused red.Classify.states_deduped
+    (delta_pct r.r_off.s_states r.r_on.s_states)
+    (delta_pct r.r_off.s_queries r.r_on.s_queries)
+    (improved r)
+
+let table_row r =
+  [ r.r_name;
+    string_of_int r.r_off.s_states;
+    string_of_int r.r_on.s_states;
+    string_of_int r.r_off.s_queries;
+    string_of_int r.r_on.s_queries;
+    Printf.sprintf "%.0f%%" (delta_pct r.r_off.s_queries r.r_on.s_queries);
+    string_of_int r.r_on.s_red.Classify.suffix_solves;
+    string_of_int
+      (r.r_on.s_red.Classify.schedules_pruned + r.r_on.s_red.Classify.comparisons_deduped);
+    (if r.r_identical then "yes" else "NO")
+  ]
+
+let header =
+  [ "workload"; "states"; "(red)"; "queries"; "(red)"; "q saved"; "suffix"; "alt dedup"; "same" ]
+
+let run () =
+  let rows = List.map bench_workload Suite.all in
+  Harness.print_table ~title:"State-space reduction (per workload, jobs=1, cold caches)" ~header
+    (List.map table_row rows);
+  let identical = List.for_all (fun r -> r.r_identical) rows in
+  let deterministic = List.for_all (fun r -> r.r_deterministic) rows in
+  let improved_n = List.length (List.filter improved rows) in
+  Printf.printf "\nverdicts identical on all workloads: %b\n" identical;
+  Printf.printf "reduced runs deterministic: %b\n" deterministic;
+  Printf.printf "workloads with >=20%% fewer states or queries: %d/%d\n" improved_n
+    (List.length rows);
+  if not identical then prerr_endline "WARNING: reduction changed a verdict!";
+  let json =
+    Printf.sprintf
+      {|{
+  "bench": "portend-state-space-reduction",
+  "suite_workloads": %d,
+  "verdicts_identical": %b,
+  "deterministic": %b,
+  "workloads_improved_20pct": %d,
+  "workloads": [
+%s
+  ]
+}
+|}
+      (List.length rows) identical deterministic improved_n
+      (String.concat ",\n" (List.map json_of_row rows))
+  in
+  let path = Filename.concat (Sys.getcwd ()) "BENCH_reduction.json" in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+(* Two small workloads with reduction off vs. on, exercised on every
+   `dune runtest` via the reduction-smoke alias: verdict identity, nonzero
+   savings when enabled and all-zero reduction counters when disabled stay
+   under continuous test without the full benchmark's cost. *)
+let smoke () =
+  let pick name =
+    match Suite.find name with
+    | Some w -> w
+    | None -> List.hd Suite.micro_benchmarks
+  in
+  let ws = [ pick "RW"; pick "ctrace" ] in
+  let rows = List.map bench_workload ws in
+  List.iter
+    (fun r ->
+      if not r.r_identical then begin
+        Printf.eprintf "reduction smoke FAILED: verdicts differ on %s\n" r.r_name;
+        exit 1
+      end;
+      if not r.r_deterministic then begin
+        Printf.eprintf "reduction smoke FAILED: reduced run not deterministic on %s\n" r.r_name;
+        exit 1
+      end;
+      let off = r.r_off.s_red in
+      if off <> Classify.no_reduction then begin
+        Printf.eprintf "reduction smoke FAILED: counters nonzero with reduction off on %s\n"
+          r.r_name;
+        exit 1
+      end)
+    rows;
+  let saved =
+    List.fold_left
+      (fun acc r ->
+        acc + (r.r_off.s_queries - r.r_on.s_queries) + r.r_on.s_red.Classify.suffix_solves)
+      0 rows
+  in
+  if saved = 0 then begin
+    prerr_endline "reduction smoke FAILED: reduction saved no solver work on RW/ctrace";
+    exit 1
+  end;
+  Printf.printf "reduction smoke ok: verdicts identical on %s; %d solver call(s) avoided\n"
+    (String.concat ", " (List.map (fun r -> r.r_name) rows))
+    saved

@@ -63,6 +63,15 @@ let prefilter_arg =
            candidate races. Race reports are identical either way (the candidates \
            over-approximate the reportable races); only the instrumented-site count shrinks.")
 
+let no_reduction_arg =
+  Arg.(
+    value & flag
+    & info [ "no-reduction" ]
+        ~doc:
+          "Disable the state-space reductions of the multi-path/multi-schedule stage (scored \
+           frontier, state dedup, interleaving-equivalence pruning, incremental path solving). \
+           Verdicts and race reports are identical either way; only the work done changes.")
+
 let or_die = function
   | Ok v -> v
   | Error e ->
@@ -154,7 +163,7 @@ let classify_cmd =
     Arg.(value & opt int Core.Config.default.Core.Config.max_symbolic_inputs
          & info [ "symbolic-inputs" ] ~docv:"N" ~doc:"How many program inputs to treat symbolically.")
   in
-  let classify file seed inputs mp ma sym jobs prefilter trace =
+  let classify file seed inputs mp ma sym jobs prefilter no_reduction trace =
     let prog = or_die (load file) in
     let config =
       { Core.Config.default with
@@ -162,7 +171,8 @@ let classify_cmd =
         ma;
         max_symbolic_inputs = sym;
         jobs;
-        static_prefilter = prefilter
+        static_prefilter = prefilter;
+        enable_reduction = not no_reduction
       }
     in
     let a =
@@ -200,7 +210,7 @@ let classify_cmd =
           single-ordering.")
     Term.(
       const classify $ file_arg $ seed_arg $ inputs_arg $ mp_arg $ ma_arg $ sym_arg $ jobs_arg
-      $ prefilter_arg $ trace_arg)
+      $ prefilter_arg $ no_reduction_arg $ trace_arg)
 
 (* --- lint --- *)
 
@@ -260,8 +270,10 @@ let weakmem_cmd =
 (* --- suite --- *)
 
 let suite_cmd =
-  let suite jobs trace =
-    let config = { Core.Config.default with Core.Config.jobs } in
+  let suite jobs no_reduction trace =
+    let config =
+      { Core.Config.default with Core.Config.jobs; enable_reduction = not no_reduction }
+    in
     (* Explicit reset so the stats line below covers exactly this suite run,
        cumulatively across all workloads (not just the last one). *)
     Portend_solver.Solver.reset_stats ();
@@ -285,7 +297,7 @@ let suite_cmd =
   in
   Cmd.v
     (Cmd.info "suite" ~doc:"Classify every race in the paper's evaluation suite.")
-    Term.(const suite $ jobs_arg $ trace_arg)
+    Term.(const suite $ jobs_arg $ no_reduction_arg $ trace_arg)
 
 (* --- profile --- *)
 
@@ -298,9 +310,11 @@ let profile_cmd =
             "Elide every wall-clock column from the summary so the output is deterministic \
              (counts only).")
   in
-  let profile file seed inputs jobs trace no_times =
+  let profile file seed inputs jobs no_reduction trace no_times =
     let prog = or_die (load file) in
-    let config = { Core.Config.default with Core.Config.jobs } in
+    let config =
+      { Core.Config.default with Core.Config.jobs; enable_reduction = not no_reduction }
+    in
     let p = Core.Profile.run ~config ~seed ~inputs:(parse_inputs inputs) prog in
     print_string (Core.Profile.render ~times:(not no_times) p);
     (match trace with
@@ -314,7 +328,9 @@ let profile_cmd =
          "Run the full classification pipeline with telemetry enabled and print the per-phase \
           summary: span durations, counters (VM steps, vector-clock operations, explored \
           states, solver queries, ...) and gauges.")
-    Term.(const profile $ file_arg $ seed_arg $ inputs_arg $ jobs_arg $ trace_arg $ no_times_arg)
+    Term.(
+      const profile $ file_arg $ seed_arg $ inputs_arg $ jobs_arg $ no_reduction_arg $ trace_arg
+      $ no_times_arg)
 
 (* --- dump --- *)
 

@@ -5,6 +5,32 @@ module V = Portend_vm
 module R = Portend_detect.Report
 module Telemetry = Portend_telemetry
 
+(** Work avoided by the state-space reductions ([Config.enable_reduction]);
+    every field is 0 when reduction is disabled. *)
+type reduction = {
+  states_deduped : int;  (** frontier states dropped as already expanded *)
+  schedules_pruned : int;
+      (** alternate schedules skipped as Mazurkiewicz-equivalent to an
+          already-witnessed alternate of the same primary *)
+  comparisons_deduped : int;
+      (** alternate output comparisons skipped because the outputs equalled
+          an already-witnessed alternate's *)
+  suffix_solves : int;
+      (** path completions discharged from the threaded interval env *)
+  full_solves : int;  (** path completions that paid for a solver query *)
+  replays_reused : int;
+      (** primary replays answered by the existing pre-race checkpoint *)
+}
+
+let no_reduction =
+  { states_deduped = 0;
+    schedules_pruned = 0;
+    comparisons_deduped = 0;
+    suffix_solves = 0;
+    full_solves = 0;
+    replays_reused = 0
+  }
+
 (** Structured exploration accounting for one classification, mirrored
     one-for-one into the telemetry counters ([explore.states],
     [explore.paths_completed], …) when telemetry is enabled; the QCheck
@@ -15,9 +41,11 @@ type stats = {
   paths_completed : int;  (** completed-and-solved primary paths *)
   alternates_attempted : int;  (** alternate orderings tried by the
                                    multi-path stage *)
+  red : reduction;  (** work avoided by the state-space reductions *)
 }
 
-let no_stats = { states_explored = 0; paths_completed = 0; alternates_attempted = 0 }
+let no_stats =
+  { states_explored = 0; paths_completed = 0; alternates_attempted = 0; red = no_reduction }
 
 type outcome = {
   verdict : Taxonomy.verdict;
@@ -54,13 +82,26 @@ let multipath_stage cfg ~static prog trace (single : Single.t) race : outcome =
                  consequence = None;
                  states_differ = single.Single.states_differ;
                  detail = "primary and alternate outputs matched" } in
+  let use_red = cfg.Config.enable_reduction in
   let alternates = ref 0 in
+  let sched_pruned = ref 0 in
+  let cmp_deduped = ref 0 in
+  let replays_reused = ref 0 in
   let mk_stats () =
     { states_explored = exploration.Multipath.states_seen;
       paths_completed = List.length primaries;
-      alternates_attempted = !alternates
+      alternates_attempted = !alternates;
+      red =
+        { states_deduped = exploration.Multipath.states_deduped;
+          schedules_pruned = !sched_pruned;
+          comparisons_deduped = !cmp_deduped;
+          suffix_solves = exploration.Multipath.suffix_solves;
+          full_solves = exploration.Multipath.full_solves;
+          replays_reused = !replays_reused
+        }
     }
   in
+  let out =
   if primaries = [] then
     { verdict =
         { k_base with
@@ -94,17 +135,41 @@ let multipath_stage cfg ~static prog trace (single : Single.t) race : outcome =
                        ());
                 stats = no_stats
               }
-        | None -> (
-          match
-            Locate.replay_to_decision prog ~model:p.Multipath.p_model
-              ~decisions:ckpts.Locate.decisions ~d:ckpts.Locate.d1
-          with
-          | Error _ -> () (* model failed to reach the race; lose these witnesses *)
-          | Ok pre_race -> consider_alternates i p pre_race)
+        | None ->
+          (* Both the checkpoint replay and [replay_to_decision ~d:d1]
+             deterministically replay decisions 0..d1-1 on a concrete input
+             model, so when the primary's solved model is the trace's own
+             model (always true for constraint-free paths) the replay would
+             rebuild [ckpts.pre_race] instruction for instruction — reuse
+             the checkpoint instead. *)
+          if use_red && Portend_util.Maps.Smap.equal ( = ) p.Multipath.p_model (V.Trace.input_model trace)
+          then begin
+            incr replays_reused;
+            consider_alternates i p ckpts.Locate.pre_race
+          end
+          else (
+            match
+              Locate.replay_to_decision prog ~model:p.Multipath.p_model
+                ~decisions:ckpts.Locate.decisions ~d:ckpts.Locate.d1
+            with
+            | Error _ -> () (* model failed to reach the race; lose these witnesses *)
+            | Ok pre_race -> consider_alternates i p pre_race)
     and consider_alternates i (p : Multipath.primary) pre_race =
       let budget = cfg.Config.alternate_budget_factor * max 1 ckpts.Locate.primary_steps in
       let occurrence = p.Multipath.p_occ2 in
       let n_alts = if cfg.Config.enable_multischedule then cfg.Config.ma else 1 in
+      (* Enforcement phases A and B (drive tj to its access, then ti) never
+         consult the continuation scheduler, so with reduction on they are
+         staged once per primary and each alternate schedule only replays
+         phase C from the shared post-access state. *)
+      let staged =
+        lazy
+          (Enforce.stage ~static ~budget ~occurrence ?site2:p.Multipath.p_site2 ~race ~pre_race ())
+      in
+      (* Alternates already counted as witnesses for this primary, newest
+         first: (events, final input log, outputs).  Used to skip the
+         output comparison for a schedule that provably reconverges. *)
+      let witnessed = ref [] in
       for j = 0 to n_alts - 1 do
         if !result = None then begin
           incr alternates;
@@ -116,8 +181,10 @@ let multipath_stage cfg ~static prog trace (single : Single.t) race : outcome =
                 ~fallback:V.Sched.round_robin
           in
           let alt =
-            Enforce.alternate ~static ~budget ~cont ~occurrence ?site2:p.Multipath.p_site2 ~race
-              ~pre_race ()
+            if use_red then Enforce.resume (Lazy.force staged) ~cont
+            else
+              Enforce.alternate ~static ~budget ~cont ~occurrence ?site2:p.Multipath.p_site2 ~race
+                ~pre_race ()
           in
           match crash_of_stop alt.Enforce.stop with
           | Some c ->
@@ -143,6 +210,42 @@ let multipath_stage cfg ~static prog trace (single : Single.t) race : outcome =
             match alt.Enforce.stop with
             | V.Run.Halted -> (
               let alt_outputs = V.State.outputs alt.Enforce.final in
+              let alt_log = alt.Enforce.final.V.State.input_log in
+              (* Two reduced fast paths, both conditions that provably force
+                 the comparison below to succeed for an alternate of the
+                 same primary:
+                 - a Mazurkiewicz-equivalent event trace from the same
+                   post-access state with the same input draws reconverges
+                   to the same final state, hence the same outputs as an
+                   alternate already counted (the input-log guard matters:
+                   input draws are not events, and reordering them across
+                   threads renames values);
+                 - the comparison reads the alternate only through its
+                   output payloads, so payload-equal outputs get the
+                   already-witnessed answer. *)
+              let dedup =
+                if not use_red then None
+                else if
+                  List.exists
+                    (fun (evs, log, _) ->
+                      log = alt_log && V.Events.equivalent evs alt.Enforce.events)
+                    !witnessed
+                then Some `Equivalent_schedule
+                else if
+                  List.exists
+                    (fun (_, _, outs) -> Symout.concrete_equal outs alt_outputs)
+                    !witnessed
+                then Some `Same_outputs
+                else None
+              in
+              match dedup with
+              | Some `Equivalent_schedule ->
+                incr sched_pruned;
+                incr witnesses
+              | Some `Same_outputs ->
+                incr cmp_deduped;
+                incr witnesses
+              | None -> (
               let cmp =
                 if cfg.Config.enable_symbolic_output then
                   Symout.matches ~ranges:p.Multipath.p_ranges ~path_cond:p.Multipath.p_path
@@ -157,7 +260,10 @@ let multipath_stage cfg ~static prog trace (single : Single.t) race : outcome =
                     }
               in
               match cmp with
-              | Ok () -> incr witnesses
+              | Ok () ->
+                incr witnesses;
+                if use_red then
+                  witnessed := (alt.Enforce.events, alt_log, alt_outputs) :: !witnessed
               | Error m ->
                 result :=
                   Some
@@ -172,7 +278,7 @@ let multipath_stage cfg ~static prog trace (single : Single.t) race : outcome =
                              ~decisions:ckpts.Locate.decisions ~d1:ckpts.Locate.d1
                              ~d2:ckpts.Locate.d2 ());
                       stats = no_stats
-                    })
+                    }))
             | V.Run.Out_of_budget | V.Run.Diverged _ | V.Run.Forked
             | V.Run.Crashed _ | V.Run.Deadlocked _ ->
               (* enforcement failed for this pair; not a witness *)
@@ -194,6 +300,16 @@ let multipath_stage cfg ~static prog trace (single : Single.t) race : outcome =
         stats = mk_stats ()
       }
   end
+  in
+  if Telemetry.enabled () then begin
+    (* Mirror the classify-side reduction counters into telemetry with the
+       exact amounts surfaced in [stats.red] (the exploration-side ones are
+       emitted by {!Multipath.explore}). *)
+    Telemetry.incr ~by:!sched_pruned "explore.schedules_pruned";
+    Telemetry.incr ~by:!cmp_deduped "explore.comparisons_deduped";
+    Telemetry.incr ~by:!replays_reused "explore.replays_reused"
+  end;
+  out
 
 let classify_impl ?(config = Config.default) (prog : Portend_lang.Bytecode.t) (trace : V.Trace.t)
     (race : R.race) : (outcome, string) result =

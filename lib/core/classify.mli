@@ -1,6 +1,27 @@
 (** The full classifier: Algorithm 1 plus multi-path and multi-schedule
     analysis with symbolic output comparison (§3.2–§3.5). *)
 
+(** Work avoided by the state-space reductions ([Config.enable_reduction]).
+    Every field is 0 when reduction is disabled; all the reductions are
+    verdict-preserving, so these count saved work, never changed answers. *)
+type reduction = {
+  states_deduped : int;  (** frontier states dropped as already expanded *)
+  schedules_pruned : int;
+      (** alternate schedules skipped as Mazurkiewicz-equivalent to an
+          already-witnessed alternate of the same primary *)
+  comparisons_deduped : int;
+      (** alternate output comparisons skipped because the outputs equalled
+          an already-witnessed alternate's *)
+  suffix_solves : int;
+      (** path completions discharged from the threaded interval env
+          without a solver query *)
+  full_solves : int;  (** path completions that paid for a solver query *)
+  replays_reused : int;
+      (** primary replays answered by the existing pre-race checkpoint *)
+}
+
+val no_reduction : reduction
+
 (** Structured exploration accounting for one classification.  When
     telemetry is enabled, the [explore.*] counters are incremented with
     exactly these numbers, so the two views always agree. *)
@@ -10,6 +31,7 @@ type stats = {
   paths_completed : int;  (** completed-and-solved primary paths *)
   alternates_attempted : int;  (** alternate orderings tried by the
                                    multi-path stage *)
+  red : reduction;  (** work avoided by the state-space reductions *)
 }
 
 val no_stats : stats

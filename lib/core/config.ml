@@ -29,6 +29,13 @@ type t = {
           {!Portend_analysis.Static_report}; race reports are identical
           either way (the candidates over-approximate reportable races),
           only the instrumented-site count shrinks *)
+  enable_reduction : bool;
+      (** state-space reduction for the multi-path/multi-schedule stage:
+          frontier state dedup, sleep-set style schedule-equivalence
+          pruning, staged enforcement reuse and incremental path-condition
+          solving.  Verdicts, evidence and race reports are bit-identical
+          either way; only the exploration work (VM steps, solver queries)
+          shrinks.  [portend --no-reduction] turns it off *)
 }
 
 (** The paper's defaults: Mp = 5, Ma = 2, 2 symbolic inputs (§5). *)
@@ -46,7 +53,8 @@ let default =
     seed = 2012;
     max_explored_states = 50_000;
     jobs = Domain.recommended_domain_count ();
-    static_prefilter = false
+    static_prefilter = false;
+    enable_reduction = true
   }
 
 (** Fig 7's incremental configurations. *)

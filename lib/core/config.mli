@@ -28,6 +28,10 @@ type t = {
       (** restrict dynamic detection to the static candidate sites of
           {!Portend_analysis.Static_report}; race reports are identical
           either way, only the instrumented-site count shrinks *)
+  enable_reduction : bool;
+      (** state-space reduction for the multi-path/multi-schedule stage
+          (state dedup, schedule-equivalence pruning, staged enforcement,
+          incremental path solving); verdict-neutral, on by default *)
 }
 
 (** The paper's defaults: Mp = 5, Ma = 2, 2 symbolic inputs (§5). *)

@@ -104,8 +104,25 @@ let drive ~budget ~suspended ~target ?site ~loc_base ~occurrence st rev_events =
   in
   go st rev_events 0 0
 
-let alternate_impl ~(static : Portend_lang.Static.t) ~budget ~(cont : V.Sched.t) ?(occurrence = 1)
-    ?site2 ~(race : R.race) ~(pre_race : V.State.t) () : outcome =
+type pending = {
+  p_state : V.State.t;  (** the post-access state, phase C's start *)
+  p_rev_events : V.Events.t list;  (** reverse-chronological enforcement events *)
+  p_abs_budget : int;
+}
+(** An enforcement whose outcome still depends on the continuation
+    scheduler.  Phases A and B (drive [tj] to its access, then [ti]) are
+    scheduler-independent — the continuation is only consulted from the
+    post-access state on — so a staged enforcement can be resumed under
+    several continuation schedulers without re-driving the accesses. *)
+
+type staged =
+  | Early of outcome
+      (** enforcement failed, crashed or deadlocked before the
+          continuation scheduler was ever consulted; the outcome is final *)
+  | Pending of pending
+
+let stage_impl ~(static : Portend_lang.Static.t) ~budget ?(occurrence = 1)
+    ?site2 ~(race : R.race) ~(pre_race : V.State.t) () : staged =
   let ti = race.R.first.R.a_tid and tj = race.R.second.R.a_tid in
   let loc_base = base race.R.r_loc in
   (* The second access is identified precisely: same thread, same program
@@ -129,36 +146,17 @@ let alternate_impl ~(static : Portend_lang.Static.t) ~budget ~(cont : V.Sched.t)
   (* Phase A: tj first, through to the racy access's dynamic occurrence. *)
   match drive ~budget:abs_budget ~suspended:ti ~target:tj ~site:site2 ~loc_base ~occurrence pre_race [] with
   | st, rev_events, Drive_blocked ->
-    { (fail st rev_events (V.Run.Diverged "alternate ordering cannot be enforced")) with
-      failure = Some Blocked_by_peer
-    }
+    Early
+      { (fail st rev_events (V.Run.Diverged "alternate ordering cannot be enforced")) with
+        failure = Some Blocked_by_peer
+      }
   | st, rev_events, Drive_finished ->
-    { (fail st rev_events (V.Run.Diverged "racing thread finished without access")) with
-      failure = Some Target_finished
-    }
+    Early
+      { (fail st rev_events (V.Run.Diverged "racing thread finished without access")) with
+        failure = Some Target_finished
+      }
   | st, rev_events, Drive_crashed c ->
-    { enforced = true;
-      failure = None;
-      stop = V.Run.Crashed c;
-      final = st;
-      events = List.rev rev_events;
-      post_access_state = None
-    }
-  | st, rev_events, Drive_deadlock tids ->
-    { enforced = false;
-      failure = None;
-      stop = V.Run.Deadlocked tids;
-      final = st;
-      events = List.rev rev_events;
-      post_access_state = None
-    }
-  | st, rev_events, Drive_timeout ->
-    let spinning = Loopcheck.spinning_thread ~state:st ~events:(List.rev rev_events) ~default:tj () in
-    fail ~spin:spinning st rev_events V.Run.Out_of_budget
-  | st, rev_events, Reached -> (
-    (* Phase B: now let ti perform its (delayed) access. *)
-    match drive ~budget:abs_budget ~suspended:(-1) ~target:ti ~loc_base ~occurrence:1 st rev_events with
-    | st, rev_events, Drive_crashed c ->
+    Early
       { enforced = true;
         failure = None;
         stop = V.Run.Crashed c;
@@ -166,41 +164,93 @@ let alternate_impl ~(static : Portend_lang.Static.t) ~budget ~(cont : V.Sched.t)
         events = List.rev rev_events;
         post_access_state = None
       }
-    | st, rev_events, Drive_deadlock tids ->
-      { enforced = true;
+  | st, rev_events, Drive_deadlock tids ->
+    Early
+      { enforced = false;
         failure = None;
         stop = V.Run.Deadlocked tids;
         final = st;
         events = List.rev rev_events;
         post_access_state = None
       }
+  | st, rev_events, Drive_timeout ->
+    let spinning = Loopcheck.spinning_thread ~state:st ~events:(List.rev rev_events) ~default:tj () in
+    Early (fail ~spin:spinning st rev_events V.Run.Out_of_budget)
+  | st, rev_events, Reached -> (
+    (* Phase B: now let ti perform its (delayed) access. *)
+    match drive ~budget:abs_budget ~suspended:(-1) ~target:ti ~loc_base ~occurrence:1 st rev_events with
+    | st, rev_events, Drive_crashed c ->
+      Early
+        { enforced = true;
+          failure = None;
+          stop = V.Run.Crashed c;
+          final = st;
+          events = List.rev rev_events;
+          post_access_state = None
+        }
+    | st, rev_events, Drive_deadlock tids ->
+      Early
+        { enforced = true;
+          failure = None;
+          stop = V.Run.Deadlocked tids;
+          final = st;
+          events = List.rev rev_events;
+          post_access_state = None
+        }
     | st, rev_events, Drive_timeout ->
       let spinning = Loopcheck.spinning_thread ~state:st ~events:(List.rev rev_events) ~default:ti () in
-      { (fail ~spin:spinning st rev_events V.Run.Out_of_budget) with enforced = true }
+      Early { (fail ~spin:spinning st rev_events V.Run.Out_of_budget) with enforced = true }
     | st, rev_events, (Reached | Drive_blocked | Drive_finished) ->
-      (* Phase C: both accesses done (or ti diverged — tolerated); finish the
-         execution under the continuation scheduler. *)
-      let post_access_state = Some st in
-      let r = V.Run.run ~sched:cont ~budget:abs_budget st in
-      { enforced = true;
-        failure = None;
-        stop = r.V.Run.stop;
-        final = r.V.Run.final;
-        events = List.rev_append rev_events r.V.Run.events;
-        post_access_state
-      })
+      (* Phase C waits on the continuation scheduler: both accesses are done
+         (or ti diverged — tolerated). *)
+      Pending { p_state = st; p_rev_events = rev_events; p_abs_budget = abs_budget })
+
+let resume_impl (staged : staged) ~(cont : V.Sched.t) : outcome =
+  match staged with
+  | Early o -> o
+  | Pending { p_state = st; p_rev_events = rev_events; p_abs_budget = abs_budget } ->
+    (* Phase C: finish the execution under the continuation scheduler. *)
+    let post_access_state = Some st in
+    let r = V.Run.run ~sched:cont ~budget:abs_budget st in
+    { enforced = true;
+      failure = None;
+      stop = r.V.Run.stop;
+      final = r.V.Run.final;
+      events = List.rev_append rev_events r.V.Run.events;
+      post_access_state
+    }
+
+let count_outcome (r : outcome) =
+  if Telemetry.enabled () then begin
+    Telemetry.incr "enforce.alternates";
+    if r.enforced then Telemetry.incr "enforce.enforced";
+    match r.failure with
+    | Some Blocked_by_peer -> Telemetry.incr "enforce.failure.blocked_by_peer"
+    | Some Target_finished -> Telemetry.incr "enforce.failure.target_finished"
+    | Some (Spin_adhoc _) -> Telemetry.incr "enforce.failure.spin_adhoc"
+    | Some (Spin_infinite _) -> Telemetry.incr "enforce.failure.spin_infinite"
+    | None -> ()
+  end
+
+(** Run phases A and B only.  The result either already decides the
+    alternate ([Early]) or can be {!resume}d — possibly several times —
+    under different continuation schedulers. *)
+let stage ~static ~budget ?occurrence ?site2 ~race ~pre_race () : staged =
+  Telemetry.with_span "enforce.stage" (fun () ->
+      stage_impl ~static ~budget ?occurrence ?site2 ~race ~pre_race ())
+
+(** Complete a staged enforcement under [cont].  Counts the alternate in
+    telemetry, so every resumed schedule shows up in
+    [enforce.alternates] exactly like an un-staged {!alternate} call. *)
+let resume (staged : staged) ~cont : outcome =
+  Telemetry.with_span "enforce" (fun () ->
+      let r = resume_impl staged ~cont in
+      count_outcome r;
+      r)
 
 let alternate ~static ~budget ~cont ?occurrence ?site2 ~race ~pre_race () : outcome =
   Telemetry.with_span "enforce" (fun () ->
-      let r = alternate_impl ~static ~budget ~cont ?occurrence ?site2 ~race ~pre_race () in
-      if Telemetry.enabled () then begin
-        Telemetry.incr "enforce.alternates";
-        if r.enforced then Telemetry.incr "enforce.enforced";
-        (match r.failure with
-        | Some Blocked_by_peer -> Telemetry.incr "enforce.failure.blocked_by_peer"
-        | Some Target_finished -> Telemetry.incr "enforce.failure.target_finished"
-        | Some (Spin_adhoc _) -> Telemetry.incr "enforce.failure.spin_adhoc"
-        | Some (Spin_infinite _) -> Telemetry.incr "enforce.failure.spin_infinite"
-        | None -> ())
-      end;
+      let staged = stage_impl ~static ~budget ?occurrence ?site2 ~race ~pre_race () in
+      let r = resume_impl staged ~cont in
+      count_outcome r;
       r)

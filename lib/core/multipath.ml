@@ -12,7 +12,26 @@
 
     Each completed path is a {e primary}: its symbolic outputs, path
     condition and a solved input model are returned for the alternate-
-    construction and comparison stage. *)
+    construction and comparison stage.
+
+    With [Config.enable_reduction] (the default) three reductions apply,
+    all verdict-preserving:
+
+    - {b scored frontier}: the work list is a priority queue ordered by
+      (distance to d2, depth, recency) instead of a bare stack, so a
+      truncated exploration spends [Config.max_explored_states] on the
+      states closest to completing a primary.  Under this exploration's
+      push discipline the queue order provably coincides with the DFS
+      order (see the comment at [frontier]), which is how verdict identity
+      with the unreduced explorer is guaranteed;
+    - {b state dedup}: a frontier state whose (fingerprint, decision
+      index, alignment metadata) was already expanded is dropped — its
+      subtree would replay the earlier expansion bit for bit;
+    - {b incremental path solving}: a narrowed interval environment is
+      threaded along each path ({!Portend_solver.Solver.inc_assume}), so
+      completion discharges constraint-free paths as [Sat] and
+      empty-box paths as infeasible without a solver query; only paths
+      the env cannot decide pay for a full solve. *)
 
 module V = Portend_vm
 module R = Portend_detect.Report
@@ -44,6 +63,16 @@ type exploration = {
           or missed a racing access at d1/d2 *)
   paths_infeasible : int;
       (** completed paths whose path condition the solver rejected *)
+  states_deduped : int;
+      (** frontier states dropped as bit-identical to one already expanded
+          (0 with reduction disabled) *)
+  suffix_solves : int;
+      (** path completions discharged from the threaded interval env with
+          no solver query (0 with reduction disabled) *)
+  full_solves : int;
+      (** path completions that issued a full solver query (0 with
+          reduction disabled; the unreduced explorer does not split its
+          query count) *)
 }
 
 let slice_has_access ~tid ?site ~loc_base events =
@@ -58,7 +87,9 @@ let slice_has_access ~tid ?site ~loc_base events =
 (* A work item: a state plus the index of the next scheduling decision.
    [tj_sites] accumulates the sites of tj's accesses to the racy location
    between d1 and d2 (newest first), so the second access can be targeted
-   precisely on this path even when its program counter moved. *)
+   precisely on this path even when its program counter moved.  [inc] is
+   the incrementally narrowed interval environment of the path condition so
+   far (threaded only when reduction is enabled). *)
 type item = {
   st : V.State.t;
   idx : int;
@@ -66,7 +97,27 @@ type item = {
   tj_sites : V.Events.site list;
   site2 : V.Events.site option;
   occ2 : int;
+  inc : Solver.incremental;
 }
+
+(* Advance [inc] across one transition: declare any inputs drawn in the
+   child and narrow by any branch constraints it added.  Both lists grow by
+   consing, so the parent's list is a structurally shared tail of the
+   child's; the walk collects exactly the new suffix (oldest first).  If a
+   transition ever rebuilt a list without sharing, the walk degrades to
+   replaying everything — re-declaring and re-narrowing are idempotent, so
+   that is only a slowdown, never an unsoundness. *)
+let advance_inc inc (parent : V.State.t) (child : V.State.t) =
+  let rec fresh acc l ~tail =
+    if l == tail then acc
+    else match l with [] -> acc | x :: rest -> fresh (x :: acc) rest ~tail
+  in
+  let inc =
+    List.fold_left Solver.inc_declare inc
+      (fresh [] child.V.State.input_ranges ~tail:parent.V.State.input_ranges)
+  in
+  List.fold_left Solver.inc_assume inc
+    (fresh [] child.V.State.path_cond ~tail:parent.V.State.path_cond)
 
 let explore_impl (cfg : Config.t) (prog : Portend_lang.Bytecode.t) (trace : V.Trace.t)
     (ckpts : Locate.t) (race : R.race) : exploration =
@@ -75,6 +126,7 @@ let explore_impl (cfg : Config.t) (prog : Portend_lang.Bytecode.t) (trace : V.Tr
   let d1 = ckpts.Locate.d1 and d2 = ckpts.Locate.d2 in
   let ti = race.R.first.R.a_tid and tj = race.R.second.R.a_tid in
   let loc_base = R.base_loc race.R.r_loc in
+  let use_red = cfg.Config.enable_reduction in
   let input_mode =
     V.State.Mixed { model = V.Trace.input_model trace; limit = cfg.Config.max_symbolic_inputs }
   in
@@ -84,7 +136,8 @@ let explore_impl (cfg : Config.t) (prog : Portend_lang.Bytecode.t) (trace : V.Tr
       past_race = false;
       tj_sites = [];
       site2 = None;
-      occ2 = 1
+      occ2 = 1;
+      inc = Solver.inc_start
     }
   in
   let completed = ref [] in
@@ -93,19 +146,85 @@ let explore_impl (cfg : Config.t) (prog : Portend_lang.Bytecode.t) (trace : V.Tr
   let n_completed = ref 0 in
   let states_seen = ref 0 in
   let pruned = ref 0 in
+  let deduped = ref 0 in
+  let suffix_solves = ref 0 in
+  let full_solves = ref 0 in
   let finish_path item st stop =
-    completed := (st, stop, item.site2, item.occ2) :: !completed;
+    completed := (st, stop, item.site2, item.occ2, item.inc) :: !completed;
     incr n_completed
   in
-  (* Depth-first worklist; explicit stack keeps memory bounded. *)
-  let stack = ref [ init ] in
+  (* The frontier.  Reduction off: a depth-first stack (explicit, to keep
+     memory bounded).  Reduction on: a priority queue keyed by
+     (distance-to-d2, then depth, then recency), so truncation keeps the
+     states most likely to complete primaries.
+
+     The two orders coincide, which is what makes the scored frontier
+     verdict-identical: (a) pushed children carry idx one past their
+     parent, so the stack from top to bottom is always sorted by idx
+     descending, and equal-idx frontier entries are always siblings of one
+     expansion, newest pushed first; (b) distance-to-d2 is strictly
+     decreasing in idx for pre-race states, and every past-race state
+     (distance 0) out-indexes every pre-race state (its idx exceeds d2);
+     so ordering by (distance asc, idx desc, recency desc) picks exactly
+     the stack's top.  The queue therefore earns its keep as the explicit
+     statement of the completion-greedy order — and keeps that order if a
+     future exploration ever pushes work that breaks the stack
+     invariant. *)
+  let stack = ref [] in
+  let seq = ref 0 in
+  let pq =
+    Portend_util.Pqueue.create ~cmp:(fun ((ka : int * int * int), _) (kb, _) -> compare ka kb) ()
+  in
+  let score it = if it.past_race then 0 else max 0 (d2 + 1 - it.idx) in
+  let frontier_push it =
+    if use_red then begin
+      incr seq;
+      Portend_util.Pqueue.push pq ((score it, -it.idx, - !seq), it)
+    end
+    else stack := it :: !stack
+  in
+  let frontier_pop () =
+    if use_red then Option.map snd (Portend_util.Pqueue.pop pq)
+    else
+      match !stack with
+      | [] -> None
+      | it :: rest ->
+        stack := rest;
+        Some it
+  in
+  let frontier_nonempty () =
+    if use_red then not (Portend_util.Pqueue.is_empty pq) else !stack <> []
+  in
+  (* Dedup of already-expanded frontier states.  The key pairs the state
+     fingerprint with every per-item field that steers the rest of the
+     exploration, so two equal keys expand into bit-identical subtrees and
+     dropping the later one cannot change the primary set.  Under the
+     current exploration the counter stays 0 — [State.fingerprint] covers
+     [steps], which grows strictly along every path, and sibling fork
+     branches differ in their path conditions — so this is a tripwire for
+     future explorations (e.g. adversarial-memory forks can duplicate
+     states when the value history repeats). *)
+  let seen = Hashtbl.create 64 in
+  let duplicate it =
+    use_red
+    &&
+    let key = (V.State.fingerprint it.st, it.idx, it.past_race, it.site2, it.occ2, it.tj_sites) in
+    if Hashtbl.mem seen key then true
+    else begin
+      Hashtbl.add seen key ();
+      false
+    end
+  in
+  frontier_push init;
   while
-    !stack <> [] && !n_completed < cfg.Config.mp && !states_seen < cfg.Config.max_explored_states
+    frontier_nonempty ()
+    && !n_completed < cfg.Config.mp
+    && !states_seen < cfg.Config.max_explored_states
   do
-    match !stack with
-    | [] -> ()
-    | item :: rest -> (
-      stack := rest;
+    match frontier_pop () with
+    | None -> ()
+    | Some item when duplicate item -> incr deduped
+    | Some item -> (
       incr states_seen;
       let { st; idx; past_race; _ } = item in
       if st.V.State.steps >= cfg.Config.run_budget then () (* drop exhausted path *)
@@ -137,6 +256,7 @@ let explore_impl (cfg : Config.t) (prog : Portend_lang.Bytecode.t) (trace : V.Tr
             List.rev slices
             |> List.iter (fun sl ->
                    let evs = sl.V.Run.s_events in
+                   let st' = sl.V.Run.s_state in
                    let tj_access_site =
                      List.find_map
                        (function
@@ -175,29 +295,54 @@ let explore_impl (cfg : Config.t) (prog : Portend_lang.Bytecode.t) (trace : V.Tr
                            { item with tj_sites = site :: item.tj_sites }
                          | _ -> item
                      in
+                     let item' =
+                       if use_red then { item' with inc = advance_inc item'.inc st st' }
+                       else item'
+                     in
                      match sl.V.Run.s_end with
                      | V.Run.End_crashed c ->
-                       if now_past then finish_path item' sl.V.Run.s_state (V.Run.Crashed c)
+                       if now_past then finish_path item' st' (V.Run.Crashed c)
                      | V.Run.End_decision | V.Run.End_paused ->
-                       let st' = sl.V.Run.s_state in
                        if V.State.runnable st' = [] && V.State.all_finished st' then begin
                          if now_past then finish_path item' st' V.Run.Halted
                        end
                        else
-                         stack :=
+                         frontier_push
                            { item' with st = st'; idx = idx + 1; past_race = now_past }
-                           :: !stack
                    end)))
   done;
-  let truncated = !stack <> [] && !n_completed < cfg.Config.mp
-                  && !states_seen >= cfg.Config.max_explored_states in
-  (* Solve each completed path for a concrete input model. *)
+  let truncated =
+    frontier_nonempty ()
+    && !n_completed < cfg.Config.mp
+    && !states_seen >= cfg.Config.max_explored_states
+  in
+  (* Solve each completed path for a concrete input model.  With reduction
+     on, the threaded env discharges the two common cases without touching
+     the solver: a constraint-free path is [Sat] with the empty model —
+     exactly what [Solver.solve] returns for an empty conjunction — and an
+     emptied box proves the conjunction unsatisfiable (narrowing is sound),
+     matching the unreduced run's [Unsat]/[Unknown] filtering. *)
+  let solve_completion inc ~ranges path =
+    if not use_red then Solver.solve ~ranges path
+    else if path = [] then begin
+      incr suffix_solves;
+      Solver.Sat Smap.empty
+    end
+    else if not (Solver.inc_feasible inc) then begin
+      incr suffix_solves;
+      Solver.Unsat
+    end
+    else begin
+      incr full_solves;
+      Solver.solve ~ranges path
+    end
+  in
   let primaries =
     List.rev !completed
-    |> List.filter_map (fun ((st : V.State.t), stop, site2, occ2) ->
+    |> List.filter_map (fun ((st : V.State.t), stop, site2, occ2, inc) ->
          let ranges = st.V.State.input_ranges in
          let path = st.V.State.path_cond in
-         match Solver.solve ~ranges path with
+         match solve_completion inc ~ranges path with
          | Solver.Sat model ->
            let trace_model = V.Trace.input_model trace in
            let merged = Smap.union (fun _ solved _ -> Some solved) model trace_model in
@@ -223,13 +368,19 @@ let explore_impl (cfg : Config.t) (prog : Portend_lang.Bytecode.t) (trace : V.Tr
     Telemetry.incr ~by:paths_completed "explore.paths_completed";
     Telemetry.incr ~by:!pruned "explore.paths_pruned";
     Telemetry.incr ~by:paths_infeasible "explore.paths_infeasible";
+    Telemetry.incr ~by:!deduped "explore.states_deduped";
+    Telemetry.incr ~by:!suffix_solves "explore.suffix_solves";
+    Telemetry.incr ~by:!full_solves "explore.full_solves";
     if truncated then Telemetry.incr "explore.truncated"
   end;
   { primaries;
     truncated;
     states_seen = !states_seen;
     paths_pruned = !pruned;
-    paths_infeasible
+    paths_infeasible;
+    states_deduped = !deduped;
+    suffix_solves = !suffix_solves;
+    full_solves = !full_solves
   }
 
 let explore (cfg : Config.t) (prog : Portend_lang.Bytecode.t) (trace : V.Trace.t)

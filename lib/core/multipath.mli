@@ -1,0 +1,66 @@
+(** Multi-path primary exploration — the exploration half of Algorithm 2.
+
+    Starting from the recorded trace's schedule, a depth-first exploration
+    follows the decisions up to the second racing access, pruning states
+    that cannot obey the schedule or miss a racing access at d1/d2, and
+    lets execution diverge freely afterwards (§3.3).  Each completed path
+    becomes a {e primary} for the alternate-schedule comparison stage.
+
+    With [Config.enable_reduction] the explorer additionally runs a scored
+    frontier (truncation keeps states closest to d2), drops frontier states
+    bit-identical to already-expanded ones, and discharges path completions
+    from an incrementally narrowed interval environment where the solver
+    would be redundant.  All three are verdict-preserving; the module
+    implementation documents the argument for each. *)
+
+module V = Portend_vm
+module E = Portend_solver.Expr
+module Solver = Portend_solver.Solver
+module Smap = Portend_util.Maps.Smap
+
+type primary = {
+  p_final : V.State.t;
+  p_stop : V.Run.stop;
+  p_outputs : V.State.output list;
+      (** with symbolic formulae where input-dependent *)
+  p_path : E.t list;  (** full path condition *)
+  p_ranges : (string * int * int) list;
+  p_model : int Smap.t;
+      (** solved inputs that drive the program down this path *)
+  p_site2 : V.Events.site option;
+      (** where the second access landed on this path (may differ from the
+          recorded site, Fig 4) *)
+  p_occ2 : int;
+      (** its dynamic occurrence among same-site accesses since d1 *)
+}
+
+type exploration = {
+  primaries : primary list;
+  truncated : bool;
+      (** exploration stopped at [Config.max_explored_states] with work
+          left *)
+  states_seen : int;
+  paths_pruned : int;
+      (** states dropped because they could not obey the recorded schedule
+          or missed a racing access at d1/d2 *)
+  paths_infeasible : int;
+      (** completed paths whose path condition the solver rejected *)
+  states_deduped : int;
+      (** frontier states dropped as bit-identical to one already expanded
+          (0 with reduction disabled) *)
+  suffix_solves : int;
+      (** path completions discharged from the threaded interval env with
+          no solver query (0 with reduction disabled) *)
+  full_solves : int;
+      (** path completions that issued a full solver query (0 with
+          reduction disabled; the unreduced explorer does not split its
+          query count) *)
+}
+
+val explore :
+  Config.t ->
+  Portend_lang.Bytecode.t ->
+  V.Trace.t ->
+  Locate.t ->
+  Portend_detect.Report.race ->
+  exploration

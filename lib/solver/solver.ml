@@ -260,18 +260,21 @@ type stats = {
   cache_hits : int;  (** full-result memo hits *)
   cache_misses : int;  (** full-result memo misses (computed and stored) *)
   prefix_unsat : int;  (** queries answered Unsat by prefix propagation *)
+  evictions : int;  (** memo entries displaced by the CLOCK bound *)
 }
 
 let q_queries = Atomic.make 0
 let q_hits = Atomic.make 0
 let q_misses = Atomic.make 0
 let q_prefix = Atomic.make 0
+let q_evictions = Atomic.make 0
 
 let stats () =
   { queries = Atomic.get q_queries;
     cache_hits = Atomic.get q_hits;
     cache_misses = Atomic.get q_misses;
-    prefix_unsat = Atomic.get q_prefix
+    prefix_unsat = Atomic.get q_prefix;
+    evictions = Atomic.get q_evictions
   }
 
 let hit_rate (s : stats) =
@@ -287,9 +290,68 @@ let mode = Atomic.make Cache_domain
 let set_cache_mode m = Atomic.set mode m
 let cache_mode () = Atomic.get mode
 
-(* Evict wholesale rather than track LRU: queries cluster per race, so a
-   full reset at the cap loses little and keeps lookups trivial. *)
-let max_cache_entries = 32_768
+(* The memo tables are size-bounded with CLOCK (second-chance) eviction:
+   every entry carries a reference bit, set on hit; at capacity a hand
+   sweeps the insertion ring, clearing set bits and evicting the first
+   entry found clear.  Entries hit since the last sweep survive, so the
+   hot per-race cluster of queries stays resident while one-shot queries
+   age out — unlike the previous wholesale reset at the cap, which dumped
+   the warm cluster along with the cold tail.  Evictions are counted in
+   {!stats}. *)
+let default_memo_cap = 32_768
+let memo_cap_v = Atomic.make default_memo_cap
+let memo_cap () = Atomic.get memo_cap_v
+
+module Clock (T : Hashtbl.S) = struct
+  type 'v t = {
+    tbl : ('v * bool ref) T.t;
+    ring : T.key option array;  (* one slot per live key *)
+    mutable hand : int;
+    cap : int;
+  }
+
+  let create cap =
+    let cap = max 16 cap in
+    { tbl = T.create (min cap 1024); ring = Array.make cap None; hand = 0; cap }
+
+  let find_opt c k =
+    match T.find_opt c.tbl k with
+    | Some (v, bit) ->
+      bit := true;
+      Some v
+    | None -> None
+
+  (* Insert [k -> v], evicting one cold entry if the table is full.  The
+     sweep terminates: after at most [cap] steps every reference bit has
+     been cleared, so the next slot visited is a victim. *)
+  let store ~on_evict c k v =
+    if T.mem c.tbl k then T.replace c.tbl k (v, ref true)
+    else begin
+      let rec find_slot sweeps =
+        match c.ring.(c.hand) with
+        | None -> ()
+        | Some k' -> (
+          match T.find_opt c.tbl k' with
+          | None -> () (* slot's entry already gone; reuse it *)
+          | Some (_, bit) when !bit && sweeps <= c.cap ->
+            bit := false;
+            c.hand <- (c.hand + 1) mod c.cap;
+            find_slot (sweeps + 1)
+          | Some _ ->
+            T.remove c.tbl k';
+            on_evict ())
+      in
+      find_slot 0;
+      c.ring.(c.hand) <- Some k;
+      c.hand <- (c.hand + 1) mod c.cap;
+      T.replace c.tbl k (v, ref false)
+    end
+
+  let reset c =
+    T.reset c.tbl;
+    Array.fill c.ring 0 c.cap None;
+    c.hand <- 0
+end
 
 type key = {
   k_cs : Expr.t list;  (* canonical constraint list *)
@@ -319,10 +381,16 @@ let key ~box ~budget cs =
   in
   { k_cs = cs; k_box = box; k_budget = budget; k_hash = h land max_int }
 
-let result_cache_key : result Ktbl.t Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> Ktbl.create 256)
+module Kclock = Clock (Ktbl)
 
-let shared_cache : result Ktbl.t = Ktbl.create 1024
+let note_eviction () =
+  Atomic.incr q_evictions;
+  if Portend_telemetry.enabled () then Portend_telemetry.incr "solver.evictions"
+
+let result_cache_key : result Kclock.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Kclock.create (memo_cap ()))
+
+let shared_cache : result Kclock.t ref = ref (Kclock.create (memo_cap ()))
 let shared_mutex = Mutex.create ()
 
 let with_shared f =
@@ -331,19 +399,14 @@ let with_shared f =
 
 let cache_find k = function
   | Cache_off -> None
-  | Cache_domain -> Ktbl.find_opt (Domain.DLS.get result_cache_key) k
-  | Cache_shared -> with_shared (fun () -> Ktbl.find_opt shared_cache k)
+  | Cache_domain -> Kclock.find_opt (Domain.DLS.get result_cache_key) k
+  | Cache_shared -> with_shared (fun () -> Kclock.find_opt !shared_cache k)
 
 let cache_store k v = function
   | Cache_off -> ()
-  | Cache_domain ->
-    let tbl = Domain.DLS.get result_cache_key in
-    if Ktbl.length tbl >= max_cache_entries then Ktbl.reset tbl;
-    Ktbl.replace tbl k v
+  | Cache_domain -> Kclock.store ~on_evict:note_eviction (Domain.DLS.get result_cache_key) k v
   | Cache_shared ->
-    with_shared (fun () ->
-        if Ktbl.length shared_cache >= max_cache_entries then Ktbl.reset shared_cache;
-        Ktbl.replace shared_cache k v)
+    with_shared (fun () -> Kclock.store ~on_evict:note_eviction !shared_cache k v)
 
 (* --- prefix reuse ------------------------------------------------- *)
 
@@ -370,8 +433,10 @@ let pkey ~box cs =
   in
   { p_cs = cs; p_box = box; p_hash = h land max_int }
 
-let prefix_cache_key : env option Ptbl.t Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> Ptbl.create 256)
+module Pclock = Clock (Ptbl)
+
+let prefix_cache_key : env option Pclock.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Pclock.create (memo_cap ()))
 
 let env_of_box box =
   List.fold_left (fun env (v, lo, hi) -> Smap.add v Interval.{ lo; hi } env) Smap.empty box
@@ -386,12 +451,11 @@ let rec prefix_env_memo tbl ~box = function
   | [] -> Some (env_of_box box)
   | c :: rest as cs -> (
     let k = pkey ~box cs in
-    match Ptbl.find_opt tbl k with
+    match Pclock.find_opt tbl k with
     | Some v -> v
     | None ->
       let v = Option.bind (prefix_env_memo tbl ~box rest) (fun env -> narrow_one env c) in
-      if Ptbl.length tbl >= max_cache_entries then Ptbl.reset tbl;
-      Ptbl.replace tbl k v;
+      Pclock.store ~on_evict:note_eviction tbl k v;
       v)
 
 let prefix_env ~box mode cs =
@@ -460,14 +524,48 @@ let reset_stats () =
   Atomic.set q_queries 0;
   Atomic.set q_hits 0;
   Atomic.set q_misses 0;
-  Atomic.set q_prefix 0
+  Atomic.set q_prefix 0;
+  Atomic.set q_evictions 0
 
 (* Drop the calling domain's caches and the shared cache (helper domains
    are short-lived; their domain-local caches die with them). *)
 let clear_caches () =
-  Ktbl.reset (Domain.DLS.get result_cache_key);
-  Ptbl.reset (Domain.DLS.get prefix_cache_key);
-  with_shared (fun () -> Ktbl.reset shared_cache)
+  Kclock.reset (Domain.DLS.get result_cache_key);
+  Pclock.reset (Domain.DLS.get prefix_cache_key);
+  with_shared (fun () -> Kclock.reset !shared_cache)
+
+(* Rebind the calling domain's memo tables (and the shared table) at a new
+   capacity.  Tests shrink the cap to exercise eviction without 32k-entry
+   floods; helper domains created later pick the new cap up from the
+   atomic. *)
+let set_memo_cap n =
+  Atomic.set memo_cap_v (max 16 n);
+  Domain.DLS.set result_cache_key (Kclock.create (memo_cap ()));
+  Domain.DLS.set prefix_cache_key (Pclock.create (memo_cap ()));
+  with_shared (fun () -> shared_cache := Kclock.create (memo_cap ()))
+
+(* --- incremental narrowing for the multi-path DFS ------------------ *)
+
+(* The explorer threads a narrowed interval environment along each path:
+   every symbolic input declares its range once and every branch narrows
+   the box by its new suffix constraint, so by path completion the
+   feasibility answer is already known for free in the common cases — an
+   emptied box is Unsat without a query, and a constraint-free path is
+   [Sat empty] without a query.  [bwd_truthy] only ever shrinks the box
+   (sound narrowing), so an empty box proves real infeasibility; a
+   non-empty box decides nothing and the full solver runs as before. *)
+
+type incremental = env option
+
+let inc_start : incremental = Some Smap.empty
+
+let inc_declare (inc : incremental) (v, lo, hi) : incremental =
+  Option.map (Smap.add v Interval.{ lo; hi }) inc
+
+let inc_assume (inc : incremental) c : incremental =
+  Option.bind inc (fun env -> narrow_one env c)
+
+let inc_feasible (inc : incremental) = inc <> None
 
 (** [sat constraints] = does a model exist? (Unknown counts as unsat-ish
     [false] for classification purposes; callers that care distinguish via

@@ -48,6 +48,7 @@ type stats = {
   cache_hits : int;  (** full-result memo hits *)
   cache_misses : int;  (** full-result memo misses (computed and stored) *)
   prefix_unsat : int;  (** queries answered Unsat by prefix propagation *)
+  evictions : int;  (** memo entries displaced by the CLOCK size bound *)
 }
 
 val stats : unit -> stats
@@ -65,6 +66,33 @@ val reset_stats : unit -> unit
     unaffected; benchmarks that want a cold start call this {e and}
     {!reset_stats} explicitly. *)
 val clear_caches : unit -> unit
+
+(** The memo tables are size-bounded with CLOCK (second-chance) eviction;
+    entries hit since the last sweep of the hand survive, colder entries
+    are displaced (and counted in [stats.evictions]).  [set_memo_cap]
+    rebinds the calling domain's tables (and the shared table) at a new
+    capacity, dropping their contents — meant for tests that exercise
+    eviction with a small cap. *)
+val memo_cap : unit -> int
+
+val set_memo_cap : int -> unit
+
+(** {2 Incremental narrowing}
+
+    The multi-path explorer threads a narrowed interval environment along
+    each DFS path: [inc_declare] adds a fresh symbolic input's declared
+    range, [inc_assume] narrows the box by one new branch constraint.
+    Narrowing is sound (it never discards a feasible point), so
+    [inc_feasible inc = false] proves the accumulated conjunction
+    unsatisfiable — the path can be discharged without a solver query.  A
+    feasible box decides nothing; completion falls back to {!solve}. *)
+
+type incremental
+
+val inc_start : incremental
+val inc_declare : incremental -> string * int * int -> incremental
+val inc_assume : incremental -> Expr.t -> incremental
+val inc_feasible : incremental -> bool
 
 (** [sat constraints]: does a model exist?  [Unknown] counts as [false]. *)
 val sat : ?ranges:(string * int * int) list -> ?budget:int -> Expr.t list -> bool

@@ -1,0 +1,71 @@
+(** A plain array-backed binary min-heap with an explicit comparison.
+
+    Used by the multi-path explorer as its scored frontier: the element
+    with the smallest key (per [cmp]) pops first.  The heap itself breaks
+    no ties — callers that need a deterministic pop order (the explorer
+    does: verdicts must not depend on heap internals) must make [cmp] a
+    total order, e.g. by including a unique insertion sequence number in
+    the key. *)
+
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable arr : 'a option array;
+  mutable size : int;
+}
+
+let create ?(capacity = 64) ~cmp () = { cmp; arr = Array.make (max 1 capacity) None; size = 0 }
+let length q = q.size
+let is_empty q = q.size = 0
+
+let get q i =
+  match q.arr.(i) with
+  | Some x -> x
+  | None -> invalid_arg "Pqueue: internal hole" (* unreachable for i < size *)
+
+let swap q i j =
+  let t = q.arr.(i) in
+  q.arr.(i) <- q.arr.(j);
+  q.arr.(j) <- t
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if q.cmp (get q i) (get q parent) < 0 then begin
+      swap q i parent;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = if l < q.size && q.cmp (get q l) (get q i) < 0 then l else i in
+  let smallest = if r < q.size && q.cmp (get q r) (get q smallest) < 0 then r else smallest in
+  if smallest <> i then begin
+    swap q i smallest;
+    sift_down q smallest
+  end
+
+let push q x =
+  if q.size = Array.length q.arr then begin
+    let bigger = Array.make (2 * q.size) None in
+    Array.blit q.arr 0 bigger 0 q.size;
+    q.arr <- bigger
+  end;
+  q.arr.(q.size) <- Some x;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+(** Remove and return the minimum element, or [None] when empty. *)
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let top = get q 0 in
+    q.size <- q.size - 1;
+    q.arr.(0) <- q.arr.(q.size);
+    q.arr.(q.size) <- None;
+    if q.size > 0 then sift_down q 0;
+    Some top
+  end
+
+(** The minimum element without removing it. *)
+let peek q = if q.size = 0 then None else Some (get q 0)

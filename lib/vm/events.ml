@@ -30,6 +30,110 @@ type t =
   | Barrier_crossed of { barrier : string; tids : int list; step : int }
   | Outputted of { tid : int; site : site; step : int }
 
+(* --- Mazurkiewicz trace equivalence ----------------------------------- *)
+
+(* Two interleavings from the same start state that differ only by swapping
+   adjacent independent events execute the same per-thread instruction
+   sequences against the same read values, so they reach the same final
+   state.  The classifier uses this to skip the output comparison for an
+   alternate schedule that is trace-equivalent to one already witnessed
+   (sleep-set style pruning of the Ma budget).
+
+   The dependence relation below over-approximates real interference —
+   over-approximation only hides equivalences, never invents them, so the
+   pruning stays verdict-preserving:
+
+   - any two events of the same thread are dependent (program order), and
+     spawn/join/signal tie in the threads they affect;
+   - two accesses conflict when they touch the same location (cell-precise
+     for arrays; [free]'s metadata touch conflicts with the whole array)
+     and at least one writes;
+   - lock, condition and barrier operations conflict on the same object;
+   - outputs conflict with each other (the output log is order-sensitive). *)
+
+let tids_of = function
+  | Access { tid; _ } | Lock_acquired { tid; _ } | Lock_released { tid; _ }
+  | Cond_waiting { tid; _ } | Outputted { tid; _ } ->
+    [ tid ]
+  | Thread_spawned { parent; child; _ } -> [ parent; child ]
+  | Thread_joined { tid; child; _ } -> [ tid; child ]
+  | Cond_signalled { tid; woken; _ } -> tid :: woken
+  | Barrier_crossed { tids; _ } -> tids
+
+let loc_conflict l1 l2 =
+  match (l1, l2) with
+  | Lglobal a, Lglobal b -> a = b
+  | Larray (a, i), Larray (b, j) -> a = b && i = j
+  | Lmeta a, Larray (b, _) | Larray (a, _), Lmeta b | Lmeta a, Lmeta b -> a = b
+  | Lglobal _, (Larray _ | Lmeta _) | (Larray _ | Lmeta _), Lglobal _ -> false
+
+let conflicts e1 e2 =
+  List.exists (fun t -> List.mem t (tids_of e2)) (tids_of e1)
+  ||
+  match (e1, e2) with
+  | Access a1, Access a2 ->
+    loc_conflict a1.loc a2.loc && (a1.kind = Write || a2.kind = Write)
+  | ( (Lock_acquired { mutex = m1; _ } | Lock_released { mutex = m1; _ }),
+      (Lock_acquired { mutex = m2; _ } | Lock_released { mutex = m2; _ }) ) ->
+    m1 = m2
+  | ( (Cond_waiting { cond = c1; _ } | Cond_signalled { cond = c1; _ }),
+      (Cond_waiting { cond = c2; _ } | Cond_signalled { cond = c2; _ }) ) ->
+    c1 = c2
+  | Barrier_crossed { barrier = b1; _ }, Barrier_crossed { barrier = b2; _ } -> b1 = b2
+  | Outputted _, Outputted _ -> true
+  | _ -> false
+
+let strip_step = function
+  | Access a -> Access { a with step = 0 }
+  | Lock_acquired a -> Lock_acquired { a with step = 0 }
+  | Lock_released a -> Lock_released { a with step = 0 }
+  | Thread_spawned a -> Thread_spawned { a with step = 0 }
+  | Thread_joined a -> Thread_joined { a with step = 0 }
+  | Cond_waiting a -> Cond_waiting { a with step = 0 }
+  | Cond_signalled a -> Cond_signalled { a with step = 0 }
+  | Barrier_crossed a -> Barrier_crossed { a with step = 0 }
+  | Outputted a -> Outputted { a with step = 0 }
+
+(* Foata normal form: greedily layer the trace so each layer holds pairwise
+   independent events and every event sits one layer past its last
+   dependence.  Two traces are Mazurkiewicz-equivalent iff their normal
+   forms are equal; steps are normalized away (the absolute instruction
+   count depends on the interleaving) and layers are sorted so the form is
+   canonical.  Compared structurally — no hashing — so equality cannot be
+   spoofed by collisions. *)
+let foata (events : t list) : t list list =
+  let events = List.map strip_step events in
+  let layers = ref [] (* newest layer first *) in
+  List.iter
+    (fun e ->
+      (* Depth (from the newest layer) of the most recent conflicting
+         layer; the event lands just above it. *)
+      let rec depth_of_conflict i = function
+        | [] -> None
+        | layer :: rest ->
+          if List.exists (conflicts e) layer then Some i else depth_of_conflict (i + 1) rest
+      in
+      match depth_of_conflict 0 !layers with
+      | Some 0 -> layers := [ e ] :: !layers (* conflicts with the newest layer: new layer *)
+      | None ->
+        (* independent of everything so far: joins the oldest layer *)
+        let rec add_last = function
+          | [] -> [ [ e ] ]
+          | [ last ] -> [ e :: last ]
+          | l :: rest -> l :: add_last rest
+        in
+        layers := add_last !layers
+      | Some i ->
+        (* joins the layer just above the conflict *)
+        layers := List.mapi (fun j l -> if j = i - 1 then e :: l else l) !layers)
+    events;
+  List.rev_map (List.sort compare) !layers
+
+(** Are two event traces equivalent up to commuting adjacent independent
+    events?  Sound for equal-start-state executions: equivalent traces
+    reach the same final state. *)
+let equivalent a b = List.length a = List.length b && foata a = foata b
+
 let pp_loc fmt = function
   | Lglobal v -> Fmt.string fmt v
   | Larray (a, i) -> Fmt.pf fmt "%s[%d]" a i

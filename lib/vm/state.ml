@@ -174,6 +174,106 @@ let live_tids t =
 (** Outputs in program order. *)
 let outputs t = List.rev t.outputs
 
+(* --- structural fingerprint ------------------------------------------- *)
+
+(* The multi-path explorer dedups frontier states by fingerprint and the
+   classifier dedups reconverging alternate schedules by the fingerprint of
+   their final states, so the hash must cover every field that can influence
+   either the rest of the execution or the verdict:
+
+   - covered: threads (frames, pcs, registers, statuses), shared memory
+     (globals, arrays, ghistory), synchronization (mutexes, cond and barrier
+     waiters), outputs, the path condition, declared input ranges, input
+     mode/counts, step and tid counters, and the memory model;
+   - excluded: [prog] (fixed within one exploration) and [input_log] — the
+     log is event-order metadata replayed for evidence reports, not state
+     the execution can branch on.
+
+   Maps hash by a fold over their bindings, which [Map] yields in key order,
+   so two states built through different insertion orders hash equal. *)
+
+module E = Portend_solver.Expr
+
+let mix = E.hash_combine
+let mix_str h s = mix h (Hashtbl.hash s)
+let mix_value h = function Value.Con n -> mix (mix h 3) n | Value.Sym e -> mix (mix h 5) (E.hash e)
+
+let mix_frame h f =
+  let h = mix_str (mix_str h f.func) f.pc in
+  let h = Imap.fold (fun r v h -> mix_value (mix h r) v) f.regs h in
+  match f.ret_to with None -> mix h 0 | Some r -> mix (mix h 1) r
+
+let mix_status h = function
+  | Runnable -> mix h 10
+  | Blocked_lock m -> mix_str (mix h 11) m
+  | Blocked_join tid -> mix (mix h 12) tid
+  | Blocked_cond (c, m) -> mix_str (mix_str (mix h 13) c) m
+  | Blocked_reacquire m -> mix_str (mix h 14) m
+  | Blocked_barrier b -> mix_str (mix h 15) b
+  | Finished -> mix h 16
+
+let mix_site h (s : Events.site) = mix_str (mix h s.Events.pc) s.Events.func
+
+let mix_output h o =
+  let h = mix_site (mix h o.out_tid) o.out_site in
+  match o.payload with
+  | Vals vs -> List.fold_left mix_value (mix h 20) vs
+  | Text s -> mix_str (mix h 21) s
+
+let mix_model h (m : int Smap.t) = Smap.fold (fun k n h -> mix (mix_str h k) n) m h
+
+let fingerprint (t : t) : int64 =
+  let h = 0x811c9dc5 in
+  let h =
+    Imap.fold
+      (fun tid th h ->
+        let h = mix (mix h tid) (List.length th.frames) in
+        let h = List.fold_left mix_frame h th.frames in
+        mix_status h th.status)
+      t.threads h
+  in
+  let h = Smap.fold (fun k v h -> mix_value (mix_str h k) v) t.globals h in
+  let h =
+    Smap.fold
+      (fun k a h ->
+        let h = mix (mix_str h k) a.len in
+        let h = mix_value h a.default in
+        let h = mix h (if a.freed then 1 else 0) in
+        Imap.fold (fun i v h -> mix_value (mix h i) v) a.cells h)
+      t.arrays h
+  in
+  let h =
+    Smap.fold
+      (fun m owner h ->
+        match owner with None -> mix (mix_str h m) (-1) | Some tid -> mix (mix_str h m) tid)
+      t.mutexes h
+  in
+  let h = Smap.fold (fun c tids h -> List.fold_left mix (mix_str h c) tids) t.cond_waiters h in
+  let h = Smap.fold (fun b tids h -> List.fold_left mix (mix_str h b) tids) t.barrier_waiters h in
+  let h = List.fold_left mix_output (mix h (List.length t.outputs)) t.outputs in
+  let h = List.fold_left (fun h c -> mix h (E.hash c)) (mix h (List.length t.path_cond)) t.path_cond in
+  let h =
+    List.fold_left
+      (fun h (v, lo, hi) -> mix (mix (mix_str h v) lo) hi)
+      (mix h (List.length t.input_ranges))
+      t.input_ranges
+  in
+  let h =
+    match t.input_mode with
+    | Symbolic -> mix h 30
+    | Concrete m -> mix_model (mix h 31) m
+    | Mixed { model; limit } -> mix (mix_model (mix h 32) model) limit
+  in
+  let h = mix_model h t.input_counts in
+  let h = mix (mix h t.steps) t.next_tid in
+  let h =
+    match t.memory_model with
+    | Sequential -> mix h 40
+    | Adversarial { depth } -> mix (mix h 41) depth
+  in
+  let h = Smap.fold (fun g vs h -> List.fold_left mix_value (mix_str h g) vs) t.ghistory h in
+  Int64.of_int h
+
 (** Declared ranges in solver format, for every symbolic input drawn so far. *)
 let solver_ranges t = t.input_ranges
 

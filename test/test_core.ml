@@ -383,6 +383,108 @@ let test_taxonomy_harmful () =
     [ Taxonomy.Output_differs; Taxonomy.K_witness_harmless; Taxonomy.Single_ordering ];
   Alcotest.(check int) "four categories" 4 (List.length Taxonomy.all_categories)
 
+(* --- state-space reduction: verdict identity and savings --- *)
+
+module W = Portend_workloads
+
+(* Everything the user can observe about a verdict; the reductions must
+   preserve each component exactly. *)
+let full_signature (a : Pipeline.t) =
+  List.map
+    (fun ra ->
+      ( D.Report.base_loc ra.Pipeline.race.D.Report.r_loc,
+        Taxonomy.category_to_string ra.Pipeline.verdict.Taxonomy.category,
+        ra.Pipeline.verdict.Taxonomy.k,
+        ra.Pipeline.verdict.Taxonomy.detail,
+        ra.Pipeline.verdict.Taxonomy.states_differ,
+        ra.Pipeline.evidence <> None ))
+    a.Pipeline.races
+
+let add_red (a : Classify.reduction) (b : Classify.reduction) : Classify.reduction =
+  { Classify.states_deduped = a.Classify.states_deduped + b.Classify.states_deduped;
+    schedules_pruned = a.Classify.schedules_pruned + b.Classify.schedules_pruned;
+    comparisons_deduped = a.Classify.comparisons_deduped + b.Classify.comparisons_deduped;
+    suffix_solves = a.Classify.suffix_solves + b.Classify.suffix_solves;
+    full_solves = a.Classify.full_solves + b.Classify.full_solves;
+    replays_reused = a.Classify.replays_reused + b.Classify.replays_reused
+  }
+
+let analyze_workload ?(overrides = Fun.id) ~reduction (w : W.Registry.workload) =
+  let config =
+    overrides { Config.default with Config.jobs = 1; enable_reduction = reduction }
+  in
+  Pipeline.analyze ~config ~seed:w.W.Registry.w_seed ~inputs:w.W.Registry.w_inputs
+    (compile w.W.Registry.w_prog)
+
+let test_reduction_verdict_identity () =
+  let totals = ref Classify.no_reduction in
+  List.iter
+    (fun (w : W.Registry.workload) ->
+      let off = analyze_workload ~reduction:false w in
+      let on = analyze_workload ~reduction:true w in
+      Alcotest.(check bool)
+        (w.W.Registry.w_name ^ ": verdicts identical with reduction on/off")
+        true
+        (full_signature off = full_signature on);
+      (* The non-reduction stats must agree too: the reductions skip
+         redundant work, never exploration. *)
+      Alcotest.(check bool)
+        (w.W.Registry.w_name ^ ": same states explored")
+        true
+        (List.map (fun ra -> ra.Pipeline.stats.Classify.states_explored) off.Pipeline.races
+        = List.map (fun ra -> ra.Pipeline.stats.Classify.states_explored) on.Pipeline.races);
+      List.iter
+        (fun ra ->
+          Alcotest.(check bool)
+            (w.W.Registry.w_name ^ ": reduction counters zero when disabled")
+            true
+            (ra.Pipeline.stats.Classify.red = Classify.no_reduction))
+        off.Pipeline.races;
+      List.iter
+        (fun ra -> totals := add_red !totals ra.Pipeline.stats.Classify.red)
+        on.Pipeline.races)
+    W.Suite.all;
+  (* Across the whole suite every reduction mechanism must actually fire
+     (except the frontier-dedup tripwire, which is provably 0 today). *)
+  let t = !totals in
+  Alcotest.(check bool) "suffix solves saved queries" true (t.Classify.suffix_solves > 0);
+  Alcotest.(check bool) "alternate dedup fired" true
+    (t.Classify.schedules_pruned + t.Classify.comparisons_deduped > 0);
+  Alcotest.(check bool) "checkpoint replays reused" true (t.Classify.replays_reused > 0);
+  Alcotest.(check int) "frontier dedup tripwire silent" 0 t.Classify.states_deduped
+
+let test_reduction_truncation_equivalence () =
+  (* With a tight state cap the scored frontier decides which states are
+     kept; its pop order must still coincide with the DFS stack, so even a
+     truncated exploration yields bit-identical verdicts. *)
+  let w =
+    match W.Suite.find "ctrace" with
+    | Some w -> w
+    | None -> Alcotest.fail "ctrace workload missing"
+  in
+  let overrides c = { c with Config.max_explored_states = 20 } in
+  let off = analyze_workload ~overrides ~reduction:false w in
+  let on = analyze_workload ~overrides ~reduction:true w in
+  Alcotest.(check bool) "cap engaged" true
+    (List.exists
+       (fun ra -> ra.Pipeline.stats.Classify.states_explored >= 20)
+       on.Pipeline.races);
+  Alcotest.(check bool) "verdicts identical under truncation" true
+    (full_signature off = full_signature on)
+
+let test_reduction_deterministic () =
+  (* Same seed, same config: reduced runs repeat exactly, counters included. *)
+  let w =
+    match W.Suite.find "bbuf" with
+    | Some w -> w
+    | None -> Alcotest.fail "bbuf workload missing"
+  in
+  let snap () =
+    let a = analyze_workload ~reduction:true w in
+    (full_signature a, List.map (fun ra -> ra.Pipeline.stats) a.Pipeline.races)
+  in
+  Alcotest.(check bool) "identical rerun" true (snap () = snap ())
+
 let () =
   Alcotest.run "core"
     [ ( "taxonomy",
@@ -399,6 +501,11 @@ let () =
         [ Alcotest.test_case "false positives -> singleOrd" `Quick test_false_positive_handling;
           Alcotest.test_case "clustering" `Quick test_clustering;
           Alcotest.test_case "evidence" `Quick test_evidence_render
+        ] );
+      ( "reduction",
+        [ Alcotest.test_case "suite-wide verdict identity" `Quick test_reduction_verdict_identity;
+          Alcotest.test_case "truncation equivalence" `Quick test_reduction_truncation_equivalence;
+          Alcotest.test_case "deterministic" `Quick test_reduction_deterministic
         ] );
       ( "units",
         [ Alcotest.test_case "symbolic output comparison" `Quick test_symout_units;

@@ -336,9 +336,55 @@ let test_telemetry_neutral =
             (a, T.snapshot ()))
       in
       let sum f = List.fold_left (fun acc ra -> acc + f ra.Pipeline.stats) 0 on.Pipeline.races in
+      let red f = sum (fun s -> f s.Classify.red) in
       analysis_fingerprint off = analysis_fingerprint on
       && T.counter snap "explore.states" = sum (fun s -> s.Classify.states_explored)
-      && T.counter snap "explore.paths_completed" = sum (fun s -> s.Classify.paths_completed))
+      && T.counter snap "explore.paths_completed" = sum (fun s -> s.Classify.paths_completed)
+      && T.counter snap "explore.states_deduped" = red (fun r -> r.Classify.states_deduped)
+      && T.counter snap "explore.suffix_solves" = red (fun r -> r.Classify.suffix_solves)
+      && T.counter snap "explore.full_solves" = red (fun r -> r.Classify.full_solves)
+      && T.counter snap "explore.schedules_pruned" = red (fun r -> r.Classify.schedules_pruned)
+      && T.counter snap "explore.comparisons_deduped"
+         = red (fun r -> r.Classify.comparisons_deduped)
+      && T.counter snap "explore.replays_reused" = red (fun r -> r.Classify.replays_reused))
+
+(* ------------------------------------------------------------------ *)
+(* the state-space reductions never change an answer                   *)
+(* ------------------------------------------------------------------ *)
+
+(* [analysis_fingerprint] with the reduction accounting blanked out: the
+   two runs legitimately avoid different amounts of work, but everything
+   else — verdicts, evidence, errors, and even the exploration counts —
+   must be bit-identical. *)
+let reduction_blind_fingerprint (a : Pipeline.t) =
+  ( List.map
+      (fun ra ->
+        ( Fmt.str "%a" Portend_detect.Report.pp_race ra.Pipeline.race,
+          ra.Pipeline.instances,
+          ra.Pipeline.verdict,
+          ra.Pipeline.evidence,
+          { ra.Pipeline.stats with Classify.red = Classify.no_reduction } ))
+      a.Pipeline.races,
+    List.map (fun (r, e) -> (Fmt.str "%a" Portend_detect.Report.pp_race r, e)) a.Pipeline.errors
+  )
+
+let test_reduction_preserves_verdicts =
+  let arb =
+    QCheck.make
+      ~print:(fun (p, seed) -> Printf.sprintf "seed %d\n%s" seed (Pp.program_to_string p))
+      QCheck.Gen.(pair gen_sync_program (int_bound 1000))
+  in
+  QCheck.Test.make
+    ~name:"state-space reduction preserves every verdict; counters stay 0 when off" ~count:60 arb
+    (fun (p, seed) ->
+      let prog = Compile.compile p in
+      let base = { Config.default with Config.jobs = 1 } in
+      let off = Pipeline.analyze ~config:{ base with Config.enable_reduction = false } ~seed prog in
+      let on = Pipeline.analyze ~config:{ base with Config.enable_reduction = true } ~seed prog in
+      reduction_blind_fingerprint off = reduction_blind_fingerprint on
+      && List.for_all
+           (fun ra -> ra.Pipeline.stats.Classify.red = Classify.no_reduction)
+           off.Pipeline.races)
 
 (* ------------------------------------------------------------------ *)
 (* solver soundness vs brute force                                     *)
@@ -441,6 +487,7 @@ let () =
             test_record_replay_property;
             test_same_seed_same_run;
             test_telemetry_neutral;
+            test_reduction_preserves_verdicts;
             test_solver_vs_bruteforce;
             test_solver_cache_coherent
           ] )

@@ -138,6 +138,42 @@ let test_solver_ite () =
   check_sat "ite" [ Expr.Ite (v "x" >: c 0, v "y" =: c 1, v "y" =: c 2); v "y" =: c 2 ];
   check_unsat "ite dead" [ Expr.Ite (v "x" >: c 0, c 1, c 1) <>: c 1 ]
 
+let test_cache_eviction () =
+  (* Flood the memo with distinct queries at a small capacity: entries must
+     be displaced (and counted), and a displaced query must re-solve to the
+     same answer. *)
+  let saved = Solver.memo_cap () in
+  Solver.set_memo_cap 64;
+  Fun.protect
+    ~finally:(fun () -> Solver.set_memo_cap saved)
+    (fun () ->
+      Solver.reset_stats ();
+      for k = 0 to 199 do
+        ignore (Solver.solve [ v "x" =: c k ])
+      done;
+      let s = Solver.stats () in
+      Alcotest.(check bool) "evictions counted" true (s.Solver.evictions > 0);
+      Alcotest.(check int) "all queries counted" 200 s.Solver.queries;
+      match Solver.solve [ v "x" =: c 0 ] with
+      | Solver.Sat m -> Alcotest.(check int) "evicted query re-solves" 0 (Portend_util.Maps.Smap.find "x" m)
+      | Solver.Unsat | Solver.Unknown -> Alcotest.fail "expected sat after eviction")
+
+let test_incremental_narrowing () =
+  let inc = Solver.inc_start in
+  Alcotest.(check bool) "start feasible" true (Solver.inc_feasible inc);
+  let inc = Solver.inc_declare inc ("x", 0, 10) in
+  let inc = Solver.inc_assume inc (v "x" >: c 3) in
+  Alcotest.(check bool) "narrowed still feasible" true (Solver.inc_feasible inc);
+  let dead = Solver.inc_assume inc (v "x" <: c 2) in
+  Alcotest.(check bool) "contradiction infeasible" false (Solver.inc_feasible dead);
+  (* The claim the explorer relies on: an infeasible box proves the full
+     solver would also reject the conjunction. *)
+  Alcotest.(check bool) "full solver agrees" false
+    (Solver.sat ~ranges:[ ("x", 0, 10) ] [ v "x" >: c 3; v "x" <: c 2 ]);
+  (* Unconstrained variables never make the box infeasible. *)
+  let inc = Solver.inc_declare Solver.inc_start ("y", -5, 5) in
+  Alcotest.(check bool) "declare alone feasible" true (Solver.inc_feasible inc)
+
 let test_solver_sound =
   (* Any Sat answer must check out by concrete evaluation. *)
   let gen =
@@ -183,7 +219,9 @@ let () =
           Alcotest.test_case "model" `Quick test_solver_model;
           Alcotest.test_case "ranges" `Quick test_solver_ranges;
           Alcotest.test_case "nonlinear" `Quick test_solver_nonlinear;
-          Alcotest.test_case "ite" `Quick test_solver_ite
+          Alcotest.test_case "ite" `Quick test_solver_ite;
+          Alcotest.test_case "cache eviction" `Quick test_cache_eviction;
+          Alcotest.test_case "incremental narrowing" `Quick test_incremental_narrowing
         ] );
       ("properties", qsuite)
     ]

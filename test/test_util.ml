@@ -88,6 +88,39 @@ let test_stats () =
   Alcotest.(check bool) "stddev positive" true (Stats.stddev [ 1.0; 5.0 ] > 0.0);
   Alcotest.(check (float 1e-9)) "percent" 50.0 (Stats.percent ~num:1 ~den:2)
 
+let test_pqueue_order () =
+  let open Portend_util in
+  let empty_q : int Pqueue.t = Pqueue.create ~cmp:compare () in
+  Alcotest.(check bool) "empty" true (Pqueue.is_empty empty_q);
+  Alcotest.(check (option int)) "pop empty" None (Pqueue.pop empty_q);
+  let q = Pqueue.create ~cmp:compare () in
+  (* Keys made total by pairing with the insertion index, the same trick
+     the multipath frontier uses for a deterministic pop order. *)
+  let xs = [ 5; 1; 4; 1; 3; 9; 0; -2; 7 ] in
+  List.iteri (fun i x -> Pqueue.push q (x, i)) xs;
+  Alcotest.(check int) "length" (List.length xs) (Pqueue.length q);
+  Alcotest.(check (option (pair int int))) "peek is min" (Some (-2, 7)) (Pqueue.peek q);
+  let rec drain acc =
+    match Pqueue.pop q with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  let expect = List.sort compare (List.mapi (fun i x -> (x, i)) xs) in
+  Alcotest.(check (list (pair int int))) "drains in sorted order" expect (drain [])
+
+let test_pqueue_grow_and_interleave () =
+  let open Portend_util in
+  let q = Pqueue.create ~capacity:1 ~cmp:compare () in
+  for i = 99 downto 0 do
+    Pqueue.push q i
+  done;
+  Alcotest.(check int) "grew past capacity" 100 (Pqueue.length q);
+  Alcotest.(check (option int)) "min first" (Some 0) (Pqueue.pop q);
+  Pqueue.push q (-5);
+  Alcotest.(check (option int)) "pushed new min" (Some (-5)) (Pqueue.pop q);
+  let rec drain acc =
+    match Pqueue.pop q with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  Alcotest.(check (list int)) "rest still sorted" (List.init 99 (fun i -> i + 1)) (drain [])
+
 let () =
   Alcotest.run "util"
     [ ( "srng",
@@ -102,5 +135,9 @@ let () =
           Alcotest.test_case "exceptions" `Quick test_pool_exception;
           Alcotest.test_case "per-item timing" `Quick test_pool_on_item
         ] );
-      ("stats", [ Alcotest.test_case "descriptive" `Quick test_stats ])
+      ("stats", [ Alcotest.test_case "descriptive" `Quick test_stats ]);
+      ( "pqueue",
+        [ Alcotest.test_case "heap order" `Quick test_pqueue_order;
+          Alcotest.test_case "growth and interleaving" `Quick test_pqueue_grow_and_interleave
+        ] )
     ]

@@ -411,6 +411,135 @@ let test_run_budget () =
   | Run.Out_of_budget -> ()
   | s -> Alcotest.failf "expected budget stop, got %s" (Run.stop_to_string s)
 
+(* --- state fingerprint --- *)
+
+(* Two threads writing disjoint globals: every interleaving executes the
+   same instructions, so all schedules converge on equal final states. *)
+let disjoint_writes =
+  let open Builder in
+  program "disjoint" ~globals:[ ("a", 0); ("b", 0) ]
+    [ func "wa" [] [ setg "a" (i 1) ];
+      func "wb" [] [ setg "b" (i 2) ];
+      func "main" []
+        [ spawn ~into:"t1" "wa" [];
+          spawn ~into:"t2" "wb" [];
+          join (l "t1");
+          join (l "t2");
+          output [ g "a"; g "b" ]
+        ]
+    ]
+
+let test_fingerprint_equal_states () =
+  (* Equal states built independently (different schedules of commuting
+     writes) hash equal. *)
+  let fp sched =
+    let r = run_prog ~sched disjoint_writes in
+    check_stop "halted" "halted" r;
+    State.fingerprint r.Run.final
+  in
+  Alcotest.(check int64) "same fingerprint across schedules" (fp Sched.round_robin)
+    (fp (Sched.random ~seed:7));
+  (* ... and trivially across two identical runs. *)
+  Alcotest.(check int64) "deterministic" (fp Sched.round_robin) (fp Sched.round_robin)
+
+let test_fingerprint_input_log_insensitive () =
+  let p =
+    compile
+      Builder.(
+        program "two_inputs" ~globals:[ ("r", 0) ]
+          [ func "main" []
+              [ input "a" ~name:"a" ~lo:0 ~hi:9;
+                input "b" ~name:"b" ~lo:0 ~hi:9;
+                setg "r" (l "a" + l "b");
+                output [ g "r" ]
+              ]
+          ])
+  in
+  let model = Portend_util.Maps.Smap.of_list [ ("a", 3); ("b", 4) ] in
+  let r = Run.run ~sched:Sched.round_robin (State.init ~input_mode:(State.Concrete model) p) in
+  let st = r.Run.final in
+  Alcotest.(check bool) "two draws logged" true (List.length st.State.input_log >= 2);
+  (* The input log records draw order — metadata, not semantic state — so
+     permuting it must not change the fingerprint. *)
+  Alcotest.(check int64) "log order irrelevant" (State.fingerprint st)
+    (State.fingerprint { st with State.input_log = List.rev st.State.input_log })
+
+let test_fingerprint_sensitivity () =
+  let r = run_prog (counter_racy 3) in
+  let st = r.Run.final in
+  let fp = State.fingerprint st in
+  let differs msg st' = Alcotest.(check bool) msg true (State.fingerprint st' <> fp) in
+  differs "globals change the hash"
+    { st with State.globals = Portend_util.Maps.Smap.add "count" (Value.Con 999) st.State.globals };
+  differs "steps change the hash" { st with State.steps = st.State.steps + 1 };
+  differs "path condition changes the hash"
+    { st with State.path_cond = [ Portend_solver.Expr.Const 1 ] }
+
+let test_fingerprint_collision_smoke () =
+  (* Snapshots along one deterministic run: distinct step counts mean
+     distinct states, so the number of distinct fingerprints must equal the
+     number of distinct step counts (a collision would merge two). *)
+  let prog = compile (counter_racy 3) in
+  let snapshots =
+    List.init 40 (fun k ->
+        (Run.run ~sched:Sched.round_robin ~budget:(k + 1) (State.init prog)).Run.final)
+  in
+  let steps = List.sort_uniq compare (List.map (fun s -> s.State.steps) snapshots) in
+  let fps = List.sort_uniq compare (List.map State.fingerprint snapshots) in
+  Alcotest.(check int) "no fingerprint collisions" (List.length steps) (List.length fps);
+  Alcotest.(check bool) "smoke covers many states" true (List.length steps > 10)
+
+(* --- event conflicts and trace equivalence --- *)
+
+let site pc = { Events.func = "f"; pc }
+
+let acc tid pc kind loc = Events.Access { tid; site = site pc; loc; kind; step = 0 }
+
+let test_events_conflicts () =
+  let check msg want a b = Alcotest.(check bool) msg want (Events.conflicts a b) in
+  check "write/write same global" true
+    (acc 1 0 Events.Write (Events.Lglobal "x"))
+    (acc 2 1 Events.Write (Events.Lglobal "x"));
+  check "read/read same global" false
+    (acc 1 0 Events.Read (Events.Lglobal "x"))
+    (acc 2 1 Events.Read (Events.Lglobal "x"));
+  check "write different globals" false
+    (acc 1 0 Events.Write (Events.Lglobal "x"))
+    (acc 2 1 Events.Write (Events.Lglobal "y"));
+  check "same thread always conflicts" true
+    (acc 1 0 Events.Read (Events.Lglobal "x"))
+    (acc 1 1 Events.Read (Events.Lglobal "y"));
+  check "array cells are independent" false
+    (acc 1 0 Events.Write (Events.Larray ("a", 0)))
+    (acc 2 1 Events.Write (Events.Larray ("a", 1)));
+  check "free metadata conflicts with any cell" true
+    (acc 1 0 Events.Write (Events.Lmeta "a"))
+    (acc 2 1 Events.Read (Events.Larray ("a", 3)));
+  check "same mutex" true
+    (Events.Lock_acquired { tid = 1; mutex = "m"; step = 0 })
+    (Events.Lock_released { tid = 2; mutex = "m"; step = 0 });
+  check "different mutexes" false
+    (Events.Lock_acquired { tid = 1; mutex = "m"; step = 0 })
+    (Events.Lock_acquired { tid = 2; mutex = "n"; step = 0 })
+
+let test_events_equivalent () =
+  let w tid pc name step =
+    Events.Access { tid; site = site pc; loc = Events.Lglobal name; kind = Events.Write; step }
+  in
+  (* Swapping adjacent independent events (and renumbering steps) preserves
+     equivalence. *)
+  Alcotest.(check bool) "independent swap equivalent" true
+    (Events.equivalent [ w 1 0 "x" 1; w 2 1 "y" 2 ] [ w 2 1 "y" 5; w 1 0 "x" 9 ]);
+  (* Swapping conflicting events does not. *)
+  Alcotest.(check bool) "conflicting swap inequivalent" false
+    (Events.equivalent [ w 1 0 "x" 1; w 2 1 "x" 2 ] [ w 2 1 "x" 1; w 1 0 "x" 2 ]);
+  (* Different lengths never compare equal. *)
+  Alcotest.(check bool) "length mismatch" false
+    (Events.equivalent [ w 1 0 "x" 1; w 2 1 "y" 2 ] [ w 1 0 "x" 1 ]);
+  (* A trace is equivalent to itself with renumbered steps. *)
+  Alcotest.(check bool) "step numbers ignored" true
+    (Events.equivalent [ w 1 0 "x" 3; w 2 1 "x" 7 ] [ w 1 0 "x" 0; w 2 1 "x" 1 ])
+
 let () =
   Alcotest.run "vm"
     [ ( "semantics",
@@ -439,5 +568,16 @@ let () =
           Alcotest.test_case "directed scheduler" `Quick test_directed_scheduler;
           Alcotest.test_case "trace take/prefix" `Quick test_trace_take_and_prefix;
           Alcotest.test_case "run budget" `Quick test_run_budget
+        ] );
+      ( "fingerprint",
+        [ Alcotest.test_case "equal states hash equal" `Quick test_fingerprint_equal_states;
+          Alcotest.test_case "input log order ignored" `Quick
+            test_fingerprint_input_log_insensitive;
+          Alcotest.test_case "semantic fields hashed" `Quick test_fingerprint_sensitivity;
+          Alcotest.test_case "collision smoke" `Quick test_fingerprint_collision_smoke
+        ] );
+      ( "events",
+        [ Alcotest.test_case "conflict relation" `Quick test_events_conflicts;
+          Alcotest.test_case "trace equivalence" `Quick test_events_equivalent
         ] )
     ]

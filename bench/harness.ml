@@ -19,9 +19,13 @@ let analyze_workload ?(config = Config.default) (w : Registry.workload) : app_re
 
 (* Workloads are analyzed on the configured number of worker domains; each
    analysis in turn fans its races out through the same (globally bounded)
-   pool, so nesting cannot oversubscribe the machine. *)
+   pool, so nesting cannot oversubscribe the machine.  When [config.cache]
+   is on, the run is bracketed by solver-memo persistence (import the
+   stored snapshot, export afterwards) and each workload's verdict goes
+   through the persistent store. *)
 let run_suite ?(config = Config.default) () : app_result list =
-  Portend_util.Pool.map ~jobs:config.Config.jobs (analyze_workload ~config) Suite.all
+  Pcache.with_solver_memos config (fun () ->
+      Portend_util.Pool.map ~jobs:config.Config.jobs (analyze_workload ~config) Suite.all)
 
 (* verdict category per race, keyed by base location *)
 let verdicts (r : app_result) =

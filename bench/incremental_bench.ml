@@ -1,0 +1,303 @@
+(* Persistent-cache benchmark: the full suite with the on-disk cache off,
+   cold (empty cache) and warm (populated cache), plus a one-workload-
+   touched re-run, cross-checking that verdicts are bit-identical in every
+   mode and writing BENCH_incremental.json.  A second section exercises the
+   static-summary tier directly, including per-function invalidation: one
+   function body touched, every other function's summary reused.
+
+   jobs=1 and cold in-memory solver caches per measurement, so the deltas
+   measure exactly what the on-disk store contributes. *)
+
+open Portend_core
+open Portend_workloads
+module D = Portend_detect
+module Solver = Portend_solver.Solver
+module Store = Portend_cache.Store
+module Locksets = Portend_analysis.Locksets
+
+let bench_dir = "_bench_cache_incremental"
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun name -> rm_rf (Filename.concat path name)) (Sys.readdir path);
+      try Sys.rmdir path with Sys_error _ -> ()
+    end
+    else try Sys.remove path with Sys_error _ -> ()
+
+(* Full verdict signature, as in the reduction bench: the cache must
+   preserve every component, not just the category. *)
+let signature (r : Harness.app_result) =
+  ( r.Harness.w.Registry.w_name,
+    List.map
+      (fun ra ->
+        ( D.Report.base_loc ra.Pipeline.race.D.Report.r_loc,
+          Taxonomy.category_to_string ra.Pipeline.verdict.Taxonomy.category,
+          ra.Pipeline.verdict.Taxonomy.k,
+          ra.Pipeline.verdict.Taxonomy.detail,
+          ra.Pipeline.verdict.Taxonomy.states_differ,
+          ra.Pipeline.evidence <> None ))
+      r.Harness.analysis.Pipeline.races,
+    List.length r.Harness.analysis.Pipeline.errors )
+
+(* The static prefilter is on so the summaries tier sees suite traffic
+   (race reports and verdicts are identical either way — the prefilter
+   soundness contract the test suite asserts). *)
+let config ~cache ~dir =
+  { Config.default with
+    Config.jobs = 1;
+    static_prefilter = true;
+    cache;
+    cache_dir = dir
+  }
+
+type run = {
+  r_wall : float;
+  r_queries : int;
+  r_sigs : (string * (string * string * int * string * bool * bool) list * int) list;
+  r_tiers : (Store.tier * Store.tier_stats) list;
+}
+
+let tier_of run tier = List.assoc tier run.r_tiers
+
+(* Every measurement starts from cold in-memory state; only the on-disk
+   store persists across measurements. *)
+let measure (runner : unit -> Harness.app_result list) : run =
+  Solver.reset_stats ();
+  Solver.clear_caches ();
+  Store.reset_stats ();
+  let results, wall = Portend_util.Clock.timed runner in
+  { r_wall = wall;
+    r_queries = (Solver.stats ()).Solver.queries;
+    r_sigs = List.map signature results;
+    r_tiers = Store.stats ()
+  }
+
+let measure_suite cfg suite =
+  measure (fun () ->
+      Pcache.with_solver_memos cfg (fun () -> List.map (Harness.analyze_workload ~config:cfg) suite))
+
+let delta_pct before after =
+  if before <= 0.0 then 0.0 else 100.0 *. (before -. after) /. before
+
+let json_of_tiers run =
+  String.concat ", "
+    (List.map
+       (fun (tier, s) ->
+         Printf.sprintf {|"%s": {"hits": %d, "misses": %d, "writes": %d, "evictions": %d}|}
+           (Store.tier_name tier) s.Store.hits s.Store.misses s.Store.writes s.Store.evictions)
+       run.r_tiers)
+
+(* --- static-summary section -------------------------------------------- *)
+
+(* Pick a workload function to "touch": a non-main function some other
+   function does not transitively call, so the variant run shows both
+   misses (the touched function and its dependents) and hits (everything
+   independent of it). *)
+let pick_touch_target () =
+  let candidates =
+    List.filter_map
+      (fun (w : Registry.workload) ->
+        let prog = Portend_lang.Compile.compile w.Registry.w_prog in
+        let funcs = Portend_util.Maps.Smap.keys prog.Portend_lang.Bytecode.funcs in
+        if List.length funcs < 3 then None
+        else
+          let dependents f =
+            List.length
+              (List.filter (fun g -> Portend_util.Maps.Sset.mem f (Locksets.call_closure prog g)) funcs)
+          in
+          List.filter (fun f -> f <> "main") funcs
+          |> List.map (fun f -> (dependents f, f))
+          |> List.sort compare
+          |> function
+          | (deps, f) :: _ when deps < List.length funcs -> Some (w, f)
+          | _ -> None)
+      Suite.all
+  in
+  match candidates with
+  | pick :: _ -> pick
+  | [] -> failwith "incremental bench: no workload with an independently-touchable function"
+
+(* The workload's program with [Yield] prepended to one function's body —
+   the smallest source touch that changes that body's content hash. *)
+let touch_function (p : Portend_lang.Ast.program) (fname : string) : Portend_lang.Ast.program =
+  { p with
+    Portend_lang.Ast.funcs =
+      List.map
+        (fun (f : Portend_lang.Ast.func) ->
+          if f.Portend_lang.Ast.fname = fname then
+            { f with Portend_lang.Ast.body = Portend_lang.Ast.Yield :: f.Portend_lang.Ast.body }
+          else f)
+        p.Portend_lang.Ast.funcs
+  }
+
+type static_result = {
+  st_cold_wall : float;
+  st_warm_wall : float;
+  st_warm : Store.tier_stats;
+  st_workload : string;
+  st_func : string;
+  st_inv_hits : int;
+  st_inv_misses : int;
+}
+
+let static_section () =
+  let store = Store.open_store (Filename.concat bench_dir "static") in
+  let progs =
+    List.map (fun (w : Registry.workload) -> Portend_lang.Compile.compile w.Registry.w_prog) Suite.all
+  in
+  let timed_pass () =
+    Store.reset_stats ();
+    Portend_util.Clock.timed (fun () ->
+        List.iter
+          (fun prog -> ignore (Portend_analysis.Static_report.analyze_cached ~store prog))
+          progs)
+  in
+  let (), cold_wall = timed_pass () in
+  let (), warm_wall = timed_pass () in
+  let warm = Store.tier_stats Store.Summaries in
+  let w, fname = pick_touch_target () in
+  let variant = Portend_lang.Compile.compile (touch_function w.Registry.w_prog fname) in
+  Store.reset_stats ();
+  ignore (Portend_analysis.Static_report.analyze_cached ~store variant);
+  let inv = Store.tier_stats Store.Summaries in
+  { st_cold_wall = cold_wall;
+    st_warm_wall = warm_wall;
+    st_warm = warm;
+    st_workload = w.Registry.w_name;
+    st_func = fname;
+    st_inv_hits = inv.Store.hits;
+    st_inv_misses = inv.Store.misses
+  }
+
+(* --- the benchmark ------------------------------------------------------ *)
+
+let hit_rate_pct s = 100.0 *. Store.hit_rate s
+
+let run () =
+  rm_rf bench_dir;
+  let off = measure_suite (config ~cache:false ~dir:bench_dir) Suite.all in
+  let cold = measure_suite (config ~cache:true ~dir:bench_dir) Suite.all in
+  let warm = measure_suite (config ~cache:true ~dir:bench_dir) Suite.all in
+  let touched_w = (List.hd Suite.all).Registry.w_name in
+  let touched_suite =
+    List.map
+      (fun (w : Registry.workload) ->
+        if w.Registry.w_name = touched_w then { w with Registry.w_seed = w.Registry.w_seed + 7919 }
+        else w)
+      Suite.all
+  in
+  let touched = measure_suite (config ~cache:true ~dir:bench_dir) touched_suite in
+  let st = static_section () in
+
+  let identical = off.r_sigs = cold.r_sigs && off.r_sigs = warm.r_sigs in
+  let saved_pct = delta_pct cold.r_wall warm.r_wall in
+  let warm_30 = saved_pct >= 30.0 in
+  let tv = tier_of touched Store.Verdicts in
+  let touched_only = tv.Store.misses = 1 && tv.Store.hits = List.length Suite.all - 1 in
+
+  Harness.print_table ~title:"Persistent cache (full suite, jobs=1)"
+    ~header:[ "run"; "wall s"; "solver q"; "vd hit"; "vd miss"; "sv hit"; "sm hit" ]
+    (List.map
+       (fun (name, r) ->
+         let v = tier_of r Store.Verdicts
+         and s = tier_of r Store.Solver_memos
+         and m = tier_of r Store.Summaries in
+         [ name;
+           Printf.sprintf "%.3f" r.r_wall;
+           string_of_int r.r_queries;
+           string_of_int v.Store.hits;
+           string_of_int v.Store.misses;
+           string_of_int s.Store.hits;
+           string_of_int m.Store.hits
+         ])
+       [ ("off", off); ("cold", cold); ("warm", warm); ("touched", touched) ]);
+  Printf.printf "\nverdicts identical (off = cold = warm): %b\n" identical;
+  Printf.printf "warm wall time %.1f%% below cold (>=30%%: %b)\n" saved_pct warm_30;
+  Printf.printf "touched run re-analyzed only %s: %b\n" touched_w touched_only;
+  Printf.printf "static summaries: warm pass %d hit(s) %d miss(es); touching %s.%s: %d hit(s) %d miss(es)\n"
+    st.st_warm.Store.hits st.st_warm.Store.misses st.st_workload st.st_func st.st_inv_hits
+    st.st_inv_misses;
+  if not identical then prerr_endline "WARNING: the cache changed a verdict!";
+
+  let json =
+    Printf.sprintf
+      {|{
+  "bench": "portend-incremental-cache",
+  "suite_workloads": %d,
+  "verdicts_identical": %b,
+  "suite": {
+    "off_wall_s": %.6f,
+    "cold_wall_s": %.6f,
+    "warm_wall_s": %.6f,
+    "touched_wall_s": %.6f,
+    "warm_vs_cold_saved_pct": %.1f,
+    "warm_30pct_faster": %b,
+    "solver_queries": {"off": %d, "cold": %d, "warm": %d, "touched": %d},
+    "cold_tiers": {%s},
+    "warm_tiers": {%s},
+    "touched_tiers": {%s},
+    "warm_hit_rate_pct": {"verdicts": %.1f, "solver": %.1f},
+    "touched_workload": %S,
+    "touched_reanalyzed_only_touched": %b
+  },
+  "static_summaries": {
+    "cold_wall_s": %.6f,
+    "warm_wall_s": %.6f,
+    "warm_hits": %d,
+    "warm_misses": %d,
+    "invalidation": {"workload": %S, "function": %S, "hits": %d, "misses": %d,
+      "partial_reuse": %b}
+  }
+}
+|}
+      (List.length Suite.all) identical off.r_wall cold.r_wall warm.r_wall touched.r_wall
+      saved_pct warm_30 off.r_queries cold.r_queries warm.r_queries touched.r_queries
+      (json_of_tiers cold) (json_of_tiers warm) (json_of_tiers touched)
+      (hit_rate_pct (tier_of warm Store.Verdicts))
+      (hit_rate_pct (tier_of warm Store.Solver_memos))
+      touched_w touched_only st.st_cold_wall st.st_warm_wall st.st_warm.Store.hits
+      st.st_warm.Store.misses st.st_workload st.st_func st.st_inv_hits st.st_inv_misses
+      (st.st_inv_hits > 0 && st.st_inv_misses > 0)
+  in
+  let path = Filename.concat (Sys.getcwd ()) "BENCH_incremental.json" in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote %s\n" path;
+  rm_rf bench_dir
+
+(* Two small workloads, cache off vs. cold vs. warm, on every
+   `dune runtest` via the incremental-smoke alias: verdict identity and a
+   fully-hit warm pass stay under continuous test without the full
+   benchmark's cost. *)
+let smoke () =
+  let dir = "_smoke_cache_incremental" in
+  rm_rf dir;
+  let pick name =
+    match Suite.find name with
+    | Some w -> w
+    | None -> List.hd Suite.micro_benchmarks
+  in
+  let ws = [ pick "RW"; pick "ctrace" ] in
+  let off = measure_suite (config ~cache:false ~dir) ws in
+  let cold = measure_suite (config ~cache:true ~dir) ws in
+  let warm = measure_suite (config ~cache:true ~dir) ws in
+  let fail msg =
+    Printf.eprintf "incremental smoke FAILED: %s\n" msg;
+    rm_rf dir;
+    exit 1
+  in
+  if off.r_sigs <> cold.r_sigs then fail "cold cached verdicts differ from uncached";
+  if off.r_sigs <> warm.r_sigs then fail "warm cached verdicts differ from uncached";
+  let cv = tier_of cold Store.Verdicts and wv = tier_of warm Store.Verdicts in
+  if cv.Store.writes < List.length ws then fail "cold run did not populate the verdict tier";
+  if wv.Store.hits <> List.length ws || wv.Store.misses <> 0 then
+    fail "warm run was not answered entirely from the verdict tier";
+  if (tier_of warm Store.Solver_memos).Store.hits < 1 then
+    fail "warm run did not load the solver-memo snapshot";
+  rm_rf dir;
+  Printf.printf
+    "incremental smoke ok: verdicts identical on %s; warm pass %d/%d verdict hit(s)\n"
+    (String.concat ", " (List.map (fun (w : Registry.workload) -> w.Registry.w_name) ws))
+    wv.Store.hits (List.length ws)

@@ -6,7 +6,7 @@
 let usage () =
   print_endline
     "usage: main.exe \
-     [table1|table2|table3|table4|table5|fig7|fig9|fig10|falsepos|weakmem|micro|parallel|prefilter|reduction|observability|smoke|reduction-smoke|all]"
+     [table1|table2|table3|table4|table5|fig7|fig9|fig10|falsepos|weakmem|micro|parallel|prefilter|reduction|observability|incremental|smoke|reduction-smoke|incremental-smoke|all]"
 
 let () =
   let target = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -30,8 +30,10 @@ let () =
   | "prefilter" -> Prefilter_bench.run ()
   | "reduction" -> Reduction_bench.run ()
   | "observability" -> Observability_bench.run ()
+  | "incremental" -> Incremental_bench.run ()
   | "smoke" -> Parallel_bench.smoke ()
   | "reduction-smoke" -> Reduction_bench.smoke ()
+  | "incremental-smoke" -> Incremental_bench.smoke ()
   | "all" ->
     Tables.table1 ();
     Tables.table2 suite;
@@ -47,5 +49,6 @@ let () =
     Parallel_bench.run ();
     Prefilter_bench.run ();
     Reduction_bench.run ();
-    Observability_bench.run ()
+    Observability_bench.run ();
+    Incremental_bench.run ()
   | _ -> usage ()

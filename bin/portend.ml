@@ -72,6 +72,40 @@ let no_reduction_arg =
            frontier, state dedup, interleaving-equivalence pruning, incremental path solving). \
            Verdicts and race reports are identical either way; only the work done changes.")
 
+let cache_arg =
+  Arg.(
+    value & flag
+    & info [ "cache" ]
+        ~doc:
+          "Persist verdicts, solver memos and static summaries in the content-addressed on-disk \
+           store under $(b,--cache-dir), and reuse entries from earlier runs. Cached and \
+           uncached runs produce bit-identical output; a corrupt or stale entry is a miss, \
+           never an error.")
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ] ~doc:"Disable the persistent cache (overrides $(b,--cache)).")
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt string Core.Config.default.Core.Config.cache_dir
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:"Root directory of the persistent cache (default: _portend_cache).")
+
+let apply_cache config cache no_cache cache_dir =
+  { config with Core.Config.cache = cache && not no_cache; cache_dir }
+
+let print_cache_stats () =
+  List.iter
+    (fun (tier, s) ->
+      Printf.printf "cache[%s]: %d hit(s), %d miss(es), %d write(s), %d eviction(s)\n"
+        (Portend_cache.Store.tier_name tier)
+        s.Portend_cache.Store.hits s.Portend_cache.Store.misses s.Portend_cache.Store.writes
+        s.Portend_cache.Store.evictions)
+    (Portend_cache.Store.stats ())
+
 let or_die = function
   | Ok v -> v
   | Error e ->
@@ -163,21 +197,25 @@ let classify_cmd =
     Arg.(value & opt int Core.Config.default.Core.Config.max_symbolic_inputs
          & info [ "symbolic-inputs" ] ~docv:"N" ~doc:"How many program inputs to treat symbolically.")
   in
-  let classify file seed inputs mp ma sym jobs prefilter no_reduction trace =
+  let classify file seed inputs mp ma sym jobs prefilter no_reduction cache no_cache cache_dir
+      trace =
     let prog = or_die (load file) in
     let config =
-      { Core.Config.default with
-        Core.Config.mp;
-        ma;
-        max_symbolic_inputs = sym;
-        jobs;
-        static_prefilter = prefilter;
-        enable_reduction = not no_reduction
-      }
+      apply_cache
+        { Core.Config.default with
+          Core.Config.mp;
+          ma;
+          max_symbolic_inputs = sym;
+          jobs;
+          static_prefilter = prefilter;
+          enable_reduction = not no_reduction
+        }
+        cache no_cache cache_dir
     in
     let a =
       with_trace trace (fun () ->
-          Core.Pipeline.analyze ~config ~seed ~inputs:(parse_inputs inputs) prog)
+          Core.Pcache.with_solver_memos config (fun () ->
+              Core.Pipeline.analyze ~config ~seed ~inputs:(parse_inputs inputs) prog))
     in
     Printf.printf "recording %s; %d distinct race(s)\n\n"
       (V.Run.stop_to_string a.Core.Pipeline.record.V.Run.stop)
@@ -210,14 +248,17 @@ let classify_cmd =
           single-ordering.")
     Term.(
       const classify $ file_arg $ seed_arg $ inputs_arg $ mp_arg $ ma_arg $ sym_arg $ jobs_arg
-      $ prefilter_arg $ no_reduction_arg $ trace_arg)
+      $ prefilter_arg $ no_reduction_arg $ cache_arg $ no_cache_arg $ cache_dir_arg $ trace_arg)
 
 (* --- lint --- *)
 
 let lint_cmd =
-  let lint file =
+  let lint file cache no_cache cache_dir =
     let prog = or_die (load file) in
-    let diags = Portend_analysis.Lint.run prog in
+    let store =
+      if cache && not no_cache then Some (Portend_cache.Store.open_store cache_dir) else None
+    in
+    let diags = Portend_analysis.Lint.run ?store prog in
     List.iter (fun d -> print_endline (Portend_analysis.Lint.to_string d)) diags;
     let errors =
       List.filter (fun d -> d.Portend_analysis.Lint.severity = Portend_analysis.Lint.Error) diags
@@ -234,7 +275,7 @@ let lint_cmd =
           in-parallel accesses with disjoint locksets), locks possibly held at return, possible \
           double acquires (self-deadlock), and spin loops whose condition no concurrent thread \
           can change.")
-    Term.(const lint $ file_arg)
+    Term.(const lint $ file_arg $ cache_arg $ no_cache_arg $ cache_dir_arg)
 
 (* --- weakmem --- *)
 
@@ -270,34 +311,41 @@ let weakmem_cmd =
 (* --- suite --- *)
 
 let suite_cmd =
-  let suite jobs no_reduction trace =
+  let suite jobs no_reduction cache no_cache cache_dir trace =
     let config =
-      { Core.Config.default with Core.Config.jobs; enable_reduction = not no_reduction }
+      apply_cache
+        { Core.Config.default with Core.Config.jobs; enable_reduction = not no_reduction }
+        cache no_cache cache_dir
     in
-    (* Explicit reset so the stats line below covers exactly this suite run,
+    (* Explicit reset so the stats lines below cover exactly this suite run,
        cumulatively across all workloads (not just the last one). *)
     Portend_solver.Solver.reset_stats ();
+    Portend_cache.Store.reset_stats ();
     with_trace trace (fun () ->
-        List.iter
-          (fun (w : Portend_workloads.Registry.workload) ->
-            let prog = Portend_lang.Compile.compile w.Portend_workloads.Registry.w_prog in
-            let a =
-              Core.Pipeline.analyze ~config ~seed:w.Portend_workloads.Registry.w_seed
-                ~inputs:w.Portend_workloads.Registry.w_inputs prog
-            in
-            Fmt.pr "%a@." Core.Pipeline.pp_summary a)
-          Portend_workloads.Suite.all);
+        Core.Pcache.with_solver_memos config (fun () ->
+            List.iter
+              (fun (w : Portend_workloads.Registry.workload) ->
+                let prog = Portend_lang.Compile.compile w.Portend_workloads.Registry.w_prog in
+                let a =
+                  Core.Pipeline.analyze ~config ~seed:w.Portend_workloads.Registry.w_seed
+                    ~inputs:w.Portend_workloads.Registry.w_inputs prog
+                in
+                Fmt.pr "%a@." Core.Pipeline.pp_summary a)
+              Portend_workloads.Suite.all));
     let s = Portend_solver.Solver.stats () in
     Printf.printf
       "solver: %d queries, %d cache hits, %d misses, %d prefix-unsat (hit rate %.0f%%)\n"
       s.Portend_solver.Solver.queries s.Portend_solver.Solver.cache_hits
       s.Portend_solver.Solver.cache_misses s.Portend_solver.Solver.prefix_unsat
       (100. *. Portend_solver.Solver.hit_rate s);
+    if config.Core.Config.cache then print_cache_stats ();
     0
   in
   Cmd.v
     (Cmd.info "suite" ~doc:"Classify every race in the paper's evaluation suite.")
-    Term.(const suite $ jobs_arg $ no_reduction_arg $ trace_arg)
+    Term.(
+      const suite $ jobs_arg $ no_reduction_arg $ cache_arg $ no_cache_arg $ cache_dir_arg
+      $ trace_arg)
 
 (* --- profile --- *)
 
@@ -310,12 +358,17 @@ let profile_cmd =
             "Elide every wall-clock column from the summary so the output is deterministic \
              (counts only).")
   in
-  let profile file seed inputs jobs no_reduction trace no_times =
+  let profile file seed inputs jobs no_reduction cache no_cache cache_dir trace no_times =
     let prog = or_die (load file) in
     let config =
-      { Core.Config.default with Core.Config.jobs; enable_reduction = not no_reduction }
+      apply_cache
+        { Core.Config.default with Core.Config.jobs; enable_reduction = not no_reduction }
+        cache no_cache cache_dir
     in
-    let p = Core.Profile.run ~config ~seed ~inputs:(parse_inputs inputs) prog in
+    let p =
+      Core.Pcache.with_solver_memos config (fun () ->
+          Core.Profile.run ~config ~seed ~inputs:(parse_inputs inputs) prog)
+    in
     print_string (Core.Profile.render ~times:(not no_times) p);
     (match trace with
     | Some out -> write_chrome_trace out p.Core.Profile.snap
@@ -329,8 +382,8 @@ let profile_cmd =
           summary: span durations, counters (VM steps, vector-clock operations, explored \
           states, solver queries, ...) and gauges.")
     Term.(
-      const profile $ file_arg $ seed_arg $ inputs_arg $ jobs_arg $ no_reduction_arg $ trace_arg
-      $ no_times_arg)
+      const profile $ file_arg $ seed_arg $ inputs_arg $ jobs_arg $ no_reduction_arg $ cache_arg
+      $ no_cache_arg $ cache_dir_arg $ trace_arg $ no_times_arg)
 
 (* --- dump --- *)
 

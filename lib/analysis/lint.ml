@@ -141,10 +141,21 @@ let spin_invariant_diags (prog : B.t) (report : Static_report.t) (mhp : Mhp.t) :
     (Static.spin_read_sites prog)
 
 (** All diagnostics for a program, deterministically ordered. *)
-let run (prog : B.t) : diag list =
+(* [store] reads the lockset/MHP inputs through the persistent cache
+   ([portend lint --cache]); diagnostics are recomputed from them either
+   way, so cached and uncached runs print identical output. *)
+let run ?store (prog : B.t) : diag list =
   let cfgs = Smap.map Cfg.build prog.B.funcs in
-  let locks = Locksets.analyze_with_cfgs prog cfgs in
-  let mhp = Mhp.analyze_with_cfgs prog cfgs in
+  let locks =
+    match store with
+    | None -> Locksets.analyze_with_cfgs prog cfgs
+    | Some _ -> Locksets.analyze_cached ?store prog
+  in
+  let mhp =
+    match store with
+    | None -> Mhp.analyze_with_cfgs prog cfgs
+    | Some _ -> Mhp.analyze_cached ?store prog
+  in
   let report = Static_report.analyze_with prog locks mhp in
   race_diags report
   @ lock_leak_diags cfgs locks

@@ -148,6 +148,98 @@ let analyze_with_cfgs (prog : B.t) (cfgs : Cfg.t Smap.t) : t =
 let analyze (prog : B.t) : t =
   analyze_with_cfgs prog (Smap.map Cfg.build prog.B.funcs)
 
+(* --- persistent per-function summaries --------------------------------- *)
+
+module Store = Portend_cache.Store
+module H = Portend_util.Chash
+
+(* One function's share of a lockset analysis: its call summary and its
+   per-pc must/may held sets.  Pure data (sets of strings, arrays of set
+   options), so entries marshal and reload structurally intact. *)
+type fn_entry = {
+  fe_digest : int;  (** [B.func_chash] of the function body, re-checked on load *)
+  fe_summary : summary;
+  fe_must : Sset.t option array;
+  fe_may : Sset.t option array;
+}
+
+(* Functions reachable from [entry] through ICall, including [entry]. *)
+let call_closure (prog : B.t) (entry : string) : Sset.t =
+  let rec go acc name =
+    if Sset.mem name acc then acc
+    else
+      match B.find_func prog name with
+      | None -> acc
+      | Some f ->
+        Sset.fold
+          (fun callee acc -> go acc callee)
+          (Portend_lang.Static.callees_of_func f)
+          (Sset.add name acc)
+  in
+  go Sset.empty entry
+
+(* Cache key for one function's entry.  A summary is a fixpoint over the
+   call graph, so the key must cover every body the fixpoint read: the
+   function itself plus its transitive callees (hashed in [Sset.fold]'s
+   sorted order), plus the program's declared mutex list (the pessimum
+   fallback mentions every mutex).  Touching any callee therefore changes
+   the key — the entry is invalidated precisely when its inputs change. *)
+let fn_key (prog : B.t) (mutexes : string list) (closure : Sset.t) (fname : string) : string =
+  let h = H.string H.seed fname in
+  let h = H.list H.string h mutexes in
+  let h =
+    Sset.fold
+      (fun g h ->
+        match B.find_func prog g with
+        | Some f -> H.int (H.string h g) (B.func_chash f)
+        | None -> H.string h g)
+      closure h
+  in
+  "ls-" ^ H.to_hex h
+
+(** [analyze] with per-function entries read through (and written back to)
+    the persistent store's [Summaries] tier.  When every function of the
+    program hits, the result is assembled without running any fixpoint;
+    any miss falls back to the full analysis and back-fills the missed
+    entries.  With [store = None] this is exactly {!analyze}. *)
+let analyze_cached ?store (prog : B.t) : t =
+  match store with
+  | None -> analyze prog
+  | Some st ->
+    let mutexes = prog.B.source.Portend_lang.Ast.mutexes in
+    let keys =
+      Smap.mapi (fun fname _ -> fn_key prog mutexes (call_closure prog fname) fname) prog.B.funcs
+    in
+    let cached =
+      Smap.mapi
+        (fun fname key ->
+          match (Store.get st Store.Summaries ~key : fn_entry option) with
+          | Some e
+            when e.fe_digest
+                 = B.func_chash (Option.get (B.find_func prog fname)) -> Some e
+          | Some _ | None -> None)
+        keys
+    in
+    if Smap.for_all (fun _ e -> e <> None) cached then
+      { summaries = Smap.map (fun e -> (Option.get e).fe_summary) cached;
+        must_at = Smap.map (fun e -> (Option.get e).fe_must) cached;
+        may_at = Smap.map (fun e -> (Option.get e).fe_may) cached
+      }
+    else begin
+      let t = analyze prog in
+      Smap.iter
+        (fun fname key ->
+          if Smap.find fname cached = None then
+            Store.put st Store.Summaries ~key
+              { fe_digest = B.func_chash (Option.get (B.find_func prog fname));
+                fe_summary = Smap.find fname t.summaries;
+                fe_must = Smap.find fname t.must_at;
+                fe_may = Smap.find fname t.may_at
+              })
+        keys;
+      t
+    end
+
 (** Mutexes definitely held on entry to [(fname, pc)]; empty when the site
     is unknown or unreachable (the sound default: no lock protection
     assumed). *)

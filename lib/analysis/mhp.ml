@@ -195,6 +195,26 @@ let analyze_with_cfgs (prog : B.t) (cfgs : Cfg.t Smap.t) : t =
 let analyze (prog : B.t) : t =
   analyze_with_cfgs prog (Smap.map Cfg.build prog.B.funcs)
 
+(** [analyze] read through the persistent store.  MHP is inherently a
+    whole-program analysis (spawn structure, call closures, join edges span
+    functions), so its cacheable unit is the program: one [Summaries]-tier
+    entry keyed by the program content hash — equivalently, the conjunction
+    of every function body hash, so touching any function invalidates it.
+    The payload ([t]) is pure data including the CFGs it was computed
+    from. *)
+let analyze_cached ?store (prog : B.t) : t =
+  match store with
+  | None -> analyze prog
+  | Some st ->
+    let module Store = Portend_cache.Store in
+    let key = "mhp-" ^ Portend_util.Chash.to_hex (B.chash prog) in
+    (match (Store.get st Store.Summaries ~key : t option) with
+    | Some t -> t
+    | None ->
+      let t = analyze prog in
+      Store.put st Store.Summaries ~key t;
+      t)
+
 let executors (t : t) (fname : string) : thread list =
   List.filter_map
     (fun (th, closure) -> if Sset.mem fname closure then Some th else None)

@@ -144,6 +144,19 @@ let analyze (prog : B.t) : t =
   let mhp = Mhp.analyze_with_cfgs prog cfgs in
   analyze_with prog locks mhp
 
+(** [analyze] with the expensive inputs — per-function lockset fixpoints
+    and the whole-program MHP structure — read through the persistent
+    store.  Pair generation itself is cheap and recomputed fresh, so the
+    report always reflects exactly the (possibly cached) analyses it was
+    built from. *)
+let analyze_cached ?store (prog : B.t) : t =
+  match store with
+  | None -> analyze prog
+  | Some _ ->
+    let locks = Locksets.analyze_cached ?store prog in
+    let mhp = Mhp.analyze_cached ?store prog in
+    analyze_with prog locks mhp
+
 (** Sites participating in at least one candidate pair — the set the
     dynamic detector needs to instrument to see every reportable race. *)
 let restrict_sites (t : t) : (string * int) list =

@@ -1,0 +1,284 @@
+(** A versioned, content-addressed on-disk store for cross-run
+    incrementality.
+
+    Layout (all under one root directory, [_portend_cache/] by default):
+
+    {v
+    _portend_cache/
+      v1/                     <- format version stamp
+        verdicts/<key>.bin    <- final pipeline verdicts
+        solver/<key>.bin      <- canonical-query memo snapshots
+        summaries/<key>.bin   <- per-function static-analysis summaries
+    v}
+
+    Design rules, in decreasing order of importance:
+
+    - {b Correctness over hits.}  Keys are content hashes (program
+      bytecode, recorded trace, effective config, function bodies) — never
+      file mtimes.  An entry is served only if its recorded key matches the
+      requested key byte-for-byte, so a hash-collision or a file renamed by
+      hand degrades to a miss.
+    - {b A bad entry is a miss, never an error.}  Every failure on the read
+      path — missing file, truncated [Marshal] blob, permission problem,
+      an entry written by a different build — is caught and reported as a
+      miss; a corrupt entry is additionally unlinked so it cannot keep
+      costing a failed parse.  The analysis pipeline must behave
+      identically (except for speed) with a pristine, corrupt, or absent
+      cache.
+    - {b Writes are atomic.}  Entries are marshalled to a unique temp file
+      in the same directory and [Sys.rename]d into place, so concurrent
+      writers (two [portend] processes sharing a cache dir) can only ever
+      race to install complete entries, and readers never observe a torn
+      write.  Write failures (disk full, read-only dir) are swallowed: the
+      cache is an accelerator, not a database.
+    - {b Versioning is structural.}  Entries live under a [v<N>] directory
+      derived from {!format_version}; bumping the version makes every old
+      entry invisible (a miss) without any migration or deletion logic.
+
+    Stats are process-global atomics per tier, mirrored into
+    [portend.telemetry] counters ([cache.hit], [cache.miss], [cache.write],
+    [cache.evict] plus per-tier variants) so [portend profile] reports them
+    alongside the rest of the pipeline. *)
+
+module Telemetry = Portend_telemetry
+
+(** Bump when the entry encoding or any cached payload type changes shape.
+    Old entries become unreachable (their [v<N>] directory is simply never
+    consulted) rather than misread. *)
+let format_version = 1
+
+type tier =
+  | Verdicts  (** final per-(program, trace, config) pipeline results *)
+  | Solver_memos  (** canonical-query memo-table snapshots *)
+  | Summaries  (** per-function locksets / whole-program MHP / CFG digests *)
+
+let all_tiers = [ Verdicts; Solver_memos; Summaries ]
+let tier_name = function Verdicts -> "verdicts" | Solver_memos -> "solver" | Summaries -> "summaries"
+let tier_index = function Verdicts -> 0 | Solver_memos -> 1 | Summaries -> 2
+let n_tiers = 3
+
+(* --- stats -------------------------------------------------------------- *)
+
+type tier_stats = {
+  hits : int;
+  misses : int;
+  writes : int;
+  evictions : int;
+}
+
+let zero_stats = { hits = 0; misses = 0; writes = 0; evictions = 0 }
+
+let c_hits = Array.init n_tiers (fun _ -> Atomic.make 0)
+let c_misses = Array.init n_tiers (fun _ -> Atomic.make 0)
+let c_writes = Array.init n_tiers (fun _ -> Atomic.make 0)
+let c_evictions = Array.init n_tiers (fun _ -> Atomic.make 0)
+
+let count counters tier what =
+  Atomic.incr counters.(tier_index tier);
+  if Telemetry.enabled () then begin
+    Telemetry.incr ("cache." ^ what);
+    Telemetry.incr (Printf.sprintf "cache.%s.%s" (tier_name tier) what)
+  end
+
+let note_hit t = count c_hits t "hit"
+let note_miss t = count c_misses t "miss"
+let note_write t = count c_writes t "write"
+let note_evict t = count c_evictions t "evict"
+
+let tier_stats tier =
+  let i = tier_index tier in
+  { hits = Atomic.get c_hits.(i);
+    misses = Atomic.get c_misses.(i);
+    writes = Atomic.get c_writes.(i);
+    evictions = Atomic.get c_evictions.(i)
+  }
+
+let stats () = List.map (fun t -> (t, tier_stats t)) all_tiers
+
+let totals () =
+  List.fold_left
+    (fun acc (_, s) ->
+      { hits = acc.hits + s.hits;
+        misses = acc.misses + s.misses;
+        writes = acc.writes + s.writes;
+        evictions = acc.evictions + s.evictions
+      })
+    zero_stats (stats ())
+
+let reset_stats () =
+  Array.iter (fun a -> Atomic.set a 0) c_hits;
+  Array.iter (fun a -> Atomic.set a 0) c_misses;
+  Array.iter (fun a -> Atomic.set a 0) c_writes;
+  Array.iter (fun a -> Atomic.set a 0) c_evictions
+
+let hit_rate s = if s.hits + s.misses = 0 then 0.0 else float_of_int s.hits /. float_of_int (s.hits + s.misses)
+
+(* --- store handles ------------------------------------------------------ *)
+
+type t = {
+  root : string;
+  version_dir : string;
+  max_entries : int;  (** per-tier entry cap; crossing it evicts oldest *)
+  counts : int array;  (** cached per-tier entry counts, [-1] = unknown *)
+  lock : Mutex.t;  (** guards [counts] and eviction sweeps *)
+}
+
+let default_dir = "_portend_cache"
+let default_max_entries = 8192
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    (* A concurrent creator winning the race is fine. *)
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let open_store ?(version = format_version) ?(max_entries = default_max_entries) dir =
+  let version_dir = Filename.concat dir (Printf.sprintf "v%d" version) in
+  List.iter (fun t -> mkdir_p (Filename.concat version_dir (tier_name t))) all_tiers;
+  { root = dir;
+    version_dir;
+    max_entries = max 1 max_entries;
+    counts = Array.make n_tiers (-1);
+    lock = Mutex.create ()
+  }
+
+let root t = t.root
+
+let tier_dir t tier = Filename.concat t.version_dir (tier_name tier)
+
+(* Keys we generate are hex with short ASCII prefixes; anything else is
+   flattened so a key can never escape the tier directory. *)
+let sanitize_key key =
+  String.map (function ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_') as c -> c | _ -> '_') key
+
+let entry_path t tier key = Filename.concat (tier_dir t tier) (sanitize_key key ^ ".bin")
+
+let is_entry name = Filename.check_suffix name ".bin"
+
+(* --- eviction ----------------------------------------------------------- *)
+
+(* The cap bounds disk usage, nothing else.  Entry *validity* never depends
+   on time; mtimes only pick which entries to drop first when the tier
+   overflows (oldest-written first, a FIFO approximation). *)
+let evict_overflow t tier =
+  let dir = tier_dir t tier in
+  let entries = try Array.to_list (Sys.readdir dir) with Sys_error _ -> [] in
+  let entries = List.filter is_entry entries in
+  let n = List.length entries in
+  t.counts.(tier_index tier) <- n;
+  if n > t.max_entries then begin
+    let aged =
+      List.filter_map
+        (fun name ->
+          let path = Filename.concat dir name in
+          try Some ((Unix.stat path).Unix.st_mtime, path) with Unix.Unix_error _ -> None)
+        entries
+    in
+    let aged = List.sort compare aged in
+    let doomed = List.filteri (fun i _ -> i < n - t.max_entries) aged in
+    List.iter
+      (fun (_, path) ->
+        try
+          Sys.remove path;
+          t.counts.(tier_index tier) <- t.counts.(tier_index tier) - 1;
+          note_evict tier
+        with Sys_error _ -> ())
+      doomed
+  end
+
+let bump_count t tier =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      let i = tier_index tier in
+      if t.counts.(i) < 0 then
+        t.counts.(i) <-
+          (try Array.length (Array.of_seq (Seq.filter is_entry (Array.to_seq (Sys.readdir (tier_dir t tier)))))
+           with Sys_error _ -> 0)
+      else t.counts.(i) <- t.counts.(i) + 1;
+      if t.counts.(i) > t.max_entries then evict_overflow t tier)
+
+(* --- raw entries -------------------------------------------------------- *)
+
+(* Every entry is [Marshal (key, payload_bytes)]: echoing the key inside the
+   entry lets the read path verify it is handing back the value that was
+   stored under this exact content hash, even after hash truncation, manual
+   file fiddling, or a (cosmically unlikely) collision. *)
+
+let get_raw t tier ~key : string option =
+  let path = entry_path t tier key in
+  let read () =
+    In_channel.with_open_bin path (fun ic -> (Marshal.from_channel ic : string * string))
+  in
+  match read () with
+  | stored_key, payload when String.equal stored_key key ->
+    note_hit tier;
+    Some payload
+  | _ ->
+    (* well-formed entry under the wrong name: drop it *)
+    note_miss tier;
+    (try Sys.remove path with Sys_error _ -> ());
+    None
+  | exception _ ->
+    note_miss tier;
+    (* distinguish "absent" (the normal cold miss) from "present but
+       unreadable" (corrupt: unlink so it cannot keep failing) *)
+    if Sys.file_exists path then (try Sys.remove path with Sys_error _ -> ());
+    None
+
+let tmp_counter = Atomic.make 0
+
+let put_raw t tier ~key payload =
+  let path = entry_path t tier key in
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ()) (Atomic.fetch_and_add tmp_counter 1)
+  in
+  try
+    Out_channel.with_open_bin tmp (fun oc -> Marshal.to_channel oc (key, payload) []);
+    Sys.rename tmp path;
+    note_write tier;
+    bump_count t tier
+  with _ -> ( try Sys.remove tmp with Sys_error _ -> ())
+
+(* --- typed entries ------------------------------------------------------ *)
+
+(* Marshal is untyped at runtime: the caller must annotate [get]'s result
+   with the exact type that was [put] under that key.  Key discipline makes
+   this safe — each payload type gets its own key prefix, and the format
+   version is bumped whenever a payload type changes shape. *)
+
+let get (type a) t tier ~key : a option =
+  match get_raw t tier ~key with
+  | None -> None
+  | Some payload -> ( try Some (Marshal.from_string payload 0 : a) with _ -> None)
+
+let put t tier ~key v = put_raw t tier ~key (Marshal.to_string v [])
+
+(* --- maintenance -------------------------------------------------------- *)
+
+(** Remove every entry of every tier of this store's version (for cold-run
+    benchmarking and tests).  Other format versions are left alone. *)
+let clear t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      List.iter
+        (fun tier ->
+          let dir = tier_dir t tier in
+          (try
+             Array.iter
+               (fun name -> try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+               (Sys.readdir dir)
+           with Sys_error _ -> ());
+          t.counts.(tier_index tier) <- 0)
+        all_tiers)
+
+(** Entries currently on disk in one tier (counts fresh from the dir). *)
+let entry_count t tier =
+  try Array.length (Array.of_seq (Seq.filter is_entry (Array.to_seq (Sys.readdir (tier_dir t tier)))))
+  with Sys_error _ -> 0
+
+let pp_tier fmt tier = Format.pp_print_string fmt (tier_name tier)

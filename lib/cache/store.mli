@@ -1,0 +1,81 @@
+(** Versioned, content-addressed on-disk store backing Portend's cross-run
+    incrementality (see DESIGN.md §6).
+
+    Three tiers under one root directory, each entry an atomic file named by
+    its content-hash key.  All failure modes on the read path are misses,
+    never errors; all writes are tmp-file + rename; invalidation is purely
+    structural (format version directory + content-hash keys — mtimes are
+    used only to order evictions, never to validate entries). *)
+
+(** Current on-disk format version; entries live under [v<N>/]. *)
+val format_version : int
+
+type tier =
+  | Verdicts  (** final per-(program, trace, config) pipeline results *)
+  | Solver_memos  (** canonical-query memo-table snapshots *)
+  | Summaries  (** per-function locksets / whole-program MHP / CFG digests *)
+
+val all_tiers : tier list
+val tier_name : tier -> string
+val pp_tier : Format.formatter -> tier -> unit
+
+(** {1 Store handles} *)
+
+type t
+
+val default_dir : string
+
+(** [open_store ?version ?max_entries dir] creates (if needed) and opens the
+    store rooted at [dir].  [version] defaults to {!format_version} and is
+    overridable only so tests can simulate format bumps.  [max_entries]
+    bounds each tier's on-disk entry count; overflow evicts oldest-written
+    entries first. *)
+val open_store : ?version:int -> ?max_entries:int -> string -> t
+
+val root : t -> string
+
+(** {1 Entries}
+
+    [get] returns [None] for absent, truncated, version-skewed, or
+    otherwise unreadable entries (corrupt files are also unlinked).  The
+    result type of [get] must be annotated by the caller with exactly the
+    type that was [put] under the key — key prefixes are the per-type
+    namespace discipline. *)
+
+val get : t -> tier -> key:string -> 'a option
+val put : t -> tier -> key:string -> 'a -> unit
+
+(** Raw (pre-marshalled payload) variants, for tests and tooling. *)
+
+val get_raw : t -> tier -> key:string -> string option
+val put_raw : t -> tier -> key:string -> string -> unit
+
+(** Path the entry for [key] would live at (tests corrupt files there). *)
+val entry_path : t -> tier -> string -> string
+
+(** {1 Maintenance} *)
+
+(** Delete every entry of this store's version (cold-run benchmarking). *)
+val clear : t -> unit
+
+(** Entries currently on disk in one tier. *)
+val entry_count : t -> tier -> int
+
+(** {1 Stats}
+
+    Process-global per-tier counters, mirrored to [portend.telemetry] as
+    [cache.hit] / [cache.miss] / [cache.write] / [cache.evict] (plus
+    [cache.<tier>.<what>]) whenever telemetry is enabled. *)
+
+type tier_stats = {
+  hits : int;
+  misses : int;
+  writes : int;
+  evictions : int;
+}
+
+val tier_stats : tier -> tier_stats
+val stats : unit -> (tier * tier_stats) list
+val totals : unit -> tier_stats
+val reset_stats : unit -> unit
+val hit_rate : tier_stats -> float

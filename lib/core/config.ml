@@ -36,6 +36,14 @@ type t = {
           solving.  Verdicts, evidence and race reports are bit-identical
           either way; only the exploration work (VM steps, solver queries)
           shrinks.  [portend --no-reduction] turns it off *)
+  cache : bool;
+      (** persist verdicts, solver memos and static summaries across runs
+          in the content-addressed on-disk store under [cache_dir]
+          (DESIGN.md §6).  Verdict-neutral by construction: a hit replays a
+          result computed from identical (program, trace, config) content,
+          and any cache problem degrades to a miss.  Off by default;
+          [portend --cache] turns it on *)
+  cache_dir : string;  (** root directory of the persistent store *)
 }
 
 (** The paper's defaults: Mp = 5, Ma = 2, 2 symbolic inputs (§5). *)
@@ -54,7 +62,9 @@ let default =
     max_explored_states = 50_000;
     jobs = Domain.recommended_domain_count ();
     static_prefilter = false;
-    enable_reduction = true
+    enable_reduction = true;
+    cache = false;
+    cache_dir = "_portend_cache"
   }
 
 (** Fig 7's incremental configurations. *)

@@ -32,6 +32,11 @@ type t = {
       (** state-space reduction for the multi-path/multi-schedule stage
           (state dedup, schedule-equivalence pruning, staged enforcement,
           incremental path solving); verdict-neutral, on by default *)
+  cache : bool;
+      (** persist verdicts, solver memos and static summaries across runs
+          in the content-addressed store under [cache_dir] (DESIGN.md §6);
+          verdict-neutral, off by default ([portend --cache]) *)
+  cache_dir : string;  (** root directory of the persistent store *)
 }
 
 (** The paper's defaults: Mp = 5, Ma = 2, 2 symbolic inputs (§5). *)

@@ -1,0 +1,98 @@
+(** Pipeline-side glue for the persistent store ({!Portend_cache.Store}):
+    store handles per {!Config.t}, verdict-tier key derivation, and the
+    solver-memo load/save bracket.
+
+    Key-derivation soundness (the argument DESIGN.md §6 spells out): a
+    verdict is a pure function of the compiled program, the recorded
+    schedule trace, and the classifier configuration —
+
+    - recording is deterministic given (program, seed, inputs), and the
+      trace captures the outcome (every scheduling decision and every
+      concrete input drawn), so hashing the trace covers seed and inputs;
+    - detection replays the trace deterministically, so the event stream —
+      and with it every clustered race — is again a function of (program,
+      trace);
+    - classification seeds all its randomization from [config.seed] and
+      explores within [config]'s budgets, so its output (verdict, evidence,
+      exploration stats) adds only [config] as an input.
+
+    The config hash covers every field that can influence the result,
+    including [enable_reduction] (reduction is verdict-neutral but its
+    exploration {e stats} are part of the cached payload) and
+    [static_prefilter] (race reports are provably identical either way,
+    but the cache does not lean on that proof).  It excludes [jobs]
+    (verdicts are identical for every job count — the PR 1 contract,
+    asserted by the test suite) and the cache fields themselves (they gate
+    the lookup; they cannot change the answer). *)
+
+module Store = Portend_cache.Store
+module Solver = Portend_solver.Solver
+module H = Portend_util.Chash
+
+(* One handle per cache directory: handles carry entry-count state for
+   eviction, so everybody targeting the same dir should share one. *)
+let handles : (string, Store.t) Hashtbl.t = Hashtbl.create 4
+let handles_lock = Mutex.create ()
+
+let store_of (config : Config.t) : Store.t option =
+  if not config.Config.cache then None
+  else begin
+    Mutex.lock handles_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock handles_lock)
+      (fun () ->
+        match Hashtbl.find_opt handles config.Config.cache_dir with
+        | Some st -> Some st
+        | None ->
+          let st = Store.open_store config.Config.cache_dir in
+          Hashtbl.add handles config.Config.cache_dir st;
+          Some st)
+  end
+
+let config_chash (c : Config.t) : int =
+  let h = H.seed in
+  let h = H.int h c.Config.mp in
+  let h = H.int h c.Config.ma in
+  let h = H.int h c.Config.max_symbolic_inputs in
+  let h = H.int h c.Config.alternate_budget_factor in
+  let h = H.int h c.Config.run_budget in
+  let h = H.int h c.Config.state_cap in
+  let h = H.bool h c.Config.enable_adhoc_detection in
+  let h = H.bool h c.Config.enable_multipath in
+  let h = H.bool h c.Config.enable_multischedule in
+  let h = H.bool h c.Config.enable_symbolic_output in
+  let h = H.int h c.Config.seed in
+  let h = H.int h c.Config.max_explored_states in
+  let h = H.bool h c.Config.static_prefilter in
+  H.bool h c.Config.enable_reduction
+
+(** Verdict-tier key for one pipeline analysis: content hash of (compiled
+    program, recorded trace, effective config). *)
+let verdict_key ~(prog : Portend_lang.Bytecode.t) ~(trace : Portend_vm.Trace.t)
+    ~(config : Config.t) : string =
+  let h = H.int H.seed (Portend_lang.Bytecode.chash prog) in
+  let h = H.int h (Portend_vm.Trace.chash trace) in
+  let h = H.int h (config_chash config) in
+  "vd-" ^ H.to_hex h
+
+(* The solver-memo tier holds one snapshot per store, not a content-
+   addressed entry: memos are an accumulating accelerator (any subset is
+   valid, hits can never change answers), so the freshest snapshot is
+   simply the best one.  Format changes are covered by the store's version
+   stamp. *)
+let solver_memos_key = "memos"
+
+(** Run [f] bracketed by solver-memo persistence: import the stored memo
+    snapshot into the active memo table (CLOCK cap and eviction accounting
+    apply), run [f], then snapshot the table back.  With caching off this
+    is just [f ()]. *)
+let with_solver_memos (config : Config.t) (f : unit -> 'a) : 'a =
+  match store_of config with
+  | None -> f ()
+  | Some st ->
+    (match (Store.get st Store.Solver_memos ~key:solver_memos_key : Solver.memo_export option) with
+    | Some memos -> ignore (Solver.import_memos memos : int)
+    | None -> ());
+    let result = f () in
+    Store.put st Store.Solver_memos ~key:solver_memos_key (Solver.export_memos ());
+    result

@@ -26,6 +26,17 @@ type t = {
 
 let now () = Portend_util.Clock.now_s ()
 
+(* The verdict-tier payload: everything [analyze] computes downstream of
+   the recording.  The recording itself is cheap and deterministic, so it
+   is re-executed on a hit (its trace is part of the key) and only the
+   expensive detection + classification results are persisted — including
+   each race's exploration stats and wall time, so a cached analysis is
+   structurally identical to the run that produced it. *)
+type cached_analysis = {
+  c_races : race_analysis list;
+  c_errors : (D.Report.race * string) list;
+}
+
 (** Record an execution of [prog] and return it with its interpretation
     time.  [inputs] supplies concrete values for the program's [input]
     statements (the recorded test-case inputs); [seed] drives the recording
@@ -48,36 +59,63 @@ let record ?(seed = 1) ?(inputs = []) (prog : Portend_lang.Bytecode.t) : V.Run.r
 let analyze ?(config = Config.default) ?(seed = 1) ?(inputs = []) (prog : Portend_lang.Bytecode.t)
     : t =
   let record_run, record_time_s = record ~seed ~inputs prog in
-  let suppress = Portend_lang.Static.spin_read_sites prog in
-  let restrict =
-    if config.Config.static_prefilter then Some (Portend_analysis.Static_report.analyze prog)
-    else None
+  let store = Pcache.store_of config in
+  let key =
+    match store with
+    | None -> ""
+    | Some _ -> Pcache.verdict_key ~prog ~trace:record_run.V.Run.trace ~config
   in
-  let clustered = D.Hb.detect_clustered ~suppress ?restrict record_run.V.Run.events in
-  let classified =
-    Telemetry.with_span "pipeline.classify" (fun () ->
-        Portend_util.Pool.map ~jobs:config.Config.jobs
-          (fun (race, instances) ->
-            let t0 = now () in
-            let r = Classify.classify ~config prog record_run.V.Run.trace race in
-            (race, instances, r, now () -. t0))
-          clustered)
+  let cached : cached_analysis option =
+    match store with
+    | None -> None
+    | Some st -> Portend_cache.Store.get st Portend_cache.Store.Verdicts ~key
   in
-  let races, errors =
-    List.fold_left
-      (fun (races, errors) (race, instances, r, time_s) ->
-        match r with
-        | Ok { Classify.verdict; evidence; stats } ->
-          ({ race; instances; verdict; evidence; stats; time_s } :: races, errors)
-        | Error e -> (races, (race, e) :: errors))
-      ([], []) classified
-  in
-  { program = prog;
-    record = record_run;
-    record_time_s;
-    races = List.rev races;
-    errors = List.rev errors
-  }
+  match cached with
+  | Some c ->
+    (* Hit: detection, enforcement and solving are all skipped; the
+       recording above already reproduced the trace the key was derived
+       from, so the cached races correspond to exactly this execution. *)
+    { program = prog; record = record_run; record_time_s; races = c.c_races; errors = c.c_errors }
+  | None ->
+    let suppress = Portend_lang.Static.spin_read_sites prog in
+    let restrict =
+      if config.Config.static_prefilter then
+        Some (Portend_analysis.Static_report.analyze_cached ?store prog)
+      else None
+    in
+    let clustered = D.Hb.detect_clustered ~suppress ?restrict record_run.V.Run.events in
+    let classified =
+      Telemetry.with_span "pipeline.classify" (fun () ->
+          Portend_util.Pool.map ~jobs:config.Config.jobs
+            (fun (race, instances) ->
+              let t0 = now () in
+              let r = Classify.classify ~config prog record_run.V.Run.trace race in
+              (race, instances, r, now () -. t0))
+            clustered)
+    in
+    let races, errors =
+      List.fold_left
+        (fun (races, errors) (race, instances, r, time_s) ->
+          match r with
+          | Ok { Classify.verdict; evidence; stats } ->
+            ({ race; instances; verdict; evidence; stats; time_s } :: races, errors)
+          | Error e -> (races, (race, e) :: errors))
+        ([], []) classified
+    in
+    let result =
+      { program = prog;
+        record = record_run;
+        record_time_s;
+        races = List.rev races;
+        errors = List.rev errors
+      }
+    in
+    (match store with
+    | Some st ->
+      Portend_cache.Store.put st Portend_cache.Store.Verdicts ~key
+        { c_races = result.races; c_errors = result.errors }
+    | None -> ());
+    result
 
 (** Detect and classify across several recordings (different scheduler
     seeds), the way a test suite exercises a program repeatedly (§3.1

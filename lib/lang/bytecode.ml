@@ -112,6 +112,38 @@ let pp_inst fmt inst =
   | IYield -> Fmt.string fmt "yield"
   | IFree v -> Fmt.pf fmt "free %s" v
 
+(* --- stable content hashing ------------------------------------------- *)
+
+module H = Portend_util.Chash
+
+(** Stable content hash of one function body — the cacheable unit for
+    per-function static summaries.  Each instruction is hashed through its
+    [pp_inst] rendering, which spells out every field of every constructor,
+    so the hash is total over the code without a second traversal to keep
+    in sync with the [inst] type. *)
+let func_chash (f : func) : int =
+  let h = H.string H.seed f.fname in
+  let h = H.int h f.nparams in
+  let h = H.int h f.nregs in
+  let h = H.array H.string h f.reg_names in
+  H.array (fun h i -> H.string h (Fmt.str "%a" pp_inst i)) h f.code
+
+(** Stable content hash of a whole compiled program: every function body
+    plus the initial shared-memory and barrier declarations.  [source] is
+    excluded — it compiles deterministically to exactly these fields, and
+    hashing the AST as well would only make the hash fragile to AST-shape
+    refactors. *)
+let chash (t : t) : int =
+  let h = H.string H.seed t.pname in
+  let h =
+    Portend_util.Maps.Smap.fold
+      (fun name f h -> H.int (H.string h name) (func_chash f))
+      t.funcs h
+  in
+  let h = H.list (fun h (n, v) -> H.int (H.string h n) v) h t.globals in
+  let h = H.list (fun h (n, len, init) -> H.int (H.int (H.string h n) len) init) h t.arrays in
+  H.list (fun h (n, count) -> H.int (H.string h n) count) h t.barriers
+
 let pp_func fmt f =
   Fmt.pf fmt "@[<v2>fn %s/%d (%d regs):@,%a@]" f.fname f.nparams f.nregs
     Fmt.(array ~sep:cut (fun fmt i -> pp_inst fmt i))

@@ -351,6 +351,9 @@ module Clock (T : Hashtbl.S) = struct
     T.reset c.tbl;
     Array.fill c.ring 0 c.cap None;
     c.hand <- 0
+
+  let fold f c acc = T.fold (fun k (v, _) acc -> f k v acc) c.tbl acc
+  let size c = T.length c.tbl
 end
 
 type key = {
@@ -543,6 +546,56 @@ let set_memo_cap n =
   Domain.DLS.set result_cache_key (Kclock.create (memo_cap ()));
   Domain.DLS.set prefix_cache_key (Pclock.create (memo_cap ()));
   with_shared (fun () -> shared_cache := Kclock.create (memo_cap ()))
+
+(* --- memo persistence --------------------------------------------------- *)
+
+(* Snapshots of the full-result memo table, so a warm process can start with
+   yesterday's hit rate (the persistent cache stores these marshalled; both
+   [key] and [result] are pure data).  Import goes through [Kclock.store
+   ~on_evict:note_eviction], so the active [memo_cap] and the CLOCK policy
+   hold: loading a snapshot bigger than the cap evicts (and counts) exactly
+   as if the entries had been inserted by queries, and the table can never
+   exceed the cap.  Export/import address the active cache of the calling
+   domain — under [Cache_domain] a helper domain's table is its own; the
+   sequential jobs=1 path (and [Cache_shared]) sees the full benefit. *)
+
+type memo_entry = {
+  me_key : key;
+  me_result : result;
+}
+
+type memo_export = memo_entry list
+
+let memo_export_size (m : memo_export) = List.length m
+
+let export_memos () : memo_export =
+  let dump c = Kclock.fold (fun k v acc -> { me_key = k; me_result = v } :: acc) c [] in
+  match cache_mode () with
+  | Cache_off -> []
+  | Cache_domain -> dump (Domain.DLS.get result_cache_key)
+  | Cache_shared -> with_shared (fun () -> dump !shared_cache)
+
+let import_memos (entries : memo_export) : int =
+  let import c =
+    List.fold_left
+      (fun n { me_key; me_result } ->
+        match Kclock.find_opt c me_key with
+        | Some _ -> n
+        | None ->
+          Kclock.store ~on_evict:note_eviction c me_key me_result;
+          n + 1)
+      0 entries
+  in
+  match cache_mode () with
+  | Cache_off -> 0
+  | Cache_domain -> import (Domain.DLS.get result_cache_key)
+  | Cache_shared -> with_shared (fun () -> import !shared_cache)
+
+let memo_size () =
+  match cache_mode () with
+  | Cache_off -> 0
+  | Cache_domain -> Kclock.size (Domain.DLS.get result_cache_key)
+  | Cache_shared -> with_shared (fun () -> Kclock.size !shared_cache)
 
 (* --- incremental narrowing for the multi-path DFS ------------------ *)
 

@@ -77,6 +77,31 @@ val memo_cap : unit -> int
 
 val set_memo_cap : int -> unit
 
+(** {2 Memo persistence}
+
+    Snapshots of the full-result memo table (pure data, marshal-safe), so
+    the on-disk cache can warm-start a later process with today's memos.
+    [import_memos] inserts through the CLOCK policy: entries beyond
+    [memo_cap] evict (and count in [stats.evictions]) exactly as if they
+    had arrived as queries, and the table never exceeds the cap.  Both
+    directions address the active cache of the calling domain under
+    [Cache_domain], the shared table under [Cache_shared], and are no-ops
+    under [Cache_off]. *)
+
+type memo_export
+
+(** Snapshot the active memo table. *)
+val export_memos : unit -> memo_export
+
+(** Load a snapshot; returns how many entries were newly inserted. *)
+val import_memos : memo_export -> int
+
+(** Entries resident in the active memo table. *)
+val memo_size : unit -> int
+
+(** Entries carried by a snapshot. *)
+val memo_export_size : memo_export -> int
+
 (** {2 Incremental narrowing}
 
     The multi-path explorer threads a narrowed interval environment along

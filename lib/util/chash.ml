@@ -1,0 +1,59 @@
+(** Stable content hashing for cache keys and state fingerprints.
+
+    [Hashtbl.hash] is unsuitable for anything persisted or compared across
+    runs: it traverses only a bounded prefix of the value, its result is
+    unspecified across OCaml releases, and on values containing closures it
+    hashes code pointers (different per executable).  This module is the
+    one hash the repo uses wherever stability matters — the multipath
+    frontier fingerprint and every on-disk cache key — and it only accepts
+    primitives, so a type containing a functional value simply cannot be
+    fed to it by accident.
+
+    The scheme is FNV-1a folded byte-by-byte into a 63-bit native [int]
+    (we assume a 64-bit platform; the paper artifact never targeted 32-bit
+    and neither do we).  Results are non-negative, deterministic across
+    processes and runs, and pinned by unit tests so an accidental algorithm
+    change shows up as a test failure, not as a silently cold cache. *)
+
+type t = int
+
+(* FNV-1a 64-bit offset basis with the top bit dropped so the seed itself
+   is a valid non-negative OCaml int, and the standard 64-bit FNV prime. *)
+let seed : t = 0x4bf29ce484222325
+let prime = 0x100000001b3
+
+(** Fold one byte (low 8 bits of [b]) into the hash. *)
+let byte (h : t) (b : int) : t = ((h lxor (b land 0xff)) * prime) land max_int
+
+(** Fold a full [int], least-significant byte first (all 8 bytes, so
+    negative and large values disperse). *)
+let int (h : t) (n : int) : t =
+  let h = ref h in
+  for i = 0 to 7 do
+    h := byte !h ((n lsr (i * 8)) land 0xff)
+  done;
+  !h
+
+let bool (h : t) (b : bool) : t = byte h (if b then 1 else 0)
+
+(** Length-prefixed, so ["ab"^"c"] and ["a"^"bc"] differ as list elements. *)
+let string (h : t) (s : string) : t =
+  let h = ref (int h (String.length s)) in
+  String.iter (fun c -> h := byte !h (Char.code c)) s;
+  !h
+
+let option (f : t -> 'a -> t) (h : t) = function
+  | None -> byte h 0
+  | Some v -> f (byte h 1) v
+
+(** Length-prefixed fold, so [[1];[2]] and [[1;2]] disperse. *)
+let list (f : t -> 'a -> t) (h : t) (xs : 'a list) : t =
+  List.fold_left f (int h (List.length xs)) xs
+
+let array (f : t -> 'a -> t) (h : t) (xs : 'a array) : t =
+  Array.fold_left f (int h (Array.length xs)) xs
+
+let pair (f : t -> 'a -> t) (g : t -> 'b -> t) (h : t) ((a, b) : 'a * 'b) : t = g (f h a) b
+
+(** Render as a fixed-width key fragment for on-disk entry names. *)
+let to_hex (h : t) : string = Printf.sprintf "%016x" h

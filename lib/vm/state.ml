@@ -190,16 +190,23 @@ let outputs t = List.rev t.outputs
      the execution can branch on.
 
    Maps hash by a fold over their bindings, which [Map] yields in key order,
-   so two states built through different insertion orders hash equal. *)
+   so two states built through different insertion orders hash equal.
+
+   Hashing goes through [Portend_util.Chash] — the repo's stable content
+   hash, shared with the on-disk cache keys — so fingerprints are identical
+   across runs and processes (no [Hashtbl.hash], whose traversal is bounded
+   and whose value is unspecified across OCaml releases).  Expressions keep
+   their own structural [Expr.hash]; its result is folded in as an int. *)
 
 module E = Portend_solver.Expr
+module H = Portend_util.Chash
 
-let mix = E.hash_combine
-let mix_str h s = mix h (Hashtbl.hash s)
+let mix = H.int
+let mix_str = H.string
 let mix_value h = function Value.Con n -> mix (mix h 3) n | Value.Sym e -> mix (mix h 5) (E.hash e)
 
 let mix_frame h f =
-  let h = mix_str (mix_str h f.func) f.pc in
+  let h = mix (mix_str h f.func) f.pc in
   let h = Imap.fold (fun r v h -> mix_value (mix h r) v) f.regs h in
   match f.ret_to with None -> mix h 0 | Some r -> mix (mix h 1) r
 
@@ -223,7 +230,7 @@ let mix_output h o =
 let mix_model h (m : int Smap.t) = Smap.fold (fun k n h -> mix (mix_str h k) n) m h
 
 let fingerprint (t : t) : int64 =
-  let h = 0x811c9dc5 in
+  let h = H.seed in
   let h =
     Imap.fold
       (fun tid th h ->

@@ -31,6 +31,15 @@ let input_model t =
     (fun m (k, v) -> Portend_util.Maps.Smap.add k v m)
     Portend_util.Maps.Smap.empty t.inputs
 
+(** Stable content hash (cache keys): the full decision sequence with step
+    counts, plus every recorded input draw. *)
+let chash (t : t) : int =
+  let module H = Portend_util.Chash in
+  let h =
+    H.list (fun h e -> H.int (H.int h e.d_tid) e.d_step) H.seed t.entries
+  in
+  H.list (fun h (k, v) -> H.int (H.string h k) v) h t.inputs
+
 let pp fmt t =
   Fmt.pf fmt "@[<v>%a@,inputs: %a@]"
     Fmt.(list ~sep:sp (fun fmt e -> Fmt.pf fmt "(T%d@%d)" e.d_tid e.d_step))

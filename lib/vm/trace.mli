@@ -30,6 +30,9 @@ val take : int -> t -> t
 (** The recorded inputs as a solver/VM model. *)
 val input_model : t -> int Portend_util.Maps.Smap.t
 
+(** Stable content hash ({!Portend_util.Chash}), for cross-run cache keys. *)
+val chash : t -> int
+
 val pp : Format.formatter -> t -> unit
 
 (** Compact single-line serialization (CLI save/reload). *)

@@ -1,0 +1,260 @@
+(* Tests for the persistent on-disk cache: the store itself (roundtrip,
+   corruption tolerance, version skew, eviction) and its integration with
+   the pipeline (cache off / cold / warm bit-identity, self-healing on
+   corrupt entries, partial invalidation of static summaries). *)
+
+open Portend_core
+open Portend_workloads
+module Store = Portend_cache.Store
+module Solver = Portend_solver.Solver
+module Lang = Portend_lang
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun name -> rm_rf (Filename.concat path name)) (Sys.readdir path);
+      try Sys.rmdir path with Sys_error _ -> ()
+    end
+    else try Sys.remove path with Sys_error _ -> ()
+
+let dir_counter = ref 0
+
+(* A fresh store directory per test, removed afterwards. *)
+let with_dir (f : string -> unit) () =
+  incr dir_counter;
+  let dir = Printf.sprintf "_t_cache_%d" !dir_counter in
+  rm_rf dir;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let verdict_tier_stats () = Store.tier_stats Store.Verdicts
+
+(* --- the store ------------------------------------------------------ *)
+
+let test_roundtrip dir =
+  let st = Store.open_store dir in
+  Store.put st Store.Verdicts ~key:"k1" (42, "payload");
+  Alcotest.(check (option (pair int string))) "typed roundtrip" (Some (42, "payload"))
+    (Store.get st Store.Verdicts ~key:"k1");
+  Alcotest.(check (option (pair int string))) "absent key" None
+    (Store.get st Store.Verdicts ~key:"k2");
+  Alcotest.(check (option (pair int string))) "tiers are disjoint" None
+    (Store.get st Store.Summaries ~key:"k1");
+  (* A second handle on the same directory sees the same entries. *)
+  let st2 = Store.open_store dir in
+  Alcotest.(check (option (pair int string))) "second handle" (Some (42, "payload"))
+    (Store.get st2 Store.Verdicts ~key:"k1");
+  (* Keys with characters unfit for filenames still roundtrip. *)
+  Store.put st Store.Verdicts ~key:"a/b:c d" "odd";
+  Alcotest.(check (option string)) "sanitized key" (Some "odd")
+    (Store.get st Store.Verdicts ~key:"a/b:c d")
+
+let test_corruption dir =
+  let st = Store.open_store dir in
+  Store.put st Store.Verdicts ~key:"victim" [ 1; 2; 3 ];
+  let path = Store.entry_path st Store.Verdicts "victim" in
+  (* Truncate the entry mid-marshal. *)
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (String.sub full 0 (String.length full / 2)));
+  Store.reset_stats ();
+  Alcotest.(check (option (list int))) "truncated entry is a miss" None
+    (Store.get st Store.Verdicts ~key:"victim");
+  Alcotest.(check int) "miss counted" 1 (verdict_tier_stats ()).Store.misses;
+  Alcotest.(check bool) "corrupt file self-healed (unlinked)" false (Sys.file_exists path);
+  (* Plain garbage bytes. *)
+  Store.put st Store.Verdicts ~key:"victim" [ 1; 2; 3 ];
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc "not marshal data");
+  Alcotest.(check (option (list int))) "garbage entry is a miss" None
+    (Store.get st Store.Verdicts ~key:"victim");
+  (* An entry copied to the wrong key name fails the key echo. *)
+  Store.put st Store.Verdicts ~key:"original" "content";
+  let src = Store.entry_path st Store.Verdicts "original" in
+  let dst = Store.entry_path st Store.Verdicts "impostor" in
+  Out_channel.with_open_bin dst (fun oc ->
+      Out_channel.output_string oc (In_channel.with_open_bin src In_channel.input_all));
+  Alcotest.(check (option string)) "key echo rejects renamed entry" None
+    (Store.get st Store.Verdicts ~key:"impostor");
+  (* Stray tmp litter (a writer that died mid-put) bothers nobody. *)
+  Out_channel.with_open_bin
+    (Filename.concat (Filename.dirname src) "x.bin.tmp.999.0")
+    (fun oc -> Out_channel.output_string oc "half-written");
+  Alcotest.(check (option string)) "litter tolerated" (Some "content")
+    (Store.get st Store.Verdicts ~key:"original")
+
+let test_version_skew dir =
+  let st = Store.open_store dir in
+  Store.put st Store.Verdicts ~key:"k" "old-format";
+  (* A format bump looks in v<N+1>/, so every old entry is a miss... *)
+  let bumped = Store.open_store ~version:(Store.format_version + 1) dir in
+  Alcotest.(check (option string)) "bumped version misses" None
+    (Store.get bumped Store.Verdicts ~key:"k");
+  (* ...and the old version's entries are untouched (no cross-version
+     clobbering), so a rollback still hits. *)
+  Alcotest.(check (option string)) "old version still hits" (Some "old-format")
+    (Store.get st Store.Verdicts ~key:"k");
+  Store.put bumped Store.Verdicts ~key:"k" "new-format";
+  Alcotest.(check (option string)) "versions are disjoint" (Some "old-format")
+    (Store.get st Store.Verdicts ~key:"k")
+
+let test_eviction dir =
+  let st = Store.open_store ~max_entries:4 dir in
+  Store.reset_stats ();
+  for i = 1 to 10 do
+    Store.put st Store.Verdicts ~key:(Printf.sprintf "k%d" i) i
+  done;
+  Alcotest.(check int) "entry count bounded" 4 (Store.entry_count st Store.Verdicts);
+  Alcotest.(check int) "evictions counted" 6 (verdict_tier_stats ()).Store.evictions;
+  (* Exactly the cap's worth of entries remain readable, and each one
+     still roundtrips to the value that was stored under it.  (Which four
+     survive depends on mtime ordering, whose granularity is filesystem-
+     dependent, so the test doesn't pin the survivors.) *)
+  let survivors =
+    List.filter_map
+      (fun i -> (Store.get st Store.Verdicts ~key:(Printf.sprintf "k%d" i) : int option))
+      (List.init 10 (fun i -> i + 1))
+  in
+  Alcotest.(check int) "cap's worth of survivors" 4 (List.length survivors);
+  Alcotest.(check bool) "survivors intact" true
+    (List.for_all (fun v -> v >= 1 && v <= 10) survivors);
+  Store.clear st;
+  Alcotest.(check int) "clear empties the tier" 0 (Store.entry_count st Store.Verdicts);
+  Alcotest.(check (option int)) "cleared entry misses" None (Store.get st Store.Verdicts ~key:"k10")
+
+(* --- pipeline integration ------------------------------------------- *)
+
+let workload name =
+  match Suite.find name with Some w -> w | None -> Alcotest.failf "no %s workload" name
+
+(* Everything observable about an analysis except wall-clock times. *)
+let fingerprint (a : Pipeline.t) =
+  ( List.map
+      (fun ra ->
+        ( Fmt.str "%a" Portend_detect.Report.pp_race ra.Pipeline.race,
+          ra.Pipeline.instances,
+          ra.Pipeline.verdict,
+          ra.Pipeline.evidence,
+          ra.Pipeline.stats ))
+      a.Pipeline.races,
+    List.map (fun (r, e) -> (Fmt.str "%a" Portend_detect.Report.pp_race r, e)) a.Pipeline.errors )
+
+let analyze ~config (w : Registry.workload) =
+  Solver.clear_caches ();
+  Pipeline.analyze ~config ~seed:w.Registry.w_seed ~inputs:w.Registry.w_inputs
+    (Lang.Compile.compile w.Registry.w_prog)
+
+let test_pipeline_identity dir =
+  let w = workload "RW" in
+  let base = { Config.default with Config.jobs = 1; static_prefilter = true } in
+  let cached = { base with Config.cache = true; cache_dir = dir } in
+  let off = analyze ~config:base w in
+  Store.reset_stats ();
+  let cold = analyze ~config:cached w in
+  Alcotest.(check int) "cold run wrote a verdict" 1 (verdict_tier_stats ()).Store.writes;
+  Store.reset_stats ();
+  let warm = analyze ~config:cached w in
+  Alcotest.(check int) "warm run hit" 1 (verdict_tier_stats ()).Store.hits;
+  Alcotest.(check bool) "off = cold" true (fingerprint off = fingerprint cold);
+  Alcotest.(check bool) "off = warm" true (fingerprint off = fingerprint warm);
+  (* A different seed is a different trace, hence a different key. *)
+  Store.reset_stats ();
+  let reseeded = analyze ~config:cached { w with Registry.w_seed = w.Registry.w_seed + 77 } in
+  Alcotest.(check int) "reseeded run missed" 0 (verdict_tier_stats ()).Store.hits;
+  ignore reseeded;
+  (* A different config is a different key even on the same trace. *)
+  Store.reset_stats ();
+  ignore (analyze ~config:{ cached with Config.mp = cached.Config.mp + 1 } w);
+  Alcotest.(check int) "config change missed" 0 (verdict_tier_stats ()).Store.hits
+
+let test_pipeline_corruption dir =
+  let w = workload "ctrace" in
+  let config =
+    { Config.default with Config.jobs = 1; Config.cache = true; cache_dir = dir }
+  in
+  let cold = analyze ~config w in
+  (* Corrupt every verdict entry on disk; the next run must silently
+     recompute the same answer and heal the store. *)
+  let st = match Pcache.store_of config with Some st -> st | None -> assert false in
+  let tier_dir = Filename.dirname (Store.entry_path st Store.Verdicts "probe") in
+  Array.iter
+    (fun name ->
+      if Filename.check_suffix name ".bin" then
+        Out_channel.with_open_bin (Filename.concat tier_dir name) (fun oc ->
+            Out_channel.output_string oc "scribble"))
+    (Sys.readdir tier_dir);
+  Store.reset_stats ();
+  let healed = analyze ~config w in
+  Alcotest.(check bool) "corrupt entry recomputed identically" true
+    (fingerprint cold = fingerprint healed);
+  Alcotest.(check int) "corruption was a miss" 0 (verdict_tier_stats ()).Store.hits;
+  Alcotest.(check int) "healed entry rewritten" 1 (verdict_tier_stats ()).Store.writes;
+  Store.reset_stats ();
+  ignore (analyze ~config w);
+  Alcotest.(check int) "healed entry hits again" 1 (verdict_tier_stats ()).Store.hits
+
+let test_summaries_invalidation dir =
+  let st = Store.open_store dir in
+  let w = workload "sqlite" in
+  let prog = Lang.Compile.compile w.Registry.w_prog in
+  let cold = Portend_analysis.Static_report.analyze_cached ~store:st prog in
+  Store.reset_stats ();
+  let warm = Portend_analysis.Static_report.analyze_cached ~store:st prog in
+  let s = Store.tier_stats Store.Summaries in
+  Alcotest.(check bool) "warm summaries all hit" true (s.Store.hits > 0 && s.Store.misses = 0);
+  Alcotest.(check bool) "summaries identical" true (cold = warm);
+  (* Touch one function body: its summary (and its dependents') must be
+     recomputed, everything independent of it must still hit. *)
+  let touched =
+    { w.Registry.w_prog with
+      Lang.Ast.funcs =
+        List.map
+          (fun (f : Lang.Ast.func) ->
+            if f.Lang.Ast.fname = "checkpointer" then
+              { f with Lang.Ast.body = Lang.Ast.Yield :: f.Lang.Ast.body }
+            else f)
+          w.Registry.w_prog.Lang.Ast.funcs
+    }
+  in
+  Store.reset_stats ();
+  ignore (Portend_analysis.Static_report.analyze_cached ~store:st (Lang.Compile.compile touched));
+  let s = Store.tier_stats Store.Summaries in
+  Alcotest.(check bool) "touched function recomputed" true (s.Store.misses > 0);
+  Alcotest.(check bool) "untouched functions reused" true (s.Store.hits > 0)
+
+let test_solver_memo_bracket dir =
+  let config =
+    { Config.default with Config.jobs = 1; Config.cache = true; cache_dir = dir }
+  in
+  let queries =
+    List.init 10 (fun k ->
+        [ Portend_solver.Expr.(Binop (Eq, Var "x", Const k)) ])
+  in
+  Solver.clear_caches ();
+  let first =
+    Pcache.with_solver_memos config (fun () -> List.map Solver.solve queries)
+  in
+  (* Fresh process simulated: empty in-memory table, snapshot on disk. *)
+  Solver.clear_caches ();
+  Solver.reset_stats ();
+  let second =
+    Pcache.with_solver_memos config (fun () -> List.map Solver.solve queries)
+  in
+  Alcotest.(check bool) "same answers" true (first = second);
+  Alcotest.(check bool) "answered from the imported snapshot" true
+    ((Solver.stats ()).Solver.cache_hits >= List.length queries)
+
+let () =
+  Alcotest.run "cache"
+    [ ( "store",
+        [ Alcotest.test_case "roundtrip" `Quick (with_dir test_roundtrip);
+          Alcotest.test_case "corruption tolerance" `Quick (with_dir test_corruption);
+          Alcotest.test_case "version skew" `Quick (with_dir test_version_skew);
+          Alcotest.test_case "eviction" `Quick (with_dir test_eviction)
+        ] );
+      ( "pipeline",
+        [ Alcotest.test_case "off = cold = warm" `Quick (with_dir test_pipeline_identity);
+          Alcotest.test_case "corrupt entries self-heal" `Quick (with_dir test_pipeline_corruption);
+          Alcotest.test_case "summary invalidation is per-function" `Quick
+            (with_dir test_summaries_invalidation);
+          Alcotest.test_case "solver memo snapshot" `Quick (with_dir test_solver_memo_bracket)
+        ] )
+    ]

@@ -479,6 +479,52 @@ let test_solver_cache_coherent =
           let permuted = Solver.solve ~ranges (List.rev cs) in
           fresh = miss && fresh = hit && fresh = permuted))
 
+(* ------------------------------------------------------------------ *)
+(* the persistent cache never changes an answer                        *)
+(* ------------------------------------------------------------------ *)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun name -> rm_rf (Filename.concat path name)) (Sys.readdir path);
+      try Sys.rmdir path with Sys_error _ -> ()
+    end
+    else try Sys.remove path with Sys_error _ -> ()
+
+let cache_dir_counter = ref 0
+
+(* Cache off, then cold (empty store), then warm (hitting the entry the
+   cold run wrote): all three analyses must be bit-identical, and the warm
+   one must actually have been served from the verdict tier. *)
+let test_cache_preserves_verdicts =
+  let module Store = Portend_cache.Store in
+  let arb =
+    QCheck.make
+      ~print:(fun (p, seed) -> Printf.sprintf "seed %d\n%s" seed (Pp.program_to_string p))
+      QCheck.Gen.(pair gen_sync_program (int_bound 1000))
+  in
+  QCheck.Test.make ~name:"persistent cache preserves verdicts (off = cold = warm)" ~count:30 arb
+    (fun (p, seed) ->
+      let prog = Compile.compile p in
+      incr cache_dir_counter;
+      let dir = Printf.sprintf "_t_props_cache_%d" !cache_dir_counter in
+      rm_rf dir;
+      Fun.protect
+        ~finally:(fun () -> rm_rf dir)
+        (fun () ->
+          let base = { Config.default with Config.jobs = 1 } in
+          let off = Pipeline.analyze ~config:base ~seed prog in
+          let cached = { base with Config.cache = true; cache_dir = dir } in
+          Solver.clear_caches ();
+          let cold = Pipeline.analyze ~config:cached ~seed prog in
+          Store.reset_stats ();
+          Solver.clear_caches ();
+          let warm = Pipeline.analyze ~config:cached ~seed prog in
+          let v = Store.tier_stats Store.Verdicts in
+          analysis_fingerprint off = analysis_fingerprint cold
+          && analysis_fingerprint off = analysis_fingerprint warm
+          && v.Store.hits > 0))
+
 let () =
   Alcotest.run "properties"
     [ ( "cross-layer",
@@ -489,6 +535,7 @@ let () =
             test_telemetry_neutral;
             test_reduction_preserves_verdicts;
             test_solver_vs_bruteforce;
-            test_solver_cache_coherent
+            test_solver_cache_coherent;
+            test_cache_preserves_verdicts
           ] )
     ]

@@ -158,6 +158,48 @@ let test_cache_eviction () =
       | Solver.Sat m -> Alcotest.(check int) "evicted query re-solves" 0 (Portend_util.Maps.Smap.find "x" m)
       | Solver.Unsat | Solver.Unknown -> Alcotest.fail "expected sat after eviction")
 
+let test_memo_persistence () =
+  (* Export a populated memo table, clear it, import the snapshot: the
+     same queries must then be answered from the memo, and the import must
+     respect whatever cap is in force — inserting through CLOCK, counting
+     evictions — rather than trusting the snapshot's size. *)
+  let saved = Solver.memo_cap () in
+  Fun.protect
+    ~finally:(fun () -> Solver.set_memo_cap saved)
+    (fun () ->
+      Solver.set_memo_cap 64;
+      Solver.clear_caches ();
+      Solver.reset_stats ();
+      let queries = List.init 40 (fun k -> [ v "x" =: c k ]) in
+      let before = List.map Solver.solve queries in
+      let snapshot = Solver.export_memos () in
+      let n = Solver.memo_export_size snapshot in
+      Alcotest.(check bool) "snapshot non-empty" true (n > 0);
+      Solver.clear_caches ();
+      Alcotest.(check int) "cleared" 0 (Solver.memo_size ());
+      Alcotest.(check int) "import under cap inserts all" n (Solver.import_memos snapshot);
+      Alcotest.(check int) "table holds the snapshot" n (Solver.memo_size ());
+      Solver.reset_stats ();
+      let after = List.map Solver.solve queries in
+      Alcotest.(check bool) "same results from memo" true (before = after);
+      let s = Solver.stats () in
+      Alcotest.(check int) "all answered from memo" (List.length queries) s.Solver.cache_hits;
+      Alcotest.(check int) "no evictions under cap" 0 s.Solver.evictions;
+      (* Re-import over a full table is a no-op, not a duplicate. *)
+      Alcotest.(check int) "idempotent import" 0 (Solver.import_memos snapshot);
+      (* Shrink the cap below the snapshot: the import must bound the table
+         at the cap and account for the displaced entries. *)
+      Solver.set_memo_cap 16;
+      Solver.clear_caches ();
+      Solver.reset_stats ();
+      ignore (Solver.import_memos snapshot : int);
+      Alcotest.(check bool) "capped import bounded" true (Solver.memo_size () <= 16);
+      Alcotest.(check bool) "capped import counts evictions" true
+        ((Solver.stats ()).Solver.evictions > 0);
+      (* Displaced entries still re-solve to the original answers. *)
+      let again = List.map Solver.solve queries in
+      Alcotest.(check bool) "answers survive capped reload" true (before = again))
+
 let test_incremental_narrowing () =
   let inc = Solver.inc_start in
   Alcotest.(check bool) "start feasible" true (Solver.inc_feasible inc);
@@ -221,6 +263,7 @@ let () =
           Alcotest.test_case "nonlinear" `Quick test_solver_nonlinear;
           Alcotest.test_case "ite" `Quick test_solver_ite;
           Alcotest.test_case "cache eviction" `Quick test_cache_eviction;
+          Alcotest.test_case "memo persistence" `Quick test_memo_persistence;
           Alcotest.test_case "incremental narrowing" `Quick test_incremental_narrowing
         ] );
       ("properties", qsuite)

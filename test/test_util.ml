@@ -88,6 +88,48 @@ let test_stats () =
   Alcotest.(check bool) "stddev positive" true (Stats.stddev [ 1.0; 5.0 ] > 0.0);
   Alcotest.(check (float 1e-9)) "percent" 50.0 (Stats.percent ~num:1 ~den:2)
 
+(* The pinned constants below are load-bearing: Chash values name on-disk
+   cache entries, so an accidental algorithm change would silently turn
+   every persisted entry into a miss.  These literals were computed from an
+   independent FNV-1a implementation; if they ever disagree, the hash
+   changed, not the test. *)
+let test_chash_pinned () =
+  let open Portend_util in
+  let hex h = Chash.to_hex h in
+  Alcotest.(check string) "int 0" "28c7f832281a39c5" (hex (Chash.int Chash.seed 0));
+  Alcotest.(check string) "int 42" "3f3add6b3789daef" (hex (Chash.int Chash.seed 42));
+  Alcotest.(check string) "int -1" "0cf59a8bfca461bd" (hex (Chash.int Chash.seed (-1)));
+  Alcotest.(check string) "empty string" "28c7f832281a39c5" (hex (Chash.string Chash.seed ""));
+  Alcotest.(check string) "string" "35ad884ec1b04492" (hex (Chash.string Chash.seed "portend"));
+  Alcotest.(check string) "bool" "2f63bc4c8601b62c" (hex (Chash.bool Chash.seed true));
+  Alcotest.(check string) "int list" "3981081392b03a26"
+    (hex (Chash.list Chash.int Chash.seed [ 1; 2; 3 ]))
+
+let test_chash_disperses () =
+  let open Portend_util in
+  let ne msg a b = Alcotest.(check bool) msg false (a = b) in
+  (* Length prefixes keep concatenation ambiguities apart. *)
+  ne "list split" (Chash.list Chash.int Chash.seed [ 1; 2 ])
+    (Chash.list Chash.int Chash.seed [ 12 ]);
+  ne "string split"
+    (Chash.list Chash.string Chash.seed [ "ab"; "c" ])
+    (Chash.list Chash.string Chash.seed [ "a"; "bc" ]);
+  ne "option tag" (Chash.option Chash.int Chash.seed None)
+    (Chash.option Chash.int Chash.seed (Some 0));
+  ne "pair order"
+    (Chash.pair Chash.int Chash.int Chash.seed (1, 2))
+    (Chash.pair Chash.int Chash.int Chash.seed (2, 1));
+  (* All 8 bytes of an int are folded in, so values beyond one byte and
+     negatives disperse. *)
+  ne "high bytes" (Chash.int Chash.seed 0x1_0000_0000) (Chash.int Chash.seed 0x2_0000_0000);
+  ne "negative" (Chash.int Chash.seed (-1)) (Chash.int Chash.seed (-2));
+  Alcotest.(check bool) "non-negative" true
+    (List.for_all
+       (fun n -> Chash.int Chash.seed n >= 0)
+       [ 0; 1; -1; max_int; min_int; 0x4bf29ce484222325 ]);
+  Alcotest.(check int) "hex is 16 chars" 16
+    (String.length (Chash.to_hex (Chash.int Chash.seed 7)))
+
 let test_pqueue_order () =
   let open Portend_util in
   let empty_q : int Pqueue.t = Pqueue.create ~cmp:compare () in
@@ -136,6 +178,10 @@ let () =
           Alcotest.test_case "per-item timing" `Quick test_pool_on_item
         ] );
       ("stats", [ Alcotest.test_case "descriptive" `Quick test_stats ]);
+      ( "chash",
+        [ Alcotest.test_case "pinned values" `Quick test_chash_pinned;
+          Alcotest.test_case "dispersion" `Quick test_chash_disperses
+        ] );
       ( "pqueue",
         [ Alcotest.test_case "heap order" `Quick test_pqueue_order;
           Alcotest.test_case "growth and interleaving" `Quick test_pqueue_grow_and_interleave

@@ -23,9 +23,9 @@ let analyze_workload ?(config = Config.default) (w : Registry.workload) : app_re
    is on, the run is bracketed by solver-memo persistence (import the
    stored snapshot, export afterwards) and each workload's verdict goes
    through the persistent store. *)
-let run_suite ?(config = Config.default) () : app_result list =
+let run_suite ?(config = Config.default) ?(workloads = Suite.all) () : app_result list =
   Pcache.with_solver_memos config (fun () ->
-      Portend_util.Pool.map ~jobs:config.Config.jobs (analyze_workload ~config) Suite.all)
+      Portend_util.Pool.map ~jobs:config.Config.jobs (analyze_workload ~config) workloads)
 
 (* verdict category per race, keyed by base location *)
 let verdicts (r : app_result) =

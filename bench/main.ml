@@ -6,7 +6,7 @@
 let usage () =
   print_endline
     "usage: main.exe \
-     [table1|table2|table3|table4|table5|fig7|fig9|fig10|falsepos|weakmem|micro|parallel|prefilter|reduction|observability|incremental|smoke|reduction-smoke|incremental-smoke|all]"
+     [table1|table2|table3|table4|table5|fig7|fig9|fig10|falsepos|weakmem|micro|parallel|prefilter|reduction|observability|incremental|smoke|reduction-smoke|incremental-smoke|prefilter-smoke|all]"
 
 let () =
   let target = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -34,6 +34,7 @@ let () =
   | "smoke" -> Parallel_bench.smoke ()
   | "reduction-smoke" -> Reduction_bench.smoke ()
   | "incremental-smoke" -> Incremental_bench.smoke ()
+  | "prefilter-smoke" -> Prefilter_bench.smoke ()
   | "all" ->
     Tables.table1 ();
     Tables.table2 suite;

@@ -3,32 +3,75 @@
    candidate generator rules out, what the whole-suite detection +
    classification wall time looks like with and without the prefilter, and
    a soundness cross-check that the race reports are identical either way.
+
+   Each row also carries a lockset-only baseline: candidate sites computed
+   from disjoint must-held *mutex* locksets alone — no may-happen-in-
+   parallel reasoning and none of the synchronization-aware pseudo-locks
+   (atomic regions, semaphores-as-locks).  The gap between the baseline and
+   the full reduction is what the sync-aware analyses buy; the condvar and
+   semaphore workloads must beat the baseline strictly.
+
    Emits machine-readable BENCH_prefilter.json. *)
 
 open Portend_core
 open Portend_workloads
 module SR = Portend_analysis.Static_report
+module Sset = Portend_util.Maps.Sset
 
 type site_row = {
   s_name : string;
+  s_sync : bool;  (* one of the sync-handoff workloads *)
   s_shared : int;  (* static shared-access sites *)
   s_candidates : int;  (* sites in at least one candidate pair *)
+  s_baseline : int;  (* candidate sites under the lockset-only baseline *)
   s_pairs : int;  (* candidate pairs *)
   s_static_ms : float;  (* static analysis wall time *)
 }
 
+let is_pseudo_lock l =
+  l = Portend_analysis.Locksets.atomic_lock || String.starts_with ~prefix:"sem:" l
+
+(* Lockset-only baseline: a site survives when it conflicts (same location,
+   at least one write) with some site whose must-held real-mutex lockset is
+   disjoint from its own.  This is exactly the candidate generator with MHP
+   forced to "maybe" and the pseudo-locks stripped. *)
+let baseline_candidate_sites (report : SR.t) : int =
+  let sites = Array.of_list report.SR.sites in
+  let n = Array.length sites in
+  let real_locks (s : SR.site) = Sset.filter (fun l -> not (is_pseudo_lock l)) s.SR.s_lockset in
+  let marked = Array.make (max n 1) false in
+  for i = 0 to n - 1 do
+    for j = i to n - 1 do
+      let a = sites.(i) and b = sites.(j) in
+      if
+        a.SR.s_loc = b.SR.s_loc
+        && (a.SR.s_kind = SR.Write || b.SR.s_kind = SR.Write)
+        && Sset.is_empty (Sset.inter (real_locks a) (real_locks b))
+      then begin
+        marked.(i) <- true;
+        marked.(j) <- true
+      end
+    done
+  done;
+  Array.fold_left (fun acc m -> if m then acc + 1 else acc) 0 marked
+
 let site_rows () =
+  let sync_names =
+    List.map (fun (w : Registry.workload) -> w.Registry.w_name) Suite.sync_benchmarks
+  in
   List.map
     (fun (w : Registry.workload) ->
       let prog = Portend_lang.Compile.compile w.Registry.w_prog in
       let report, dt = Portend_util.Clock.timed (fun () -> SR.analyze prog) in
       { s_name = w.Registry.w_name;
+        s_sync = List.mem w.Registry.w_name sync_names;
         s_shared = SR.shared_site_count report;
         s_candidates = SR.candidate_site_count report;
+        s_baseline = baseline_candidate_sites report;
         s_pairs = List.length report.SR.pairs;
         s_static_ms = 1000.0 *. dt
       })
-    Suite.all
+    Suite.extended
 
 let reps = 3
 
@@ -36,7 +79,10 @@ let measure config =
   let best = ref infinity in
   let last = ref None in
   for _ = 1 to reps do
-    let results, dt = Portend_util.Clock.timed (fun () -> Harness.run_suite ~config ()) in
+    let results, dt =
+      Portend_util.Clock.timed (fun () ->
+          Harness.run_suite ~config ~workloads:Suite.extended ())
+    in
     if dt < !best then best := dt;
     last := Some results
   done;
@@ -48,22 +94,33 @@ let reduction_pct ~total ~kept =
 let run () =
   let rows = site_rows () in
   (* warm the heap once, as the other suite benchmarks do *)
-  ignore (Harness.run_suite ());
+  ignore (Harness.run_suite ~workloads:Suite.extended ());
   let off_results, off_s = measure Config.default in
   let on_results, on_s = measure { Config.default with Config.static_prefilter = true } in
   let identical = Parallel_bench.signature off_results = Parallel_bench.signature on_results in
   let total_shared = List.fold_left (fun a r -> a + r.s_shared) 0 rows in
   let total_cand = List.fold_left (fun a r -> a + r.s_candidates) 0 rows in
+  let total_base = List.fold_left (fun a r -> a + r.s_baseline) 0 rows in
+  let sync_beats_baseline =
+    List.for_all
+      (fun r ->
+        (not r.s_sync)
+        || reduction_pct ~total:r.s_shared ~kept:r.s_candidates
+           > reduction_pct ~total:r.s_shared ~kept:r.s_baseline)
+      rows
+  in
   Harness.print_table
     ~title:"Static prefilter: instrumented shared-access sites per workload"
-    ~header:[ "Program"; "shared sites"; "candidate sites"; "pairs"; "reduction"; "static (ms)" ]
+    ~header:
+      [ "Program"; "shared"; "candidates"; "pairs"; "reduction"; "lockset-only"; "static (ms)" ]
     (List.map
        (fun r ->
-         [ r.s_name;
+         [ (if r.s_sync then r.s_name ^ " *" else r.s_name);
            string_of_int r.s_shared;
            string_of_int r.s_candidates;
            string_of_int r.s_pairs;
            Printf.sprintf "%.0f%%" (reduction_pct ~total:r.s_shared ~kept:r.s_candidates);
+           Printf.sprintf "%.0f%%" (reduction_pct ~total:r.s_shared ~kept:r.s_baseline);
            Printf.sprintf "%.3f" r.s_static_ms
          ])
        rows
@@ -72,13 +129,19 @@ let run () =
           string_of_int total_cand;
           "";
           Printf.sprintf "%.0f%%" (reduction_pct ~total:total_shared ~kept:total_cand);
+          Printf.sprintf "%.0f%%" (reduction_pct ~total:total_shared ~kept:total_base);
           ""
         ] ]);
-  Printf.printf "\nsuite detection+classification wall time: %.3fs without, %.3fs with prefilter\n"
+  Printf.printf "\n(* = synchronization-handoff workload)\n";
+  Printf.printf "suite detection+classification wall time: %.3fs without, %.3fs with prefilter\n"
     off_s on_s;
   Printf.printf "race reports identical with and without prefilter: %b\n" identical;
+  Printf.printf "sync workloads beat the lockset-only baseline: %b\n" sync_beats_baseline;
   if not identical then
     prerr_endline "WARNING: prefilter changed the race reports — soundness violation!";
+  if not sync_beats_baseline then
+    prerr_endline
+      "WARNING: a sync workload shows no reduction beyond the lockset-only baseline!";
   let json =
     Printf.sprintf
       {|{
@@ -87,7 +150,10 @@ let run () =
   "reps_per_config": %d,
   "preemption_points_total": %d,
   "preemption_points_restricted": %d,
+  "preemption_points_lockset_only": %d,
   "preemption_point_reduction_pct": %.1f,
+  "lockset_only_reduction_pct": %.1f,
+  "sync_workloads_beat_lockset_baseline": %b,
   "wall_s_without_prefilter": %.6f,
   "wall_s_with_prefilter": %.6f,
   "speedup_with_prefilter": %.3f,
@@ -97,18 +163,20 @@ let run () =
   ]
 }
 |}
-      (List.length Suite.all) reps total_shared total_cand
+      (List.length Suite.extended) reps total_shared total_cand total_base
       (reduction_pct ~total:total_shared ~kept:total_cand)
-      off_s on_s
+      (reduction_pct ~total:total_shared ~kept:total_base)
+      sync_beats_baseline off_s on_s
       (if on_s > 0.0 then off_s /. on_s else 0.0)
       identical
       (String.concat ",\n"
          (List.map
             (fun r ->
               Printf.sprintf
-                {|    {"name": %S, "shared_sites": %d, "candidate_sites": %d, "candidate_pairs": %d, "reduction_pct": %.1f, "static_analysis_ms": %.3f}|}
-                r.s_name r.s_shared r.s_candidates r.s_pairs
+                {|    {"name": %S, "sync": %b, "shared_sites": %d, "candidate_sites": %d, "baseline_candidate_sites": %d, "candidate_pairs": %d, "reduction_pct": %.1f, "baseline_reduction_pct": %.1f, "static_analysis_ms": %.3f}|}
+                r.s_name r.s_sync r.s_shared r.s_candidates r.s_baseline r.s_pairs
                 (reduction_pct ~total:r.s_shared ~kept:r.s_candidates)
+                (reduction_pct ~total:r.s_shared ~kept:r.s_baseline)
                 r.s_static_ms)
             rows))
   in
@@ -117,3 +185,46 @@ let run () =
   output_string oc json;
   close_out oc;
   Printf.printf "wrote %s\n" path
+
+(* Contract smoke for `dune runtest` / CI: on the synchronization-handoff
+   workloads, the dynamic race reports must be bit-identical with the
+   prefilter on, and the sync-aware analyses must prune strictly more
+   preemption points than the lockset-only baseline. *)
+let smoke () =
+  let module Hb = Portend_detect.Hb in
+  let module Run = Portend_vm.Run in
+  let failed = ref false in
+  let extra = ref [] in
+  List.iter
+    (fun (w : Registry.workload) ->
+      let prog = Portend_lang.Compile.compile w.Registry.w_prog in
+      let report = SR.analyze prog in
+      let record, _ =
+        Pipeline.record ~seed:w.Registry.w_seed ~inputs:w.Registry.w_inputs prog
+      in
+      let suppress = Portend_lang.Static.spin_read_sites prog in
+      let without = Hb.detect_clustered ~suppress record.Run.events in
+      let with_pf = Hb.detect_clustered ~suppress ~restrict:report record.Run.events in
+      if without <> with_pf then begin
+        Printf.eprintf "prefilter smoke FAILED: %s reports differ under prefilter\n"
+          w.Registry.w_name;
+        failed := true
+      end;
+      let full = SR.candidate_site_count report in
+      let base = baseline_candidate_sites report in
+      if full >= base then begin
+        Printf.eprintf
+          "prefilter smoke FAILED: %s keeps %d site(s), lockset-only baseline keeps %d\n"
+          w.Registry.w_name full base;
+        failed := true
+      end
+      else extra := (w.Registry.w_name, base - full) :: !extra)
+    Suite.sync_benchmarks;
+  if !failed then exit 1;
+  Printf.printf "prefilter smoke ok: reports identical under prefilter on %s; %s\n"
+    (String.concat ", "
+       (List.map (fun (w : Registry.workload) -> w.Registry.w_name) Suite.sync_benchmarks))
+    (String.concat ", "
+       (List.rev_map
+          (fun (n, d) -> Printf.sprintf "%s prunes %d site(s) beyond lockset-only" n d)
+          !extra))

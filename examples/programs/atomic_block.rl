@@ -1,0 +1,26 @@
+program atomic_block
+
+// The counter update is protected by an atomic region, so the two workers
+// cannot race on it.  But taking a mutex inside the region is hazardous:
+// if the lock were ever held by a preempted thread, the owner of the
+// region would block with every other thread frozen.  `portend lint`
+// reports blocking-in-atomic.
+
+global counter = 0
+mutex m
+
+fn bump() {
+  atomic {
+    lock m;                      // may block while the region is held
+    counter = counter + 1;
+    unlock m;
+  }
+}
+
+fn main() {
+  var t1 = spawn bump();
+  var t2 = spawn bump();
+  join t1;
+  join t2;
+  output counter;
+}

@@ -1,0 +1,27 @@
+program barrier_mismatch
+
+// The barrier expects three parties but only the two workers ever arrive:
+// both block forever and main's joins deadlock.  `portend lint` counts the
+// arriving threads statically and reports barrier-mismatch.
+
+global a = 0
+global b = 0
+barrier phase = 3
+
+fn worker_a() {
+  a = 1;
+  barrier_wait phase;
+}
+
+fn worker_b() {
+  b = 1;
+  barrier_wait phase;
+}
+
+fn main() {
+  var t1 = spawn worker_a();
+  var t2 = spawn worker_b();
+  join t1;
+  join t2;
+  output a + b;
+}

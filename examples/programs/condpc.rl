@@ -1,0 +1,41 @@
+program condpc
+
+// Condvar handoff: the producer fills the slot and signals; the consumer
+// parks on the condvar before reading.  The slot accesses are ordered by
+// the signal -> wakeup edge (and the sync-aware static analysis proves it:
+// the read is behind the wait on every path, the write dominates the only
+// signal).  Both threads stamp the same value into `seen` -- the one real,
+// benign race.  The unconditional wait carries the classic lost-signal
+// hazard: if the producer signals before the consumer parks, the consumer
+// waits forever.
+
+global slot = 0
+global seen = 0
+mutex m
+cond c
+
+fn consumer() {
+  lock m;
+  wait c, m;
+  unlock m;
+  var v = slot;                  // ordered after the producer's write
+  seen = 1;                      // racy, but both writers store 1
+  output v;
+}
+
+fn producer() {
+  slot = 42;                     // dominates the signal below
+  lock m;
+  signal c;
+  unlock m;
+  seen = 1;                      // racy, but both writers store 1
+}
+
+fn main() {
+  var tc = spawn consumer();
+  var tp = spawn producer();
+  join tc;
+  join tp;
+  output slot;
+  output seen;
+}

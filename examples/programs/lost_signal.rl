@@ -1,0 +1,22 @@
+program lost_signal
+
+// The worker signals a condvar nobody ever waits on: the signal is
+// discarded.  `portend lint` proves it (no wait site on the condvar may
+// happen in parallel with the signal) and reports lost-signal.
+
+global done = 0
+mutex m
+cond c
+
+fn late_signaller() {
+  lock m;
+  done = 1;
+  signal c;                      // no waiter exists anywhere
+  unlock m;
+}
+
+fn main() {
+  var t = spawn late_signaller();
+  join t;
+  output done;
+}

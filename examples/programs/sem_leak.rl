@@ -1,0 +1,23 @@
+program sem_leak
+
+// `grab` takes the semaphore token but returns without posting on the
+// early-exit path: the token leaks and the next sem_wait blocks forever.
+// `portend lint` reports sem-unmatched on the leaking return.
+
+global taken = 0
+sem pool = 1
+
+fn grab(flag) {
+  sem_wait pool;
+  taken = taken + 1;
+  if (flag == 0) {
+    return;                      // leak: no sem_post on this path
+  }
+  sem_post pool;
+}
+
+fn main() {
+  grab(1);                       // balanced bracket: wait, post
+  grab(0);                       // takes the token and leaks it
+  output taken;
+}

@@ -1,0 +1,43 @@
+program sempc
+
+// Semaphore handoff: `items` (initially 0) carries the post -> wait edge
+// that orders the slot accesses; `guard` (initially 1) is a binary
+// semaphore used as a lock -- its wait/post bracket is provable, so the
+// static analysis gives both `nops` updates the pseudo-lock "sem:guard"
+// and prunes the pair.  Both threads stamp the same value into `seen` --
+// the one real, benign race.  Deadlock-free in every schedule.
+
+global slot = 0
+global nops = 0
+global seen = 0
+sem items = 0
+sem guard = 1
+
+fn producer() {
+  slot = 42;
+  sem_post items;
+  sem_wait guard;
+  nops = nops + 1;               // protected by the guard bracket
+  sem_post guard;
+  seen = 1;                      // racy, but both writers store 1
+}
+
+fn consumer() {
+  sem_wait items;
+  var v = slot;                  // ordered after the producer's write
+  sem_wait guard;
+  nops = nops + 1;               // protected by the guard bracket
+  sem_post guard;
+  seen = 1;                      // racy, but both writers store 1
+  output v;
+}
+
+fn main() {
+  var tp = spawn producer();
+  var tc = spawn consumer();
+  join tp;
+  join tc;
+  output slot;
+  output nops;
+  output seen;
+}

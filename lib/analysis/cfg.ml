@@ -30,8 +30,8 @@ let inst_successors ~len pc (inst : B.inst) : int list =
   | B.IRet _ -> []
   | B.IBin _ | B.IUn _ | B.IMov _ | B.ILoadG _ | B.IStoreG _ | B.ILoadA _ | B.IStoreA _
   | B.ICall _ | B.ISpawn _ | B.IJoin _ | B.ILock _ | B.IUnlock _ | B.IWait _ | B.ISignal _
-  | B.IBroadcast _ | B.IBarrier _ | B.IOutput _ | B.IOutputStr _ | B.IInput _ | B.IAssert _
-  | B.IYield | B.IFree _ -> fall
+  | B.IBroadcast _ | B.IBarrier _ | B.ISemWait _ | B.ISemPost _ | B.IAtomicBegin | B.IAtomicEnd
+  | B.IOutput _ | B.IOutputStr _ | B.IInput _ | B.IAssert _ | B.IYield | B.IFree _ -> fall
 
 let build (f : B.func) : t =
   let len = Array.length f.B.code in

@@ -1,0 +1,37 @@
+(** Per-function control-flow graph over {!Portend_lang.Bytecode.func}.
+
+    Instruction-granular: every program counter is a node (the bytecode's
+    basic blocks are short enough that block formation would buy nothing),
+    edges follow the interpreter's successor relation.  [ICall] is a
+    fall-through edge — interprocedural effects are handled by the analyses
+    through function summaries, not by splicing callee graphs in. *)
+
+module B = Portend_lang.Bytecode
+
+type t = {
+  func : B.func;
+  succ : int list array;  (** successors per pc *)
+  pred : int list array;  (** predecessors per pc *)
+  back_edges : (int * int) list;  (** (src, target), target <= src *)
+}
+
+val inst_successors : len:int -> int -> B.inst -> int list
+(** Successor program counters of the instruction at [pc].  [IRet] has none;
+    a branch has both targets; everything else falls through (when in
+    range — the interpreter treats running off the end as [IRet None]). *)
+
+val build : B.func -> t
+
+val n_insts : t -> int
+
+val reachable_after : t -> int -> bool array
+(** Program counters reachable from [pc] by one or more edges (i.e. what can
+    execute strictly after the instruction at [pc] runs). *)
+
+val in_loop : t -> int -> bool
+(** Is [pc] inside some natural loop (between a back edge's target and its
+    source, or able to re-reach itself)? *)
+
+val exits : t -> int list
+(** Reachable exit pcs: [IRet] instructions (the compiler always emits a
+    trailing [IRet None], so every function that returns passes one). *)

@@ -1,0 +1,28 @@
+(** A small generic forward-dataflow fixpoint engine over {!Cfg}.
+
+    Worklist iteration to a fixpoint; the abstract state is whatever the
+    client provides (the lockset analysis uses lock-set pairs, the MHP
+    analysis join-tracking lattices).  Unreachable program points are
+    represented as [None] in the result — no state ever flowed there — so
+    clients need no artificial bottom element and every [join] sees two
+    genuinely reachable states. *)
+
+module B = Portend_lang.Bytecode
+
+type 'a spec = {
+  entry : 'a;  (** state on entry to pc 0 *)
+  join : 'a -> 'a -> 'a;  (** merge at control-flow confluences *)
+  equal : 'a -> 'a -> bool;  (** convergence test *)
+  transfer : int -> B.inst -> 'a -> 'a;  (** effect of one instruction *)
+}
+
+val forward_from : Cfg.t -> 'a spec -> starts:(int * 'a) list -> 'a option array
+(** Like {!forward} but seeding the iteration at arbitrary points — used by
+    analyses whose facts only exist downstream of some instruction (e.g.
+    "has this spawn been joined", seeded at the spawn's successors). *)
+
+val forward : Cfg.t -> 'a spec -> 'a option array
+(** In-state before each instruction, starting from function entry;
+    [None] = unreachable.  Terminates whenever [join] is monotone-bounded
+    (finite lattice height), which all clients in this library satisfy
+    (powersets of a program's locks, small finite enums). *)

@@ -10,7 +10,20 @@
       (Racelang mutexes are non-reentrant: self-deadlock);
     - a spin loop polling a location that no concurrent thread can write —
       the condition is loop-invariant, so once entered the loop never
-      terminates. *)
+      terminates;
+    - a signal/broadcast no wait can ever observe (no wait site on the
+      condvar may happen in parallel with it — and MHP over-approximates,
+      so “cannot be parallel” is definite): the signal is lost;
+    - a barrier whose party count provably disagrees with the number of
+      threads that can ever arrive at it — fewer arrivals than parties
+      deadlocks every arriving thread, more make the release rounds
+      nondeterministic;
+    - a [sem_wait]/[sem_post] bracket broken along some path of a function
+      that uses both on the same semaphore (a token leaked past a return,
+      or a post with no matching wait behind it);
+    - a potentially blocking operation (lock, wait, barrier, sem_wait)
+      inside an atomic region: the region's owner is the only runnable
+      thread, so blocking freezes the whole program. *)
 
 open Portend_util.Maps
 module B = Portend_lang.Bytecode
@@ -22,7 +35,10 @@ type diag = {
   severity : severity;
   d_func : string;
   d_pc : int;
-  code : string;  (** "potential-race" | "lock-held-at-return" | "double-lock" | "spin-invariant" *)
+  code : string;
+      (** "potential-race" | "lock-held-at-return" | "double-lock"
+          | "spin-invariant" | "lost-signal" | "barrier-mismatch"
+          | "sem-unmatched" | "blocking-in-atomic" *)
   message : string;
 }
 
@@ -140,6 +156,210 @@ let spin_invariant_diags (prog : B.t) (report : Static_report.t) (mhp : Mhp.t) :
       | _ -> None)
     (Static.spin_read_sites prog)
 
+(* Sites of an instruction class, program-wide. *)
+let sites_matching (prog : B.t) (p : B.inst -> bool) : (string * int) list =
+  Smap.fold
+    (fun fname (f : B.func) acc ->
+      let acc = ref acc in
+      Array.iteri (fun pc inst -> if p inst then acc := (fname, pc) :: !acc) f.B.code;
+      !acc)
+    prog.B.funcs []
+  |> List.rev
+
+(* A signal nobody can ever receive.  MHP over-approximates concurrency, so
+   “no wait site may run in parallel with this signal” is a proof that every
+   execution reaching the signal finds the condvar unwatched. *)
+let lost_signal_diags (prog : B.t) (mhp : Mhp.t) : diag list =
+  let waits c =
+    sites_matching prog (function B.IWait (c', _) -> c' = c | _ -> false)
+  in
+  List.filter_map
+    (fun ((fname, pc), c) ->
+      if List.exists (fun ws -> Mhp.may_parallel mhp (fname, pc) ws) (waits c) then None
+      else
+        Some
+          { severity = Warning;
+            d_func = fname;
+            d_pc = pc;
+            code = "lost-signal";
+            message =
+              Printf.sprintf
+                "signal on %s can never be observed: no wait on %s may run in parallel \
+                 (lost signal)"
+                c c
+          })
+    (sites_matching prog (function B.ISignal _ | B.IBroadcast _ -> true | _ -> false)
+    |> List.map (fun (fname, pc) ->
+           match (Smap.find fname prog.B.funcs).B.code.(pc) with
+           | B.ISignal c | B.IBroadcast c -> ((fname, pc), c)
+           | _ -> assert false))
+
+(* Party count vs. how many threads can ever arrive.  Only when every
+   potentially arriving abstract thread is single-instance is the arrival
+   count exact enough to call a mismatch. *)
+let barrier_mismatch_diags (prog : B.t) (mhp : Mhp.t) : diag list =
+  List.filter_map
+    (fun (b, parties) ->
+      let sites = sites_matching prog (function B.IBarrier b' -> b' = b | _ -> false) in
+      match sites with
+      | [] -> None
+      | (f0, pc0) :: _ ->
+        let barrier_funcs =
+          List.fold_left (fun acc (f, _) -> Sset.add f acc) Sset.empty sites
+        in
+        let arrivers =
+          List.filter
+            (fun th ->
+              List.exists
+                (fun (th', closure) ->
+                  th' = th && Sset.exists (fun f -> Sset.mem f barrier_funcs) closure)
+                mhp.Mhp.closures)
+            mhp.Mhp.threads
+        in
+        let all_single =
+          List.for_all (fun th -> Mhp.instances_of mhp th = Mhp.One) arrivers
+        in
+        let n = List.length arrivers in
+        if (not all_single) || n = parties then None
+        else if n < parties then
+          Some
+            { severity = Error;
+              d_func = f0;
+              d_pc = pc0;
+              code = "barrier-mismatch";
+              message =
+                Printf.sprintf
+                  "barrier %s expects %d parties but at most %d thread(s) can arrive: \
+                   every arrival blocks forever"
+                  b parties n
+            }
+        else
+          Some
+            { severity = Warning;
+              d_func = f0;
+              d_pc = pc0;
+              code = "barrier-mismatch";
+              message =
+                Printf.sprintf
+                  "barrier %s expects %d parties but %d threads can arrive: release \
+                   rounds pair arbitrary subsets of threads"
+                  b parties n
+            })
+    prog.B.barriers
+
+(* Interval of semaphore tokens taken (wait) minus returned (post) since
+   function entry, per semaphore, for functions using both ops on it. *)
+let sem_unmatched_diags (prog : B.t) (cfgs : Cfg.t Smap.t) : diag list =
+  let cap = 8 in
+  Smap.fold
+    (fun fname (f : B.func) acc ->
+      let sems_bracketed =
+        let waits, posts =
+          Array.fold_left
+            (fun (w, p) inst ->
+              match inst with
+              | B.ISemWait s -> (Sset.add s w, p)
+              | B.ISemPost s -> (w, Sset.add s p)
+              | _ -> (w, p))
+            (Sset.empty, Sset.empty) f.B.code
+        in
+        Sset.inter waits posts
+      in
+      if Sset.is_empty sems_bracketed then acc
+      else
+        let cfg = Smap.find fname cfgs in
+        Sset.fold
+          (fun s acc ->
+            let transfer _ inst v =
+              match inst with
+              | B.ISemWait s' when s' = s -> min cap (v + 1)
+              | B.ISemPost s' when s' = s -> max 0 (v - 1)
+              | _ -> v
+            in
+            let run join =
+              Dataflow.forward cfg { Dataflow.entry = 0; join; equal = ( = ); transfer }
+            in
+            let must = run min and may = run max in
+            let leak_diags =
+              List.filter_map
+                (fun exit_pc ->
+                  match may.(exit_pc) with
+                  | Some v when transfer exit_pc f.B.code.(exit_pc) v > 0 ->
+                    Some
+                      { severity = Warning;
+                        d_func = fname;
+                        d_pc = exit_pc;
+                        code = "sem-unmatched";
+                        message =
+                          Printf.sprintf
+                            "sem_wait %s is not matched by a sem_post on some path to \
+                             this return"
+                            s
+                      }
+                  | _ -> None)
+                (Cfg.exits cfg)
+            in
+            let free_post_diags =
+              let out = ref [] in
+              Array.iteri
+                (fun pc inst ->
+                  match (inst, must.(pc)) with
+                  | B.ISemPost s', Some 0 when s' = s ->
+                    out :=
+                      { severity = Warning;
+                        d_func = fname;
+                        d_pc = pc;
+                        code = "sem-unmatched";
+                        message =
+                          Printf.sprintf
+                            "sem_post %s on some path here has no matching sem_wait \
+                             behind it"
+                            s
+                      }
+                      :: !out
+                  | _ -> ())
+                f.B.code;
+              !out
+            in
+            leak_diags @ free_post_diags @ acc)
+          sems_bracketed acc)
+    prog.B.funcs []
+
+(* Blocking while holding the implicit atomic-region lock: the owner is the
+   only runnable thread, so if it parks, nothing can ever unpark it. *)
+let blocking_in_atomic_diags (prog : B.t) (locks : Locksets.t) : diag list =
+  Smap.fold
+    (fun fname (f : B.func) acc ->
+      let acc = ref acc in
+      Array.iteri
+        (fun pc inst ->
+          let blocking =
+            match inst with
+            | B.ILock m -> Some ("lock " ^ m)
+            | B.IWait (c, _) -> Some ("wait " ^ c)
+            | B.IBarrier b -> Some ("barrier_wait " ^ b)
+            | B.ISemWait s -> Some ("sem_wait " ^ s)
+            | _ -> None
+          in
+          match blocking with
+          | Some op when Sset.mem Locksets.atomic_lock (Locksets.may_held locks fname pc) ->
+            acc :=
+              { severity = Error;
+                d_func = fname;
+                d_pc = pc;
+                code = "blocking-in-atomic";
+                message =
+                  Printf.sprintf
+                    "%s may block inside an atomic region; no other thread can run to \
+                     unblock it"
+                    op
+              }
+              :: !acc
+          | _ -> ())
+        f.B.code;
+      !acc)
+    prog.B.funcs []
+
 (** All diagnostics for a program, deterministically ordered. *)
 (* [store] reads the lockset/MHP inputs through the persistent cache
    ([portend lint --cache]); diagnostics are recomputed from them either
@@ -161,4 +381,8 @@ let run ?store (prog : B.t) : diag list =
   @ lock_leak_diags cfgs locks
   @ double_lock_diags prog locks
   @ spin_invariant_diags prog report mhp
+  @ lost_signal_diags prog mhp
+  @ barrier_mismatch_diags prog mhp
+  @ sem_unmatched_diags prog cfgs
+  @ blocking_in_atomic_diags prog locks
   |> List.sort_uniq compare_diag

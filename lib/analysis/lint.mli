@@ -1,0 +1,51 @@
+(** Static lint pass over a Racelang program — the diagnostics behind
+    [portend lint]:
+
+    - potential data races: {!Static_report} candidate pairs, clustered the
+      same way the dynamic detector clusters its reports (one diagnostic
+      per location × unordered function pair, keeping the highest-ranked
+      pair of each cluster);
+    - a lock possibly still held when a function returns;
+    - a possible second acquire of a mutex already held by the same thread
+      (Racelang mutexes are non-reentrant: self-deadlock);
+    - a spin loop polling a location that no concurrent thread can write —
+      the condition is loop-invariant, so once entered the loop never
+      terminates;
+    - a signal/broadcast no wait can ever observe (no wait site on the
+      condvar may happen in parallel with it — and MHP over-approximates,
+      so "cannot be parallel" is definite): the signal is lost;
+    - a barrier whose party count provably disagrees with the number of
+      threads that can ever arrive at it — fewer arrivals than parties
+      deadlocks every arriving thread, more make the release rounds
+      nondeterministic;
+    - a [sem_wait]/[sem_post] bracket broken along some path of a function
+      that uses both on the same semaphore (a token leaked past a return,
+      or a post with no matching wait behind it);
+    - a potentially blocking operation (lock, wait, barrier, sem_wait)
+      inside an atomic region: the region's owner is the only runnable
+      thread, so blocking freezes the whole program. *)
+
+module B = Portend_lang.Bytecode
+
+type severity = Error | Warning
+
+type diag = {
+  severity : severity;
+  d_func : string;
+  d_pc : int;
+  code : string;
+      (** "potential-race" | "lock-held-at-return" | "double-lock"
+          | "spin-invariant" | "lost-signal" | "barrier-mismatch"
+          | "sem-unmatched" | "blocking-in-atomic" *)
+  message : string;
+}
+
+val severity_to_string : severity -> string
+
+val to_string : diag -> string
+
+val run : ?store:Portend_cache.Store.t -> B.t -> diag list
+(** All diagnostics for the program, deterministically ordered (by site,
+    then code, then message).  [store] routes the underlying analyses
+    through the persistent cache, exactly as in
+    {!Static_report.analyze_cached}. *)

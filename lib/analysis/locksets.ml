@@ -17,10 +17,117 @@
     pessimum (adds nothing, may release everything).
 
     A companion {e may}-held analysis (union merge) feeds the lint pass:
-    “lock possibly still held at return” and “possible double acquire”. *)
+    “lock possibly still held at return” and “possible double acquire”.
+
+    Beyond real mutexes, two pseudo-locks join the held sets:
+
+    - ["@atomic"]: an [atomic { ... }] region excludes every other thread,
+      so between [IAtomicBegin] and [IAtomicEnd] the implicit program-wide
+      lock is must-held.  The dynamic detector has the matching
+      release→acquire edge (end → subsequent begin), so pruning a pair that
+      shares ["@atomic"] can never hide a dynamically detectable race.
+    - ["sem:s"]: a semaphore used as a lock.  [s] qualifies only when the
+      pairing is provable ({!lockable_sems}): initial count 1 and, in every
+      function touching it, [sem_wait s]/[sem_post s] form a well-nested
+      intra-procedural bracket on every path (no free posts, no nesting, no
+      held-at-return, no calls into functions touching [s]).  Then the count
+      obeys [count + threads-inside-bracket = 1], at most one thread is ever
+      inside, and the dynamic post→wait edge orders any two bracketed
+      accesses — the same argument as for a mutex. *)
 
 open Portend_util.Maps
 module B = Portend_lang.Bytecode
+
+let atomic_lock = "@atomic"
+let sem_lock s = "sem:" ^ s
+
+(* Functions reachable from [entry] through ICall, including [entry]. *)
+let call_closure (prog : B.t) (entry : string) : Sset.t =
+  let rec go acc name =
+    if Sset.mem name acc then acc
+    else
+      match B.find_func prog name with
+      | None -> acc
+      | Some f ->
+        Sset.fold
+          (fun callee acc -> go acc callee)
+          (Portend_lang.Static.callees_of_func f)
+          (Sset.add name acc)
+  in
+  go Sset.empty entry
+
+(* --- semaphore-as-lock qualification ----------------------------------- *)
+
+(* Token-count abstract state for one semaphore inside one function. *)
+type tok =
+  | Tok of int  (** 0 or 1 tokens held since function entry *)
+  | Tpoison  (** bracket not provable *)
+
+let tok_join a b = if a = b then a else Tpoison
+let tok_equal = ( = )
+
+(** Semaphores provably used as locks (see the module comment).  Any
+    occurrence that breaks the bracket discipline disqualifies the
+    semaphore program-wide. *)
+let lockable_sems (prog : B.t) : Sset.t =
+  let touches =
+    (* function -> does it (transitively via ICall) touch semaphore s? *)
+    let direct f =
+      Array.fold_left
+        (fun acc inst ->
+          match inst with
+          | B.ISemWait s | B.ISemPost s -> Sset.add s acc
+          | _ -> acc)
+        Sset.empty f.B.code
+    in
+    let base = Smap.map direct prog.B.funcs in
+    Smap.mapi
+      (fun fname _ ->
+        let closure = call_closure prog fname in
+        Sset.fold
+          (fun g acc -> Sset.union acc (Smap.find_or ~default:Sset.empty g base))
+          closure Sset.empty)
+      prog.B.funcs
+  in
+  let ok_in_func s fname (f : B.func) : bool =
+    let self_touches = Smap.find_or ~default:Sset.empty fname touches in
+    if not (Sset.mem s self_touches) then true
+    else begin
+      let cfg = Cfg.build f in
+      let transfer _pc inst st =
+        match (inst, st) with
+        | _, Tpoison -> Tpoison
+        | B.ISemWait s', Tok 0 when s' = s -> Tok 1
+        | B.ISemWait s', Tok _ when s' = s -> Tpoison
+        | B.ISemPost s', Tok 1 when s' = s -> Tok 0
+        | B.ISemPost s', Tok _ when s' = s -> Tpoison
+        | B.ICall (_, g, _), _
+          when Sset.mem s (Smap.find_or ~default:Sset.empty g touches) ->
+          Tpoison
+        | _, st -> st
+      in
+      let states =
+        Dataflow.forward cfg
+          { Dataflow.entry = Tok 0; join = tok_join; equal = tok_equal; transfer }
+      in
+      let no_poison =
+        Array.for_all (function Some Tpoison -> false | Some (Tok _) | None -> true) states
+      in
+      let exits_clean =
+        List.for_all
+          (fun pc ->
+            match states.(pc) with
+            | Some st -> transfer pc f.B.code.(pc) st = Tok 0
+            | None -> true)
+          (Cfg.exits cfg)
+      in
+      no_poison && exits_clean
+    end
+  in
+  List.fold_left
+    (fun acc (s, init) ->
+      if init = 1 && Smap.for_all (ok_in_func s) prog.B.funcs then Sset.add s acc else acc)
+    Sset.empty prog.B.sems
 
 type summary = {
   must_add : Sset.t;  (** held on return, on every path *)
@@ -39,10 +146,21 @@ let rel_entry = { acq = Sset.empty; rel = Sset.empty }
 let rel_join a b = { acq = Sset.inter a.acq b.acq; rel = Sset.union a.rel b.rel }
 let rel_equal a b = Sset.equal a.acq b.acq && Sset.equal a.rel b.rel
 
-let rel_transfer (summaries : summary Smap.t) _pc (inst : B.inst) (s : rel) : rel =
+let rel_transfer ~(sem_locks : Sset.t) (summaries : summary Smap.t) _pc (inst : B.inst)
+    (s : rel) : rel =
   match inst with
   | B.ILock m -> { acq = Sset.add m s.acq; rel = Sset.remove m s.rel }
   | B.IUnlock m -> { acq = Sset.remove m s.acq; rel = Sset.add m s.rel }
+  (* The implicit atomic-region lock.  Nested regions under-approximate
+     (the inner end drops the pseudo-lock early), which only loses
+     precision, never soundness, for a must-analysis. *)
+  | B.IAtomicBegin -> { acq = Sset.add atomic_lock s.acq; rel = Sset.remove atomic_lock s.rel }
+  | B.IAtomicEnd -> { acq = Sset.remove atomic_lock s.acq; rel = Sset.add atomic_lock s.rel }
+  | B.ISemWait m when Sset.mem m sem_locks ->
+    { acq = Sset.add (sem_lock m) s.acq; rel = Sset.remove (sem_lock m) s.rel }
+  | B.ISemPost m when Sset.mem m sem_locks ->
+    { acq = Sset.remove (sem_lock m) s.acq; rel = Sset.add (sem_lock m) s.rel }
+  | B.ISemWait _ | B.ISemPost _ -> s
   | B.ICall (_, g, _) -> (
     match Smap.find_opt g summaries with
     | None -> s
@@ -58,12 +176,12 @@ let rel_transfer (summaries : summary Smap.t) _pc (inst : B.inst) (s : rel) : re
   | B.IBarrier _ | B.IOutput _ | B.IOutputStr _ | B.IInput _ | B.IAssert _ | B.IYield
   | B.IFree _ -> s
 
-let summary_of_states (cfg : Cfg.t) (states : rel option array) : summary =
+let summary_of_states ~sem_locks (cfg : Cfg.t) (states : rel option array) : summary =
   let exit_rels =
     List.filter_map
       (fun pc ->
         match states.(pc) with
-        | Some s -> Some (rel_transfer Smap.empty pc cfg.Cfg.func.B.code.(pc) s)
+        | Some s -> Some (rel_transfer ~sem_locks Smap.empty pc cfg.Cfg.func.B.code.(pc) s)
         | None -> None)
       (Cfg.exits cfg)
   in
@@ -86,7 +204,7 @@ type t = {
    handful of functions; [2 * n + 2] rounds settle every non-recursive
    graph and simple recursion, and the fallback keeps pathological cases
    sound. *)
-let compute_summaries (cfgs : Cfg.t Smap.t) (all_mutexes : Sset.t) : summary Smap.t =
+let compute_summaries ~sem_locks (cfgs : Cfg.t Smap.t) (all_mutexes : Sset.t) : summary Smap.t =
   let empty = { must_add = Sset.empty; may_remove = Sset.empty } in
   let pessimum = { must_add = Sset.empty; may_remove = all_mutexes } in
   let n = Smap.cardinal cfgs in
@@ -99,10 +217,10 @@ let compute_summaries (cfgs : Cfg.t Smap.t) (all_mutexes : Sset.t) : summary Sma
               { Dataflow.entry = rel_entry;
                 join = rel_join;
                 equal = rel_equal;
-                transfer = rel_transfer summaries
+                transfer = rel_transfer ~sem_locks summaries
               }
           in
-          summary_of_states cfg states)
+          summary_of_states ~sem_locks cfg states)
         cfgs
     in
     if Smap.equal summary_equal summaries next then next
@@ -113,10 +231,16 @@ let compute_summaries (cfgs : Cfg.t Smap.t) (all_mutexes : Sset.t) : summary Sma
 
 (* Absolute held-set transfer for the per-pc results: entry holds nothing
    (context-insensitive). *)
-let held_transfer (summaries : summary Smap.t) _pc (inst : B.inst) (held : Sset.t) : Sset.t =
+let held_transfer ~(sem_locks : Sset.t) (summaries : summary Smap.t) _pc (inst : B.inst)
+    (held : Sset.t) : Sset.t =
   match inst with
   | B.ILock m -> Sset.add m held
   | B.IUnlock m -> Sset.remove m held
+  | B.IAtomicBegin -> Sset.add atomic_lock held
+  | B.IAtomicEnd -> Sset.remove atomic_lock held
+  | B.ISemWait m when Sset.mem m sem_locks -> Sset.add (sem_lock m) held
+  | B.ISemPost m when Sset.mem m sem_locks -> Sset.remove (sem_lock m) held
+  | B.ISemWait _ | B.ISemPost _ -> held
   | B.ICall (_, g, _) -> (
     match Smap.find_opt g summaries with
     | None -> held
@@ -128,10 +252,16 @@ let held_transfer (summaries : summary Smap.t) _pc (inst : B.inst) (held : Sset.
   | B.IFree _ -> held
 
 let analyze_with_cfgs (prog : B.t) (cfgs : Cfg.t Smap.t) : t =
+  let sem_locks = lockable_sems prog in
   let all_mutexes =
     List.fold_left (fun acc m -> Sset.add m acc) Sset.empty prog.B.source.Portend_lang.Ast.mutexes
   in
-  let summaries = compute_summaries cfgs all_mutexes in
+  (* The recursion pessimum may-removes everything; the pseudo-locks must be
+     in that everything or a recursive function could launder them. *)
+  let all_mutexes =
+    Sset.add atomic_lock (Sset.fold (fun s acc -> Sset.add (sem_lock s) acc) sem_locks all_mutexes)
+  in
+  let summaries = compute_summaries ~sem_locks cfgs all_mutexes in
   let run join =
     Smap.map
       (fun cfg ->
@@ -139,7 +269,7 @@ let analyze_with_cfgs (prog : B.t) (cfgs : Cfg.t Smap.t) : t =
           { Dataflow.entry = Sset.empty;
             join;
             equal = Sset.equal;
-            transfer = held_transfer summaries
+            transfer = held_transfer ~sem_locks summaries
           })
       cfgs
   in
@@ -163,30 +293,19 @@ type fn_entry = {
   fe_may : Sset.t option array;
 }
 
-(* Functions reachable from [entry] through ICall, including [entry]. *)
-let call_closure (prog : B.t) (entry : string) : Sset.t =
-  let rec go acc name =
-    if Sset.mem name acc then acc
-    else
-      match B.find_func prog name with
-      | None -> acc
-      | Some f ->
-        Sset.fold
-          (fun callee acc -> go acc callee)
-          (Portend_lang.Static.callees_of_func f)
-          (Sset.add name acc)
-  in
-  go Sset.empty entry
-
 (* Cache key for one function's entry.  A summary is a fixpoint over the
    call graph, so the key must cover every body the fixpoint read: the
    function itself plus its transitive callees (hashed in [Sset.fold]'s
    sorted order), plus the program's declared mutex list (the pessimum
-   fallback mentions every mutex).  Touching any callee therefore changes
+   fallback mentions every mutex), plus the set of semaphores that qualified
+   as locks — qualification is a whole-program property, so a function far
+   outside the closure can flip it.  Touching any callee therefore changes
    the key — the entry is invalidated precisely when its inputs change. *)
-let fn_key (prog : B.t) (mutexes : string list) (closure : Sset.t) (fname : string) : string =
+let fn_key (prog : B.t) (mutexes : string list) ~(sem_locks : Sset.t) (closure : Sset.t)
+    (fname : string) : string =
   let h = H.string H.seed fname in
   let h = H.list H.string h mutexes in
+  let h = Sset.fold (fun s h -> H.string h s) sem_locks h in
   let h =
     Sset.fold
       (fun g h ->
@@ -207,8 +326,11 @@ let analyze_cached ?store (prog : B.t) : t =
   | None -> analyze prog
   | Some st ->
     let mutexes = prog.B.source.Portend_lang.Ast.mutexes in
+    let sem_locks = lockable_sems prog in
     let keys =
-      Smap.mapi (fun fname _ -> fn_key prog mutexes (call_closure prog fname) fname) prog.B.funcs
+      Smap.mapi
+        (fun fname _ -> fn_key prog mutexes ~sem_locks (call_closure prog fname) fname)
+        prog.B.funcs
     in
     let cached =
       Smap.mapi

@@ -1,0 +1,80 @@
+(** Eraser-style {e static} lockset analysis: the set of mutexes that is
+    {e must}-held before every instruction of every function.
+
+    Must-held is the direction the candidate-race generator needs: if two
+    conflicting accesses share a must-held lock, every dynamic execution
+    orders them through that lock's release→acquire happens-before edge, so
+    pruning the pair can never hide a dynamically detectable race.  Merging
+    therefore intersects, unknown entry contexts assume nothing held
+    (context-insensitive: a callee analyzed as if called bare — losing
+    caller-held locks only {e adds} candidate pairs, never removes one),
+    and call effects are applied through per-function summaries.
+
+    A companion {e may}-held analysis (union merge) feeds the lint pass:
+    "lock possibly still held at return" and "possible double acquire".
+
+    Beyond real mutexes, two pseudo-locks join the held sets:
+
+    - ["@atomic"]: an [atomic { ... }] region excludes every other thread,
+      so between [IAtomicBegin] and [IAtomicEnd] the implicit program-wide
+      lock is must-held.  The dynamic detector has the matching
+      release→acquire edge (end → subsequent begin), so pruning a pair that
+      shares ["@atomic"] can never hide a dynamically detectable race.
+    - ["sem:s"]: a semaphore used as a lock.  [s] qualifies only when the
+      pairing is provable ({!lockable_sems}): initial count 1 and, in every
+      function touching it, [sem_wait s]/[sem_post s] form a well-nested
+      intra-procedural bracket on every path (no free posts, no nesting, no
+      held-at-return, no calls into functions touching [s]).  Then the count
+      obeys [count + threads-inside-bracket = 1], at most one thread is ever
+      inside, and the dynamic post→wait edge orders any two bracketed
+      accesses — the same argument as for a mutex. *)
+
+open Portend_util.Maps
+module B = Portend_lang.Bytecode
+
+val atomic_lock : string
+(** The implicit program-wide lock of [atomic { ... }] regions.  Racelang
+    identifiers cannot contain ['@'], so it never collides with a mutex. *)
+
+val sem_lock : string -> string
+(** Pseudo-lock name for a semaphore that qualified as a lock. *)
+
+val call_closure : B.t -> string -> Sset.t
+(** Functions reachable from the given entry through [ICall], inclusive. *)
+
+val lockable_sems : B.t -> Sset.t
+(** Semaphores provably used as locks (see the module comment).  Any
+    occurrence that breaks the bracket discipline disqualifies the
+    semaphore program-wide. *)
+
+type summary = {
+  must_add : Sset.t;  (** held on return, on every path *)
+  may_remove : Sset.t;  (** possibly released, on some path *)
+}
+
+type t = {
+  summaries : summary Smap.t;
+  must_at : Sset.t option array Smap.t;  (** must-held before each pc *)
+  may_at : Sset.t option array Smap.t;  (** may-held before each pc *)
+}
+
+val analyze_with_cfgs : B.t -> Cfg.t Smap.t -> t
+(** [analyze] against CFGs the caller already built (shared with the other
+    analyses by {!Static_report.analyze}). *)
+
+val analyze : B.t -> t
+
+val analyze_cached : ?store:Portend_cache.Store.t -> B.t -> t
+(** [analyze] with per-function entries read through (and written back to)
+    the persistent store's [Summaries] tier.  When every function of the
+    program hits, the result is assembled without running any fixpoint;
+    any miss falls back to the full analysis and back-fills the missed
+    entries.  With [store = None] this is exactly {!analyze}. *)
+
+val must_held : t -> string -> int -> Sset.t
+(** Mutexes definitely held on entry to [(fname, pc)]; empty when the site
+    is unknown or unreachable (the sound default: no lock protection
+    assumed). *)
+
+val may_held : t -> string -> int -> Sset.t
+(** Mutexes possibly held on entry to [(fname, pc)] (for the lint pass). *)

@@ -16,11 +16,26 @@
     - a sibling child whose join must precede the other sibling's spawn is
       fully ordered before it;
     - two sites run by the same single-instance abstract thread are ordered
-      by program order.
+      by program order;
+    - {b barrier phases}: when a barrier's party count equals the number of
+      abstract threads, all single-instance, and every one of its wait sites
+      sits straight-line in a thread entry function, the k-th crossing is a
+      global rendezvous — all threads arrive exactly k times before it
+      completes.  A site whose maximum crossing count is below another
+      site's minimum therefore lies in an earlier phase and is ordered
+      before it (if the later phase is ever reached; if some thread never
+      arrives, the crossing never completes and the claim is vacuous);
+    - {b condvar wait/signal}: when every signal/broadcast of a condition
+      variable lives in one single-instance thread's entry function, a site
+      that dominates all of them and is unreachable after any of them
+      executes before whichever signal completes a wait.  A site that can
+      only be reached after a completed wait on that condvar (the VM has no
+      spurious wakeups) is therefore ordered after it through the
+      signal→wakeup edge.
 
-    Ordering through condition variables and barriers is deliberately
-    ignored: those edges exist dynamically, so ignoring them only keeps
-    more pairs (less precision, same soundness). *)
+    Each refinement corresponds to an edge the dynamic detector also draws
+    (barrier arrival→departure, signal→wakeup), which is what keeps the
+    pruning sound. *)
 
 open Portend_util.Maps
 module B = Portend_lang.Bytecode
@@ -45,6 +60,16 @@ type t = {
   execs : count Smap.t;  (** entries per function over a whole run *)
   joined_at : ((string * int) * bool array) list;
       (** spawn site -> per-pc "must be joined here" in the host function *)
+  barrier_phases : (int array * int array) Smap.t Smap.t;
+      (** qualified barrier -> entry function -> per-pc (min, max) number of
+          crossings of that barrier before the instruction executes *)
+  cond_waited : bool array Smap.t Smap.t;
+      (** condvar -> function -> per-pc "a wait on it completed on every
+          path here" *)
+  cond_signallers : (string * (thread * string * bool array)) list;
+      (** condvar -> its unique single-instance signalling thread, that
+          thread's entry function, and per-pc "dominates every
+          signal/broadcast site and is unreachable after all of them" *)
 }
 
 let inst_dest (inst : B.inst) : int option =
@@ -53,8 +78,11 @@ let inst_dest (inst : B.inst) : int option =
   | B.ILoadA (d, _, _) | B.IInput (d, _, _) -> Some d
   | B.ICall (d, _, _) | B.ISpawn (d, _, _) -> d
   | B.IStoreG _ | B.IStoreA _ | B.IJmp _ | B.IBr _ | B.IRet _ | B.IJoin _ | B.ILock _
-  | B.IUnlock _ | B.IWait _ | B.ISignal _ | B.IBroadcast _ | B.IBarrier _ | B.IOutput _
-  | B.IOutputStr _ | B.IAssert _ | B.IYield | B.IFree _ -> None
+  | B.IUnlock _ | B.IWait _ | B.ISignal _ | B.IBroadcast _ | B.IBarrier _ | B.ISemWait _
+  | B.ISemPost _ | B.IAtomicBegin | B.IAtomicEnd | B.IOutput _ | B.IOutputStr _
+  | B.IAssert _ | B.IYield | B.IFree _ -> None
+
+let entry_of = function Main -> "main" | Spawned { entry; _ } -> entry
 
 (* Call-closure of an entry function: everything the thread rooted there
    may execute via ICall (spawned functions belong to the child thread). *)
@@ -142,6 +170,210 @@ let must_join_array (cfg : Cfg.t) ~spawn_pc ~dest : bool array =
     in
     Array.map (function Some Joined -> true | _ -> false) states
 
+(* Functions that appear as an ICall target anywhere.  Sites inside them
+   have no fixed barrier phase / signal dominance relative to a thread
+   entry, so the synchronization refinements below skip them. *)
+let called_funcs (prog : B.t) : Sset.t =
+  Smap.fold
+    (fun _ (f : B.func) acc ->
+      Array.fold_left
+        (fun acc inst -> match inst with B.ICall (_, g, _) -> Sset.add g acc | _ -> acc)
+        acc f.B.code)
+    prog.B.funcs Sset.empty
+
+(* Classic iterative dominators: [dom.(p).(q)] = every path from entry to
+   [p] passes [q].  Functions are tens of instructions, so the dense
+   representation is fine. *)
+let dominators (cfg : Cfg.t) : bool array array =
+  let n = Cfg.n_insts cfg in
+  let dom = Array.init (max n 1) (fun _ -> Array.make (max n 1) true) in
+  if n > 0 then begin
+    Array.iteri (fun q _ -> dom.(0).(q) <- q = 0) dom.(0);
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for p = 1 to n - 1 do
+        match cfg.Cfg.pred.(p) with
+        | [] -> ()  (* unreachable: keep the all-true top element *)
+        | preds ->
+          for q = 0 to n - 1 do
+            let v = (q = p) || List.for_all (fun pr -> dom.(pr).(q)) preds in
+            if v <> dom.(p).(q) then begin
+              dom.(p).(q) <- v;
+              changed := true
+            end
+          done
+      done
+    done
+  end;
+  dom
+
+(* Per-pc min/max number of [IBarrier b] crossings before the instruction
+   at pc executes.  Only called when no crossing site of [b] is inside a
+   loop, so the max converges; the cap is belt and braces (and, sitting
+   above any reachable min, can never fake an ordering). *)
+let phase_counts (cfg : Cfg.t) (b : string) : int array * int array =
+  let count_transfer _pc inst v =
+    match inst with B.IBarrier b' when b' = b -> v + 1 | _ -> v
+  in
+  let cap =
+    1
+    + Array.fold_left
+        (fun acc inst -> match inst with B.IBarrier b' when b' = b -> acc + 1 | _ -> acc)
+        1 cfg.Cfg.func.B.code
+  in
+  let run join =
+    Dataflow.forward cfg
+      { Dataflow.entry = 0;
+        join;
+        equal = ( = );
+        transfer = (fun pc inst v -> min cap (count_transfer pc inst v))
+      }
+  in
+  let lo = run min and hi = run max in
+  (* Unreachable sites never execute: order them before and after
+     everything (both claims are vacuous). *)
+  ( Array.map (function Some v -> v | None -> max_int) lo,
+    Array.map (function Some v -> v | None -> min_int) hi )
+
+(* Barrier-phase partitioning (module comment, bullet five).  A barrier
+   qualifies when crossings are global rendezvous with a well-defined
+   per-thread round number: parties = number of abstract threads, every
+   thread single-instance, and every wait site straight-line (not in a
+   loop) in an uncalled thread entry function. *)
+let compute_barrier_phases (prog : B.t) (cfgs : Cfg.t Smap.t) ~(threads : thread list)
+    ~(all_single : bool) : (int array * int array) Smap.t Smap.t =
+  let called = called_funcs prog in
+  let entry_funcs =
+    List.fold_left (fun acc th -> Sset.add (entry_of th) acc) Sset.empty threads
+  in
+  let sites_of b =
+    Smap.fold
+      (fun fname (f : B.func) acc ->
+        let acc = ref acc in
+        Array.iteri
+          (fun pc inst -> match inst with B.IBarrier b' when b' = b -> acc := (fname, pc) :: !acc | _ -> ())
+          f.B.code;
+        !acc)
+      prog.B.funcs []
+  in
+  List.fold_left
+    (fun acc (b, parties) ->
+      let sites = sites_of b in
+      let qualified =
+        all_single
+        && parties = List.length threads
+        && sites <> []
+        && List.for_all
+             (fun (fname, pc) ->
+               Sset.mem fname entry_funcs
+               && (not (Sset.mem fname called))
+               && not (Cfg.in_loop (Smap.find fname cfgs) pc))
+             sites
+      in
+      if not qualified then acc
+      else
+        let per_fn =
+          Sset.fold
+            (fun fname m -> Smap.add fname (phase_counts (Smap.find fname cfgs) b) m)
+            entry_funcs Smap.empty
+        in
+        Smap.add b per_fn acc)
+    Smap.empty prog.B.barriers
+
+(* Condvar refinement data (module comment, bullet six). *)
+let compute_cond_orders (prog : B.t) (cfgs : Cfg.t Smap.t)
+    ~(closures : (thread * Sset.t) list) ~(instances : (thread * count) list) :
+    bool array Smap.t Smap.t * (string * (thread * string * bool array)) list =
+  let called = called_funcs prog in
+  let conds =
+    Smap.fold
+      (fun _ (f : B.func) acc ->
+        Array.fold_left
+          (fun acc inst ->
+            match inst with
+            | B.IWait (c, _) | B.ISignal c | B.IBroadcast c -> Sset.add c acc
+            | _ -> acc)
+          acc f.B.code)
+      prog.B.funcs Sset.empty
+  in
+  (* must-have-completed-a-wait, per condvar and function *)
+  let waited =
+    Sset.fold
+      (fun c acc ->
+        let per_fn =
+          Smap.fold
+            (fun fname (f : B.func) m ->
+              let has_wait =
+                Array.exists (function B.IWait (c', _) -> c' = c | _ -> false) f.B.code
+              in
+              if not has_wait then m
+              else
+                let cfg = Smap.find fname cfgs in
+                let states =
+                  Dataflow.forward cfg
+                    { Dataflow.entry = false;
+                      join = ( && );
+                      equal = ( = );
+                      transfer =
+                        (fun _ inst v ->
+                          match inst with B.IWait (c', _) when c' = c -> true | _ -> v)
+                    }
+                in
+                Smap.add fname
+                  (Array.map (function Some v -> v | None -> true) states)
+                  m)
+            prog.B.funcs Smap.empty
+        in
+        if Smap.is_empty per_fn then acc else Smap.add c per_fn acc)
+      conds Smap.empty
+  in
+  let signallers =
+    Sset.fold
+      (fun c acc ->
+        let sites =
+          Smap.fold
+            (fun fname (f : B.func) l ->
+              let l = ref l in
+              Array.iteri
+                (fun pc inst ->
+                  match inst with
+                  | B.ISignal c' | B.IBroadcast c' when c' = c -> l := (fname, pc) :: !l
+                  | _ -> ())
+                f.B.code;
+              !l)
+            prog.B.funcs []
+        in
+        match sites with
+        | [] -> acc
+        | (g, _) :: _ when List.for_all (fun (f, _) -> f = g) sites && not (Sset.mem g called) -> (
+          (* all signals live in [g]; demand a unique single-instance
+             executor so "the" signalling thread is well-defined *)
+          let execs_g =
+            List.filter (fun (_, closure) -> Sset.mem g closure) closures |> List.map fst
+          in
+          match execs_g with
+          | [ th ] when List.assoc_opt th instances = Some One ->
+            let cfg = Smap.find g cfgs in
+            let dom = dominators cfg in
+            let sig_pcs = List.map snd sites in
+            let after_sig =
+              List.map (fun pc -> Cfg.reachable_after cfg pc) sig_pcs
+            in
+            let n = Cfg.n_insts cfg in
+            let ok =
+              Array.init (max n 1) (fun pcY ->
+                  pcY < n
+                  && List.for_all (fun pc_s -> dom.(pc_s).(pcY)) sig_pcs
+                  && List.for_all (fun ra -> not ra.(pcY)) after_sig)
+            in
+            (c, (th, g, ok)) :: acc
+          | _ -> acc)
+        | _ -> acc)
+      conds []
+  in
+  (waited, signallers)
+
 let analyze_with_cfgs (prog : B.t) (cfgs : Cfg.t Smap.t) : t =
   let execs = compute_execs prog cfgs in
   let spawn_sites =
@@ -190,7 +422,11 @@ let analyze_with_cfgs (prog : B.t) (cfgs : Cfg.t Smap.t) : t =
         ((host, spawn_pc), must_join_array (Smap.find host cfgs) ~spawn_pc ~dest))
       spawn_sites
   in
-  { cfgs; threads; closures; instances; execs; joined_at }
+  let all_single = List.for_all (fun (_, c) -> c = One) instances in
+  let barrier_phases = compute_barrier_phases prog cfgs ~threads ~all_single in
+  let cond_waited, cond_signallers = compute_cond_orders prog cfgs ~closures ~instances in
+  { cfgs; threads; closures; instances; execs; joined_at; barrier_phases; cond_waited;
+    cond_signallers }
 
 let analyze (prog : B.t) : t =
   analyze_with_cfgs prog (Smap.map Cfg.build prog.B.funcs)
@@ -257,6 +493,40 @@ let siblings_overlap (t : t) h ~p1 ~p2 : bool =
     && not (must_joined t ~host:h ~spawn_pc:p2 ~at_pc:p1)
   | _ -> true
 
+(* Do the two sites sit in provably different phases of some qualified
+   barrier?  Applies only to sites in the threads' own entry functions —
+   callee sites have no fixed crossing count. *)
+let barrier_ordered (t : t) th1 (f1, pc1) th2 (f2, pc2) : bool =
+  f1 = entry_of th1 && f2 = entry_of th2
+  && Smap.exists
+       (fun _b per_fn ->
+         match (Smap.find_opt f1 per_fn, Smap.find_opt f2 per_fn) with
+         | Some (lo1, hi1), Some (lo2, hi2)
+           when pc1 < Array.length lo1 && pc2 < Array.length lo2 ->
+           hi1.(pc1) < lo2.(pc2) || hi2.(pc2) < lo1.(pc1)
+         | _ -> false)
+       t.barrier_phases
+
+(* Is the waiter's site [(fw, pcw)] ordered after the signaller [th_s]'s
+   site [(fs, pcs)] through a condvar's signal→wakeup edge?  [pcs] must
+   dominate every signal and be unreachable after all of them (so every
+   dynamic occurrence precedes whichever signal completed the wait), and
+   [pcw] must be behind a completed wait on every path. *)
+let cond_ordered (t : t) ~waiter:(fw, pcw) ~signaller:(th_s, (fs, pcs)) : bool =
+  List.exists
+    (fun (c, (th, g, dom_ok)) ->
+      th = th_s && g = fs
+      && pcs < Array.length dom_ok
+      && dom_ok.(pcs)
+      &&
+      match Smap.find_opt c t.cond_waited with
+      | None -> false
+      | Some per_fn -> (
+        match Smap.find_opt fw per_fn with
+        | Some w -> pcw < Array.length w && w.(pcw)
+        | None -> false))
+    t.cond_signallers
+
 let threads_overlap (t : t) th1 (f1, pc1) th2 (f2, pc2) : bool =
   if th1 = th2 then instances_of t th1 = Many
   else
@@ -275,6 +545,9 @@ let threads_overlap (t : t) th1 (f1, pc1) th2 (f2, pc2) : bool =
     parent_child th1 (f1, pc1) th2
     && parent_child th2 (f2, pc2) th1
     && sibling th1 th2
+    && (not (barrier_ordered t th1 (f1, pc1) th2 (f2, pc2)))
+    && (not (cond_ordered t ~waiter:(f1, pc1) ~signaller:(th2, (f2, pc2))))
+    && not (cond_ordered t ~waiter:(f2, pc2) ~signaller:(th1, (f1, pc1)))
 
 (** Can the instructions at sites [(f1, pc1)] and [(f2, pc2)] execute
     concurrently in some run?  [true] unless every pair of abstract threads

@@ -1,0 +1,104 @@
+(** May-happen-in-parallel analysis from the program's spawn/join structure.
+
+    Abstract threads are the main thread plus one per [ISpawn] site; each
+    abstract thread may stand for many runtime threads (a spawn inside a
+    loop, or in a function entered more than once).  Two instruction sites
+    may happen in parallel unless this module can prove an ordering, so the
+    default answer is [true] — every refinement corresponds to a
+    happens-before edge the dynamic detector also has (spawn, join, program
+    order, barrier arrival→departure, signal→wakeup), which is what makes
+    MHP pruning sound for the candidate generator:
+
+    - a site in the spawning function that cannot CFG-reach the spawn
+      executes before the child exists;
+    - a site the must-join analysis proves downstream of [IJoin] on the
+      spawn's thread id executes after the child has terminated;
+    - a sibling child whose join must precede the other sibling's spawn is
+      fully ordered before it;
+    - two sites run by the same single-instance abstract thread are ordered
+      by program order;
+    - {b barrier phases}: when a barrier's party count equals the number of
+      abstract threads, all single-instance, and every one of its wait sites
+      sits straight-line in a thread entry function, the k-th crossing is a
+      global rendezvous — all threads arrive exactly k times before it
+      completes.  A site whose maximum crossing count is below another
+      site's minimum therefore lies in an earlier phase and is ordered
+      before it (if the later phase is ever reached; if some thread never
+      arrives, the crossing never completes and the claim is vacuous);
+    - {b condvar wait/signal}: when every signal/broadcast of a condition
+      variable lives in one single-instance thread's entry function, a site
+      that dominates all of them and is unreachable after any of them
+      executes before whichever signal completes a wait.  A site that can
+      only be reached after a completed wait on that condvar (the VM has no
+      spurious wakeups) is therefore ordered after it through the
+      signal→wakeup edge. *)
+
+open Portend_util.Maps
+module B = Portend_lang.Bytecode
+
+type thread =
+  | Main
+  | Spawned of { host : string; spawn_pc : int; entry : string }
+
+type count = One | Many
+
+type t = {
+  cfgs : Cfg.t Smap.t;
+  threads : thread list;
+  closures : (thread * Sset.t) list;  (** functions each thread may execute *)
+  instances : (thread * count) list;
+  execs : count Smap.t;  (** entries per function over a whole run *)
+  joined_at : ((string * int) * bool array) list;
+      (** spawn site -> per-pc "must be joined here" in the host function *)
+  barrier_phases : (int array * int array) Smap.t Smap.t;
+      (** qualified barrier -> entry function -> per-pc (min, max) number of
+          crossings of that barrier before the instruction executes *)
+  cond_waited : bool array Smap.t Smap.t;
+      (** condvar -> function -> per-pc "a wait on it completed on every
+          path here" *)
+  cond_signallers : (string * (thread * string * bool array)) list;
+      (** condvar -> its unique single-instance signalling thread, that
+          thread's entry function, and per-pc "dominates every
+          signal/broadcast site and is unreachable after all of them" *)
+}
+
+val entry_of : thread -> string
+
+val analyze_with_cfgs : B.t -> Cfg.t Smap.t -> t
+(** [analyze] against CFGs the caller already built. *)
+
+val analyze : B.t -> t
+
+val analyze_cached : ?store:Portend_cache.Store.t -> B.t -> t
+(** [analyze] read through the persistent store.  MHP is inherently a
+    whole-program analysis (spawn structure, call closures, join edges span
+    functions), so its cacheable unit is the program: one [Summaries]-tier
+    entry keyed by the program content hash. *)
+
+val executors : t -> string -> thread list
+(** Abstract threads whose call closure may execute the given function. *)
+
+val instances_of : t -> thread -> count
+
+val must_joined : t -> host:string -> spawn_pc:int -> at_pc:int -> bool
+
+val barrier_ordered : t -> thread -> string * int -> thread -> string * int -> bool
+(** Do the two sites sit in provably different phases of some qualified
+    barrier?  Applies only to sites in the threads' own entry functions —
+    callee sites have no fixed crossing count. *)
+
+val cond_ordered : t -> waiter:string * int -> signaller:thread * (string * int) -> bool
+(** Is the waiter's site ordered after the signaller's site through a
+    condvar's signal→wakeup edge?  The signaller's site must dominate every
+    signal and be unreachable after all of them (so every dynamic
+    occurrence precedes whichever signal completed the wait), and the
+    waiter's site must be behind a completed wait on every path. *)
+
+val may_parallel : t -> string * int -> string * int -> bool
+(** Can the instructions at the two sites execute concurrently in some run?
+    [true] unless every pair of abstract threads that may execute the two
+    sites is provably ordered. *)
+
+val n_threads : t -> int
+
+val thread_to_string : thread -> string

@@ -57,7 +57,8 @@ let aloc_of_inst (inst : B.inst) : (aloc * kind) option =
   | B.IFree a -> Some (Ameta a, Write)
   | B.IBin _ | B.IUn _ | B.IMov _ | B.IJmp _ | B.IBr _ | B.ICall _ | B.IRet _ | B.ISpawn _
   | B.IJoin _ | B.ILock _ | B.IUnlock _ | B.IWait _ | B.ISignal _ | B.IBroadcast _
-  | B.IBarrier _ | B.IOutput _ | B.IOutputStr _ | B.IInput _ | B.IAssert _ | B.IYield -> None
+  | B.IBarrier _ | B.ISemWait _ | B.ISemPost _ | B.IAtomicBegin | B.IAtomicEnd
+  | B.IOutput _ | B.IOutputStr _ | B.IInput _ | B.IAssert _ | B.IYield -> None
 
 let aloc_to_string = function
   | Aglobal g -> "g:" ^ g

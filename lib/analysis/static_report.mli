@@ -1,0 +1,78 @@
+(** Candidate race pairs from the static analyses: the cross product of
+
+    - may-happen-in-parallel ({!Mhp}),
+    - overlapping coarse locations (any two cells of one array overlap),
+    - disjoint must-held locksets ({!Locksets}), and
+    - at least one write,
+
+    ranked with a crude badness score and a human-readable reason each.
+    The generator is deliberately a strict over-approximation of the
+    dynamic happens-before detector: every race the detector can ever
+    report is between two sites forming a candidate pair here (the
+    prefilter-soundness tests assert exactly this over the workload
+    suite), which is what lets {!Portend_detect.Hb.detect} restrict its
+    instrumentation to candidate sites without losing races. *)
+
+open Portend_util.Maps
+module B = Portend_lang.Bytecode
+
+(** Abstract location, mirroring the granularity at which the dynamic
+    detector matches conflicts: exact global, whole array (any two cells
+    may be the same cell), and an array's metadata ([IFree] sites). *)
+type aloc =
+  | Aglobal of string
+  | Aarray of string
+  | Ameta of string
+
+type kind = Read | Write
+
+type site = {
+  s_func : string;
+  s_pc : int;
+  s_loc : aloc;
+  s_kind : kind;
+  s_lockset : Sset.t;  (** mutexes must-held at the access *)
+}
+
+type pair = {
+  p1 : site;
+  p2 : site;
+  score : int;
+  reason : string;
+}
+
+type t = {
+  sites : site list;  (** every static shared-access site *)
+  pairs : pair list;  (** candidates, highest score first *)
+}
+
+val aloc_of_inst : B.inst -> (aloc * kind) option
+(** The shared-memory access an instruction performs, if any. *)
+
+val aloc_to_string : aloc -> string
+val kind_to_string : kind -> string
+
+val analyze_with : B.t -> Locksets.t -> Mhp.t -> t
+(** Pair generation against analyses the caller already ran. *)
+
+val analyze : B.t -> t
+
+val analyze_cached : ?store:Portend_cache.Store.t -> B.t -> t
+(** [analyze] with the expensive inputs — per-function lockset fixpoints
+    and the whole-program MHP structure — read through the persistent
+    store.  Pair generation itself is cheap and recomputed fresh, so the
+    report always reflects exactly the (possibly cached) analyses it was
+    built from. *)
+
+val restrict_sites : t -> (string * int) list
+(** Sites participating in at least one candidate pair — the set the
+    dynamic detector needs to instrument to see every reportable race. *)
+
+val covers : t -> string * int -> string * int -> bool
+(** Is the (unordered) pair of dynamic sites covered by some candidate? *)
+
+val shared_site_count : t -> int
+val candidate_site_count : t -> int
+
+val pp_pair : Format.formatter -> pair -> unit
+val pp : Format.formatter -> t -> unit

@@ -78,7 +78,11 @@ and spinning_thread_by_events ~events ~default =
       | V.Events.Lock_released { tid; _ }
       | V.Events.Outputted { tid; _ }
       | V.Events.Cond_waiting { tid; _ }
-      | V.Events.Cond_signalled { tid; _ } ->
+      | V.Events.Cond_signalled { tid; _ }
+      | V.Events.Sem_acquired { tid; _ }
+      | V.Events.Sem_posted { tid; _ }
+      | V.Events.Atomic_begin { tid; _ }
+      | V.Events.Atomic_end { tid; _ } ->
         Hashtbl.replace counts tid (1 + Option.value ~default:0 (Hashtbl.find_opt counts tid))
       | V.Events.Thread_spawned _ | V.Events.Thread_joined _ | V.Events.Barrier_crossed _ -> ());
       walk (n - 1) rest

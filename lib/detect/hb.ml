@@ -12,7 +12,11 @@
     - thread join: child end → join return
     - mutex: release → subsequent acquire
     - condition variable: signal/broadcast → wakeup of the woken thread
-    - barrier: every arrival → every departure *)
+    - barrier: every arrival → every departure
+    - semaphore: post → subsequent wait completion (release/acquire on the
+      semaphore object, as in FastTrack-style detectors)
+    - atomic region: end → subsequent begin (the region is one implicit
+      program-wide lock) *)
 
 open Portend_util.Maps
 module Events = Portend_vm.Events
@@ -51,6 +55,8 @@ type t = {
   clocks : Vclock.t Imap.t;  (** per thread *)
   mutex_clocks : Vclock.t Smap.t;
   signal_clocks : Vclock.t Imap.t;  (** pending edge to each woken tid *)
+  sem_clocks : Vclock.t Smap.t;  (** accumulated post clocks per semaphore *)
+  atomic_clock : Vclock.t;  (** release clock of the implicit atomic-region lock *)
   history : loc_history Locmap.t;
   races : Report.race list;  (** newest first *)
 }
@@ -59,6 +65,8 @@ let init = {
   clocks = Imap.empty;
   mutex_clocks = Smap.empty;
   signal_clocks = Imap.empty;
+  sem_clocks = Smap.empty;
+  atomic_clock = Vclock.empty;
   history = Locmap.empty;
   races = [];
 }
@@ -137,6 +145,23 @@ let handle_event t (ev : Events.t) =
   | Events.Barrier_crossed { tids; _ } ->
     let all = List.fold_left (fun acc w -> vc_join acc (clock_of w t)) Vclock.empty tids in
     List.fold_left (fun t w -> set_clock w (vc_tick w (vc_join all (clock_of w t))) t) t tids
+  | Events.Sem_posted { tid; sem; _ } ->
+    (* release: publish the poster's clock on the semaphore *)
+    let vc = vc_tick tid (clock_of tid t) in
+    let t = set_clock tid vc t in
+    let acc = Smap.find_or ~default:Vclock.empty sem t.sem_clocks in
+    { t with sem_clocks = Smap.add sem (vc_join acc vc) t.sem_clocks }
+  | Events.Sem_acquired { tid; sem; _ } ->
+    (* acquire: a completed wait observes every prior post *)
+    let vc = vc_join (clock_of tid t) (Smap.find_or ~default:Vclock.empty sem t.sem_clocks) in
+    set_clock tid (vc_tick tid vc) t
+  | Events.Atomic_begin { tid; _ } ->
+    let vc = vc_join (clock_of tid t) t.atomic_clock in
+    set_clock tid (vc_tick tid vc) t
+  | Events.Atomic_end { tid; _ } ->
+    let vc = vc_tick tid (clock_of tid t) in
+    let t = set_clock tid vc t in
+    { t with atomic_clock = vc }
   | Events.Outputted _ -> t
 
 (** Run the detector over a whole event stream; races in detection order.

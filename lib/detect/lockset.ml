@@ -37,6 +37,10 @@ let init ?(ignore_mutexes = false) () =
 
 let max_history = 8
 
+(* Atomic regions behave as one implicit program-wide lock.  The reserved
+   name cannot collide with source mutexes: identifiers never contain '@'. *)
+let atomic_lock = "@atomic"
+
 let handle_event t (ev : Events.t) =
   match ev with
   | Events.Lock_acquired { tid; mutex; _ } when not t.ignore_mutexes ->
@@ -44,6 +48,11 @@ let handle_event t (ev : Events.t) =
   | Events.Lock_released { tid; mutex; _ } when not t.ignore_mutexes ->
     { t with held = Imap.add tid (Sset.remove mutex (Imap.find_or ~default:Sset.empty tid t.held)) t.held }
   | Events.Lock_acquired _ | Events.Lock_released _ -> t
+  | Events.Atomic_begin { tid; _ } when not t.ignore_mutexes ->
+    { t with held = Imap.add tid (Sset.add atomic_lock (Imap.find_or ~default:Sset.empty tid t.held)) t.held }
+  | Events.Atomic_end { tid; _ } when not t.ignore_mutexes ->
+    { t with held = Imap.add tid (Sset.remove atomic_lock (Imap.find_or ~default:Sset.empty tid t.held)) t.held }
+  | Events.Atomic_begin _ | Events.Atomic_end _ -> t
   | Events.Access { tid; site; loc; kind; step } ->
     let locks = Imap.find_or ~default:Sset.empty tid t.held in
     let access = { Report.a_tid = tid; a_site = site; a_kind = kind; a_step = step } in
@@ -65,7 +74,8 @@ let handle_event t (ev : Events.t) =
     let prior = entry :: (if List.length prior >= max_history then List.filteri (fun i _ -> i < max_history - 1) prior else prior) in
     { t with last = Locmap.add loc prior t.last; races = new_races @ t.races }
   | Events.Thread_spawned _ | Events.Thread_joined _ | Events.Cond_waiting _
-  | Events.Cond_signalled _ | Events.Barrier_crossed _ | Events.Outputted _ -> t
+  | Events.Cond_signalled _ | Events.Barrier_crossed _ | Events.Sem_acquired _
+  | Events.Sem_posted _ | Events.Outputted _ -> t
 
 (** Run the lockset detector over an event stream. *)
 let detect ?ignore_mutexes events =

@@ -37,6 +37,11 @@ type stmt =
   | Signal of string
   | Broadcast of string
   | BarrierWait of string
+  | SemWait of string  (** [sem_wait s]: block until the count is positive, then decrement *)
+  | SemPost of string  (** [sem_post s]: increment the count, waking a waiter *)
+  | Atomic of stmt list
+      (** [atomic { ... }]: the block executes without preemption, as one
+          globally-exclusive region (a [__VERIFIER_atomic]-style section) *)
   | Spawn of string option * string * expr list
       (** [var t = spawn f(args)]: the optional local receives the tid *)
   | Join of expr  (** join on a tid value *)
@@ -65,6 +70,7 @@ type program = {
   mutexes : string list;
   conds : string list;
   barriers : (string * int) list;  (** name, party count *)
+  sems : (string * int) list;  (** name, initial count *)
   funcs : func list;  (** must contain ["main"] *)
 }
 
@@ -74,9 +80,10 @@ let find_func program name = List.find_opt (fun f -> f.fname = name) program.fun
 let rec stmt_size = function
   | If (_, a, b) -> 1 + block_size a + block_size b
   | While (_, a) -> 1 + block_size a
+  | Atomic a -> 1 + block_size a
   | Decl _ | Assign _ | SetGlobal _ | SetArr _ | Lock _ | Unlock _ | Wait _ | Signal _
-  | Broadcast _ | BarrierWait _ | Spawn _ | Join _ | Output _ | Print _ | Input _ | Assert _
-  | Yield | Free _ | Call _ | Return _ -> 1
+  | Broadcast _ | BarrierWait _ | SemWait _ | SemPost _ | Spawn _ | Join _ | Output _ | Print _
+  | Input _ | Assert _ | Yield | Free _ | Call _ | Return _ -> 1
 
 and block_size stmts = List.fold_left (fun acc s -> acc + stmt_size s) 0 stmts
 

@@ -43,6 +43,9 @@ let wait c m = Wait (c, m)
 let signal c = Signal c
 let broadcast c = Broadcast c
 let barrier b = BarrierWait b
+let sem_wait s = SemWait s
+let sem_post s = SemPost s
+let atomic body = Atomic body
 let spawn ?into f args = Spawn (into, f, args)
 let join e = Join e
 let output es = Output es
@@ -64,6 +67,6 @@ let critical m body = (lock m :: body) @ [ unlock m ]
 
 let func fname params body = { fname; params; body }
 
-let program ?(globals = []) ?(arrays = []) ?(mutexes = []) ?(conds = []) ?(barriers = []) pname
-    funcs =
-  { pname; globals; arrays; mutexes; conds; barriers; funcs }
+let program ?(globals = []) ?(arrays = []) ?(mutexes = []) ?(conds = []) ?(barriers = [])
+    ?(sems = []) pname funcs =
+  { pname; globals; arrays; mutexes; conds; barriers; sems; funcs }

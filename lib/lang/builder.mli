@@ -54,6 +54,12 @@ val wait : string -> string -> Ast.stmt
 val signal : string -> Ast.stmt
 val broadcast : string -> Ast.stmt
 val barrier : string -> Ast.stmt
+val sem_wait : string -> Ast.stmt
+val sem_post : string -> Ast.stmt
+
+val atomic : Ast.stmt list -> Ast.stmt
+(** a globally-exclusive region: no preemption while the block runs *)
+
 val spawn : ?into:string -> string -> Ast.expr list -> Ast.stmt
 val join : Ast.expr -> Ast.stmt
 val output : Ast.expr list -> Ast.stmt
@@ -81,6 +87,7 @@ val program :
   ?mutexes:string list ->
   ?conds:string list ->
   ?barriers:(string * int) list ->
+  ?sems:(string * int) list ->
   string ->
   Ast.func list ->
   Ast.program

@@ -35,6 +35,10 @@ type inst =
   | ISignal of string
   | IBroadcast of string
   | IBarrier of string
+  | ISemWait of string
+  | ISemPost of string
+  | IAtomicBegin
+  | IAtomicEnd
   | IOutput of operand list
   | IOutputStr of string
   | IInput of int * string * range
@@ -56,6 +60,7 @@ type t = {
   globals : (string * int) list;
   arrays : (string * int * int) list;
   barriers : (string * int) list;
+  sems : (string * int) list;
   source : Ast.program;
 }
 
@@ -66,14 +71,14 @@ let find_func t name = Portend_util.Maps.Smap.find_opt name t.funcs
 let shared_access = function
   | ILoadG _ | IStoreG _ | ILoadA _ | IStoreA _ | IFree _ -> true
   | IBin _ | IUn _ | IMov _ | IJmp _ | IBr _ | ICall _ | IRet _ | ISpawn _ | IJoin _ | ILock _
-  | IUnlock _ | IWait _ | ISignal _ | IBroadcast _ | IBarrier _ | IOutput _ | IOutputStr _
-  | IInput _ | IAssert _ | IYield -> false
+  | IUnlock _ | IWait _ | ISignal _ | IBroadcast _ | IBarrier _ | ISemWait _ | ISemPost _
+  | IAtomicBegin | IAtomicEnd | IOutput _ | IOutputStr _ | IInput _ | IAssert _ | IYield -> false
 
 (** Is this instruction a synchronization operation (a preemption point in the
     sense of §3.1)? *)
 let sync_op = function
-  | ILock _ | IUnlock _ | IWait _ | ISignal _ | IBroadcast _ | IBarrier _ | ISpawn _ | IJoin _
-  | IYield -> true
+  | ILock _ | IUnlock _ | IWait _ | ISignal _ | IBroadcast _ | IBarrier _ | ISemWait _
+  | ISemPost _ | IAtomicBegin | IAtomicEnd | ISpawn _ | IJoin _ | IYield -> true
   | IBin _ | IUn _ | IMov _ | ILoadG _ | IStoreG _ | ILoadA _ | IStoreA _ | IJmp _ | IBr _
   | ICall _ | IRet _ | IOutput _ | IOutputStr _ | IInput _ | IAssert _ | IFree _ -> false
 
@@ -105,6 +110,10 @@ let pp_inst fmt inst =
   | ISignal c -> Fmt.pf fmt "signal %s" c
   | IBroadcast c -> Fmt.pf fmt "broadcast %s" c
   | IBarrier b -> Fmt.pf fmt "barrier %s" b
+  | ISemWait s -> Fmt.pf fmt "sem_wait %s" s
+  | ISemPost s -> Fmt.pf fmt "sem_post %s" s
+  | IAtomicBegin -> Fmt.string fmt "atomic_begin"
+  | IAtomicEnd -> Fmt.string fmt "atomic_end"
   | IOutput args -> Fmt.pf fmt "output %a" Fmt.(list ~sep:comma op) args
   | IOutputStr s -> Fmt.pf fmt "output %S" s
   | IInput (d, n, r) -> Fmt.pf fmt "r%d := input %S [%d,%d]" d n r.Ast.lo r.Ast.hi
@@ -142,7 +151,8 @@ let chash (t : t) : int =
   in
   let h = H.list (fun h (n, v) -> H.int (H.string h n) v) h t.globals in
   let h = H.list (fun h (n, len, init) -> H.int (H.int (H.string h n) len) init) h t.arrays in
-  H.list (fun h (n, count) -> H.int (H.string h n) count) h t.barriers
+  let h = H.list (fun h (n, count) -> H.int (H.string h n) count) h t.barriers in
+  H.list (fun h (n, count) -> H.int (H.string h n) count) h t.sems
 
 let pp_func fmt f =
   Fmt.pf fmt "@[<v2>fn %s/%d (%d regs):@,%a@]" f.fname f.nparams f.nregs

@@ -63,6 +63,7 @@ type ctx = {
   mutex_set : Portend_util.Maps.Sset.t;
   cond_set : Portend_util.Maps.Sset.t;
   barrier_set : Portend_util.Maps.Sset.t;
+  sem_set : Portend_util.Maps.Sset.t;
 }
 
 let check_member what set name =
@@ -215,6 +216,21 @@ let rec gen_stmt ctx cg (env : env) (s : Ast.stmt) : env =
     check_member "barrier" ctx.barrier_set b;
     ignore (Cg.emit cg (IBarrier b));
     env
+  | Ast.SemWait s ->
+    check_member "semaphore" ctx.sem_set s;
+    ignore (Cg.emit cg (ISemWait s));
+    env
+  | Ast.SemPost s ->
+    check_member "semaphore" ctx.sem_set s;
+    ignore (Cg.emit cg (ISemPost s));
+    env
+  | Ast.Atomic body ->
+    ignore (Cg.emit cg IAtomicBegin);
+    let env' = gen_block ctx cg env body in
+    ignore (Cg.emit cg IAtomicEnd);
+    (* Locals declared inside the region stay in scope, as in a plain
+       statement sequence — atomic delimits scheduling, not naming. *)
+    env'
   | Ast.Spawn (dst, f, args) ->
     check_func ctx f (List.length args);
     let oargs = List.map (gen_expr ctx cg env) args in
@@ -315,11 +331,16 @@ let compile (p : Ast.program) : t =
   let gnames = List.map (fun (n, _) -> n) p.Ast.globals in
   let anames = List.map (fun (n, _, _) -> n) p.Ast.arrays in
   let bnames = List.map fst p.Ast.barriers in
+  let snames = List.map fst p.Ast.sems in
   dup_check "global" gnames;
   dup_check "array" anames;
   dup_check "mutex" p.Ast.mutexes;
   dup_check "cond" p.Ast.conds;
   dup_check "barrier" bnames;
+  dup_check "semaphore" snames;
+  List.iter
+    (fun (n, init) -> if init < 0 then error "semaphore %s has negative initial count" n)
+    p.Ast.sems;
   dup_check "function" (List.map (fun f -> f.Ast.fname) p.Ast.funcs);
   List.iter (fun (n, len, _) -> if len <= 0 then error "array %s has non-positive length" n) p.Ast.arrays;
   let ctx =
@@ -328,7 +349,8 @@ let compile (p : Ast.program) : t =
       array_set = sset_of_list anames;
       mutex_set = sset_of_list p.Ast.mutexes;
       cond_set = sset_of_list p.Ast.conds;
-      barrier_set = sset_of_list bnames
+      barrier_set = sset_of_list bnames;
+      sem_set = sset_of_list snames
     }
   in
   (match Ast.find_func p "main" with
@@ -344,5 +366,6 @@ let compile (p : Ast.program) : t =
     globals = p.Ast.globals;
     arrays = p.Ast.arrays;
     barriers = p.Ast.barriers;
+    sems = p.Ast.sems;
     source = p
   }

@@ -19,9 +19,10 @@ exception Error of string
 let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
 
 let keywords =
-  [ "program"; "global"; "array"; "mutex"; "cond"; "barrier"; "fn"; "var"; "if"; "else";
-    "while"; "lock"; "unlock"; "wait"; "signal"; "broadcast"; "barrier_wait"; "spawn"; "join";
-    "output"; "print"; "input"; "assert"; "yield"; "free"; "return"
+  [ "program"; "global"; "array"; "mutex"; "cond"; "barrier"; "sem"; "fn"; "var"; "if"; "else";
+    "while"; "lock"; "unlock"; "wait"; "signal"; "broadcast"; "barrier_wait"; "sem_wait";
+    "sem_post"; "atomic"; "spawn"; "join"; "output"; "print"; "input"; "assert"; "yield";
+    "free"; "return"
   ]
 
 let is_digit c = c >= '0' && c <= '9'

@@ -6,6 +6,7 @@
                | "array" IDENT "[" INT "]" "=" INT
                | "mutex" IDENT | "cond" IDENT
                | "barrier" IDENT "=" INT
+               | "sem" IDENT "=" INT
     fn       ::= "fn" IDENT "(" params? ")" block
     block    ::= "{" stmt* "}"
     stmt     ::= "var" IDENT "=" rhs ";"
@@ -17,6 +18,8 @@
                | "wait" IDENT "," IDENT ";"
                | "signal" IDENT ";" | "broadcast" IDENT ";"
                | "barrier_wait" IDENT ";"
+               | "sem_wait" IDENT ";" | "sem_post" IDENT ";"
+               | "atomic" block
                | "join" expr ";"
                | "output" expr ("," expr)* ";"
                | "print" STRING ";"
@@ -256,6 +259,15 @@ let rec parse_stmt st : Ast.stmt =
   | Lexer.KW "barrier_wait" ->
     advance st;
     semi (Ast.BarrierWait (expect_ident st))
+  | Lexer.KW "sem_wait" ->
+    advance st;
+    semi (Ast.SemWait (expect_ident st))
+  | Lexer.KW "sem_post" ->
+    advance st;
+    semi (Ast.SemPost (expect_ident st))
+  | Lexer.KW "atomic" ->
+    advance st;
+    Ast.Atomic (parse_block st)
   | Lexer.KW "join" ->
     advance st;
     semi (Ast.Join (parse_expr st))
@@ -330,7 +342,7 @@ let parse_program (src : string) : Ast.program =
   expect st (Lexer.KW "program");
   let pname = expect_ident st in
   let globals = ref [] and arrays = ref [] and mutexes = ref [] in
-  let conds = ref [] and barriers = ref [] and funcs = ref [] in
+  let conds = ref [] and barriers = ref [] and sems = ref [] and funcs = ref [] in
   let rec loop () =
     match peek st with
     | Lexer.EOF -> ()
@@ -362,6 +374,12 @@ let parse_program (src : string) : Ast.program =
       let name = expect_ident st in
       expect st (Lexer.PUNCT "=");
       barriers := (name, expect_int st) :: !barriers;
+      loop ()
+    | Lexer.KW "sem" ->
+      advance st;
+      let name = expect_ident st in
+      expect st (Lexer.PUNCT "=");
+      sems := (name, expect_int st) :: !sems;
       loop ()
     | Lexer.KW "fn" ->
       advance st;
@@ -398,6 +416,7 @@ let parse_program (src : string) : Ast.program =
     mutexes = List.rev !mutexes;
     conds = List.rev !conds;
     barriers = List.rev !barriers;
+    sems = List.rev !sems;
     funcs = List.rev !funcs
   }
 

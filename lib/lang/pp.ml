@@ -37,6 +37,9 @@ let rec pp_stmt fmt = function
   | Signal c -> Fmt.pf fmt "signal %s;" c
   | Broadcast c -> Fmt.pf fmt "broadcast %s;" c
   | BarrierWait b -> Fmt.pf fmt "barrier_wait %s;" b
+  | SemWait s -> Fmt.pf fmt "sem_wait %s;" s
+  | SemPost s -> Fmt.pf fmt "sem_post %s;" s
+  | Atomic b -> Fmt.pf fmt "@[<v2>atomic {%a@]@,}" pp_body b
   | Spawn (Some x, f, args) -> Fmt.pf fmt "var %s = spawn %s(%a);" x f pp_args args
   | Spawn (None, f, args) -> Fmt.pf fmt "spawn %s(%a);" f pp_args args
   | Join e -> Fmt.pf fmt "join %a;" pp_expr e
@@ -64,6 +67,7 @@ let pp_program fmt p =
   List.iter (fun n -> Fmt.pf fmt "mutex %s@," n) p.mutexes;
   List.iter (fun n -> Fmt.pf fmt "cond %s@," n) p.conds;
   List.iter (fun (n, k) -> Fmt.pf fmt "barrier %s = %d@," n k) p.barriers;
+  List.iter (fun (n, k) -> Fmt.pf fmt "sem %s = %d@," n k) p.sems;
   List.iter (fun f -> Fmt.pf fmt "@,%a@," pp_func f) p.funcs;
   Fmt.pf fmt "@]"
 

@@ -26,7 +26,8 @@ let inst_writes = function
   | Bytecode.IBin _ | Bytecode.IUn _ | Bytecode.IMov _ | Bytecode.ILoadG _ | Bytecode.ILoadA _
   | Bytecode.IJmp _ | Bytecode.IBr _ | Bytecode.ICall _ | Bytecode.IRet _ | Bytecode.ISpawn _
   | Bytecode.IJoin _ | Bytecode.ILock _ | Bytecode.IUnlock _ | Bytecode.IWait _
-  | Bytecode.ISignal _ | Bytecode.IBroadcast _ | Bytecode.IBarrier _ | Bytecode.IOutput _
+  | Bytecode.ISignal _ | Bytecode.IBroadcast _ | Bytecode.IBarrier _ | Bytecode.ISemWait _
+  | Bytecode.ISemPost _ | Bytecode.IAtomicBegin | Bytecode.IAtomicEnd | Bytecode.IOutput _
   | Bytecode.IOutputStr _ | Bytecode.IInput _ | Bytecode.IAssert _ | Bytecode.IYield -> None
 
 let inst_reads = function
@@ -36,6 +37,7 @@ let inst_reads = function
   | Bytecode.IFree _ | Bytecode.IJmp _ | Bytecode.IBr _ | Bytecode.ICall _ | Bytecode.IRet _
   | Bytecode.ISpawn _ | Bytecode.IJoin _ | Bytecode.ILock _ | Bytecode.IUnlock _
   | Bytecode.IWait _ | Bytecode.ISignal _ | Bytecode.IBroadcast _ | Bytecode.IBarrier _
+  | Bytecode.ISemWait _ | Bytecode.ISemPost _ | Bytecode.IAtomicBegin | Bytecode.IAtomicEnd
   | Bytecode.IOutput _ | Bytecode.IOutputStr _ | Bytecode.IInput _ | Bytecode.IAssert _
   | Bytecode.IYield -> None
 
@@ -132,7 +134,8 @@ let spin_body_ok code lo hi =
     | Bytecode.ILock _ | Bytecode.IUnlock _ -> true
     | Bytecode.IStoreG _ | Bytecode.IStoreA _ | Bytecode.IFree _ | Bytecode.ICall _
     | Bytecode.IRet _ | Bytecode.ISpawn _ | Bytecode.IJoin _ | Bytecode.IWait _
-    | Bytecode.ISignal _ | Bytecode.IBroadcast _ | Bytecode.IBarrier _ | Bytecode.IOutput _
+    | Bytecode.ISignal _ | Bytecode.IBroadcast _ | Bytecode.IBarrier _ | Bytecode.ISemWait _
+    | Bytecode.ISemPost _ | Bytecode.IAtomicBegin | Bytecode.IAtomicEnd | Bytecode.IOutput _
     | Bytecode.IOutputStr _ | Bytecode.IInput _ | Bytecode.IAssert _ -> false
   in
   let loads = ref 0 in

@@ -28,6 +28,11 @@ type t =
   | Cond_waiting of { tid : int; cond : string; step : int }
   | Cond_signalled of { tid : int; cond : string; woken : int list; step : int }
   | Barrier_crossed of { barrier : string; tids : int list; step : int }
+  | Sem_acquired of { tid : int; sem : string; step : int }
+      (** a [sem_wait] completed (count was positive and was decremented) *)
+  | Sem_posted of { tid : int; sem : string; step : int }
+  | Atomic_begin of { tid : int; step : int }
+  | Atomic_end of { tid : int; step : int }
   | Outputted of { tid : int; site : site; step : int }
 
 (* --- Mazurkiewicz trace equivalence ----------------------------------- *)
@@ -53,7 +58,8 @@ type t =
 
 let tids_of = function
   | Access { tid; _ } | Lock_acquired { tid; _ } | Lock_released { tid; _ }
-  | Cond_waiting { tid; _ } | Outputted { tid; _ } ->
+  | Cond_waiting { tid; _ } | Sem_acquired { tid; _ } | Sem_posted { tid; _ }
+  | Atomic_begin { tid; _ } | Atomic_end { tid; _ } | Outputted { tid; _ } ->
     [ tid ]
   | Thread_spawned { parent; child; _ } -> [ parent; child ]
   | Thread_joined { tid; child; _ } -> [ tid; child ]
@@ -80,6 +86,11 @@ let conflicts e1 e2 =
       (Cond_waiting { cond = c2; _ } | Cond_signalled { cond = c2; _ }) ) ->
     c1 = c2
   | Barrier_crossed { barrier = b1; _ }, Barrier_crossed { barrier = b2; _ } -> b1 = b2
+  | ( (Sem_acquired { sem = s1; _ } | Sem_posted { sem = s1; _ }),
+      (Sem_acquired { sem = s2; _ } | Sem_posted { sem = s2; _ }) ) ->
+    s1 = s2
+  (* atomic regions exclude each other program-wide, like one global lock *)
+  | (Atomic_begin _ | Atomic_end _), (Atomic_begin _ | Atomic_end _) -> true
   | Outputted _, Outputted _ -> true
   | _ -> false
 
@@ -92,6 +103,10 @@ let strip_step = function
   | Cond_waiting a -> Cond_waiting { a with step = 0 }
   | Cond_signalled a -> Cond_signalled { a with step = 0 }
   | Barrier_crossed a -> Barrier_crossed { a with step = 0 }
+  | Sem_acquired a -> Sem_acquired { a with step = 0 }
+  | Sem_posted a -> Sem_posted { a with step = 0 }
+  | Atomic_begin a -> Atomic_begin { a with step = 0 }
+  | Atomic_end a -> Atomic_end { a with step = 0 }
   | Outputted a -> Outputted { a with step = 0 }
 
 (* Foata normal form: greedily layer the trace so each layer holds pairwise
@@ -155,4 +170,8 @@ let pp fmt = function
     Fmt.pf fmt "[%d] T%d signal %s -> %a" step tid cond Fmt.(list ~sep:comma int) woken
   | Barrier_crossed { barrier; tids; step } ->
     Fmt.pf fmt "[%d] barrier %s crossed by %a" step barrier Fmt.(list ~sep:comma int) tids
+  | Sem_acquired { tid; sem; step } -> Fmt.pf fmt "[%d] T%d sem_wait %s" step tid sem
+  | Sem_posted { tid; sem; step } -> Fmt.pf fmt "[%d] T%d sem_post %s" step tid sem
+  | Atomic_begin { tid; step } -> Fmt.pf fmt "[%d] T%d atomic_begin" step tid
+  | Atomic_end { tid; step } -> Fmt.pf fmt "[%d] T%d atomic_end" step tid
   | Outputted { tid; site; step } -> Fmt.pf fmt "[%d] T%d output @%a" step tid pp_site site

@@ -354,7 +354,7 @@ let step (st : State.t) (tid : int) : succ list =
             match wth.status with
             | Blocked_cond (_, m) -> update_thread st { wth with status = Blocked_reacquire m }
             | Runnable | Blocked_lock _ | Blocked_reacquire _ | Blocked_join _
-            | Blocked_barrier _ | Finished ->
+            | Blocked_barrier _ | Blocked_sem _ | Finished ->
               internal "woken thread %d was not waiting" w)
           st woken
       in
@@ -386,6 +386,41 @@ let step (st : State.t) (tid : int) : succ list =
         in
         [ ok { st with steps = st.steps + 1 } ]
       end
+    | B.ISemWait s ->
+      let count = Smap.find_or ~default:0 s st.sems in
+      if count > 0 then begin
+        let st = { st with sems = Smap.add s (count - 1) st.sems } in
+        let st = advance st th frame rest in
+        [ ok ~events:[ Events.Sem_acquired { tid; sem = s; step = step_no } ] st ]
+      end
+      else [ ok (block st th (Blocked_sem s)) ]
+    | B.ISemPost s ->
+      let count = Smap.find_or ~default:0 s st.sems in
+      let st = { st with sems = Smap.add s (count + 1) st.sems } in
+      let st = advance st th frame rest in
+      [ ok ~events:[ Events.Sem_posted { tid; sem = s; step = step_no } ] st ]
+    | B.IAtomicBegin -> (
+      (* [State.runnable] restricts scheduling to the owner while a region
+         is active, so a contended begin can only mean a scheduler bug. *)
+      match st.atomic_owner with
+      | Some (owner, _) when owner <> tid ->
+        internal "atomic_begin by T%d while T%d holds the region" tid owner
+      | Some (_, depth) ->
+        (* nested region: no event, the outer one already excludes the world *)
+        let st = { st with atomic_owner = Some (tid, depth + 1) } in
+        [ ok (advance st th frame rest) ]
+      | None ->
+        let st = { st with atomic_owner = Some (tid, 1) } in
+        let st = advance st th frame rest in
+        [ ok ~events:[ Events.Atomic_begin { tid; step = step_no } ] st ])
+    | B.IAtomicEnd -> (
+      match st.atomic_owner with
+      | Some (owner, depth) when owner = tid ->
+        let st = { st with atomic_owner = (if depth = 1 then None else Some (tid, depth - 1)) } in
+        let st = advance st th frame rest in
+        if depth = 1 then [ ok ~events:[ Events.Atomic_end { tid; step = step_no } ] st ]
+        else [ ok st ]
+      | Some _ | None -> internal "atomic_end by T%d without owning the region" tid)
     | B.IOutput args ->
       let vals = List.map value args in
       let out = { out_tid = tid; out_site = site; payload = Vals vals } in

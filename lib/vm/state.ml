@@ -22,6 +22,7 @@ type tstatus =
   | Blocked_cond of string * string  (** parked on (cond, mutex-to-reacquire) *)
   | Blocked_reacquire of string  (** woken from a cond; must reacquire the mutex *)
   | Blocked_barrier of string
+  | Blocked_sem of string  (** waiting for the count to become positive *)
   | Finished
 
 type thread = {
@@ -74,6 +75,10 @@ type t = {
   mutexes : int option Smap.t;  (** owner tid *)
   cond_waiters : int list Smap.t;  (** FIFO queues *)
   barrier_waiters : int list Smap.t;
+  sems : int Smap.t;  (** current counts *)
+  atomic_owner : (int * int) option;
+      (** (tid, nesting depth) of the thread inside an [atomic] region; while
+          set, only that thread is schedulable *)
   outputs : output list;  (** newest first *)
   path_cond : Portend_solver.Expr.t list;
       (** constraints accumulated at symbolic branches *)
@@ -110,6 +115,8 @@ let init ?(input_mode = Concrete Smap.empty) ?(memory_model = Sequential) (prog 
     mutexes = Smap.empty;
     cond_waiters = Smap.empty;
     barrier_waiters = Smap.empty;
+    sems = Smap.of_list prog.B.sems;
+    atomic_owner = None;
     outputs = [];
     path_cond = [];
     input_ranges = [];
@@ -159,11 +166,20 @@ let can_run t th =
   | Runnable -> true
   | Blocked_lock m | Blocked_reacquire m -> mutex_owner t m = None
   | Blocked_join tid -> thread_finished t tid
+  | Blocked_sem s -> Smap.find_or ~default:0 s t.sems > 0
   | Blocked_cond _ | Blocked_barrier _ | Finished -> false
 
+(* While a thread is inside an [atomic] region only it may be scheduled:
+   the region is a single global critical section with no preemption
+   points.  If the owner blocks inside the region (a bug `portend lint`
+   flags) nothing is runnable and the run ends in a deadlock report. *)
 let runnable t =
-  Imap.fold (fun tid th acc -> if can_run t th then tid :: acc else acc) t.threads []
-  |> List.rev
+  match t.atomic_owner with
+  | Some (owner, _) ->
+    if can_run t (thread t owner) then [ owner ] else []
+  | None ->
+    Imap.fold (fun tid th acc -> if can_run t th then tid :: acc else acc) t.threads []
+    |> List.rev
 
 let all_finished t = Imap.for_all (fun _ th -> th.status = Finished) t.threads
 
@@ -217,6 +233,7 @@ let mix_status h = function
   | Blocked_cond (c, m) -> mix_str (mix_str (mix h 13) c) m
   | Blocked_reacquire m -> mix_str (mix h 14) m
   | Blocked_barrier b -> mix_str (mix h 15) b
+  | Blocked_sem s -> mix_str (mix h 17) s
   | Finished -> mix h 16
 
 let mix_site h (s : Events.site) = mix_str (mix h s.Events.pc) s.Events.func
@@ -257,6 +274,12 @@ let fingerprint (t : t) : int64 =
   in
   let h = Smap.fold (fun c tids h -> List.fold_left mix (mix_str h c) tids) t.cond_waiters h in
   let h = Smap.fold (fun b tids h -> List.fold_left mix (mix_str h b) tids) t.barrier_waiters h in
+  let h = Smap.fold (fun s n h -> mix (mix_str h s) n) t.sems h in
+  let h =
+    match t.atomic_owner with
+    | None -> mix h 50
+    | Some (tid, depth) -> mix (mix (mix h 51) tid) depth
+  in
   let h = List.fold_left mix_output (mix h (List.length t.outputs)) t.outputs in
   let h = List.fold_left (fun h c -> mix h (E.hash c)) (mix h (List.length t.path_cond)) t.path_cond in
   let h =

@@ -15,7 +15,15 @@ let micro_benchmarks : Registry.workload list = Micro.workloads
 
 let all : Registry.workload list = applications @ micro_benchmarks
 
-let find name = List.find_opt (fun w -> w.Registry.w_name = name) all
+(** Synchronization-heavy additions (condvar and semaphore handoffs) beyond
+    the paper's Table 1 — see {!Sync_models}.  Kept out of [all] so the
+    Table 1/Table 3 reproductions keep the paper's exact workload set. *)
+let sync_benchmarks : Registry.workload list = Sync_models.workloads
+
+(** Everything: the paper's suite plus the synchronization additions. *)
+let extended : Registry.workload list = all @ sync_benchmarks
+
+let find name = List.find_opt (fun w -> w.Registry.w_name = name) extended
 
 (** Total distinct races the suite is expected to contain (the paper's 93). *)
 let total_expected_races =

@@ -1,0 +1,93 @@
+(** Two synchronization-heavy workloads exercising the condvar, semaphore
+    and atomic-region reasoning added to the static analyses.
+
+    Both are producer/consumer models whose data handoff is provably ordered
+    by synchronization the lockset analysis alone cannot see, so they are
+    the benchmark cases for the sync-aware static prefilter: the handoff
+    pair is pruned statically (condvar wait/signal ordering, semaphore
+    bracket locksets) while one genuine — benign — race per program remains
+    for the pipeline to detect and classify.
+
+    - {b CondPC}: the producer fills a slot and signals; the consumer parks
+      on the condvar before reading.  The consumer's read is behind the
+      wait on every path and the producer's write dominates its only
+      signal, so the pair is statically ordered (and dynamically ordered
+      through the signal→wakeup edge).  Both threads also stamp the same
+      value into a status flag — the one real (redundant-write) race.
+      The unconditional wait carries the classic lost-signal hazard: under
+      schedules where the producer signals first the consumer parks
+      forever.  The recorded seed takes the handshake path.
+    - {b SemPC}: the same handoff through a counting semaphore ([items],
+      initially 0 — post→wait ordering, not a lock), plus a binary
+      semaphore ([slot], initially 1) bracketing a shared operation counter
+      on both sides; [slot] qualifies as a lock, so the counter updates
+      share a must-held pseudo-lock and are pruned statically.  Both
+      threads race on the same status flag as above.  Deadlock-free in
+      every schedule. *)
+
+open Portend_lang.Builder
+
+let cond_pc : Portend_lang.Ast.program =
+  program "CondPC" ~globals:[ ("slot", 0); ("seen", 0) ] ~mutexes:[ "m" ] ~conds:[ "c" ]
+    [ func "consumer" []
+        [ lock "m";
+          wait "c" "m";
+          unlock "m";
+          var "v" (g "slot");
+          setg "seen" (i 1);
+          output [ l "v" ]
+        ];
+      func "producer" []
+        [ setg "slot" (i 42);
+          lock "m";
+          signal "c";
+          unlock "m";
+          setg "seen" (i 1)
+        ];
+      func "main" []
+        [ spawn ~into:"tc" "consumer" [];
+          spawn ~into:"tp" "producer" [];
+          join (l "tc");
+          join (l "tp");
+          output [ g "slot"; g "seen" ]
+        ]
+    ]
+
+let sem_pc : Portend_lang.Ast.program =
+  program "SemPC"
+    ~globals:[ ("slot", 0); ("nops", 0); ("seen", 0) ]
+    ~sems:[ ("items", 0); ("guard", 1) ]
+    [ func "producer" []
+        [ setg "slot" (i 42);
+          sem_post "items";
+          sem_wait "guard";
+          incr_global "nops";
+          sem_post "guard";
+          setg "seen" (i 1)
+        ];
+      func "consumer" []
+        [ sem_wait "items";
+          var "v" (g "slot");
+          sem_wait "guard";
+          incr_global "nops";
+          sem_post "guard";
+          setg "seen" (i 1);
+          output [ l "v" ]
+        ];
+      func "main" []
+        [ spawn ~into:"tp" "producer" [];
+          spawn ~into:"tc" "consumer" [];
+          join (l "tp");
+          join (l "tc");
+          output [ g "slot"; g "nops"; g "seen" ]
+        ]
+    ]
+
+let kw = Registry.Taxonomy.K_witness_harmless
+
+let workloads : Registry.workload list =
+  [ Registry.make ~language:"C" ~threads:2 ~seed:1 "CondPC" cond_pc
+      [ Registry.expect "g:seen" kw ~states_differ:false ];
+    Registry.make ~language:"C" ~threads:2 ~seed:1 "SemPC" sem_pc
+      [ Registry.expect "g:seen" kw ~states_differ:false ]
+  ]

@@ -19,4 +19,4 @@ let () =
       lint_program
         ("workload " ^ w.Portend_workloads.Registry.w_name)
         (Portend_lang.Compile.compile w.Portend_workloads.Registry.w_prog))
-    Portend_workloads.Suite.all
+    Portend_workloads.Suite.extended

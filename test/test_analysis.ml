@@ -266,6 +266,96 @@ let test_static_report_lock_pruning () =
 
 (* --- lint --- *)
 
+(* --- sync-aware refinements: sem-as-lock, barrier phases, condvar order --- *)
+
+(* A binary semaphore bracketing every touch of [n] is mutual exclusion;
+   one free post anywhere breaks the invariant and must resurrect the
+   candidate pair. *)
+let test_static_report_sem_as_lock () =
+  let open Builder in
+  let worker = func "worker" [] [ sem_wait "s"; setg "n" (g "n" + i 1); sem_post "s" ] in
+  let build extra spawns =
+    compile
+      (program "p" ~globals:[ ("n", 0) ] ~sems:[ ("s", 1) ]
+         (worker :: extra
+         @ [ func "main" []
+               (List.concat_map
+                  (fun (t, f) -> [ spawn ~into:t f [] ])
+                  spawns
+               @ List.map (fun (t, _) -> join (l t)) spawns)
+           ]))
+  in
+  let touches_n (pr : Static_report.pair) =
+    pr.Static_report.p1.Static_report.s_loc = Static_report.Aglobal "n"
+  in
+  let protected = build [] [ ("t1", "worker"); ("t2", "worker") ] in
+  Alcotest.(check bool) "sem-bracketed global is pruned" false
+    (List.exists touches_n (Static_report.analyze protected).Static_report.pairs);
+  let poster = func "poster" [] [ sem_post "s" ] in
+  let broken =
+    build [ poster ] [ ("t1", "worker"); ("t2", "worker"); ("t3", "poster") ]
+  in
+  Alcotest.(check bool) "a free post disqualifies the semaphore" true
+    (List.exists touches_n (Static_report.analyze broken).Static_report.pairs)
+
+(* All three threads cross the barrier exactly once outside any loop, so
+   w1's pre-barrier store is ordered before w2's post-barrier store.  With
+   a party count that does not match the thread count the phase argument
+   is void and the pair must come back. *)
+let test_static_report_barrier_phases () =
+  let open Builder in
+  let build ~parties ~main_arrives =
+    compile
+      (program "p" ~globals:[ ("x", 0) ]
+         ~barriers:[ ("b", parties) ]
+         [ func "w1" [] [ setg "x" (i 1); barrier "b" ];
+           func "w2" [] [ barrier "b"; setg "x" (i 2) ];
+           func "main" []
+             ([ spawn ~into:"t1" "w1" []; spawn ~into:"t2" "w2" [] ]
+             @ (if main_arrives then [ barrier "b" ] else [])
+             @ [ join (l "t1"); join (l "t2") ])
+         ])
+  in
+  let touches_x (pr : Static_report.pair) =
+    pr.Static_report.p1.Static_report.s_loc = Static_report.Aglobal "x"
+  in
+  let phased = build ~parties:3 ~main_arrives:true in
+  Alcotest.(check bool) "stores in distinct barrier phases are pruned" false
+    (List.exists touches_x (Static_report.analyze phased).Static_report.pairs);
+  let skewed = build ~parties:2 ~main_arrives:false in
+  Alcotest.(check bool) "parties <> threads keeps the candidate" true
+    (List.exists touches_x (Static_report.analyze skewed).Static_report.pairs)
+
+(* Producer/consumer condvar handoff: the store to [slot] dominates the
+   only signal and nothing follows it, and the consumer's read sits behind
+   a must-completed wait, so the pair is ordered.  A second producer
+   instance makes the signalling thread ambiguous and must disable the
+   refinement. *)
+let test_static_report_cond_order () =
+  let open Builder in
+  let build spawns =
+    compile
+      (program "p" ~globals:[ ("slot", 0); ("d", 0) ] ~mutexes:[ "m" ] ~conds:[ "c" ]
+         [ func "consumer" []
+             [ lock "m"; wait "c" "m"; unlock "m"; setg "d" (g "slot") ];
+           func "producer" [] [ setg "slot" (i 42); lock "m"; signal "c"; unlock "m" ];
+           func "main" []
+             (List.concat_map (fun (t, f) -> [ spawn ~into:t f [] ]) spawns
+             @ List.map (fun (t, _) -> join (l t)) spawns)
+         ])
+  in
+  let touches_slot (pr : Static_report.pair) =
+    pr.Static_report.p1.Static_report.s_loc = Static_report.Aglobal "slot"
+  in
+  let handoff = build [ ("t1", "consumer"); ("t2", "producer") ] in
+  Alcotest.(check bool) "condvar handoff orders the slot accesses" false
+    (List.exists touches_slot (Static_report.analyze handoff).Static_report.pairs);
+  let two_producers =
+    build [ ("t1", "consumer"); ("t2", "producer"); ("t3", "producer") ]
+  in
+  Alcotest.(check bool) "two producers keep the candidate" true
+    (List.exists touches_slot (Static_report.analyze two_producers).Static_report.pairs)
+
 let diag_codes prog = List.map (fun d -> d.Lint.code) (Lint.run prog)
 
 let test_lint_double_lock () =
@@ -325,6 +415,75 @@ let test_lint_clean_program () =
   in
   Alcotest.(check (list string)) "no diagnostics" [] (diag_codes p)
 
+let test_lint_lost_signal () =
+  let open Builder in
+  let lonely =
+    compile (program "p" ~mutexes:[ "m" ] ~conds:[ "c" ] [ func "main" [] [ signal "c" ] ])
+  in
+  Alcotest.(check bool) "signal with no waiter anywhere" true
+    (List.mem "lost-signal" (diag_codes lonely));
+  let paired =
+    compile
+      (program "p" ~mutexes:[ "m" ] ~conds:[ "c" ]
+         [ func "waiter" [] [ lock "m"; wait "c" "m"; unlock "m" ];
+           func "main" []
+             [ spawn ~into:"t" "waiter" []; lock "m"; signal "c"; unlock "m"; join (l "t") ]
+         ])
+  in
+  Alcotest.(check bool) "signal with a concurrent waiter is fine" false
+    (List.mem "lost-signal" (diag_codes paired))
+
+let test_lint_barrier_mismatch () =
+  let open Builder in
+  let build parties =
+    compile
+      (program "p" ~barriers:[ ("b", parties) ]
+         [ func "w" [] [ barrier "b" ];
+           func "main" []
+             [ spawn ~into:"t1" "w" []; spawn ~into:"t2" "w" []; join (l "t1"); join (l "t2") ]
+         ])
+  in
+  Alcotest.(check bool) "two arrivals against three parties" true
+    (List.mem "barrier-mismatch" (diag_codes (build 3)));
+  Alcotest.(check bool) "matched party count is fine" false
+    (List.mem "barrier-mismatch" (diag_codes (build 2)))
+
+let test_lint_sem_unmatched () =
+  let open Builder in
+  let leak =
+    compile
+      (program "p" ~globals:[ ("c", 0) ] ~sems:[ ("s", 1) ]
+         [ func "main" []
+             [ sem_wait "s"; if_ (g "c" == i 1) [ return () ] []; sem_post "s" ]
+         ])
+  in
+  Alcotest.(check bool) "token leaked on the early return" true
+    (List.mem "sem-unmatched" (diag_codes leak));
+  let balanced =
+    compile
+      (program "p" ~sems:[ ("s", 1) ]
+         [ func "main" [] [ sem_wait "s"; sem_post "s" ] ])
+  in
+  Alcotest.(check bool) "balanced bracket is fine" false
+    (List.mem "sem-unmatched" (diag_codes balanced))
+
+let test_lint_blocking_in_atomic () =
+  let open Builder in
+  let blocking =
+    compile
+      (program "p" ~globals:[ ("n", 0) ] ~mutexes:[ "m" ]
+         [ func "main" [] [ atomic [ lock "m"; setg "n" (i 1); unlock "m" ] ] ])
+  in
+  Alcotest.(check bool) "lock inside an atomic region" true
+    (List.mem "blocking-in-atomic" (diag_codes blocking));
+  let pure =
+    compile
+      (program "p" ~globals:[ ("n", 0) ]
+         [ func "main" [] [ atomic [ setg "n" (g "n" + i 1) ] ] ])
+  in
+  Alcotest.(check bool) "non-blocking atomic body is fine" false
+    (List.mem "blocking-in-atomic" (diag_codes pure))
+
 (* --- prefilter soundness over the paper's workload suite --- *)
 
 let race_sites (race : Report.race) =
@@ -355,7 +514,7 @@ let test_prefilter_soundness_suite () =
       Alcotest.(check bool)
         (Printf.sprintf "%s: identical reports under prefilter" w.Registry.w_name)
         true (without = with_pf))
-    Portend_workloads.Suite.all
+    Portend_workloads.Suite.extended
 
 (* --- qcheck: static candidates ⊇ dynamic races on random programs --- *)
 
@@ -418,6 +577,7 @@ let gen_static_vs_dynamic_program : Ast.program QCheck.Gen.t =
       mutexes = [ "m0"; "m1" ];
       conds = [];
       barriers = [];
+      sems = [];
       funcs =
         [ { Ast.fname = "w1"; params = []; body = b1 };
           { Ast.fname = "w2"; params = []; body = b2 };
@@ -458,12 +618,20 @@ let () =
           Alcotest.test_case "spawn in loop" `Quick test_mhp_spawn_in_loop
         ] );
       ( "report",
-        [ Alcotest.test_case "lock pruning" `Quick test_static_report_lock_pruning ] );
+        [ Alcotest.test_case "lock pruning" `Quick test_static_report_lock_pruning;
+          Alcotest.test_case "sem as lock" `Quick test_static_report_sem_as_lock;
+          Alcotest.test_case "barrier phases" `Quick test_static_report_barrier_phases;
+          Alcotest.test_case "condvar order" `Quick test_static_report_cond_order
+        ] );
       ( "lint",
         [ Alcotest.test_case "double lock" `Quick test_lint_double_lock;
           Alcotest.test_case "lock leak" `Quick test_lint_lock_leak;
           Alcotest.test_case "spin invariant" `Quick test_lint_spin_invariant;
-          Alcotest.test_case "clean program" `Quick test_lint_clean_program
+          Alcotest.test_case "clean program" `Quick test_lint_clean_program;
+          Alcotest.test_case "lost signal" `Quick test_lint_lost_signal;
+          Alcotest.test_case "barrier mismatch" `Quick test_lint_barrier_mismatch;
+          Alcotest.test_case "sem unmatched" `Quick test_lint_sem_unmatched;
+          Alcotest.test_case "blocking in atomic" `Quick test_lint_blocking_in_atomic
         ] );
       ( "prefilter",
         [ Alcotest.test_case "soundness over the suite" `Slow test_prefilter_soundness_suite ]

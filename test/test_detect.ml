@@ -119,6 +119,39 @@ let test_hb_barrier_orders () =
       Alcotest.(check int) "barrier orders" 0 (distinct_races r.Run.events))
     [ 1; 3; 7 ]
 
+let test_hb_sem_orders () =
+  let open Builder in
+  let p =
+    program "p" ~globals:[ ("x", 0) ] ~sems:[ ("s", 0) ]
+      [ func "prod" [] [ setg "x" (i 42); sem_post "s" ];
+        func "cons" [] [ sem_wait "s"; output [ g "x" ] ];
+        func "main" []
+          [ spawn ~into:"a" "cons" []; spawn ~into:"b" "prod" []; join (l "a"); join (l "b") ]
+      ]
+  in
+  List.iter
+    (fun seed ->
+      let _, r = record ~seed p in
+      Alcotest.(check int) "post->wait orders" 0 (distinct_races r.Run.events))
+    [ 1; 2; 6; 8 ]
+
+let test_hb_atomic_orders () =
+  let open Builder in
+  (* unprotected RMWs race; the same RMWs inside atomic regions are ordered
+     by the end->begin edge, like critical sections of one global mutex *)
+  let p =
+    program "p" ~globals:[ ("n", 0) ]
+      [ func "w" [] [ atomic [ setg "n" (g "n" + i 1) ] ];
+        func "main" []
+          [ spawn ~into:"a" "w" []; spawn ~into:"b" "w" []; join (l "a"); join (l "b") ]
+      ]
+  in
+  List.iter
+    (fun seed ->
+      let _, r = record ~seed p in
+      Alcotest.(check int) "atomic regions exclude" 0 (distinct_races r.Run.events))
+    [ 1; 4; 7 ]
+
 let test_hb_detects_unordered () =
   let open Builder in
   let _, r =
@@ -201,6 +234,8 @@ let () =
           Alcotest.test_case "spawn orders" `Quick test_hb_spawn_orders;
           Alcotest.test_case "condvar orders" `Quick test_hb_condvar_orders;
           Alcotest.test_case "barrier orders" `Quick test_hb_barrier_orders;
+          Alcotest.test_case "sem post->wait orders" `Quick test_hb_sem_orders;
+          Alcotest.test_case "atomic regions order" `Quick test_hb_atomic_orders;
           Alcotest.test_case "unordered detected" `Quick test_hb_detects_unordered;
           Alcotest.test_case "spin reads suppressed" `Quick test_spin_suppression
         ] );

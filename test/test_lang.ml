@@ -122,6 +122,7 @@ let test_spin_detection_ibr () =
       globals = [ ("flag", 0) ];
       arrays = [];
       barriers = [];
+      sems = [];
       source = Builder.program "p" ~globals:[ ("flag", 0) ] [ Builder.func "main" [] [] ]
     }
   in
@@ -185,6 +186,7 @@ array buf[8] = 0
 mutex m
 cond cv
 barrier bar = 2
+sem s = 1
 
 fn worker(n) {
   var j = 0;
@@ -194,7 +196,11 @@ fn worker(n) {
     unlock m;
     j = j + 1;
   }
-  buf[0] = count;
+  sem_wait s;
+  atomic {
+    buf[0] = count;
+  }
+  sem_post s;
   done_flag = 1;
 }
 
@@ -252,7 +258,7 @@ let test_pp_roundtrip_workloads () =
       | exception e ->
         Alcotest.failf "%s failed round-trip: %s" w.Portend_workloads.Registry.w_name
           (Printexc.to_string e))
-    Portend_workloads.Suite.all
+    Portend_workloads.Suite.extended
 
 let () =
   Alcotest.run "lang"

@@ -131,6 +131,7 @@ let gen_seq_program : Ast.program QCheck.Gen.t =
       mutexes = [];
       conds = [];
       barriers = [];
+      sems = [];
       funcs = [ { Ast.fname = "main"; params = []; body } ]
     }
 
@@ -190,6 +191,7 @@ let gen_racy_program : Ast.program QCheck.Gen.t =
       mutexes = [];
       conds = [];
       barriers = [];
+      sems = [];
       funcs =
         [ { Ast.fname = "w1"; params = []; body = b1 };
           { Ast.fname = "w2"; params = []; body = b2 };
@@ -244,9 +246,13 @@ module T = Portend_telemetry
 open Portend_core
 
 (* Random lock/spawn/join programs: worker bodies mix unprotected racy
-   statements with balanced lock..unlock regions, and main spawns two or
-   three workers and joins them all — richer synchronization shapes than
-   [gen_racy_program] so classification takes every path. *)
+   statements with balanced lock..unlock regions, semaphore brackets,
+   atomic regions, condvar signals/waits and barrier arrivals, and main
+   spawns two or three workers and joins them all — richer
+   synchronization shapes than [gen_racy_program] so classification and
+   the static prefilter take every path.  Wait/barrier segments can
+   deadlock; the pipeline classifies that as a crash, which the
+   properties below tolerate by construction. *)
 let gen_sync_program : Ast.program QCheck.Gen.t =
   let open QCheck.Gen in
   let glob = oneofl [ "s0"; "s1"; "s2" ] in
@@ -267,10 +273,20 @@ let gen_sync_program : Ast.program QCheck.Gen.t =
   let gen_segment =
     let* stmts = list_size (int_range 1 3) gen_plain in
     frequency
-      [ (2, return stmts);
+      [ (4, return stmts);
         (* balanced critical section; a second mutex exercises distinct
            lock clocks in the detector *)
-        (1, map (fun m -> (Ast.Lock m :: stmts) @ [ Ast.Unlock m ]) (oneofl [ "m0"; "m1" ]))
+        (2, map (fun m -> (Ast.Lock m :: stmts) @ [ Ast.Unlock m ]) (oneofl [ "m0"; "m1" ]));
+        (* balanced binary-semaphore bracket — a candidate for the
+           sem-as-lock static refinement *)
+        (2, return ((Ast.SemWait "sg" :: stmts) @ [ Ast.SemPost "sg" ]));
+        (* handoff semaphore used asymmetrically (never a lock) *)
+        (1, return (Ast.SemPost "sh" :: stmts));
+        (1, return (stmts @ [ Ast.SemWait "sh" ]));
+        (1, return [ Ast.Atomic stmts ]);
+        (1, return ((Ast.Lock "m0" :: Ast.Signal "c0" :: stmts) @ [ Ast.Unlock "m0" ]));
+        (1, return [ Ast.Lock "m0"; Ast.Wait ("c0", "m0"); Ast.Unlock "m0" ]);
+        (1, return (Ast.BarrierWait "bar" :: stmts))
       ]
   in
   let gen_body = map List.concat (list_size (int_range 1 3) gen_segment) in
@@ -296,8 +312,9 @@ let gen_sync_program : Ast.program QCheck.Gen.t =
       globals = [ ("s0", 0); ("s1", 0); ("s2", 0) ];
       arrays = [];
       mutexes = [ "m0"; "m1" ];
-      conds = [];
-      barriers = [];
+      conds = [ "c0" ];
+      barriers = [ ("bar", List.length workers) ];
+      sems = [ ("sg", 1); ("sh", 0) ];
       funcs = funcs @ [ { Ast.fname = "main"; params = []; body = spawns @ joins } ]
     }
 
@@ -385,6 +402,42 @@ let test_reduction_preserves_verdicts =
       && List.for_all
            (fun ra -> ra.Pipeline.stats.Classify.red = Classify.no_reduction)
            off.Pipeline.races)
+
+(* ------------------------------------------------------------------ *)
+(* prefilter soundness on synchronization-heavy random programs        *)
+(* ------------------------------------------------------------------ *)
+
+(* The static candidate report must cover every race the dynamic detector
+   finds, and restricting the detector to those candidates must leave its
+   output bit-identical — exercised here on programs dense in semaphore
+   brackets, atomic regions, condvar waits and barrier arrivals, so the
+   sync-aware transfer functions can only prune pairs they can prove
+   ordered or mutually excluded. *)
+let test_prefilter_sound_on_sync =
+  let race_sites (race : Portend_detect.Report.race) =
+    let site (a : Portend_detect.Report.access) =
+      (a.Portend_detect.Report.a_site.Events.func, a.Portend_detect.Report.a_site.Events.pc)
+    in
+    (site race.Portend_detect.Report.first, site race.Portend_detect.Report.second)
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun (p, seed) -> Printf.sprintf "seed %d\n%s" seed (Pp.program_to_string p))
+      QCheck.Gen.(pair gen_sync_program (int_bound 1000))
+  in
+  QCheck.Test.make
+    ~name:"static prefilter stays sound and invisible on sync-heavy programs" ~count:150 arb
+    (fun (p, seed) ->
+      let prog = Compile.compile p in
+      let report = Portend_analysis.Static_report.analyze prog in
+      let r = Run.run ~sched:(Sched.random ~seed) (State.init prog) in
+      let races = Portend_detect.Hb.detect r.Run.events in
+      List.for_all
+        (fun race ->
+          let s1, s2 = race_sites race in
+          Portend_analysis.Static_report.covers report s1 s2)
+        races
+      && Portend_detect.Hb.detect ~restrict:report r.Run.events = races)
 
 (* ------------------------------------------------------------------ *)
 (* solver soundness vs brute force                                     *)
@@ -534,6 +587,7 @@ let () =
             test_same_seed_same_run;
             test_telemetry_neutral;
             test_reduction_preserves_verdicts;
+            test_prefilter_sound_on_sync;
             test_solver_vs_bruteforce;
             test_solver_cache_coherent;
             test_cache_preserves_verdicts

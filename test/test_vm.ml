@@ -169,6 +169,62 @@ let test_barrier () =
         (State.outputs r.Run.final))
     [ 0; 5; 9 ]
 
+let test_semaphore () =
+  let open Builder in
+  (* handoff: the consumer's wait on a 0-initialized semaphore blocks until
+     the producer posts, so the consumed value is always the produced one *)
+  let p =
+    program "sem" ~globals:[ ("x", 0) ] ~sems:[ ("s", 0) ]
+      [ func "producer" [] [ setg "x" (i 42); sem_post "s" ];
+        func "consumer" [] [ sem_wait "s"; output [ g "x" ] ];
+        func "main" []
+          [ spawn ~into:"c" "consumer" [];
+            spawn ~into:"p" "producer" [];
+            join (l "c"); join (l "p")
+          ]
+      ]
+  in
+  List.iter
+    (fun seed ->
+      let r = run_prog ~sched:(Sched.random ~seed) p in
+      check_stop "halted" "halted" r;
+      Alcotest.(check int) "handoff value" 42 (first_output_int r.Run.final))
+    [ 0; 1; 4; 8; 13 ];
+  (* counting: two tokens admit both waiters without any post *)
+  let counting =
+    program "sem2" ~sems:[ ("s", 2) ]
+      [ func "w" [] [ sem_wait "s" ];
+        func "main" []
+          [ spawn ~into:"a" "w" []; spawn ~into:"b" "w" []; join (l "a"); join (l "b") ]
+      ]
+  in
+  List.iter
+    (fun seed -> check_stop "halted" "halted" (run_prog ~sched:(Sched.random ~seed) counting))
+    [ 0; 3; 6 ]
+
+let test_atomic_region () =
+  let open Builder in
+  (* the read-modify-write races without the region; inside it no other
+     thread runs, so the count is exact under every schedule *)
+  let p =
+    program "atom" ~globals:[ ("n", 0) ]
+      [ func "w" [] [ atomic [ setg "n" (g "n" + i 1) ] ];
+        func "main" []
+          [ spawn ~into:"a" "w" [];
+            spawn ~into:"b" "w" [];
+            spawn ~into:"c" "w" [];
+            join (l "a"); join (l "b"); join (l "c");
+            output [ g "n" ]
+          ]
+      ]
+  in
+  List.iter
+    (fun seed ->
+      let r = run_prog ~sched:(Sched.random ~seed) p in
+      check_stop "halted" "halted" r;
+      Alcotest.(check int) "atomic increments" 3 (first_output_int r.Run.final))
+    [ 0; 1; 2; 5; 7; 11 ]
+
 let test_deadlock_detected () =
   let open Builder in
   let p =
@@ -551,6 +607,8 @@ let () =
       ( "blocking",
         [ Alcotest.test_case "condvar handoff" `Quick test_condvar_handoff;
           Alcotest.test_case "barrier" `Quick test_barrier;
+          Alcotest.test_case "semaphore" `Quick test_semaphore;
+          Alcotest.test_case "atomic region" `Quick test_atomic_region;
           Alcotest.test_case "deadlock detected" `Quick test_deadlock_detected
         ] );
       ("crashes", [ Alcotest.test_case "all crash kinds" `Quick test_crashes ]);

@@ -163,6 +163,40 @@ let test_memcached_whatif () =
   Alcotest.(check int) "synced variant has no race" 0 (List.length a2.Pipeline.races)
 
 
+(* --- synchronization-heavy additions (condvar / semaphore handoffs) --- *)
+
+let test_sync_workloads () =
+  List.iter
+    (fun (w : Registry.workload) ->
+      let prog = Portend_lang.Compile.compile w.Registry.w_prog in
+      let a = Pipeline.analyze ~seed:w.Registry.w_seed ~inputs:w.Registry.w_inputs prog in
+      Alcotest.(check string)
+        (w.Registry.w_name ^ " recording halts")
+        "halted"
+        (Portend_vm.Run.stop_to_string a.Pipeline.record.Portend_vm.Run.stop);
+      Alcotest.(check int)
+        (w.Registry.w_name ^ " distinct races")
+        (Registry.total_expected w)
+        (List.length a.Pipeline.races);
+      let vs = categories_of a in
+      List.iter
+        (fun (x : Registry.expectation) ->
+          let got = List.filter (fun (loc, _) -> loc = x.Registry.x_loc) vs in
+          let good =
+            List.length
+              (List.filter (fun (_, v) -> v.Taxonomy.category = x.Registry.x_portend) got)
+          in
+          if good < x.Registry.x_count then
+            Alcotest.failf "%s %s: expected %d x %s, got [%s]" w.Registry.w_name
+              x.Registry.x_loc x.Registry.x_count
+              (Taxonomy.category_to_string x.Registry.x_portend)
+              (String.concat ";"
+                 (List.map
+                    (fun (_, v) -> Taxonomy.category_to_string v.Taxonomy.category)
+                    got)))
+        w.Registry.w_expect)
+    Suite.sync_benchmarks
+
 (* --- race-free programs (§5: HawkNL, pfscan, swarm, fft) --- *)
 
 let test_race_free_programs () =
@@ -249,6 +283,8 @@ let () =
         [ Alcotest.test_case "fmm semantic predicate" `Slow test_fmm_semantic_variant;
           Alcotest.test_case "memcached what-if" `Slow test_memcached_whatif
         ] );
+      ( "sync",
+        [ Alcotest.test_case "condvar/semaphore handoffs" `Slow test_sync_workloads ] );
       ( "race-free",
         [ Alcotest.test_case "hawknl/pfscan/swarm/fft" `Slow test_race_free_programs ] );
       ( "weak-memory",

@@ -1,0 +1,204 @@
+(* Serve-daemon benchmark: an in-process `portend serve` instance answering
+   the full workload suite from concurrent clients, cold (empty persistent
+   cache) and warm (cache populated by the cold run), writing
+   BENCH_serve.json with jobs/sec and p50/p99 request latency per row.
+   Every served response is cross-checked bit-identical (modulo wall time)
+   against a one-shot Pipeline.analyze of the same workload, and the warm
+   row must beat the cold row on wall time.
+
+   jobs=1 inside the server so the rows measure daemon overhead and cache
+   effect, not pool scheduling noise. *)
+
+open Portend_serve
+module Core = Portend_core
+module Registry = Portend_workloads.Registry
+module Suite = Portend_workloads.Suite
+
+let bench_dir = "_bench_serve_cache"
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun name -> rm_rf (Filename.concat path name)) (Sys.readdir path);
+      try Sys.rmdir path with Sys_error _ -> ()
+    end
+    else try Sys.remove path with Sys_error _ -> ()
+
+let config ~cache ~dir =
+  { Core.Config.default with Core.Config.jobs = 1; cache; cache_dir = dir }
+
+(* The response lines a one-shot analysis would produce, with the
+   nondeterministic wall time stripped — the serve identity oracle.
+   Computed with the cache off: verdicts are bit-identical either way. *)
+let expected_lines ?id (w : Registry.workload) =
+  let prog = Portend_lang.Compile.compile w.Registry.w_prog in
+  let a =
+    Core.Pipeline.analyze
+      ~config:(config ~cache:false ~dir:bench_dir)
+      ~seed:w.Registry.w_seed ~inputs:w.Registry.w_inputs prog
+  in
+  List.map Json.to_string (Protocol.responses_of_analysis ?id a)
+
+let served_lines responses =
+  List.map (fun r -> Json.to_string (Protocol.strip_member "time_s" r)) responses
+
+let request ?id (w : Registry.workload) : Json.t =
+  Json.Obj
+    ((match id with Some id -> [ ("id", id) ] | None -> [])
+    @ [ ("workload", Json.String w.Registry.w_name) ])
+
+let percentile sorted p =
+  match sorted with
+  | [||] -> 0.0
+  | a ->
+    let n = Array.length a in
+    let i = int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1 in
+    a.(max 0 (min (n - 1) i))
+
+type row = {
+  row_name : string;
+  row_wall : float;
+  row_jobs : int;
+  row_lat : float array;  (** sorted per-request latencies, seconds *)
+  row_lines : (string * string list) list;  (** (workload, served lines) in send order *)
+}
+
+(* [clients] concurrent client domains, each pushing the whole suite
+   through the server one request at a time, timing each request. *)
+let drive ~name ~clients srv : row =
+  let run_client () =
+    let cl = Client.connect ~retries:20 (Server.address srv) in
+    Fun.protect ~finally:(fun () -> Client.close cl)
+      (fun () ->
+        List.map
+          (fun (w : Registry.workload) ->
+            let responses, dt = Portend_util.Clock.timed (fun () -> Client.request cl (request w)) in
+            (w.Registry.w_name, served_lines responses, dt))
+          Suite.all)
+  in
+  let t0 = Unix.gettimeofday () in
+  let doms = List.init clients (fun _ -> Domain.spawn run_client) in
+  let per_client = List.map Domain.join doms in
+  let wall = Unix.gettimeofday () -. t0 in
+  let all = List.concat per_client in
+  let lat = Array.of_list (List.map (fun (_, _, dt) -> dt) all) in
+  Array.sort compare lat;
+  { row_name = name;
+    row_wall = wall;
+    row_jobs = List.length all;
+    row_lat = lat;
+    row_lines = List.map (fun (n, lines, _) -> (n, lines)) all
+  }
+
+let check_identity row =
+  let expected = Hashtbl.create 16 in
+  List.iter
+    (fun (w : Registry.workload) -> Hashtbl.replace expected w.Registry.w_name (expected_lines w))
+    Suite.all;
+  List.for_all (fun (name, got) -> Hashtbl.find_opt expected name = Some got) row.row_lines
+
+let json_of_row r =
+  Printf.sprintf
+    {|{"name": %S, "wall_s": %.6f, "jobs": %d, "jobs_per_sec": %.1f, "p50_ms": %.3f, "p99_ms": %.3f}|}
+    r.row_name r.row_wall r.row_jobs
+    (float_of_int r.row_jobs /. r.row_wall)
+    (1000.0 *. percentile r.row_lat 50.0)
+    (1000.0 *. percentile r.row_lat 99.0)
+
+let with_server settings (f : Server.t -> 'a) : 'a =
+  let srv = Server.start ~settings (Server.Tcp ("", 0)) in
+  Fun.protect ~finally:(fun () -> Server.stop srv) (fun () -> f srv)
+
+let run () =
+  rm_rf bench_dir;
+  let clients = 3 in
+  let settings cache =
+    { Server.default_settings with Server.config = config ~cache ~dir:bench_dir }
+  in
+  (* Cache off: the daemon's floor, nothing persisted. *)
+  let off = with_server (settings false) (drive ~name:"off" ~clients) in
+  (* Cold: first cached run populates the verdict/memo tiers... *)
+  let cold = with_server (settings true) (drive ~name:"cold" ~clients) in
+  (* ...and a fresh server on the same store answers warm. *)
+  let warm = with_server (settings true) (drive ~name:"warm" ~clients) in
+  let rows = [ off; cold; warm ] in
+  let identical = List.for_all check_identity rows in
+  let warm_faster = warm.row_wall < cold.row_wall in
+
+  Harness.print_table ~title:"Serve daemon (full suite, 3 concurrent clients, jobs=1)"
+    ~header:[ "run"; "wall s"; "jobs"; "jobs/s"; "p50 ms"; "p99 ms" ]
+    (List.map
+       (fun r ->
+         [ r.row_name;
+           Printf.sprintf "%.3f" r.row_wall;
+           string_of_int r.row_jobs;
+           Printf.sprintf "%.1f" (float_of_int r.row_jobs /. r.row_wall);
+           Printf.sprintf "%.3f" (1000.0 *. percentile r.row_lat 50.0);
+           Printf.sprintf "%.3f" (1000.0 *. percentile r.row_lat 99.0)
+         ])
+       rows);
+  Printf.printf "\nserved responses identical to one-shot analysis: %b\n" identical;
+  Printf.printf "warm run faster than cold: %b\n" warm_faster;
+  if not identical then prerr_endline "WARNING: the daemon changed a verdict!";
+
+  let json =
+    Printf.sprintf
+      {|{
+  "bench": "portend-serve",
+  "suite_workloads": %d,
+  "clients": %d,
+  "responses_identical": %b,
+  "warm_faster_than_cold": %b,
+  "rows": [
+    %s,
+    %s,
+    %s
+  ]
+}
+|}
+      (List.length Suite.all) clients identical warm_faster (json_of_row off)
+      (json_of_row cold) (json_of_row warm)
+  in
+  let path = Filename.concat (Sys.getcwd ()) "BENCH_serve.json" in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote %s\n" path;
+  rm_rf bench_dir
+
+(* Two workloads served over a Unix socket and checked bit-identical to
+   one-shot analysis on every `dune runtest` via the serve-smoke alias. *)
+let smoke () =
+  let dir = "_smoke_serve" in
+  rm_rf dir;
+  Unix.mkdir dir 0o755;
+  let sock = Filename.concat dir "portend.sock" in
+  let fail msg =
+    Printf.eprintf "serve smoke FAILED: %s\n" msg;
+    rm_rf dir;
+    exit 1
+  in
+  let pick name =
+    match Suite.find name with Some w -> w | None -> fail ("no workload " ^ name)
+  in
+  let ws = [ pick "RW"; pick "ctrace" ] in
+  let settings =
+    { Server.default_settings with Server.config = config ~cache:false ~dir:bench_dir }
+  in
+  let srv = Server.start ~settings (Server.Unix_path sock) in
+  Fun.protect ~finally:(fun () -> Server.stop srv)
+    (fun () ->
+      let cl = Client.connect (Server.address srv) in
+      Fun.protect ~finally:(fun () -> Client.close cl)
+        (fun () ->
+          List.iteri
+            (fun i (w : Registry.workload) ->
+              let id = Json.Int i in
+              let got = served_lines (Client.request cl (request ~id w)) in
+              if got <> expected_lines ~id w then
+                fail (w.Registry.w_name ^ ": served response differs from one-shot analysis"))
+            ws));
+  if Sys.file_exists sock then fail "socket file not removed at drain";
+  rm_rf dir;
+  Printf.printf "serve smoke ok: %s served bit-identical to one-shot analysis\n"
+    (String.concat ", " (List.map (fun (w : Registry.workload) -> w.Registry.w_name) ws))

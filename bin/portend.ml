@@ -7,6 +7,7 @@
                            per-phase summary (spans, counters, gauges)
    portend lint FILE       static diagnostics only: potential races, lock
                            misuse, loop-invariant spin loops (no execution)
+   portend serve           long-running classification daemon (socket API)
    portend dump FILE       pretty-print the parsed program and its bytecode
 
    FILE contains Racelang concrete syntax (see the README for the grammar).
@@ -18,6 +19,7 @@ module V = Portend_vm
 module Core = Portend_core
 module D = Portend_detect
 module Telemetry = Portend_telemetry
+module Serve = Portend_serve
 
 let load file =
   try Ok (Portend_lang.Parser.compile_file file) with
@@ -25,25 +27,33 @@ let load file =
   | Portend_lang.Compile.Error e -> Error ("compile error: " ^ e)
   | Sys_error e -> Error e
 
-let parse_inputs kvs =
-  List.fold_left
-    (fun acc kv ->
-      match String.split_on_char '=' kv with
-      | [ k; v ] -> (k, int_of_string v) :: acc
-      | _ -> failwith ("bad --input (want NAME=VALUE): " ^ kv))
-    [] kvs
-  |> List.rev
-
 (* common flags *)
 let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
 
 let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Scheduler seed for the recording.")
 
+(* --input NAME=VALUE, validated by the shared parser (Core.Inputs): a bad
+   pair ("x=abc", "x=1=2") is a clean usage error, never a backtrace, and
+   binding the same name twice is rejected (the duplicate-key rule the
+   serve protocol enforces too). *)
+let input_conv =
+  let parse s =
+    match Core.Inputs.parse_pair s with Ok kv -> Ok kv | Error e -> Error (`Msg e)
+  in
+  let print fmt (k, v) = Format.fprintf fmt "%s=%d" k v in
+  Arg.conv (parse, print)
+
 let inputs_arg =
-  Arg.(
-    value & opt_all string []
-    & info [ "input"; "i" ] ~docv:"NAME=VALUE" ~doc:"Concrete value for a program input.")
+  let raw =
+    Arg.(
+      value & opt_all input_conv []
+      & info [ "input"; "i" ] ~docv:"NAME=VALUE"
+          ~doc:
+            "Concrete integer value for a program input.  Repeatable; each NAME may be bound \
+             at most once.")
+  in
+  Term.term_result' ~usage:true Term.(const Core.Inputs.check_duplicates $ raw)
 
 let jobs_arg =
   Arg.(
@@ -145,7 +155,7 @@ let with_trace trace f =
 let run_cmd =
   let run file seed inputs =
     let prog = or_die (load file) in
-    let model = Portend_util.Maps.Smap.of_list (parse_inputs inputs) in
+    let model = Portend_util.Maps.Smap.of_list inputs in
     let st = V.State.init ~input_mode:(V.State.Concrete model) prog in
     let r = V.Run.run ~sched:(V.Sched.random ~seed) st in
     Fmt.pr "%a@." V.State.pp_outputs r.V.Run.final;
@@ -163,7 +173,7 @@ let run_cmd =
 let detect_cmd =
   let detect file seed inputs prefilter =
     let prog = or_die (load file) in
-    let record, _ = Core.Pipeline.record ~seed ~inputs:(parse_inputs inputs) prog in
+    let record, _ = Core.Pipeline.record ~seed ~inputs prog in
     let suppress = Portend_lang.Static.spin_read_sites prog in
     let restrict =
       if prefilter then Some (Portend_analysis.Static_report.analyze prog) else None
@@ -215,7 +225,7 @@ let classify_cmd =
     let a =
       with_trace trace (fun () ->
           Core.Pcache.with_solver_memos config (fun () ->
-              Core.Pipeline.analyze ~config ~seed ~inputs:(parse_inputs inputs) prog))
+              Core.Pipeline.analyze ~config ~seed ~inputs prog))
     in
     Printf.printf "recording %s; %d distinct race(s)\n\n"
       (V.Run.stop_to_string a.Core.Pipeline.record.V.Run.stop)
@@ -258,6 +268,9 @@ let lint_cmd =
     let store =
       if cache && not no_cache then Some (Portend_cache.Store.open_store cache_dir) else None
     in
+    (* Same bracketing as suite: reset first so the stats lines cover
+       exactly this lint run's summary-tier traffic. *)
+    if store <> None then Portend_cache.Store.reset_stats ();
     let diags = Portend_analysis.Lint.run ?store prog in
     List.iter (fun d -> print_endline (Portend_analysis.Lint.to_string d)) diags;
     let errors =
@@ -266,6 +279,7 @@ let lint_cmd =
     Printf.printf "%d diagnostic(s): %d error(s), %d warning(s)\n" (List.length diags)
       (List.length errors)
       (List.length diags - List.length errors);
+    if store <> None then print_cache_stats ();
     if diags = [] then 0 else 1
   in
   Cmd.v
@@ -311,11 +325,23 @@ let weakmem_cmd =
 (* --- suite --- *)
 
 let suite_cmd =
-  let suite jobs no_reduction cache no_cache cache_dir trace =
+  let extended_arg =
+    Arg.(
+      value & flag
+      & info [ "extended" ]
+          ~doc:
+            "Also run the synchronization-heavy workloads beyond the paper's Table 1 (the \
+             CondPC condvar producer/consumer and SemPC semaphore handoff models).  Without \
+             this flag the suite is the paper's exact workload set.")
+  in
+  let suite jobs no_reduction extended cache no_cache cache_dir trace =
     let config =
       apply_cache
         { Core.Config.default with Core.Config.jobs; enable_reduction = not no_reduction }
         cache no_cache cache_dir
+    in
+    let workloads =
+      if extended then Portend_workloads.Suite.extended else Portend_workloads.Suite.all
     in
     (* Explicit reset so the stats lines below cover exactly this suite run,
        cumulatively across all workloads (not just the last one). *)
@@ -331,7 +357,7 @@ let suite_cmd =
                     ~inputs:w.Portend_workloads.Registry.w_inputs prog
                 in
                 Fmt.pr "%a@." Core.Pipeline.pp_summary a)
-              Portend_workloads.Suite.all));
+              workloads));
     let s = Portend_solver.Solver.stats () in
     Printf.printf
       "solver: %d queries, %d cache hits, %d misses, %d prefix-unsat (hit rate %.0f%%)\n"
@@ -344,8 +370,8 @@ let suite_cmd =
   Cmd.v
     (Cmd.info "suite" ~doc:"Classify every race in the paper's evaluation suite.")
     Term.(
-      const suite $ jobs_arg $ no_reduction_arg $ cache_arg $ no_cache_arg $ cache_dir_arg
-      $ trace_arg)
+      const suite $ jobs_arg $ no_reduction_arg $ extended_arg $ cache_arg $ no_cache_arg
+      $ cache_dir_arg $ trace_arg)
 
 (* --- profile --- *)
 
@@ -367,7 +393,7 @@ let profile_cmd =
     in
     let p =
       Core.Pcache.with_solver_memos config (fun () ->
-          Core.Profile.run ~config ~seed ~inputs:(parse_inputs inputs) prog)
+          Core.Profile.run ~config ~seed ~inputs prog)
     in
     print_string (Core.Profile.render ~times:(not no_times) p);
     (match trace with
@@ -384,6 +410,113 @@ let profile_cmd =
     Term.(
       const profile $ file_arg $ seed_arg $ inputs_arg $ jobs_arg $ no_reduction_arg $ cache_arg
       $ no_cache_arg $ cache_dir_arg $ trace_arg $ no_times_arg)
+
+(* --- serve --- *)
+
+let serve_cmd =
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix-domain socket at $(docv) (default: portend.sock in the current \
+             directory, unless $(b,--port) is given).")
+  in
+  let port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port" ] ~docv:"N"
+          ~doc:"Listen on TCP port $(docv) instead of a Unix socket (0 binds an ephemeral port).")
+  in
+  let host_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind with $(b,--port) (default: loopback).")
+  in
+  let queue_arg =
+    Arg.(
+      value
+      & opt int Serve.Server.default_settings.Serve.Server.queue_depth
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:
+            "Pending jobs accepted before the daemon answers $(i,busy) instead of queueing \
+             (explicit backpressure).")
+  in
+  let idle_arg =
+    Arg.(
+      value
+      & opt float Serve.Server.default_settings.Serve.Server.idle_timeout_s
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:"Disconnect clients idle this long with nothing queued (0 disables).")
+  in
+  let max_request_arg =
+    Arg.(
+      value
+      & opt int Serve.Server.default_settings.Serve.Server.max_request_bytes
+      & info [ "max-request" ] ~docv:"BYTES"
+          ~doc:"Largest accepted request line; longer lines get an $(i,oversized) reply.")
+  in
+  let batch_arg =
+    Arg.(
+      value
+      & opt int Serve.Server.default_settings.Serve.Server.batch
+      & info [ "batch" ] ~docv:"N" ~doc:"Maximum jobs dispatched per round-robin round.")
+  in
+  let serve socket port host jobs queue idle max_request batch cache no_cache cache_dir trace =
+    let config =
+      apply_cache { Core.Config.default with Core.Config.jobs } cache no_cache cache_dir
+    in
+    let settings =
+      { Serve.Server.config;
+        max_request_bytes = max_request;
+        queue_depth = queue;
+        idle_timeout_s = idle;
+        batch
+      }
+    in
+    let address =
+      match (socket, port) with
+      | Some path, None -> Serve.Server.Unix_path path
+      | None, Some p -> Serve.Server.Tcp (host, p)
+      | Some _, Some _ -> or_die (Error "give --socket or --port, not both")
+      | None, None -> Serve.Server.Unix_path "portend.sock"
+    in
+    (* SIGTERM/SIGINT write one byte to the control pipe: the loop stops
+       accepting, finishes every queued job, flushes replies, snapshots the
+       solver memos, and returns — the graceful drain path. *)
+    let ctl_r, ctl_w = Unix.pipe () in
+    List.iter
+      (fun sg ->
+        Sys.set_signal sg
+          (Sys.Signal_handle
+             (fun _ -> try ignore (Unix.write_substring ctl_w "q" 0 1) with Unix.Unix_error _ -> ())))
+      [ Sys.sigterm; Sys.sigint ];
+    (try
+       with_trace trace (fun () ->
+           Serve.Server.run ~settings
+             ~on_ready:(fun bound ->
+               Printf.printf "portend serve: listening on %s (jobs=%d, cache=%b)\n%!"
+                 (Serve.Server.address_to_string bound)
+                 config.Core.Config.jobs config.Core.Config.cache)
+             ~control:ctl_r address)
+     with Unix.Unix_error (err, fn, arg) ->
+       or_die (Error (Printf.sprintf "serve: %s(%s): %s" fn arg (Unix.error_message err))));
+    (try Unix.close ctl_r with Unix.Unix_error _ -> ());
+    (try Unix.close ctl_w with Unix.Unix_error _ -> ());
+    print_endline "portend serve: drained";
+    0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the long-lived classification daemon: newline-delimited JSON jobs over a Unix or \
+          TCP socket, verdicts streamed back per race, solver memos / static summaries / the \
+          verdict cache kept hot across requests.  See the README for the protocol.")
+    Term.(
+      const serve $ socket_arg $ port_arg $ host_arg $ jobs_arg $ queue_arg $ idle_arg
+      $ max_request_arg $ batch_arg $ cache_arg $ no_cache_arg $ cache_dir_arg $ trace_arg)
 
 (* --- dump --- *)
 
@@ -404,4 +537,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ run_cmd; detect_cmd; classify_cmd; profile_cmd; lint_cmd; weakmem_cmd; suite_cmd;
-            dump_cmd ]))
+            serve_cmd; dump_cmd ]))

@@ -1,0 +1,35 @@
+(* Validated program-input bindings; see inputs.mli for the rules. *)
+
+let parse_pair s =
+  match String.index_opt s '=' with
+  | None -> Error (Printf.sprintf "bad input %S: expected NAME=VALUE" s)
+  | Some i ->
+    let name = String.sub s 0 i in
+    let value = String.sub s (i + 1) (String.length s - i - 1) in
+    if name = "" then Error (Printf.sprintf "bad input %S: empty NAME" s)
+    else if String.contains value '=' then
+      Error (Printf.sprintf "bad input %S: expected exactly one '='" s)
+    else
+      match int_of_string_opt value with
+      | Some v -> Ok (name, v)
+      | None -> Error (Printf.sprintf "bad input %S: VALUE must be an integer, got %S" s value)
+
+let check_duplicates pairs =
+  let rec go seen = function
+    | [] -> Ok pairs
+    | (k, _) :: rest ->
+      if List.mem k seen then
+        Error (Printf.sprintf "input %S bound more than once (bindings must be distinct)" k)
+      else go (k :: seen) rest
+  in
+  go [] pairs
+
+let parse_pairs args =
+  let rec go acc = function
+    | [] -> check_duplicates (List.rev acc)
+    | s :: rest -> (
+      match parse_pair s with
+      | Ok kv -> go (kv :: acc) rest
+      | Error _ as e -> e)
+  in
+  go [] args

@@ -1,0 +1,26 @@
+(** Validated program-input bindings, shared by every front end.
+
+    Both the CLI ([--input NAME=VALUE]) and the serve protocol
+    ([{"inputs": {...}}]) supply concrete values for a program's [input]
+    statements.  This module is the one place the syntax and the
+    duplicate-key rule live, so the two front ends cannot drift apart
+    (the CLI used to crash with an uncaught [Failure] on [x=abc] and
+    silently kept the last binding on duplicates).
+
+    The duplicate-key rule: binding the same input name twice is an
+    {e error}, not last-wins — a test invocation that says
+    [--input x=1 --input x=2] is almost certainly a typo for two
+    different inputs, and silently dropping one of the values changes
+    which execution gets recorded. *)
+
+val parse_pair : string -> (string * int, string) result
+(** [parse_pair "x=3"] is [Ok ("x", 3)].  Errors (non-integer value, no
+    or too many [=], empty name) carry a human-readable message that
+    quotes the offending argument. *)
+
+val check_duplicates : (string * int) list -> ((string * int) list, string) result
+(** Identity on lists with distinct keys; otherwise an error naming the
+    first duplicated key. *)
+
+val parse_pairs : string list -> ((string * int) list, string) result
+(** [parse_pair] over each element, then {!check_duplicates}. *)

@@ -1,0 +1,80 @@
+(* Blocking line-protocol client; see client.mli. *)
+
+type t = {
+  fd : Unix.file_descr;
+  mutable buf : string;  (** bytes read but not yet consumed as lines *)
+  mutable eof : bool;
+}
+
+let sockaddr_of = function
+  | Server.Unix_path p -> (Unix.PF_UNIX, Unix.ADDR_UNIX p)
+  | Server.Tcp (host, port) ->
+    let addr =
+      match host with
+      | "" | "localhost" -> Unix.inet_addr_loopback
+      | h -> Unix.inet_addr_of_string h
+    in
+    (Unix.PF_INET, Unix.ADDR_INET (addr, port))
+
+let connect ?(retries = 0) address =
+  let domain, sockaddr = sockaddr_of address in
+  let rec attempt n =
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd sockaddr with
+    | () -> { fd; buf = ""; eof = false }
+    | exception Unix.Unix_error _ when n > 0 ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Unix.sleepf 0.05;
+      attempt (n - 1)
+    | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+  in
+  attempt retries
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let send_line t line =
+  let s = line ^ "\n" in
+  let len = String.length s in
+  let off = ref 0 in
+  while !off < len do
+    let n = Unix.write_substring t.fd s !off (len - !off) in
+    if n = 0 then failwith "serve client: connection closed while writing";
+    off := !off + n
+  done
+
+let rec read_line t =
+  match String.index_opt t.buf '\n' with
+  | Some i ->
+    let line = String.sub t.buf 0 i in
+    t.buf <- String.sub t.buf (i + 1) (String.length t.buf - i - 1);
+    Some line
+  | None ->
+    if t.eof then None
+    else begin
+      let chunk = Bytes.create 65536 in
+      (match Unix.read t.fd chunk 0 (Bytes.length chunk) with
+      | 0 -> t.eof <- true
+      | n -> t.buf <- t.buf ^ Bytes.sub_string chunk 0 n
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+        (* A reset after the terminal response is a close, not an error. *)
+        t.eof <- true);
+      read_line t
+    end
+
+let request t (j : Json.t) : Json.t list =
+  send_line t (Json.to_string j);
+  let rec collect acc =
+    match read_line t with
+    | None -> failwith "serve client: connection closed before the terminal response line"
+    | Some line -> (
+      match Json.parse line with
+      | Error e -> failwith ("serve client: undecodable response line: " ^ e)
+      | Ok resp -> (
+        match Json.member "type" resp with
+        | Some (Json.String ("summary" | "error")) -> List.rev (resp :: acc)
+        | _ -> collect (resp :: acc)))
+  in
+  collect []

@@ -1,0 +1,24 @@
+(** A small blocking client for the serve protocol, used by the CLI's
+    one-shot mode, the benchmarks, and the tests.  One connection, one
+    request in flight at a time ({!request}); pipelining callers can use
+    {!send_line}/{!read_line} directly. *)
+
+type t
+
+(** Connect to a daemon.  [retries] ([default 0]) re-attempts with a short
+    sleep, for callers that race the daemon's startup. *)
+val connect : ?retries:int -> Server.address -> t
+
+val close : t -> unit
+
+(** Send one raw line (the ["\n"] is appended). *)
+val send_line : t -> string -> unit
+
+(** Next response line, [None] at EOF.  Blocking. *)
+val read_line : t -> string option
+
+(** [request t j] sends one request and reads until its terminal line
+    (["summary"] or ["error"]), returning every line of the reply in
+    order, decoded.  Raises [Failure] if the server hangs up mid-reply
+    or answers something undecodable. *)
+val request : t -> Json.t -> Json.t list

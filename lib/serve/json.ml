@@ -1,0 +1,309 @@
+(* Minimal strict JSON codec for the serve protocol; see json.mli for the
+   contract (bounded depth, duplicates preserved, errors never exceptions). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let max_depth = 64
+
+exception Fail of string * int
+
+(* --- parsing ---------------------------------------------------------- *)
+
+type cursor = {
+  src : string;
+  mutable pos : int;
+}
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+let fail c msg = raise (Fail (msg, c.pos))
+
+let advance c = c.pos <- c.pos + 1
+
+let skip_ws c =
+  while
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      true
+    | _ -> false
+  do
+    ()
+  done
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> fail c (Printf.sprintf "expected '%c', found '%c'" ch x)
+  | None -> fail c (Printf.sprintf "expected '%c', found end of input" ch)
+
+(* [literal c "rue" Bool true] after the leading 't' was consumed. *)
+let literal c rest v =
+  String.iter (fun ch -> expect c ch) rest;
+  v
+
+let hex_digit c =
+  match peek c with
+  | Some ch when ch >= '0' && ch <= '9' ->
+    advance c;
+    Char.code ch - Char.code '0'
+  | Some ch when ch >= 'a' && ch <= 'f' ->
+    advance c;
+    Char.code ch - Char.code 'a' + 10
+  | Some ch when ch >= 'A' && ch <= 'F' ->
+    advance c;
+    Char.code ch - Char.code 'A' + 10
+  | _ -> fail c "bad \\u escape (want 4 hex digits)"
+
+(* UTF-8-encode one code point (surrogate pairs are not recombined; each
+   half encodes independently, which round-trips through our printer). *)
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xc0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xe0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+  end
+
+let parse_string c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek c with
+    | None -> fail c "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' ->
+      advance c;
+      (match peek c with
+      | None -> fail c "unterminated escape"
+      | Some ch ->
+        advance c;
+        (match ch with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'u' ->
+          let cp =
+            let a = hex_digit c in
+            let b = hex_digit c in
+            let d = hex_digit c in
+            let e = hex_digit c in
+            (a lsl 12) lor (b lsl 8) lor (d lsl 4) lor e
+          in
+          add_utf8 buf cp
+        | _ -> fail c (Printf.sprintf "bad escape '\\%c'" ch)));
+      loop ()
+    | Some ch when Char.code ch < 0x20 -> fail c "unescaped control character in string"
+    | Some ch ->
+      advance c;
+      Buffer.add_char buf ch;
+      loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let consume_while pred =
+    while match peek c with Some ch when pred ch -> advance c; true | _ -> false do
+      ()
+    done
+  in
+  if peek c = Some '-' then advance c;
+  consume_while (fun ch -> ch >= '0' && ch <= '9');
+  let is_float = ref false in
+  if peek c = Some '.' then begin
+    is_float := true;
+    advance c;
+    consume_while (fun ch -> ch >= '0' && ch <= '9')
+  end;
+  (match peek c with
+  | Some ('e' | 'E') ->
+    is_float := true;
+    advance c;
+    (match peek c with Some ('+' | '-') -> advance c | _ -> ());
+    consume_while (fun ch -> ch >= '0' && ch <= '9')
+  | _ -> ());
+  let text = String.sub c.src start (c.pos - start) in
+  if !is_float then
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> fail c ("bad number: " ^ text)
+  else
+    match int_of_string_opt text with
+    | Some n -> Int n
+    (* Integer wider than native int: keep the value, approximately. *)
+    | None -> (
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> fail c ("bad number: " ^ text))
+
+let rec parse_value c depth =
+  if depth > max_depth then fail c "nesting too deep";
+  skip_ws c;
+  match peek c with
+  | None -> fail c "expected a JSON value, found end of input"
+  | Some '{' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some '}' then begin
+      advance c;
+      Obj []
+    end
+    else begin
+      let members = ref [] in
+      let rec members_loop () =
+        skip_ws c;
+        let k = parse_string c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c (depth + 1) in
+        members := (k, v) :: !members;
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          members_loop ()
+        | Some '}' -> advance c
+        | _ -> fail c "expected ',' or '}' in object"
+      in
+      members_loop ();
+      Obj (List.rev !members)
+    end
+  | Some '[' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some ']' then begin
+      advance c;
+      List []
+    end
+    else begin
+      let items = ref [] in
+      let rec items_loop () =
+        let v = parse_value c (depth + 1) in
+        items := v :: !items;
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          items_loop ()
+        | Some ']' -> advance c
+        | _ -> fail c "expected ',' or ']' in array"
+      in
+      items_loop ();
+      List (List.rev !items)
+    end
+  | Some '"' -> String (parse_string c)
+  | Some 't' ->
+    advance c;
+    literal c "rue" (Bool true)
+  | Some 'f' ->
+    advance c;
+    literal c "alse" (Bool false)
+  | Some 'n' ->
+    advance c;
+    literal c "ull" Null
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> fail c (Printf.sprintf "unexpected character '%c'" ch)
+
+let parse s =
+  let c = { src = s; pos = 0 } in
+  match parse_value c 0 with
+  | v ->
+    skip_ws c;
+    if c.pos < String.length s then
+      Error (Printf.sprintf "trailing garbage at offset %d" c.pos)
+    else Ok v
+  | exception Fail (msg, pos) -> Error (Printf.sprintf "%s at offset %d" msg pos)
+
+(* --- printing --------------------------------------------------------- *)
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | ch when Char.code ch < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code ch))
+      | ch -> Buffer.add_char buf ch)
+    s;
+  Buffer.add_char buf '"'
+
+let to_string v =
+  let buf = Buffer.create 128 in
+  let rec go = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int n -> Buffer.add_string buf (string_of_int n)
+    | Float f ->
+      if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.6g" f)
+      else Buffer.add_string buf "null"
+    | String s -> escape_to buf s
+    | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          go item)
+        items;
+      Buffer.add_char buf ']'
+    | Obj members ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, item) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_to buf k;
+          Buffer.add_char buf ':';
+          go item)
+        members;
+      Buffer.add_char buf '}'
+  in
+  go v;
+  Buffer.contents buf
+
+(* --- accessors -------------------------------------------------------- *)
+
+let type_name = function
+  | Null -> "null"
+  | Bool _ -> "bool"
+  | Int _ | Float _ -> "number"
+  | String _ -> "string"
+  | List _ -> "array"
+  | Obj _ -> "object"
+
+let member name = function
+  | Obj members -> List.assoc_opt name members
+  | _ -> None
+
+let to_int = function
+  | Int n -> Ok n
+  | Float f when Float.is_integer f && Float.abs f <= 2. ** 53. -> Ok (int_of_float f)
+  | v -> Error ("expected an integer, found " ^ type_name v)
+
+let to_str = function
+  | String s -> Ok s
+  | v -> Error ("expected a string, found " ^ type_name v)
+
+let to_bool = function
+  | Bool b -> Ok b
+  | v -> Error ("expected a boolean, found " ^ type_name v)

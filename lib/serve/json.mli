@@ -1,0 +1,53 @@
+(** A minimal JSON codec for the serve line protocol.
+
+    The repository deliberately carries no third-party JSON dependency
+    (the telemetry exporter hand-writes its Chrome traces); the daemon
+    needs a {e parser} too, so this module provides both directions for
+    the small JSON subset the protocol uses.
+
+    The parser is strict where the daemon's robustness depends on it:
+    inputs are size-capped by the server before they reach it, nesting
+    depth is bounded (a line of ten thousand ['['] characters must produce
+    an error, not a stack overflow), and every failure is an [Error]
+    carrying a position — the daemon turns those into structured error
+    replies, never crashes.
+
+    Object member order is preserved and duplicate keys are {e kept}, so
+    callers (the protocol layer) can enforce their own duplicate-key rule
+    instead of silently taking first- or last-wins. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list  (** member order preserved, duplicates kept *)
+
+(** Maximum nesting depth {!parse} accepts. *)
+val max_depth : int
+
+(** [parse s] parses exactly one JSON value spanning all of [s]
+    (surrounding whitespace allowed; trailing garbage is an error).
+    Errors are ["<message> at offset <n>"]. *)
+val parse : string -> (t, string) result
+
+(** Compact one-line rendering (no newlines — the protocol is
+    newline-delimited).  Strings are escaped per RFC 8259; non-finite
+    floats render as [null]. *)
+val to_string : t -> string
+
+(** {1 Accessors}
+
+    All return [Error] with a descriptive message rather than raising. *)
+
+val member : string -> t -> t option
+(** First member with that name, [None] if absent or not an object. *)
+
+val to_int : t -> (int, string) result
+(** Accepts [Int] and integral [Float]s (JSON has one number type). *)
+
+val to_str : t -> (string, string) result
+val to_bool : t -> (bool, string) result
+val type_name : t -> string

@@ -1,0 +1,225 @@
+(* Request validation and response rendering for the serve line protocol;
+   the wire format is documented in protocol.mli. *)
+
+module Core = Portend_core
+module D = Portend_detect
+
+type source =
+  | Program of string
+  | Workload of string
+
+type overrides = {
+  ov_mp : int option;
+  ov_ma : int option;
+  ov_sym : int option;
+  ov_prefilter : bool option;
+  ov_reduction : bool option;
+}
+
+let no_overrides =
+  { ov_mp = None; ov_ma = None; ov_sym = None; ov_prefilter = None; ov_reduction = None }
+
+type request = {
+  rq_id : Json.t option;
+  rq_source : source;
+  rq_seed : int option;
+  rq_inputs : (string * int) list option;
+  rq_overrides : overrides;
+}
+
+(* --- request parsing --------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let bad msg = Error ("bad_request", msg)
+
+let field_int name = function
+  | None -> Ok None
+  | Some v -> (
+    match Json.to_int v with
+    | Ok n -> Ok (Some n)
+    | Error e -> bad (Printf.sprintf "%S: %s" name e))
+
+let field_bool name = function
+  | None -> Ok None
+  | Some v -> (
+    match Json.to_bool v with
+    | Ok b -> Ok (Some b)
+    | Error e -> bad (Printf.sprintf "%S: %s" name e))
+
+let parse_overrides = function
+  | None -> Ok no_overrides
+  | Some (Json.Obj members) ->
+    let known = [ "mp"; "ma"; "max_symbolic_inputs"; "static_prefilter"; "enable_reduction" ] in
+    let* () =
+      match List.find_opt (fun (k, _) -> not (List.mem k known)) members with
+      | Some (k, _) ->
+        bad
+          (Printf.sprintf "unknown \"config\" key %S (known: %s)" k (String.concat ", " known))
+      | None -> Ok ()
+    in
+    let* () =
+      match Core.Inputs.check_duplicates (List.map (fun (k, _) -> (k, 0)) members) with
+      | Ok _ -> Ok ()
+      | Error _ -> bad "duplicate key in \"config\""
+    in
+    let get k = List.assoc_opt k members in
+    let* ov_mp = field_int "config.mp" (get "mp") in
+    let* ov_ma = field_int "config.ma" (get "ma") in
+    let* ov_sym = field_int "config.max_symbolic_inputs" (get "max_symbolic_inputs") in
+    let* ov_prefilter = field_bool "config.static_prefilter" (get "static_prefilter") in
+    let* ov_reduction = field_bool "config.enable_reduction" (get "enable_reduction") in
+    Ok { ov_mp; ov_ma; ov_sym; ov_prefilter; ov_reduction }
+  | Some v -> bad ("\"config\": expected an object, found " ^ Json.type_name v)
+
+let parse_inputs = function
+  | None -> Ok None
+  | Some (Json.Obj members) ->
+    let* pairs =
+      List.fold_left
+        (fun acc (k, v) ->
+          let* acc = acc in
+          if k = "" then bad "\"inputs\": empty input name"
+          else
+            match Json.to_int v with
+            | Ok n -> Ok ((k, n) :: acc)
+            | Error e -> bad (Printf.sprintf "\"inputs\".%S: %s" k e))
+        (Ok []) members
+    in
+    (* Same duplicate-key rule as the CLI's --input (Core.Inputs). *)
+    (match Core.Inputs.check_duplicates (List.rev pairs) with
+    | Ok pairs -> Ok (Some pairs)
+    | Error e -> bad ("\"inputs\": " ^ e))
+  | Some v -> bad ("\"inputs\": expected an object, found " ^ Json.type_name v)
+
+let parse_request (j : Json.t) : (request, string * string) result =
+  match j with
+  | Json.Obj members ->
+    let known = [ "id"; "program"; "workload"; "seed"; "inputs"; "config" ] in
+    let* () =
+      match List.find_opt (fun (k, _) -> not (List.mem k known)) members with
+      | Some (k, _) ->
+        bad (Printf.sprintf "unknown request key %S (known: %s)" k (String.concat ", " known))
+      | None -> Ok ()
+    in
+    let get k = List.assoc_opt k members in
+    let* rq_id =
+      match get "id" with
+      | None -> Ok None
+      | Some (Json.String _ | Json.Int _) as id -> Ok id
+      | Some v -> bad ("\"id\": expected a string or integer, found " ^ Json.type_name v)
+    in
+    let* rq_source =
+      match (get "program", get "workload") with
+      | Some p, None -> (
+        match Json.to_str p with
+        | Ok s when s <> "" -> Ok (Program s)
+        | Ok _ -> bad "\"program\": empty source text"
+        | Error e -> bad ("\"program\": " ^ e))
+      | None, Some w -> (
+        match Json.to_str w with
+        | Ok s when s <> "" -> Ok (Workload s)
+        | Ok _ -> bad "\"workload\": empty name"
+        | Error e -> bad ("\"workload\": " ^ e))
+      | Some _, Some _ -> bad "give either \"program\" or \"workload\", not both"
+      | None, None -> bad "missing \"program\" or \"workload\""
+    in
+    let* rq_seed = field_int "seed" (get "seed") in
+    let* rq_inputs = parse_inputs (get "inputs") in
+    let* rq_overrides = parse_overrides (get "config") in
+    Ok { rq_id; rq_source; rq_seed; rq_inputs; rq_overrides }
+  | v -> bad ("expected a request object, found " ^ Json.type_name v)
+
+let effective_config ~(base : Core.Config.t) (rq : request) : Core.Config.t =
+  let ov = rq.rq_overrides in
+  let pick o d = match o with Some v -> v | None -> d in
+  { base with
+    Core.Config.mp = pick ov.ov_mp base.Core.Config.mp;
+    ma = pick ov.ov_ma base.Core.Config.ma;
+    max_symbolic_inputs = pick ov.ov_sym base.Core.Config.max_symbolic_inputs;
+    static_prefilter = pick ov.ov_prefilter base.Core.Config.static_prefilter;
+    enable_reduction = pick ov.ov_reduction base.Core.Config.enable_reduction
+  }
+
+(* --- response rendering ------------------------------------------------ *)
+
+let with_id id members =
+  match id with Some id -> ("id", id) :: members | None -> members
+
+let error_line ?id ~code message =
+  Json.Obj
+    (("type", Json.String "error")
+    :: with_id id [ ("code", Json.String code); ("message", Json.String message) ])
+
+let verdict_lines ?id (a : Core.Pipeline.t) : Json.t list =
+  let verdicts =
+    List.map
+      (fun (ra : Core.Pipeline.race_analysis) ->
+        let v = ra.Core.Pipeline.verdict in
+        let consequence =
+          match v.Core.Taxonomy.consequence with
+          | Some c -> [ ("consequence", Json.String (Portend_vm.Crash.consequence_to_string c)) ]
+          | None -> []
+        in
+        Json.Obj
+          (("type", Json.String "verdict")
+          :: with_id id
+               ([ ("race", Json.String (Fmt.str "%a" D.Report.pp_race ra.Core.Pipeline.race));
+                  ( "loc",
+                    Json.String (D.Report.base_loc ra.Core.Pipeline.race.D.Report.r_loc) );
+                  ( "category",
+                    Json.String (Core.Taxonomy.category_to_string v.Core.Taxonomy.category) );
+                  ("k", Json.Int v.Core.Taxonomy.k);
+                  ("states_differ", Json.Bool v.Core.Taxonomy.states_differ);
+                  ("detail", Json.String v.Core.Taxonomy.detail);
+                  ("instances", Json.Int ra.Core.Pipeline.instances)
+                ]
+               @ consequence)))
+      a.Core.Pipeline.races
+  in
+  let unclassified =
+    List.map
+      (fun (race, e) ->
+        Json.Obj
+          (("type", Json.String "unclassified")
+          :: with_id id
+               [ ("race", Json.String (Fmt.str "%a" D.Report.pp_race race));
+                 ("error", Json.String e)
+               ]))
+      a.Core.Pipeline.errors
+  in
+  verdicts @ unclassified
+
+let summary_line ?id ?time_s (a : Core.Pipeline.t) : Json.t =
+  let harmful =
+    List.exists
+      (fun (ra : Core.Pipeline.race_analysis) ->
+        Core.Taxonomy.is_harmful ra.Core.Pipeline.verdict.Core.Taxonomy.category)
+      a.Core.Pipeline.races
+  in
+  let time = match time_s with Some t -> [ ("time_s", Json.Float t) ] | None -> [] in
+  Json.Obj
+    (("type", Json.String "summary")
+    :: with_id id
+         ([ ("program", Json.String a.Core.Pipeline.program.Portend_lang.Bytecode.pname);
+            ( "stop",
+              Json.String
+                (Portend_vm.Run.stop_to_string a.Core.Pipeline.record.Portend_vm.Run.stop) );
+            ("races", Json.Int (List.length a.Core.Pipeline.races));
+            ( "instances",
+              Json.Int
+                (List.fold_left
+                   (fun acc (ra : Core.Pipeline.race_analysis) ->
+                     acc + ra.Core.Pipeline.instances)
+                   0 a.Core.Pipeline.races) );
+            ("errors", Json.Int (List.length a.Core.Pipeline.errors));
+            ("harmful", Json.Bool harmful)
+          ]
+         @ time))
+
+let responses_of_analysis ?id ?time_s (a : Core.Pipeline.t) : Json.t list =
+  verdict_lines ?id a @ [ summary_line ?id ?time_s a ]
+
+let strip_member name = function
+  | Json.Obj members -> Json.Obj (List.filter (fun (k, _) -> k <> name) members)
+  | v -> v

@@ -1,0 +1,86 @@
+(** The serve line protocol: newline-delimited JSON, one request per line,
+    several response lines per request.
+
+    {2 Requests}
+
+    {v
+    {"program": "<racelang source>", "seed": 1,
+     "inputs": {"x": 3}, "config": {"mp": 5, "ma": 2}, "id": 7}
+    {"workload": "sqlite", "id": "warm-1"}
+    v}
+
+    Exactly one of ["program"] (Racelang concrete syntax) or ["workload"]
+    (a name from the evaluation suite registry) must be present.  ["seed"]
+    and ["inputs"] default to the registry's recording for workloads and
+    to seed 1 / no inputs for programs.  ["config"] may override the
+    exploration dials ([mp], [ma], [max_symbolic_inputs]) and the feature
+    toggles ([static_prefilter], [enable_reduction]); everything else —
+    jobs, caching — is daemon policy and not per-request.  ["id"] is an
+    arbitrary string or integer echoed on every response line of the
+    request, so pipelining clients can match responses to requests.
+
+    Unknown top-level or config keys are rejected: a typoed dial silently
+    ignored would classify under the wrong configuration, which is worse
+    than an error.  Input bindings go through the same validated parser
+    as the CLI's [--input] ({!Portend_core.Inputs}), including its
+    duplicate-key rule.
+
+    {2 Responses}
+
+    Per request, in order: one ["verdict"] line per classified race, one
+    ["unclassified"] line per race whose replay diverged, then exactly one
+    terminal line — ["summary"] on success or ["error"] on failure.
+    Every line echoes the request's ["id"] when one was given.  Error
+    codes: [bad_request], [parse_error], [compile_error],
+    [unknown_workload], [busy] (queue full — resend later), [oversized],
+    [internal_error]. *)
+
+type source =
+  | Program of string  (** Racelang source text *)
+  | Workload of string  (** evaluation-suite registry name *)
+
+(** Per-request overrides of the daemon's base {!Portend_core.Config.t}. *)
+type overrides = {
+  ov_mp : int option;
+  ov_ma : int option;
+  ov_sym : int option;  (** [max_symbolic_inputs] *)
+  ov_prefilter : bool option;
+  ov_reduction : bool option;
+}
+
+type request = {
+  rq_id : Json.t option;  (** echoed verbatim on every response line *)
+  rq_source : source;
+  rq_seed : int option;
+  rq_inputs : (string * int) list option;
+  rq_overrides : overrides;
+}
+
+(** [parse_request j] validates one decoded request line.
+    [Error (code, message)] names the protocol error code. *)
+val parse_request : Json.t -> (request, string * string) result
+
+(** The daemon's base config with the request's overrides applied. *)
+val effective_config : base:Portend_core.Config.t -> request -> Portend_core.Config.t
+
+(** {1 Response lines} *)
+
+val error_line : ?id:Json.t -> code:string -> string -> Json.t
+
+(** The ["verdict"] and ["unclassified"] lines of an analysis, in
+    detection order.  Deterministic: no wall-clock fields (those live in
+    the summary line), so a served analysis and a one-shot
+    {!Portend_core.Pipeline.analyze} render bit-identical lines. *)
+val verdict_lines : ?id:Json.t -> Portend_core.Pipeline.t -> Json.t list
+
+(** The terminal ["summary"] line.  [time_s] is the server-side wall time
+    of the job ([None] elides the field, for deterministic comparison). *)
+val summary_line : ?id:Json.t -> ?time_s:float -> Portend_core.Pipeline.t -> Json.t
+
+(** [verdict_lines] plus [summary_line] — a successful job's full reply. *)
+val responses_of_analysis :
+  ?id:Json.t -> ?time_s:float -> Portend_core.Pipeline.t -> Json.t list
+
+(** Remove one top-level member (tests strip ["time_s"] before comparing
+    served output against a local analysis). *)
+val strip_member : string -> Json.t -> Json.t

@@ -1,0 +1,460 @@
+(* The classification daemon; service contract in server.mli, wire format
+   in protocol.mli, architecture rationale in DESIGN.md §7. *)
+
+module Core = Portend_core
+module Telemetry = Portend_telemetry
+module Clock = Portend_util.Clock
+
+type address =
+  | Unix_path of string
+  | Tcp of string * int
+
+let address_to_string = function
+  | Unix_path p -> "unix:" ^ p
+  | Tcp (host, port) ->
+    Printf.sprintf "tcp:%s:%d" (if host = "" then "127.0.0.1" else host) port
+
+let pp_address fmt a = Format.pp_print_string fmt (address_to_string a)
+
+type settings = {
+  config : Core.Config.t;
+  max_request_bytes : int;
+  queue_depth : int;
+  idle_timeout_s : float;
+  batch : int;
+}
+
+let default_settings =
+  { config = Core.Config.default;
+    max_request_bytes = 1024 * 1024;
+    queue_depth = 64;
+    idle_timeout_s = 300.;
+    batch = 8
+  }
+
+(* --- per-client state -------------------------------------------------- *)
+
+type client = {
+  fd : Unix.file_descr;
+  cid : int;
+  mutable pending : string;  (** bytes read but not yet newline-terminated *)
+  jobs : (Json.t option * Protocol.request) Queue.t;  (** (id, parsed job) *)
+  mutable last_active : float;
+  mutable alive : bool;
+}
+
+type state = {
+  settings : settings;
+  listener : Unix.file_descr;
+  control : Unix.file_descr;
+  clients : (int, client) Hashtbl.t;
+  mutable rotation : int list;  (** client ids, round-robin dispatch order *)
+  mutable total_queued : int;
+  mutable draining : bool;
+}
+
+let tick name = if Telemetry.enabled () then Telemetry.incr name
+
+(* --- socket plumbing --------------------------------------------------- *)
+
+let bind_listener = function
+  | Unix_path path ->
+    if Sys.file_exists path then Unix.unlink path;
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 64;
+    (fd, Unix_path path)
+  | Tcp (host, port) ->
+    let addr =
+      match host with
+      | "" | "localhost" -> Unix.inet_addr_loopback
+      | h -> Unix.inet_addr_of_string h
+    in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (addr, port));
+    Unix.listen fd 64;
+    let bound_port =
+      match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> port
+    in
+    (fd, Tcp (host, bound_port))
+
+let write_all fd s =
+  let len = String.length s in
+  let off = ref 0 in
+  while !off < len do
+    let n = Unix.write_substring fd s !off (len - !off) in
+    if n = 0 then raise (Unix.Unix_error (Unix.EPIPE, "write", ""));
+    off := !off + n
+  done
+
+(* Send one response line; a client we cannot write to is dead (reaped by
+   the caller via [close_client] once it observes [alive = false]). *)
+let send cl (line : Json.t) =
+  if cl.alive then
+    try
+      write_all cl.fd (Json.to_string line ^ "\n");
+      cl.last_active <- Clock.now_s ()
+    with Unix.Unix_error _ -> cl.alive <- false
+
+let close_client st cl =
+  if Hashtbl.mem st.clients cl.cid then begin
+    Hashtbl.remove st.clients cl.cid;
+    st.rotation <- List.filter (fun id -> id <> cl.cid) st.rotation;
+    st.total_queued <- st.total_queued - Queue.length cl.jobs;
+    Queue.clear cl.jobs;
+    cl.alive <- false;
+    (try Unix.close cl.fd with Unix.Unix_error _ -> ());
+    tick "serve.clients_closed"
+  end
+
+(* --- job execution ----------------------------------------------------- *)
+
+(* Resolve the request's program source to (bytecode, default seed,
+   default inputs).  Compile failures are protocol errors, not crashes. *)
+let resolve_source (src : Protocol.source) =
+  match src with
+  | Protocol.Program text -> (
+    match Portend_lang.Parser.compile_string text with
+    | prog -> Ok (prog, 1, [])
+    | exception (Portend_lang.Parser.Error e | Portend_lang.Lexer.Error e) ->
+      Error ("compile_error", "parse error: " ^ e)
+    | exception Portend_lang.Compile.Error e -> Error ("compile_error", "compile error: " ^ e))
+  | Protocol.Workload name -> (
+    match Portend_workloads.Suite.find name with
+    | Some w ->
+      Ok
+        ( Portend_lang.Compile.compile w.Portend_workloads.Registry.w_prog,
+          w.Portend_workloads.Registry.w_seed,
+          w.Portend_workloads.Registry.w_inputs )
+    | None -> Error ("unknown_workload", Printf.sprintf "no workload named %S in the suite" name))
+
+(* Run one job to its full response-line list.  Total: every failure mode
+   is a structured error line; nothing escapes to kill a pool worker. *)
+let handle_job (settings : settings) ((id, rq) : Json.t option * Protocol.request) : Json.t list =
+  Telemetry.with_span "serve.job" (fun () ->
+      match resolve_source rq.Protocol.rq_source with
+      | Error (code, msg) ->
+        tick "serve.protocol_errors";
+        [ Protocol.error_line ?id ~code msg ]
+      | Ok (prog, default_seed, default_inputs) -> (
+        let seed = Option.value rq.Protocol.rq_seed ~default:default_seed in
+        let inputs = Option.value rq.Protocol.rq_inputs ~default:default_inputs in
+        let config = Protocol.effective_config ~base:settings.config rq in
+        match Clock.timed (fun () -> Core.Pipeline.analyze ~config ~seed ~inputs prog) with
+        | analysis, time_s ->
+          tick "serve.jobs";
+          Protocol.responses_of_analysis ?id ~time_s analysis
+        | exception e ->
+          tick "serve.errors";
+          [ Protocol.error_line ?id ~code:"internal_error" (Printexc.to_string e) ]))
+
+(* --- intake ------------------------------------------------------------ *)
+
+let intake_line st cl line =
+  let line =
+    (* Tolerate CRLF clients. *)
+    let n = String.length line in
+    if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+  in
+  if String.trim line <> "" then begin
+    tick "serve.requests";
+    match Json.parse line with
+    | Error e ->
+      tick "serve.protocol_errors";
+      send cl (Protocol.error_line ~code:"parse_error" e)
+    | Ok j -> (
+      match Protocol.parse_request j with
+      | Error (code, msg) ->
+        tick "serve.protocol_errors";
+        send cl (Protocol.error_line ?id:(Json.member "id" j) ~code msg)
+      | Ok rq ->
+        if st.total_queued >= st.settings.queue_depth then begin
+          tick "serve.busy";
+          send cl
+            (Protocol.error_line ?id:rq.Protocol.rq_id ~code:"busy"
+               (Printf.sprintf "queue full (%d job(s) pending); retry later"
+                  st.total_queued))
+        end
+        else begin
+          Queue.add (rq.Protocol.rq_id, rq) cl.jobs;
+          st.total_queued <- st.total_queued + 1;
+          if Telemetry.enabled () then Telemetry.gauge "serve.queue_depth" st.total_queued
+        end)
+  end
+
+(* Split [cl.pending] on newlines and intake every complete line. *)
+let drain_pending st cl =
+  let rec loop () =
+    match String.index_opt cl.pending '\n' with
+    | Some i when i <= st.settings.max_request_bytes ->
+      let line = String.sub cl.pending 0 i in
+      cl.pending <- String.sub cl.pending (i + 1) (String.length cl.pending - i - 1);
+      intake_line st cl line;
+      if cl.alive then loop ()
+    | Some _ -> oversized ()
+    | None ->
+      if String.length cl.pending > st.settings.max_request_bytes then oversized ()
+  and oversized () =
+    (* A line past the cap — complete or still streaming in — is never
+       parsed; and once we stop trusting line boundaries the stream cannot
+       be resynchronized, so reply and close. *)
+    tick "serve.oversized";
+    send cl
+      (Protocol.error_line ~code:"oversized"
+         (Printf.sprintf "request line exceeds %d bytes" st.settings.max_request_bytes));
+    close_client st cl
+  in
+  loop ()
+
+let read_client st cl =
+  let buf = Bytes.create 65536 in
+  match Unix.read cl.fd buf 0 (Bytes.length buf) with
+  | 0 -> close_client st cl (* EOF: a partial trailing line is discarded *)
+  | n ->
+    cl.last_active <- Clock.now_s ();
+    cl.pending <- cl.pending ^ Bytes.sub_string buf 0 n;
+    drain_pending st cl
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | exception Unix.Unix_error _ -> close_client st cl
+
+let accept_clients st next_cid =
+  let rec loop () =
+    match Unix.accept st.listener with
+    | fd, _ ->
+      Unix.set_nonblock fd;
+      let cid = !next_cid in
+      incr next_cid;
+      let cl =
+        { fd; cid; pending = ""; jobs = Queue.create (); last_active = Clock.now_s ();
+          alive = true }
+      in
+      Hashtbl.add st.clients cid cl;
+      st.rotation <- st.rotation @ [ cid ];
+      tick "serve.clients_accepted";
+      loop ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  in
+  loop ()
+
+(* --- dispatch ---------------------------------------------------------- *)
+
+(* Take up to [batch] jobs, at most one per client per rotation pass, so a
+   client that pipelined fifty requests cannot starve one that sent one. *)
+let take_round st =
+  let batch = max 1 st.settings.batch in
+  let taken = ref [] in
+  let ntaken = ref 0 in
+  let progress = ref true in
+  while !progress && !ntaken < batch && st.total_queued > 0 do
+    progress := false;
+    List.iter
+      (fun cid ->
+        if !ntaken < batch then
+          match Hashtbl.find_opt st.clients cid with
+          | Some cl when not (Queue.is_empty cl.jobs) ->
+            let job = Queue.pop cl.jobs in
+            st.total_queued <- st.total_queued - 1;
+            taken := (cl, job) :: !taken;
+            incr ntaken;
+            progress := true
+          | _ -> ())
+      st.rotation;
+    (* Rotate so the next pass starts with a different client at the
+       front — the client cut off when a batch fills changes over time. *)
+    match st.rotation with [] -> () | hd :: tl -> st.rotation <- tl @ [ hd ]
+  done;
+  List.rev !taken
+
+let dispatch st =
+  match take_round st with
+  | [] -> ()
+  | round ->
+    if Telemetry.enabled () then Telemetry.gauge "serve.queue_depth" st.total_queued;
+    let responses =
+      Portend_util.Pool.map ~jobs:st.settings.config.Core.Config.jobs
+        (fun (_, job) -> handle_job st.settings job)
+        round
+    in
+    List.iter2 (fun (cl, _) lines -> List.iter (send cl) lines) round responses;
+    (* Writes may have marked clients dead; reap them. *)
+    List.iter (fun (cl, _) -> if not cl.alive then close_client st cl) round
+
+(* --- the loop ---------------------------------------------------------- *)
+
+let run ?(settings = default_settings) ?on_ready ~control (addr : address) =
+  let listener, bound = bind_listener addr in
+  Unix.set_nonblock listener;
+  let prev_sigpipe =
+    (* Writing to a client that vanished must be an EPIPE error, not a
+       process kill.  Restored on return so in-process tests are polite. *)
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore) with Invalid_argument _ -> None
+  in
+  let st =
+    { settings;
+      listener;
+      control;
+      clients = Hashtbl.create 16;
+      rotation = [];
+      total_queued = 0;
+      draining = false
+    }
+  in
+  let next_cid = ref 1 in
+  let cleanup () =
+    Hashtbl.iter (fun _ cl -> try Unix.close cl.fd with Unix.Unix_error _ -> ()) st.clients;
+    Hashtbl.reset st.clients;
+    (try Unix.close listener with Unix.Unix_error _ -> ());
+    (match bound with
+    | Unix_path p -> ( try Unix.unlink p with Unix.Unix_error _ | Sys_error _ -> ())
+    | Tcp _ -> ());
+    match prev_sigpipe with
+    | Some old -> ( try Sys.set_signal Sys.sigpipe old with Invalid_argument _ -> ())
+    | None -> ()
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      (* The whole serve loop runs inside the solver-memo bracket: memos
+         load once at startup and the accumulated table is snapshotted
+         back at drain — the daemon's warm-start substrate. *)
+      Core.Pcache.with_solver_memos settings.config (fun () ->
+          (match on_ready with Some f -> f bound | None -> ());
+          let running = ref true in
+          while !running do
+            let fds =
+              st.control
+              :: (if st.draining then [] else listener :: [])
+              @ (if st.draining then []
+                 else Hashtbl.fold (fun _ cl acc -> cl.fd :: acc) st.clients [])
+            in
+            let readable, _, _ =
+              try Unix.select fds [] [] 0.2
+              with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+            in
+            if List.mem st.control readable then begin
+              (* One byte = one drain request; drain is idempotent. *)
+              (try ignore (Unix.read st.control (Bytes.create 16) 0 16) with
+              | Unix.Unix_error _ -> ());
+              if not st.draining then begin
+                st.draining <- true;
+                (* Final intake sweep: connections still in the listen
+                   backlog and requests already sitting in kernel buffers
+                   were submitted before the drain and must still be
+                   answered (and left unread they would turn the server's
+                   close into a connection reset). *)
+                accept_clients st next_cid;
+                let rec sweep () =
+                  let fds = Hashtbl.fold (fun _ cl acc -> cl.fd :: acc) st.clients [] in
+                  if fds <> [] then begin
+                    let r, _, _ =
+                      try Unix.select fds [] [] 0.
+                      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+                    in
+                    if r <> [] then begin
+                      List.iter
+                        (fun fd ->
+                          match
+                            Hashtbl.fold
+                              (fun _ cl acc -> if cl.fd = fd then Some cl else acc)
+                              st.clients None
+                          with
+                          | Some cl -> read_client st cl
+                          | None -> ())
+                        r;
+                      sweep ()
+                    end
+                  end
+                in
+                sweep ()
+              end
+            end;
+            if not st.draining then begin
+              if List.mem listener readable then accept_clients st next_cid;
+              List.iter
+                (fun fd ->
+                  if fd <> listener && fd <> st.control then
+                    match
+                      Hashtbl.fold
+                        (fun _ cl acc -> if cl.fd = fd then Some cl else acc)
+                        st.clients None
+                    with
+                    | Some cl -> read_client st cl
+                    | None -> ())
+                readable
+            end;
+            dispatch st;
+            (* Idle-client sweep: no traffic, nothing queued, no partial
+               line in flight — disconnect. *)
+            if (not st.draining) && settings.idle_timeout_s > 0. then begin
+              let now = Clock.now_s () in
+              let stale =
+                Hashtbl.fold
+                  (fun _ cl acc ->
+                    if
+                      now -. cl.last_active > settings.idle_timeout_s
+                      && Queue.is_empty cl.jobs && cl.pending = ""
+                    then cl :: acc
+                    else acc)
+                  st.clients []
+              in
+              List.iter
+                (fun cl ->
+                  tick "serve.idle_closed";
+                  close_client st cl)
+                stale
+            end;
+            if st.draining && st.total_queued = 0 then running := false
+          done))
+
+(* --- in-process handle ------------------------------------------------- *)
+
+type startup =
+  | Starting
+  | Ready of address
+  | Failed
+
+type t = {
+  dom : unit Domain.t;
+  ctl_w : Unix.file_descr;
+  addr : address;
+  mutable stopped : bool;
+}
+
+let start ?settings addr =
+  let ctl_r, ctl_w = Unix.pipe () in
+  let status = Atomic.make Starting in
+  let dom =
+    Domain.spawn (fun () ->
+        match
+          run ?settings ~on_ready:(fun bound -> Atomic.set status (Ready bound)) ~control:ctl_r
+            addr
+        with
+        | () -> Unix.close ctl_r
+        | exception e ->
+          Atomic.set status Failed;
+          Unix.close ctl_r;
+          raise e)
+  in
+  let rec wait () =
+    match Atomic.get status with
+    | Ready bound -> bound
+    | Failed ->
+      (* Join re-raises whatever killed the server before it got up. *)
+      (try Unix.close ctl_w with Unix.Unix_error _ -> ());
+      Domain.join dom
+      |> fun () -> failwith "serve: server failed to start"
+    | Starting ->
+      Unix.sleepf 0.002;
+      wait ()
+  in
+  let bound = wait () in
+  { dom; ctl_w; addr = bound; stopped = false }
+
+let address t = t.addr
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    (try ignore (Unix.write_substring t.ctl_w "q" 0 1) with Unix.Unix_error _ -> ());
+    Domain.join t.dom;
+    try Unix.close t.ctl_w with Unix.Unix_error _ -> ()
+  end

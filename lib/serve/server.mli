@@ -1,0 +1,77 @@
+(** The classification daemon: a long-running server that answers
+    {!Protocol} jobs over a Unix-domain or TCP socket.
+
+    One process keeps every accelerator hot across requests — the solver
+    memo table (imported from and exported to the persistent store when
+    caching is on), the per-function static summaries and whole-program
+    MHP results, and the content-addressed verdict tier — so the steady
+    state of a busy daemon is the warm-cache row of
+    [BENCH_incremental.json], not the cold one.
+
+    Service behaviour (DESIGN.md §7):
+    - {e intake} is newline-delimited JSON; a malformed line gets a
+      structured [parse_error]/[bad_request] reply and the connection
+      stays usable; a line exceeding [max_request_bytes] gets an
+      [oversized] reply and the connection is closed (the stream cannot
+      be resynchronized);
+    - {e fairness} is round-robin: each dispatch round takes at most one
+      queued job per client before taking a second from anyone;
+    - {e backpressure} is explicit: when [queue_depth] jobs are pending
+      the daemon answers [busy] instead of queueing, immediately;
+    - {e idle clients} are disconnected after [idle_timeout_s] with no
+      traffic and nothing queued;
+    - {e drain} is graceful: on a control-pipe byte (or SIGTERM via the
+      CLI), the listener closes, queued jobs finish, replies flush, the
+      solver-memo snapshot is exported, and [run] returns — no orphan
+      worker domains survive (every pool joins its helpers).
+
+    Jobs are dispatched in rounds through {!Portend_util.Pool.map} on
+    [config.jobs] domains; verdicts are bit-identical to one-shot
+    {!Portend_core.Pipeline.analyze} for every job count and queue order
+    (each job reads only its own immutable program, trace, and states).
+
+    Telemetry (when enabled): [serve.job] spans, [serve.requests] /
+    [serve.jobs] / [serve.protocol_errors] / [serve.busy] /
+    [serve.oversized] / [serve.clients_accepted] / [serve.clients_closed]
+    / [serve.idle_closed] counters and the [serve.queue_depth] gauge,
+    all exported through the usual snapshot machinery. *)
+
+type address =
+  | Unix_path of string  (** Unix-domain socket at this path *)
+  | Tcp of string * int  (** host (dotted quad or [""] = loopback), port; port [0] binds ephemerally *)
+
+val pp_address : Format.formatter -> address -> unit
+val address_to_string : address -> string
+
+type settings = {
+  config : Portend_core.Config.t;
+      (** base classifier config; requests may override the exploration
+          dials, never the jobs/cache policy *)
+  max_request_bytes : int;  (** request-line size cap (default 1 MiB) *)
+  queue_depth : int;  (** pending jobs accepted before [busy] (default 64) *)
+  idle_timeout_s : float;  (** disconnect idle clients; [<= 0.] disables (default 300) *)
+  batch : int;  (** max jobs dispatched per round (default 8) *)
+}
+
+val default_settings : settings
+
+(** {1 Foreground operation}
+
+    [run ~control addr] binds [addr], serves until a byte arrives on the
+    [control] file descriptor (the read end of a pipe), drains, and
+    returns.  [on_ready] is called once with the bound address (the
+    resolved port for [Tcp (_, 0)]) before the first accept. *)
+val run :
+  ?settings:settings -> ?on_ready:(address -> unit) -> control:Unix.file_descr -> address -> unit
+
+(** {1 In-process daemon handle} (tests and benchmarks)
+
+    [start addr] runs {!run} on a fresh domain and blocks until the
+    server is accepting; {!stop} triggers a graceful drain and joins the
+    domain (re-raising anything the server loop raised). *)
+
+type t
+
+val start : ?settings:settings -> address -> t
+val address : t -> address
+val stop : t -> unit

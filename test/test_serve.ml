@@ -1,0 +1,440 @@
+(* Tests for the serve daemon: the JSON codec, the validated input parser
+   shared with the CLI, request validation, and the running server itself —
+   protocol round-trips, structured errors for malformed/truncated/oversized
+   input, concurrent-client verdict identity against one-shot
+   Pipeline.analyze, warm-cache verdict-tier hits, explicit backpressure,
+   idle-client disconnection, and graceful drain. *)
+
+open Portend_serve
+module Core = Portend_core
+module Store = Portend_cache.Store
+module Workloads = Portend_workloads
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun name -> rm_rf (Filename.concat path name)) (Sys.readdir path);
+      try Sys.rmdir path with Sys_error _ -> ()
+    end
+    else try Sys.remove path with Sys_error _ -> ()
+
+(* Every server test binds loopback port 0 (the kernel picks a free port),
+   so runs never collide; the Unix-socket test uses a temp path. *)
+let loopback = Server.Tcp ("", 0)
+
+let with_server ?settings (f : Server.t -> unit) () =
+  let srv = Server.start ?settings loopback in
+  Fun.protect ~finally:(fun () -> Server.stop srv) (fun () -> f srv)
+
+let micro name =
+  match Workloads.Suite.find name with
+  | Some w -> w
+  | None -> Alcotest.failf "workload %s not in the suite" name
+
+(* The response lines a one-shot analysis of [w] would produce, with the
+   nondeterministic wall-time stripped — the serve identity oracle. *)
+let expected_lines ?id (w : Workloads.Registry.workload) =
+  let prog = Portend_lang.Compile.compile w.Workloads.Registry.w_prog in
+  let a =
+    Core.Pipeline.analyze ~config:Core.Config.default ~seed:w.Workloads.Registry.w_seed
+      ~inputs:w.Workloads.Registry.w_inputs prog
+  in
+  List.map Json.to_string (Protocol.responses_of_analysis ?id a)
+
+let served_lines responses =
+  List.map (fun r -> Json.to_string (Protocol.strip_member "time_s" r)) responses
+
+let workload_request ?id name : Json.t =
+  Json.Obj
+    ((match id with Some id -> [ ("id", id) ] | None -> [])
+    @ [ ("workload", Json.String name) ])
+
+let resp_type r = match Json.member "type" r with Some (Json.String t) -> t | _ -> "?"
+let resp_code r = match Json.member "code" r with Some (Json.String c) -> c | _ -> "?"
+
+(* --- the JSON codec -------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let cases =
+    [ {|{"a":1,"b":[true,false,null],"c":"x"}|};
+      {|[1,-2,0]|};
+      {|"escaped \" \\ \n \t end"|};
+      {|{"nested":{"deep":{"deeper":[{"ok":true}]}}}|};
+      {|3.5|}
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Error e -> Alcotest.failf "parse %s: %s" s e
+      | Ok v -> (
+        (* print → parse → print is a fixpoint *)
+        let printed = Json.to_string v in
+        match Json.parse printed with
+        | Error e -> Alcotest.failf "reparse %s: %s" printed e
+        | Ok v2 ->
+          Alcotest.(check string) ("fixpoint " ^ s) printed (Json.to_string v2)))
+    cases;
+  (* Escapes decode *)
+  (match Json.parse {|"aAb\nc"|} with
+  | Ok (Json.String s) -> Alcotest.(check string) "escapes" "aAb\nc" s
+  | _ -> Alcotest.fail "string escape parse");
+  (* Duplicate keys are preserved for the protocol layer to reject *)
+  match Json.parse {|{"k":1,"k":2}|} with
+  | Ok (Json.Obj members) ->
+    Alcotest.(check int) "duplicates preserved" 2 (List.length members)
+  | _ -> Alcotest.fail "duplicate-key object parse"
+
+let test_json_errors () =
+  let bad =
+    [ "";
+      "{";
+      "[1,";
+      "{\"a\" 1}";
+      "tru";
+      "\"unterminated";
+      "{\"a\":1} trailing";
+      "nan";
+      "\"bad \\q escape\"";
+      "\"ctrl \x01 char\""
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.failf "accepted malformed %S" s
+      | Error _ -> ())
+    bad;
+  (* A nesting bomb errors instead of overflowing the stack. *)
+  let bomb = String.make 10_000 '[' in
+  (match Json.parse bomb with
+  | Ok _ -> Alcotest.fail "accepted nesting bomb"
+  | Error e ->
+    Alcotest.(check bool) "depth error" true
+      (Astring.String.is_infix ~affix:"nesting too deep" e));
+  (* ...but legitimate nesting below the cap parses. *)
+  let deep = String.make 32 '[' ^ "1" ^ String.make 32 ']' in
+  match Json.parse deep with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "rejected depth-32 value: %s" e
+
+(* --- the shared input parser ----------------------------------------- *)
+
+let test_inputs_parser () =
+  (match Core.Inputs.parse_pair "x=3" with
+  | Ok kv -> Alcotest.(check (pair string int)) "x=3" ("x", 3) kv
+  | Error e -> Alcotest.fail e);
+  (match Core.Inputs.parse_pair "x=-7" with
+  | Ok kv -> Alcotest.(check (pair string int)) "negative" ("x", -7) kv
+  | Error e -> Alcotest.fail e);
+  List.iter
+    (fun s ->
+      match Core.Inputs.parse_pair s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error e ->
+        Alcotest.(check bool) (Printf.sprintf "%S error mentions the input" s) true
+          (Astring.String.is_infix ~affix:"bad input" e))
+    [ "x=abc"; "x=1=2"; "=1"; "x="; "noequals"; "x=1.5" ];
+  (* The duplicate-key rule: distinct keys pass through, duplicates error. *)
+  (match Core.Inputs.parse_pairs [ "a=1"; "b=2" ] with
+  | Ok kvs -> Alcotest.(check (list (pair string int))) "distinct" [ ("a", 1); ("b", 2) ] kvs
+  | Error e -> Alcotest.fail e);
+  match Core.Inputs.parse_pairs [ "a=1"; "b=2"; "a=3" ] with
+  | Ok _ -> Alcotest.fail "accepted duplicate key"
+  | Error e ->
+    Alcotest.(check bool) "duplicate error names the key" true
+      (Astring.String.is_infix ~affix:"\"a\"" e)
+
+(* --- request validation ---------------------------------------------- *)
+
+let parse_req s =
+  match Json.parse s with
+  | Error e -> Alcotest.failf "test request does not parse: %s" e
+  | Ok j -> Protocol.parse_request j
+
+let test_protocol_requests () =
+  (match parse_req {|{"workload":"RW","seed":9,"inputs":{"a":1},"config":{"mp":3}}|} with
+  | Ok rq ->
+    Alcotest.(check (option int)) "seed" (Some 9) rq.Protocol.rq_seed;
+    Alcotest.(check bool) "workload" true (rq.Protocol.rq_source = Protocol.Workload "RW");
+    let cfg = Protocol.effective_config ~base:Core.Config.default rq in
+    Alcotest.(check int) "mp override" 3 cfg.Core.Config.mp;
+    Alcotest.(check int) "ma untouched" Core.Config.default.Core.Config.ma cfg.Core.Config.ma
+  | Error (c, m) -> Alcotest.failf "valid request rejected: %s %s" c m);
+  let rejected =
+    [ {|{}|};
+      {|{"program":"x","workload":"y"}|};
+      {|{"workload":""}|};
+      {|{"workload":"RW","seed":"one"}|};
+      {|{"workload":"RW","inputs":{"a":"b"}}|};
+      {|{"workload":"RW","inputs":{"a":1,"a":2}}|};
+      {|{"workload":"RW","config":{"jobs":4}}|};
+      {|{"workload":"RW","config":{"mp":"three"}}|};
+      {|{"workload":"RW","id":[1]}|};
+      {|{"workload":"RW","typo":1}|};
+      {|[1,2]|}
+    ]
+  in
+  List.iter
+    (fun s ->
+      match parse_req s with
+      | Ok _ -> Alcotest.failf "accepted bad request %s" s
+      | Error (code, _) -> Alcotest.(check string) ("code for " ^ s) "bad_request" code)
+    rejected
+
+(* --- the running server ---------------------------------------------- *)
+
+let test_roundtrip srv =
+  let cl = Client.connect (Server.address srv) in
+  Fun.protect ~finally:(fun () -> Client.close cl)
+    (fun () ->
+      let w = micro "RW" in
+      let responses = Client.request cl (workload_request ~id:(Json.Int 1) "RW") in
+      Alcotest.(check (list string)) "served = one-shot"
+        (expected_lines ~id:(Json.Int 1) w)
+        (served_lines responses))
+
+let test_malformed_then_ok srv =
+  let cl = Client.connect (Server.address srv) in
+  Fun.protect ~finally:(fun () -> Client.close cl)
+    (fun () ->
+      (* Malformed JSON gets a structured error... *)
+      Client.send_line cl "{this is not json";
+      (match Client.read_line cl with
+      | Some line -> (
+        match Json.parse line with
+        | Ok r ->
+          Alcotest.(check string) "error line" "error" (resp_type r);
+          Alcotest.(check string) "parse_error code" "parse_error" (resp_code r)
+        | Error e -> Alcotest.failf "unparseable error line: %s" e)
+      | None -> Alcotest.fail "connection dropped on malformed line");
+      (* ...a bad request too... *)
+      let bad = Client.request cl (Json.Obj [ ("nonsense", Json.Int 1) ]) in
+      (match bad with
+      | [ r ] -> Alcotest.(check string) "bad_request" "bad_request" (resp_code r)
+      | _ -> Alcotest.fail "expected exactly one error line");
+      (* ...an unclassifiable program too... *)
+      let broken =
+        Client.request cl (Json.Obj [ ("program", Json.String "program x fn main( {") ])
+      in
+      (match broken with
+      | [ r ] -> Alcotest.(check string) "compile_error" "compile_error" (resp_code r)
+      | _ -> Alcotest.fail "expected exactly one compile error line");
+      (* ...and the connection still serves real jobs afterwards. *)
+      let responses = Client.request cl (workload_request "RW") in
+      Alcotest.(check (list string)) "recovers after errors"
+        (expected_lines (micro "RW"))
+        (served_lines responses))
+
+let test_truncated_request srv =
+  (* A client that dies mid-line must not wedge or crash the daemon. *)
+  let cl = Client.connect (Server.address srv) in
+  Client.send_line cl {|{"workload":"RW"}|};
+  (* a complete job, then a half line *)
+  let fd_line = {|{"workload":"R|} in
+  (try
+     let cl2 = Client.connect (Server.address srv) in
+     Client.send_line cl2 fd_line;
+     (* no newline follows; just hang up *)
+     Client.close cl2
+   with e -> Alcotest.failf "truncated client: %s" (Printexc.to_string e));
+  (* The first client's complete job still answers in full. *)
+  let rec read_until_summary acc =
+    match Client.read_line cl with
+    | None -> Alcotest.fail "EOF before summary"
+    | Some line -> (
+      match Json.parse line with
+      | Ok r when resp_type r = "summary" -> List.rev (r :: acc)
+      | Ok r -> read_until_summary (r :: acc)
+      | Error e -> Alcotest.failf "bad line: %s" e)
+  in
+  let responses = read_until_summary [] in
+  Alcotest.(check (list string)) "unaffected by truncated neighbour"
+    (expected_lines (micro "RW"))
+    (served_lines responses);
+  Client.close cl
+
+let test_oversized () =
+  let settings = { Server.default_settings with Server.max_request_bytes = 256 } in
+  with_server ~settings
+    (fun srv ->
+      let cl = Client.connect (Server.address srv) in
+      Fun.protect ~finally:(fun () -> Client.close cl)
+        (fun () ->
+          Client.send_line cl (String.make 600 'x');
+          match Client.read_line cl with
+          | Some line -> (
+            match Json.parse line with
+            | Ok r ->
+              Alcotest.(check string) "oversized code" "oversized" (resp_code r);
+              (* the stream cannot resync, so the server hangs up *)
+              Alcotest.(check (option string)) "closed after oversized" None
+                (Client.read_line cl)
+            | Error e -> Alcotest.failf "bad oversized reply: %s" e)
+          | None -> Alcotest.fail "no oversized reply"))
+    ()
+
+let test_concurrent_clients srv =
+  (* Three clients, each pipelining its own workload mix concurrently; every
+     reply must be bit-identical to the one-shot analysis. *)
+  let mixes = [ [ "RW"; "DCL" ]; [ "DCL"; "RW" ]; [ "RW"; "RW" ] ] in
+  let run_client names =
+    let cl = Client.connect (Server.address srv) in
+    Fun.protect ~finally:(fun () -> Client.close cl)
+      (fun () ->
+        List.mapi
+          (fun i name ->
+            (name, served_lines (Client.request cl (workload_request ~id:(Json.Int i) name))))
+          names)
+  in
+  let doms = List.map (fun names -> Domain.spawn (fun () -> run_client names)) mixes in
+  let results = List.map Domain.join doms in
+  List.iteri
+    (fun ci per_client ->
+      List.iteri
+        (fun i (name, got) ->
+          Alcotest.(check (list string))
+            (Printf.sprintf "client %d job %d (%s)" ci i name)
+            (expected_lines ~id:(Json.Int i) (micro name))
+            got)
+        per_client)
+    results
+
+let test_warm_cache () =
+  let dir = "_t_serve_cache" in
+  rm_rf dir;
+  Fun.protect ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let config = { Core.Config.default with Core.Config.cache = true; cache_dir = dir } in
+      let settings = { Server.default_settings with Server.config } in
+      with_server ~settings
+        (fun srv ->
+          let cl = Client.connect (Server.address srv) in
+          Fun.protect ~finally:(fun () -> Client.close cl)
+            (fun () ->
+              Store.reset_stats ();
+              let first = served_lines (Client.request cl (workload_request "RW")) in
+              let cold = Store.tier_stats Store.Verdicts in
+              Alcotest.(check int) "cold run misses the verdict tier" 1 cold.Store.misses;
+              Alcotest.(check bool) "cold run populates the verdict tier" true
+                (cold.Store.writes >= 1);
+              let second = served_lines (Client.request cl (workload_request "RW")) in
+              let warm = Store.tier_stats Store.Verdicts in
+              Alcotest.(check int) "second request hits the verdict tier" 1 warm.Store.hits;
+              Alcotest.(check (list string)) "warm verdicts identical" first second;
+              Alcotest.(check (list string)) "and identical to one-shot"
+                (expected_lines (micro "RW"))
+                second))
+        ())
+
+let test_backpressure () =
+  (* queue_depth 0: every job is answered with an explicit busy error. *)
+  let settings = { Server.default_settings with Server.queue_depth = 0 } in
+  with_server ~settings
+    (fun srv ->
+      let cl = Client.connect (Server.address srv) in
+      Fun.protect ~finally:(fun () -> Client.close cl)
+        (fun () ->
+          match Client.request cl (workload_request ~id:(Json.Int 7) "RW") with
+          | [ r ] ->
+            Alcotest.(check string) "busy code" "busy" (resp_code r);
+            Alcotest.(check (option string)) "id echoed" (Some "7")
+              (Option.map Json.to_string (Json.member "id" r))
+          | _ -> Alcotest.fail "expected exactly one busy line"))
+    ()
+
+let test_idle_timeout () =
+  let settings = { Server.default_settings with Server.idle_timeout_s = 0.2 } in
+  with_server ~settings
+    (fun srv ->
+      let cl = Client.connect (Server.address srv) in
+      Fun.protect ~finally:(fun () -> Client.close cl)
+        (fun () ->
+          (* An active client is not disconnected... *)
+          let r = Client.request cl (workload_request "RW") in
+          Alcotest.(check bool) "served while active" true (List.length r >= 1);
+          (* ...an idle one is. *)
+          Unix.sleepf 0.8;
+          Alcotest.(check (option string)) "idle client disconnected" None
+            (Client.read_line cl)))
+    ()
+
+let test_unix_socket () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "portend_serve_%d.sock" (Unix.getpid ()))
+  in
+  rm_rf path;
+  let srv = Server.start (Server.Unix_path path) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      rm_rf path)
+    (fun () ->
+      let cl = Client.connect (Server.address srv) in
+      Fun.protect ~finally:(fun () -> Client.close cl)
+        (fun () ->
+          let responses = Client.request cl (workload_request "RW") in
+          Alcotest.(check (list string)) "unix-socket roundtrip"
+            (expected_lines (micro "RW"))
+            (served_lines responses));
+      Alcotest.(check bool) "socket file exists while serving" true (Sys.file_exists path));
+  Alcotest.(check bool) "socket file removed at drain" false (Sys.file_exists path)
+
+let test_graceful_drain () =
+  (* Queued work finishes and is delivered even when the drain request
+     arrives before the reply is read; stop joins every domain (a leaked
+     helper would hang the join and time the test out). *)
+  let srv = Server.start loopback in
+  let cl = Client.connect (Server.address srv) in
+  Client.send_line cl (Json.to_string (workload_request "RW"));
+  Client.send_line cl (Json.to_string (workload_request "DCL"));
+  Server.stop srv;
+  let lines = ref [] in
+  let rec slurp () =
+    match Client.read_line cl with
+    | Some l -> (
+      match Json.parse l with
+      | Ok r ->
+        lines := r :: !lines;
+        slurp ()
+      | Error e -> Alcotest.failf "bad drained line: %s" e)
+    | None -> ()
+  in
+  slurp ();
+  Client.close cl;
+  let summaries = List.filter (fun r -> resp_type r = "summary") !lines in
+  Alcotest.(check int) "both queued jobs answered before the drain closed" 2
+    (List.length summaries);
+  (* The port is free again: a fresh server can bind and serve. *)
+  with_server
+    (fun srv2 ->
+      let cl2 = Client.connect (Server.address srv2) in
+      let responses = Client.request cl2 (workload_request "RW") in
+      Alcotest.(check (list string)) "fresh server after drain"
+        (expected_lines (micro "RW"))
+        (served_lines responses);
+      Client.close cl2)
+    ()
+
+let () =
+  Alcotest.run "serve"
+    [ ( "json",
+        [ Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "errors" `Quick test_json_errors
+        ] );
+      ("inputs", [ Alcotest.test_case "validated parser" `Quick test_inputs_parser ]);
+      ("protocol", [ Alcotest.test_case "request validation" `Quick test_protocol_requests ]);
+      ( "server",
+        [ Alcotest.test_case "roundtrip identity" `Quick (with_server test_roundtrip);
+          Alcotest.test_case "malformed then ok" `Quick (with_server test_malformed_then_ok);
+          Alcotest.test_case "truncated request" `Quick (with_server test_truncated_request);
+          Alcotest.test_case "oversized request" `Quick test_oversized;
+          Alcotest.test_case "concurrent clients" `Quick (with_server test_concurrent_clients);
+          Alcotest.test_case "warm cache hits verdict tier" `Quick test_warm_cache;
+          Alcotest.test_case "backpressure" `Quick test_backpressure;
+          Alcotest.test_case "idle timeout" `Quick test_idle_timeout;
+          Alcotest.test_case "unix socket" `Quick test_unix_socket;
+          Alcotest.test_case "graceful drain" `Quick test_graceful_drain
+        ] )
+    ]

@@ -1,0 +1,106 @@
+(* Litmus enumeration benchmark: a differential-testing campaign over the
+   enumerated scenario space — every canonical program classified under
+   the full mode matrix (no-reduction / static prefilter / jobs=2 /
+   cache cold+warm / serve, striped for the I/O-heavy modes) — writing
+   BENCH_litmus.json with throughput, dedup ratio, verdict and stop
+   histograms, the baseline-comparison histogram and the (expected-empty)
+   minimized-disagreement list.  Any disagreement fails the run: the
+   matrix modes are contracted bit-identical, so a single mismatch is a
+   pipeline bug, not noise. *)
+
+module Litmus = Portend_litmus
+
+let budget = 2500
+
+let json_hist h =
+  "{"
+  ^ String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%S: %d" k v) h)
+  ^ "}"
+
+let json_disagreements (ds : Litmus.Runner.regression list) =
+  "["
+  ^ String.concat ", "
+      (List.map
+         (fun (d : Litmus.Runner.regression) ->
+           Printf.sprintf "{\"name\": %S, \"modes\": [%s]}" d.Litmus.Runner.r_name
+             (String.concat ", " (List.map (Printf.sprintf "%S") d.Litmus.Runner.r_modes)))
+         ds)
+  ^ "]"
+
+let campaign ~budget ~serve_stride ~cache_stride : Litmus.Runner.report =
+  let opts =
+    { Litmus.Runner.default_opts with
+      Litmus.Runner.budget;
+      serve_stride;
+      cache_stride;
+      check_baselines = true
+    }
+  in
+  Litmus.Runner.run ~opts ()
+
+let write_json (r : Litmus.Runner.report) =
+  let json =
+    Printf.sprintf
+      {|{
+  "budget": %d,
+  "programs": %d,
+  "raw_shapes": %d,
+  "dedup_ratio": %.4f,
+  "space_exhausted": %b,
+  "elapsed_s": %.3f,
+  "programs_per_s": %.1f,
+  "verdict_hist": %s,
+  "stop_hist": %s,
+  "baseline_hist": %s,
+  "disagreement_count": %d,
+  "disagreements": %s
+}
+|}
+      budget r.Litmus.Runner.enumerated r.Litmus.Runner.raw r.Litmus.Runner.dedup_ratio
+      r.Litmus.Runner.exhausted r.Litmus.Runner.elapsed_s r.Litmus.Runner.programs_per_s
+      (json_hist r.Litmus.Runner.verdict_hist)
+      (json_hist r.Litmus.Runner.stop_hist)
+      (json_hist r.Litmus.Runner.baseline_hist)
+      (List.length r.Litmus.Runner.disagreements)
+      (json_disagreements r.Litmus.Runner.disagreements)
+  in
+  let path = Filename.concat (Sys.getcwd ()) "BENCH_litmus.json" in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+let run () =
+  Printf.printf "== litmus: differential campaign over %d enumerated programs ==\n%!" budget;
+  let r = campaign ~budget ~serve_stride:16 ~cache_stride:64 in
+  Fmt.pr "%a%!" Litmus.Runner.pp_report r;
+  write_json r;
+  if r.Litmus.Runner.disagreements <> [] then begin
+    Printf.eprintf "litmus campaign FAILED: %d mode disagreements (see above)\n"
+      (List.length r.Litmus.Runner.disagreements);
+    exit 1
+  end
+
+(* A few hundred programs with the serve and cache points exercised more
+   densely, on every `dune runtest` via the litmus-smoke alias. *)
+let smoke () =
+  let r = campaign ~budget:300 ~serve_stride:8 ~cache_stride:32 in
+  let fail msg =
+    Printf.eprintf "litmus smoke FAILED: %s\n" msg;
+    exit 1
+  in
+  if r.Litmus.Runner.enumerated < 300 then
+    fail (Printf.sprintf "only %d programs enumerated" r.Litmus.Runner.enumerated);
+  if r.Litmus.Runner.disagreements <> [] then
+    fail
+      (Fmt.str "%d mode disagreements:@.%a"
+         (List.length r.Litmus.Runner.disagreements)
+         Litmus.Runner.pp_report r);
+  if not (List.mem_assoc "no_race" r.Litmus.Runner.verdict_hist) then
+    fail "no race-free program in the corpus";
+  if List.length r.Litmus.Runner.verdict_hist < 2 then
+    fail "corpus exercised fewer than two verdict classes";
+  Printf.printf
+    "litmus smoke OK: %d programs (%.2f dedup), %d verdict classes, 0 disagreements\n"
+    r.Litmus.Runner.enumerated r.Litmus.Runner.dedup_ratio
+    (List.length r.Litmus.Runner.verdict_hist)

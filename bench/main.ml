@@ -6,7 +6,7 @@
 let usage () =
   print_endline
     "usage: main.exe \
-     [table1|table2|table3|table4|table5|fig7|fig9|fig10|falsepos|weakmem|micro|parallel|prefilter|reduction|observability|incremental|serve|smoke|reduction-smoke|incremental-smoke|prefilter-smoke|serve-smoke|all]"
+     [table1|table2|table3|table4|table5|fig7|fig9|fig10|falsepos|weakmem|micro|parallel|prefilter|reduction|observability|incremental|serve|litmus|smoke|reduction-smoke|incremental-smoke|prefilter-smoke|serve-smoke|litmus-smoke|all]"
 
 let () =
   let target = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -32,11 +32,13 @@ let () =
   | "observability" -> Observability_bench.run ()
   | "incremental" -> Incremental_bench.run ()
   | "serve" -> Serve_bench.run ()
+  | "litmus" -> Litmus_bench.run ()
   | "smoke" -> Parallel_bench.smoke ()
   | "reduction-smoke" -> Reduction_bench.smoke ()
   | "incremental-smoke" -> Incremental_bench.smoke ()
   | "prefilter-smoke" -> Prefilter_bench.smoke ()
   | "serve-smoke" -> Serve_bench.smoke ()
+  | "litmus-smoke" -> Litmus_bench.smoke ()
   | "all" ->
     Tables.table1 ();
     Tables.table2 suite;
@@ -54,5 +56,6 @@ let () =
     Reduction_bench.run ();
     Observability_bench.run ();
     Incremental_bench.run ();
-    Serve_bench.run ()
+    Serve_bench.run ();
+    Litmus_bench.run ()
   | _ -> usage ()

@@ -8,6 +8,8 @@
    portend lint FILE       static diagnostics only: potential races, lock
                            misuse, loop-invariant spin loops (no execution)
    portend serve           long-running classification daemon (socket API)
+   portend litmus          enumerate litmus programs and differential-test
+                           the pipeline's mode matrix on each
    portend dump FILE       pretty-print the parsed program and its bytecode
 
    FILE contains Racelang concrete syntax (see the README for the grammar).
@@ -518,6 +520,123 @@ let serve_cmd =
       const serve $ socket_arg $ port_arg $ host_arg $ jobs_arg $ queue_arg $ idle_arg
       $ max_request_arg $ batch_arg $ cache_arg $ no_cache_arg $ cache_dir_arg $ trace_arg)
 
+(* --- litmus --- *)
+
+let litmus_cmd =
+  let module Litmus = Portend_litmus in
+  let budget_arg =
+    Arg.(
+      value & opt int 300
+      & info [ "budget" ] ~docv:"N"
+          ~doc:"Canonical programs to enumerate and classify (enumeration order is fixed, so a \
+                budget always covers the same prefix of the shape space).")
+  in
+  let threads_arg =
+    Arg.(
+      value & opt int Litmus.Enum.default_limits.Litmus.Enum.max_threads
+      & info [ "threads" ] ~docv:"K" ~doc:"Maximum worker threads per program (2-3).")
+  in
+  let ops_arg =
+    Arg.(
+      value & opt int Litmus.Enum.default_limits.Litmus.Enum.max_ops
+      & info [ "ops" ] ~docv:"K" ~doc:"Maximum ops per thread.")
+  in
+  let vars_arg =
+    Arg.(
+      value & opt int Litmus.Enum.default_limits.Litmus.Enum.n_vars
+      & info [ "vars" ] ~docv:"K" ~doc:"Shared variables the op alphabet ranges over (1-2).")
+  in
+  let max_total_arg =
+    Arg.(
+      value & opt int Litmus.Enum.default_limits.Litmus.Enum.max_total
+      & info [ "max-total" ] ~docv:"K" ~doc:"Maximum total ops across all threads.")
+  in
+  let jobs_alt_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "jobs" ; "j" ] ~docv:"N"
+          ~doc:"Worker-domain count for the jobs=N matrix point (compared bit-identical \
+                against jobs=1).")
+  in
+  let serve_stride_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "serve-stride" ] ~docv:"N"
+          ~doc:"Check the serve matrix point on every Nth program (0 disables the in-process \
+                daemon entirely).")
+  in
+  let cache_stride_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "cache-stride" ] ~docv:"N"
+          ~doc:"Check the cache cold/warm matrix points on every Nth program (0 disables).")
+  in
+  let include_stuck_arg =
+    Arg.(
+      value & flag
+      & info [ "include-stuck" ]
+          ~doc:"Also enumerate shapes whose synchronization is guaranteed to deadlock (the \
+                pipeline must still classify their recordings deterministically).")
+  in
+  let no_baselines_arg =
+    Arg.(
+      value & flag
+      & info [ "no-baselines" ]
+          ~doc:"Skip the baseline-classifier comparison histogram (and its static-coverage \
+                contract check).")
+  in
+  let promote_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "promote" ] ~docv:"DIR"
+          ~doc:"Write every minimized disagreement as a named .rl regression file into \
+                $(docv), ready to be checked in as a workload.")
+  in
+  let litmus budget threads ops vars max_total seed jobs_alt serve_stride cache_stride
+      include_stuck no_baselines promote_dir =
+    if threads < 2 || threads > 3 then or_die (Error "litmus: --threads must be 2 or 3");
+    if vars < 1 || vars > 2 then or_die (Error "litmus: --vars must be 1 or 2");
+    if ops < 1 then or_die (Error "litmus: --ops must be at least 1");
+    let limits =
+      { Litmus.Enum.max_threads = threads;
+        max_ops = ops;
+        n_vars = vars;
+        max_total;
+        include_stuck
+      }
+    in
+    let opts =
+      { Litmus.Runner.budget;
+        limits;
+        seed;
+        jobs_alt;
+        serve_stride;
+        cache_stride;
+        promote_dir;
+        check_baselines = not no_baselines;
+        progress =
+          (if Unix.isatty Unix.stderr then
+             Some (fun n -> if n mod 100 = 0 then Printf.eprintf "\r%d programs...%!" n)
+           else None)
+      }
+    in
+    let report = Litmus.Runner.run ~opts () in
+    if Unix.isatty Unix.stderr then Printf.eprintf "\r%!";
+    Fmt.pr "%a@?" Litmus.Runner.pp_report report;
+    if report.Litmus.Runner.disagreements = [] then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "litmus"
+       ~doc:
+         "Enumerate small concurrent litmus programs and differential-test the whole \
+          classification pipeline on each: every mode of the matrix (reduction off, static \
+          prefilter, jobs=N, cache cold/warm, serve) must produce bit-identical verdicts.  \
+          Disagreements are delta-debugged to minimal reproducers and exit nonzero.")
+    Term.(
+      const litmus $ budget_arg $ threads_arg $ ops_arg $ vars_arg $ max_total_arg $ seed_arg
+      $ jobs_alt_arg $ serve_stride_arg $ cache_stride_arg $ include_stuck_arg
+      $ no_baselines_arg $ promote_arg)
+
 (* --- dump --- *)
 
 let dump_cmd =
@@ -537,4 +656,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ run_cmd; detect_cmd; classify_cmd; profile_cmd; lint_cmd; weakmem_cmd; suite_cmd;
-            serve_cmd; dump_cmd ]))
+            serve_cmd; litmus_cmd; dump_cmd ]))

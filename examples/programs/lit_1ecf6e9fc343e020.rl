@@ -1,0 +1,22 @@
+program lit_1ecf6e9fc343e020
+
+global v0 = 0
+sem h = 0
+
+fn w1() {
+  v0 = 1;
+  sem_post h;
+}
+
+fn w2() {
+  sem_wait h;
+  output v0;
+}
+
+fn main() {
+  var t1 = spawn w1();
+  var t2 = spawn w2();
+  join t1;
+  join t2;
+  output v0;
+}

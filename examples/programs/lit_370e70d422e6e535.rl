@@ -1,0 +1,19 @@
+program lit_370e70d422e6e535
+
+global v0 = 0
+
+fn w1() {
+  v0 = 1;
+}
+
+fn w2() {
+  v0 = 1;
+}
+
+fn main() {
+  var t1 = spawn w1();
+  var t2 = spawn w2();
+  join t1;
+  join t2;
+  output v0;
+}

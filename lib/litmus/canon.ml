@@ -1,0 +1,138 @@
+(** Canonicalization of litmus shapes: quotient the raw enumeration space
+    by the two symmetries that do not change pipeline behaviour, so the
+    corpus count is a count of genuinely distinct scenarios.
+
+    - {e Thread symmetry}: worker threads are spawned identically and
+      joined identically, so permuting thread bodies yields the same set of
+      interleavings (recording seeds land differently, but the differential
+      contracts are all per-(program, seed), and enumerating both orders
+      would double-count the scenario).
+    - {e Variable symmetry}: shared variables are interchangeable — all
+      start at 0 and appear only through the op alphabet — so renaming
+      them consistently yields an isomorphic program.
+
+    The canonical representative is computed exactly: over all thread
+    permutations (≤ 3! = 6), rename variables in order of first occurrence
+    and take the lexicographically smallest encoding.  Dedup hashes the
+    canonical encoding with {!Portend_util.Chash} (stable across runs, so
+    corpus counts are reproducible), keeping the encodings per bucket so a
+    hash collision can never silently drop a distinct program. *)
+
+module H = Portend_util.Chash
+
+(* Encoding: one byte per op (canonical op codes are < 256 by construction;
+   asserted), threads separated by 0xff.  Lexicographic string order on
+   encodings is the canonical order. *)
+let encode_threads (threads : Shape.op list list) : string =
+  let buf = Buffer.create 16 in
+  List.iteri
+    (fun i ops ->
+      if i > 0 then Buffer.add_char buf '\xff';
+      List.iter
+        (fun op ->
+          let c = Shape.op_code op in
+          assert (c < 255);
+          Buffer.add_char buf (Char.chr c))
+        ops)
+    threads;
+  Buffer.contents buf
+
+(* Rename variables by first occurrence across the (permuted) thread list,
+   reading threads in order and ops left to right. *)
+let rename_vars (threads : Shape.op list list) : Shape.op list list * int =
+  let mapping = Hashtbl.create 4 in
+  let next = ref 0 in
+  let rename v =
+    match Hashtbl.find_opt mapping v with
+    | Some v' -> v'
+    | None ->
+      let v' = !next in
+      incr next;
+      Hashtbl.add mapping v v';
+      v'
+  in
+  let threads' =
+    List.map
+      (List.map (fun op ->
+           match Shape.op_var op with
+           | None -> op
+           | Some v -> Shape.with_var op (rename v)))
+      threads
+  in
+  (threads', !next)
+
+(* All permutations of a short list (≤ 3 threads ⇒ ≤ 6).  Elements are
+   removed by position, never by equality: duplicate thread bodies are
+   common (and OCaml shares structurally equal constants, so even physical
+   comparison would conflate them). *)
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat
+      (List.mapi
+         (fun i x ->
+           let rest = List.filteri (fun j _ -> j <> i) l in
+           List.map (fun p -> x :: p) (permutations rest))
+         l)
+
+(** The canonical representative of a shape's symmetry class, plus its
+    encoding.  Idempotent: [canonical (fst (canonical t)) = canonical t]. *)
+let canonical (t : Shape.t) : Shape.t * string =
+  let candidates =
+    List.map
+      (fun threads ->
+        let threads', n_vars = rename_vars threads in
+        (encode_threads threads', threads', n_vars))
+      (permutations t.Shape.threads)
+  in
+  match candidates with
+  | [] -> invalid_arg "canonical: empty shape"
+  | first :: rest ->
+    let enc, threads, n_vars =
+      List.fold_left
+        (fun ((be, _, _) as best) ((e, _, _) as cand) -> if e < be then cand else best)
+        first rest
+    in
+    ({ Shape.threads; n_vars }, enc)
+
+(** Stable content hash of the canonical encoding; the program's identity
+    across runs and the basis of promoted regression names. *)
+let chash (t : Shape.t) : int =
+  let _, enc = canonical t in
+  H.string H.seed enc
+
+(** Stable short name for a canonical shape: ["lit_<16-hex-chash>"]. *)
+let name (t : Shape.t) : string = "lit_" ^ H.to_hex (chash t)
+
+(** {1 Dedup table} *)
+
+(** Buckets keyed by {!H.t} of the encoding, each holding the encodings it
+    has seen: exact dedup, hash-accelerated, collision-safe. *)
+type table = {
+  buckets : (int, string list) Hashtbl.t;
+  mutable distinct : int;
+  mutable total : int;
+}
+
+let create_table () = { buckets = Hashtbl.create 1024; distinct = 0; total = 0 }
+
+(** [add table t] canonicalizes [t]; returns [Some canonical_shape] the
+    first time this symmetry class is seen, [None] for duplicates. *)
+let add (tbl : table) (t : Shape.t) : Shape.t option =
+  let canon, enc = canonical t in
+  tbl.total <- tbl.total + 1;
+  let key = H.string H.seed enc in
+  let seen = Option.value ~default:[] (Hashtbl.find_opt tbl.buckets key) in
+  if List.mem enc seen then None
+  else begin
+    Hashtbl.replace tbl.buckets key (enc :: seen);
+    tbl.distinct <- tbl.distinct + 1;
+    Some canon
+  end
+
+let distinct tbl = tbl.distinct
+let total tbl = tbl.total
+
+(** Raw-to-canonical ratio observed so far (≥ 1 once anything was added). *)
+let dedup_ratio tbl =
+  if tbl.distinct = 0 then 0.0 else float_of_int tbl.total /. float_of_int tbl.distinct

@@ -1,0 +1,30 @@
+(** Canonicalization of litmus shapes: thread-permutation and
+    variable-renaming symmetry reduction with exact, hash-accelerated
+    dedup.  See the implementation header for the symmetry argument. *)
+
+(** Canonical representative of a shape's symmetry class, plus its byte
+    encoding (lexicographically smallest over all thread permutations with
+    variables renamed by first occurrence).  Idempotent. *)
+val canonical : Shape.t -> Shape.t * string
+
+(** Stable {!Portend_util.Chash} of the canonical encoding. *)
+val chash : Shape.t -> int
+
+(** ["lit_<16-hex-chash>"] — the shape's stable name (promoted regression
+    files and workloads use it). *)
+val name : Shape.t -> string
+
+(** {1 Dedup table} *)
+
+type table
+
+val create_table : unit -> table
+
+(** Canonicalize and record; [Some canon] if this symmetry class is new,
+    [None] for a duplicate.  Collision-safe: full encodings are compared
+    within each hash bucket. *)
+val add : table -> Shape.t -> Shape.t option
+
+val distinct : table -> int
+val total : table -> int
+val dedup_ratio : table -> float

@@ -1,0 +1,237 @@
+(** Differential testing of the classification pipeline against itself.
+
+    One litmus program is analyzed under every configuration of the mode
+    matrix; the modes are {e contracted} to produce bit-identical results
+    (the standing guarantees earlier PRs assert on the evaluation suite,
+    here attacked with thousands of enumerated scenarios):
+
+    - [no-reduction]: state-space reductions are verdict-preserving
+      (identical modulo the reduction work counters, which count avoided
+      work by design);
+    - [prefilter]: the static candidate restriction never changes a race
+      report, hence never a verdict;
+    - [jobs=N]: classification is deterministic in the worker-domain count;
+    - [cache cold]/[cache warm]: the persistent store memoizes a pure
+      function — off, cold and warm runs are bit-identical;
+    - [serve]: the daemon's per-race verdict lines equal the one-shot
+      pipeline's rendering of the same analysis.
+
+    The baseline classifiers ({!Portend_baselines}) are {e not} contracted
+    to agree — they are weaker by design (that gap is Table 5) — so their
+    verdicts feed a comparison histogram instead.  The one hard baseline
+    contract is static coverage: a dynamically detected race must be a
+    static candidate ({!Portend_analysis.Static_report.covers}), otherwise
+    the prefilter could silently drop a real race.  A coverage violation
+    is therefore a disagreement, not histogram material. *)
+
+open Portend_core
+module V = Portend_vm
+module D = Portend_detect
+module B = Portend_baselines
+module Serve = Portend_serve
+
+(* ------------------------------------------------------------------ *)
+(* analysis fingerprints                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything observable about one analysis except wall-clock times,
+   rendered to a stable string so mode outputs can be compared (and
+   diffed in error messages).  [blank_red] erases the reduction work
+   counters — the only field the no-reduction contract legitimately
+   changes. *)
+let fingerprint ?(blank_red = false) (a : Pipeline.t) : string =
+  let buf = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "stop=%s\n" (V.Run.stop_to_string a.Pipeline.record.V.Run.stop);
+  List.iter
+    (fun ra ->
+      let v = ra.Pipeline.verdict in
+      let s =
+        if blank_red then { ra.Pipeline.stats with Classify.red = Classify.no_reduction }
+        else ra.Pipeline.stats
+      in
+      add "race %s x%d -> %s k=%d sd=%b cons=%s detail=%s\n"
+        (Fmt.str "%a" D.Report.pp_race ra.Pipeline.race)
+        ra.Pipeline.instances
+        (Taxonomy.category_to_string v.Taxonomy.category)
+        v.Taxonomy.k v.Taxonomy.states_differ
+        (match v.Taxonomy.consequence with
+        | None -> "-"
+        | Some c -> V.Crash.consequence_to_string c)
+        v.Taxonomy.detail;
+      add "  stats states=%d paths=%d alts=%d red=(%d,%d,%d,%d,%d,%d)\n" s.Classify.states_explored
+        s.Classify.paths_completed s.Classify.alternates_attempted s.Classify.red.Classify.states_deduped
+        s.Classify.red.Classify.schedules_pruned s.Classify.red.Classify.comparisons_deduped
+        s.Classify.red.Classify.suffix_solves s.Classify.red.Classify.full_solves
+        s.Classify.red.Classify.replays_reused;
+      match ra.Pipeline.evidence with
+      | None -> ()
+      | Some e -> add "  evidence:\n%s" (Evidence.render e))
+    a.Pipeline.races;
+  List.iter
+    (fun (r, e) -> add "error %s: %s\n" (Fmt.str "%a" D.Report.pp_race r) e)
+    a.Pipeline.errors;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* the mode matrix                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type disagreement = {
+  d_mode : string;  (** matrix mode that broke its contract *)
+  d_expected : string;  (** base-mode fingerprint (or contract statement) *)
+  d_got : string;  (** what the mode produced instead *)
+}
+
+type baseline_cell = {
+  b_portend : Taxonomy.category;  (** pipeline verdict for the race *)
+  b_tool : string;  (** baseline classifier name *)
+  b_verdict : string;  (** that classifier's verdict *)
+}
+
+type outcome = {
+  o_analysis : Pipeline.t;  (** the base-mode analysis *)
+  o_disagreements : disagreement list;  (** broken bit-identity contracts *)
+  o_baselines : baseline_cell list;  (** histogram material, not contracts *)
+}
+
+type opts = {
+  seed : int;  (** recording seed for every mode *)
+  jobs_alt : int;  (** the jobs=N matrix point (≥ 2 to be meaningful) *)
+  cache_dir : string option;  (** enables the cold/warm matrix points *)
+  client : Serve.Client.t option;  (** enables the serve matrix point *)
+  check_baselines : bool;
+}
+
+let default_opts =
+  { seed = 1; jobs_alt = 2; cache_dir = None; client = None; check_baselines = true }
+
+let base_config =
+  { Config.default with Config.jobs = 1; static_prefilter = false; enable_reduction = true }
+
+let analyze ?(config = base_config) ~seed prog = Pipeline.analyze ~config ~seed prog
+
+(* Compare one mode against the base fingerprint. *)
+let check ~mode ~expected ~got acc =
+  if String.equal expected got then acc
+  else { d_mode = mode; d_expected = expected; d_got = got } :: acc
+
+(* The serve matrix point: ship the program source through a live daemon
+   and demand its reply lines equal the protocol rendering of the base
+   analysis (summary compared without the server's wall time). *)
+let check_serve (client : Serve.Client.t) ~(seed : int) ~(src : string) (base : Pipeline.t)
+    acc =
+  let id = Serve.Json.String "litmus" in
+  let req =
+    Serve.Json.Obj
+      [ ("program", Serve.Json.String src); ("seed", Serve.Json.Int seed); ("id", id) ]
+  in
+  match Serve.Client.request client req with
+  | exception e ->
+    { d_mode = "serve";
+      d_expected = "a protocol reply";
+      d_got = Printf.sprintf "client error: %s" (Printexc.to_string e)
+    }
+    :: acc
+  | lines ->
+    let strip = Serve.Protocol.strip_member "time_s" in
+    let got = String.concat "\n" (List.map (fun j -> Serve.Json.to_string (strip j)) lines) in
+    let expected =
+      String.concat "\n"
+        (List.map Serve.Json.to_string (Serve.Protocol.responses_of_analysis ~id base))
+    in
+    check ~mode:"serve" ~expected ~got acc
+
+(* Baseline classifiers: histogram cells plus the static-coverage hard
+   contract. *)
+let baselines (prog : Portend_lang.Bytecode.t) (base : Pipeline.t) :
+    baseline_cell list * disagreement list =
+  if base.Pipeline.races = [] then ([], [])
+  else begin
+    let report = Portend_analysis.Static_report.analyze prog in
+    let spin = Portend_lang.Static.spin_read_sites prog in
+    let trace = base.Pipeline.record.V.Run.trace in
+    let cells = ref [] and disags = ref [] in
+    List.iter
+      (fun ra ->
+        let race = ra.Pipeline.race in
+        let cat = ra.Pipeline.verdict.Taxonomy.category in
+        let cell tool verdict = cells := { b_portend = cat; b_tool = tool; b_verdict = verdict } :: !cells in
+        (* replay analyzer *)
+        (match B.Replay_analyzer.classify prog trace race with
+        | Ok v -> cell "replay" (B.Replay_analyzer.verdict_to_string v)
+        | Error e -> cell "replay" ("error: " ^ e));
+        (* ad-hoc-synchronization detector *)
+        (match B.Adhoc_detector.classify prog trace race with
+        | Ok v -> cell "adhoc" (B.Adhoc_detector.verdict_to_string v)
+        | Error e -> cell "adhoc" ("error: " ^ e));
+        (* heuristic pruner *)
+        cell "heuristic" (B.Heuristic.verdict_to_string (B.Heuristic.classify prog race));
+        (* static-only detector-as-classifier, with the coverage contract *)
+        let sv = B.Static_only.classify_with report spin race in
+        cell "static" (B.Static_only.verdict_to_string sv);
+        if sv = B.Static_only.Not_candidate then
+          disags :=
+            { d_mode = "static-coverage";
+              d_expected = "every dynamically detected race is a static candidate";
+              d_got =
+                Printf.sprintf "race %s not covered by the static report"
+                  (Fmt.str "%a" D.Report.pp_race race)
+            }
+            :: !disags)
+      base.Pipeline.races;
+    (List.rev !cells, List.rev !disags)
+  end
+
+(** Run the whole matrix on one compiled program.  [src] is the program's
+    concrete syntax (only needed when [opts.client] is set). *)
+let run ?(opts = default_opts) ?(src = "") (prog : Portend_lang.Bytecode.t) : outcome =
+  let seed = opts.seed in
+  let base = analyze ~seed prog in
+  let fp = fingerprint base in
+  let fp_nored = fingerprint ~blank_red:true base in
+  let acc = [] in
+  (* no-reduction: identical modulo reduction counters *)
+  let nored =
+    analyze ~config:{ base_config with Config.enable_reduction = false } ~seed prog
+  in
+  let acc =
+    check ~mode:"no-reduction" ~expected:fp_nored
+      ~got:(fingerprint ~blank_red:true nored)
+      acc
+  in
+  (* static prefilter: bit-identical *)
+  let pre = analyze ~config:{ base_config with Config.static_prefilter = true } ~seed prog in
+  let acc = check ~mode:"static-prefilter" ~expected:fp ~got:(fingerprint pre) acc in
+  (* jobs=N: bit-identical *)
+  let par = analyze ~config:{ base_config with Config.jobs = opts.jobs_alt } ~seed prog in
+  let acc =
+    check ~mode:(Printf.sprintf "jobs=%d" opts.jobs_alt) ~expected:fp ~got:(fingerprint par) acc
+  in
+  (* cache cold then warm: both bit-identical to base *)
+  let acc =
+    match opts.cache_dir with
+    | None -> acc
+    | Some dir ->
+      let cached = { base_config with Config.cache = true; cache_dir = dir } in
+      let cold = analyze ~config:cached ~seed prog in
+      let acc = check ~mode:"cache-cold" ~expected:fp ~got:(fingerprint cold) acc in
+      let warm = analyze ~config:cached ~seed prog in
+      check ~mode:"cache-warm" ~expected:fp ~got:(fingerprint warm) acc
+  in
+  (* serve: protocol lines equal the local rendering *)
+  let acc =
+    match opts.client with
+    | None -> acc
+    | Some client -> check_serve client ~seed ~src base acc
+  in
+  (* baselines: histogram + the static-coverage hard contract *)
+  let cells, cov = if opts.check_baselines then baselines prog base else ([], []) in
+  { o_analysis = base; o_disagreements = List.rev acc @ cov; o_baselines = cells }
+
+(** [has_disagreement opts prog] — the shrinker's predicate: does any mode
+    contract still break on this program?  (Baseline histograms are not
+    contracts and are skipped; the static-coverage check is kept.) *)
+let has_disagreement ?(opts = default_opts) ?(src = "") (prog : Portend_lang.Bytecode.t) : bool
+    =
+  (run ~opts ~src prog).o_disagreements <> []

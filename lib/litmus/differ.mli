@@ -1,0 +1,53 @@
+(** Differential testing of the classification pipeline against itself:
+    one program, every mode of the contracted mode matrix (no-reduction,
+    static prefilter, jobs=N, cache cold/warm, serve), plus baseline
+    classifier histograms.  Any broken bit-identity contract surfaces as a
+    {!disagreement}. *)
+
+open Portend_core
+module Serve = Portend_serve
+
+(** Stable rendering of everything observable about an analysis except
+    wall-clock times.  [blank_red] erases the reduction work counters (the
+    only field the no-reduction contract legitimately changes). *)
+val fingerprint : ?blank_red:bool -> Pipeline.t -> string
+
+type disagreement = {
+  d_mode : string;  (** matrix mode that broke its contract *)
+  d_expected : string;  (** base-mode fingerprint (or contract statement) *)
+  d_got : string;  (** what the mode produced instead *)
+}
+
+type baseline_cell = {
+  b_portend : Taxonomy.category;  (** pipeline verdict for the race *)
+  b_tool : string;  (** baseline classifier name *)
+  b_verdict : string;  (** that classifier's verdict *)
+}
+
+type outcome = {
+  o_analysis : Pipeline.t;  (** the base-mode analysis *)
+  o_disagreements : disagreement list;  (** broken bit-identity contracts *)
+  o_baselines : baseline_cell list;  (** histogram material, not contracts *)
+}
+
+type opts = {
+  seed : int;  (** recording seed for every mode *)
+  jobs_alt : int;  (** the jobs=N matrix point (≥ 2 to be meaningful) *)
+  cache_dir : string option;  (** enables the cold/warm matrix points *)
+  client : Serve.Client.t option;  (** enables the serve matrix point *)
+  check_baselines : bool;
+}
+
+(** seed 1, jobs_alt 2, no cache, no serve, baselines on. *)
+val default_opts : opts
+
+(** The base matrix point: jobs=1, no prefilter, reductions on, no cache. *)
+val base_config : Config.t
+
+(** Run the whole matrix on one compiled program.  [src] is the program's
+    concrete syntax (only needed when [opts.client] is set). *)
+val run : ?opts:opts -> ?src:string -> Portend_lang.Bytecode.t -> outcome
+
+(** The shrinker's predicate: does any mode contract break on this
+    program? *)
+val has_disagreement : ?opts:opts -> ?src:string -> Portend_lang.Bytecode.t -> bool

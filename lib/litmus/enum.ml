@@ -1,0 +1,99 @@
+(** Systematic enumeration of litmus shapes.
+
+    Unlike the qcheck generators (which sample), this enumerates the shape
+    space {e exhaustively in a fixed order}: by total op count, then by
+    thread-count split, then lexicographically over op codes — so for a
+    given limit set the corpus is a deterministic, reproducible prefix of
+    the full space, and "N programs" means the N smallest canonical
+    scenarios, not N lucky draws.
+
+    Raw candidates are canonicalized ({!Canon}) and deduped on the fly;
+    the budget counts {e canonical} programs yielded.  Inadmissible shapes
+    (guaranteed-stuck synchronization, {!Shape.admissible}) are filtered
+    before canonicalization unless [include_stuck] asks for them. *)
+
+type limits = {
+  max_threads : int;  (** worker threads per program (2..3 supported) *)
+  max_ops : int;  (** ops per thread *)
+  n_vars : int;  (** shared variables the alphabet ranges over (1..2) *)
+  max_total : int;  (** total ops across threads; the size ceiling *)
+  include_stuck : bool;  (** keep shapes {!Shape.admissible} rejects *)
+}
+
+let default_limits =
+  { max_threads = 3; max_ops = 3; n_vars = 2; max_total = 6; include_stuck = false }
+
+(* Ops usable under [limits]: every code whose variable (if any) is in
+   range.  In code order, so enumeration order is stable. *)
+let alphabet (l : limits) : Shape.op list =
+  List.filter_map
+    (fun c ->
+      let op = Shape.op_of_code c in
+      match Shape.op_var op with
+      | Some v when v >= l.n_vars -> None
+      | _ -> Some op)
+    (List.init Shape.alphabet_size Fun.id)
+
+(* All op sequences of exactly [n] ops, lexicographic in code order. *)
+let rec sequences (alpha : Shape.op list) (n : int) : Shape.op list list =
+  if n = 0 then [ [] ]
+  else
+    List.concat_map (fun op -> List.map (fun rest -> op :: rest) (sequences alpha (n - 1)))
+      alpha
+
+(* Compositions of [total] into exactly [k] parts, each in [1..cap],
+   lexicographic. *)
+let rec compositions (total : int) (k : int) (cap : int) : int list list =
+  if k = 0 then if total = 0 then [ [] ] else []
+  else
+    List.concat
+      (List.init cap (fun i ->
+           let part = i + 1 in
+           if part > total then []
+           else List.map (fun rest -> part :: rest) (compositions (total - part) (k - 1) cap)))
+
+exception Done
+
+(** [iter limits ~budget f] calls [f] on canonical shapes in enumeration
+    order until the space within [limits] is exhausted or [budget]
+    canonical programs have been yielded; returns the dedup table (raw and
+    distinct counts) and whether the space was exhausted. *)
+let iter (l : limits) ~(budget : int) (f : Shape.t -> unit) : Canon.table * bool =
+  let tbl = Canon.create_table () in
+  let alpha = alphabet l in
+  let exhausted = ref true in
+  (try
+     for total = 2 to l.max_total do
+       for k = 2 to l.max_threads do
+         List.iter
+           (fun split ->
+             (* Candidate thread bodies per split slot, then the cartesian
+                product across slots. *)
+             let rec product acc = function
+               | [] ->
+                 let t = { Shape.threads = List.rev acc; n_vars = l.n_vars } in
+                 if l.include_stuck || Shape.admissible t then begin
+                   match Canon.add tbl t with
+                   | None -> ()
+                   | Some canon ->
+                     f canon;
+                     if Canon.distinct tbl >= budget then begin
+                       exhausted := false;
+                       raise Done
+                     end
+                 end
+               | n :: rest ->
+                 List.iter (fun seq -> product (seq :: acc) rest) (sequences alpha n)
+             in
+             product [] split)
+           (compositions total k l.max_ops)
+       done
+     done
+   with Done -> ());
+  (tbl, !exhausted)
+
+(** Enumerate into a list (same order as {!iter}). *)
+let run (l : limits) ~(budget : int) : Shape.t list * Canon.table * bool =
+  let acc = ref [] in
+  let tbl, exhausted = iter l ~budget (fun t -> acc := t :: !acc) in
+  (List.rev !acc, tbl, exhausted)

@@ -1,0 +1,26 @@
+(** Systematic, deterministic enumeration of litmus shapes: by total size,
+    then thread split, then lexicographic op order; canonicalized and
+    deduped on the fly.  The budget counts canonical programs. *)
+
+type limits = {
+  max_threads : int;
+  max_ops : int;
+  n_vars : int;
+  max_total : int;
+  include_stuck : bool;
+}
+
+(** 2–3 threads, ≤ 3 ops each, ≤ 6 ops total, 2 variables, stuck shapes
+    filtered. *)
+val default_limits : limits
+
+(** The op alphabet usable under the limits, in enumeration order. *)
+val alphabet : limits -> Shape.op list
+
+(** [iter limits ~budget f]: stream canonical shapes to [f]; returns the
+    dedup table and whether the limited space was exhausted (as opposed to
+    the budget running out). *)
+val iter : limits -> budget:int -> (Shape.t -> unit) -> Canon.table * bool
+
+(** [run limits ~budget]: {!iter} into a list. *)
+val run : limits -> budget:int -> Shape.t list * Canon.table * bool

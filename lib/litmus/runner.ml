@@ -1,0 +1,264 @@
+(** The litmus campaign driver: enumerate, classify under the mode
+    matrix, histogram, minimize and (optionally) promote disagreements.
+
+    The runner owns the expensive shared machinery the per-program
+    {!Differ} deliberately does not: a scratch persistent-cache directory
+    (for the cold/warm matrix points) and an in-process {!Portend_serve}
+    daemon plus client (for the serve matrix point).  Both are striped —
+    [cache_stride]/[serve_stride] pick every Nth program — because those
+    two modes cost real I/O per program while the in-memory modes are
+    nearly free; stride 1 means every program, 0 disables the mode.
+
+    Each enumerated shape is printed ({!Portend_lang.Pp}) and re-read
+    through the real frontend ({!Portend_lang.Parser}), so the campaign
+    also differential-tests the printer/parser pair: a parse failure or a
+    structural round-trip mismatch is reported as a ["frontend"] /
+    ["round-trip"] disagreement like any broken matrix contract.
+
+    Any program with a disagreement is delta-debugged ({!Shrink}) down to
+    a minimal canonical shape that still disagrees, named by content hash
+    ({!Canon.name}), and — with [promote_dir] set — written out as a
+    [.rl] regression file ready to be checked in. *)
+
+module Lang = Portend_lang
+
+type opts = {
+  budget : int;  (** canonical programs to classify *)
+  limits : Enum.limits;
+  seed : int;  (** recording seed (all modes) *)
+  jobs_alt : int;  (** jobs=N matrix point *)
+  serve_stride : int;  (** serve-check every Nth program; 0 disables *)
+  cache_stride : int;  (** cache-check every Nth program; 0 disables *)
+  promote_dir : string option;  (** write minimized [.rl] regressions here *)
+  check_baselines : bool;
+  progress : (int -> unit) option;  (** called with the running count *)
+}
+
+let default_opts =
+  { budget = 300;
+    limits = Enum.default_limits;
+    seed = 1;
+    jobs_alt = 2;
+    serve_stride = 16;
+    cache_stride = 64;
+    promote_dir = None;
+    check_baselines = true;
+    progress = None
+  }
+
+type regression = {
+  r_name : string;  (** stable content-hash name, [lit_<hex>] *)
+  r_shape : Shape.t;  (** minimized canonical shape *)
+  r_src : string;  (** its concrete syntax *)
+  r_modes : string list;  (** matrix modes still disagreeing after shrink *)
+}
+
+type report = {
+  enumerated : int;  (** canonical programs classified *)
+  raw : int;  (** shapes generated before symmetry dedup *)
+  dedup_ratio : float;  (** raw shapes per canonical class (≥ 1) *)
+  exhausted : bool;  (** space within limits fully covered *)
+  verdict_hist : (string * int) list;
+  stop_hist : (string * int) list;
+  baseline_hist : (string * int) list;
+  disagreements : regression list;  (** minimized, deduped by name *)
+  elapsed_s : float;
+  programs_per_s : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* small helpers                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let bump tbl key = Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let hist_to_list tbl =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Unix.unlink path
+
+let scratch_dir () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "portend-litmus-%d-%d" (Unix.getpid ()) (int_of_float (Unix.gettimeofday () *. 1000.) land 0xffffff))
+  in
+  rm_rf dir;
+  Unix.mkdir dir 0o700;
+  dir
+
+(* ------------------------------------------------------------------ *)
+(* per-program check                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Print + re-parse a shape through the real frontend; frontend breakage
+   is itself a differential finding. *)
+let frontend (t : Shape.t) :
+    (string * Lang.Ast.program * Lang.Bytecode.t, Differ.disagreement) result =
+  let ast = Shape.to_program t in
+  let src = Lang.Pp.program_to_string ast in
+  match Lang.Parser.parse_program src with
+  | exception e ->
+    Error
+      { Differ.d_mode = "frontend";
+        d_expected = "printed program parses";
+        d_got = Printf.sprintf "%s on:\n%s" (Printexc.to_string e) src
+      }
+  | reparsed ->
+    if reparsed <> ast then
+      Error
+        { Differ.d_mode = "round-trip";
+          d_expected = "parse (print p) = p";
+          d_got = Printf.sprintf "structural mismatch on:\n%s" src
+        }
+    else Ok (src, ast, Lang.Compile.compile reparsed)
+
+(* Full differential check of one shape under [dopts]; returns the
+   disagreements (possibly from the frontend) and, on success, the
+   base-mode outcome. *)
+let check_shape ~(dopts : Differ.opts) (t : Shape.t) :
+    Differ.disagreement list * Differ.outcome option =
+  match frontend t with
+  | Error d -> ([ d ], None)
+  | Ok (src, _ast, prog) ->
+    let outcome = Differ.run ~opts:dopts ~src prog in
+    (outcome.Differ.o_disagreements, Some outcome)
+
+(* ------------------------------------------------------------------ *)
+(* the campaign                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(opts = default_opts) () : report =
+  let t0 = Portend_util.Clock.now_s () in
+  let scratch = scratch_dir () in
+  let server, client =
+    if opts.serve_stride > 0 then begin
+      let settings =
+        { Portend_serve.Server.default_settings with
+          Portend_serve.Server.config = Differ.base_config
+        }
+      in
+      let addr = Portend_serve.Server.Unix_path (Filename.concat scratch "litmus.sock") in
+      let server = Portend_serve.Server.start ~settings addr in
+      let client = Portend_serve.Client.connect (Portend_serve.Server.address server) in
+      (Some server, Some client)
+    end
+    else (None, None)
+  in
+  let finally () =
+    Option.iter Portend_serve.Client.close client;
+    Option.iter Portend_serve.Server.stop server;
+    rm_rf scratch
+  in
+  Fun.protect ~finally @@ fun () ->
+  let verdicts = Hashtbl.create 16 in
+  let stops = Hashtbl.create 16 in
+  let baselines = Hashtbl.create 64 in
+  let regressions : (string, regression) Hashtbl.t = Hashtbl.create 4 in
+  let count = ref 0 in
+  (* [dopts n] — the matrix configuration for the [n]th program: serve
+     and cache points are striped, everything else constant. *)
+  let dopts n =
+    let on stride = stride > 0 && n mod stride = 0 in
+    { Differ.seed = opts.seed;
+      jobs_alt = opts.jobs_alt;
+      cache_dir =
+        (if on opts.cache_stride then Some (Filename.concat scratch "cache") else None);
+      client = (if on opts.serve_stride then client else None);
+      check_baselines = opts.check_baselines
+    }
+  in
+  (* Shrink predicate: re-runs the full per-program check (including the
+     frontend) under the same matrix configuration.  Shrinking can strand
+     a shape in inadmissible (stuck-sync) territory; those are not valid
+     reproducers. *)
+  let still_disagrees dopts t =
+    Shape.admissible t && fst (check_shape ~dopts t) <> []
+  in
+  let minimize dopts t =
+    let small = Shrink.shrink ~keep:(still_disagrees dopts) t in
+    let modes, _ = check_shape ~dopts small in
+    let modes = List.sort_uniq compare (List.map (fun d -> d.Differ.d_mode) modes) in
+    let name = Canon.name small in
+    if not (Hashtbl.mem regressions name) then begin
+      let src = Lang.Pp.program_to_string (Shape.to_program ~name small) in
+      Hashtbl.replace regressions name { r_name = name; r_shape = small; r_src = src; r_modes = modes };
+      match opts.promote_dir with
+      | None -> ()
+      | Some dir ->
+        if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+        let oc = open_out (Filename.concat dir (name ^ ".rl")) in
+        output_string oc src;
+        close_out oc
+    end
+  in
+  let table, exhausted =
+    Enum.iter opts.limits ~budget:opts.budget (fun shape ->
+        incr count;
+        let dopts = dopts !count in
+        let disags, outcome = check_shape ~dopts shape in
+        (match outcome with
+        | None -> ()
+        | Some o ->
+          let a = o.Differ.o_analysis in
+          bump stops (Portend_vm.Run.stop_to_string a.Portend_core.Pipeline.record.Portend_vm.Run.stop);
+          if a.Portend_core.Pipeline.races = [] then bump verdicts "no_race"
+          else
+            List.iter
+              (fun ra ->
+                bump verdicts
+                  (Portend_core.Taxonomy.category_to_string
+                     ra.Portend_core.Pipeline.verdict.Portend_core.Taxonomy.category))
+              a.Portend_core.Pipeline.races;
+          List.iter
+            (fun c ->
+              bump baselines
+                (Printf.sprintf "%s:%s|portend:%s" c.Differ.b_tool c.Differ.b_verdict
+                   (Portend_core.Taxonomy.category_to_string c.Differ.b_portend)))
+            o.Differ.o_baselines);
+        if disags <> [] then minimize dopts shape;
+        Option.iter (fun f -> f !count) opts.progress)
+  in
+  let elapsed = Portend_util.Clock.now_s () -. t0 in
+  { enumerated = !count;
+    raw = Canon.total table;
+    dedup_ratio = Canon.dedup_ratio table;
+    exhausted;
+    verdict_hist = hist_to_list verdicts;
+    stop_hist = hist_to_list stops;
+    baseline_hist = hist_to_list baselines;
+    disagreements =
+      List.sort compare (Hashtbl.fold (fun _ r acc -> r :: acc) regressions []);
+    elapsed_s = elapsed;
+    programs_per_s = (if elapsed > 0. then float_of_int !count /. elapsed else 0.)
+  }
+
+(* ------------------------------------------------------------------ *)
+(* rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let pp_report ppf (r : report) =
+  let hist name h =
+    Fmt.pf ppf "%s:@." name;
+    List.iter (fun (k, v) -> Fmt.pf ppf "  %-40s %6d@." k v) h
+  in
+  Fmt.pf ppf "litmus campaign: %d canonical programs (%d raw, dedup %.2f, %s)@." r.enumerated
+    r.raw r.dedup_ratio
+    (if r.exhausted then "space exhausted" else "budget reached");
+  Fmt.pf ppf "elapsed %.2fs (%.1f programs/s)@." r.elapsed_s r.programs_per_s;
+  hist "verdicts" r.verdict_hist;
+  hist "stops" r.stop_hist;
+  if r.baseline_hist <> [] then hist "baseline comparison" r.baseline_hist;
+  if r.disagreements = [] then Fmt.pf ppf "disagreements: none@."
+  else begin
+    Fmt.pf ppf "disagreements: %d (minimized)@." (List.length r.disagreements);
+    List.iter
+      (fun g ->
+        Fmt.pf ppf "  %s  modes=[%s]@.%s@." g.r_name (String.concat "," g.r_modes) g.r_src)
+      r.disagreements
+  end

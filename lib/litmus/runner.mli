@@ -1,0 +1,47 @@
+(** The litmus campaign driver: enumerate shapes, differential-test each
+    under the mode matrix (plus the printer/parser round trip), histogram
+    verdicts and baselines, delta-debug and optionally promote any
+    disagreement as a named [.rl] regression. *)
+
+type opts = {
+  budget : int;  (** canonical programs to classify *)
+  limits : Enum.limits;
+  seed : int;  (** recording seed (all modes) *)
+  jobs_alt : int;  (** jobs=N matrix point *)
+  serve_stride : int;  (** serve-check every Nth program; 0 disables *)
+  cache_stride : int;  (** cache-check every Nth program; 0 disables *)
+  promote_dir : string option;  (** write minimized [.rl] regressions here *)
+  check_baselines : bool;
+  progress : (int -> unit) option;  (** called with the running count *)
+}
+
+(** budget 300, default limits, seed 1, jobs_alt 2, serve stride 16,
+    cache stride 64, baselines on, no promotion. *)
+val default_opts : opts
+
+type regression = {
+  r_name : string;  (** stable content-hash name, [lit_<hex>] *)
+  r_shape : Shape.t;  (** minimized canonical shape *)
+  r_src : string;  (** its concrete syntax *)
+  r_modes : string list;  (** matrix modes still disagreeing after shrink *)
+}
+
+type report = {
+  enumerated : int;  (** canonical programs classified *)
+  raw : int;  (** shapes generated before symmetry dedup *)
+  dedup_ratio : float;  (** raw shapes per canonical class (≥ 1) *)
+  exhausted : bool;  (** space within limits fully covered *)
+  verdict_hist : (string * int) list;
+  stop_hist : (string * int) list;
+  baseline_hist : (string * int) list;
+  disagreements : regression list;  (** minimized, deduped by name *)
+  elapsed_s : float;
+  programs_per_s : float;
+}
+
+(** Run a campaign.  Owns a scratch cache directory and (when serve is
+    enabled) an in-process daemon for its duration; both are torn down on
+    return, including on exceptions. *)
+val run : ?opts:opts -> unit -> report
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,216 @@
+(** The litmus shape grammar: a small, finite op alphabet over shared
+    variables and the full synchronization surface, from which whole
+    Racelang programs are synthesized.
+
+    A litmus program is [{ threads; n_vars }]: 2–3 worker threads, each a
+    short straight-line sequence of {!op}s over canonical shared variables
+    [v0]/[v1] and a fixed set of synchronization objects (one mutex [m],
+    one handoff semaphore [h] initialized to 0, one barrier [b] sized to
+    the thread count).  [main] spawns every worker and joins them all.
+
+    The alphabet deliberately spans every classification-relevant access
+    shape: plain writes and read-modify-writes (racy), reads that reach the
+    program output (so orderings can differ observably), mutex- and
+    atomic-protected variants of each (race-free by mutual exclusion),
+    semaphore post/wait handoffs (cross-thread HB edges — single-ordering
+    territory), and barrier arrivals (phase ordering).  Programs are
+    synthesized in the {e parser-normal} AST spelling ([Local] reads, bare
+    [Assign] writes — what {!Portend_lang.Parser} itself produces), so
+    [parse (pp p) = p] holds structurally for the whole corpus. *)
+
+module Ast = Portend_lang.Ast
+module E = Portend_solver.Expr
+
+type var = int  (** 0-based index into the canonical shared variables *)
+
+type op =
+  | Write of var  (** [vN = 1;] — a plain racy store *)
+  | Incr of var  (** [vN = vN + 1;] — the classic racy read-modify-write *)
+  | Read of var  (** [output vN;] — a load that reaches program output *)
+  | LockedWrite of var  (** [lock m; vN = 1; unlock m] *)
+  | LockedIncr of var  (** [lock m; vN = vN + 1; unlock m] *)
+  | AtomicIncr of var  (** [atomic { vN = vN + 1; }] *)
+  | SemPost  (** [sem_post h;] — the producer half of a handoff *)
+  | SemWait  (** [sem_wait h;] — the consumer half (may block forever) *)
+  | Barrier  (** [barrier_wait b;] *)
+
+type t = {
+  threads : op list list;  (** one op sequence per worker thread *)
+  n_vars : int;  (** shared variables the ops may reference *)
+}
+
+(* --- the enumeration alphabet --- *)
+
+(* Kinds in a fixed order; the integer code of an op is the basis of the
+   canonical encoding ({!Canon}) and of the enumeration order ({!Enum}). *)
+let var_kinds = 6 (* Write .. AtomicIncr take a variable *)
+
+let op_code = function
+  | Write v -> (0 * 2) + v
+  | Incr v -> (1 * 2) + v
+  | Read v -> (2 * 2) + v
+  | LockedWrite v -> (3 * 2) + v
+  | LockedIncr v -> (4 * 2) + v
+  | AtomicIncr v -> (5 * 2) + v
+  | SemPost -> var_kinds * 2
+  | SemWait -> (var_kinds * 2) + 1
+  | Barrier -> (var_kinds * 2) + 2
+
+(** Decode an op code; inverse of {!op_code} for codes < {!alphabet_size}. *)
+let op_of_code c =
+  if c < var_kinds * 2 then
+    let v = c mod 2 and k = c / 2 in
+    match k with
+    | 0 -> Write v
+    | 1 -> Incr v
+    | 2 -> Read v
+    | 3 -> LockedWrite v
+    | 4 -> LockedIncr v
+    | _ -> AtomicIncr v
+  else
+    match c - (var_kinds * 2) with
+    | 0 -> SemPost
+    | 1 -> SemWait
+    | _ -> Barrier
+
+let alphabet_size = (var_kinds * 2) + 3
+
+let op_var = function
+  | Write v | Incr v | Read v | LockedWrite v | LockedIncr v | AtomicIncr v -> Some v
+  | SemPost | SemWait | Barrier -> None
+
+(** Rebuild an op on a different variable (identity for var-less ops). *)
+let with_var op v =
+  match op with
+  | Write _ -> Write v
+  | Incr _ -> Incr v
+  | Read _ -> Read v
+  | LockedWrite _ -> LockedWrite v
+  | LockedIncr _ -> LockedIncr v
+  | AtomicIncr _ -> AtomicIncr v
+  | (SemPost | SemWait | Barrier) as o -> o
+
+let op_to_string = function
+  | Write v -> Printf.sprintf "W v%d" v
+  | Incr v -> Printf.sprintf "I v%d" v
+  | Read v -> Printf.sprintf "R v%d" v
+  | LockedWrite v -> Printf.sprintf "LW v%d" v
+  | LockedIncr v -> Printf.sprintf "LI v%d" v
+  | AtomicIncr v -> Printf.sprintf "AI v%d" v
+  | SemPost -> "P"
+  | SemWait -> "Q"
+  | Barrier -> "B"
+
+let to_string (t : t) =
+  String.concat " || "
+    (List.map (fun ops -> String.concat "; " (List.map op_to_string ops)) t.threads)
+
+(* --- structural accessors --- *)
+
+let size (t : t) = List.fold_left (fun acc ops -> acc + List.length ops) 0 t.threads
+let n_threads (t : t) = List.length t.threads
+
+let uses_mutex (t : t) =
+  List.exists (List.exists (function LockedWrite _ | LockedIncr _ -> true | _ -> false))
+    t.threads
+
+let uses_sem (t : t) =
+  List.exists (List.exists (function SemPost | SemWait -> true | _ -> false)) t.threads
+
+let uses_barrier (t : t) =
+  List.exists (List.exists (function Barrier -> true | _ -> false)) t.threads
+
+let count p (t : t) =
+  List.fold_left
+    (fun acc ops -> acc + List.length (List.filter p ops))
+    0 t.threads
+
+(** Shape admissibility: the enumerator's default filter.  Programs where
+    a synchronization op can {e never} complete are still legal inputs to
+    the pipeline (a deadlock classifies as a crash consequence), but they
+    crowd the corpus with equivalent stuck shapes, so by default we require
+    (a) at least as many posts as waits on the handoff semaphore, and
+    (b) every thread arrives at the barrier equally often (or never) —
+    otherwise some barrier wait can never be released regardless of
+    schedule.  Both checks are per-shape, schedule-independent. *)
+let admissible (t : t) =
+  let posts = count (function SemPost -> true | _ -> false) t in
+  let waits = count (function SemWait -> true | _ -> false) t in
+  let barrier_counts =
+    List.map
+      (fun ops -> List.length (List.filter (function Barrier -> true | _ -> false) ops))
+      t.threads
+  in
+  posts >= waits
+  && (match barrier_counts with
+     | [] -> true
+     | b0 :: rest -> List.for_all (fun b -> b = b0) rest)
+
+(* --- program synthesis --- *)
+
+let var_name v = Printf.sprintf "v%d" v
+let mutex_name = "m"
+let sem_name = "h"
+let barrier_name = "b"
+
+(* Parser-normal statements: reads are [Local], global writes are bare
+   [Assign] (the compiler resolves both), so the synthesized AST is exactly
+   what parsing its own pretty-print yields. *)
+let stmts_of_op = function
+  | Write v -> [ Ast.Assign (var_name v, Ast.Int 1) ]
+  | Incr v ->
+    [ Ast.Assign (var_name v, Ast.Binop (E.Add, Ast.Local (var_name v), Ast.Int 1)) ]
+  | Read v -> [ Ast.Output [ Ast.Local (var_name v) ] ]
+  | LockedWrite v ->
+    [ Ast.Lock mutex_name; Ast.Assign (var_name v, Ast.Int 1); Ast.Unlock mutex_name ]
+  | LockedIncr v ->
+    [ Ast.Lock mutex_name;
+      Ast.Assign (var_name v, Ast.Binop (E.Add, Ast.Local (var_name v), Ast.Int 1));
+      Ast.Unlock mutex_name
+    ]
+  | AtomicIncr v ->
+    [ Ast.Atomic
+        [ Ast.Assign (var_name v, Ast.Binop (E.Add, Ast.Local (var_name v), Ast.Int 1)) ]
+    ]
+  | SemPost -> [ Ast.SemPost sem_name ]
+  | SemWait -> [ Ast.SemWait sem_name ]
+  | Barrier -> [ Ast.BarrierWait barrier_name ]
+
+(** Synthesize the whole Racelang program.  Deterministic: the same shape
+    always yields the same AST, so shape identity is program identity. *)
+let to_program ?(name = "litmus") (t : t) : Ast.program =
+  let vars_used =
+    List.sort_uniq compare (List.concat_map (List.filter_map op_var) t.threads)
+  in
+  let funcs =
+    List.mapi
+      (fun i ops ->
+        { Ast.fname = Printf.sprintf "w%d" (i + 1);
+          params = [];
+          body = List.concat_map stmts_of_op ops
+        })
+      t.threads
+  in
+  let spawns =
+    List.mapi
+      (fun i f -> Ast.Spawn (Some (Printf.sprintf "t%d" (i + 1)), f.Ast.fname, []))
+      funcs
+  in
+  let joins =
+    List.mapi (fun i _ -> Ast.Join (Ast.Local (Printf.sprintf "t%d" (i + 1)))) funcs
+  in
+  (* Observe the final shared state so write/write orderings can surface as
+     output differences, not just transient state. *)
+  let finale =
+    if vars_used = [] then []
+    else [ Ast.Output (List.map (fun v -> Ast.Local (var_name v)) vars_used) ]
+  in
+  { Ast.pname = name;
+    globals = List.map (fun v -> (var_name v, 0)) vars_used;
+    arrays = [];
+    mutexes = (if uses_mutex t then [ mutex_name ] else []);
+    conds = [];
+    barriers = (if uses_barrier t then [ (barrier_name, n_threads t) ] else []);
+    sems = (if uses_sem t then [ (sem_name, 0) ] else []);
+    funcs = funcs @ [ { Ast.fname = "main"; params = []; body = spawns @ joins @ finale } ]
+  }

@@ -1,0 +1,58 @@
+(** The litmus shape grammar: the finite op alphabet and the synthesis of
+    whole Racelang programs from thread-wise op sequences.  See the
+    implementation header for the design rationale. *)
+
+type var = int
+
+type op =
+  | Write of var
+  | Incr of var
+  | Read of var
+  | LockedWrite of var
+  | LockedIncr of var
+  | AtomicIncr of var
+  | SemPost
+  | SemWait
+  | Barrier
+
+type t = {
+  threads : op list list;
+  n_vars : int;
+}
+
+(** {1 The enumeration alphabet} *)
+
+(** Total distinct op codes for 2 variables: 6 var-kinds × 2 + 3 sync ops. *)
+val alphabet_size : int
+
+(** Dense integer code of an op, in a fixed total order; the basis of
+    canonical encodings and of the enumeration order. *)
+val op_code : op -> int
+
+(** Inverse of {!op_code} on [0 .. alphabet_size - 1]. *)
+val op_of_code : int -> op
+
+val op_var : op -> var option
+val with_var : op -> var -> op
+
+(** {1 Structure} *)
+
+val size : t -> int
+val n_threads : t -> int
+
+(** Schedule-independent liveness filter: enough semaphore posts for the
+    waits, and barrier arrival counts equal across threads. *)
+val admissible : t -> bool
+
+val op_to_string : op -> string
+val to_string : t -> string
+
+(** {1 Synthesis} *)
+
+(** Canonical shared-variable name ([v0], [v1], ...). *)
+val var_name : var -> string
+
+(** Deterministically synthesize the Racelang program for a shape, in
+    parser-normal AST spelling (so [Parser.parse_program
+    (Pp.program_to_string p)] is structurally equal to [p]). *)
+val to_program : ?name:string -> t -> Portend_lang.Ast.program

@@ -1,0 +1,131 @@
+(** Delta-debugging shrinker for litmus disagreements.
+
+    Given a shape on which some differential contract breaks and a
+    predicate [keep] ("the disagreement still reproduces"), greedily apply
+    the smallest-first candidate reductions until none applies:
+
+    - drop a whole thread;
+    - drop one op from one thread;
+    - simplify one op strictly down the complexity order
+      (locked/atomic form → plain form, read-modify-write → plain write,
+      semaphore/barrier op → removed — already covered by op-drop);
+    - merge variables (rewrite every [v1] op to [v0]).
+
+    Every candidate is strictly smaller under a well-founded measure
+    (total ops, then summed op complexity, then variable count), so the
+    loop terminates; each accepted candidate is canonicalized so the
+    result is the named, deduplicatable regression form.  The predicate
+    runs the full mode matrix, so shrinking costs candidates × matrix
+    runs — acceptable because disagreeing programs are rare and small. *)
+
+let op_weight = function
+  | Shape.Write _ | Shape.Read _ -> 1
+  | Shape.Incr _ -> 2
+  | Shape.SemPost | Shape.SemWait | Shape.Barrier -> 2
+  | Shape.AtomicIncr _ -> 3
+  | Shape.LockedWrite _ -> 3
+  | Shape.LockedIncr _ -> 4
+
+let measure (t : Shape.t) : int * int * int =
+  let ops = Shape.size t in
+  let weight =
+    List.fold_left (fun acc th -> List.fold_left (fun a o -> a + op_weight o) acc th) 0
+      t.Shape.threads
+  in
+  let vars =
+    List.length
+      (List.sort_uniq compare (List.concat_map (List.filter_map Shape.op_var) t.Shape.threads))
+  in
+  (ops, weight, vars)
+
+(* Strictly-simpler single-op rewrites. *)
+let simpler_ops = function
+  | Shape.LockedIncr v -> [ Shape.LockedWrite v; Shape.Incr v ]
+  | Shape.AtomicIncr v -> [ Shape.Incr v ]
+  | Shape.LockedWrite v -> [ Shape.Write v ]
+  | Shape.Incr v -> [ Shape.Write v ]
+  | Shape.Write _ | Shape.Read _ | Shape.SemPost | Shape.SemWait | Shape.Barrier -> []
+
+(* All one-step reduction candidates, raw (not yet canonical). *)
+let candidates (t : Shape.t) : Shape.t list =
+  let threads = t.Shape.threads in
+  let drop_thread =
+    if List.length threads <= 1 then []
+    else
+      List.mapi
+        (fun i _ ->
+          { t with Shape.threads = List.filteri (fun j _ -> j <> i) threads })
+        threads
+  in
+  let drop_op =
+    List.concat
+      (List.mapi
+         (fun i ops ->
+           if List.length ops <= 1 && List.length threads > 1 then
+             (* dropping the last op of a thread = dropping the thread,
+                already covered above *)
+             []
+           else
+             List.mapi
+               (fun j _ ->
+                 let ops' = List.filteri (fun k _ -> k <> j) ops in
+                 { t with
+                   Shape.threads = List.mapi (fun k th -> if k = i then ops' else th) threads
+                 })
+               ops)
+         threads)
+  in
+  let simplify_op =
+    List.concat
+      (List.mapi
+         (fun i ops ->
+           List.concat
+             (List.mapi
+                (fun j op ->
+                  List.map
+                    (fun op' ->
+                      { t with
+                        Shape.threads =
+                          List.mapi
+                            (fun k th ->
+                              if k = i then List.mapi (fun l o -> if l = j then op' else o) th
+                              else th)
+                            threads
+                      })
+                    (simpler_ops op))
+                ops))
+         threads)
+  in
+  let merge_vars =
+    let vars = List.sort_uniq compare (List.concat_map (List.filter_map Shape.op_var) threads) in
+    if List.length vars <= 1 then []
+    else
+      [ { t with
+          Shape.threads =
+            List.map
+              (List.map (fun op ->
+                   match Shape.op_var op with
+                   | Some _ -> Shape.with_var op 0
+                   | None -> op))
+              threads
+        }
+      ]
+  in
+  drop_thread @ drop_op @ simplify_op @ merge_vars
+
+(** Greedy fixpoint: repeatedly take the first strictly-smaller canonical
+    candidate that still satisfies [keep].  Returns the canonical minimal
+    form (the input itself, canonicalized, if nothing shrinks). *)
+let shrink ~(keep : Shape.t -> bool) (t : Shape.t) : Shape.t =
+  let rec go t =
+    let m = measure t in
+    let next =
+      List.find_opt
+        (fun cand -> measure cand < m && keep cand)
+        (List.map (fun c -> fst (Canon.canonical c)) (candidates t))
+    in
+    match next with
+    | Some smaller -> go smaller
+    | None -> fst (Canon.canonical t)
+  in
+  go (fst (Canon.canonical t))

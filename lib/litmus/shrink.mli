@@ -1,0 +1,13 @@
+(** Delta-debugging shrinker over litmus shapes: greedily drops threads
+    and ops, simplifies ops down a strict complexity order, and merges
+    variables, keeping only candidates on which [keep] still holds.
+    Terminates (well-founded measure); returns a canonical shape. *)
+
+(** One-step reduction candidates for a shape, raw (not canonicalized).
+    Exposed for unit tests. *)
+val candidates : Shape.t -> Shape.t list
+
+(** [shrink ~keep t] — minimal canonical shape still satisfying [keep].
+    [keep] is typically {!Differ.has_disagreement} composed with
+    {!Shape.to_program}. *)
+val shrink : keep:(Shape.t -> bool) -> Shape.t -> Shape.t

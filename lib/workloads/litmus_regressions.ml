@@ -1,0 +1,137 @@
+(** Regression workloads promoted from the litmus differential campaign
+    ({!Portend_litmus}): enumerated scenarios pinned with their expected
+    verdicts so the exact programs the harness once explored stay under
+    test forever.  Names are the campaign's stable content-hash names
+    ([lit_<chash>]); sources are the canonical pretty-printed form the
+    enumerator emits (the same text lives in [examples/programs/<name>.rl]
+    and flows through the lint/profile golden runs).
+
+    The campaign has found no mode-matrix disagreement so far, so these
+    four are representative corners of the enumerated space rather than
+    minimized bug reproducers: the lost-update increment pair, the
+    redundant-write pair (the canonical k-witness harmless race), the
+    racy write/read pair whose post-race states differ, and the semaphore
+    handoff whose happens-before edge makes it race-free.  Any future
+    disagreement gets minimized and appended here by
+    [portend litmus --promote]. *)
+
+module Taxonomy = Portend_core.Taxonomy
+
+let parse = Portend_lang.Parser.parse_program
+
+(* Two unsynchronized increments of one counter: the classic lost update.
+   Both orders print the same final value only when no interleaving splits
+   a read-modify-write — the primary-effect comparison sees the lost
+   update, so the race is output-differs (single-order output sets). *)
+let lost_update =
+  parse
+    {|program lit_2870c4d41b63eff1
+
+global v0 = 0
+
+fn w1() {
+  v0 = (v0 + 1);
+}
+
+fn w2() {
+  v0 = (v0 + 1);
+}
+
+fn main() {
+  var t1 = spawn w1();
+  var t2 = spawn w2();
+  join t1;
+  join t2;
+  output v0;
+}
+|}
+
+(* Two racing stores of the same constant: post-race states converge and
+   every alternate interleaving outputs the same value — the canonical
+   k-witness harmless verdict. *)
+let redundant_writes =
+  parse
+    {|program lit_370e70d422e6e535
+
+global v0 = 0
+
+fn w1() {
+  v0 = 1;
+}
+
+fn w2() {
+  v0 = 1;
+}
+
+fn main() {
+  var t1 = spawn w1();
+  var t2 = spawn w2();
+  join t1;
+  join t2;
+  output v0;
+}
+|}
+
+(* A store racing a load that feeds output: the two orders print 0 vs 1,
+   and the post-race states differ. *)
+let write_vs_read =
+  parse
+    {|program lit_370e6cd422e6de69
+
+global v0 = 0
+
+fn w1() {
+  v0 = 1;
+}
+
+fn w2() {
+  output v0;
+}
+
+fn main() {
+  var t1 = spawn w1();
+  var t2 = spawn w2();
+  join t1;
+  join t2;
+  output v0;
+}
+|}
+
+(* Semaphore handoff: sem_post/sem_wait orders the store before the load,
+   so the detector must report no race at all. *)
+let sem_handoff =
+  parse
+    {|program lit_1ecf6e9fc343e020
+
+global v0 = 0
+sem h = 0
+
+fn w1() {
+  v0 = 1;
+  sem_post h;
+}
+
+fn w2() {
+  sem_wait h;
+  output v0;
+}
+
+fn main() {
+  var t1 = spawn w1();
+  var t2 = spawn w2();
+  join t1;
+  join t2;
+  output v0;
+}
+|}
+
+let workloads : Registry.workload list =
+  [ Registry.make ~language:"Racelang" ~threads:2 ~seed:1 "lit_2870c4d41b63eff1" lost_update
+      [ Registry.expect "g:v0" Taxonomy.Output_differs ~states_differ:false ];
+    Registry.make ~language:"Racelang" ~threads:2 ~seed:1 "lit_370e70d422e6e535"
+      redundant_writes
+      [ Registry.expect "g:v0" Taxonomy.K_witness_harmless ~states_differ:false ];
+    Registry.make ~language:"Racelang" ~threads:2 ~seed:1 "lit_370e6cd422e6de69" write_vs_read
+      [ Registry.expect "g:v0" Taxonomy.Output_differs ~states_differ:true ];
+    Registry.make ~language:"Racelang" ~threads:2 ~seed:1 "lit_1ecf6e9fc343e020" sem_handoff []
+  ]

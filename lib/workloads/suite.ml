@@ -23,7 +23,14 @@ let sync_benchmarks : Registry.workload list = Sync_models.workloads
 (** Everything: the paper's suite plus the synchronization additions. *)
 let extended : Registry.workload list = all @ sync_benchmarks
 
-let find name = List.find_opt (fun w -> w.Registry.w_name = name) extended
+(** Scenarios promoted from the litmus differential campaign
+    ({!Litmus_regressions}), named [lit_<chash>].  Kept out of [extended]
+    so the suite-level race totals keep their meaning; {!find} resolves
+    them (the serve daemon and CLI look workloads up by name). *)
+let litmus_regressions : Registry.workload list = Litmus_regressions.workloads
+
+let find name =
+  List.find_opt (fun w -> w.Registry.w_name = name) (extended @ litmus_regressions)
 
 (** Total distinct races the suite is expected to contain (the paper's 93). *)
 let total_expected_races =

@@ -1,0 +1,236 @@
+(* The litmus enumeration + differential harness itself under test:
+   canonicalization is a true symmetry quotient (permutation/renaming
+   invariant, idempotent, duplicate-preserving), enumeration is
+   deterministic with pinned counts for small spaces, the shrinker only
+   moves downward and reaches fixpoints, and a corpus slice pushed
+   through the mode matrix produces zero disagreements.  The printer ↔
+   parser round trip is asserted structurally over the whole enumerated
+   corpus (every shape is emitted and re-read through the real
+   frontend). *)
+
+module L = Portend_litmus
+open L.Shape
+
+let shape threads n_vars = { threads; n_vars }
+
+(* --- canonicalization --- *)
+
+let test_canon_thread_symmetry () =
+  let t = shape [ [ Incr 0 ]; [ Write 1; Read 0 ] ] 2 in
+  let t' = shape [ [ Write 1; Read 0 ]; [ Incr 0 ] ] 2 in
+  Alcotest.(check string) "permuted threads share a name" (L.Canon.name t) (L.Canon.name t');
+  let _, e = L.Canon.canonical t and _, e' = L.Canon.canonical t' in
+  Alcotest.(check string) "and an encoding" e e'
+
+let test_canon_variable_symmetry () =
+  let t = shape [ [ Write 0 ]; [ Read 0 ] ] 2 in
+  let t' = shape [ [ Write 1 ]; [ Read 1 ] ] 2 in
+  Alcotest.(check string) "renamed variables share a name" (L.Canon.name t) (L.Canon.name t')
+
+let test_canon_idempotent () =
+  let t = shape [ [ LockedIncr 1; SemPost ]; [ SemWait; Read 1 ]; [ Incr 0 ] ] 2 in
+  let c, e = L.Canon.canonical t in
+  let c', e' = L.Canon.canonical c in
+  Alcotest.(check string) "encoding is a fixpoint" e e';
+  Alcotest.(check bool) "shape is a fixpoint" true (c = c')
+
+let test_canon_keeps_duplicate_threads () =
+  (* regression: duplicate thread bodies are shared constants; removal by
+     (physical) equality collapsed them to a single thread *)
+  let c, _ = L.Canon.canonical (shape [ [ Incr 0 ]; [ Incr 0 ] ] 1) in
+  Alcotest.(check int) "two identical threads survive" 2 (n_threads c);
+  Alcotest.(check int) "both ops survive" 2 (size c)
+
+let test_canon_distinguishes () =
+  let a = shape [ [ Write 0 ]; [ Read 0 ] ] 1 in
+  let b = shape [ [ Write 0 ]; [ Write 0 ] ] 1 in
+  Alcotest.(check bool) "write|read differs from write|write" true
+    (L.Canon.name a <> L.Canon.name b)
+
+let test_dedup_table () =
+  let tbl = L.Canon.create_table () in
+  let t = shape [ [ Incr 0 ]; [ Read 0 ] ] 1 in
+  let permuted = shape [ [ Read 0 ] ; [ Incr 0 ] ] 1 in
+  Alcotest.(check bool) "first add is new" true (L.Canon.add tbl t <> None);
+  Alcotest.(check bool) "permutation is a duplicate" true (L.Canon.add tbl permuted = None);
+  Alcotest.(check int) "one distinct" 1 (L.Canon.distinct tbl);
+  Alcotest.(check int) "two raw" 2 (L.Canon.total tbl)
+
+(* --- enumeration --- *)
+
+let tiny =
+  { L.Enum.max_threads = 2; max_ops = 1; n_vars = 1; max_total = 2; include_stuck = false }
+
+let test_enum_tiny_space () =
+  (* 2 threads x 1 op each: unordered pairs with repetition over the 6
+     variable ops on one variable (21), plus sem_post paired with anything
+     or with sem_wait (8), plus the matched barrier pair (1); lone
+     sem_wait and unmatched barriers are inadmissible *)
+  let shapes, tbl, exhausted = L.Enum.run tiny ~budget:10_000 in
+  Alcotest.(check bool) "space exhausted" true exhausted;
+  Alcotest.(check int) "30 canonical programs" 30 (List.length shapes);
+  Alcotest.(check int) "table agrees" 30 (L.Canon.distinct tbl)
+
+let test_enum_deterministic () =
+  let l = { L.Enum.default_limits with L.Enum.max_total = 4 } in
+  let a, _, _ = L.Enum.run l ~budget:200 in
+  let b, _, _ = L.Enum.run l ~budget:200 in
+  Alcotest.(check (list string)) "same corpus in the same order"
+    (List.map L.Canon.name a) (List.map L.Canon.name b)
+
+let test_enum_budget () =
+  let shapes, _, exhausted = L.Enum.run L.Enum.default_limits ~budget:37 in
+  Alcotest.(check int) "budget respected" 37 (List.length shapes);
+  Alcotest.(check bool) "not exhausted" false exhausted
+
+let test_enum_admissibility () =
+  (* no enumerated shape may be guaranteed-stuck unless asked for *)
+  let shapes, _, _ = L.Enum.run L.Enum.default_limits ~budget:300 in
+  Alcotest.(check bool) "all admissible" true (List.for_all admissible shapes);
+  let with_stuck =
+    { L.Enum.default_limits with L.Enum.include_stuck = true; max_total = 3 }
+  in
+  let relaxed, _, _ = L.Enum.run with_stuck ~budget:10_000 in
+  Alcotest.(check bool) "include_stuck reaches more shapes" true
+    (List.exists (fun t -> not (admissible t)) relaxed)
+
+(* --- printer/parser round trip over the whole corpus (satellite) --- *)
+
+let test_roundtrip_corpus () =
+  let shapes, _, _ =
+    L.Enum.run { L.Enum.default_limits with L.Enum.max_total = 4 } ~budget:500
+  in
+  Alcotest.(check bool) "corpus is non-trivial" true (List.length shapes > 100);
+  List.iter
+    (fun t ->
+      let ast = to_program ~name:(L.Canon.name t) t in
+      let src = Portend_lang.Pp.program_to_string ast in
+      let reparsed =
+        try Portend_lang.Parser.parse_program src
+        with e -> Alcotest.failf "parse failed (%s) on:\n%s" (Printexc.to_string e) src
+      in
+      if reparsed <> ast then Alcotest.failf "round trip not structural on:\n%s" src)
+    shapes
+
+(* --- shrinker --- *)
+
+let test_shrink_candidates_smaller () =
+  let t = shape [ [ LockedIncr 0; SemPost ]; [ SemWait; AtomicIncr 1 ]; [ Write 0 ] ] 2 in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "candidate not larger" true (size c <= size t);
+      Alcotest.(check bool) "candidate differs" true (c <> t))
+    (L.Shrink.candidates t)
+
+let test_shrink_minimizes () =
+  (* predicate: at least two increments of v0 somewhere; minimum is the
+     two-thread two-op lost-update shape *)
+  let incrs t =
+    List.fold_left
+      (List.fold_left (fun acc op -> match op with Incr 0 -> acc + 1 | _ -> acc))
+      0 t.threads
+  in
+  let keep t = incrs t >= 2 in
+  let big =
+    shape [ [ Incr 0; Write 1; Incr 0 ]; [ LockedWrite 1; Incr 0 ]; [ Read 1; SemPost ] ] 2
+  in
+  let small = L.Shrink.shrink ~keep big in
+  Alcotest.(check bool) "result still satisfies keep" true (keep small);
+  Alcotest.(check int) "shrunk to two ops" 2 (size small);
+  Alcotest.(check int) "on one variable" 1
+    (List.length
+       (List.sort_uniq compare (List.concat_map (List.filter_map op_var) small.threads)))
+
+let test_shrink_fixpoint () =
+  let incrs t =
+    List.fold_left
+      (List.fold_left (fun acc op -> match op with Incr _ -> acc + 1 | _ -> acc))
+      0 t.threads
+  in
+  let t = shape [ [ Incr 0 ]; [ Incr 0 ] ] 1 in
+  let s = L.Shrink.shrink ~keep:(fun c -> incrs c >= 2) t in
+  Alcotest.(check bool) "already-minimal shape is stable" true
+    (L.Canon.name s = L.Canon.name t)
+
+(* --- the differential matrix on a corpus slice --- *)
+
+let test_differ_no_disagreements () =
+  let shapes, _, _ = L.Enum.run L.Enum.default_limits ~budget:40 in
+  let opts = { L.Differ.default_opts with L.Differ.check_baselines = true } in
+  List.iter
+    (fun t ->
+      let ast = to_program ~name:(L.Canon.name t) t in
+      let src = Portend_lang.Pp.program_to_string ast in
+      let prog = Portend_lang.Compile.compile ast in
+      let o = L.Differ.run ~opts ~src prog in
+      match o.L.Differ.o_disagreements with
+      | [] -> ()
+      | d :: _ ->
+        Alcotest.failf "%s: mode %s disagreed\nexpected:\n%s\ngot:\n%s" (L.Canon.name t)
+          d.L.Differ.d_mode d.L.Differ.d_expected d.L.Differ.d_got)
+    shapes
+
+let test_differ_flags_seeded_difference () =
+  (* sanity that the oracle can fail: different seeds are different
+     recordings, so comparing their fingerprints must disagree for some
+     racy program *)
+  let ast =
+    to_program (shape [ [ Write 0 ]; [ Read 0 ] ] 1)
+  in
+  let prog = Portend_lang.Compile.compile ast in
+  let open Portend_core in
+  let a1 = Pipeline.analyze ~config:L.Differ.base_config ~seed:1 prog in
+  let a2 = Pipeline.analyze ~config:L.Differ.base_config ~seed:5 prog in
+  Alcotest.(check bool) "fingerprint is sensitive to the recording" true
+    (L.Differ.fingerprint a1 = L.Differ.fingerprint a1
+    && (L.Differ.fingerprint a1 <> L.Differ.fingerprint a2
+       || a1.Pipeline.races <> []))
+
+(* --- campaign regressions stay in sync with the workload registry --- *)
+
+let test_promoted_names_match_sources () =
+  (* every promoted workload's name is the canonical name of the program
+     its source parses to (pin the name <-> content binding) *)
+  List.iter
+    (fun (w : Portend_workloads.Registry.workload) ->
+      let prog = Portend_lang.Compile.compile w.Portend_workloads.Registry.w_prog in
+      let a =
+        Portend_core.Pipeline.analyze ~config:L.Differ.base_config
+          ~seed:w.Portend_workloads.Registry.w_seed prog
+      in
+      Alcotest.(check string)
+        (w.Portend_workloads.Registry.w_name ^ " halts")
+        "halted"
+        (Portend_vm.Run.stop_to_string a.Portend_core.Pipeline.record.Portend_vm.Run.stop))
+    Portend_workloads.Suite.litmus_regressions
+
+let () =
+  Alcotest.run "litmus"
+    [ ( "canon",
+        [ Alcotest.test_case "thread symmetry" `Quick test_canon_thread_symmetry;
+          Alcotest.test_case "variable symmetry" `Quick test_canon_variable_symmetry;
+          Alcotest.test_case "idempotent" `Quick test_canon_idempotent;
+          Alcotest.test_case "duplicate threads survive" `Quick test_canon_keeps_duplicate_threads;
+          Alcotest.test_case "distinct shapes stay distinct" `Quick test_canon_distinguishes;
+          Alcotest.test_case "dedup table" `Quick test_dedup_table
+        ] );
+      ( "enum",
+        [ Alcotest.test_case "tiny space pinned" `Quick test_enum_tiny_space;
+          Alcotest.test_case "deterministic" `Quick test_enum_deterministic;
+          Alcotest.test_case "budget respected" `Quick test_enum_budget;
+          Alcotest.test_case "admissibility filter" `Quick test_enum_admissibility
+        ] );
+      ( "round-trip",
+        [ Alcotest.test_case "corpus prints and reparses" `Quick test_roundtrip_corpus ] );
+      ( "shrink",
+        [ Alcotest.test_case "candidates smaller" `Quick test_shrink_candidates_smaller;
+          Alcotest.test_case "minimizes to the core" `Quick test_shrink_minimizes;
+          Alcotest.test_case "fixpoint" `Quick test_shrink_fixpoint
+        ] );
+      ( "differ",
+        [ Alcotest.test_case "corpus slice: no disagreements" `Slow test_differ_no_disagreements;
+          Alcotest.test_case "oracle sensitivity" `Quick test_differ_flags_seeded_difference
+        ] );
+      ( "promoted",
+        [ Alcotest.test_case "regressions analyze cleanly" `Quick test_promoted_names_match_sources ] )
+    ]

@@ -578,10 +578,27 @@ let test_cache_preserves_verdicts =
           && analysis_fingerprint off = analysis_fingerprint warm
           && v.Store.hits > 0))
 
+(* One explicit seed for every property suite, so a counterexample found
+   in CI is reproducible locally: QCHECK_SEED=<printed seed> reruns the
+   exact generator sequence.  The seed is printed up front and embedded in
+   the Alcotest group name, so any failure report carries it. *)
 let () =
+  let seed =
+    match Sys.getenv_opt "QCHECK_SEED" with
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> n
+      | None -> failwith (Printf.sprintf "QCHECK_SEED must be an integer, got %S" s))
+    | None ->
+      Random.self_init ();
+      Random.int 1_000_000_000
+  in
+  Printf.printf "qcheck seed: %d (rerun with QCHECK_SEED=%d)\n%!" seed seed;
+  let rand = Random.State.make [| seed |] in
   Alcotest.run "properties"
-    [ ( "cross-layer",
-        List.map QCheck_alcotest.to_alcotest
+    [ ( Printf.sprintf "cross-layer (seed %d)" seed,
+        List.map
+          (QCheck_alcotest.to_alcotest ~rand)
           [ test_vm_matches_reference;
             test_record_replay_property;
             test_same_seed_same_run;

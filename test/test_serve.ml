@@ -194,6 +194,25 @@ let test_roundtrip srv =
         (expected_lines ~id:(Json.Int 1) w)
         (served_lines responses))
 
+(* The daemon resolves workloads through [Suite.find], which must reach
+   past Table 1: the synchronization additions (CondPC/SemPC) and the
+   promoted litmus regressions are all addressable by name. *)
+let test_extended_workload_lookup srv =
+  let cl = Client.connect (Server.address srv) in
+  Fun.protect ~finally:(fun () -> Client.close cl)
+    (fun () ->
+      List.iter
+        (fun name ->
+          let w = micro name in
+          let responses = Client.request cl (workload_request name) in
+          Alcotest.(check (list string))
+            (name ^ " served = one-shot")
+            (expected_lines w) (served_lines responses))
+        ([ "CondPC"; "SemPC" ]
+        @ List.map
+            (fun (w : Workloads.Registry.workload) -> w.Workloads.Registry.w_name)
+            Workloads.Suite.litmus_regressions))
+
 let test_malformed_then_ok srv =
   let cl = Client.connect (Server.address srv) in
   Fun.protect ~finally:(fun () -> Client.close cl)
@@ -427,6 +446,8 @@ let () =
       ("protocol", [ Alcotest.test_case "request validation" `Quick test_protocol_requests ]);
       ( "server",
         [ Alcotest.test_case "roundtrip identity" `Quick (with_server test_roundtrip);
+          Alcotest.test_case "extended workload lookup" `Quick
+            (with_server test_extended_workload_lookup);
           Alcotest.test_case "malformed then ok" `Quick (with_server test_malformed_then_ok);
           Alcotest.test_case "truncated request" `Quick (with_server test_truncated_request);
           Alcotest.test_case "oversized request" `Quick test_oversized;

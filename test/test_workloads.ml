@@ -197,6 +197,81 @@ let test_sync_workloads () =
         w.Registry.w_expect)
     Suite.sync_benchmarks
 
+(* --- litmus regressions (promoted from the differential campaign) --- *)
+
+let test_litmus_regressions () =
+  Alcotest.(check bool) "regression list is non-empty" true (Suite.litmus_regressions <> []);
+  List.iter
+    (fun (w : Registry.workload) ->
+      Alcotest.(check bool)
+        (w.Registry.w_name ^ " has a campaign name")
+        true
+        (String.length w.Registry.w_name > 4 && String.sub w.Registry.w_name 0 4 = "lit_");
+      let prog = Portend_lang.Compile.compile w.Registry.w_prog in
+      let a = Pipeline.analyze ~seed:w.Registry.w_seed ~inputs:w.Registry.w_inputs prog in
+      Alcotest.(check string)
+        (w.Registry.w_name ^ " recording halts")
+        "halted"
+        (Portend_vm.Run.stop_to_string a.Pipeline.record.Portend_vm.Run.stop);
+      Alcotest.(check int)
+        (w.Registry.w_name ^ " distinct races")
+        (Registry.total_expected w)
+        (List.length a.Pipeline.races);
+      let vs = categories_of a in
+      List.iter
+        (fun (x : Registry.expectation) ->
+          let got = List.filter (fun (loc, _) -> loc = x.Registry.x_loc) vs in
+          (match got with
+          | [] ->
+            Alcotest.failf "%s: no race at %s" w.Registry.w_name x.Registry.x_loc
+          | _ -> ());
+          List.iter
+            (fun (_, v) ->
+              Alcotest.(check string)
+                (w.Registry.w_name ^ " " ^ x.Registry.x_loc ^ " verdict")
+                (Taxonomy.category_to_string x.Registry.x_portend)
+                (Taxonomy.category_to_string v.Taxonomy.category);
+              Alcotest.(check bool)
+                (w.Registry.w_name ^ " " ^ x.Registry.x_loc ^ " states-differ bit")
+                x.Registry.x_states_differ v.Taxonomy.states_differ)
+            got)
+        w.Registry.w_expect)
+    Suite.litmus_regressions
+
+(* --- extended-suite reachability: every consumer resolves the additions
+   (the bench harness iterates the [Suite] lists, the serve daemon and the
+   `suite --extended` CLI go through [Suite.find]) --- *)
+
+let test_extended_reachability () =
+  List.iter
+    (fun name ->
+      Alcotest.(check bool)
+        (name ^ " in Suite.extended")
+        true
+        (List.exists (fun (w : Registry.workload) -> w.Registry.w_name = name) Suite.extended);
+      match Suite.find name with
+      | None -> Alcotest.failf "Suite.find %S returned None" name
+      | Some w -> Alcotest.(check string) (name ^ " find name") name w.Registry.w_name)
+    [ "CondPC"; "SemPC" ];
+  (* the paper suite stays exactly the paper suite *)
+  List.iter
+    (fun (w : Registry.workload) ->
+      Alcotest.(check bool)
+        (w.Registry.w_name ^ " not in Suite.all")
+        false
+        (List.exists (fun (v : Registry.workload) -> v.Registry.w_name = w.Registry.w_name)
+           Suite.all))
+    (Suite.sync_benchmarks @ Suite.litmus_regressions);
+  (* promoted litmus workloads resolve by name too (serve looks them up) *)
+  List.iter
+    (fun (w : Registry.workload) ->
+      match Suite.find w.Registry.w_name with
+      | None -> Alcotest.failf "Suite.find %S returned None" w.Registry.w_name
+      | Some found ->
+        Alcotest.(check string) "find returns the workload" w.Registry.w_name
+          found.Registry.w_name)
+    Suite.litmus_regressions
+
 (* --- race-free programs (§5: HawkNL, pfscan, swarm, fft) --- *)
 
 let test_race_free_programs () =
@@ -285,6 +360,10 @@ let () =
         ] );
       ( "sync",
         [ Alcotest.test_case "condvar/semaphore handoffs" `Slow test_sync_workloads ] );
+      ( "litmus",
+        [ Alcotest.test_case "promoted regressions" `Slow test_litmus_regressions;
+          Alcotest.test_case "extended-suite reachability" `Quick test_extended_reachability
+        ] );
       ( "race-free",
         [ Alcotest.test_case "hawknl/pfscan/swarm/fft" `Slow test_race_free_programs ] );
       ( "weak-memory",
